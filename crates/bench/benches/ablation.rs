@@ -1,0 +1,104 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * *regular ω-words vs the full dichotomic solver vs exhaustive enumeration* — what does
+//!   insisting on the optimal acyclic order cost, compared to the two fixed regular words that
+//!   the paper recommends for distributed settings (Section XII)?
+//! * *scheme construction + max-flow certification* — the price of turning a feasible word
+//!   into an explicit low-degree scheme and re-verifying its throughput by max-flow.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_core::exhaustive::optimal_acyclic_exhaustive;
+use bmp_core::omega::best_omega_throughput;
+use bmp_platform::distribution::UniformBandwidth;
+use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
+use bmp_platform::Instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn random_instance(receivers: usize, p: f64, seed: u64) -> Instance {
+    let config = GeneratorConfig::new(receivers, p).unwrap();
+    let generator = InstanceGenerator::new(config, UniformBandwidth::unif100());
+    generator.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn fast_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group
+}
+
+/// Optimal order vs regular ω-words vs exhaustive enumeration (tiny sizes only for the latter).
+fn bench_order_quality_vs_cost(c: &mut Criterion) {
+    let mut group = fast_group(c, "ablation_order_search");
+    for &receivers in &[8usize, 12] {
+        let inst = random_instance(receivers, 0.6, 3 + receivers as u64);
+        group.bench_with_input(BenchmarkId::new("exhaustive", receivers), &inst, |b, inst| {
+            b.iter(|| optimal_acyclic_exhaustive(inst, 1e-9).0)
+        });
+        group.bench_with_input(BenchmarkId::new("dichotomic", receivers), &inst, |b, inst| {
+            b.iter(|| AcyclicGuardedSolver::default().optimal_throughput(inst).0)
+        });
+        group.bench_with_input(BenchmarkId::new("omega_words", receivers), &inst, |b, inst| {
+            b.iter(|| best_omega_throughput(inst, 1e-9).0)
+        });
+    }
+    // Larger sizes where exhaustive enumeration is no longer an option.
+    for &receivers in &[200usize, 1_000] {
+        let inst = random_instance(receivers, 0.6, 17 + receivers as u64);
+        group.bench_with_input(BenchmarkId::new("dichotomic", receivers), &inst, |b, inst| {
+            b.iter(|| AcyclicGuardedSolver::default().optimal_throughput(inst).0)
+        });
+        group.bench_with_input(BenchmarkId::new("omega_words", receivers), &inst, |b, inst| {
+            b.iter(|| best_omega_throughput(inst, 1e-9).0)
+        });
+    }
+    group.finish();
+}
+
+/// Cost of producing the explicit low-degree scheme and certifying it by max-flow, on top of
+/// the feasibility search itself.
+fn bench_scheme_construction_and_certification(c: &mut Criterion) {
+    let mut group = fast_group(c, "ablation_scheme_certification");
+    let solver = AcyclicGuardedSolver::default();
+    for &receivers in &[50usize, 200] {
+        let inst = random_instance(receivers, 0.7, 23 + receivers as u64);
+        let (throughput, word) = solver.optimal_throughput(&inst);
+        group.bench_with_input(BenchmarkId::new("search_only", receivers), &inst, |b, inst| {
+            b.iter(|| solver.optimal_throughput(inst).0)
+        });
+        group.bench_with_input(
+            BenchmarkId::new("build_scheme", receivers),
+            &(inst.clone(), word.clone()),
+            |b, (inst, word)| {
+                b.iter(|| {
+                    solver
+                        .scheme_for_word(inst, throughput * 0.999, word)
+                        .unwrap()
+                        .edges()
+                        .len()
+                })
+            },
+        );
+        let scheme = solver.scheme_for_word(&inst, throughput * 0.999, &word).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("certify_max_flow", receivers),
+            &scheme,
+            |b, scheme| b.iter(|| scheme.throughput()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_order_quality_vs_cost,
+    bench_scheme_construction_and_certification
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Scaling of the core constructive algorithms (Algorithm 1, Algorithm 2, scheme building).
+//! The paper claims linear-time feasibility testing; these benches exhibit the scaling.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_core::acyclic_open::acyclic_open_optimal_scheme;
+use bmp_core::greedy::greedy_test;
+use bmp_platform::distribution::{BandwidthDistribution, UniformBandwidth};
+use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
+use bmp_platform::Instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_instance(receivers: usize, p: f64, seed: u64) -> Instance {
+    let config = GeneratorConfig::new(receivers, p).unwrap();
+    let generator = InstanceGenerator::new(config, UniformBandwidth::unif100());
+    generator.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn open_instance(receivers: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let open = UniformBandwidth::unif100().sample_many(receivers, &mut rng);
+    Instance::open_only(50.0, open).unwrap()
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_open");
+    for &n in &[100usize, 1_000, 10_000] {
+        let inst = open_instance(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| acyclic_open_optimal_scheme(inst).unwrap().1)
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_greedy_test");
+    for &n in &[100usize, 1_000, 10_000] {
+        let inst = random_instance(n, 0.7, 11);
+        let target = bmp_core::bounds::cyclic_upper_bound(&inst) * 0.9;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| greedy_test(inst, target).is_feasible())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acyclic_guarded_solver");
+    group.sample_size(20);
+    let solver = AcyclicGuardedSolver::default();
+    for &n in &[100usize, 1_000] {
+        let inst = random_instance(n, 0.7, 23);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solver.solve(inst).throughput)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm1, bench_greedy_test, bench_full_solver);
+criterion_main!(benches);

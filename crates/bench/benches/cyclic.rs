@@ -1,0 +1,29 @@
+//! Cyclic construction of Theorem 5.2: scaling of the partial-solution + induction algorithm.
+
+use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
+use bmp_platform::Instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn deficient_instance(n: usize, seed: u64) -> Instance {
+    // A large source and a flat tail, so that the cyclic construction has to run its
+    // induction phase over most of the nodes.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let open: Vec<f64> = (0..n).map(|_| rng.gen_range(0.8..1.2)).collect();
+    Instance::open_only(5.0, open).unwrap()
+}
+
+fn bench_cyclic_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cyclic_construction");
+    for &n in &[100usize, 1_000, 5_000] {
+        let inst = deficient_instance(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| cyclic_open_optimal_scheme(inst).unwrap().1)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cyclic_construction);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Dichotomic search (Theorem 4.1): cost of the optimal-throughput search as a function of
+//! the instance size and the requested tolerance.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_platform::distribution::UniformBandwidth;
+use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dichotomic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dichotomic_search");
+    let config = GeneratorConfig::new(500, 0.6).unwrap();
+    let generator = InstanceGenerator::new(config, UniformBandwidth::unif100());
+    let inst = generator.generate(&mut StdRng::seed_from_u64(99));
+    for &tolerance in &[1e-4_f64, 1e-8, 1e-12] {
+        let solver = AcyclicGuardedSolver::with_tolerance(tolerance);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tolerance:e}")),
+            &inst,
+            |b, inst| b.iter(|| solver.optimal_throughput(inst).0),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dichotomic);
+criterion_main!(benches);

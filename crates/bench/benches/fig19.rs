@@ -1,0 +1,44 @@
+//! Figure 19 regeneration bench: per-instance ratio computation and a reduced cell.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_experiments::fig19::{ratios_for_instance, run, Fig19Config};
+use bmp_platform::distribution::NamedDistribution;
+use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_per_instance(c: &mut Criterion) {
+    let solver = AcyclicGuardedSolver::with_tolerance(1e-8);
+    let mut group = c.benchmark_group("fig19_instance_ratios");
+    for &size in &[10usize, 100, 1000] {
+        let config = GeneratorConfig::new(size, 0.7).unwrap();
+        let generator =
+            InstanceGenerator::new(config, NamedDistribution::Power1.build());
+        let inst = generator.generate(&mut StdRng::seed_from_u64(5));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &inst, |b, inst| {
+            b.iter(|| ratios_for_instance(inst, &solver).optimal_acyclic)
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduced_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_cell");
+    group.sample_size(10);
+    let config = Fig19Config {
+        distributions: vec![NamedDistribution::Unif100],
+        open_probabilities: vec![0.7],
+        sizes: vec![50],
+        instances_per_cell: 50,
+        seed: 1,
+        threads: 1,
+    };
+    group.bench_function("unif100_p07_n50_x50", |b| {
+        b.iter(|| run(&config).cells.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_instance, bench_reduced_cell);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 7 regeneration bench: one (n, m) cell of the tight homogeneous grid, and a small
+//! full grid.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_core::homogeneous::worst_ratio_over_delta;
+use bmp_experiments::fig7::{run, Fig7Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_single_cell(c: &mut Criterion) {
+    let solver = AcyclicGuardedSolver::default();
+    let mut group = c.benchmark_group("fig7_cell");
+    for &(n, m) in &[(20usize, 10usize), (50, 20), (100, 42)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| b.iter(|| worst_ratio_over_delta(n, m, 16, &solver).unwrap().worst_ratio),
+        );
+    }
+    group.finish();
+}
+
+fn bench_quick_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_grid");
+    group.sample_size(10);
+    group.bench_function("quick", |b| {
+        b.iter(|| run(Fig7Config::quick()).cells.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_cell, bench_quick_grid);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Simplex solver benchmark: the cyclic-throughput LP oracle on growing instances.
+
+use bmp_core::lp_check::optimal_cyclic_lp;
+use bmp_platform::Instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_lp_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_cyclic_oracle");
+    group.sample_size(10);
+    for &receivers in &[3usize, 5, 7] {
+        let open: Vec<f64> = (0..receivers / 2 + 1).map(|i| 2.0 + i as f64).collect();
+        let guarded: Vec<f64> = (0..receivers / 2).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let inst = Instance::new(4.0, open, guarded).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(receivers),
+            &inst,
+            |b, inst| b.iter(|| optimal_cyclic_lp(inst).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_oracle);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Running-example (Figures 1/2/5) regeneration bench, including the max-flow verification.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_experiments::paper_figures;
+use bmp_platform::paper::figure1;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_paper_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_figures");
+    group.sample_size(20);
+    group.bench_function("solve_figure1", |b| {
+        let solver = AcyclicGuardedSolver::default();
+        let inst = figure1();
+        b.iter(|| solver.solve(&inst).throughput)
+    });
+    group.bench_function("full_report_with_simulation", |b| {
+        b.iter(|| paper_figures::run().simulated_rate)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_figures);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Chunk-level streaming simulator benchmarks (the Massoulié-style data plane).
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_platform::distribution::UniformBandwidth;
+use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
+use bmp_sim::{Overlay, SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_simulation");
+    group.sample_size(10);
+    let solver = AcyclicGuardedSolver::default();
+    for &receivers in &[10usize, 50] {
+        let config = GeneratorConfig::new(receivers, 0.7).unwrap();
+        let generator = InstanceGenerator::new(config, UniformBandwidth::unif100());
+        let inst = generator.generate(&mut StdRng::seed_from_u64(17));
+        let solution = solver.solve(&inst);
+        let overlay = Overlay::from_scheme(&solution.scheme);
+        let sim_config = SimConfig {
+            num_chunks: 200,
+            ..SimConfig::default()
+        }
+        .scaled_to(solution.throughput, 2.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(receivers),
+            &(overlay, sim_config),
+            |b, (overlay, sim_config)| {
+                b.iter(|| {
+                    Simulator::new(overlay.clone(), *sim_config)
+                        .run()
+                        .worst_progress()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Broadcast-tree decomposition benchmarks: cost of turning an overlay into an explicit set of
+//! weighted broadcast trees (the operational schedule of Section II-C) as the platform grows,
+//! and the greedy arborescence-packing fallback used for cyclic overlays.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
+use bmp_platform::distribution::{BandwidthDistribution, UniformBandwidth};
+use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
+use bmp_platform::Instance;
+use bmp_trees::{decompose_acyclic, greedy_packing, makespan_estimate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn random_instance(receivers: usize, p: f64, seed: u64) -> Instance {
+    let config = GeneratorConfig::new(receivers, p).unwrap();
+    let generator = InstanceGenerator::new(config, UniformBandwidth::unif100());
+    generator.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn bench_interval_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_decomposition");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let solver = AcyclicGuardedSolver::default();
+    for &receivers in &[50usize, 200, 800] {
+        let inst = random_instance(receivers, 0.7, 41 + receivers as u64);
+        let solution = solver.solve(&inst);
+        group.bench_with_input(
+            BenchmarkId::new("decompose", receivers),
+            &solution,
+            |b, solution| {
+                b.iter(|| {
+                    decompose_acyclic(&solution.scheme, solution.throughput)
+                        .unwrap()
+                        .num_trees()
+                })
+            },
+        );
+        let decomposition = decompose_acyclic(&solution.scheme, solution.throughput).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("makespan_estimate", receivers),
+            &decomposition,
+            |b, decomposition| {
+                b.iter(|| makespan_estimate(decomposition, 1_000.0, 1.0).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_packing");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &receivers in &[50usize, 200] {
+        // The cyclic construction gives overlays with back edges, the worst case for packing.
+        let mut rng = StdRng::seed_from_u64(receivers as u64);
+        let open = UniformBandwidth::unif100().sample_many(receivers, &mut rng);
+        let inst = Instance::open_only(30.0, open).unwrap();
+        let (scheme, _) = cyclic_open_optimal_scheme(&inst).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(receivers), &scheme, |b, scheme| {
+            b.iter(|| greedy_packing(scheme).unwrap().decomposition.num_trees())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_decomposition, bench_greedy_packing);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Worst-case sweeps (Figures 6 and 18, Theorems 6.1 and 6.3) as a benchmark target.
+
+use bmp_experiments::worst_case::{figure18_sweep, figure6_sweep, theorem63_sweep};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worst_case");
+    group.sample_size(10);
+    group.bench_function("figure18_sweep_101", |b| {
+        b.iter(|| figure18_sweep(101).len())
+    });
+    group.bench_function("theorem63_sweep_k4", |b| b.iter(|| theorem63_sweep(4).len()));
+    group.bench_function("figure6_sweep", |b| {
+        b.iter(|| figure6_sweep(&[2, 8, 32, 128]).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_worst_case);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Minimal command-line argument parsing (no external dependency).
+//!
+//! The CLI grammar is deliberately simple: one positional subcommand followed by
+//! `--flag value` pairs and boolean `--flag` switches. [`ArgList`] splits the raw arguments
+//! accordingly and offers typed accessors with uniform error reporting.
+
+use crate::error::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed command line: the subcommand name plus its flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArgList {
+    /// The subcommand (first positional argument), empty when none was given.
+    pub command: String,
+    flags: BTreeMap<String, Option<String>>,
+}
+
+/// Flags that take no value (presence/absence switches).
+const BOOLEAN_FLAGS: &[&str] = &["--cyclic", "--quiet", "--trace"];
+
+impl ArgList {
+    /// Parses raw arguments (excluding the binary name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when a flag is malformed (does not start with `--`) or a
+    /// value-taking flag has no value.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut parsed = ArgList::default();
+        let mut iter = args.iter().peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                parsed.command = iter.next().expect("peeked").clone();
+            }
+        }
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument {arg:?} (flags start with --)"
+                )));
+            };
+            if name.is_empty() {
+                return Err(CliError::Usage("empty flag name".into()));
+            }
+            let key = format!("--{name}");
+            if BOOLEAN_FLAGS.contains(&key.as_str()) {
+                parsed.flags.insert(key, None);
+            } else {
+                let value = iter.next().ok_or_else(|| {
+                    CliError::Usage(format!("flag {key} expects a value"))
+                })?;
+                parsed.flags.insert(key, Some(value.clone()));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Whether the boolean switch `flag` was given.
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// The raw value of `flag`, if present.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).and_then(|v| v.as_deref())
+    }
+
+    /// The value of a mandatory flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the flag is missing.
+    pub fn require(&self, flag: &str) -> Result<&str, CliError> {
+        self.get(flag)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag {flag}")))
+    }
+
+    /// Parses the value of `flag` as type `T`, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::Usage(format!("flag {flag} has an invalid value {raw:?}"))
+            }),
+        }
+    }
+
+    /// Parses the value of a mandatory flag as type `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the flag is missing or does not parse.
+    pub fn require_parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<T, CliError> {
+        let raw = self.require(flag)?;
+        raw.parse()
+            .map_err(|_| CliError::Usage(format!("flag {flag} has an invalid value {raw:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let args = ArgList::parse(&strings(&[
+            "solve", "--instance", "inst.json", "--cyclic", "--tolerance", "1e-8",
+        ]))
+        .unwrap();
+        assert_eq!(args.command, "solve");
+        assert_eq!(args.get("--instance"), Some("inst.json"));
+        assert!(args.has("--cyclic"));
+        assert_eq!(args.get_parsed("--tolerance", 0.0).unwrap(), 1e-8);
+    }
+
+    #[test]
+    fn empty_arguments_are_valid() {
+        let args = ArgList::parse(&[]).unwrap();
+        assert_eq!(args.command, "");
+        assert!(!args.has("--cyclic"));
+        assert_eq!(args.get("--instance"), None);
+    }
+
+    #[test]
+    fn missing_value_is_reported() {
+        let err = ArgList::parse(&strings(&["solve", "--instance"])).unwrap_err();
+        assert!(err.to_string().contains("expects a value"));
+    }
+
+    #[test]
+    fn unexpected_positional_is_reported() {
+        let err = ArgList::parse(&strings(&["solve", "oops"])).unwrap_err();
+        assert!(err.to_string().contains("unexpected positional"));
+    }
+
+    #[test]
+    fn require_reports_missing_flags() {
+        let args = ArgList::parse(&strings(&["bounds"])).unwrap();
+        let err = args.require("--instance").unwrap_err();
+        assert!(err.to_string().contains("--instance"));
+        let err = args.require_parsed::<f64>("--throughput").unwrap_err();
+        assert!(err.to_string().contains("--throughput"));
+    }
+
+    #[test]
+    fn defaults_and_bad_values() {
+        let args = ArgList::parse(&strings(&["generate", "--receivers", "ten"])).unwrap();
+        assert_eq!(args.get_parsed("--seed", 7u64).unwrap(), 7);
+        assert!(args.get_parsed("--receivers", 0usize).is_err());
+        assert!(args.require_parsed::<usize>("--receivers").is_err());
+    }
+
+    #[test]
+    fn empty_flag_name_is_rejected() {
+        let err = ArgList::parse(&strings(&["solve", "--"])).unwrap_err();
+        assert!(err.to_string().contains("empty flag"));
+    }
+}

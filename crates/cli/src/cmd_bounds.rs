@@ -1,0 +1,91 @@
+//! `bounds` — print the closed-form throughput bounds of an instance.
+
+use crate::args::ArgList;
+use crate::error::CliError;
+use crate::files;
+use bmp_core::bounds::Bounds;
+use bmp_core::omega::best_omega_throughput;
+use bmp_core::AcyclicGuardedSolver;
+use std::io::Write;
+
+/// Runs the `bounds` subcommand.
+///
+/// Flags: `--instance FILE` (required).
+///
+/// Prints the cyclic optimum of Lemma 5.1, the closed-form open-only optima when applicable,
+/// the optimal acyclic throughput found by Algorithm 2 + dichotomic search, and the throughput
+/// of the best regular ω-word.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the instance cannot be read.
+pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    let instance = files::read_instance(args.require("--instance")?)?;
+    let bounds = Bounds::of(&instance);
+    let solver = AcyclicGuardedSolver::default();
+    let (acyclic, word) = solver.optimal_throughput(&instance);
+    let (omega, _) = best_omega_throughput(&instance, 1e-9);
+
+    writeln!(
+        out,
+        "instance: n = {} open, m = {} guarded, b0 = {:.4}",
+        instance.n(),
+        instance.m(),
+        instance.source_bandwidth()
+    )?;
+    writeln!(out, "cyclic optimum T* (Lemma 5.1)        : {:.6}", bounds.cyclic_optimum)?;
+    match bounds.acyclic_open_optimum {
+        Some(t) => writeln!(out, "acyclic open-only optimum            : {t:.6}")?,
+        None => writeln!(out, "acyclic open-only optimum            : n/a (guarded nodes present)")?,
+    }
+    match bounds.cyclic_open_optimum {
+        Some(t) => writeln!(out, "cyclic open-only optimum             : {t:.6}")?,
+        None => writeln!(out, "cyclic open-only optimum             : n/a (guarded nodes present)")?,
+    }
+    writeln!(out, "optimal acyclic throughput T*_ac     : {acyclic:.6} (word {word})")?;
+    writeln!(out, "best regular word (omega1/omega2)    : {omega:.6}")?;
+    if bounds.cyclic_optimum > 0.0 {
+        writeln!(
+            out,
+            "acyclic / cyclic ratio               : {:.4} (worst case bound 5/7 ≈ 0.7143)",
+            acyclic / bounds.cyclic_optimum
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::testutil::temp_path;
+    use bmp_platform::paper::figure1;
+
+    fn run_on_figure1() -> String {
+        let path = temp_path("bounds-instance.json");
+        let path_str = path.to_str().unwrap();
+        files::write_instance(path_str, &figure1()).unwrap();
+        let list = ArgList::parse(&["--instance".to_string(), path_str.to_string()]).unwrap();
+        let mut out = Vec::new();
+        run(&list, &mut out).unwrap();
+        std::fs::remove_file(path).ok();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn reports_the_paper_values_for_figure1() {
+        let output = run_on_figure1();
+        // Lemma 5.1: T* = 4.4 for the running example.
+        assert!(output.contains("4.400000"));
+        // The acyclic optimum of the running example is 4.
+        assert!(output.contains("T*_ac     : 4.0"));
+        assert!(output.contains("ratio"));
+        assert!(output.contains("guarded nodes present"));
+    }
+
+    #[test]
+    fn missing_instance_flag_is_a_usage_error() {
+        let list = ArgList::parse(&[]).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run(&list, &mut out), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,128 @@
+//! `decompose` — split a broadcast scheme into weighted broadcast trees.
+
+use crate::args::ArgList;
+use crate::error::CliError;
+use crate::files;
+use bmp_trees::{decompose_acyclic, greedy_packing, stripe_message};
+use std::io::Write;
+
+/// Runs the `decompose` subcommand.
+///
+/// Flags: `--scheme FILE` (required), `--throughput T` (rate to decompose; defaults to the
+/// scheme's max-flow throughput), `--message M` (also print the stripe plan for a message of
+/// size `M`), `--out FILE` (write the decomposition as JSON).
+///
+/// Acyclic schemes are decomposed exactly (interval decomposition); cyclic schemes fall back
+/// to the greedy arborescence-packing heuristic.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the scheme cannot be read or the decomposition fails.
+pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    let scheme = files::read_scheme(args.require("--scheme")?)?;
+    let throughput: f64 = args.get_parsed("--throughput", scheme.throughput())?;
+
+    let decomposition = if scheme.is_acyclic() {
+        writeln!(out, "method     : exact interval decomposition (acyclic scheme)")?;
+        decompose_acyclic(&scheme, throughput)?
+    } else {
+        let packing = greedy_packing(&scheme)?;
+        writeln!(
+            out,
+            "method     : greedy arborescence packing (cyclic scheme), efficiency {:.3}",
+            packing.efficiency()
+        )?;
+        packing.decomposition
+    };
+    decomposition.verify(&scheme)?;
+
+    writeln!(out, "throughput : {:.6}", decomposition.throughput())?;
+    writeln!(out, "trees      : {}", decomposition.num_trees())?;
+    writeln!(out, "max depth  : {}", decomposition.max_depth())?;
+    for (index, tree) in decomposition.trees().iter().enumerate() {
+        writeln!(
+            out,
+            "  tree {index}: weight {:.4}, depth {}, edges {:?}",
+            tree.weight(),
+            tree.max_depth(),
+            tree.edges()
+        )?;
+    }
+
+    if let Some(message) = args.get("--message") {
+        let message: f64 = message
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid message size {message:?}")))?;
+        let plan = stripe_message(&decomposition, message)?;
+        writeln!(out, "stripe plan for a message of size {message}:")?;
+        for (index, stripe) in plan.stripes.iter().enumerate() {
+            writeln!(out, "  tree {index}: {stripe:.4}")?;
+        }
+    }
+
+    if let Some(path) = args.get("--out") {
+        files::write_text(path, &serde_json::to_string_pretty(&decomposition)?)?;
+        writeln!(out, "wrote decomposition to {path}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::testutil::temp_path;
+    use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
+    use bmp_core::AcyclicGuardedSolver;
+    use bmp_platform::paper::{figure1, figure14};
+
+    fn run_args(args: Vec<String>) -> Result<String, CliError> {
+        let list = ArgList::parse(&args)?;
+        let mut out = Vec::new();
+        run(&list, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn decomposes_an_acyclic_scheme() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let path = temp_path("dec-acyclic.json").to_str().unwrap().to_string();
+        files::write_scheme(&path, &solution.scheme).unwrap();
+        let json_path = temp_path("dec-out.json").to_str().unwrap().to_string();
+        let output = run_args(vec![
+            "--scheme".into(), path.clone(),
+            "--message".into(), "100".into(),
+            "--out".into(), json_path.clone(),
+        ])
+        .unwrap();
+        assert!(output.contains("exact interval decomposition"));
+        assert!(output.contains("trees      :"));
+        assert!(output.contains("stripe plan"));
+        assert!(std::fs::read_to_string(&json_path).unwrap().contains("trees"));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(json_path).ok();
+    }
+
+    #[test]
+    fn falls_back_to_greedy_packing_on_cyclic_schemes() {
+        let (scheme, _) = cyclic_open_optimal_scheme(&figure14()).unwrap();
+        let path = temp_path("dec-cyclic.json").to_str().unwrap().to_string();
+        files::write_scheme(&path, &scheme).unwrap();
+        let output = run_args(vec!["--scheme".into(), path.clone()]).unwrap();
+        assert!(output.contains("greedy arborescence packing"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_message_size_is_a_usage_error() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let path = temp_path("dec-bad.json").to_str().unwrap().to_string();
+        files::write_scheme(&path, &solution.scheme).unwrap();
+        let err = run_args(vec![
+            "--scheme".into(), path.clone(),
+            "--message".into(), "huge".into(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        std::fs::remove_file(path).ok();
+    }
+}

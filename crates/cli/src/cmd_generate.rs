@@ -1,0 +1,152 @@
+//! `generate` — sample a random platform instance and store it as JSON.
+
+use crate::args::ArgList;
+use crate::error::CliError;
+use crate::files;
+use bmp_platform::distribution::NamedDistribution;
+use bmp_platform::generator::{GeneratorConfig, InstanceGenerator, SourcePolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+
+/// Parses one of the paper's six distribution names (case-insensitive).
+pub(crate) fn parse_distribution(name: &str) -> Result<NamedDistribution, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "unif100" | "uniform" => Ok(NamedDistribution::Unif100),
+        "power1" => Ok(NamedDistribution::Power1),
+        "power2" => Ok(NamedDistribution::Power2),
+        "ln1" => Ok(NamedDistribution::Ln1),
+        "ln2" => Ok(NamedDistribution::Ln2),
+        "plab" | "planetlab" => Ok(NamedDistribution::PLab),
+        other => Err(CliError::Usage(format!(
+            "unknown distribution {other:?} (expected unif100, power1, power2, ln1, ln2 or plab)"
+        ))),
+    }
+}
+
+fn parse_source_policy(raw: &str) -> Result<SourcePolicy, CliError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "cyclic-opt" | "pinned" => Ok(SourcePolicy::CyclicOptimum),
+        "sampled" => Ok(SourcePolicy::Sampled),
+        other => {
+            if let Some(value) = other.strip_prefix("fixed:") {
+                let value: f64 = value.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid fixed source bandwidth {value:?}"))
+                })?;
+                Ok(SourcePolicy::Fixed(value))
+            } else {
+                Err(CliError::Usage(format!(
+                    "unknown source policy {other:?} (expected pinned, sampled or fixed:<bw>)"
+                )))
+            }
+        }
+    }
+}
+
+/// Runs the `generate` subcommand.
+///
+/// Flags: `--receivers N` (required), `--open-prob P` (default 0.7), `--dist NAME` (default
+/// unif100), `--seed S` (default 42), `--source pinned|sampled|fixed:<bw>` (default pinned),
+/// `--out FILE` (optional; JSON is printed when absent).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for malformed flags or unwritable output files.
+pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    let receivers: usize = args.require_parsed("--receivers")?;
+    let open_probability: f64 = args.get_parsed("--open-prob", 0.7)?;
+    let distribution = parse_distribution(args.get("--dist").unwrap_or("unif100"))?;
+    let seed: u64 = args.get_parsed("--seed", 42)?;
+    let policy = parse_source_policy(args.get("--source").unwrap_or("pinned"))?;
+
+    let config = GeneratorConfig::new(receivers, open_probability)?.with_source_policy(policy);
+    let generator = InstanceGenerator::new(config, distribution.build());
+    let instance = generator.generate(&mut StdRng::seed_from_u64(seed));
+
+    writeln!(
+        out,
+        "generated instance: n = {} open, m = {} guarded, b0 = {:.3} ({} distribution, seed {seed})",
+        instance.n(),
+        instance.m(),
+        instance.source_bandwidth(),
+        distribution.label(),
+    )?;
+    match args.get("--out") {
+        Some(path) => {
+            files::write_instance(path, &instance)?;
+            writeln!(out, "wrote {path}")?;
+        }
+        None => {
+            writeln!(out, "{}", serde_json::to_string_pretty(&instance)?)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::testutil::temp_path;
+
+    fn run_args(args: &[&str]) -> Result<String, CliError> {
+        let list = ArgList::parse(&args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())?;
+        let mut out = Vec::new();
+        run(&list, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn generates_to_stdout() {
+        let output = run_args(&["--receivers", "12", "--open-prob", "0.5", "--seed", "1"]).unwrap();
+        assert!(output.contains("generated instance"));
+        assert!(output.contains("\"open\"") || output.contains("open"));
+    }
+
+    #[test]
+    fn generates_to_a_file_and_roundtrips() {
+        let path = temp_path("gen.json");
+        let path_str = path.to_str().unwrap();
+        let output = run_args(&[
+            "--receivers", "20", "--dist", "power1", "--seed", "7", "--out", path_str,
+        ])
+        .unwrap();
+        assert!(output.contains("wrote"));
+        let instance = crate::files::read_instance(path_str).unwrap();
+        assert_eq!(instance.num_receivers(), 20);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fixed_source_policy() {
+        let output = run_args(&[
+            "--receivers", "5", "--source", "fixed:42.5", "--seed", "3",
+        ])
+        .unwrap();
+        assert!(output.contains("b0 = 42.5"));
+    }
+
+    #[test]
+    fn all_distribution_names_parse() {
+        for name in ["unif100", "power1", "power2", "ln1", "ln2", "plab", "PLab", "UNIF100"] {
+            assert!(parse_distribution(name).is_ok(), "{name}");
+        }
+        assert!(parse_distribution("zipf").is_err());
+    }
+
+    #[test]
+    fn bad_flags_are_usage_errors() {
+        assert!(matches!(run_args(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_args(&["--receivers", "5", "--dist", "bogus"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_args(&["--receivers", "5", "--source", "fixed:abc"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_args(&["--receivers", "5", "--source", "nope"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

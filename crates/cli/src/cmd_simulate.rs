@@ -1,0 +1,168 @@
+//! `simulate` — run the chunk-level streaming simulator on a broadcast scheme.
+
+use crate::args::ArgList;
+use crate::error::CliError;
+use crate::files;
+use bmp_sim::{ChunkPolicy, Overlay, SimConfig, Simulator, SourceMode};
+use std::io::Write;
+
+pub(crate) fn parse_policy(raw: &str) -> Result<ChunkPolicy, CliError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "random" | "random-useful" => Ok(ChunkPolicy::RandomUseful),
+        "sequential" | "in-order" => Ok(ChunkPolicy::Sequential),
+        "latest" | "latest-useful" => Ok(ChunkPolicy::LatestUseful),
+        "rarest" | "rarest-first" => Ok(ChunkPolicy::RarestFirst),
+        other => Err(CliError::Usage(format!(
+            "unknown chunk policy {other:?} (expected random, sequential, latest or rarest)"
+        ))),
+    }
+}
+
+/// Runs the `simulate` subcommand.
+///
+/// Flags: `--scheme FILE` (required), `--chunks N` (default 300), `--policy NAME` (default
+/// random), `--seed S` (default the engine default), `--jitter J` (default 0), `--live RATE`
+/// (live-stream source at the given production rate instead of a file broadcast), `--trace`
+/// (print the worst-receiver progress every 50 rounds).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the scheme cannot be read or a flag is malformed.
+pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    let scheme = files::read_scheme(args.require("--scheme")?)?;
+    let nominal = scheme.throughput();
+    let overlay = Overlay::from_scheme(&scheme);
+
+    let mut config = SimConfig {
+        num_chunks: args.get_parsed("--chunks", 300usize)?,
+        jitter: args.get_parsed("--jitter", 0.0)?,
+        policy: parse_policy(args.get("--policy").unwrap_or("random"))?,
+        ..SimConfig::default()
+    };
+    config.seed = args.get_parsed("--seed", config.seed)?;
+    if let Some(rate) = args.get("--live") {
+        let rate: f64 = rate
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid live rate {rate:?}")))?;
+        config.source_mode = SourceMode::Live { rate };
+    }
+    let config = config.scaled_to(nominal, 2.0);
+
+    let simulator = Simulator::new(overlay, config);
+    writeln!(
+        out,
+        "simulating {} chunks over {} edges (policy {}, nominal throughput {:.4})",
+        config.num_chunks,
+        simulator.overlay().edges().len(),
+        config.policy.label(),
+        nominal
+    )?;
+
+    let report = if args.has("--trace") {
+        let (report, trace) = simulator.run_traced(50);
+        for (time, progress) in trace.worst_progress_series() {
+            writeln!(out, "  t = {time:>8.2}  worst progress {:.1}%", progress * 100.0)?;
+        }
+        report
+    } else {
+        simulator.run()
+    };
+
+    writeln!(out, "rounds simulated : {}", report.rounds_run)?;
+    writeln!(out, "all completed    : {}", report.all_completed())?;
+    match report.min_achieved_rate() {
+        Some(rate) => {
+            writeln!(out, "worst delivery rate : {rate:.4} ({:.1}% of nominal)", 100.0 * rate / nominal)?;
+        }
+        None => {
+            writeln!(
+                out,
+                "worst delivery rate : n/a (slowest receiver got {:.1}% of the message)",
+                100.0 * report.worst_progress()
+            )?;
+        }
+    }
+    if let Some(makespan) = report.makespan() {
+        writeln!(out, "makespan         : {makespan:.2}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::testutil::temp_path;
+    use bmp_core::AcyclicGuardedSolver;
+    use bmp_platform::paper::figure1;
+
+    fn scheme_path() -> String {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let path = temp_path("sim-scheme.json").to_str().unwrap().to_string();
+        files::write_scheme(&path, &solution.scheme).unwrap();
+        path
+    }
+
+    fn run_args(args: Vec<String>) -> Result<String, CliError> {
+        let list = ArgList::parse(&args)?;
+        let mut out = Vec::new();
+        run(&list, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn simulates_a_file_broadcast() {
+        let path = scheme_path();
+        let output = run_args(vec![
+            "--scheme".into(), path.clone(),
+            "--chunks".into(), "150".into(),
+            "--seed".into(), "9".into(),
+        ])
+        .unwrap();
+        assert!(output.contains("all completed    : true"));
+        assert!(output.contains("worst delivery rate"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn simulates_with_trace_and_policy() {
+        let path = scheme_path();
+        let output = run_args(vec![
+            "--scheme".into(), path.clone(),
+            "--chunks".into(), "100".into(),
+            "--policy".into(), "rarest".into(),
+            "--trace".into(),
+        ])
+        .unwrap();
+        assert!(output.contains("policy rarest-first"));
+        assert!(output.contains("worst progress"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn live_mode_and_bad_flags() {
+        let path = scheme_path();
+        let ok = run_args(vec![
+            "--scheme".into(), path.clone(),
+            "--chunks".into(), "100".into(),
+            "--live".into(), "3.5".into(),
+        ]);
+        assert!(ok.is_ok());
+        assert!(matches!(
+            run_args(vec!["--scheme".into(), path.clone(), "--live".into(), "fast".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_args(vec!["--scheme".into(), path.clone(), "--policy".into(), "bogus".into()]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn all_policy_names_parse() {
+        for name in ["random", "random-useful", "sequential", "in-order", "latest", "rarest-first"] {
+            assert!(parse_policy(name).is_ok(), "{name}");
+        }
+        assert!(parse_policy("fifo").is_err());
+    }
+}

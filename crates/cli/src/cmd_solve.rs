@@ -1,0 +1,127 @@
+//! `solve` — compute a low-degree broadcast overlay for an instance.
+
+use crate::args::ArgList;
+use crate::error::CliError;
+use crate::files;
+use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
+use bmp_core::export::scheme_to_dot;
+use bmp_core::AcyclicGuardedSolver;
+use std::io::Write;
+
+/// Runs the `solve` subcommand.
+///
+/// Flags: `--instance FILE` (required), `--cyclic` (use the cyclic construction of Theorem 5.2,
+/// open-only instances), `--tolerance EPS` (dichotomic search precision, default `1e-9`),
+/// `--out FILE` (write the scheme as JSON), `--dot FILE` (write a Graphviz rendering).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the instance cannot be read, the cyclic construction is asked
+/// for an instance with guarded nodes, or an output file cannot be written.
+pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    let instance = files::read_instance(args.require("--instance")?)?;
+    let tolerance: f64 = args.get_parsed("--tolerance", 1e-9)?;
+
+    let (scheme, throughput, label) = if args.has("--cyclic") {
+        let (scheme, throughput) = cyclic_open_optimal_scheme(&instance)?;
+        (scheme, throughput, "cyclic (Theorem 5.2)")
+    } else {
+        let solution = AcyclicGuardedSolver::with_tolerance(tolerance).solve(&instance);
+        writeln!(out, "coding word: {}", solution.word)?;
+        (solution.scheme, solution.throughput, "acyclic (Theorem 4.1)")
+    };
+
+    writeln!(out, "algorithm  : {label}")?;
+    writeln!(out, "throughput : {throughput:.6}")?;
+    writeln!(out, "verified   : {:.6} (max-flow)", scheme.throughput())?;
+    writeln!(out, "feasible   : {}", scheme.is_feasible())?;
+    writeln!(out, "acyclic    : {}", scheme.is_acyclic())?;
+    writeln!(out, "edges      : {}", scheme.edges().len())?;
+    let degrees = scheme.outdegrees();
+    writeln!(
+        out,
+        "outdegrees : {:?} (max excess over ceil(b_i/T): {})",
+        degrees,
+        scheme.max_degree_excess(throughput)
+    )?;
+
+    if let Some(path) = args.get("--out") {
+        files::write_scheme(path, &scheme)?;
+        writeln!(out, "wrote scheme to {path}")?;
+    }
+    if let Some(path) = args.get("--dot") {
+        files::write_text(path, &scheme_to_dot(&scheme))?;
+        writeln!(out, "wrote Graphviz rendering to {path}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::testutil::temp_path;
+    use bmp_platform::paper::figure1;
+    use bmp_platform::Instance;
+
+    fn run_args(args: &[String]) -> Result<String, CliError> {
+        let list = ArgList::parse(args)?;
+        let mut out = Vec::new();
+        run(&list, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn write_figure1() -> String {
+        let path = temp_path("solve-instance.json");
+        let path_str = path.to_str().unwrap().to_string();
+        files::write_instance(&path_str, &figure1()).unwrap();
+        path_str
+    }
+
+    #[test]
+    fn solves_the_running_example_acyclically() {
+        let instance_path = write_figure1();
+        let scheme_path = temp_path("solve-scheme.json").to_str().unwrap().to_string();
+        let dot_path = temp_path("solve.dot").to_str().unwrap().to_string();
+        let output = run_args(&[
+            "--instance".into(), instance_path.clone(),
+            "--out".into(), scheme_path.clone(),
+            "--dot".into(), dot_path.clone(),
+        ])
+        .unwrap();
+        assert!(output.contains("acyclic (Theorem 4.1)"));
+        assert!(output.contains("throughput : 4.0"));
+        assert!(output.contains("feasible   : true"));
+        assert!(output.contains("coding word"));
+        let scheme = files::read_scheme(&scheme_path).unwrap();
+        assert!(scheme.is_feasible());
+        let dot = std::fs::read_to_string(&dot_path).unwrap();
+        assert!(dot.starts_with("digraph"));
+        for path in [instance_path, scheme_path, dot_path] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn cyclic_solve_works_on_open_only_instances() {
+        let path = temp_path("solve-open.json").to_str().unwrap().to_string();
+        let instance = Instance::open_only(5.0, vec![5.0, 5.0, 3.0, 2.0]).unwrap();
+        files::write_instance(&path, &instance).unwrap();
+        let output = run_args(&["--instance".into(), path.clone(), "--cyclic".into()]).unwrap();
+        assert!(output.contains("cyclic (Theorem 5.2)"));
+        assert!(output.contains("feasible   : true"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cyclic_solve_rejects_guarded_instances() {
+        let path = write_figure1();
+        let err = run_args(&["--instance".into(), path.clone(), "--cyclic".into()]).unwrap_err();
+        assert!(matches!(err, CliError::Algorithm(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_instance_flag() {
+        assert!(matches!(run_args(&[]), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,140 @@
+//! Reading and writing the CLI's JSON artefacts (instances and broadcast schemes).
+
+use crate::error::CliError;
+use bmp_core::scheme::BroadcastScheme;
+use bmp_platform::Instance;
+use std::fs;
+use std::path::Path;
+
+/// Reads a platform instance from a JSON file produced by [`write_instance`] (or by any code
+/// serialising [`Instance`] with serde).
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the file cannot be read and [`CliError::Json`] when it does
+/// not contain a valid instance.
+pub fn read_instance(path: &str) -> Result<Instance, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read instance file {path}: {e}")))?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// Writes a platform instance as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the file cannot be written.
+pub fn write_instance(path: &str, instance: &Instance) -> Result<(), CliError> {
+    write_text(path, &serde_json::to_string_pretty(instance)?)
+}
+
+/// Reads a broadcast scheme (which embeds its instance) from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the file cannot be read and [`CliError::Json`] when it does
+/// not contain a valid scheme.
+pub fn read_scheme(path: &str) -> Result<BroadcastScheme, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read scheme file {path}: {e}")))?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// Writes a broadcast scheme as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the file cannot be written.
+pub fn write_scheme(path: &str, scheme: &BroadcastScheme) -> Result<(), CliError> {
+    write_text(path, &serde_json::to_string_pretty(scheme)?)
+}
+
+/// Writes raw text to `path`, creating parent directories when needed.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the file cannot be written.
+pub fn write_text(path: &str, text: &str) -> Result<(), CliError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)
+                .map_err(|e| CliError::Io(format!("cannot create directory {parent:?}: {e}")))?;
+        }
+    }
+    fs::write(path, text).map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Helpers for the CLI unit tests: unique temporary paths.
+
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique path in the system temporary directory (not created).
+    pub fn temp_path(tag: &str) -> PathBuf {
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("bmp-cli-test-{}-{id}-{tag}", std::process::id()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+    use bmp_platform::paper::figure1;
+    use testutil::temp_path;
+
+    #[test]
+    fn instance_roundtrip() {
+        let path = temp_path("instance.json");
+        let path = path.to_str().unwrap();
+        write_instance(path, &figure1()).unwrap();
+        let back = read_instance(path).unwrap();
+        assert_eq!(back.n(), 2);
+        assert_eq!(back.m(), 3);
+        assert_eq!(back.source_bandwidth(), 6.0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scheme_roundtrip() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let path = temp_path("scheme.json");
+        let path = path.to_str().unwrap();
+        write_scheme(path, &solution.scheme).unwrap();
+        let back = read_scheme(path).unwrap();
+        assert_eq!(back.instance().num_nodes(), 6);
+        assert_eq!(back.edges().len(), solution.scheme.edges().len());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_instance("/nonexistent/bmp/file.json").unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+        let err = read_scheme("/nonexistent/bmp/file.json").unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn invalid_json_is_a_json_error() {
+        let path = temp_path("garbage.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(path, "{not json").unwrap();
+        assert!(matches!(read_instance(path).unwrap_err(), CliError::Json(_)));
+        assert!(matches!(read_scheme(path).unwrap_err(), CliError::Json(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn write_text_creates_parent_directories() {
+        let dir = temp_path("nested");
+        let path = dir.join("deep/file.txt");
+        write_text(path.to_str().unwrap(), "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

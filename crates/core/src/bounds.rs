@@ -1,0 +1,225 @@
+//! Closed-form throughput bounds from the paper.
+//!
+//! * Acyclic, open nodes only (Section III-B): `T*_ac = min(b_0, S_{n−1}/n)` where
+//!   `S_k = Σ_{i=0}^{k} b_i`.
+//! * Cyclic, open nodes only (Theorem 5.2): `T* = min(b_0, (b_0 + O)/n)`.
+//! * Cyclic, general case (Lemma 5.1): `T* ≤ min(b_0, (b_0+O)/m, (b_0+O+G)/(n+m))`; the paper
+//!   shows this bound is attained (possibly at the price of arbitrarily large degrees), so it
+//!   is used as the optimal cyclic throughput throughout the experiments, and it is
+//!   cross-checked against the LP oracle on small instances.
+//! * Worst-case ratios: `T*_ac/T* ≥ 1 − 1/n` without guarded nodes (Theorem 6.1), `≥ 5/7`
+//!   in general (Theorem 6.2), and `≤ (1+√41)/8` for the Theorem 6.3 family.
+
+use crate::error::CoreError;
+use bmp_platform::Instance;
+
+/// The tight worst-case ratio `5/7` between acyclic and cyclic optimal throughput
+/// (Theorem 6.2).
+#[must_use]
+pub fn five_sevenths() -> f64 {
+    5.0 / 7.0
+}
+
+/// The asymptotic worst-case ratio `(1+√41)/8 ≈ 0.925` of Theorem 6.3.
+#[must_use]
+pub fn theorem63_limit_ratio() -> f64 {
+    (1.0 + 41.0_f64.sqrt()) / 8.0
+}
+
+/// Lower bound `1 − 1/n` on the acyclic/cyclic ratio for instances without guarded nodes
+/// (Theorem 6.1).
+#[must_use]
+pub fn theorem61_ratio_bound(n: usize) -> f64 {
+    if n == 0 {
+        1.0
+    } else {
+        1.0 - 1.0 / n as f64
+    }
+}
+
+/// Optimal *acyclic* throughput for an instance without guarded nodes:
+/// `min(b_0, S_{n−1}/n)` (Section III-B).
+///
+/// # Errors
+///
+/// Returns [`CoreError::GuardedNodesNotSupported`] when the instance has guarded nodes
+/// (there is no closed form in that case; use the dichotomic search of
+/// [`crate::acyclic_guarded`]).
+pub fn acyclic_open_optimum(instance: &Instance) -> Result<f64, CoreError> {
+    if instance.has_guarded() {
+        return Err(CoreError::GuardedNodesNotSupported {
+            algorithm: "acyclic_open_optimum",
+        });
+    }
+    let n = instance.n();
+    let b0 = instance.source_bandwidth();
+    if n == 0 {
+        return Ok(b0);
+    }
+    // S_{n-1} = b_0 + b_1 + … + b_{n-1} (the smallest open node b_n is excluded).
+    let s_n_minus_1 = instance.prefix_sum(n - 1);
+    Ok(b0.min(s_n_minus_1 / n as f64))
+}
+
+/// Optimal *cyclic* throughput for an instance without guarded nodes:
+/// `min(b_0, (b_0 + O)/n)` (Theorem 5.2).
+///
+/// # Errors
+///
+/// Returns [`CoreError::GuardedNodesNotSupported`] when the instance has guarded nodes.
+pub fn cyclic_open_optimum(instance: &Instance) -> Result<f64, CoreError> {
+    if instance.has_guarded() {
+        return Err(CoreError::GuardedNodesNotSupported {
+            algorithm: "cyclic_open_optimum",
+        });
+    }
+    let n = instance.n();
+    let b0 = instance.source_bandwidth();
+    if n == 0 {
+        return Ok(b0);
+    }
+    Ok(b0.min((b0 + instance.open_sum()) / n as f64))
+}
+
+/// Upper bound of Lemma 5.1 on the cyclic throughput:
+/// `min(b_0, (b_0+O)/m, (b_0+O+G)/(n+m))`.
+///
+/// The paper proves the bound is attained by a (possibly high-degree) cyclic scheme, so this
+/// value is the optimal cyclic throughput `T*` used as the normalisation of every ratio in
+/// the evaluation.
+#[must_use]
+pub fn cyclic_upper_bound(instance: &Instance) -> f64 {
+    let b0 = instance.source_bandwidth();
+    let o = instance.open_sum();
+    let g = instance.guarded_sum();
+    let n = instance.n();
+    let m = instance.m();
+    let mut bound = b0;
+    if m > 0 {
+        bound = bound.min((b0 + o) / m as f64);
+    }
+    if n + m > 0 {
+        bound = bound.min((b0 + o + g) / (n + m) as f64);
+    }
+    bound
+}
+
+/// All closed-form bounds of an instance, bundled for convenience.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Optimal cyclic throughput `T*` (Lemma 5.1, attained).
+    pub cyclic_optimum: f64,
+    /// Optimal acyclic throughput when the instance has no guarded node, `None` otherwise
+    /// (with guarded nodes the optimum has no closed form).
+    pub acyclic_open_optimum: Option<f64>,
+    /// Optimal cyclic throughput restricted to open-only instances, `None` when guarded nodes
+    /// are present.
+    pub cyclic_open_optimum: Option<f64>,
+}
+
+impl Bounds {
+    /// Computes every closed-form bound of `instance`.
+    #[must_use]
+    pub fn of(instance: &Instance) -> Self {
+        Bounds {
+            cyclic_optimum: cyclic_upper_bound(instance),
+            acyclic_open_optimum: acyclic_open_optimum(instance).ok(),
+            cyclic_open_optimum: cyclic_open_optimum(instance).ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_platform::paper::{figure1, figure6, figure18, figure18_tight_epsilon};
+
+    #[test]
+    fn figure1_cyclic_bound_is_4_4() {
+        let bound = cyclic_upper_bound(&figure1());
+        assert!((bound - 4.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure6_cyclic_bound_is_1() {
+        for m in 2..30 {
+            let bound = cyclic_upper_bound(&figure6(m).unwrap());
+            assert!((bound - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure18_cyclic_bound_is_1() {
+        let inst = figure18(figure18_tight_epsilon()).unwrap();
+        assert!((cyclic_upper_bound(&inst) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acyclic_open_formula() {
+        // b = [6, 5, 4, 3]: S_2 = 15, n = 3 → min(6, 5) = 5.
+        let inst = Instance::open_only(6.0, vec![5.0, 4.0, 3.0]).unwrap();
+        assert!((acyclic_open_optimum(&inst).unwrap() - 5.0).abs() < 1e-12);
+        // Source-limited case.
+        let inst = Instance::open_only(2.0, vec![50.0, 40.0, 30.0]).unwrap();
+        assert!((acyclic_open_optimum(&inst).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acyclic_open_rejects_guarded() {
+        let err = acyclic_open_optimum(&figure1()).unwrap_err();
+        assert!(matches!(err, CoreError::GuardedNodesNotSupported { .. }));
+        let err = cyclic_open_optimum(&figure1()).unwrap_err();
+        assert!(matches!(err, CoreError::GuardedNodesNotSupported { .. }));
+    }
+
+    #[test]
+    fn cyclic_open_formula() {
+        // b = [6, 5, 4, 3]: (6 + 12)/3 = 6 → min(6, 6) = 6.
+        let inst = Instance::open_only(6.0, vec![5.0, 4.0, 3.0]).unwrap();
+        assert!((cyclic_open_optimum(&inst).unwrap() - 6.0).abs() < 1e-12);
+        // The cyclic optimum always dominates the acyclic one.
+        assert!(cyclic_open_optimum(&inst).unwrap() >= acyclic_open_optimum(&inst).unwrap());
+    }
+
+    #[test]
+    fn acyclic_vs_cyclic_ratio_bound_open_only() {
+        // Theorem 6.1: the ratio is at least 1 − 1/n.
+        for n in 1..10 {
+            let open: Vec<f64> = (1..=n).map(|i| 1.0 + i as f64).collect();
+            let inst = Instance::open_only(2.0, open).unwrap();
+            let acyclic = acyclic_open_optimum(&inst).unwrap();
+            let cyclic = cyclic_open_optimum(&inst).unwrap();
+            assert!(acyclic / cyclic >= theorem61_ratio_bound(n) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_open_node_bounds() {
+        let inst = Instance::open_only(3.0, vec![10.0]).unwrap();
+        // n = 1: S_0 = b_0 = 3, so both optima equal b_0.
+        assert!((acyclic_open_optimum(&inst).unwrap() - 3.0).abs() < 1e-12);
+        assert!((cyclic_open_optimum(&inst).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_bundle() {
+        let bounds = Bounds::of(&figure1());
+        assert!((bounds.cyclic_optimum - 4.4).abs() < 1e-12);
+        assert!(bounds.acyclic_open_optimum.is_none());
+        assert!(bounds.cyclic_open_optimum.is_none());
+        let inst = Instance::open_only(6.0, vec![5.0, 4.0, 3.0]).unwrap();
+        let bounds = Bounds::of(&inst);
+        assert_eq!(bounds.acyclic_open_optimum, Some(5.0));
+        assert_eq!(bounds.cyclic_open_optimum, Some(6.0));
+        assert!((bounds.cyclic_optimum - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants() {
+        assert!((five_sevenths() - 0.714_285_714).abs() < 1e-6);
+        assert!((theorem63_limit_ratio() - 0.925_39).abs() < 1e-4);
+        assert_eq!(theorem61_ratio_bound(0), 1.0);
+        assert_eq!(theorem61_ratio_bound(1), 0.0);
+        assert!((theorem61_ratio_bound(4) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Churn analysis: what happens to a broadcast scheme when participating nodes leave.
+//!
+//! The paper's conclusion notes that the computed overlays "should be resilient to small
+//! variations in the communication performance of nodes. However [they are] probably not
+//! resilient to churn." This module quantifies both halves of that remark:
+//!
+//! * [`residual_throughput`] measures how much of the nominal rate survives when a set of
+//!   nodes disappears while the overlay stays unchanged (typically: a large drop — the
+//!   static overlay is *not* churn-resilient);
+//! * [`repair`] removes the departed nodes from the instance, re-runs the acyclic solver and
+//!   reports the new optimum, i.e. the price of a recomputation (typically: small — the
+//!   algorithms are fast enough to be re-run on every membership change).
+
+use crate::acyclic_guarded::{AcyclicGuardedSolver, AcyclicSolution};
+use crate::scheme::{BroadcastScheme, RATE_EPS};
+use bmp_flow::{dinic_max_flow, FlowNetwork};
+use bmp_platform::{Instance, NodeId};
+
+/// Throughput of `scheme` restricted to the surviving nodes: departed nodes neither send nor
+/// receive nor relay, and departed receivers are not counted in the minimum.
+///
+/// Returns 0 when a surviving receiver is disconnected from the source.
+///
+/// # Panics
+///
+/// Panics if the source (node 0) is listed among the departed nodes.
+#[must_use]
+pub fn residual_throughput(scheme: &BroadcastScheme, departed: &[NodeId]) -> f64 {
+    let instance = scheme.instance();
+    let n = instance.num_nodes();
+    let mut alive = vec![true; n];
+    for &node in departed {
+        assert_ne!(node, 0, "the source cannot depart");
+        if node < n {
+            alive[node] = false;
+        }
+    }
+    let mut network = FlowNetwork::new(n);
+    for (from, to, rate) in scheme.edges() {
+        if alive[from] && alive[to] && rate > RATE_EPS {
+            network.add_edge(from, to, rate);
+        }
+    }
+    let mut throughput = f64::INFINITY;
+    for receiver in instance.receivers() {
+        if !alive[receiver] {
+            continue;
+        }
+        throughput = throughput.min(dinic_max_flow(&network, 0, receiver).value);
+    }
+    if throughput.is_finite() {
+        throughput
+    } else {
+        0.0
+    }
+}
+
+/// Result of repairing an overlay after departures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The reduced instance (departed nodes removed).
+    pub instance: Instance,
+    /// The freshly computed acyclic solution on the reduced instance.
+    pub solution: AcyclicSolution,
+    /// Mapping from surviving original node ids to ids in the reduced instance.
+    pub id_map: Vec<(NodeId, NodeId)>,
+}
+
+/// Rebuilds an instance without the departed nodes and re-runs the acyclic solver.
+///
+/// Returns `None` when no receiver survives.
+///
+/// # Panics
+///
+/// Panics if the source is listed among the departed nodes.
+#[must_use]
+pub fn repair(
+    instance: &Instance,
+    departed: &[NodeId],
+    solver: &AcyclicGuardedSolver,
+) -> Option<RepairOutcome> {
+    let mut alive = vec![true; instance.num_nodes()];
+    for &node in departed {
+        assert_ne!(node, 0, "the source cannot depart");
+        if node < instance.num_nodes() {
+            alive[node] = false;
+        }
+    }
+    let open: Vec<(NodeId, f64)> = instance
+        .open_indices()
+        .filter(|&i| alive[i])
+        .map(|i| (i, instance.bandwidth(i)))
+        .collect();
+    let guarded: Vec<(NodeId, f64)> = instance
+        .guarded_indices()
+        .filter(|&i| alive[i])
+        .map(|i| (i, instance.bandwidth(i)))
+        .collect();
+    if open.is_empty() && guarded.is_empty() {
+        return None;
+    }
+    // The surviving nodes keep their relative (sorted) order within each class, so the
+    // reduced instance is already sorted and the id mapping is positional.
+    let reduced = Instance::new_presorted(
+        instance.source_bandwidth(),
+        open.iter().map(|&(_, b)| b).collect(),
+        guarded.iter().map(|&(_, b)| b).collect(),
+    )
+    .ok()?;
+    let mut id_map = vec![(0, 0)];
+    for (new_index, &(old_id, _)) in open.iter().enumerate() {
+        id_map.push((old_id, new_index + 1));
+    }
+    for (new_index, &(old_id, _)) in guarded.iter().enumerate() {
+        id_map.push((old_id, reduced.n() + new_index + 1));
+    }
+    let solution = solver.solve(&reduced);
+    Some(RepairOutcome {
+        instance: reduced,
+        solution,
+        id_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_platform::paper::figure1;
+
+    #[test]
+    fn departure_of_a_relay_collapses_the_static_overlay() {
+        // In the Figure 1 solution the guarded node C3 relays a large share of the rate: if
+        // it leaves and the overlay is not recomputed, the surviving receivers starve.
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&figure1());
+        let nominal = solution.throughput;
+        let residual = residual_throughput(&solution.scheme, &[3]);
+        assert!(
+            residual < 0.75 * nominal,
+            "residual {residual} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn departure_of_a_leaf_is_harmless() {
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&figure1());
+        // C5 is the last guarded node: it relays little, so removing it barely matters for
+        // the others.
+        let residual = residual_throughput(&solution.scheme, &[5]);
+        assert!(residual + 1e-9 >= 0.9 * solution.throughput);
+    }
+
+    #[test]
+    fn no_departure_keeps_the_nominal_throughput() {
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&figure1());
+        let residual = residual_throughput(&solution.scheme, &[]);
+        assert!((residual - solution.scheme.throughput()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repair_restores_a_feasible_low_degree_overlay() {
+        let solver = AcyclicGuardedSolver::default();
+        let instance = figure1();
+        let outcome = repair(&instance, &[3], &solver).unwrap();
+        assert_eq!(outcome.instance.num_receivers(), 4);
+        assert_eq!(outcome.instance.m(), 2);
+        assert!(outcome.solution.scheme.is_feasible());
+        // The repaired throughput is the optimum of the reduced platform and is certified by
+        // max-flow.
+        assert!(outcome.solution.scheme.throughput() + 1e-6 >= outcome.solution.throughput);
+        // The id map covers the source and the four survivors.
+        assert_eq!(outcome.id_map.len(), 5);
+        assert!(outcome.id_map.iter().all(|&(old, _)| old != 3));
+    }
+
+    #[test]
+    fn repair_after_all_receivers_depart_is_none() {
+        let solver = AcyclicGuardedSolver::default();
+        let instance = figure1();
+        assert!(repair(&instance, &[1, 2, 3, 4, 5], &solver).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "source cannot depart")]
+    fn source_departure_is_rejected() {
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&figure1());
+        let _ = residual_throughput(&solution.scheme, &[0]);
+        let _ = repair(&figure1(), &[0], &solver);
+    }
+}

@@ -1,0 +1,362 @@
+//! Cyclic broadcast for instances without guarded nodes (Theorem 5.2).
+//!
+//! The optimal cyclic throughput without guarded nodes is `T* = min(b_0, (b_0+O)/n)`, which
+//! can exceed the acyclic optimum because the smallest node's bandwidth no longer has to be
+//! wasted. The constructive algorithm of the paper proceeds in two phases:
+//!
+//! 1. run Algorithm 1 until the first index `i_0` with `S_{i_0−1} < i_0·T` (if there is no
+//!    such index the acyclic scheme already reaches `T`);
+//! 2. starting from that `(i_0−1)`-partial solution, insert the remaining nodes one by one
+//!    with local flow re-routings (the "initial case" inserts `C_{i_0}` and `C_{i_0+1}`
+//!    together, the "induction case" inserts each subsequent node), keeping the invariant
+//!    that consecutive inserted nodes exchange a total flow of exactly `T`.
+//!
+//! Every node of the resulting scheme has outdegree at most `max(⌈b_i/T⌉ + 2, 4)`.
+
+use crate::bounds::cyclic_open_optimum;
+use crate::error::CoreError;
+use crate::scheme::{BroadcastScheme, RATE_EPS};
+use bmp_flow::eps;
+use bmp_platform::Instance;
+
+/// Builds a cyclic scheme of throughput `throughput` for an instance without guarded nodes.
+///
+/// # Errors
+///
+/// * [`CoreError::GuardedNodesNotSupported`] if the instance has guarded nodes,
+/// * [`CoreError::InfeasibleThroughput`] if `throughput > min(b_0, (b_0+O)/n)`.
+pub fn cyclic_open_scheme(
+    instance: &Instance,
+    throughput: f64,
+) -> Result<BroadcastScheme, CoreError> {
+    if instance.has_guarded() {
+        return Err(CoreError::GuardedNodesNotSupported {
+            algorithm: "cyclic construction (Theorem 5.2)",
+        });
+    }
+    let optimum = cyclic_open_optimum(instance)?;
+    if eps::definitely_gt(throughput, optimum) {
+        return Err(CoreError::InfeasibleThroughput {
+            requested: throughput,
+            optimum,
+        });
+    }
+    let t = throughput.min(optimum);
+    let n = instance.n();
+    let mut scheme = BroadcastScheme::new(instance.clone());
+    if t <= 0.0 || n == 0 {
+        return Ok(scheme);
+    }
+
+    // Phase 1: find i0, the first index whose prefix cannot be served acyclically.
+    let i0 = first_deficient_index(instance, t);
+    let Some(i0) = i0 else {
+        // No deficiency: Algorithm 1 directly yields a (acyclic, hence cyclic) scheme.
+        return crate::acyclic_open::acyclic_open_scheme(instance, t);
+    };
+
+    // (i0 − 1)-partial solution: receivers 1..i0−1 served at rate T from senders 0..i0−1 in
+    // order, the leftover (T − M_{i0}) partially feeding C_{i0}.
+    build_partial(instance, t, i0, &mut scheme);
+
+    let missing = |i: usize| -> f64 { i as f64 * t - instance.prefix_sum(i - 1) };
+
+    // Initial case: insert C_{i0} (and C_{i0+1} when it exists).
+    let m_i0 = missing(i0);
+    debug_assert!(m_i0 > -1e-9 && m_i0 <= t + 1e-9);
+    // Donor edge (u, v) with flow at least M_{i0}: the source necessarily sends T ≥ M_{i0} to
+    // C_1 in the partial solution.
+    let (u, v) = (0usize, 1usize);
+    debug_assert!(scheme.rate(u, v) + 1e-9 >= m_i0);
+
+    if i0 == n {
+        // Last node: no C_{i0+1}; apply the initial transformation with α = β = 0.
+        scheme.add_rate(u, v, -m_i0);
+        scheme.add_rate(u, i0, m_i0);
+        if m_i0 > RATE_EPS {
+            scheme.add_rate(i0, v, m_i0);
+        }
+        scheme.prune_dust();
+        return Ok(scheme);
+    }
+
+    let m_next = missing(i0 + 1).max(0.0);
+    let alpha = (m_next - m_i0).max(0.0);
+    let beta = m_next - alpha;
+    let r_i0 = instance.bandwidth(i0) - m_i0;
+
+    // Reroute α of the flow currently entering C_{i0} towards C_{i0+1} (taking it from the
+    // largest donors first so that as few nodes as possible gain an edge).
+    reroute_incoming(&mut scheme, i0, i0 + 1, alpha);
+    // M_{i0} moves from the donor edge (u, v) onto (u, C_{i0}).
+    scheme.add_rate(u, v, -m_i0);
+    scheme.add_rate(u, i0, m_i0);
+    // C_{i0} forwards its whole bandwidth: R + β to C_{i0+1} and M − β back to C_v.
+    if r_i0 + beta > RATE_EPS {
+        scheme.add_rate(i0, i0 + 1, r_i0 + beta);
+    }
+    if m_i0 - beta > RATE_EPS {
+        scheme.add_rate(i0, v, m_i0 - beta);
+    }
+    // C_{i0+1} sends β to C_v and α back to C_{i0}.
+    if beta > RATE_EPS {
+        scheme.add_rate(i0 + 1, v, beta);
+    }
+    if alpha > RATE_EPS {
+        scheme.add_rate(i0 + 1, i0, alpha);
+    }
+
+    // Induction: insert C_{i+1} for i = i0+1, …, n−1.
+    for i in (i0 + 1)..n {
+        let m_next = missing(i + 1).max(0.0);
+        let r_i = instance.bandwidth(i) - missing(i);
+        let c_back = scheme.rate(i, i - 1);
+        let alpha = (m_next - c_back).max(0.0);
+        let beta = m_next - alpha;
+        debug_assert!(alpha <= scheme.rate(i - 1, i) + 1e-9);
+        // Divert part of the exchange between C_{i−1} and C_i through C_{i+1}.
+        scheme.add_rate(i, i - 1, -beta);
+        scheme.add_rate(i - 1, i, -alpha);
+        if alpha > RATE_EPS {
+            scheme.add_rate(i - 1, i + 1, alpha);
+            scheme.add_rate(i + 1, i, alpha);
+        }
+        if r_i + beta > RATE_EPS {
+            scheme.add_rate(i, i + 1, r_i + beta);
+        }
+        if beta > RATE_EPS {
+            scheme.add_rate(i + 1, i - 1, beta);
+        }
+    }
+    scheme.prune_dust();
+    Ok(scheme)
+}
+
+/// Builds the optimal cyclic scheme (`T = min(b_0, (b_0+O)/n)`) and returns it with its
+/// throughput.
+///
+/// # Errors
+///
+/// Returns [`CoreError::GuardedNodesNotSupported`] if the instance has guarded nodes.
+pub fn cyclic_open_optimal_scheme(
+    instance: &Instance,
+) -> Result<(BroadcastScheme, f64), CoreError> {
+    let optimum = cyclic_open_optimum(instance)?;
+    let scheme = cyclic_open_scheme(instance, optimum)?;
+    Ok((scheme, optimum))
+}
+
+/// First index `i ∈ 1..=n` with `S_{i−1} < i·T`, or `None` when the acyclic construction
+/// already works.
+fn first_deficient_index(instance: &Instance, t: f64) -> Option<usize> {
+    let n = instance.n();
+    let mut prefix = 0.0;
+    for i in 1..=n {
+        prefix += instance.bandwidth(i - 1);
+        if eps::definitely_lt(prefix, i as f64 * t) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Fills the `(i0 − 1)`-partial solution: receivers `1..i0−1` fully served at rate `t` by the
+/// senders `0..i0−1` taken in order, the remainder going to `C_{i0}`.
+fn build_partial(instance: &Instance, t: f64, i0: usize, scheme: &mut BroadcastScheme) {
+    let tol = 1e-12 * t.max(1.0);
+    let mut receiver = 1usize;
+    let mut need = t;
+    for sender in 0..i0 {
+        let mut supply = instance.bandwidth(sender);
+        while supply > tol && receiver <= i0 {
+            let transfer = need.min(supply);
+            if transfer > tol {
+                scheme.add_rate(sender, receiver, transfer);
+            }
+            need -= transfer;
+            supply -= transfer;
+            if need <= tol {
+                receiver += 1;
+                need = t;
+            }
+        }
+    }
+}
+
+/// Moves `amount` of the flow currently entering `target` so that it enters `new_target`
+/// instead, taking it from the largest contributing edges first.
+fn reroute_incoming(scheme: &mut BroadcastScheme, target: usize, new_target: usize, amount: f64) {
+    if amount <= RATE_EPS {
+        return;
+    }
+    let mut donors: Vec<(usize, f64)> = (0..scheme.instance().num_nodes())
+        .filter(|&u| u != target && u != new_target)
+        .map(|u| (u, scheme.rate(u, target)))
+        .filter(|&(_, r)| r > RATE_EPS)
+        .collect();
+    donors.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut left = amount;
+    for (donor, rate) in donors {
+        if left <= RATE_EPS {
+            break;
+        }
+        let moved = rate.min(left);
+        scheme.add_rate(donor, target, -moved);
+        scheme.add_rate(donor, new_target, moved);
+        left -= moved;
+    }
+    debug_assert!(
+        left <= 1e-6,
+        "could not reroute {left} of the incoming flow of node {target}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_platform::paper::{figure1, figure11, figure14};
+
+    /// Full feasibility + throughput + degree-bound check of Theorem 5.2.
+    fn check(instance: &Instance, t: f64) -> BroadcastScheme {
+        let scheme = cyclic_open_scheme(instance, t).expect("feasible");
+        assert!(scheme.is_feasible(), "violations: {:?}", scheme.validate());
+        let achieved = scheme.throughput();
+        assert!(
+            achieved + 1e-6 >= t,
+            "achieved {achieved} < requested {t} on {:?}",
+            instance.bandwidths()
+        );
+        for node in 0..instance.num_nodes() {
+            let degree = scheme.outdegree(node);
+            let bound = bmp_platform::node::degree_lower_bound(instance.bandwidth(node), t) + 2;
+            assert!(
+                degree <= bound.max(4),
+                "node {node} has degree {degree} > max({bound}, 4)"
+            );
+        }
+        scheme
+    }
+
+    #[test]
+    fn figure11_instance_i0_equals_n() {
+        // b = [5, 5, 3, 2], T = 5: i0 = 3 = n (Figures 11 and 12 of the paper).
+        let inst = figure11();
+        let (scheme, t) = cyclic_open_optimal_scheme(&inst).unwrap();
+        assert!((t - 5.0).abs() < 1e-12);
+        assert!(scheme.is_feasible());
+        assert!((scheme.throughput() - 5.0).abs() < 1e-9);
+        // The acyclic optimum is strictly smaller: min(5, 13/3) ≈ 4.33.
+        let acyclic = crate::bounds::acyclic_open_optimum(&inst).unwrap();
+        assert!(acyclic < 5.0 - 1e-9);
+        check(&inst, t);
+    }
+
+    #[test]
+    fn figure14_instance_with_induction_steps() {
+        // b = [5, 5, 4, 4, 4, 3], T = 5: i0 = 3 < n = 5 (Figures 14 to 17).
+        let inst = figure14();
+        let (scheme, t) = cyclic_open_optimal_scheme(&inst).unwrap();
+        assert!((t - 5.0).abs() < 1e-12);
+        assert!((scheme.throughput() - 5.0).abs() < 1e-9);
+        check(&inst, t);
+        // The scheme is genuinely cyclic (back edges between consecutive nodes exist).
+        assert!(!scheme.is_acyclic());
+    }
+
+    #[test]
+    fn no_deficiency_falls_back_to_algorithm_1() {
+        // Large source: the acyclic construction already reaches the cyclic optimum.
+        let inst = Instance::open_only(4.0, vec![4.0, 4.0, 4.0, 4.0]).unwrap();
+        let (scheme, t) = cyclic_open_optimal_scheme(&inst).unwrap();
+        assert!((t - 4.0).abs() < 1e-12);
+        assert!(scheme.is_acyclic());
+        assert!((scheme.throughput() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_instances_reach_cyclic_optimum() {
+        let cases = vec![
+            Instance::open_only(10.0, vec![9.0, 7.0, 3.0, 1.0]).unwrap(),
+            Instance::open_only(6.0, vec![6.0, 6.0, 1.0, 1.0, 1.0]).unwrap(),
+            Instance::open_only(3.0, vec![3.0, 2.0, 2.0, 2.0, 1.0, 0.5]).unwrap(),
+            Instance::open_only(100.0, vec![1.0; 12]).unwrap(),
+            Instance::open_only(2.0, vec![5.0, 0.1]).unwrap(),
+            // i0 < n: the induction case of Theorem 5.2 runs for two steps.
+            Instance::open_only(5.0, vec![5.0, 4.0, 4.0, 4.0, 4.0, 3.0]).unwrap(),
+            Instance::open_only(4.9, vec![1.0, 1.0, 1.0, 1.0, 1.0]).unwrap(),
+        ];
+        for inst in cases {
+            let optimum = cyclic_open_optimum(&inst).unwrap();
+            check(&inst, optimum);
+        }
+    }
+
+    #[test]
+    fn cyclic_beats_acyclic_when_last_node_matters() {
+        // One tiny node: acyclically its bandwidth is wasted, cyclically it is not.
+        let inst = Instance::open_only(4.0, vec![4.0, 4.0, 4.0]).unwrap();
+        let acyclic = crate::bounds::acyclic_open_optimum(&inst).unwrap();
+        let cyclic = cyclic_open_optimum(&inst).unwrap();
+        assert!((acyclic - 4.0).abs() < 1e-12);
+        assert!((cyclic - 4.0).abs() < 1e-12);
+        let inst = Instance::open_only(10.0, vec![4.0, 4.0, 1.0]).unwrap();
+        let acyclic = crate::bounds::acyclic_open_optimum(&inst).unwrap();
+        let cyclic = cyclic_open_optimum(&inst).unwrap();
+        assert!((acyclic - 6.0).abs() < 1e-12);
+        assert!(cyclic > acyclic + 0.3);
+        check(&inst, cyclic);
+    }
+
+    #[test]
+    fn sub_optimal_targets_also_work() {
+        let inst = figure14();
+        for t in [1.0, 2.5, 4.0, 4.9, 5.0] {
+            check(&inst, t);
+        }
+    }
+
+    #[test]
+    fn rejects_guarded_instances_and_infeasible_targets() {
+        assert!(matches!(
+            cyclic_open_scheme(&figure1(), 1.0).unwrap_err(),
+            CoreError::GuardedNodesNotSupported { .. }
+        ));
+        let inst = figure11();
+        assert!(matches!(
+            cyclic_open_scheme(&inst, 5.1).unwrap_err(),
+            CoreError::InfeasibleThroughput { .. }
+        ));
+    }
+
+    #[test]
+    fn theorem_6_1_ratio_on_random_like_instances() {
+        // T*_ac / T* ≥ 1 − 1/n for open-only instances.
+        let cases = vec![
+            Instance::open_only(5.0, vec![4.0, 3.0, 2.0, 1.0]).unwrap(),
+            Instance::open_only(2.0, vec![10.0, 1.0, 1.0]).unwrap(),
+            Instance::open_only(7.0, vec![6.5, 6.0, 5.5, 0.1]).unwrap(),
+        ];
+        for inst in cases {
+            let acyclic = crate::bounds::acyclic_open_optimum(&inst).unwrap();
+            let cyclic = cyclic_open_optimum(&inst).unwrap();
+            let bound = crate::bounds::theorem61_ratio_bound(inst.n());
+            assert!(acyclic / cyclic + 1e-12 >= bound);
+        }
+    }
+
+    #[test]
+    fn two_node_instance() {
+        let inst = Instance::open_only(1.0, vec![3.0, 3.0]).unwrap();
+        // Cyclic optimum: min(1, 7/2) = 1.
+        let (scheme, t) = cyclic_open_optimal_scheme(&inst).unwrap();
+        assert!((t - 1.0).abs() < 1e-12);
+        assert!((scheme.throughput() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_throughput() {
+        let inst = figure11();
+        let scheme = cyclic_open_scheme(&inst, 0.0).unwrap();
+        assert!(scheme.edges().is_empty());
+    }
+}

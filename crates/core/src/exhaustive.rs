@@ -1,0 +1,133 @@
+//! Exhaustive ground-truth computation of the optimal acyclic throughput on small instances.
+//!
+//! Lemma 4.2 shows that only *increasing* orders need to be considered, so the optimal
+//! acyclic throughput is the maximum of `T*_ac(π)` over the `C(n+m, m)` coding words `π`.
+//! Enumerating them is exponential but perfectly fine for the small instances used to
+//! validate Algorithm 2 and the dichotomic search.
+
+use crate::word::{optimal_throughput_for_word, CodingWord, Symbol};
+use bmp_platform::Instance;
+
+/// Generates every coding word with `n` open and `m` guarded letters.
+#[must_use]
+pub fn all_words(n: usize, m: usize) -> Vec<CodingWord> {
+    let mut words = Vec::new();
+    let mut current = Vec::with_capacity(n + m);
+    generate(n, m, &mut current, &mut words);
+    words
+}
+
+fn generate(
+    open_left: usize,
+    guarded_left: usize,
+    current: &mut Vec<Symbol>,
+    words: &mut Vec<CodingWord>,
+) {
+    if open_left == 0 && guarded_left == 0 {
+        words.push(CodingWord::from_symbols(current.clone()));
+        return;
+    }
+    if open_left > 0 {
+        current.push(Symbol::Open);
+        generate(open_left - 1, guarded_left, current, words);
+        current.pop();
+    }
+    if guarded_left > 0 {
+        current.push(Symbol::Guarded);
+        generate(open_left, guarded_left - 1, current, words);
+        current.pop();
+    }
+}
+
+/// Optimal acyclic throughput obtained by enumerating every coding word, together with the
+/// best word. Intended for instances with at most ~20 receivers.
+#[must_use]
+pub fn optimal_acyclic_exhaustive(instance: &Instance, tolerance: f64) -> (f64, CodingWord) {
+    let words = all_words(instance.n(), instance.m());
+    let mut best = (0.0_f64, CodingWord::empty());
+    for word in words {
+        let t = optimal_throughput_for_word(instance, &word, tolerance);
+        if t > best.0 {
+            best = (t, word);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic_guarded::AcyclicGuardedSolver;
+    use bmp_platform::paper::{figure1, figure18, figure18_tight_epsilon};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn word_enumeration_counts() {
+        assert_eq!(all_words(0, 0).len(), 1);
+        assert_eq!(all_words(2, 0).len(), 1);
+        assert_eq!(all_words(2, 3).len(), 10);
+        assert_eq!(all_words(3, 3).len(), 20);
+        assert_eq!(all_words(4, 2).len(), 15);
+        // Every generated word has the requested composition and they are all distinct.
+        let words = all_words(3, 2);
+        assert!(words.iter().all(|w| w.num_open() == 3 && w.num_guarded() == 2));
+        let unique: std::collections::HashSet<String> =
+            words.iter().map(ToString::to_string).collect();
+        assert_eq!(unique.len(), words.len());
+    }
+
+    #[test]
+    fn exhaustive_matches_dichotomic_on_figure1() {
+        let inst = figure1();
+        let (exhaustive, _) = optimal_acyclic_exhaustive(&inst, 1e-10);
+        let (dichotomic, _) = AcyclicGuardedSolver::default().optimal_throughput(&inst);
+        assert!((exhaustive - 4.0).abs() < 1e-6);
+        assert!((exhaustive - dichotomic).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exhaustive_matches_dichotomic_on_figure18() {
+        let inst = figure18(figure18_tight_epsilon()).unwrap();
+        let (exhaustive, _) = optimal_acyclic_exhaustive(&inst, 1e-10);
+        let (dichotomic, _) = AcyclicGuardedSolver::default().optimal_throughput(&inst);
+        assert!((exhaustive - dichotomic).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exhaustive_matches_dichotomic_on_random_small_instances() {
+        // The central correctness check for Algorithm 2 + dichotomic search (Lemma 4.5): the
+        // greedy feasibility test must agree with brute force over all increasing orders.
+        let mut rng = StdRng::seed_from_u64(0xACDC);
+        let solver = AcyclicGuardedSolver::default();
+        for trial in 0..60 {
+            let n = rng.gen_range(0..=4usize);
+            let m = rng.gen_range(0..=4usize);
+            if n + m == 0 {
+                continue;
+            }
+            let b0 = rng.gen_range(0.5..5.0);
+            let open: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..5.0)).collect();
+            let guarded: Vec<f64> = (0..m).map(|_| rng.gen_range(0.1..5.0)).collect();
+            let inst = Instance::new(b0, open, guarded).unwrap();
+            let (exhaustive, _) = optimal_acyclic_exhaustive(&inst, 1e-11);
+            let (dichotomic, _) = solver.optimal_throughput(&inst);
+            assert!(
+                (exhaustive - dichotomic).abs() < 1e-5 * exhaustive.max(1.0),
+                "trial {trial}: exhaustive {exhaustive} vs dichotomic {dichotomic} on {:?}",
+                inst.bandwidths()
+            );
+        }
+    }
+
+    #[test]
+    fn best_word_realises_the_optimum() {
+        let inst = figure1();
+        let (t, word) = optimal_acyclic_exhaustive(&inst, 1e-10);
+        let scheme = AcyclicGuardedSolver::default()
+            .scheme_for_word(&inst, t - 1e-9, &word)
+            .unwrap();
+        assert!(scheme.is_feasible());
+        assert!(scheme.throughput() + 1e-6 >= t);
+    }
+}

@@ -1,0 +1,155 @@
+//! Exporting broadcast schemes to external formats (Graphviz DOT, CSV).
+//!
+//! The overlays computed by this crate are meant to be consumed by other systems: a tracker
+//! that instructs peers which connections to open, a visualisation, a spreadsheet. This module
+//! renders a [`BroadcastScheme`] as
+//!
+//! * a Graphviz DOT digraph ([`scheme_to_dot`]) — source, open and guarded nodes use distinct
+//!   shapes/colors, every edge is labelled with its allocated rate,
+//! * a CSV edge list ([`scheme_to_csv`]) with one row per overlay connection,
+//! * a CSV node summary ([`degrees_to_csv`]) with the bandwidth, outdegree and degree bound of
+//!   every node.
+
+use crate::scheme::BroadcastScheme;
+use bmp_platform::node::degree_lower_bound;
+use bmp_platform::NodeClass;
+use std::fmt::Write as _;
+
+/// Renders the scheme as a Graphviz DOT digraph.
+///
+/// Node `C0` (the source) is drawn as a double circle, open nodes as circles and guarded nodes
+/// as boxes; every edge carries its rate as a label. The output can be piped straight into
+/// `dot -Tsvg`.
+#[must_use]
+pub fn scheme_to_dot(scheme: &BroadcastScheme) -> String {
+    let instance = scheme.instance();
+    let mut out = String::new();
+    out.push_str("digraph broadcast {\n");
+    out.push_str("  rankdir=LR;\n");
+    out.push_str("  node [fontsize=10];\n");
+    for node in instance.nodes() {
+        let (shape, fill) = match node.class {
+            NodeClass::Source => ("doublecircle", "gold"),
+            NodeClass::Open => ("circle", "lightblue"),
+            NodeClass::Guarded => ("box", "lightgray"),
+        };
+        let _ = writeln!(
+            out,
+            "  C{} [shape={shape}, style=filled, fillcolor={fill}, label=\"C{}\\nb={:.3}\"];",
+            node.id, node.id, node.bandwidth
+        );
+    }
+    for (from, to, rate) in scheme.edges() {
+        let _ = writeln!(out, "  C{from} -> C{to} [label=\"{rate:.3}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the scheme's edges as CSV (`from,to,rate`), one row per overlay connection.
+#[must_use]
+pub fn scheme_to_csv(scheme: &BroadcastScheme) -> String {
+    let mut out = String::from("from,to,rate\n");
+    for (from, to, rate) in scheme.edges() {
+        let _ = writeln!(out, "{from},{to},{rate}");
+    }
+    out
+}
+
+/// Renders a per-node summary as CSV: class, bandwidth, outdegree in the scheme, the paper's
+/// degree lower bound `⌈b_i / T⌉` for the given throughput, and the additive excess.
+#[must_use]
+pub fn degrees_to_csv(scheme: &BroadcastScheme, throughput: f64) -> String {
+    let instance = scheme.instance();
+    let mut out = String::from("node,class,bandwidth,outdegree,degree_bound,excess\n");
+    for node in instance.nodes() {
+        let outdegree = scheme.outdegree(node.id);
+        let bound = degree_lower_bound(node.bandwidth, throughput);
+        let class = match node.class {
+            NodeClass::Source => "source",
+            NodeClass::Open => "open",
+            NodeClass::Guarded => "guarded",
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            node.id,
+            class,
+            node.bandwidth,
+            outdegree,
+            bound,
+            outdegree as i64 - bound as i64
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic_guarded::AcyclicGuardedSolver;
+    use bmp_platform::paper::figure1;
+
+    fn solved() -> (BroadcastScheme, f64) {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        (solution.scheme, solution.throughput)
+    }
+
+    #[test]
+    fn dot_output_contains_every_node_and_edge() {
+        let (scheme, _) = solved();
+        let dot = scheme_to_dot(&scheme);
+        assert!(dot.starts_with("digraph broadcast {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for node in 0..6 {
+            assert!(dot.contains(&format!("C{node} [shape=")), "missing node {node}");
+        }
+        for (from, to, _) in scheme.edges() {
+            assert!(dot.contains(&format!("C{from} -> C{to} ")), "missing edge {from}->{to}");
+        }
+        // Source is highlighted, guarded nodes are boxes.
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("shape=box"));
+    }
+
+    #[test]
+    fn dot_of_an_empty_scheme_has_no_edges() {
+        let scheme = BroadcastScheme::new(figure1());
+        let dot = scheme_to_dot(&scheme);
+        assert!(!dot.contains("->"));
+        assert!(dot.contains("C5"));
+    }
+
+    #[test]
+    fn csv_edges_match_scheme_edges() {
+        let (scheme, _) = solved();
+        let csv = scheme_to_csv(&scheme);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("from,to,rate"));
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), scheme.edges().len());
+        for ((from, to, rate), row) in scheme.edges().into_iter().zip(rows) {
+            let fields: Vec<&str> = row.split(',').collect();
+            assert_eq!(fields[0].parse::<usize>().unwrap(), from);
+            assert_eq!(fields[1].parse::<usize>().unwrap(), to);
+            assert!((fields[2].parse::<f64>().unwrap() - rate).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degree_csv_reports_bounds_and_excess() {
+        let (scheme, throughput) = solved();
+        let csv = degrees_to_csv(&scheme, throughput);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "node,class,bandwidth,outdegree,degree_bound,excess");
+        assert_eq!(lines.len(), 7); // header + 6 nodes
+        assert!(lines[1].starts_with("0,source,"));
+        assert!(lines.iter().any(|l| l.contains(",open,")));
+        assert!(lines.iter().any(|l| l.contains(",guarded,")));
+        // Theorem 4.1: excess at most 3 for every node.
+        for line in &lines[1..] {
+            let excess: i64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!(excess <= 3, "line {line}");
+        }
+    }
+}

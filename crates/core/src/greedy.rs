@@ -1,0 +1,237 @@
+//! Algorithm 2 (`GreedyTest`): linear-time feasibility test for the acyclic problem with
+//! guarded nodes.
+//!
+//! Given a target throughput `T`, the algorithm builds a coding word greedily, choosing a
+//! guarded node (`■`) whenever possible and falling back to an open node (`©`) when
+//!
+//! * no open bandwidth remains for a guarded node (`O(π) < T`), or
+//! * appending `■` would leave less than `T` total bandwidth for the following step
+//!   (`O(π) + G(π) + b_next■ < 2T`), or
+//! * a single guarded node remains and the next open node has a larger bandwidth.
+//!
+//! (The printed listing of Algorithm 2 in the paper repeats the `O(π)+G(π) < T` test on its
+//! line 12, which is already performed on line 3; the condition implemented here is the one
+//! stated in the running text and used in the proof of Lemma 9.1.)
+//!
+//! Lemma 4.5 proves the greedy word is valid if and only if `T ≤ T*_ac`, which turns this
+//! test into the decision procedure driving the dichotomic search of
+//! [`crate::acyclic_guarded`].
+
+use crate::word::{CodingWord, Symbol, WordState};
+use bmp_flow::eps;
+use bmp_platform::Instance;
+
+/// Result of [`greedy_test`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GreedyOutcome {
+    /// The throughput is feasible; `word` encodes a valid increasing order and `trace` holds
+    /// the `(O, G, W)` states after every letter (the empty prefix first).
+    Feasible {
+        /// The valid coding word.
+        word: CodingWord,
+        /// States after each prefix (length `n + m + 1`).
+        trace: Vec<WordState>,
+    },
+    /// The throughput is infeasible; the partial word built before failing is returned for
+    /// diagnostics.
+    Infeasible {
+        /// Number of letters placed before the failure.
+        placed: usize,
+        /// The partial word.
+        partial: CodingWord,
+    },
+}
+
+impl GreedyOutcome {
+    /// Whether the outcome is feasible.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, GreedyOutcome::Feasible { .. })
+    }
+
+    /// The word of a feasible outcome, if any.
+    #[must_use]
+    pub fn word(&self) -> Option<&CodingWord> {
+        match self {
+            GreedyOutcome::Feasible { word, .. } => Some(word),
+            GreedyOutcome::Infeasible { .. } => None,
+        }
+    }
+}
+
+/// Runs Algorithm 2 on `instance` for target throughput `throughput`.
+#[must_use]
+pub fn greedy_test(instance: &Instance, throughput: f64) -> GreedyOutcome {
+    let n = instance.n();
+    let m = instance.m();
+    let total = n + m;
+    let mut word = CodingWord::empty();
+    let mut state = WordState::initial(instance);
+    let mut trace = Vec::with_capacity(total + 1);
+    trace.push(state);
+
+    while word.len() < total {
+        // Line 3: not enough bandwidth left for the next node, whatever its class.
+        if eps::definitely_lt(state.total_avail(), throughput) {
+            return GreedyOutcome::Infeasible {
+                placed: word.len(),
+                partial: word,
+            };
+        }
+        let i = state.open_used;
+        let j = state.guarded_used;
+        let mut letter = Symbol::Guarded;
+        if i != n {
+            if j == m {
+                // No guarded node left.
+                letter = Symbol::Open;
+            } else if j == m - 1 {
+                // A single guarded node remains: take the larger of the two candidate nodes,
+                // unless the guarded one cannot be fed right now.
+                let next_guarded_bw = instance.bandwidth(instance.guarded_id(j + 1));
+                let next_open_bw = instance.bandwidth(instance.open_id(i + 1));
+                if eps::definitely_lt(state.open_avail, throughput)
+                    || eps::definitely_lt(next_guarded_bw, next_open_bw)
+                {
+                    letter = Symbol::Open;
+                }
+            } else {
+                // General case: prefer the guarded node unless it cannot be fed now or it
+                // would make the next step infeasible.
+                let next_guarded_bw = instance.bandwidth(instance.guarded_id(j + 1));
+                if eps::definitely_lt(state.open_avail, throughput)
+                    || eps::definitely_lt(
+                        state.total_avail() + next_guarded_bw,
+                        2.0 * throughput,
+                    )
+                {
+                    letter = Symbol::Open;
+                }
+            }
+        }
+        state = state.step(instance, throughput, letter);
+        word.push(letter);
+        trace.push(state);
+        // Line 17: feeding a guarded node exceeded the available open bandwidth.
+        if eps::definitely_lt(state.open_avail, 0.0) {
+            return GreedyOutcome::Infeasible {
+                placed: word.len(),
+                partial: word,
+            };
+        }
+    }
+    GreedyOutcome::Feasible { word, trace }
+}
+
+/// Convenience wrapper: whether `throughput` is acyclically feasible on `instance`.
+#[must_use]
+pub fn is_acyclic_feasible(instance: &Instance, throughput: f64) -> bool {
+    greedy_test(instance, throughput).is_feasible()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::{is_valid_word, optimal_throughput_for_word};
+    use bmp_platform::paper::{figure1, figure18, figure18_tight_epsilon};
+    use bmp_platform::Instance;
+
+    #[test]
+    fn figure1_at_throughput_4_follows_table1() {
+        let inst = figure1();
+        let outcome = greedy_test(&inst, 4.0);
+        let GreedyOutcome::Feasible { word, trace } = outcome else {
+            panic!("throughput 4 must be feasible");
+        };
+        assert_eq!(word.to_string(), "gogog");
+        let open: Vec<f64> = trace.iter().map(|s| s.open_avail).collect();
+        assert_eq!(open, vec![6.0, 2.0, 7.0, 3.0, 5.0, 1.0]);
+        let waste: Vec<f64> = trace.iter().map(|s| s.open_waste).collect();
+        assert_eq!(waste.last().copied().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn figure1_infeasible_above_acyclic_optimum() {
+        let inst = figure1();
+        assert!(!is_acyclic_feasible(&inst, 4.2));
+        assert!(!is_acyclic_feasible(&inst, 4.41));
+        assert!(is_acyclic_feasible(&inst, 3.99));
+        assert!(is_acyclic_feasible(&inst, 4.0));
+    }
+
+    #[test]
+    fn greedy_word_is_always_valid_when_feasible() {
+        let inst = figure1();
+        for t in [0.5, 1.0, 2.0, 3.0, 3.5, 4.0] {
+            let outcome = greedy_test(&inst, t);
+            let word = outcome.word().expect("feasible");
+            assert!(is_valid_word(&inst, t, word), "T = {t}");
+        }
+    }
+
+    #[test]
+    fn infeasible_outcome_reports_partial_word() {
+        let inst = figure1();
+        let outcome = greedy_test(&inst, 5.0);
+        let GreedyOutcome::Infeasible { placed, partial } = outcome else {
+            panic!("throughput 5 must be infeasible (cyclic optimum is 4.4)");
+        };
+        assert_eq!(placed, partial.len());
+        assert!(partial.len() < 5);
+    }
+
+    #[test]
+    fn open_only_instances_reduce_to_algorithm_1_bound() {
+        // Without guarded nodes the greedy word is ©…© and feasibility matches the closed
+        // form min(b0, S_{n-1}/n).
+        let inst = Instance::open_only(6.0, vec![5.0, 4.0, 3.0]).unwrap();
+        let optimum = crate::bounds::acyclic_open_optimum(&inst).unwrap();
+        assert!(is_acyclic_feasible(&inst, optimum - 1e-9));
+        assert!(!is_acyclic_feasible(&inst, optimum + 1e-6));
+        let word = greedy_test(&inst, optimum - 1e-9).word().cloned().unwrap();
+        assert_eq!(word.to_string(), "ooo");
+    }
+
+    #[test]
+    fn guarded_only_instances() {
+        // All receivers guarded: every one must be fed directly by the source.
+        let inst = Instance::new(6.0, vec![], vec![1.0, 1.0, 1.0]).unwrap();
+        assert!(is_acyclic_feasible(&inst, 2.0));
+        assert!(!is_acyclic_feasible(&inst, 2.1));
+    }
+
+    #[test]
+    fn figure18_acyclic_optimum_is_five_sevenths() {
+        let inst = figure18(figure18_tight_epsilon()).unwrap();
+        let target = 5.0 / 7.0;
+        assert!(is_acyclic_feasible(&inst, target - 1e-9));
+        assert!(!is_acyclic_feasible(&inst, target + 1e-6));
+    }
+
+    #[test]
+    fn greedy_matches_per_word_optimum_on_figure1() {
+        // The greedy word at T = 4 attains T*_ac(word) = 4; the dichotomic search in
+        // `acyclic_guarded` relies on this agreement.
+        let inst = figure1();
+        let word = greedy_test(&inst, 4.0).word().cloned().unwrap();
+        let t = optimal_throughput_for_word(&inst, &word, 1e-12);
+        assert!((t - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn last_guarded_node_rule_prefers_larger_bandwidth() {
+        // One guarded node of small bandwidth and open nodes of large bandwidth: with a
+        // single guarded node left, the algorithm must take the open nodes first when they
+        // are larger.
+        let inst = Instance::new(4.0, vec![4.0, 4.0], vec![0.5]).unwrap();
+        let outcome = greedy_test(&inst, 4.0);
+        let word = outcome.word().expect("feasible").to_string();
+        assert_eq!(word, "oog");
+    }
+
+    #[test]
+    fn zero_throughput_is_feasible() {
+        let inst = figure1();
+        assert!(is_acyclic_feasible(&inst, 0.0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Linear-programming ground-truth oracle for small instances.
+//!
+//! The broadcast throughput of a capacitated digraph equals the minimum over receivers of the
+//! max-flow from the source (Edmonds' tree-packing theorem, as used in Section II-D of the
+//! paper). Maximising the throughput over all feasible rate matrices `c` is therefore the LP
+//!
+//! ```text
+//! maximize   T
+//! subject to Σ_j c_{i,j} ≤ b_i                            (bandwidth)
+//!            c_{i,j} = 0 for guarded → guarded pairs       (firewall)
+//!            for every receiver k: a flow f^k ≤ c of value ≥ T from C0 to Ck
+//! ```
+//!
+//! which this module builds and solves with [`bmp_lp`]. Restricting the support of `c` to the
+//! pairs allowed by a fixed order yields the optimal *acyclic* throughput for that order.
+//! These oracles are exponential in nothing but huge in variables, so they are reserved for
+//! cross-checking the closed-form bounds and the combinatorial algorithms on small instances
+//! (≲ 8 nodes) in tests and experiments.
+
+use crate::error::CoreError;
+use bmp_lp::{ConstraintOp, LpProblem};
+use bmp_platform::{Instance, NodeId};
+
+/// Directed pairs `(i, j)` that may carry traffic: `i ≠ j`, `j` is a receiver, and the pair
+/// is not guarded → guarded. When `order` is given, only pairs where `i` precedes `j` are
+/// kept (acyclic restriction).
+fn allowed_pairs(instance: &Instance, order: Option<&[NodeId]>) -> Vec<(NodeId, NodeId)> {
+    let position: Option<Vec<usize>> = order.map(|order| {
+        let mut position = vec![0usize; instance.num_nodes()];
+        for (pos, &node) in order.iter().enumerate() {
+            position[node] = pos;
+        }
+        position
+    });
+    let mut pairs = Vec::new();
+    for i in 0..instance.num_nodes() {
+        for j in 1..instance.num_nodes() {
+            if i == j || !instance.can_send(i, j) {
+                continue;
+            }
+            if let Some(position) = &position {
+                if position[i] >= position[j] {
+                    continue;
+                }
+            }
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+/// Solves the throughput-maximisation LP described in the module documentation.
+///
+/// `order = None` gives the optimal cyclic throughput; `order = Some(σ)` the optimal acyclic
+/// throughput compatible with `σ`.
+fn solve_throughput_lp(
+    instance: &Instance,
+    order: Option<&[NodeId]>,
+) -> Result<f64, CoreError> {
+    let pairs = allowed_pairs(instance, order);
+    let num_pairs = pairs.len();
+    let receivers: Vec<NodeId> = instance.receivers().collect();
+    let num_receivers = receivers.len();
+    // Variable layout: [T | c (num_pairs) | f^k for each receiver k (num_pairs each)].
+    let t_var = 0usize;
+    let c_var = |pair: usize| 1 + pair;
+    let f_var = |k: usize, pair: usize| 1 + num_pairs + k * num_pairs + pair;
+    let num_vars = 1 + num_pairs * (1 + num_receivers);
+    let mut lp = LpProblem::new(num_vars);
+    lp.set_objective(t_var, 1.0);
+
+    // Bandwidth constraints on c.
+    for node in 0..instance.num_nodes() {
+        let terms: Vec<(usize, f64)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(i, _))| i == node)
+            .map(|(p, _)| (c_var(p), 1.0))
+            .collect();
+        if !terms.is_empty() {
+            lp.add_sparse_constraint(&terms, ConstraintOp::Le, instance.bandwidth(node))?;
+        }
+    }
+
+    for (k, &receiver) in receivers.iter().enumerate() {
+        // Flow capacity: f^k_{i,j} ≤ c_{i,j}.
+        for p in 0..num_pairs {
+            lp.add_sparse_constraint(
+                &[(f_var(k, p), 1.0), (c_var(p), -1.0)],
+                ConstraintOp::Le,
+                0.0,
+            )?;
+        }
+        // Flow conservation at every node other than the source and the receiver.
+        for node in 1..instance.num_nodes() {
+            if node == receiver {
+                continue;
+            }
+            let mut terms = Vec::new();
+            for (p, &(i, j)) in pairs.iter().enumerate() {
+                if j == node {
+                    terms.push((f_var(k, p), 1.0));
+                }
+                if i == node {
+                    terms.push((f_var(k, p), -1.0));
+                }
+            }
+            if !terms.is_empty() {
+                lp.add_sparse_constraint(&terms, ConstraintOp::Eq, 0.0)?;
+            }
+        }
+        // Net inflow at the receiver is at least T.
+        let mut terms: Vec<(usize, f64)> = vec![(t_var, -1.0)];
+        for (p, &(i, j)) in pairs.iter().enumerate() {
+            if j == receiver {
+                terms.push((f_var(k, p), 1.0));
+            }
+            if i == receiver {
+                terms.push((f_var(k, p), -1.0));
+            }
+        }
+        lp.add_sparse_constraint(&terms, ConstraintOp::Ge, 0.0)?;
+    }
+
+    let solution = bmp_lp::solve(&lp)?;
+    Ok(solution.objective)
+}
+
+/// Optimal cyclic throughput obtained from the LP oracle (ground truth for Lemma 5.1).
+///
+/// # Errors
+///
+/// Propagates LP solver failures.
+pub fn optimal_cyclic_lp(instance: &Instance) -> Result<f64, CoreError> {
+    solve_throughput_lp(instance, None)
+}
+
+/// Optimal acyclic throughput compatible with `order`, obtained from the LP oracle (ground
+/// truth for `T*_ac(σ)` and hence for the word-validity characterisation of Lemma 4.4).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidOrder`] for malformed orders and propagates LP failures.
+pub fn optimal_acyclic_lp_for_order(
+    instance: &Instance,
+    order: &[NodeId],
+) -> Result<f64, CoreError> {
+    crate::conservative::validate_order(instance, order)?;
+    solve_throughput_lp(instance, Some(order))
+}
+
+/// Optimal acyclic throughput obtained by combining the LP per-order oracle with the
+/// exhaustive enumeration of increasing orders. Exponential; small instances only.
+///
+/// # Errors
+///
+/// Propagates LP solver failures.
+pub fn optimal_acyclic_lp_exhaustive(instance: &Instance) -> Result<f64, CoreError> {
+    let words = crate::exhaustive::all_words(instance.n(), instance.m());
+    let mut best = 0.0_f64;
+    for word in words {
+        let order = word.to_order(instance)?;
+        let value = optimal_acyclic_lp_for_order(instance, &order)?;
+        if value > best {
+            best = value;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic_guarded::AcyclicGuardedSolver;
+    use crate::bounds::{acyclic_open_optimum, cyclic_upper_bound};
+    use crate::word::optimal_throughput_for_word;
+    use bmp_platform::paper::{figure1, figure18, figure18_tight_epsilon};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lp_confirms_lemma_5_1_on_figure1() {
+        let inst = figure1();
+        let lp = optimal_cyclic_lp(&inst).unwrap();
+        assert!((lp - 4.4).abs() < 1e-6, "LP cyclic optimum = {lp}");
+        assert!((lp - cyclic_upper_bound(&inst)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_confirms_lemma_5_1_on_figure18() {
+        let inst = figure18(figure18_tight_epsilon()).unwrap();
+        let lp = optimal_cyclic_lp(&inst).unwrap();
+        assert!((lp - 1.0).abs() < 1e-6, "LP cyclic optimum = {lp}");
+    }
+
+    #[test]
+    fn lp_confirms_closed_form_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..12 {
+            let n = rng.gen_range(1..=3usize);
+            let m = rng.gen_range(0..=3usize);
+            let b0 = rng.gen_range(0.5..4.0);
+            let open: Vec<f64> = (0..n).map(|_| rng.gen_range(0.2..4.0)).collect();
+            let guarded: Vec<f64> = (0..m).map(|_| rng.gen_range(0.2..4.0)).collect();
+            let inst = Instance::new(b0, open, guarded).unwrap();
+            let lp = optimal_cyclic_lp(&inst).unwrap();
+            let closed_form = cyclic_upper_bound(&inst);
+            assert!(
+                (lp - closed_form).abs() < 1e-5 * closed_form.max(1.0),
+                "LP {lp} vs closed form {closed_form} on {:?}",
+                inst.bandwidths()
+            );
+        }
+    }
+
+    #[test]
+    fn per_order_lp_matches_word_validity_on_figure1() {
+        let inst = figure1();
+        for (order, expected) in [
+            (vec![0, 3, 1, 2, 4, 5], 4.0),
+            (vec![0, 3, 1, 4, 2, 5], 4.0),
+            (vec![0, 1, 2, 3, 4, 5], 3.2),
+        ] {
+            let lp = optimal_acyclic_lp_for_order(&inst, &order).unwrap();
+            assert!(
+                (lp - expected).abs() < 1e-6,
+                "order {order:?}: LP {lp}, expected {expected}"
+            );
+            let word = crate::conservative::order_to_word(&inst, &order).unwrap();
+            let combinatorial = optimal_throughput_for_word(&inst, &word, 1e-11);
+            assert!((lp - combinatorial).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn per_order_lp_matches_word_validity_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        for _ in 0..8 {
+            let n = rng.gen_range(1..=2usize);
+            let m = rng.gen_range(1..=2usize);
+            let b0 = rng.gen_range(0.5..3.0);
+            let open: Vec<f64> = (0..n).map(|_| rng.gen_range(0.2..3.0)).collect();
+            let guarded: Vec<f64> = (0..m).map(|_| rng.gen_range(0.2..3.0)).collect();
+            let inst = Instance::new(b0, open, guarded).unwrap();
+            for word in crate::exhaustive::all_words(n, m) {
+                let order = word.to_order(&inst).unwrap();
+                let lp = optimal_acyclic_lp_for_order(&inst, &order).unwrap();
+                let combinatorial = optimal_throughput_for_word(&inst, &word, 1e-11);
+                assert!(
+                    (lp - combinatorial).abs() < 1e-5 * lp.max(1.0),
+                    "word {word}: LP {lp} vs combinatorial {combinatorial} on {:?}",
+                    inst.bandwidths()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lp_exhaustive_acyclic_matches_dichotomic_search() {
+        let inst = figure1();
+        let lp = optimal_acyclic_lp_exhaustive(&inst).unwrap();
+        let (dichotomic, _) = AcyclicGuardedSolver::default().optimal_throughput(&inst);
+        assert!((lp - dichotomic).abs() < 1e-5);
+    }
+
+    #[test]
+    fn open_only_acyclic_lp_matches_closed_form() {
+        let inst = Instance::open_only(6.0, vec![5.0, 4.0, 3.0]).unwrap();
+        let order = vec![0, 1, 2, 3];
+        let lp = optimal_acyclic_lp_for_order(&inst, &order).unwrap();
+        assert!((lp - acyclic_open_optimum(&inst).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn malformed_order_is_rejected() {
+        let inst = figure1();
+        assert!(optimal_acyclic_lp_for_order(&inst, &[0, 1]).is_err());
+    }
+}

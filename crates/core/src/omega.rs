@@ -1,0 +1,225 @@
+//! The regular interleaving words `ω1(n, m)` and `ω2(n, m)` of Theorem 6.2.
+//!
+//! These two words spread the guarded nodes as evenly as possible among the open nodes:
+//!
+//! * `ω1(n, m) = © ■^{α_1} © ■^{α_2} … © ■^{α_n}` with
+//!   `α_i = ⌊i·m/n⌋ − ⌊(i−1)·m/n⌋`,
+//! * `ω2(n, m) = ■ ©^{β_1} ■ ©^{β_2} … ■ ©^{β_m}` with
+//!   `β_i = ⌈i·n/m⌉ − ⌈(i−1)·n/m⌉`.
+//!
+//! The proof of the 5/7 bound only needs the better of the two, and the average-case study
+//! (Figure 19) compares three curves: the optimal acyclic throughput, the best of
+//! `ω1`/`ω2`, and the single word that the case analysis of the proof would pick
+//! ("theorem word"). This module builds all three.
+
+use crate::bounds::cyclic_upper_bound;
+use crate::word::{optimal_throughput_for_word, CodingWord, Symbol};
+use bmp_platform::Instance;
+
+/// Which of the two regular words is meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OmegaChoice {
+    /// `ω1(n, m)`: starts with an open node.
+    Omega1,
+    /// `ω2(n, m)`: starts with a guarded node.
+    Omega2,
+}
+
+/// Builds `ω1(n, m)`.
+///
+/// When `n = 0` the word degenerates to `■^m`.
+#[must_use]
+pub fn omega1(n: usize, m: usize) -> CodingWord {
+    let mut word = CodingWord::empty();
+    if n == 0 {
+        for _ in 0..m {
+            word.push(Symbol::Guarded);
+        }
+        return word;
+    }
+    for i in 1..=n {
+        word.push(Symbol::Open);
+        let alpha = (i * m) / n - ((i - 1) * m) / n;
+        for _ in 0..alpha {
+            word.push(Symbol::Guarded);
+        }
+    }
+    word
+}
+
+/// Builds `ω2(n, m)`.
+///
+/// When `m = 0` the word degenerates to `©^n`.
+#[must_use]
+pub fn omega2(n: usize, m: usize) -> CodingWord {
+    let mut word = CodingWord::empty();
+    if m == 0 {
+        for _ in 0..n {
+            word.push(Symbol::Open);
+        }
+        return word;
+    }
+    for i in 1..=m {
+        word.push(Symbol::Guarded);
+        let beta = (i * n).div_ceil(m) - ((i - 1) * n).div_ceil(m);
+        for _ in 0..beta {
+            word.push(Symbol::Open);
+        }
+    }
+    word
+}
+
+/// The regular word for `instance` designated by `choice`.
+#[must_use]
+pub fn omega_word(instance: &Instance, choice: OmegaChoice) -> CodingWord {
+    match choice {
+        OmegaChoice::Omega1 => omega1(instance.n(), instance.m()),
+        OmegaChoice::Omega2 => omega2(instance.n(), instance.m()),
+    }
+}
+
+/// Throughput of the *better* of `ω1` and `ω2` on `instance` (the blue curve of Figure 19).
+#[must_use]
+pub fn best_omega_throughput(instance: &Instance, tolerance: f64) -> (f64, OmegaChoice) {
+    let t1 = optimal_throughput_for_word(instance, &omega1(instance.n(), instance.m()), tolerance);
+    let t2 = optimal_throughput_for_word(instance, &omega2(instance.n(), instance.m()), tolerance);
+    if t1 >= t2 {
+        (t1, OmegaChoice::Omega1)
+    } else {
+        (t2, OmegaChoice::Omega2)
+    }
+}
+
+/// The single word used by the case analysis of Theorem 6.2 (the red curve of Figure 19).
+///
+/// The proof works on tight homogeneous instances and picks `ω1` when the open-node bandwidth
+/// `o` satisfies `o ≥ T*` (cases A and B) and `ω2` otherwise (case C). For general instances
+/// we apply the same rule to the *mean* open-node bandwidth, normalised by the cyclic optimum
+/// of Lemma 5.1.
+#[must_use]
+pub fn theorem_word_choice(instance: &Instance) -> OmegaChoice {
+    if instance.n() == 0 {
+        return OmegaChoice::Omega2;
+    }
+    if instance.m() == 0 {
+        return OmegaChoice::Omega1;
+    }
+    let mean_open = instance.open_sum() / instance.n() as f64;
+    let t_star = cyclic_upper_bound(instance);
+    if mean_open >= t_star {
+        OmegaChoice::Omega1
+    } else {
+        OmegaChoice::Omega2
+    }
+}
+
+/// Throughput of the theorem word on `instance`.
+#[must_use]
+pub fn theorem_word_throughput(instance: &Instance, tolerance: f64) -> f64 {
+    let choice = theorem_word_choice(instance);
+    optimal_throughput_for_word(instance, &omega_word(instance, choice), tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic_guarded::AcyclicGuardedSolver;
+    use crate::bounds::five_sevenths;
+    use bmp_platform::paper::{figure1, figure18, figure18_tight_epsilon};
+
+    #[test]
+    fn omega1_structure() {
+        assert_eq!(omega1(3, 3).to_string(), "ogogog");
+        assert_eq!(omega1(2, 4).to_string(), "oggogg");
+        assert_eq!(omega1(4, 2).to_string(), "oogoog");
+        assert_eq!(omega1(1, 3).to_string(), "oggg");
+        assert_eq!(omega1(3, 0).to_string(), "ooo");
+        assert_eq!(omega1(0, 2).to_string(), "gg");
+        assert_eq!(omega1(5, 3).to_string(), "oogoogog");
+    }
+
+    #[test]
+    fn omega2_structure() {
+        assert_eq!(omega2(3, 3).to_string(), "gogogo");
+        assert_eq!(omega2(4, 2).to_string(), "googoo");
+        assert_eq!(omega2(2, 4).to_string(), "goggog");
+        assert_eq!(omega2(0, 3).to_string(), "ggg");
+        assert_eq!(omega2(3, 0).to_string(), "ooo");
+        assert_eq!(omega2(5, 2).to_string(), "gooogoo");
+    }
+
+    #[test]
+    fn words_have_correct_counts() {
+        for n in 0..8 {
+            for m in 0..8 {
+                if n + m == 0 {
+                    continue;
+                }
+                let w1 = omega1(n, m);
+                assert_eq!(w1.num_open(), n, "omega1({n},{m})");
+                assert_eq!(w1.num_guarded(), m, "omega1({n},{m})");
+                let w2 = omega2(n, m);
+                assert_eq!(w2.num_open(), n, "omega2({n},{m})");
+                assert_eq!(w2.num_guarded(), m, "omega2({n},{m})");
+            }
+        }
+    }
+
+    #[test]
+    fn omega_words_on_figure1() {
+        let inst = figure1();
+        let (t, _) = best_omega_throughput(&inst, 1e-12);
+        // The optimal acyclic throughput of Figure 1 is 4; the regular words may be slightly
+        // worse but never better.
+        let (opt, _) = AcyclicGuardedSolver::default().optimal_throughput(&inst);
+        assert!(t <= opt + 1e-6);
+        assert!(t >= five_sevenths() * crate::bounds::cyclic_upper_bound(&inst) - 1e-9);
+    }
+
+    #[test]
+    fn omega_reaches_five_sevenths_on_worst_case() {
+        let inst = figure18(figure18_tight_epsilon()).unwrap();
+        let (t, _) = best_omega_throughput(&inst, 1e-12);
+        assert!((t - five_sevenths()).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn theorem_word_never_beats_best_omega() {
+        let instances = vec![
+            figure1(),
+            figure18(figure18_tight_epsilon()).unwrap(),
+            Instance::new(2.0, vec![3.0, 1.0], vec![2.0, 0.5]).unwrap(),
+            Instance::new(4.0, vec![1.0; 6], vec![5.0; 3]).unwrap(),
+        ];
+        let solver = AcyclicGuardedSolver::default();
+        for inst in instances {
+            let (best, _) = best_omega_throughput(&inst, 1e-10);
+            let theorem = theorem_word_throughput(&inst, 1e-10);
+            assert!(theorem <= best + 1e-6);
+            // Neither regular word can beat the optimal acyclic throughput.
+            let (optimal, _) = solver.optimal_throughput(&inst);
+            assert!(best <= optimal + 1e-6);
+        }
+    }
+
+    #[test]
+    fn theorem_word_choice_extremes() {
+        let open_only = Instance::open_only(2.0, vec![1.0, 1.0]).unwrap();
+        assert_eq!(theorem_word_choice(&open_only), OmegaChoice::Omega1);
+        let guarded_only = Instance::new(2.0, vec![], vec![1.0, 1.0]).unwrap();
+        assert_eq!(theorem_word_choice(&guarded_only), OmegaChoice::Omega2);
+        // Rich open nodes: ω1; poor open nodes: ω2.
+        let rich = Instance::new(1.0, vec![5.0, 5.0], vec![0.5, 0.5]).unwrap();
+        assert_eq!(theorem_word_choice(&rich), OmegaChoice::Omega1);
+        let poor = Instance::new(1.0, vec![0.2, 0.2], vec![3.0, 3.0]).unwrap();
+        assert_eq!(theorem_word_choice(&poor), OmegaChoice::Omega2);
+    }
+
+    #[test]
+    fn omega_choice_reported_correctly() {
+        // All open: ω1 and ω2 coincide, ties go to ω1.
+        let inst = Instance::open_only(2.0, vec![1.0, 1.0]).unwrap();
+        let (_, choice) = best_omega_throughput(&inst, 1e-10);
+        assert_eq!(choice, OmegaChoice::Omega1);
+    }
+}

@@ -1,0 +1,247 @@
+//! The 3-PARTITION reduction of Theorem 3.1 (NP-completeness of the degree-constrained
+//! problem), together with a brute-force 3-PARTITION solver used to exercise both directions
+//! of the reduction on small instances.
+
+use crate::error::CoreError;
+use crate::scheme::BroadcastScheme;
+use bmp_platform::paper::figure8_gadget;
+use bmp_platform::Instance;
+
+/// A 3-PARTITION instance: `3p` positive integers summing to `p·target`, each in
+/// `(target/4, target/2)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreePartitionInstance {
+    /// The items.
+    pub items: Vec<u64>,
+    /// The per-triple target sum.
+    pub target: u64,
+}
+
+impl ThreePartitionInstance {
+    /// Creates and validates a 3-PARTITION instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Platform`] when the items violate the 3-PARTITION preconditions
+    /// (the validation is shared with the gadget construction).
+    pub fn new(items: Vec<u64>, target: u64) -> Result<Self, CoreError> {
+        // Reuse the gadget validation (multiple of 3, correct sum, quarter/half window).
+        figure8_gadget(&items, target)?;
+        Ok(ThreePartitionInstance { items, target })
+    }
+
+    /// Number of triples `p`.
+    #[must_use]
+    pub fn num_triples(&self) -> usize {
+        self.items.len() / 3
+    }
+
+    /// Builds the broadcast gadget of Figure 8: an open-only instance on which throughput
+    /// `target` is reachable under the degree constraints `o_i ≤ ⌈b_i/T⌉` iff this
+    /// 3-PARTITION instance is solvable.
+    #[must_use]
+    pub fn to_broadcast_instance(&self) -> (Instance, f64) {
+        figure8_gadget(&self.items, self.target).expect("validated at construction")
+    }
+
+    /// Brute-force solver: returns a partition into triples each summing to `target`, if one
+    /// exists. Exponential; intended for `p ≤ 4`.
+    #[must_use]
+    pub fn solve(&self) -> Option<Vec<[usize; 3]>> {
+        let mut used = vec![false; self.items.len()];
+        let mut triples = Vec::with_capacity(self.num_triples());
+        if self.backtrack(&mut used, &mut triples) {
+            Some(triples)
+        } else {
+            None
+        }
+    }
+
+    fn backtrack(&self, used: &mut [bool], triples: &mut Vec<[usize; 3]>) -> bool {
+        let Some(first) = used.iter().position(|&u| !u) else {
+            return true;
+        };
+        used[first] = true;
+        for second in first + 1..self.items.len() {
+            if used[second] {
+                continue;
+            }
+            used[second] = true;
+            for third in second + 1..self.items.len() {
+                if used[third] {
+                    continue;
+                }
+                if self.items[first] + self.items[second] + self.items[third] == self.target {
+                    used[third] = true;
+                    triples.push([first, second, third]);
+                    if self.backtrack(used, triples) {
+                        return true;
+                    }
+                    triples.pop();
+                    used[third] = false;
+                }
+            }
+            used[second] = false;
+        }
+        used[first] = false;
+        false
+    }
+
+    /// Builds the degree-constrained broadcast scheme of Figure 8 from a solution of the
+    /// 3-PARTITION instance: the source serves every intermediate node at rate `T` and the
+    /// three intermediate nodes of each triple serve one final node at their full rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOrder`] if `triples` is not a valid solution.
+    pub fn scheme_from_solution(
+        &self,
+        triples: &[[usize; 3]],
+    ) -> Result<BroadcastScheme, CoreError> {
+        let p = self.num_triples();
+        if triples.len() != p {
+            return Err(CoreError::InvalidOrder(format!(
+                "expected {p} triples, got {}",
+                triples.len()
+            )));
+        }
+        for triple in triples {
+            let sum: u64 = triple.iter().map(|&i| self.items[i]).sum();
+            if sum != self.target {
+                return Err(CoreError::InvalidOrder(format!(
+                    "triple {triple:?} sums to {sum}, expected {}",
+                    self.target
+                )));
+            }
+        }
+        let (instance, t) = self.to_broadcast_instance();
+        // Node layout in the gadget after sorting: the source is node 0, the 3p intermediate
+        // nodes keep their relative (sorted) order, the p final nodes (bandwidth 0) are last.
+        // Map original item indices to sorted positions.
+        let mut order: Vec<usize> = (0..self.items.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.items[i]));
+        let mut position = vec![0usize; self.items.len()];
+        for (rank, &item) in order.iter().enumerate() {
+            position[item] = rank + 1; // +1 for the source
+        }
+        let first_final = 1 + self.items.len();
+        let mut scheme = BroadcastScheme::new(instance);
+        for item in 0..self.items.len() {
+            scheme.set_rate(0, position[item], t);
+        }
+        for (triple_index, triple) in triples.iter().enumerate() {
+            let final_node = first_final + triple_index;
+            for &item in triple {
+                scheme.set_rate(position[item], final_node, self.items[item] as f64);
+            }
+        }
+        Ok(scheme)
+    }
+}
+
+/// Whether the degree-constrained broadcast problem on the Figure 8 gadget is feasible, i.e.
+/// whether the underlying 3-PARTITION instance is solvable (the equivalence proven by
+/// Theorem 3.1). Uses the brute-force solver, so only suitable for small `p`.
+#[must_use]
+pub fn degree_constrained_gadget_feasible(instance: &ThreePartitionInstance) -> bool {
+    instance.solve().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_platform::node::degree_lower_bound;
+
+    fn solvable_instance() -> ThreePartitionInstance {
+        // p = 2, T = 100: {30, 33, 37} and {26, 35, 39}.
+        ThreePartitionInstance::new(vec![30, 33, 37, 26, 35, 39], 100).unwrap()
+    }
+
+    fn unsolvable_instance() -> ThreePartitionInstance {
+        // p = 2, T = 100, all preconditions met but no partition into two triples of sum 100:
+        // items {26, 26, 30, 34, 42, 42} — the two 42s cannot be together (42+42+x=100 needs
+        // x=16 < T/4) and separating them forces sums 42+26+30=98 or 42+26+34=102, never 100.
+        ThreePartitionInstance::new(vec![26, 26, 30, 34, 42, 42], 100).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_instances() {
+        assert!(ThreePartitionInstance::new(vec![30, 33], 100).is_err());
+        assert!(ThreePartitionInstance::new(vec![10, 45, 45], 100).is_err());
+        assert!(ThreePartitionInstance::new(vec![30, 30, 30], 100).is_err());
+    }
+
+    #[test]
+    fn brute_force_finds_a_partition() {
+        let inst = solvable_instance();
+        let solution = inst.solve().expect("solvable");
+        assert_eq!(solution.len(), 2);
+        for triple in &solution {
+            let sum: u64 = triple.iter().map(|&i| inst.items[i]).sum();
+            assert_eq!(sum, 100);
+        }
+        assert!(degree_constrained_gadget_feasible(&inst));
+    }
+
+    #[test]
+    fn brute_force_detects_unsolvable() {
+        let inst = unsolvable_instance();
+        assert!(inst.solve().is_none());
+        assert!(!degree_constrained_gadget_feasible(&inst));
+    }
+
+    #[test]
+    fn forward_reduction_builds_a_degree_tight_scheme() {
+        // A yes-instance of 3-PARTITION maps to a broadcast scheme of throughput T in which
+        // every node has outdegree exactly ⌈b_i/T⌉ (no additive slack at all).
+        let inst = solvable_instance();
+        let solution = inst.solve().unwrap();
+        let scheme = inst.scheme_from_solution(&solution).unwrap();
+        assert!(scheme.is_feasible(), "violations: {:?}", scheme.validate());
+        let (gadget, t) = inst.to_broadcast_instance();
+        assert!((scheme.throughput() - t).abs() < 1e-9);
+        for node in 0..gadget.num_nodes() {
+            let bound = degree_lower_bound(gadget.bandwidth(node), t);
+            assert!(
+                scheme.outdegree(node) <= bound,
+                "node {node}: degree {} exceeds the hard bound {bound}",
+                scheme.outdegree(node)
+            );
+        }
+        // The scheme is also acyclic, as noted in the NP-completeness discussion.
+        assert!(scheme.is_acyclic());
+    }
+
+    #[test]
+    fn scheme_from_solution_rejects_bad_triples() {
+        let inst = solvable_instance();
+        assert!(inst.scheme_from_solution(&[]).is_err());
+        assert!(inst
+            .scheme_from_solution(&[[0, 1, 3], [2, 4, 5]])
+            .is_err());
+    }
+
+    #[test]
+    fn gadget_has_no_wasted_bandwidth() {
+        let inst = solvable_instance();
+        let (gadget, t) = inst.to_broadcast_instance();
+        // Total outgoing bandwidth is exactly (number of receivers)·T: every unit must be
+        // used, which is what makes the reduction work.
+        let receivers = gadget.num_receivers() as f64;
+        assert!((gadget.total_bandwidth() - receivers * t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_throughput_is_always_reachable() {
+        // Without the degree constraint the gadget instance always admits throughput T
+        // (Algorithm 1), even for the unsolvable 3-PARTITION instance: the hardness comes
+        // from the degree bound alone.
+        let inst = unsolvable_instance();
+        let (gadget, t) = inst.to_broadcast_instance();
+        let scheme = crate::acyclic_open::acyclic_open_scheme(&gadget, t).unwrap();
+        assert!(scheme.throughput() + 1e-6 >= t);
+        // But Algorithm 1 needs more than ⌈b_i/T⌉ connections at some node.
+        let excess = scheme.max_degree_excess(t);
+        assert!(excess >= 1);
+    }
+}

@@ -1,0 +1,484 @@
+//! Broadcast schemes: the output of every algorithm in this crate.
+//!
+//! A broadcast scheme assigns a transfer rate `c_{i,j}` to every ordered pair of nodes.
+//! Following Section II-D of the paper, a scheme is feasible when every node respects its
+//! outgoing-bandwidth budget and no guarded node sends to another guarded node, and its
+//! throughput is the minimum over all receivers of the maximum flow from the source in the
+//! weighted digraph `c`.
+
+use bmp_flow::{dinic_max_flow, eps, FlowNetwork};
+use bmp_platform::node::degree_lower_bound;
+use bmp_platform::{Instance, NodeClass, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Rates below this threshold are treated as "no connection" when counting outdegrees and
+/// building flow networks; they only arise from floating-point dust.
+pub const RATE_EPS: f64 = 1e-7;
+
+/// A feasibility violation detected by [`BroadcastScheme::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeViolation {
+    /// Node `node` sends more than its outgoing bandwidth.
+    BandwidthExceeded {
+        /// Offending node.
+        node: NodeId,
+        /// Total outgoing rate of the node.
+        sent: f64,
+        /// Outgoing bandwidth of the node.
+        bandwidth: f64,
+    },
+    /// A guarded → guarded transfer has a positive rate.
+    FirewallViolated {
+        /// Sending guarded node.
+        from: NodeId,
+        /// Receiving guarded node.
+        to: NodeId,
+    },
+    /// A rate is negative or not finite.
+    InvalidRate {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// The offending value.
+        rate: f64,
+    },
+}
+
+/// A broadcast scheme over a given instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BroadcastScheme {
+    instance: Instance,
+    /// Row-major rate matrix `c[i * num_nodes + j]`.
+    rates: Vec<f64>,
+}
+
+impl BroadcastScheme {
+    /// Creates an all-zero scheme for `instance`.
+    #[must_use]
+    pub fn new(instance: Instance) -> Self {
+        let n = instance.num_nodes();
+        BroadcastScheme {
+            instance,
+            rates: vec![0.0; n * n],
+        }
+    }
+
+    /// The underlying instance.
+    #[must_use]
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    #[inline]
+    fn index(&self, from: NodeId, to: NodeId) -> usize {
+        from * self.instance.num_nodes() + to
+    }
+
+    /// Transfer rate `c_{from,to}`.
+    #[must_use]
+    pub fn rate(&self, from: NodeId, to: NodeId) -> f64 {
+        self.rates[self.index(from, to)]
+    }
+
+    /// Sets the transfer rate `c_{from,to}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`.
+    pub fn set_rate(&mut self, from: NodeId, to: NodeId, rate: f64) {
+        assert_ne!(from, to, "a node cannot send to itself");
+        let idx = self.index(from, to);
+        self.rates[idx] = rate;
+    }
+
+    /// Adds `delta` to the transfer rate `c_{from,to}` (clamping tiny negative results to 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`.
+    pub fn add_rate(&mut self, from: NodeId, to: NodeId, delta: f64) {
+        assert_ne!(from, to, "a node cannot send to itself");
+        let idx = self.index(from, to);
+        self.rates[idx] = eps::clamp_nonnegative(self.rates[idx] + delta);
+    }
+
+    /// Total rate sent by `node`.
+    #[must_use]
+    pub fn sent(&self, node: NodeId) -> f64 {
+        (0..self.instance.num_nodes())
+            .map(|j| self.rate(node, j))
+            .sum()
+    }
+
+    /// Total rate received by `node`.
+    #[must_use]
+    pub fn received(&self, node: NodeId) -> f64 {
+        (0..self.instance.num_nodes())
+            .map(|i| self.rate(i, node))
+            .sum()
+    }
+
+    /// Remaining outgoing bandwidth of `node` (can be slightly negative due to rounding).
+    #[must_use]
+    pub fn remaining(&self, node: NodeId) -> f64 {
+        self.instance.bandwidth(node) - self.sent(node)
+    }
+
+    /// Outdegree of `node`: number of receivers it sends a meaningful rate to.
+    #[must_use]
+    pub fn outdegree(&self, node: NodeId) -> usize {
+        (0..self.instance.num_nodes())
+            .filter(|&j| self.rate(node, j) > RATE_EPS)
+            .count()
+    }
+
+    /// Outdegrees of every node, source first.
+    #[must_use]
+    pub fn outdegrees(&self) -> Vec<usize> {
+        (0..self.instance.num_nodes())
+            .map(|i| self.outdegree(i))
+            .collect()
+    }
+
+    /// Slack of `node`'s outdegree over the lower bound `⌈b_i / T⌉` for throughput `T`.
+    ///
+    /// The paper measures the quality of a scheme by this additive excess (`+1`, `+2`, `+3`
+    /// depending on the algorithm).
+    #[must_use]
+    pub fn degree_excess(&self, node: NodeId, throughput: f64) -> i64 {
+        self.outdegree(node) as i64
+            - degree_lower_bound(self.instance.bandwidth(node), throughput) as i64
+    }
+
+    /// Maximum degree excess over all nodes.
+    #[must_use]
+    pub fn max_degree_excess(&self, throughput: f64) -> i64 {
+        (0..self.instance.num_nodes())
+            .map(|i| self.degree_excess(i, throughput))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks bandwidth, firewall and rate-validity constraints. Returns all violations.
+    #[must_use]
+    pub fn validate(&self) -> Vec<SchemeViolation> {
+        let mut violations = Vec::new();
+        let n = self.instance.num_nodes();
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                let rate = self.rate(from, to);
+                if !rate.is_finite() || rate < -RATE_EPS {
+                    violations.push(SchemeViolation::InvalidRate { from, to, rate });
+                }
+                if rate > RATE_EPS
+                    && self.instance.class(from) == NodeClass::Guarded
+                    && self.instance.class(to) == NodeClass::Guarded
+                {
+                    violations.push(SchemeViolation::FirewallViolated { from, to });
+                }
+            }
+            let sent = self.sent(from);
+            let bandwidth = self.instance.bandwidth(from);
+            if !eps::approx_le(sent, bandwidth) {
+                violations.push(SchemeViolation::BandwidthExceeded {
+                    node: from,
+                    sent,
+                    bandwidth,
+                });
+            }
+        }
+        violations
+    }
+
+    /// Whether the scheme satisfies all feasibility constraints.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        self.validate().is_empty()
+    }
+
+    /// Converts the scheme into a flow network (one edge per meaningful rate).
+    #[must_use]
+    pub fn to_flow_network(&self) -> FlowNetwork {
+        let n = self.instance.num_nodes();
+        let mut network = FlowNetwork::with_capacity(n, n * n / 2);
+        for from in 0..n {
+            for to in 0..n {
+                if from != to && self.rate(from, to) > RATE_EPS {
+                    network.add_edge(from, to, self.rate(from, to));
+                }
+            }
+        }
+        network
+    }
+
+    /// Maximum flow from the source to `receiver` in the scheme's weighted digraph.
+    #[must_use]
+    pub fn max_flow_to(&self, receiver: NodeId) -> f64 {
+        let network = self.to_flow_network();
+        dinic_max_flow(&network, 0, receiver).value
+    }
+
+    /// Throughput of the scheme: `min_k maxflow(C0 → Ck)` over all receivers (Section II-D).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let network = self.to_flow_network();
+        self.instance
+            .receivers()
+            .map(|k| dinic_max_flow(&network, 0, k).value)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Topological order of the scheme's digraph if it is acyclic, `None` otherwise.
+    ///
+    /// The returned order always starts with the source when the source has no incoming
+    /// edges (which is the case for every scheme built by this crate).
+    #[must_use]
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.instance.num_nodes();
+        let mut indegree = vec![0usize; n];
+        for from in 0..n {
+            for to in 0..n {
+                if from != to && self.rate(from, to) > RATE_EPS {
+                    indegree[to] += 1;
+                }
+            }
+        }
+        // Kahn's algorithm, preferring smaller indices for determinism.
+        let mut order = Vec::with_capacity(n);
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&v| indegree[v] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        while let Some(std::cmp::Reverse(v)) = ready.pop() {
+            order.push(v);
+            for to in 0..n {
+                if to != v && self.rate(v, to) > RATE_EPS {
+                    indegree[to] -= 1;
+                    if indegree[to] == 0 {
+                        ready.push(std::cmp::Reverse(to));
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the scheme's digraph is acyclic.
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// Removes rates below [`RATE_EPS`] (floating-point dust) from the matrix.
+    pub fn prune_dust(&mut self) {
+        for rate in &mut self.rates {
+            if *rate <= RATE_EPS {
+                *rate = 0.0;
+            }
+        }
+    }
+
+    /// Edges of the scheme as `(from, to, rate)` triples, skipping dust.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let n = self.instance.num_nodes();
+        let mut edges = Vec::new();
+        for from in 0..n {
+            for to in 0..n {
+                if from != to && self.rate(from, to) > RATE_EPS {
+                    edges.push((from, to, self.rate(from, to)));
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_platform::paper::figure1;
+
+    /// An optimal cyclic scheme of throughput 4.4 for the Figure 1 instance (the rates differ
+    /// from the paper's drawing but saturate the same bound of Lemma 5.1: every node receives
+    /// exactly 4.4 and every unit of outgoing bandwidth is used).
+    fn figure1_optimal_scheme() -> BroadcastScheme {
+        let mut s = BroadcastScheme::new(figure1());
+        // Source (b0 = 6).
+        s.set_rate(0, 1, 0.2);
+        s.set_rate(0, 3, 3.4);
+        s.set_rate(0, 4, 1.2);
+        s.set_rate(0, 5, 1.2);
+        // Open node C1 (b1 = 5).
+        s.set_rate(1, 2, 0.8);
+        s.set_rate(1, 3, 1.0);
+        s.set_rate(1, 4, 1.6);
+        s.set_rate(1, 5, 1.6);
+        // Open node C2 (b2 = 5).
+        s.set_rate(2, 1, 1.8);
+        s.set_rate(2, 4, 1.6);
+        s.set_rate(2, 5, 1.6);
+        // Guarded nodes relay towards the open nodes.
+        s.set_rate(3, 1, 2.4);
+        s.set_rate(3, 2, 1.6);
+        s.set_rate(4, 2, 1.0);
+        s.set_rate(5, 2, 1.0);
+        s
+    }
+
+    #[test]
+    fn rates_and_sums() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(0, 1, 2.0);
+        s.set_rate(0, 2, 3.0);
+        s.add_rate(0, 1, 1.0);
+        assert_eq!(s.rate(0, 1), 3.0);
+        assert_eq!(s.sent(0), 6.0);
+        assert_eq!(s.received(1), 3.0);
+        assert_eq!(s.remaining(0), 0.0);
+        assert_eq!(s.outdegree(0), 2);
+        assert_eq!(s.outdegrees(), vec![2, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send to itself")]
+    fn self_loop_rejected() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(1, 1, 1.0);
+    }
+
+    #[test]
+    fn validation_catches_bandwidth_excess() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(4, 1, 2.0); // node 4 has bandwidth 1
+        let violations = s.validate();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, SchemeViolation::BandwidthExceeded { node: 4, .. })));
+        assert!(!s.is_feasible());
+    }
+
+    #[test]
+    fn validation_catches_firewall_violation() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(3, 4, 0.5); // both guarded
+        assert!(s
+            .validate()
+            .iter()
+            .any(|v| matches!(v, SchemeViolation::FirewallViolated { from: 3, to: 4 })));
+    }
+
+    #[test]
+    fn validation_catches_negative_rate() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(0, 1, -1.0);
+        assert!(s
+            .validate()
+            .iter()
+            .any(|v| matches!(v, SchemeViolation::InvalidRate { .. })));
+    }
+
+    #[test]
+    fn empty_scheme_is_feasible_with_zero_throughput() {
+        let s = BroadcastScheme::new(figure1());
+        assert!(s.is_feasible());
+        assert_eq!(s.throughput(), 0.0);
+        assert!(s.is_acyclic());
+    }
+
+    #[test]
+    fn figure1_scheme_reaches_announced_throughput() {
+        let s = figure1_optimal_scheme();
+        assert!(s.is_feasible(), "violations: {:?}", s.validate());
+        let throughput = s.throughput();
+        assert!(
+            (throughput - 4.4).abs() < 1e-9,
+            "throughput = {throughput}, expected 4.4"
+        );
+        // The scheme of Figure 1 is cyclic (e.g. C1 → C2 and C2 → C1).
+        assert!(!s.is_acyclic());
+    }
+
+    #[test]
+    fn figure2_acyclic_scheme() {
+        // An acyclic scheme following the order 0 3 1 2 4 5 of Figure 2, throughput 4.
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(0, 3, 4.0);
+        s.set_rate(0, 2, 2.0);
+        s.set_rate(3, 1, 4.0);
+        s.set_rate(1, 2, 2.0);
+        s.set_rate(1, 4, 3.0);
+        s.set_rate(2, 4, 1.0);
+        s.set_rate(2, 5, 4.0);
+        assert!(s.is_feasible(), "violations: {:?}", s.validate());
+        assert!(s.is_acyclic());
+        let throughput = s.throughput();
+        assert!(
+            (throughput - 4.0).abs() < 1e-9,
+            "throughput = {throughput}, expected 4"
+        );
+        let order = s.topological_order().unwrap();
+        assert_eq!(order[0], 0);
+        // Node 3 must appear before node 1 because it feeds it.
+        let pos3 = order.iter().position(|&v| v == 3).unwrap();
+        let pos1 = order.iter().position(|&v| v == 1).unwrap();
+        assert!(pos3 < pos1);
+    }
+
+    #[test]
+    fn degree_excess_matches_definition() {
+        let s = figure1_optimal_scheme();
+        // Source: bandwidth 6, T = 4.4 → ⌈6/4.4⌉ = 2; it serves 4 nodes in this scheme.
+        assert_eq!(s.outdegree(0), 4);
+        assert_eq!(s.degree_excess(0, 4.4), 4 - 2);
+        // Guarded node C4 has bandwidth 1 → ⌈1/4.4⌉ = 1; it serves exactly one node.
+        assert_eq!(s.degree_excess(4, 4.4), 0);
+        assert!(s.max_degree_excess(4.4) >= 2);
+    }
+
+    #[test]
+    fn prune_dust_removes_tiny_rates() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(0, 1, 1e-12);
+        s.set_rate(0, 2, 2.0);
+        s.prune_dust();
+        assert_eq!(s.rate(0, 1), 0.0);
+        assert_eq!(s.rate(0, 2), 2.0);
+        assert_eq!(s.edges(), vec![(0, 2, 2.0)]);
+    }
+
+    #[test]
+    fn max_flow_to_individual_receiver() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(0, 1, 3.0);
+        s.set_rate(1, 2, 2.0);
+        assert!((s.max_flow_to(1) - 3.0).abs() < 1e-9);
+        assert!((s.max_flow_to(2) - 2.0).abs() < 1e-9);
+        assert_eq!(s.max_flow_to(5), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = figure1_optimal_scheme();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: BroadcastScheme = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn cyclic_scheme_detected() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(1, 2, 1.0);
+        s.set_rate(2, 1, 1.0);
+        assert!(!s.is_acyclic());
+        assert!(s.topological_order().is_none());
+    }
+}

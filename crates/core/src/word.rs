@@ -1,0 +1,455 @@
+//! Coding words and the `O(π)`, `G(π)`, `W(π)` bookkeeping of Section IV.
+//!
+//! An *increasing order* of the nodes (open nodes by non-increasing bandwidth, guarded nodes
+//! by non-increasing bandwidth, interleaved in some way) is encoded by a binary word `π` over
+//! the alphabet `{©, ■}`: the `k`-th letter says whether the `k`-th node of the order is open
+//! or guarded. The paper's Lemma 4.4 gives recursions for three quantities attached to every
+//! conservative partial solution following `π` at throughput `T`:
+//!
+//! * `O(π)` — open bandwidth still available,
+//! * `G(π)` — guarded bandwidth still available,
+//! * `W(π)` — amount of open → open transfer used so far ("wasted" open bandwidth).
+//!
+//! A word is *valid* for `T` exactly when `O(π′) ≥ T` before appending each `■` and
+//! `O(π′) + G(π′) ≥ T` before appending each `©`; this characterisation drives both the
+//! greedy feasibility test (Algorithm 2) and the per-word optimal throughput used everywhere
+//! in the evaluation.
+
+use crate::error::CoreError;
+use bmp_flow::eps;
+use bmp_platform::{Instance, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One letter of a coding word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Symbol {
+    /// `©` — the next node of the order is an open node.
+    Open,
+    /// `■` — the next node of the order is a guarded node.
+    Guarded,
+}
+
+/// A coding word: a sequence of [`Symbol`]s encoding an increasing order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct CodingWord(Vec<Symbol>);
+
+impl CodingWord {
+    /// The empty word `ε`.
+    #[must_use]
+    pub fn empty() -> Self {
+        CodingWord(Vec::new())
+    }
+
+    /// Builds a word from symbols.
+    #[must_use]
+    pub fn from_symbols(symbols: Vec<Symbol>) -> Self {
+        CodingWord(symbols)
+    }
+
+    /// Parses a word from a string of `o`/`O`/`©` (open) and `g`/`G`/`■` (guarded) characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidWord`] on any other character.
+    pub fn parse(text: &str) -> Result<Self, CoreError> {
+        let mut symbols = Vec::with_capacity(text.len());
+        for ch in text.chars() {
+            match ch {
+                'o' | 'O' | '©' => symbols.push(Symbol::Open),
+                'g' | 'G' | '■' => symbols.push(Symbol::Guarded),
+                ' ' => {}
+                other => {
+                    return Err(CoreError::InvalidWord(format!(
+                        "unexpected character {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(CodingWord(symbols))
+    }
+
+    /// Length of the word.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the word is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of `©` letters.
+    #[must_use]
+    pub fn num_open(&self) -> usize {
+        self.0.iter().filter(|&&s| s == Symbol::Open).count()
+    }
+
+    /// Number of `■` letters.
+    #[must_use]
+    pub fn num_guarded(&self) -> usize {
+        self.0.iter().filter(|&&s| s == Symbol::Guarded).count()
+    }
+
+    /// Appends a symbol.
+    pub fn push(&mut self, symbol: Symbol) {
+        self.0.push(symbol);
+    }
+
+    /// The symbols of the word.
+    #[must_use]
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.0
+    }
+
+    /// Whether the word is complete for `instance` (one letter per receiver, with the right
+    /// number of each class).
+    #[must_use]
+    pub fn is_complete_for(&self, instance: &Instance) -> bool {
+        self.num_open() == instance.n() && self.num_guarded() == instance.m()
+    }
+
+    /// Converts the word into the node order it encodes, source first: the `k`-th `©` maps to
+    /// open node `C_k` and the `k`-th `■` maps to guarded node `C_{n+k}` (increasing orders,
+    /// Lemma 4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidWord`] when the word does not match the instance's node
+    /// counts.
+    pub fn to_order(&self, instance: &Instance) -> Result<Vec<NodeId>, CoreError> {
+        if !self.is_complete_for(instance) {
+            return Err(CoreError::InvalidWord(format!(
+                "word has {} open and {} guarded letters, instance has n={} and m={}",
+                self.num_open(),
+                self.num_guarded(),
+                instance.n(),
+                instance.m()
+            )));
+        }
+        let mut order = Vec::with_capacity(instance.num_nodes());
+        order.push(0);
+        let mut next_open = 1;
+        let mut next_guarded = 1;
+        for &symbol in &self.0 {
+            match symbol {
+                Symbol::Open => {
+                    order.push(instance.open_id(next_open));
+                    next_open += 1;
+                }
+                Symbol::Guarded => {
+                    order.push(instance.guarded_id(next_guarded));
+                    next_guarded += 1;
+                }
+            }
+        }
+        Ok(order)
+    }
+}
+
+impl fmt::Display for CodingWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &symbol in &self.0 {
+            let ch = match symbol {
+                Symbol::Open => 'o',
+                Symbol::Guarded => 'g',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The state `(O(π), G(π), W(π))` of a conservative partial solution after a prefix `π`
+/// (Lemma 4.4), together with the number of open and guarded nodes already placed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WordState {
+    /// Open bandwidth still available, `O(π)`.
+    pub open_avail: f64,
+    /// Guarded bandwidth still available, `G(π)`.
+    pub guarded_avail: f64,
+    /// Open → open transfer used so far, `W(π)`.
+    pub open_waste: f64,
+    /// Number of open nodes placed, `|π|_©`.
+    pub open_used: usize,
+    /// Number of guarded nodes placed, `|π|_■`.
+    pub guarded_used: usize,
+}
+
+impl WordState {
+    /// State of the empty word: `O(ε) = b_0`, `G(ε) = 0`, `W(ε) = 0`.
+    #[must_use]
+    pub fn initial(instance: &Instance) -> Self {
+        WordState {
+            open_avail: instance.source_bandwidth(),
+            guarded_avail: 0.0,
+            open_waste: 0.0,
+            open_used: 0,
+            guarded_used: 0,
+        }
+    }
+
+    /// Applies the recursion of Lemma 4.4 for appending `symbol` at throughput `throughput`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corresponding node class is exhausted (more letters than nodes).
+    #[must_use]
+    pub fn step(&self, instance: &Instance, throughput: f64, symbol: Symbol) -> WordState {
+        let mut next = *self;
+        match symbol {
+            Symbol::Guarded => {
+                assert!(
+                    self.guarded_used < instance.m(),
+                    "more guarded letters than guarded nodes"
+                );
+                let bandwidth = instance.bandwidth(instance.guarded_id(self.guarded_used + 1));
+                next.open_avail = self.open_avail - throughput;
+                next.guarded_avail = self.guarded_avail + bandwidth;
+                next.guarded_used += 1;
+            }
+            Symbol::Open => {
+                assert!(
+                    self.open_used < instance.n(),
+                    "more open letters than open nodes"
+                );
+                let bandwidth = instance.bandwidth(instance.open_id(self.open_used + 1));
+                let from_open = (throughput - self.guarded_avail).max(0.0);
+                next.open_avail = self.open_avail + bandwidth - from_open;
+                next.guarded_avail = (self.guarded_avail - throughput).max(0.0);
+                next.open_waste = self.open_waste + from_open;
+                next.open_used += 1;
+            }
+        }
+        next
+    }
+
+    /// Combined available bandwidth `O(π) + G(π)`.
+    #[must_use]
+    pub fn total_avail(&self) -> f64 {
+        self.open_avail + self.guarded_avail
+    }
+}
+
+/// Whether appending `symbol` to a prefix in state `state` is allowed at throughput `T`:
+/// `O(π) ≥ T` for a guarded node, `O(π) + G(π) ≥ T` for an open node.
+#[must_use]
+pub fn can_append(state: &WordState, throughput: f64, symbol: Symbol) -> bool {
+    match symbol {
+        Symbol::Guarded => eps::approx_ge(state.open_avail, throughput),
+        Symbol::Open => eps::approx_ge(state.total_avail(), throughput),
+    }
+}
+
+/// Whether `word` is valid for `instance` at throughput `throughput`
+/// (i.e. `T ≤ T*_ac(word)`).
+///
+/// Words that do not match the instance's node counts are invalid.
+#[must_use]
+pub fn is_valid_word(instance: &Instance, throughput: f64, word: &CodingWord) -> bool {
+    if !word.is_complete_for(instance) {
+        return false;
+    }
+    if throughput <= 0.0 {
+        return true;
+    }
+    let mut state = WordState::initial(instance);
+    for &symbol in word.symbols() {
+        if !can_append(&state, throughput, symbol) {
+            return false;
+        }
+        state = state.step(instance, throughput, symbol);
+        if eps::definitely_lt(state.open_avail, 0.0) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Full trace of the states along `word` at throughput `throughput`: the first entry is the
+/// state of the empty word and each subsequent entry follows one more letter. This is the
+/// data shown in Table I of the paper.
+#[must_use]
+pub fn word_trace(instance: &Instance, throughput: f64, word: &CodingWord) -> Vec<WordState> {
+    let mut states = Vec::with_capacity(word.len() + 1);
+    let mut state = WordState::initial(instance);
+    states.push(state);
+    for &symbol in word.symbols() {
+        state = state.step(instance, throughput, symbol);
+        states.push(state);
+    }
+    states
+}
+
+/// Largest throughput for which `word` is valid (`T*_ac(word)`), computed by dichotomic
+/// search up to relative precision `tolerance`.
+///
+/// Returns 0 when the word is invalid even for arbitrarily small throughput (e.g. wrong
+/// counts).
+#[must_use]
+pub fn optimal_throughput_for_word(
+    instance: &Instance,
+    word: &CodingWord,
+    tolerance: f64,
+) -> f64 {
+    if !word.is_complete_for(instance) {
+        return 0.0;
+    }
+    let mut lo = 0.0_f64;
+    let mut hi = crate::bounds::cyclic_upper_bound(instance);
+    if hi <= 0.0 {
+        return 0.0;
+    }
+    if is_valid_word(instance, hi, word) {
+        return hi;
+    }
+    // Invariant: `lo` is valid, `hi` is not.
+    for _ in 0..200 {
+        if hi - lo <= tolerance * hi.max(1.0) {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if is_valid_word(instance, mid, word) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_platform::paper::figure1;
+
+    fn word_gogog() -> CodingWord {
+        CodingWord::parse("gogog").unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let word = CodingWord::parse("oGg O").unwrap();
+        assert_eq!(word.len(), 4);
+        assert_eq!(word.num_open(), 2);
+        assert_eq!(word.num_guarded(), 2);
+        assert_eq!(word.to_string(), "oggo");
+        assert!(CodingWord::parse("ox").is_err());
+    }
+
+    #[test]
+    fn order_mapping_matches_figure2() {
+        // The word ■©©■■ encodes the order σ = 0 3 1 2 4 5 of Figure 2.
+        let word = CodingWord::parse("googg").unwrap();
+        let order = word.to_order(&figure1()).unwrap();
+        assert_eq!(order, vec![0, 3, 1, 2, 4, 5]);
+        // The word ■©■©■ encodes the order σ = 0 3 1 4 2 5 of Figure 5.
+        let order = word_gogog().to_order(&figure1()).unwrap();
+        assert_eq!(order, vec![0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn order_rejects_count_mismatch() {
+        let word = CodingWord::parse("ooo").unwrap();
+        assert!(word.to_order(&figure1()).is_err());
+        assert!(!word.is_complete_for(&figure1()));
+    }
+
+    #[test]
+    fn state_recursion_reproduces_table1() {
+        // Table I of the paper: GreedyTest(T = 4) on the Figure 1 instance follows the word
+        // ■©■©■ and visits O = 6,2,7,3,5,1 ; G = 0,4,0,1,0,1 ; W = 0,0,0,0,3,3.
+        let inst = figure1();
+        let trace = word_trace(&inst, 4.0, &word_gogog());
+        let open: Vec<f64> = trace.iter().map(|s| s.open_avail).collect();
+        let guarded: Vec<f64> = trace.iter().map(|s| s.guarded_avail).collect();
+        let waste: Vec<f64> = trace.iter().map(|s| s.open_waste).collect();
+        assert_eq!(open, vec![6.0, 2.0, 7.0, 3.0, 5.0, 1.0]);
+        assert_eq!(guarded, vec![0.0, 4.0, 0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(waste, vec![0.0, 0.0, 0.0, 0.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn figure2_word_wastes_more_open_bandwidth() {
+        // The acyclic scheme of Figure 2 follows ■©©■■ and uses 4 units of open→open
+        // transfer, versus 3 for the word produced by Algorithm 2 (remark under Table I).
+        let inst = figure1();
+        let trace = word_trace(&inst, 4.0, &CodingWord::parse("googg").unwrap());
+        let final_waste = trace.last().unwrap().open_waste;
+        assert_eq!(final_waste, 4.0);
+    }
+
+    #[test]
+    fn validity_at_throughput_4() {
+        let inst = figure1();
+        assert!(is_valid_word(&inst, 4.0, &word_gogog()));
+        assert!(is_valid_word(&inst, 4.0, &CodingWord::parse("googg").unwrap()));
+        // Starting with two guarded nodes requires 2T ≤ b0 = 6, impossible at T = 4.
+        assert!(!is_valid_word(&inst, 4.0, &CodingWord::parse("ggoog").unwrap()));
+    }
+
+    #[test]
+    fn validity_is_monotone_in_throughput() {
+        let inst = figure1();
+        let word = word_gogog();
+        let t_star = optimal_throughput_for_word(&inst, &word, 1e-12);
+        for t in [0.5, 1.0, 2.0, 3.0, 3.9, t_star - 1e-9] {
+            assert!(is_valid_word(&inst, t, &word), "T = {t} should be valid");
+        }
+        for t in [t_star + 1e-6, 4.5, 5.0] {
+            assert!(!is_valid_word(&inst, t, &word), "T = {t} should be invalid");
+        }
+    }
+
+    #[test]
+    fn optimal_throughput_for_figure1_words() {
+        let inst = figure1();
+        // The optimal acyclic throughput of the Figure 1 instance is 4 and is reached both by
+        // the Algorithm 2 word and by the Figure 2 word.
+        let t1 = optimal_throughput_for_word(&inst, &word_gogog(), 1e-12);
+        assert!((t1 - 4.0).abs() < 1e-6, "t1 = {t1}");
+        let t2 = optimal_throughput_for_word(&inst, &CodingWord::parse("googg").unwrap(), 1e-12);
+        assert!((t2 - 4.0).abs() < 1e-6, "t2 = {t2}");
+        // A bad word (all open first) reaches a lower throughput.
+        let t3 = optimal_throughput_for_word(&inst, &CodingWord::parse("ooggg").unwrap(), 1e-12);
+        assert!(t3 < 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_throughput_is_always_valid_for_complete_words() {
+        let inst = figure1();
+        assert!(is_valid_word(&inst, 0.0, &word_gogog()));
+        assert!(!is_valid_word(&inst, 0.0, &CodingWord::parse("oo").unwrap()));
+    }
+
+    #[test]
+    fn word_state_total() {
+        let inst = figure1();
+        let state = WordState::initial(&inst);
+        assert_eq!(state.total_avail(), 6.0);
+        let after = state.step(&inst, 4.0, Symbol::Guarded);
+        assert_eq!(after.total_avail(), 2.0 + 4.0);
+        assert_eq!(after.guarded_used, 1);
+        assert_eq!(after.open_used, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more guarded letters")]
+    fn step_panics_when_class_exhausted() {
+        let inst = figure1();
+        let mut state = WordState::initial(&inst);
+        for _ in 0..4 {
+            state = state.step(&inst, 1.0, Symbol::Guarded);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let word = word_gogog();
+        let json = serde_json::to_string(&word).unwrap();
+        let back: CodingWord = serde_json::from_str(&json).unwrap();
+        assert_eq!(word, back);
+    }
+}

@@ -1,0 +1,190 @@
+//! Worst-case families of Section VI: the 5/7 instance, the Theorem 6.3 family `I(α, k)` and
+//! the unbounded-degree family of Figure 6.
+
+use crate::bounds::cyclic_upper_bound;
+use crate::error::CoreError;
+use crate::scheme::BroadcastScheme;
+use bmp_platform::paper;
+use bmp_platform::Instance;
+
+/// The 5/7 worst-case instance of Figure 18 (re-exported from the platform layer).
+///
+/// # Errors
+///
+/// Returns an error unless `0 ≤ ε < 1/2`.
+pub fn five_sevenths_instance(epsilon: f64) -> Result<Instance, CoreError> {
+    Ok(paper::figure18(epsilon)?)
+}
+
+/// The `ε` at which both candidate orderings of the Figure 18 instance tie at exactly 5/7.
+#[must_use]
+pub fn five_sevenths_tight_epsilon() -> f64 {
+    paper::figure18_tight_epsilon()
+}
+
+/// `f_α(x) = (αx + 1)/2`: upper bound on the acyclic throughput of `I(α, k)` when `x` open
+/// nodes appear before the second guarded node (the source and those `x` nodes must feed the
+/// first two guarded nodes).
+#[must_use]
+pub fn theorem63_f(alpha: f64, x: f64) -> f64 {
+    (alpha * x + 1.0) / 2.0
+}
+
+/// `g_α(x) = (αx + 1/α + 1)/(x + 2)`: upper bound when `x` open nodes appear before the
+/// second guarded node (the first `x + 2` nodes must be fed by the source, those `x` open
+/// nodes and the first guarded node).
+#[must_use]
+pub fn theorem63_g(alpha: f64, x: f64) -> f64 {
+    (alpha * x + 1.0 / alpha + 1.0) / (x + 2.0)
+}
+
+/// Upper bound `max(f_α(⌊1/α⌋), g_α(⌈1/α⌉))` of Theorem 6.3 on the acyclic throughput of
+/// `I(α, k)` (the cyclic optimum of the family is 1).
+#[must_use]
+pub fn theorem63_acyclic_upper_bound(alpha: f64) -> f64 {
+    let x_low = (1.0 / alpha).floor();
+    let x_high = (1.0 / alpha).ceil();
+    theorem63_f(alpha, x_low).max(theorem63_g(alpha, x_high))
+}
+
+/// Builds the `I(α, k)` instance with the rational `α = p/q` (Theorem 6.3).
+///
+/// # Errors
+///
+/// Returns an error unless `0 < p < q` and `k ≥ 1`.
+pub fn theorem63_instance(p: u32, q: u32, k: u32) -> Result<Instance, CoreError> {
+    Ok(paper::theorem63_instance(p, q, k)?)
+}
+
+/// The Figure 6 family (`b_0 = 1`, one open node of bandwidth `m − 1`, `m` guarded nodes of
+/// bandwidth `1/m`), whose unique optimal cyclic scheme forces the source to have outdegree
+/// `m` while `⌈b_0/T*⌉ = 1`.
+///
+/// # Errors
+///
+/// Returns an error if `m < 2`.
+pub fn unbounded_degree_instance(m: usize) -> Result<Instance, CoreError> {
+    Ok(paper::figure6(m)?)
+}
+
+/// The optimal cyclic scheme of the Figure 6 instance: the source splits its unit bandwidth
+/// evenly across the `m` guarded nodes, every guarded node relays its `1/m` to the open node,
+/// and the open node sends `(m−1)/m` to every guarded node. Its throughput is `T* = 1` and
+/// the source outdegree is `m`.
+///
+/// # Errors
+///
+/// Returns an error if `m < 2`.
+pub fn unbounded_degree_optimal_scheme(m: usize) -> Result<BroadcastScheme, CoreError> {
+    let instance = unbounded_degree_instance(m)?;
+    let mut scheme = BroadcastScheme::new(instance.clone());
+    let m_f = m as f64;
+    let open = 1usize; // the single open node is C_1
+    for k in 1..=m {
+        let guarded = instance.guarded_id(k);
+        scheme.set_rate(0, guarded, 1.0 / m_f);
+        scheme.set_rate(guarded, open, 1.0 / m_f);
+        scheme.set_rate(open, guarded, (m_f - 1.0) / m_f);
+    }
+    Ok(scheme)
+}
+
+/// Ratio `T*_ac / T*` of an instance, using the supplied acyclic throughput and the
+/// closed-form cyclic optimum.
+#[must_use]
+pub fn acyclic_cyclic_ratio(instance: &Instance, acyclic_throughput: f64) -> f64 {
+    let cyclic = cyclic_upper_bound(instance);
+    if cyclic <= 0.0 {
+        1.0
+    } else {
+        acyclic_throughput / cyclic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic_guarded::AcyclicGuardedSolver;
+    use crate::bounds::{five_sevenths, theorem63_limit_ratio};
+    use bmp_platform::node::degree_lower_bound;
+
+    #[test]
+    fn five_sevenths_family_ratio() {
+        let solver = AcyclicGuardedSolver::default();
+        let inst = five_sevenths_instance(five_sevenths_tight_epsilon()).unwrap();
+        let (acyclic, _) = solver.optimal_throughput(&inst);
+        let ratio = acyclic_cyclic_ratio(&inst, acyclic);
+        assert!((ratio - five_sevenths()).abs() < 1e-6, "ratio = {ratio}");
+        // Away from the tight ε the ratio is strictly better.
+        let inst = five_sevenths_instance(0.01).unwrap();
+        let (acyclic, _) = solver.optimal_throughput(&inst);
+        assert!(acyclic_cyclic_ratio(&inst, acyclic) > five_sevenths() + 1e-3);
+    }
+
+    #[test]
+    fn theorem63_functions_cross_at_the_limit() {
+        let alpha = bmp_platform::paper::theorem63_alpha();
+        // ⌊1/α⌋ = 2 and ⌈1/α⌉ = 3, and f(2) = g(3) = (1+√41)/8.
+        assert_eq!((1.0 / alpha).floor(), 2.0);
+        assert_eq!((1.0 / alpha).ceil(), 3.0);
+        assert!((theorem63_f(alpha, 2.0) - theorem63_limit_ratio()).abs() < 1e-9);
+        assert!((theorem63_g(alpha, 3.0) - theorem63_limit_ratio()).abs() < 1e-9);
+        assert!((theorem63_acyclic_upper_bound(alpha) - theorem63_limit_ratio()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem63_family_ratio_stays_below_the_limit() {
+        let solver = AcyclicGuardedSolver::default();
+        let (p, q) = bmp_platform::paper::theorem63_rational_alpha();
+        let alpha = f64::from(p) / f64::from(q);
+        let analytic_bound = theorem63_acyclic_upper_bound(alpha);
+        for k in [1u32, 2, 3] {
+            let inst = theorem63_instance(p, q, k).unwrap();
+            assert!((cyclic_upper_bound(&inst) - 1.0).abs() < 1e-9);
+            let (acyclic, _) = solver.optimal_throughput(&inst);
+            assert!(
+                acyclic <= analytic_bound + 1e-6,
+                "k = {k}: acyclic {acyclic} exceeds analytic bound {analytic_bound}"
+            );
+            assert!(acyclic >= five_sevenths() - 1e-6);
+            // The bound is within 1% of the irrational limit (1+√41)/8.
+            assert!((analytic_bound - theorem63_limit_ratio()).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn unbounded_degree_scheme_is_optimal_but_high_degree() {
+        let solver = AcyclicGuardedSolver::default();
+        for m in [2usize, 4, 8, 16] {
+            let scheme = unbounded_degree_optimal_scheme(m).unwrap();
+            assert!(scheme.is_feasible(), "violations: {:?}", scheme.validate());
+            let throughput = scheme.throughput();
+            assert!(
+                (throughput - 1.0).abs() < 1e-9,
+                "m = {m}: throughput {throughput}"
+            );
+            // The source degree is m although ⌈b0/T*⌉ = 1: the degree excess is unbounded.
+            assert_eq!(scheme.outdegree(0), m);
+            assert_eq!(degree_lower_bound(1.0, 1.0), 1);
+            assert_eq!(scheme.degree_excess(0, 1.0), m as i64 - 1);
+            // The acyclic optimum of the same instance is strictly below 1 and decreases with
+            // m: low-degree (acyclic) solutions pay a throughput price here.
+            let inst = unbounded_degree_instance(m).unwrap();
+            let (acyclic, _) = solver.optimal_throughput(&inst);
+            assert!(acyclic < 1.0 - 1e-6);
+            assert!(acyclic >= five_sevenths() - 1e-6);
+        }
+    }
+
+    #[test]
+    fn figure6_rejects_tiny_m() {
+        assert!(unbounded_degree_instance(1).is_err());
+        assert!(unbounded_degree_optimal_scheme(0).is_err());
+    }
+
+    #[test]
+    fn ratio_helper_handles_degenerate_cyclic_bound() {
+        let inst = Instance::new(0.0, vec![1.0], vec![]).unwrap();
+        assert_eq!(acyclic_cyclic_ratio(&inst, 0.0), 1.0);
+    }
+}

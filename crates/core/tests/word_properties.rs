@@ -1,0 +1,132 @@
+//! Property tests on coding words, the (O, G, W) bookkeeping of Lemma 4.4 and the
+//! conservative scheme construction.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_core::conservative::{is_compatible_with_order, is_conservative};
+use bmp_core::exhaustive::all_words;
+use bmp_core::word::{
+    is_valid_word, optimal_throughput_for_word, word_trace, CodingWord, Symbol, WordState,
+};
+use bmp_platform::Instance;
+use proptest::prelude::*;
+
+fn small_instance() -> impl Strategy<Value = Instance> {
+    (
+        0.3_f64..10.0,
+        proptest::collection::vec(0.1_f64..10.0, 0..=5),
+        proptest::collection::vec(0.1_f64..10.0, 0..=5),
+    )
+        .prop_filter_map("need a receiver", |(b0, open, guarded)| {
+            Instance::new(b0, open, guarded).ok()
+        })
+}
+
+/// A random complete word for the given instance, encoded as a shuffle seed.
+fn word_for(instance: &Instance, seed: usize) -> CodingWord {
+    let words = all_words(instance.n(), instance.m());
+    words[seed % words.len()].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bookkeeping_conserves_bandwidth(instance in small_instance(), seed in 0usize..10_000, t in 0.01_f64..5.0) {
+        // Lemma 4.4: O(π) + G(π) = Σ_{placed} b_k + b_0 − |π|·T, whatever the word.
+        let word = word_for(&instance, seed);
+        let trace = word_trace(&instance, t, &word);
+        for (index, state) in trace.iter().enumerate() {
+            let placed_open: f64 = (1..=state.open_used).map(|k| instance.bandwidth(instance.open_id(k))).sum();
+            let placed_guarded: f64 = (1..=state.guarded_used).map(|k| instance.bandwidth(instance.guarded_id(k))).sum();
+            let expected = instance.source_bandwidth() + placed_open + placed_guarded
+                - index as f64 * t;
+            prop_assert!((state.total_avail() - expected).abs() < 1e-7,
+                "prefix {}: O+G = {} vs expected {}", index, state.total_avail(), expected);
+            // W is non-negative and non-decreasing along the word.
+            prop_assert!(state.open_waste >= -1e-12);
+            if index > 0 {
+                prop_assert!(state.open_waste + 1e-12 >= trace[index - 1].open_waste);
+            }
+        }
+    }
+
+    #[test]
+    fn per_word_optimum_is_the_validity_threshold(instance in small_instance(), seed in 0usize..10_000) {
+        let word = word_for(&instance, seed);
+        let t_star = optimal_throughput_for_word(&instance, &word, 1e-11);
+        prop_assert!(is_valid_word(&instance, t_star * 0.999, &word));
+        prop_assert!(is_valid_word(&instance, 0.0, &word));
+        if t_star > 1e-9 {
+            prop_assert!(!is_valid_word(&instance, t_star * 1.01 + 1e-6, &word));
+        }
+    }
+
+    #[test]
+    fn word_order_roundtrip(instance in small_instance(), seed in 0usize..10_000) {
+        let word = word_for(&instance, seed);
+        let order = word.to_order(&instance).unwrap();
+        prop_assert_eq!(order.len(), instance.num_nodes());
+        prop_assert_eq!(order[0], 0);
+        let back = bmp_core::conservative::order_to_word(&instance, &order).unwrap();
+        prop_assert_eq!(back, word);
+    }
+
+    #[test]
+    fn constructed_schemes_are_conservative_and_order_compatible(
+        instance in small_instance(),
+        seed in 0usize..10_000,
+        fraction in 0.1_f64..1.0,
+    ) {
+        let solver = AcyclicGuardedSolver::default();
+        let word = word_for(&instance, seed);
+        let t_star = optimal_throughput_for_word(&instance, &word, 1e-11);
+        prop_assume!(t_star > 1e-6);
+        let t = t_star * fraction;
+        let scheme = solver.scheme_for_word(&instance, t, &word).unwrap();
+        let order = word.to_order(&instance).unwrap();
+        prop_assert!(scheme.is_feasible(), "{:?}", scheme.validate());
+        prop_assert!(is_compatible_with_order(&scheme, &order).unwrap());
+        prop_assert!(is_conservative(&scheme, &order).unwrap());
+        // Every receiver is served at exactly rate t.
+        for receiver in instance.receivers() {
+            prop_assert!((scheme.received(receiver) - t).abs() < 1e-6 * t.max(1.0));
+        }
+        prop_assert!(scheme.throughput() + 1e-6 * t.max(1.0) >= t);
+    }
+
+    #[test]
+    fn initial_state_matches_the_instance(instance in small_instance()) {
+        let state = WordState::initial(&instance);
+        prop_assert_eq!(state.open_avail, instance.source_bandwidth());
+        prop_assert_eq!(state.guarded_avail, 0.0);
+        prop_assert_eq!(state.open_waste, 0.0);
+    }
+}
+
+#[test]
+fn symbols_round_trip_through_display_and_parse() {
+    for n in 0..4 {
+        for m in 0..4 {
+            for word in all_words(n, m) {
+                let text = word.to_string();
+                let parsed = CodingWord::parse(&text).unwrap();
+                assert_eq!(parsed, word);
+                assert_eq!(parsed.num_open(), n);
+                assert_eq!(parsed.num_guarded(), m);
+            }
+        }
+    }
+}
+
+#[test]
+fn symbol_counts_are_consistent() {
+    let word = CodingWord::from_symbols(vec![
+        Symbol::Open,
+        Symbol::Guarded,
+        Symbol::Guarded,
+        Symbol::Open,
+    ]);
+    assert_eq!(word.num_open(), 2);
+    assert_eq!(word.num_guarded(), 2);
+    assert_eq!(word.len(), 4);
+}

@@ -1,0 +1,34 @@
+//! Runs the depth/delay extension experiment: hop depth of the optimal acyclic scheme versus
+//! the regular ω-word schemes, and the effect of throttling the throughput on depth.
+
+use bmp_experiments::depth_exp::run;
+use bmp_experiments::parallel::default_threads;
+use bmp_experiments::runner::{write_output, RunOptions};
+
+fn main() -> std::io::Result<()> {
+    let options = RunOptions::from_env();
+    let threads = default_threads();
+    let report = run(options.quick, threads);
+    println!("Depth experiment ({} threads):", threads);
+    println!("receivers  trials  max hops (optimal / omega / omega@95%)  omega/optimal throughput");
+    for cell in &report.cells {
+        println!(
+            "{:>9}  {:>6}  {:>7.2} / {:>5.2} / {:>5.2}                  {:.4}",
+            cell.receivers,
+            cell.trials,
+            cell.optimal_max_hops,
+            cell.omega_max_hops,
+            cell.throttled_max_hops,
+            cell.omega_throughput_ratio,
+        );
+    }
+    println!(
+        "\nreading: deeper overlays mean larger start-up delay for live streams; giving up 5% \
+         of the ω-word throughput (last column ratios are relative to the optimal acyclic \
+         throughput) buys visibly shallower trees."
+    );
+    write_output(
+        &options.output_path("depth.csv"),
+        &report.to_csv().to_csv_string(),
+    )
+}

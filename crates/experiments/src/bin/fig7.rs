@@ -1,0 +1,36 @@
+//! Regenerates Figure 7: worst-case acyclic/cyclic ratio over tight homogeneous instances.
+
+use bmp_experiments::fig7::{run, Fig7Config};
+use bmp_experiments::runner::{write_output, RunOptions};
+
+fn main() -> std::io::Result<()> {
+    let options = RunOptions::from_env();
+    let config = if options.quick {
+        Fig7Config::quick()
+    } else {
+        Fig7Config::default()
+    };
+    println!(
+        "Figure 7: grid up to n, m = {} (step {}), {} threads",
+        config.max_nodes, config.grid_step, config.threads
+    );
+    let result = run(config);
+    if let Some(minimum) = result.global_minimum() {
+        println!(
+            "global minimum ratio {:.4} at (n = {}, m = {}, delta = {})  [paper floor: 5/7 = {:.4}]",
+            minimum.worst_ratio,
+            minimum.n,
+            minimum.m,
+            minimum.worst_delta,
+            5.0 / 7.0
+        );
+    }
+    println!(
+        "fraction of cells above 0.8: {:.3} (paper: all but a few small instances)",
+        result.fraction_above(0.8)
+    );
+    write_output(
+        &options.output_path("fig7.csv"),
+        &result.to_csv().to_csv_string(),
+    )
+}

@@ -1,0 +1,13 @@
+//! Regenerates the running example of the paper (Figures 1, 2 and 5) and validates it end to
+//! end (max-flow + chunk-level simulation).
+
+use bmp_experiments::paper_figures::run;
+use bmp_experiments::runner::{write_output, RunOptions};
+
+fn main() -> std::io::Result<()> {
+    let options = RunOptions::from_env();
+    let report = run();
+    let rendered = report.render();
+    println!("{rendered}");
+    write_output(&options.output_path("paper_figures.txt"), &rendered)
+}

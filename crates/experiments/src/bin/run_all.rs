@@ -1,0 +1,50 @@
+//! Runs every experiment of the paper in sequence (use `--quick` for a smoke-test pass).
+
+use bmp_experiments::runner::{write_output, RunOptions};
+use bmp_experiments::{fig19, fig7, paper_figures, table1, worst_case};
+
+fn main() -> std::io::Result<()> {
+    let options = RunOptions::from_env();
+
+    println!("== Table I ==");
+    let table = table1::paper_table1();
+    write_output(&options.output_path("table1.txt"), &table.render())?;
+
+    println!("== Figures 1 / 2 / 5 ==");
+    let figures = paper_figures::run();
+    write_output(&options.output_path("paper_figures.txt"), &figures.render())?;
+
+    println!("== Worst cases (Figures 6, 18; Theorems 6.1, 6.3) ==");
+    let report = worst_case::run(options.quick);
+    write_output(
+        &options.output_path("worst_case.csv"),
+        &report.to_csv().to_csv_string(),
+    )?;
+
+    println!("== Figure 7 ==");
+    let fig7_config = if options.quick {
+        fig7::Fig7Config::quick()
+    } else {
+        fig7::Fig7Config::default()
+    };
+    let fig7_result = fig7::run(fig7_config);
+    write_output(
+        &options.output_path("fig7.csv"),
+        &fig7_result.to_csv().to_csv_string(),
+    )?;
+
+    println!("== Figure 19 ==");
+    let fig19_config = if options.quick {
+        fig19::Fig19Config::quick()
+    } else {
+        fig19::Fig19Config::default()
+    };
+    let fig19_result = fig19::run(&fig19_config);
+    write_output(
+        &options.output_path("fig19.csv"),
+        &fig19_result.to_csv().to_csv_string(),
+    )?;
+
+    println!("all experiments written to {}", options.output_dir.display());
+    Ok(())
+}

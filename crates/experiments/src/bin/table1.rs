@@ -1,0 +1,14 @@
+//! Regenerates Table I of the paper: the trace of Algorithm 2 (GreedyTest, T = 4) on the
+//! Figure 1 instance.
+
+use bmp_experiments::runner::{write_output, RunOptions};
+use bmp_experiments::table1::paper_table1;
+
+fn main() -> std::io::Result<()> {
+    let options = RunOptions::from_env();
+    let table = paper_table1();
+    let rendered = table.render();
+    println!("Table I — GreedyTest(T = 4) on the Figure 1 instance\n");
+    println!("{rendered}");
+    write_output(&options.output_path("table1.txt"), &rendered)
+}

@@ -1,0 +1,42 @@
+//! Regenerates the worst-case studies: Figure 18 (5/7), Theorem 6.3 family, Figure 6
+//! (unbounded degree) and the Theorem 6.1 bound.
+
+use bmp_experiments::runner::{write_output, RunOptions};
+use bmp_experiments::worst_case::run;
+
+fn main() -> std::io::Result<()> {
+    let options = RunOptions::from_env();
+    let report = run(options.quick);
+    println!("Figure 18 sweep (epsilon, acyclic/cyclic ratio):");
+    for row in &report.figure18 {
+        println!("  eps = {:.4}  ratio = {:.4}", row.epsilon, row.ratio);
+    }
+    println!("\nTheorem 6.3 family I(alpha, k) (cyclic optimum = 1):");
+    for row in &report.theorem63 {
+        println!(
+            "  k = {:<3} n+m = {:<5} acyclic = {:.4}  analytic bound = {:.4}",
+            row.k,
+            row.n + row.m,
+            row.acyclic,
+            row.analytic_bound
+        );
+    }
+    println!("\nFigure 6 family (optimal cyclic schemes need source degree m):");
+    for row in &report.figure6 {
+        println!(
+            "  m = {:<4} cyclic source degree = {:<4} lower bound = {}  acyclic throughput = {:.4}",
+            row.m, row.cyclic_source_degree, row.degree_lower_bound, row.acyclic_throughput
+        );
+    }
+    println!("\nTheorem 6.1 (open-only ratio versus 1 - 1/n):");
+    for row in &report.theorem61 {
+        println!(
+            "  n = {:<4} ratio = {:.4} >= bound {:.4}",
+            row.n, row.ratio, row.bound
+        );
+    }
+    write_output(
+        &options.output_path("worst_case.csv"),
+        &report.to_csv().to_csv_string(),
+    )
+}

@@ -1,0 +1,138 @@
+//! Minimal CSV writer used by the experiment binaries.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV table with a fixed header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        CsvTable {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row of already-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity does not match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity does not match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of numeric cells (formatted with 6 significant decimals).
+    pub fn push_numeric_row(&mut self, cells: &[f64]) {
+        self.push_row(cells.iter().map(|v| format!("{v:.6}")).collect());
+    }
+
+    /// Renders the table as a CSV string (comma separated, `\n` line endings, cells containing
+    /// commas or quotes are quoted).
+    #[must_use]
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        write_line(&mut out, &self.header);
+        for row in &self.rows {
+            write_line(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table to a file, creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv_string())
+    }
+}
+
+fn write_line(out: &mut String, cells: &[String]) {
+    for (index, cell) in cells.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            let escaped = cell.replace('"', "\"\"");
+            let _ = write!(out, "\"{escaped}\"");
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut table = CsvTable::new(&["n", "m", "ratio"]);
+        table.push_numeric_row(&[10.0, 5.0, 0.987654321]);
+        table.push_row(vec!["1".into(), "2".into(), "with, comma".into()]);
+        let csv = table.to_csv_string();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,m,ratio");
+        assert!(lines[1].starts_with("10.000000,5.000000,0.987654"));
+        assert_eq!(lines[2], "1,2,\"with, comma\"");
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut table = CsvTable::new(&["text"]);
+        table.push_row(vec!["say \"hi\"".into()]);
+        assert!(table.to_csv_string().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut table = CsvTable::new(&["a", "b"]);
+        table.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn write_to_file() {
+        let mut table = CsvTable::new(&["x"]);
+        table.push_numeric_row(&[1.0]);
+        let dir = std::env::temp_dir().join("bmp_csv_test");
+        let path = dir.join("nested").join("out.csv");
+        table.write_to(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x\n1.000000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

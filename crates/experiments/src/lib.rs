@@ -1,0 +1,36 @@
+//! Experiment harness: regenerates every table and figure of the paper's evaluation.
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Table I (Algorithm 2 trace) | [`table1`] | `cargo run -p bmp-experiments --bin table1` |
+//! | Figure 7 (worst-case ratio grid) | [`fig7`] | `cargo run -p bmp-experiments --bin fig7 --release` |
+//! | Figure 19 (average-case ratios) | [`fig19`] | `cargo run -p bmp-experiments --bin fig19 --release` |
+//! | Figures 6, 18, Theorems 6.1/6.3 | [`worst_case`] | `cargo run -p bmp-experiments --bin worst_case` |
+//! | Figures 1, 2, 5 (running example) | [`paper_figures`] | `cargo run -p bmp-experiments --bin paper_figures` |
+//!
+//! Extension experiments (the future-work directions listed in the paper's conclusion):
+//!
+//! | Extension | Module | Binary |
+//! |---|---|---|
+//! | Churn: residual throughput and repair quality | [`churn_exp`] | `cargo run -p bmp-experiments --bin churn` |
+//! | Depth/delay of the produced overlays | [`depth_exp`] | `cargo run -p bmp-experiments --bin depth` |
+//! | Chunk-policy ablation of the data plane | [`policy_exp`] | `cargo run -p bmp-experiments --bin policies` |
+//!
+//! Supporting modules: [`stats`] (boxplot summaries), [`csvout`] (CSV output),
+//! [`parallel`] (scoped-thread fan-out) and [`runner`] (common CLI flags).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn_exp;
+pub mod csvout;
+pub mod depth_exp;
+pub mod fig19;
+pub mod fig7;
+pub mod paper_figures;
+pub mod parallel;
+pub mod policy_exp;
+pub mod runner;
+pub mod stats;
+pub mod table1;
+pub mod worst_case;

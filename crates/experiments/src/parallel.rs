@@ -1,0 +1,97 @@
+//! Scoped-thread parallel map used by the heavier experiment sweeps.
+//!
+//! The experiment workloads (thousands of independent random instances, or a grid of
+//! `(n, m, Δ)` cells) are embarrassingly parallel; a simple chunked fan-out over
+//! `crossbeam::scope` threads is all that is needed — no work stealing, no shared mutable
+//! state beyond the pre-allocated result slots.
+
+/// Applies `f` to every item of `items` using up to `threads` worker threads and returns the
+/// results in the original order.
+///
+/// With `threads ≤ 1` the map is executed sequentially (useful for debugging and for keeping
+/// results bit-for-bit reproducible when the caller relies on thread-local RNG state).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = threads.min(items.len());
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    // Split the result buffer into contiguous chunks, one per worker, so that each thread
+    // writes to its own slice without synchronisation.
+    let chunk_size = items.len().div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for (chunk_index, results_chunk) in results.chunks_mut(chunk_size).enumerate() {
+            let start = chunk_index * chunk_size;
+            let items_chunk = &items[start..(start + results_chunk.len()).min(items.len())];
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, item) in results_chunk.iter_mut().zip(items_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("a parallel experiment worker panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is filled by construction"))
+        .collect()
+}
+
+/// Default number of worker threads: the machine's available parallelism, capped at 8 so the
+/// experiment binaries stay polite on shared machines.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..200).collect();
+        let sequential = parallel_map(&items, 1, |&x| x * x + 1);
+        let parallel = parallel_map(&items, 4, |&x| x * x + 1);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential[10], 101);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let out = parallel_map(&items, 5, |&x| x);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 4, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = vec![1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert!(default_threads() <= 8);
+    }
+}

@@ -1,0 +1,136 @@
+//! Summary statistics used by the experiment reports (boxplot five-number summaries,
+//! means and quantiles), implemented from scratch to avoid extra dependencies.
+
+use serde::{Deserialize, Serialize};
+
+/// A boxplot-style summary of a sample, matching what Figure 19 of the paper displays
+/// (median, quartiles, 5%/95% whiskers) plus the mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 5% quantile (lower whisker).
+    pub p05: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// 95% quantile (upper whisker).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample. Returns `None` for an empty sample.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let variance = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        Some(Summary {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            p05: quantile_sorted(&sorted, 0.05),
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            p95: quantile_sorted(&sorted, 0.95),
+            max: sorted[count - 1],
+        })
+    }
+}
+
+/// Quantile of an already-sorted sample, with linear interpolation between order statistics.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let position = q * (sorted.len() - 1) as f64;
+    let low = position.floor() as usize;
+    let high = position.ceil() as usize;
+    let weight = position - low as f64;
+    sorted[low] * (1.0 - weight) + sorted[high] * weight
+}
+
+/// Arithmetic mean (0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::of(&values).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.q1 - 2.0).abs() < 1e-12);
+        assert!((s.q3 - 4.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = Summary::of(&[7.5]).unwrap();
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.p05, 7.5);
+        assert_eq!(s.p95, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = vec![0.0, 10.0];
+        assert!((quantile_sorted(&sorted, 0.5) - 5.0).abs() < 1e-12);
+        assert!((quantile_sorted(&sorted, 0.25) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&sorted, -1.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 2.0), 10.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 6.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_of_empty_panics() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+}

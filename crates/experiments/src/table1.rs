@@ -1,0 +1,135 @@
+//! Table I: execution trace of Algorithm 2 (GreedyTest, T = 4) on the Figure 1 instance.
+
+use bmp_core::greedy::{greedy_test, GreedyOutcome};
+use bmp_core::word::Symbol;
+use bmp_platform::paper::figure1;
+use bmp_platform::Instance;
+
+/// One column of Table I: the prefix reached so far and its `(O, G, W)` state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceColumn {
+    /// The prefix as a string of `o`/`g` letters (empty string for `ε`).
+    pub prefix: String,
+    /// Open bandwidth available `O(π)`.
+    pub open_avail: f64,
+    /// Guarded bandwidth available `G(π)`.
+    pub guarded_avail: f64,
+    /// Open → open transfer `W(π)`.
+    pub open_waste: f64,
+}
+
+/// The full Table I reproduction: the greedy trace on a given instance and throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Target throughput of the greedy test.
+    pub throughput: f64,
+    /// Whether the throughput was feasible.
+    pub feasible: bool,
+    /// The columns of the table (the first column is the empty prefix).
+    pub columns: Vec<TraceColumn>,
+}
+
+impl Table1 {
+    /// Renders the table in the same layout as the paper (one row per quantity).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let prefix_row: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| {
+                if c.prefix.is_empty() {
+                    "e".to_string()
+                } else {
+                    c.prefix.clone()
+                }
+            })
+            .collect();
+        out.push_str(&format!("pi    | {}\n", prefix_row.join(" | ")));
+        for (label, accessor) in [
+            ("O(pi)", &(|c: &TraceColumn| c.open_avail) as &dyn Fn(&TraceColumn) -> f64),
+            ("G(pi)", &|c: &TraceColumn| c.guarded_avail),
+            ("W(pi)", &|c: &TraceColumn| c.open_waste),
+        ] {
+            let cells: Vec<String> = self.columns.iter().map(|c| format!("{}", accessor(c))).collect();
+            out.push_str(&format!("{label} | {}\n", cells.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Runs Algorithm 2 on `instance` at `throughput` and returns the Table-I-style trace.
+#[must_use]
+pub fn greedy_trace(instance: &Instance, throughput: f64) -> Table1 {
+    match greedy_test(instance, throughput) {
+        GreedyOutcome::Feasible { word, trace } => {
+            let mut prefix = String::new();
+            let mut columns = Vec::with_capacity(trace.len());
+            for (index, state) in trace.iter().enumerate() {
+                if index > 0 {
+                    prefix.push(match word.symbols()[index - 1] {
+                        Symbol::Open => 'o',
+                        Symbol::Guarded => 'g',
+                    });
+                }
+                columns.push(TraceColumn {
+                    prefix: prefix.clone(),
+                    open_avail: state.open_avail,
+                    guarded_avail: state.guarded_avail,
+                    open_waste: state.open_waste,
+                });
+            }
+            Table1 {
+                throughput,
+                feasible: true,
+                columns,
+            }
+        }
+        GreedyOutcome::Infeasible { .. } => Table1 {
+            throughput,
+            feasible: false,
+            columns: Vec::new(),
+        },
+    }
+}
+
+/// The exact Table I of the paper: the Figure 1 instance at throughput 4.
+#[must_use]
+pub fn paper_table1() -> Table1 {
+    greedy_trace(&figure1(), 4.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_paper_values() {
+        let table = paper_table1();
+        assert!(table.feasible);
+        assert_eq!(table.columns.len(), 6);
+        let open: Vec<f64> = table.columns.iter().map(|c| c.open_avail).collect();
+        let guarded: Vec<f64> = table.columns.iter().map(|c| c.guarded_avail).collect();
+        let waste: Vec<f64> = table.columns.iter().map(|c| c.open_waste).collect();
+        assert_eq!(open, vec![6.0, 2.0, 7.0, 3.0, 5.0, 1.0]);
+        assert_eq!(guarded, vec![0.0, 4.0, 0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(waste, vec![0.0, 0.0, 0.0, 0.0, 3.0, 3.0]);
+        assert_eq!(table.columns.last().unwrap().prefix, "gogog");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rendered = paper_table1().render();
+        assert!(rendered.contains("O(pi)"));
+        assert!(rendered.contains("G(pi)"));
+        assert!(rendered.contains("W(pi)"));
+        assert!(rendered.contains("gogog"));
+    }
+
+    #[test]
+    fn infeasible_throughput_yields_empty_table() {
+        let table = greedy_trace(&figure1(), 5.0);
+        assert!(!table.feasible);
+        assert!(table.columns.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Dinic's blocking-flow maximum-flow algorithm.
+//!
+//! Dinic's algorithm runs in `O(V² E)` independently of the capacity values, which makes it
+//! safe for the real-valued capacities used throughout this workspace (no pseudo-polynomial
+//! behaviour). Capacities below the workspace tolerance are ignored.
+
+use crate::eps;
+use crate::graph::{FlowNetwork, FlowResult, Residual};
+
+/// Computes a maximum flow from `source` to `sink` with Dinic's algorithm.
+///
+/// # Panics
+///
+/// Panics if `source` or `sink` is out of range.
+#[must_use]
+pub fn dinic_max_flow(network: &FlowNetwork, source: usize, sink: usize) -> FlowResult {
+    assert!(source < network.num_nodes(), "source out of range");
+    assert!(sink < network.num_nodes(), "sink out of range");
+    if source == sink {
+        return FlowResult {
+            value: 0.0,
+            edge_flows: vec![0.0; network.num_edges()],
+        };
+    }
+    let mut residual = network.residual();
+    let mut total = 0.0;
+    let mut level = vec![-1_i32; network.num_nodes()];
+    let mut iter = vec![0_usize; network.num_nodes()];
+    while bfs_levels(&residual, source, sink, &mut level) {
+        iter.iter_mut().for_each(|i| *i = 0);
+        loop {
+            let pushed = dfs_augment(
+                &mut residual,
+                source,
+                sink,
+                f64::INFINITY,
+                &level,
+                &mut iter,
+            );
+            if !eps::is_positive(pushed) {
+                break;
+            }
+            total += pushed;
+        }
+    }
+    FlowResult {
+        value: total,
+        edge_flows: residual.edge_flows(),
+    }
+}
+
+/// Breadth-first search building the level graph; returns whether the sink is reachable.
+fn bfs_levels(residual: &Residual, source: usize, sink: usize, level: &mut [i32]) -> bool {
+    level.iter_mut().for_each(|l| *l = -1);
+    level[source] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source);
+    while let Some(node) = queue.pop_front() {
+        for &arc in &residual.adj[node] {
+            let to = residual.to[arc];
+            if level[to] < 0 && eps::is_positive(residual.cap[arc]) {
+                level[to] = level[node] + 1;
+                queue.push_back(to);
+            }
+        }
+    }
+    level[sink] >= 0
+}
+
+/// Depth-first search pushing flow along the level graph (iterative-pointer variant).
+fn dfs_augment(
+    residual: &mut Residual,
+    node: usize,
+    sink: usize,
+    limit: f64,
+    level: &[i32],
+    iter: &mut [usize],
+) -> f64 {
+    if node == sink {
+        return limit;
+    }
+    while iter[node] < residual.adj[node].len() {
+        let arc = residual.adj[node][iter[node]];
+        let to = residual.to[arc];
+        if level[to] == level[node] + 1 && eps::is_positive(residual.cap[arc]) {
+            let pushed = dfs_augment(
+                residual,
+                to,
+                sink,
+                limit.min(residual.cap[arc]),
+                level,
+                iter,
+            );
+            if eps::is_positive(pushed) {
+                residual.cap[arc] -= pushed;
+                residual.cap[arc ^ 1] += pushed;
+                return pushed;
+            }
+        }
+        iter[node] += 1;
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FlowNetwork;
+
+    fn diamond() -> FlowNetwork {
+        // 0 → 1 → 3 and 0 → 2 → 3 with a cross edge 1 → 2.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(0, 2, 2.0);
+        net.add_edge(1, 3, 2.0);
+        net.add_edge(2, 3, 4.0);
+        net.add_edge(1, 2, 5.0);
+        net
+    }
+
+    #[test]
+    fn simple_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 1.5);
+        let result = dinic_max_flow(&net, 0, 2);
+        assert!((result.value - 1.5).abs() < 1e-9);
+        assert!(result.is_valid(&net, 0, 2));
+    }
+
+    #[test]
+    fn diamond_max_flow() {
+        let net = diamond();
+        let result = dinic_max_flow(&net, 0, 3);
+        assert!((result.value - 5.0).abs() < 1e-9);
+        assert!(result.is_valid(&net, 0, 3));
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(2, 3, 2.0);
+        let result = dinic_max_flow(&net, 0, 3);
+        assert_eq!(result.value, 0.0);
+        assert!(result.is_valid(&net, 0, 3));
+    }
+
+    #[test]
+    fn source_equals_sink() {
+        let net = diamond();
+        let result = dinic_max_flow(&net, 1, 1);
+        assert_eq!(result.value, 0.0);
+    }
+
+    #[test]
+    fn respects_fractional_capacities() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 0.3);
+        net.add_edge(0, 2, 0.7);
+        net.add_edge(1, 3, 1.0);
+        net.add_edge(2, 3, 0.25);
+        let result = dinic_max_flow(&net, 0, 3);
+        assert!((result.value - 0.55).abs() < 1e-9);
+        assert!(result.is_valid(&net, 0, 3));
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(0, 1, 2.5);
+        let result = dinic_max_flow(&net, 0, 1);
+        assert!((result.value - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_edges_are_used() {
+        // Classic example where the augmenting path must undo flow on the cross edge.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(0, 2, 1.0);
+        net.add_edge(1, 2, 1.0);
+        net.add_edge(1, 3, 1.0);
+        net.add_edge(2, 3, 1.0);
+        let result = dinic_max_flow(&net, 0, 3);
+        assert!((result.value - 2.0).abs() < 1e-9);
+        assert!(result.is_valid(&net, 0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn source_out_of_range() {
+        let net = diamond();
+        let _ = dinic_max_flow(&net, 9, 3);
+    }
+}

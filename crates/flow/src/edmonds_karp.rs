@@ -1,0 +1,127 @@
+//! Edmonds–Karp maximum-flow algorithm (shortest augmenting paths).
+//!
+//! Used as an independent cross-check of [`crate::dinic`]: the two solvers are compared on
+//! random networks by property tests.
+
+use crate::eps;
+use crate::graph::{FlowNetwork, FlowResult, Residual};
+
+/// Computes a maximum flow from `source` to `sink` with the Edmonds–Karp algorithm.
+///
+/// # Panics
+///
+/// Panics if `source` or `sink` is out of range.
+#[must_use]
+pub fn edmonds_karp_max_flow(network: &FlowNetwork, source: usize, sink: usize) -> FlowResult {
+    assert!(source < network.num_nodes(), "source out of range");
+    assert!(sink < network.num_nodes(), "sink out of range");
+    if source == sink {
+        return FlowResult {
+            value: 0.0,
+            edge_flows: vec![0.0; network.num_edges()],
+        };
+    }
+    let mut residual = network.residual();
+    let mut total = 0.0;
+    let mut parent_arc = vec![usize::MAX; network.num_nodes()];
+    while let Some(bottleneck) = bfs_augment(&residual, source, sink, &mut parent_arc) {
+        total += bottleneck;
+        // Walk back from the sink applying the augmentation.
+        let mut node = sink;
+        while node != source {
+            let arc = parent_arc[node];
+            residual.cap[arc] -= bottleneck;
+            residual.cap[arc ^ 1] += bottleneck;
+            node = residual.to[arc ^ 1];
+        }
+    }
+    FlowResult {
+        value: total,
+        edge_flows: residual.edge_flows(),
+    }
+}
+
+/// Breadth-first search for a shortest augmenting path; returns its bottleneck capacity and
+/// fills `parent_arc` with the arc used to reach each node.
+fn bfs_augment(
+    residual: &Residual,
+    source: usize,
+    sink: usize,
+    parent_arc: &mut [usize],
+) -> Option<f64> {
+    parent_arc.iter_mut().for_each(|p| *p = usize::MAX);
+    let mut bottleneck = vec![0.0_f64; residual.adj.len()];
+    bottleneck[source] = f64::INFINITY;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source);
+    while let Some(node) = queue.pop_front() {
+        for &arc in &residual.adj[node] {
+            let to = residual.to[arc];
+            if to != source
+                && parent_arc[to] == usize::MAX
+                && eps::is_positive(residual.cap[arc])
+            {
+                parent_arc[to] = arc;
+                bottleneck[to] = bottleneck[node].min(residual.cap[arc]);
+                if to == sink {
+                    return Some(bottleneck[sink]);
+                }
+                queue.push_back(to);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::dinic_max_flow;
+    use crate::graph::FlowNetwork;
+
+    #[test]
+    fn matches_dinic_on_small_networks() {
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 10.0);
+        net.add_edge(0, 2, 10.0);
+        net.add_edge(1, 2, 2.0);
+        net.add_edge(1, 3, 4.0);
+        net.add_edge(1, 4, 8.0);
+        net.add_edge(2, 4, 9.0);
+        net.add_edge(4, 3, 6.0);
+        net.add_edge(3, 5, 10.0);
+        net.add_edge(4, 5, 10.0);
+        let ek = edmonds_karp_max_flow(&net, 0, 5);
+        let dn = dinic_max_flow(&net, 0, 5);
+        assert!((ek.value - 19.0).abs() < 1e-9);
+        assert!((ek.value - dn.value).abs() < 1e-9);
+        assert!(ek.is_valid(&net, 0, 5));
+    }
+
+    #[test]
+    fn zero_when_no_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(1, 2, 4.0);
+        let result = edmonds_karp_max_flow(&net, 0, 2);
+        assert_eq!(result.value, 0.0);
+    }
+
+    #[test]
+    fn handles_source_equals_sink() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1.0);
+        let result = edmonds_karp_max_flow(&net, 0, 0);
+        assert_eq!(result.value, 0.0);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 0.1);
+        net.add_edge(0, 1, 0.2);
+        net.add_edge(1, 2, 0.25);
+        let result = edmonds_karp_max_flow(&net, 0, 2);
+        assert!((result.value - 0.25).abs() < 1e-9);
+        assert!(result.is_valid(&net, 0, 2));
+    }
+}

@@ -1,0 +1,123 @@
+//! Tolerant floating-point comparisons.
+//!
+//! Broadcast schemes, throughputs and flows are all `f64` values obtained from dichotomic
+//! searches and greedy water-filling, so exact comparisons are meaningless. The helpers in
+//! this module implement comparisons with a *relative* tolerance (absolute near zero), and are
+//! used consistently across the workspace.
+
+/// Default tolerance used by the workspace.
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// Scale-aware tolerance: `DEFAULT_EPS × max(1, |a|, |b|)`.
+#[must_use]
+pub fn tolerance(a: f64, b: f64) -> f64 {
+    DEFAULT_EPS * a.abs().max(b.abs()).max(1.0)
+}
+
+/// `a ≈ b` under the scale-aware tolerance.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= tolerance(a, b)
+}
+
+/// `a ⪆ b` (greater than or approximately equal).
+#[must_use]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b - tolerance(a, b)
+}
+
+/// `a ⪅ b` (less than or approximately equal).
+#[must_use]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + tolerance(a, b)
+}
+
+/// `a` is strictly greater than `b` beyond the tolerance.
+#[must_use]
+pub fn definitely_gt(a: f64, b: f64) -> bool {
+    a > b + tolerance(a, b)
+}
+
+/// `a` is strictly less than `b` beyond the tolerance.
+#[must_use]
+pub fn definitely_lt(a: f64, b: f64) -> bool {
+    a < b - tolerance(a, b)
+}
+
+/// Whether `x` should be treated as zero (used to decide if an edge "exists" when counting
+/// outdegrees).
+#[must_use]
+pub fn is_zero(x: f64) -> bool {
+    x.abs() <= DEFAULT_EPS
+}
+
+/// Whether `x` is a meaningful positive quantity.
+#[must_use]
+pub fn is_positive(x: f64) -> bool {
+    x > DEFAULT_EPS
+}
+
+/// Clamps tiny negative values (arising from cancellation) to zero, leaving other values
+/// untouched.
+#[must_use]
+pub fn clamp_nonnegative(x: f64) -> f64 {
+    if x < 0.0 && x > -1e-7 {
+        0.0
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_near_values() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(approx_eq(1e6, 1e6 * (1.0 + 1e-12)));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+        assert!(approx_eq(0.0, 1e-12));
+    }
+
+    #[test]
+    fn approx_ordering() {
+        assert!(approx_ge(1.0, 1.0 + 1e-12));
+        assert!(approx_ge(2.0, 1.0));
+        assert!(!approx_ge(1.0, 2.0));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(approx_le(1.0, 2.0));
+        assert!(!approx_le(2.0, 1.0));
+    }
+
+    #[test]
+    fn strict_comparisons() {
+        assert!(definitely_gt(2.0, 1.0));
+        assert!(!definitely_gt(1.0 + 1e-12, 1.0));
+        assert!(definitely_lt(1.0, 2.0));
+        assert!(!definitely_lt(1.0, 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn zero_and_positive() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(1e-12));
+        assert!(!is_zero(1e-6));
+        assert!(is_positive(1e-6));
+        assert!(!is_positive(1e-12));
+        assert!(!is_positive(-1.0));
+    }
+
+    #[test]
+    fn clamp_small_negatives() {
+        assert_eq!(clamp_nonnegative(-1e-10), 0.0);
+        assert_eq!(clamp_nonnegative(-1.0), -1.0);
+        assert_eq!(clamp_nonnegative(2.5), 2.5);
+    }
+
+    #[test]
+    fn tolerance_scales_with_magnitude() {
+        assert!(tolerance(1e9, 1e9) > tolerance(1.0, 1.0));
+        assert!((tolerance(0.0, 0.0) - DEFAULT_EPS).abs() < 1e-18);
+    }
+}

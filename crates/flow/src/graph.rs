@@ -1,0 +1,313 @@
+//! Directed flow networks with real-valued capacities.
+
+use crate::eps;
+
+/// Identifier of an edge inside a [`FlowNetwork`], as returned by [`FlowNetwork::add_edge`].
+pub type EdgeId = usize;
+
+/// A directed edge with a capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Tail of the edge.
+    pub from: usize,
+    /// Head of the edge.
+    pub to: usize,
+    /// Capacity (must be non-negative).
+    pub capacity: f64,
+}
+
+/// A directed graph with `f64` edge capacities, the common input of all max-flow solvers of
+/// this crate.
+///
+/// Parallel edges and self-loops are permitted (self-loops never carry flow). Capacities below
+/// the workspace tolerance are treated as zero by the solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowNetwork {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    adjacency: Vec<Vec<EdgeId>>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network with `num_nodes` nodes and no edges.
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Self {
+        FlowNetwork {
+            num_nodes,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Creates an empty network with room for `num_edges` edges.
+    #[must_use]
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        FlowNetwork {
+            num_nodes,
+            edges: Vec::with_capacity(num_edges),
+            adjacency: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge and returns its identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the capacity is negative or not finite.
+    pub fn add_edge(&mut self, from: usize, to: usize, capacity: f64) -> EdgeId {
+        assert!(from < self.num_nodes, "edge tail {from} out of range");
+        assert!(to < self.num_nodes, "edge head {to} out of range");
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "capacity must be finite and non-negative, got {capacity}"
+        );
+        let id = self.edges.len();
+        self.edges.push(Edge {
+            from,
+            to,
+            capacity,
+        });
+        self.adjacency[from].push(id);
+        id
+    }
+
+    /// The edge with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id]
+    }
+
+    /// All edges, in insertion order.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Identifiers of the edges leaving `node`.
+    #[must_use]
+    pub fn outgoing(&self, node: usize) -> &[EdgeId] {
+        &self.adjacency[node]
+    }
+
+    /// Total capacity leaving `node`.
+    #[must_use]
+    pub fn out_capacity(&self, node: usize) -> f64 {
+        self.adjacency[node]
+            .iter()
+            .map(|&e| self.edges[e].capacity)
+            .sum()
+    }
+
+    /// Total capacity entering `node`.
+    #[must_use]
+    pub fn in_capacity(&self, node: usize) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| e.to == node)
+            .map(|e| e.capacity)
+            .sum()
+    }
+
+    /// Builds the residual representation used by the augmenting-path solvers.
+    #[must_use]
+    pub(crate) fn residual(&self) -> Residual {
+        Residual::from_network(self)
+    }
+}
+
+/// Result of a max-flow computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowResult {
+    /// Value of the maximum flow.
+    pub value: f64,
+    /// Flow assigned to each edge of the input network (indexed by [`EdgeId`]).
+    pub edge_flows: Vec<f64>,
+}
+
+impl FlowResult {
+    /// Verifies flow conservation and capacity constraints against the originating network.
+    ///
+    /// Returns `true` when every edge flow lies in `[0, capacity]` (up to tolerance) and the
+    /// net flow of every node other than `source` and `sink` is zero.
+    #[must_use]
+    pub fn is_valid(&self, network: &FlowNetwork, source: usize, sink: usize) -> bool {
+        if self.edge_flows.len() != network.num_edges() {
+            return false;
+        }
+        for (id, edge) in network.edges().iter().enumerate() {
+            let f = self.edge_flows[id];
+            if !(eps::approx_ge(f, 0.0) && eps::approx_le(f, edge.capacity)) {
+                return false;
+            }
+        }
+        let mut net = vec![0.0; network.num_nodes()];
+        for (id, edge) in network.edges().iter().enumerate() {
+            net[edge.from] -= self.edge_flows[id];
+            net[edge.to] += self.edge_flows[id];
+        }
+        for (node, &balance) in net.iter().enumerate() {
+            if node == source || node == sink {
+                continue;
+            }
+            if !eps::approx_eq(balance, 0.0) {
+                return false;
+            }
+        }
+        eps::approx_eq(-net[source], self.value) && eps::approx_eq(net[sink], self.value)
+    }
+}
+
+/// Internal residual-graph representation shared by Dinic and Edmonds–Karp.
+#[derive(Debug, Clone)]
+pub(crate) struct Residual {
+    /// `to` node of each residual arc.
+    pub to: Vec<usize>,
+    /// Remaining capacity of each residual arc.
+    pub cap: Vec<f64>,
+    /// Adjacency lists of residual arc indices.
+    pub adj: Vec<Vec<usize>>,
+    /// For residual arc `2k` (forward of input edge `k`), the original capacity.
+    pub original_cap: Vec<f64>,
+}
+
+impl Residual {
+    pub(crate) fn from_network(network: &FlowNetwork) -> Self {
+        let num_nodes = network.num_nodes();
+        let num_edges = network.num_edges();
+        let mut residual = Residual {
+            to: Vec::with_capacity(2 * num_edges),
+            cap: Vec::with_capacity(2 * num_edges),
+            adj: vec![Vec::new(); num_nodes],
+            original_cap: Vec::with_capacity(num_edges),
+        };
+        for edge in network.edges() {
+            let fwd = residual.to.len();
+            residual.to.push(edge.to);
+            residual.cap.push(edge.capacity);
+            residual.adj[edge.from].push(fwd);
+            let bwd = residual.to.len();
+            residual.to.push(edge.from);
+            residual.cap.push(0.0);
+            residual.adj[edge.to].push(bwd);
+            residual.original_cap.push(edge.capacity);
+        }
+        residual
+    }
+
+    /// Extracts per-input-edge flows: flow on edge `k` = original capacity − residual capacity
+    /// of arc `2k`.
+    pub(crate) fn edge_flows(&self) -> Vec<f64> {
+        self.original_cap
+            .iter()
+            .enumerate()
+            .map(|(k, &cap)| eps::clamp_nonnegative(cap - self.cap[2 * k]).max(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut net = FlowNetwork::new(4);
+        let e0 = net.add_edge(0, 1, 3.0);
+        let e1 = net.add_edge(1, 2, 2.0);
+        let e2 = net.add_edge(0, 2, 1.0);
+        assert_eq!(net.num_nodes(), 4);
+        assert_eq!(net.num_edges(), 3);
+        assert_eq!(net.edge(e0).to, 1);
+        assert_eq!(net.edge(e1).capacity, 2.0);
+        assert_eq!(net.outgoing(0), &[e0, e2]);
+        assert_eq!(net.outgoing(3), &[] as &[EdgeId]);
+        assert!((net.out_capacity(0) - 4.0).abs() < 1e-12);
+        assert!((net.in_capacity(2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_rejects_bad_endpoint() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn add_edge_rejects_negative_capacity() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn residual_construction() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 1.5);
+        let res = net.residual();
+        assert_eq!(res.to.len(), 4);
+        assert_eq!(res.cap, vec![2.0, 0.0, 1.5, 0.0]);
+        assert_eq!(res.adj[1], vec![1, 2]);
+        assert_eq!(res.edge_flows(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn flow_result_validation_accepts_valid_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 2.0);
+        let result = FlowResult {
+            value: 1.5,
+            edge_flows: vec![1.5, 1.5],
+        };
+        assert!(result.is_valid(&net, 0, 2));
+    }
+
+    #[test]
+    fn flow_result_validation_rejects_violations() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 2.0);
+        // Over capacity.
+        let over = FlowResult {
+            value: 3.0,
+            edge_flows: vec![3.0, 3.0],
+        };
+        assert!(!over.is_valid(&net, 0, 2));
+        // Conservation violated at node 1.
+        let unbalanced = FlowResult {
+            value: 1.0,
+            edge_flows: vec![1.0, 0.5],
+        };
+        assert!(!unbalanced.is_valid(&net, 0, 2));
+        // Wrong number of edges.
+        let malformed = FlowResult {
+            value: 0.0,
+            edge_flows: vec![0.0],
+        };
+        assert!(!malformed.is_valid(&net, 0, 2));
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let net = FlowNetwork::with_capacity(5, 10);
+        assert_eq!(net.num_nodes(), 5);
+        assert_eq!(net.num_edges(), 0);
+    }
+}

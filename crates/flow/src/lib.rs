@@ -1,0 +1,36 @@
+//! Flow-network substrate for the bounded multi-port broadcast reproduction.
+//!
+//! The throughput of a broadcast scheme is *defined* (Section II-D of the paper) as the
+//! minimum over all receivers of the maximum flow from the source in the weighted digraph of
+//! transfer rates. This crate provides the machinery to evaluate that definition:
+//!
+//! * [`graph::FlowNetwork`] — a directed graph with real-valued edge capacities,
+//! * [`dinic`] — Dinic's blocking-flow algorithm (the default solver),
+//! * [`edmonds_karp`] — the shortest-augmenting-path algorithm (used as a cross-check),
+//! * [`push_relabel`] — a highest-label push-relabel implementation (second cross-check),
+//! * [`mincut`] — minimum-cut extraction from a maximum flow,
+//! * [`eps`] — tolerant floating-point comparisons shared by the whole workspace.
+//!
+//! All algorithms operate on `f64` capacities; comparisons use the tolerances of [`eps`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dinic;
+pub mod edmonds_karp;
+pub mod eps;
+pub mod graph;
+pub mod mincut;
+pub mod push_relabel;
+
+pub use dinic::dinic_max_flow;
+pub use edmonds_karp::edmonds_karp_max_flow;
+pub use graph::{EdgeId, FlowNetwork, FlowResult};
+pub use mincut::{min_cut, MinCut};
+pub use push_relabel::push_relabel_max_flow;
+
+/// Maximum-flow value from `source` to `sink` computed with the default solver (Dinic).
+#[must_use]
+pub fn max_flow_value(network: &FlowNetwork, source: usize, sink: usize) -> f64 {
+    dinic_max_flow(network, source, sink).value
+}

@@ -1,0 +1,124 @@
+//! Minimum-cut extraction from a maximum flow.
+//!
+//! By the max-flow/min-cut theorem, the nodes reachable from the source in the residual graph
+//! of a maximum flow form the source side of a minimum cut. The cut is useful both as a
+//! certificate of optimality for the flow solvers and as a diagnostic in the broadcast
+//! analysis (it identifies the bottleneck limiting a receiver's rate).
+
+use crate::dinic::dinic_max_flow;
+use crate::eps;
+use crate::graph::{EdgeId, FlowNetwork, FlowResult};
+
+/// A minimum `s`–`t` cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinCut {
+    /// Value of the cut (equal to the maximum flow value up to tolerance).
+    pub value: f64,
+    /// Nodes on the source side of the cut.
+    pub source_side: Vec<usize>,
+    /// Edges crossing the cut from the source side to the sink side.
+    pub cut_edges: Vec<EdgeId>,
+}
+
+/// Computes a minimum cut between `source` and `sink`, together with the maximum flow used to
+/// certify it.
+#[must_use]
+pub fn min_cut(network: &FlowNetwork, source: usize, sink: usize) -> (MinCut, FlowResult) {
+    let flow = dinic_max_flow(network, source, sink);
+    let cut = min_cut_from_flow(network, &flow, source);
+    (cut, flow)
+}
+
+/// Derives the minimum cut induced by a maximum flow: the source side is the set of nodes
+/// reachable from `source` in the residual graph.
+#[must_use]
+pub fn min_cut_from_flow(network: &FlowNetwork, flow: &FlowResult, source: usize) -> MinCut {
+    let n = network.num_nodes();
+    // Residual adjacency: forward arcs with remaining capacity, backward arcs with flow.
+    let mut reachable = vec![false; n];
+    reachable[source] = true;
+    let mut stack = vec![source];
+    while let Some(node) = stack.pop() {
+        for (id, edge) in network.edges().iter().enumerate() {
+            if edge.from == node
+                && !reachable[edge.to]
+                && eps::is_positive(edge.capacity - flow.edge_flows[id])
+            {
+                reachable[edge.to] = true;
+                stack.push(edge.to);
+            }
+            if edge.to == node && !reachable[edge.from] && eps::is_positive(flow.edge_flows[id]) {
+                reachable[edge.from] = true;
+                stack.push(edge.from);
+            }
+        }
+    }
+    let source_side: Vec<usize> = (0..n).filter(|&v| reachable[v]).collect();
+    let mut cut_edges = Vec::new();
+    let mut value = 0.0;
+    for (id, edge) in network.edges().iter().enumerate() {
+        if reachable[edge.from] && !reachable[edge.to] && eps::is_positive(edge.capacity) {
+            cut_edges.push(id);
+            value += edge.capacity;
+        }
+    }
+    MinCut {
+        value,
+        source_side,
+        cut_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FlowNetwork;
+
+    #[test]
+    fn cut_value_equals_flow_value() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(0, 2, 2.0);
+        net.add_edge(1, 3, 2.0);
+        net.add_edge(2, 3, 4.0);
+        net.add_edge(1, 2, 5.0);
+        let (cut, flow) = min_cut(&net, 0, 3);
+        assert!((cut.value - flow.value).abs() < 1e-9);
+        assert!((cut.value - 5.0).abs() < 1e-9);
+        assert!(cut.source_side.contains(&0));
+        assert!(!cut.source_side.contains(&3));
+    }
+
+    #[test]
+    fn bottleneck_edge_identified() {
+        let mut net = FlowNetwork::new(3);
+        let wide = net.add_edge(0, 1, 10.0);
+        let narrow = net.add_edge(1, 2, 1.0);
+        let (cut, _) = min_cut(&net, 0, 2);
+        assert_eq!(cut.cut_edges, vec![narrow]);
+        assert!(!cut.cut_edges.contains(&wide));
+        assert!((cut.value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero_cut() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.0);
+        let (cut, flow) = min_cut(&net, 0, 2);
+        assert_eq!(cut.value, 0.0);
+        assert_eq!(flow.value, 0.0);
+        assert!(cut.cut_edges.is_empty());
+    }
+
+    #[test]
+    fn source_side_contains_all_reachable_when_cut_downstream() {
+        let mut net = FlowNetwork::new(5);
+        net.add_edge(0, 1, 5.0);
+        net.add_edge(1, 2, 5.0);
+        net.add_edge(2, 3, 0.5);
+        net.add_edge(3, 4, 5.0);
+        let (cut, _) = min_cut(&net, 0, 4);
+        assert_eq!(cut.source_side, vec![0, 1, 2]);
+        assert!((cut.value - 0.5).abs() < 1e-9);
+    }
+}

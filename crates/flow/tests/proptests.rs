@@ -1,0 +1,99 @@
+//! Property tests cross-checking the three max-flow solvers on random networks.
+
+use bmp_flow::{
+    dinic_max_flow, edmonds_karp_max_flow, min_cut, push_relabel_max_flow, FlowNetwork,
+};
+use proptest::prelude::*;
+
+/// Strategy generating a random directed network with up to `max_nodes` nodes.
+fn random_network(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = FlowNetwork> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n, 0..n, 0.0_f64..20.0),
+            0..=max_edges,
+        )
+        .prop_map(move |edges| {
+            let mut net = FlowNetwork::new(n);
+            for (from, to, cap) in edges {
+                if from != to {
+                    net.add_edge(from, to, cap);
+                }
+            }
+            net
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solvers_agree(net in random_network(8, 24)) {
+        let s = 0;
+        let t = net.num_nodes() - 1;
+        let dn = dinic_max_flow(&net, s, t);
+        let ek = edmonds_karp_max_flow(&net, s, t);
+        let pr = push_relabel_max_flow(&net, s, t);
+        let tol = 1e-6 * dn.value.abs().max(1.0);
+        prop_assert!((dn.value - ek.value).abs() <= tol,
+            "dinic {} vs edmonds-karp {}", dn.value, ek.value);
+        prop_assert!((dn.value - pr.value).abs() <= tol,
+            "dinic {} vs push-relabel {}", dn.value, pr.value);
+    }
+
+    #[test]
+    fn flows_are_valid(net in random_network(8, 24)) {
+        let s = 0;
+        let t = net.num_nodes() - 1;
+        let dn = dinic_max_flow(&net, s, t);
+        let ek = edmonds_karp_max_flow(&net, s, t);
+        prop_assert!(dn.is_valid(&net, s, t));
+        prop_assert!(ek.is_valid(&net, s, t));
+    }
+
+    #[test]
+    fn max_flow_equals_min_cut(net in random_network(8, 24)) {
+        let s = 0;
+        let t = net.num_nodes() - 1;
+        let (cut, flow) = min_cut(&net, s, t);
+        let tol = 1e-6 * flow.value.abs().max(1.0);
+        prop_assert!((cut.value - flow.value).abs() <= tol,
+            "cut {} vs flow {}", cut.value, flow.value);
+        prop_assert!(cut.source_side.contains(&s));
+        prop_assert!(!cut.source_side.contains(&t) || flow.value == 0.0 && cut.source_side.len() == net.num_nodes());
+    }
+
+    #[test]
+    fn flow_bounded_by_source_capacity(net in random_network(8, 24)) {
+        let s = 0;
+        let t = net.num_nodes() - 1;
+        let dn = dinic_max_flow(&net, s, t);
+        let out_cap = net.out_capacity(s);
+        let in_cap = net.in_capacity(t);
+        prop_assert!(dn.value <= out_cap + 1e-6);
+        prop_assert!(dn.value <= in_cap + 1e-6);
+    }
+
+    #[test]
+    fn adding_an_edge_never_decreases_flow(net in random_network(7, 18), extra_cap in 0.1_f64..5.0) {
+        let s = 0;
+        let t = net.num_nodes() - 1;
+        let before = dinic_max_flow(&net, s, t).value;
+        let mut bigger = net.clone();
+        bigger.add_edge(s, t, extra_cap);
+        let after = dinic_max_flow(&bigger, s, t).value;
+        prop_assert!(after + 1e-9 >= before);
+        prop_assert!((after - (before + extra_cap)).abs() <= 1e-6 * (after.max(1.0)));
+    }
+}
+
+#[test]
+fn min_cut_source_side_excludes_sink_when_flow_saturates() {
+    let mut net = FlowNetwork::new(4);
+    net.add_edge(0, 1, 2.0);
+    net.add_edge(1, 2, 1.0);
+    net.add_edge(2, 3, 2.0);
+    let (cut, flow) = min_cut(&net, 0, 3);
+    assert!((flow.value - 1.0).abs() < 1e-9);
+    assert!(!cut.source_side.contains(&3));
+}

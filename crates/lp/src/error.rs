@@ -1,0 +1,51 @@
+//! Error type of the LP solver.
+
+use std::fmt;
+
+/// Errors returned by [`crate::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint set is empty of feasible points.
+    Infeasible,
+    /// The objective is unbounded above over the feasible region.
+    Unbounded,
+    /// The problem description is malformed (e.g. a constraint has the wrong arity).
+    Malformed(String),
+    /// The solver exceeded its iteration budget (should not happen with Bland's rule; kept as
+    /// a defensive error instead of looping forever).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::Malformed(reason) => write!(f, "malformed linear program: {reason}"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert!(LpError::Malformed("bad arity".into())
+            .to_string()
+            .contains("bad arity"));
+        assert!(LpError::IterationLimit.to_string().contains("iteration"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(LpError::Unbounded);
+        assert!(e.to_string().contains("unbounded"));
+    }
+}

@@ -1,0 +1,31 @@
+//! A small, dependency-free, dense two-phase simplex solver.
+//!
+//! The broadcast reproduction uses linear programming only as a *ground truth oracle*: on
+//! small instances, the optimal cyclic throughput and the optimal acyclic throughput for a
+//! fixed ordering can be written as linear programs over the transfer rates `c_{i,j}` and
+//! per-receiver flows. Solving these LPs independently validates the closed-form bounds
+//! (Lemma 5.1) and the combinatorial algorithms (Algorithms 1 and 2) of the paper.
+//!
+//! The solver handles problems of the form
+//!
+//! ```text
+//! maximize    c · x
+//! subject to  A_i · x  {≤, ≥, =}  b_i     for every constraint i
+//!             x ≥ 0
+//! ```
+//!
+//! with a dense tableau and the standard two-phase method (phase 1 drives artificial
+//! variables out of the basis, phase 2 optimises the real objective). Bland's rule is used
+//! after a stall threshold to guarantee termination.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod problem;
+pub mod simplex;
+pub mod tableau;
+
+pub use error::LpError;
+pub use problem::{Constraint, ConstraintOp, LpProblem, LpSolution};
+pub use simplex::solve;

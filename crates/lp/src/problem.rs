@@ -1,0 +1,238 @@
+//! Problem description API for the simplex solver.
+
+use crate::error::LpError;
+
+/// Sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `A_i · x ≤ b_i`
+    Le,
+    /// `A_i · x ≥ b_i`
+    Ge,
+    /// `A_i · x = b_i`
+    Eq,
+}
+
+/// A single linear constraint `coeffs · x  op  rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Coefficients of the constraint, one per variable.
+    pub coeffs: Vec<f64>,
+    /// Sense of the constraint.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program `maximize c · x subject to constraints, x ≥ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpProblem {
+    num_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates a maximisation problem with `num_vars` non-negative variables and an initially
+    /// zero objective.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        LpProblem {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Replaces the whole objective vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector does not have exactly one entry per variable.
+    pub fn set_objective_vector(&mut self, objective: Vec<f64>) {
+        assert_eq!(
+            objective.len(),
+            self.num_vars,
+            "objective must have one coefficient per variable"
+        );
+        self.objective = objective;
+    }
+
+    /// The current objective vector.
+    #[must_use]
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints added so far.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a dense constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::Malformed`] if the coefficient vector has the wrong arity or any
+    /// value is not finite.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<f64>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        if coeffs.len() != self.num_vars {
+            return Err(LpError::Malformed(format!(
+                "constraint has {} coefficients but the problem has {} variables",
+                coeffs.len(),
+                self.num_vars
+            )));
+        }
+        if coeffs.iter().any(|c| !c.is_finite()) || !rhs.is_finite() {
+            return Err(LpError::Malformed(
+                "constraint contains a non-finite value".to_string(),
+            ));
+        }
+        self.constraints.push(Constraint { coeffs, op, rhs });
+        Ok(())
+    }
+
+    /// Adds a sparse constraint given as `(variable, coefficient)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::Malformed`] if a variable index is out of range or a value is not
+    /// finite.
+    pub fn add_sparse_constraint(
+        &mut self,
+        terms: &[(usize, f64)],
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        let mut coeffs = vec![0.0; self.num_vars];
+        for &(var, coeff) in terms {
+            if var >= self.num_vars {
+                return Err(LpError::Malformed(format!(
+                    "variable {var} out of range (problem has {} variables)",
+                    self.num_vars
+                )));
+            }
+            coeffs[var] += coeff;
+        }
+        self.add_constraint(coeffs, op, rhs)
+    }
+}
+
+/// An optimal solution of a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal values of the decision variables.
+    pub values: Vec<f64>,
+}
+
+impl LpSolution {
+    /// Value of variable `var` in the optimal solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    #[must_use]
+    pub fn value(&self, var: usize) -> f64 {
+        self.values[var]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_problem() {
+        let mut lp = LpProblem::new(3);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(2, -2.0);
+        lp.add_constraint(vec![1.0, 1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_sparse_constraint(&[(2, 1.0), (0, 0.5)], ConstraintOp::Ge, 1.0)
+            .unwrap();
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(lp.objective(), &[1.0, 0.0, -2.0]);
+        assert_eq!(lp.constraints()[1].coeffs, vec![0.5, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sparse_constraint_accumulates_duplicate_terms() {
+        let mut lp = LpProblem::new(2);
+        lp.add_sparse_constraint(&[(0, 1.0), (0, 2.0)], ConstraintOp::Eq, 3.0)
+            .unwrap();
+        assert_eq!(lp.constraints()[0].coeffs, vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut lp = LpProblem::new(2);
+        let err = lp
+            .add_constraint(vec![1.0], ConstraintOp::Le, 1.0)
+            .unwrap_err();
+        assert!(matches!(err, LpError::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let mut lp = LpProblem::new(1);
+        assert!(lp
+            .add_constraint(vec![f64::NAN], ConstraintOp::Le, 1.0)
+            .is_err());
+        assert!(lp
+            .add_constraint(vec![1.0], ConstraintOp::Le, f64::INFINITY)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_sparse_var() {
+        let mut lp = LpProblem::new(1);
+        assert!(lp
+            .add_sparse_constraint(&[(3, 1.0)], ConstraintOp::Le, 1.0)
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_objective_out_of_range_panics() {
+        let mut lp = LpProblem::new(1);
+        lp.set_objective(5, 1.0);
+    }
+
+    #[test]
+    fn set_objective_vector_replaces_all() {
+        let mut lp = LpProblem::new(2);
+        lp.set_objective_vector(vec![3.0, 4.0]);
+        assert_eq!(lp.objective(), &[3.0, 4.0]);
+    }
+}

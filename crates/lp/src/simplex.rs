@@ -1,0 +1,356 @@
+//! Two-phase simplex driver.
+
+use crate::error::LpError;
+use crate::problem::{ConstraintOp, LpProblem, LpSolution};
+use crate::tableau::{Tableau, LP_EPS};
+
+/// Maximum number of pivots before [`LpError::IterationLimit`] is returned. Bland's rule is
+/// switched on long before this threshold, so hitting it indicates a bug rather than a hard
+/// problem.
+const MAX_ITERATIONS: usize = 200_000;
+
+/// Number of Dantzig-rule pivots after which the solver switches to Bland's rule.
+const BLAND_THRESHOLD: usize = 5_000;
+
+/// Solves a linear program with the two-phase simplex method.
+///
+/// # Errors
+///
+/// * [`LpError::Infeasible`] when no feasible point exists,
+/// * [`LpError::Unbounded`] when the objective is unbounded above,
+/// * [`LpError::IterationLimit`] if the pivot budget is exhausted (defensive).
+pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    let num_vars = problem.num_vars();
+    let num_constraints = problem.num_constraints();
+    if num_constraints == 0 {
+        // Without constraints the problem is unbounded unless the objective is non-positive,
+        // in which case x = 0 is optimal.
+        if problem.objective().iter().any(|&c| c > LP_EPS) {
+            return Err(LpError::Unbounded);
+        }
+        return Ok(LpSolution {
+            objective: 0.0,
+            values: vec![0.0; num_vars],
+        });
+    }
+
+    // Count auxiliary columns: one slack/surplus per inequality, one artificial per
+    // Ge/Eq constraint (and per Le constraint with negative rhs, after normalisation).
+    let mut normalized: Vec<(Vec<f64>, ConstraintOp, f64)> = Vec::with_capacity(num_constraints);
+    for constraint in problem.constraints() {
+        let mut coeffs = constraint.coeffs.clone();
+        let mut op = constraint.op;
+        let mut rhs = constraint.rhs;
+        if rhs < 0.0 {
+            for c in &mut coeffs {
+                *c = -*c;
+            }
+            rhs = -rhs;
+            op = match op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+        normalized.push((coeffs, op, rhs));
+    }
+
+    let num_slacks = normalized
+        .iter()
+        .filter(|(_, op, _)| *op != ConstraintOp::Eq)
+        .count();
+    let num_artificials = normalized
+        .iter()
+        .filter(|(_, op, _)| *op != ConstraintOp::Le)
+        .count();
+    let total_cols = num_vars + num_slacks + num_artificials;
+
+    let mut tableau = Tableau::new(num_constraints, total_cols);
+    let mut artificial_cols = Vec::with_capacity(num_artificials);
+    let mut next_slack = num_vars;
+    let mut next_artificial = num_vars + num_slacks;
+
+    for (row, (coeffs, op, rhs)) in normalized.iter().enumerate() {
+        for (col, &value) in coeffs.iter().enumerate() {
+            tableau.set(row, col, value);
+        }
+        tableau.set(row, total_cols, *rhs);
+        match op {
+            ConstraintOp::Le => {
+                tableau.set(row, next_slack, 1.0);
+                tableau.set_basis(row, next_slack);
+                next_slack += 1;
+            }
+            ConstraintOp::Ge => {
+                tableau.set(row, next_slack, -1.0);
+                next_slack += 1;
+                tableau.set(row, next_artificial, 1.0);
+                tableau.set_basis(row, next_artificial);
+                artificial_cols.push(next_artificial);
+                next_artificial += 1;
+            }
+            ConstraintOp::Eq => {
+                tableau.set(row, next_artificial, 1.0);
+                tableau.set_basis(row, next_artificial);
+                artificial_cols.push(next_artificial);
+                next_artificial += 1;
+            }
+        }
+    }
+
+    let is_artificial = {
+        let mut mask = vec![false; total_cols];
+        for &col in &artificial_cols {
+            mask[col] = true;
+        }
+        mask
+    };
+
+    // Phase 1: maximise −Σ artificials (i.e. drive them to zero).
+    if !artificial_cols.is_empty() {
+        for &col in &artificial_cols {
+            tableau.set(num_constraints, col, -1.0);
+        }
+        // The artificials start basic with cost −1: reduce the objective row accordingly.
+        for row in 0..num_constraints {
+            if is_artificial[tableau.basis(row)] {
+                tableau.reduce_objective_by_row(row, -1.0);
+            }
+        }
+        let allowed = vec![true; total_cols];
+        run_simplex(&mut tableau, &allowed)?;
+        if tableau.objective_value() < -1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Pivot out any artificial variable that is still basic (at value zero).
+        for row in 0..num_constraints {
+            if is_artificial[tableau.basis(row)] {
+                let mut pivoted = false;
+                for col in 0..num_vars + num_slacks {
+                    if tableau.get(row, col).abs() > 1e-7 {
+                        tableau.pivot(row, col);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                // If no pivot column exists the row is redundant; leaving the artificial basic
+                // at value zero is harmless because its column is forbidden in phase 2.
+                let _ = pivoted;
+            }
+        }
+    }
+
+    // Phase 2: install the real objective.
+    for col in 0..total_cols {
+        tableau.set(num_constraints, col, 0.0);
+    }
+    tableau.set(num_constraints, total_cols, 0.0);
+    for (col, &cost) in problem.objective().iter().enumerate() {
+        tableau.set(num_constraints, col, cost);
+    }
+    for row in 0..num_constraints {
+        let basic = tableau.basis(row);
+        if basic < num_vars {
+            let cost = problem.objective()[basic];
+            tableau.reduce_objective_by_row(row, cost);
+        }
+    }
+    let mut allowed = vec![true; total_cols];
+    for &col in &artificial_cols {
+        allowed[col] = false;
+    }
+    run_simplex(&mut tableau, &allowed)?;
+
+    let values: Vec<f64> = (0..num_vars)
+        .map(|var| {
+            let v = tableau.variable_value(var);
+            if v.abs() < LP_EPS {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect();
+    Ok(LpSolution {
+        objective: tableau.objective_value(),
+        values,
+    })
+}
+
+/// Runs simplex pivots until optimality, switching to Bland's rule after a stall threshold.
+fn run_simplex(tableau: &mut Tableau, allowed: &[bool]) -> Result<(), LpError> {
+    for iteration in 0..MAX_ITERATIONS {
+        let bland = iteration >= BLAND_THRESHOLD;
+        let Some(entering) = tableau.choose_entering(allowed, bland) else {
+            return Ok(());
+        };
+        let Some(leaving) = tableau.choose_leaving(entering) else {
+            return Err(LpError::Unbounded);
+        };
+        tableau.pivot(leaving, entering);
+    }
+    Err(LpError::IterationLimit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, LpProblem};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn basic_maximization() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2 → x=2, y=2, obj=10.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective_vector(vec![3.0, 2.0]);
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        let solution = solve(&lp).unwrap();
+        assert_close(solution.objective, 10.0);
+        assert_close(solution.value(0), 2.0);
+        assert_close(solution.value(1), 2.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 3, x <= 1 → obj = 3.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective_vector(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Eq, 3.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        let solution = solve(&lp).unwrap();
+        assert_close(solution.objective, 3.0);
+        assert_close(solution.value(0) + solution.value(1), 3.0);
+    }
+
+    #[test]
+    fn ge_constraints_and_minimization_via_negation() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1  ⇔  max −2x − 3y.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective_vector(vec![-2.0, -3.0]);
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Ge, 4.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
+        let solution = solve(&lp).unwrap();
+        // Optimal: x = 4, y = 0, cost 8.
+        assert_close(solution.objective, -8.0);
+        assert_close(solution.value(0), 4.0);
+        assert_close(solution.value(1), 0.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LpProblem::new(1);
+        lp.set_objective_vector(vec![1.0]);
+        lp.add_constraint(vec![1.0], ConstraintOp::Le, 1.0).unwrap();
+        lp.add_constraint(vec![1.0], ConstraintOp::Ge, 2.0).unwrap();
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LpProblem::new(2);
+        lp.set_objective_vector(vec![1.0, 0.0]);
+        lp.add_constraint(vec![0.0, 1.0], ConstraintOp::Le, 5.0)
+            .unwrap();
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_zero_objective() {
+        let lp = LpProblem::new(3);
+        let solution = solve(&lp).unwrap();
+        assert_close(solution.objective, 0.0);
+        assert_eq!(solution.values, vec![0.0; 3]);
+        let mut lp2 = LpProblem::new(1);
+        lp2.set_objective_vector(vec![1.0]);
+        assert_eq!(solve(&lp2).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // x ≥ 2 written as −x ≤ −2.
+        let mut lp = LpProblem::new(1);
+        lp.set_objective_vector(vec![-1.0]);
+        lp.add_constraint(vec![-1.0], ConstraintOp::Le, -2.0)
+            .unwrap();
+        let solution = solve(&lp).unwrap();
+        assert_close(solution.value(0), 2.0);
+        assert_close(solution.objective, -2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP (multiple constraints active at the optimum).
+        let mut lp = LpProblem::new(2);
+        lp.set_objective_vector(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![0.0, 1.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        let solution = solve(&lp).unwrap();
+        assert_close(solution.objective, 2.0);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // Two identical equality constraints; one row becomes redundant after phase 1.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective_vector(vec![1.0, 2.0]);
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Eq, 2.0)
+            .unwrap();
+        lp.add_constraint(vec![2.0, 2.0], ConstraintOp::Eq, 4.0)
+            .unwrap();
+        let solution = solve(&lp).unwrap();
+        assert_close(solution.objective, 4.0);
+        assert_close(solution.value(1), 2.0);
+    }
+
+    #[test]
+    fn larger_random_style_problem() {
+        // max Σ x_i with a budget per pair; optimum is attained at a vertex easy to verify.
+        let mut lp = LpProblem::new(4);
+        lp.set_objective_vector(vec![1.0, 1.0, 1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0, 0.0, 0.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![0.0, 0.0, 1.0, 1.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0, 0.0, 1.0, 0.0], ConstraintOp::Le, 1.5)
+            .unwrap();
+        let solution = solve(&lp).unwrap();
+        assert_close(solution.objective, 3.0);
+    }
+
+    #[test]
+    fn transportation_like_problem() {
+        // Two suppliers (capacities 3 and 2), two consumers (demands 2 and 3), cost 1 on all
+        // routes except route (1,0) which costs 3. Minimise cost ⇔ maximise the negation.
+        // Variables: x00, x01, x10, x11.
+        let mut lp = LpProblem::new(4);
+        lp.set_objective_vector(vec![-1.0, -1.0, -3.0, -1.0]);
+        lp.add_constraint(vec![1.0, 1.0, 0.0, 0.0], ConstraintOp::Le, 3.0)
+            .unwrap();
+        lp.add_constraint(vec![0.0, 0.0, 1.0, 1.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0, 0.0, 1.0, 0.0], ConstraintOp::Eq, 2.0)
+            .unwrap();
+        lp.add_constraint(vec![0.0, 1.0, 0.0, 1.0], ConstraintOp::Eq, 3.0)
+            .unwrap();
+        let solution = solve(&lp).unwrap();
+        // Optimal: x00 = 2, x01 = 1, x11 = 2 → cost 5.
+        assert_close(solution.objective, -5.0);
+        assert_close(solution.value(2), 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Dense simplex tableau with elementary pivot operations.
+
+/// Numerical tolerance used by the tableau operations.
+pub const LP_EPS: f64 = 1e-9;
+
+/// A dense simplex tableau.
+///
+/// The tableau stores one row per constraint plus a final objective row, and one column per
+/// variable plus a final right-hand-side column. The objective row holds *reduced costs*
+/// (`c_j − z_j` for a maximisation problem); its right-hand-side entry equals the negated
+/// current objective value. The invariant is maintained by [`Tableau::pivot`].
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    /// Creates a tableau with `rows` constraint rows and `cols` variable columns, filled with
+    /// zeros, and an all-zero basis (callers must set the basis before pivoting).
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Tableau {
+            rows,
+            cols,
+            data: vec![0.0; (rows + 1) * (cols + 1)],
+            basis: vec![0; rows],
+        }
+    }
+
+    /// Number of constraint rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of variable columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn index(&self, row: usize, col: usize) -> usize {
+        row * (self.cols + 1) + col
+    }
+
+    /// Reads entry `(row, col)`; `row == rows()` addresses the objective row and
+    /// `col == cols()` addresses the right-hand side.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[self.index(row, col)]
+    }
+
+    /// Writes entry `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        let idx = self.index(row, col);
+        self.data[idx] = value;
+    }
+
+    /// Adds `value` to entry `(row, col)`.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        let idx = self.index(row, col);
+        self.data[idx] += value;
+    }
+
+    /// Right-hand side of constraint `row`.
+    #[must_use]
+    pub fn rhs(&self, row: usize) -> f64 {
+        self.get(row, self.cols)
+    }
+
+    /// The basic variable of constraint `row`.
+    #[must_use]
+    pub fn basis(&self, row: usize) -> usize {
+        self.basis[row]
+    }
+
+    /// Declares `var` to be the basic variable of constraint `row`.
+    pub fn set_basis(&mut self, row: usize, var: usize) {
+        self.basis[row] = var;
+    }
+
+    /// Current objective value (negated right-hand side of the objective row).
+    #[must_use]
+    pub fn objective_value(&self) -> f64 {
+        -self.get(self.rows, self.cols)
+    }
+
+    /// Reduced cost of column `col`.
+    #[must_use]
+    pub fn reduced_cost(&self, col: usize) -> f64 {
+        self.get(self.rows, col)
+    }
+
+    /// Subtracts `factor ×` constraint row `row` from the objective row. Used when installing
+    /// an objective whose basic variables have non-zero cost.
+    pub fn reduce_objective_by_row(&mut self, row: usize, factor: f64) {
+        if factor == 0.0 {
+            return;
+        }
+        for col in 0..=self.cols {
+            let value = self.get(row, col);
+            self.add(self.rows, col, -factor * value);
+        }
+    }
+
+    /// Pivots on `(pivot_row, pivot_col)`: normalises the pivot row and eliminates the pivot
+    /// column from every other row (objective row included), then updates the basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pivot element is (numerically) zero.
+    pub fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let pivot_value = self.get(pivot_row, pivot_col);
+        assert!(
+            pivot_value.abs() > LP_EPS,
+            "pivot element too small: {pivot_value}"
+        );
+        // Normalise the pivot row.
+        for col in 0..=self.cols {
+            let idx = self.index(pivot_row, col);
+            self.data[idx] /= pivot_value;
+        }
+        // Eliminate the pivot column from the other rows.
+        for row in 0..=self.rows {
+            if row == pivot_row {
+                continue;
+            }
+            let factor = self.get(row, pivot_col);
+            if factor.abs() <= LP_EPS {
+                // Still clear the (tiny) entry to keep the column clean.
+                self.set(row, pivot_col, 0.0);
+                continue;
+            }
+            for col in 0..=self.cols {
+                let value = self.get(pivot_row, col);
+                let idx = self.index(row, col);
+                self.data[idx] -= factor * value;
+            }
+            self.set(row, pivot_col, 0.0);
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+
+    /// Selects an entering column with positive reduced cost among `allowed` columns.
+    ///
+    /// When `bland` is false the most positive reduced cost wins (Dantzig's rule); otherwise
+    /// the smallest-index eligible column wins (Bland's rule, which prevents cycling).
+    #[must_use]
+    pub fn choose_entering(&self, allowed: &[bool], bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for col in 0..self.cols {
+            if !allowed[col] {
+                continue;
+            }
+            let rc = self.reduced_cost(col);
+            if rc > LP_EPS {
+                if bland {
+                    return Some(col);
+                }
+                if best.map_or(true, |(_, value)| rc > value) {
+                    best = Some((col, rc));
+                }
+            }
+        }
+        best.map(|(col, _)| col)
+    }
+
+    /// Selects the leaving row for the given entering column with the minimum-ratio test.
+    /// Ties are broken towards the smallest basic-variable index (Bland-compatible). Returns
+    /// `None` when the column is unbounded.
+    #[must_use]
+    pub fn choose_leaving(&self, entering: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for row in 0..self.rows {
+            let coeff = self.get(row, entering);
+            if coeff > LP_EPS {
+                let ratio = self.rhs(row) / coeff;
+                match best {
+                    None => best = Some((row, ratio)),
+                    Some((best_row, best_ratio)) => {
+                        if ratio < best_ratio - LP_EPS
+                            || ((ratio - best_ratio).abs() <= LP_EPS
+                                && self.basis[row] < self.basis[best_row])
+                        {
+                            best = Some((row, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(row, _)| row)
+    }
+
+    /// Extracts the value of variable `var` in the current basic solution.
+    #[must_use]
+    pub fn variable_value(&self, var: usize) -> f64 {
+        for row in 0..self.rows {
+            if self.basis[row] == var {
+                return self.rhs(row);
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the tableau for: maximize 3x + 2y s.t. x + y ≤ 4, x ≤ 2 (slacks s1, s2).
+    fn small_tableau() -> Tableau {
+        let mut t = Tableau::new(2, 4);
+        // Row 0: x + y + s1 = 4.
+        t.set(0, 0, 1.0);
+        t.set(0, 1, 1.0);
+        t.set(0, 2, 1.0);
+        t.set(0, 4, 4.0);
+        t.set_basis(0, 2);
+        // Row 1: x + s2 = 2.
+        t.set(1, 0, 1.0);
+        t.set(1, 3, 1.0);
+        t.set(1, 4, 2.0);
+        t.set_basis(1, 3);
+        // Objective row: reduced costs = c because the initial basis has zero cost.
+        t.set(2, 0, 3.0);
+        t.set(2, 1, 2.0);
+        t
+    }
+
+    #[test]
+    fn pivot_solves_small_problem() {
+        let mut t = small_tableau();
+        let allowed = vec![true; 4];
+        let mut iterations = 0;
+        while let Some(col) = t.choose_entering(&allowed, false) {
+            let row = t.choose_leaving(col).expect("bounded");
+            t.pivot(row, col);
+            iterations += 1;
+            assert!(iterations < 10);
+        }
+        // Optimum: x = 2, y = 2, objective 10.
+        assert!((t.objective_value() - 10.0).abs() < 1e-9);
+        assert!((t.variable_value(0) - 2.0).abs() < 1e-9);
+        assert!((t.variable_value(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bland_rule_picks_smallest_index() {
+        let t = small_tableau();
+        let allowed = vec![true; 4];
+        assert_eq!(t.choose_entering(&allowed, true), Some(0));
+        assert_eq!(t.choose_entering(&allowed, false), Some(0));
+    }
+
+    #[test]
+    fn entering_respects_allowed_mask() {
+        let t = small_tableau();
+        let allowed = vec![false, true, true, true];
+        assert_eq!(t.choose_entering(&allowed, false), Some(1));
+        let none_allowed = vec![false; 4];
+        assert_eq!(t.choose_entering(&none_allowed, false), None);
+    }
+
+    #[test]
+    fn leaving_row_is_min_ratio() {
+        let t = small_tableau();
+        // Column 0 has ratios 4 and 2 → row 1 leaves.
+        assert_eq!(t.choose_leaving(0), Some(1));
+        // Column 1 only appears in row 0.
+        assert_eq!(t.choose_leaving(1), Some(0));
+    }
+
+    #[test]
+    fn unbounded_column_has_no_leaving_row() {
+        let mut t = Tableau::new(1, 2);
+        t.set(0, 0, -1.0);
+        t.set(0, 1, 1.0);
+        t.set(0, 2, 1.0);
+        t.set_basis(0, 1);
+        t.set(1, 0, 1.0);
+        assert_eq!(t.choose_leaving(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pivot element too small")]
+    fn pivot_on_zero_panics() {
+        let mut t = Tableau::new(1, 1);
+        t.set_basis(0, 0);
+        t.pivot(0, 0);
+    }
+
+    #[test]
+    fn reduce_objective_by_row() {
+        let mut t = Tableau::new(1, 2);
+        t.set(0, 0, 1.0);
+        t.set(0, 1, 2.0);
+        t.set(0, 2, 3.0);
+        t.set(1, 0, 5.0);
+        t.reduce_objective_by_row(0, 5.0);
+        assert!((t.get(1, 0) - 0.0).abs() < 1e-12);
+        assert!((t.get(1, 1) + 10.0).abs() < 1e-12);
+        assert!((t.get(1, 2) + 15.0).abs() < 1e-12);
+        assert!((t.objective_value() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variable_value_of_nonbasic_is_zero() {
+        let t = small_tableau();
+        assert_eq!(t.variable_value(0), 0.0);
+        assert_eq!(t.variable_value(2), 4.0);
+    }
+}

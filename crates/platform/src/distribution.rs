@@ -1,0 +1,649 @@
+//! Bandwidth distributions used in the average-case study (Appendix XII, Figure 19).
+//!
+//! The paper samples node bandwidths from six distributions:
+//!
+//! 1. `Unif100` — uniform on `[1, 100]`,
+//! 2. `Power1` / `Power2` — Pareto with mean 100 and standard deviation 100 / 1000,
+//! 3. `LN1` / `LN2` — log-normal with mean 100 and standard deviation 100 / 1000,
+//! 4. `PLab` — uniform sampling from outgoing bandwidths measured on PlanetLab.
+//!
+//! The PlanetLab measurement set is not redistributable, so [`PlanetLabLike`] substitutes a
+//! fixed synthetic empirical distribution with the same qualitative shape (a heavy
+//! low-bandwidth mode, a broad middle and a small fraction of very fast links); see DESIGN.md.
+//! All samplers are implemented from scratch on top of `rand` so that no extra statistical
+//! dependency is needed.
+
+use crate::error::PlatformError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// A distribution over outgoing bandwidths.
+pub trait BandwidthDistribution {
+    /// Draws one bandwidth sample. Samples are always strictly positive.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// Short human-readable name (used in experiment outputs).
+    fn name(&self) -> &str;
+
+    /// Draws `count` samples.
+    fn sample_many(&self, count: usize, rng: &mut dyn rand::RngCore) -> Vec<f64> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+impl<D: BandwidthDistribution + ?Sized> BandwidthDistribution for Box<D> {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        (**self).sample(rng)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Uniform distribution on `[low, high]` (the paper's `Unif100` uses `[1, 100]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformBandwidth {
+    low: f64,
+    high: f64,
+}
+
+impl UniformBandwidth {
+    /// Creates a uniform distribution on `[low, high]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < low ≤ high` and both bounds are finite.
+    pub fn new(low: f64, high: f64) -> Result<Self, PlatformError> {
+        if !(low.is_finite() && high.is_finite()) || low <= 0.0 || high < low {
+            return Err(PlatformError::InvalidParameter {
+                name: "uniform bounds",
+                reason: format!("need 0 < low <= high, got [{low}, {high}]"),
+            });
+        }
+        Ok(UniformBandwidth { low, high })
+    }
+
+    /// The paper's `Unif100` distribution: uniform on `[1, 100]`.
+    #[must_use]
+    pub fn unif100() -> Self {
+        UniformBandwidth {
+            low: 1.0,
+            high: 100.0,
+        }
+    }
+}
+
+impl BandwidthDistribution for UniformBandwidth {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen();
+        self.low + u * (self.high - self.low)
+    }
+
+    fn name(&self) -> &str {
+        "Unif"
+    }
+}
+
+/// Pareto (power-law) distribution parameterised by its mean and standard deviation.
+///
+/// With shape `α > 2` and scale `x_m`, the Pareto law has mean `α x_m / (α − 1)` and
+/// coefficient of variation `CV² = 1 / (α (α − 2))`; the constructor inverts these relations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoBandwidth {
+    shape: f64,
+    scale: f64,
+    label: ParetoLabel,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum ParetoLabel {
+    Power1,
+    Power2,
+    Custom,
+}
+
+impl ParetoBandwidth {
+    /// Creates a Pareto distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and strictly positive.
+    pub fn from_mean_std(mean: f64, std: f64) -> Result<Self, PlatformError> {
+        if !(mean.is_finite() && std.is_finite()) || mean <= 0.0 || std <= 0.0 {
+            return Err(PlatformError::InvalidParameter {
+                name: "pareto mean/std",
+                reason: format!("need positive finite values, got mean={mean}, std={std}"),
+            });
+        }
+        let cv2 = (std / mean) * (std / mean);
+        // α(α − 2) = 1 / CV²  ⇒  α = 1 + sqrt(1 + 1/CV²)
+        let shape = 1.0 + (1.0 + 1.0 / cv2).sqrt();
+        let scale = mean * (shape - 1.0) / shape;
+        Ok(ParetoBandwidth {
+            shape,
+            scale,
+            label: ParetoLabel::Custom,
+        })
+    }
+
+    /// The paper's `Power1` distribution: mean 100, standard deviation 100.
+    #[must_use]
+    pub fn power1() -> Self {
+        let mut d = Self::from_mean_std(100.0, 100.0).expect("valid parameters");
+        d.label = ParetoLabel::Power1;
+        d
+    }
+
+    /// The paper's `Power2` distribution: mean 100, standard deviation 1000.
+    #[must_use]
+    pub fn power2() -> Self {
+        let mut d = Self::from_mean_std(100.0, 1000.0).expect("valid parameters");
+        d.label = ParetoLabel::Power2;
+        d
+    }
+
+    /// Shape parameter `α`.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `x_m` (minimum value of the support).
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Theoretical mean of the distribution.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale / (self.shape - 1.0)
+    }
+}
+
+impl BandwidthDistribution for ParetoBandwidth {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        // Inverse-transform sampling: X = x_m / U^{1/α}.
+        let mut u: f64 = rng.gen();
+        if u <= f64::MIN_POSITIVE {
+            u = f64::MIN_POSITIVE;
+        }
+        self.scale / u.powf(1.0 / self.shape)
+    }
+
+    fn name(&self) -> &str {
+        match self.label {
+            ParetoLabel::Power1 => "Power1",
+            ParetoLabel::Power2 => "Power2",
+            ParetoLabel::Custom => "Pareto",
+        }
+    }
+}
+
+/// Log-normal distribution parameterised by its mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormalBandwidth {
+    mu: f64,
+    sigma: f64,
+    label: LogNormalLabel,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum LogNormalLabel {
+    Ln1,
+    Ln2,
+    Custom,
+}
+
+impl LogNormalBandwidth {
+    /// Creates a log-normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and strictly positive.
+    pub fn from_mean_std(mean: f64, std: f64) -> Result<Self, PlatformError> {
+        if !(mean.is_finite() && std.is_finite()) || mean <= 0.0 || std <= 0.0 {
+            return Err(PlatformError::InvalidParameter {
+                name: "log-normal mean/std",
+                reason: format!("need positive finite values, got mean={mean}, std={std}"),
+            });
+        }
+        let cv2 = (std / mean) * (std / mean);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Ok(LogNormalBandwidth {
+            mu,
+            sigma: sigma2.sqrt(),
+            label: LogNormalLabel::Custom,
+        })
+    }
+
+    /// The paper's `LN1` distribution: mean 100, standard deviation 100.
+    #[must_use]
+    pub fn ln1() -> Self {
+        let mut d = Self::from_mean_std(100.0, 100.0).expect("valid parameters");
+        d.label = LogNormalLabel::Ln1;
+        d
+    }
+
+    /// The paper's `LN2` distribution: mean 100, standard deviation 1000.
+    #[must_use]
+    pub fn ln2() -> Self {
+        let mut d = Self::from_mean_std(100.0, 1000.0).expect("valid parameters");
+        d.label = LogNormalLabel::Ln2;
+        d
+    }
+
+    /// Location parameter `μ` of the underlying normal.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter `σ` of the underlying normal.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+/// Draws one standard normal variate with the Box–Muller transform.
+pub fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+    let mut u1: f64 = rng.gen();
+    if u1 <= f64::MIN_POSITIVE {
+        u1 = f64::MIN_POSITIVE;
+    }
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+impl BandwidthDistribution for LogNormalBandwidth {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn name(&self) -> &str {
+        match self.label {
+            LogNormalLabel::Ln1 => "LN1",
+            LogNormalLabel::Ln2 => "LN2",
+            LogNormalLabel::Custom => "LogNormal",
+        }
+    }
+}
+
+/// Synthetic PlanetLab-like empirical distribution (substitute for the paper's `PLab` set).
+///
+/// The distribution is the piecewise-linear inverse CDF through the quantile table below,
+/// expressed in Mbit/s. It reproduces the qualitative shape of PlanetLab uplink capacities:
+/// a non-negligible fraction of slow, DSL-like links, a broad middle range and a small
+/// fraction of very fast (NREN-connected) hosts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanetLabLike {
+    /// `(cumulative probability, bandwidth)` pairs, strictly increasing in both coordinates.
+    quantiles: Vec<(f64, f64)>,
+}
+
+impl Default for PlanetLabLike {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanetLabLike {
+    /// The default synthetic quantile table.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanetLabLike {
+            quantiles: vec![
+                (0.00, 0.3),
+                (0.10, 0.8),
+                (0.25, 2.0),
+                (0.40, 5.0),
+                (0.55, 12.0),
+                (0.70, 35.0),
+                (0.82, 90.0),
+                (0.92, 250.0),
+                (0.98, 600.0),
+                (1.00, 1000.0),
+            ],
+        }
+    }
+
+    /// Builds a distribution from a custom quantile table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the table has at least two rows, starts at probability 0, ends
+    /// at probability 1, and is strictly increasing in probability and non-decreasing in value
+    /// with positive values.
+    pub fn from_quantiles(quantiles: Vec<(f64, f64)>) -> Result<Self, PlatformError> {
+        let invalid = |reason: String| PlatformError::InvalidParameter {
+            name: "quantiles",
+            reason,
+        };
+        if quantiles.len() < 2 {
+            return Err(invalid("need at least two rows".to_string()));
+        }
+        if (quantiles[0].0 - 0.0).abs() > 1e-12 || (quantiles[quantiles.len() - 1].0 - 1.0).abs() > 1e-12
+        {
+            return Err(invalid("table must span probabilities 0 to 1".to_string()));
+        }
+        for w in quantiles.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(invalid("probabilities must be strictly increasing".to_string()));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(invalid("values must be non-decreasing".to_string()));
+            }
+        }
+        if quantiles.iter().any(|&(_, v)| v <= 0.0 || !v.is_finite()) {
+            return Err(invalid("values must be positive and finite".to_string()));
+        }
+        Ok(PlanetLabLike { quantiles })
+    }
+
+    /// Evaluates the inverse CDF at probability `p ∈ [0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        for w in self.quantiles.windows(2) {
+            let (p0, v0) = w[0];
+            let (p1, v1) = w[1];
+            if p <= p1 {
+                let t = if p1 > p0 { (p - p0) / (p1 - p0) } else { 0.0 };
+                return v0 + t * (v1 - v0);
+            }
+        }
+        self.quantiles[self.quantiles.len() - 1].1
+    }
+}
+
+impl BandwidthDistribution for PlanetLabLike {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+
+    fn name(&self) -> &str {
+        "PLab"
+    }
+}
+
+/// Degenerate distribution returning a constant bandwidth (useful for homogeneous platforms
+/// and for deterministic tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantBandwidth {
+    value: f64,
+}
+
+impl ConstantBandwidth {
+    /// Creates a constant distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `value` is finite and strictly positive.
+    pub fn new(value: f64) -> Result<Self, PlatformError> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(PlatformError::InvalidParameter {
+                name: "constant bandwidth",
+                reason: format!("need a positive finite value, got {value}"),
+            });
+        }
+        Ok(ConstantBandwidth { value })
+    }
+}
+
+impl BandwidthDistribution for ConstantBandwidth {
+    fn sample(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.value
+    }
+
+    fn name(&self) -> &str {
+        "Const"
+    }
+}
+
+/// The six named distributions of the paper's Figure 19, as a closed enum for experiment
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NamedDistribution {
+    /// Uniform on `[1, 100]`.
+    Unif100,
+    /// Pareto, mean 100, standard deviation 100.
+    Power1,
+    /// Pareto, mean 100, standard deviation 1000.
+    Power2,
+    /// Log-normal, mean 100, standard deviation 100.
+    Ln1,
+    /// Log-normal, mean 100, standard deviation 1000.
+    Ln2,
+    /// PlanetLab-like synthetic empirical distribution.
+    PLab,
+}
+
+impl NamedDistribution {
+    /// All six distributions, in the order used by the paper's Figure 19.
+    #[must_use]
+    pub fn all() -> [NamedDistribution; 6] {
+        [
+            NamedDistribution::Ln1,
+            NamedDistribution::Ln2,
+            NamedDistribution::Power1,
+            NamedDistribution::Power2,
+            NamedDistribution::Unif100,
+            NamedDistribution::PLab,
+        ]
+    }
+
+    /// Short name matching the paper's labels.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            NamedDistribution::Unif100 => "Unif100",
+            NamedDistribution::Power1 => "Power1",
+            NamedDistribution::Power2 => "Power2",
+            NamedDistribution::Ln1 => "LN1",
+            NamedDistribution::Ln2 => "LN2",
+            NamedDistribution::PLab => "PLab",
+        }
+    }
+
+    /// Instantiates the sampler for this distribution.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn BandwidthDistribution + Send + Sync> {
+        match self {
+            NamedDistribution::Unif100 => Box::new(UniformBandwidth::unif100()),
+            NamedDistribution::Power1 => Box::new(ParetoBandwidth::power1()),
+            NamedDistribution::Power2 => Box::new(ParetoBandwidth::power2()),
+            NamedDistribution::Ln1 => Box::new(LogNormalBandwidth::ln1()),
+            NamedDistribution::Ln2 => Box::new(LogNormalBandwidth::ln2()),
+            NamedDistribution::PLab => Box::new(PlanetLabLike::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed)
+    }
+
+    fn empirical_mean_std(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let d = UniformBandwidth::unif100();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((1.0..=100.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_close_to_midpoint() {
+        let d = UniformBandwidth::new(10.0, 20.0).unwrap();
+        let mut r = rng();
+        let samples = d.sample_many(20_000, &mut r);
+        let (mean, _) = empirical_mean_std(&samples);
+        assert!((mean - 15.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    #[test]
+    fn uniform_rejects_bad_bounds() {
+        assert!(UniformBandwidth::new(0.0, 10.0).is_err());
+        assert!(UniformBandwidth::new(5.0, 1.0).is_err());
+        assert!(UniformBandwidth::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pareto_parameterisation_matches_moments() {
+        let d = ParetoBandwidth::power1();
+        // CV = 1 → α = 1 + √2, mean back-computed from (α, x_m) must be 100.
+        assert!((d.shape() - (1.0 + 2.0_f64.sqrt())).abs() < 1e-12);
+        assert!((d.mean() - 100.0).abs() < 1e-9);
+        let d2 = ParetoBandwidth::power2();
+        assert!((d2.mean() - 100.0).abs() < 1e-9);
+        assert!(d2.shape() < d.shape(), "heavier tail has smaller shape");
+    }
+
+    #[test]
+    fn pareto_empirical_mean_close() {
+        let d = ParetoBandwidth::power1();
+        let mut r = rng();
+        let samples = d.sample_many(200_000, &mut r);
+        let (mean, _) = empirical_mean_std(&samples);
+        assert!((mean - 100.0).abs() < 5.0, "mean = {mean}");
+        assert!(samples.iter().all(|&x| x >= d.scale() - 1e-12));
+    }
+
+    #[test]
+    fn pareto_rejects_bad_parameters() {
+        assert!(ParetoBandwidth::from_mean_std(-1.0, 10.0).is_err());
+        assert!(ParetoBandwidth::from_mean_std(10.0, 0.0).is_err());
+        assert!(ParetoBandwidth::from_mean_std(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_empirical_moments_close() {
+        let d = LogNormalBandwidth::ln1();
+        let mut r = rng();
+        let samples = d.sample_many(200_000, &mut r);
+        let (mean, std) = empirical_mean_std(&samples);
+        assert!((mean - 100.0).abs() < 3.0, "mean = {mean}");
+        assert!((std - 100.0).abs() < 10.0, "std = {std}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_parameters() {
+        assert!(LogNormalBandwidth::from_mean_std(0.0, 1.0).is_err());
+        assert!(LogNormalBandwidth::from_mean_std(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_names() {
+        assert_eq!(LogNormalBandwidth::ln1().name(), "LN1");
+        assert_eq!(LogNormalBandwidth::ln2().name(), "LN2");
+        assert_eq!(
+            LogNormalBandwidth::from_mean_std(5.0, 5.0).unwrap().name(),
+            "LogNormal"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut r)).collect();
+        let (mean, std) = empirical_mean_std(&samples);
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((std - 1.0).abs() < 0.02, "std = {std}");
+    }
+
+    #[test]
+    fn planetlab_quantile_interpolation() {
+        let d = PlanetLabLike::new();
+        assert!((d.quantile(0.0) - 0.3).abs() < 1e-12);
+        assert!((d.quantile(1.0) - 1000.0).abs() < 1e-12);
+        // Midway between the 0.10 and 0.25 breakpoints.
+        let q = d.quantile(0.175);
+        assert!(q > 0.8 && q < 2.0);
+        // Clamping outside [0, 1].
+        assert_eq!(d.quantile(-0.5), d.quantile(0.0));
+        assert_eq!(d.quantile(1.5), d.quantile(1.0));
+    }
+
+    #[test]
+    fn planetlab_samples_within_support() {
+        let d = PlanetLabLike::new();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((0.3..=1000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn planetlab_is_heavy_tailed() {
+        let d = PlanetLabLike::new();
+        let mut r = rng();
+        let samples = d.sample_many(100_000, &mut r);
+        let (mean, _) = empirical_mean_std(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            mean > 2.0 * median,
+            "mean {mean} should exceed twice the median {median}"
+        );
+    }
+
+    #[test]
+    fn planetlab_custom_table_validation() {
+        assert!(PlanetLabLike::from_quantiles(vec![(0.0, 1.0)]).is_err());
+        assert!(PlanetLabLike::from_quantiles(vec![(0.1, 1.0), (1.0, 2.0)]).is_err());
+        assert!(PlanetLabLike::from_quantiles(vec![(0.0, 2.0), (1.0, 1.0)]).is_err());
+        assert!(PlanetLabLike::from_quantiles(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(PlanetLabLike::from_quantiles(vec![(0.0, 1.0), (1.0, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn constant_distribution() {
+        let d = ConstantBandwidth::new(42.0).unwrap();
+        let mut r = rng();
+        assert_eq!(d.sample(&mut r), 42.0);
+        assert_eq!(d.sample_many(3, &mut r), vec![42.0; 3]);
+        assert!(ConstantBandwidth::new(0.0).is_err());
+    }
+
+    #[test]
+    fn named_distributions_build_and_label() {
+        for named in NamedDistribution::all() {
+            let dist = named.build();
+            let mut r = rng();
+            let x = dist.sample(&mut r);
+            assert!(x > 0.0, "{} produced non-positive sample {x}", named.label());
+        }
+        assert_eq!(NamedDistribution::Unif100.label(), "Unif100");
+        assert_eq!(NamedDistribution::PLab.label(), "PLab");
+        assert_eq!(NamedDistribution::all().len(), 6);
+    }
+
+    #[test]
+    fn named_distribution_serde_roundtrip() {
+        let json = serde_json::to_string(&NamedDistribution::Power2).unwrap();
+        let back: NamedDistribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, NamedDistribution::Power2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for platform construction.
+
+use std::fmt;
+
+/// Errors raised while building or validating a platform instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A bandwidth value was negative, NaN or infinite.
+    InvalidBandwidth {
+        /// Index of the offending node (0 = source).
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The instance has no receiver at all (n + m = 0).
+    EmptyInstance,
+    /// A parameter of a distribution or generator was out of its admissible range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::InvalidBandwidth { index, value } => {
+                write!(f, "invalid bandwidth {value} for node C{index}")
+            }
+            PlatformError::EmptyInstance => write!(f, "instance has no receiver (n + m = 0)"),
+            PlatformError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_bandwidth() {
+        let e = PlatformError::InvalidBandwidth {
+            index: 3,
+            value: -1.0,
+        };
+        assert_eq!(e.to_string(), "invalid bandwidth -1 for node C3");
+    }
+
+    #[test]
+    fn display_empty_instance() {
+        assert_eq!(
+            PlatformError::EmptyInstance.to_string(),
+            "instance has no receiver (n + m = 0)"
+        );
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = PlatformError::InvalidParameter {
+            name: "p",
+            reason: "must lie in [0, 1]".to_string(),
+        };
+        assert_eq!(e.to_string(), "invalid parameter `p`: must lie in [0, 1]");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(PlatformError::EmptyInstance);
+        assert!(e.to_string().contains("no receiver"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Random instance generation following the protocol of the paper's average-case study.
+//!
+//! For Figure 19, the paper generates instances as follows: every node is independently an
+//! open node with probability `p` (guarded with probability `1 − p`), node bandwidths are
+//! sampled i.i.d. from one of six distributions, and "the bandwidth of the source node is
+//! chosen equal to the optimal cyclic throughput — what ensures that the source is not a
+//! strong limiting bottleneck, and that it is also not sufficient by itself to feed all
+//! nodes".
+//!
+//! Pinning `b_0` to the optimal cyclic throughput `T* = min(b_0, (b_0+O)/m, (b_0+O+G)/(n+m))`
+//! is a fixed point: the largest consistent value is
+//! `b_0 = min( O/(m−1) [if m ≥ 2], (O+G)/(n+m−1) [if n+m ≥ 2] )`.
+//! When that fixed point is degenerate (for example when every sampled node happens to be
+//! guarded, so `O = 0`), the generator falls back to the mean sampled bandwidth — in that
+//! regime every scheme is a star from the source and the acyclic/cyclic ratio is 1 anyway.
+
+use crate::distribution::BandwidthDistribution;
+use crate::error::PlatformError;
+use crate::instance::Instance;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Policy used to pick the source bandwidth of generated instances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SourcePolicy {
+    /// Pin `b_0` to the optimal cyclic throughput (the paper's Figure 19 protocol).
+    CyclicOptimum,
+    /// Sample `b_0` from the same distribution as the other nodes.
+    Sampled,
+    /// Use a fixed source bandwidth.
+    Fixed(f64),
+}
+
+/// Configuration of the random instance generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of receivers (`n + m`).
+    pub receivers: usize,
+    /// Probability for each receiver to be an open node.
+    pub open_probability: f64,
+    /// Source bandwidth policy.
+    pub source_policy: SourcePolicy,
+}
+
+impl GeneratorConfig {
+    /// Creates a configuration with the paper's source policy (pinned to the cyclic optimum).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `receivers == 0` or `open_probability ∉ [0, 1]`.
+    pub fn new(receivers: usize, open_probability: f64) -> Result<Self, PlatformError> {
+        if receivers == 0 {
+            return Err(PlatformError::EmptyInstance);
+        }
+        if !(0.0..=1.0).contains(&open_probability) || !open_probability.is_finite() {
+            return Err(PlatformError::InvalidParameter {
+                name: "open_probability",
+                reason: format!("must lie in [0, 1], got {open_probability}"),
+            });
+        }
+        Ok(GeneratorConfig {
+            receivers,
+            open_probability,
+            source_policy: SourcePolicy::CyclicOptimum,
+        })
+    }
+
+    /// Overrides the source bandwidth policy.
+    #[must_use]
+    pub fn with_source_policy(mut self, policy: SourcePolicy) -> Self {
+        self.source_policy = policy;
+        self
+    }
+}
+
+/// Random instance generator.
+pub struct InstanceGenerator<D> {
+    config: GeneratorConfig,
+    distribution: D,
+}
+
+impl<D: BandwidthDistribution> InstanceGenerator<D> {
+    /// Creates a generator from a configuration and a bandwidth distribution.
+    #[must_use]
+    pub fn new(config: GeneratorConfig, distribution: D) -> Self {
+        InstanceGenerator {
+            config,
+            distribution,
+        }
+    }
+
+    /// The generator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates one random instance.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Instance {
+        let mut open = Vec::new();
+        let mut guarded = Vec::new();
+        for _ in 0..self.config.receivers {
+            let bandwidth = self.distribution.sample(rng);
+            if rng.gen::<f64>() < self.config.open_probability {
+                open.push(bandwidth);
+            } else {
+                guarded.push(bandwidth);
+            }
+        }
+        let all: Vec<f64> = open.iter().chain(guarded.iter()).copied().collect();
+        let b0 = match self.config.source_policy {
+            SourcePolicy::Fixed(value) => value,
+            SourcePolicy::Sampled => self.distribution.sample(rng),
+            SourcePolicy::CyclicOptimum => {
+                pinned_source_bandwidth(&open, &guarded).unwrap_or_else(|| mean(&all))
+            }
+        };
+        Instance::new(b0, open, guarded).expect("generated bandwidths are valid")
+    }
+
+    /// Generates `count` independent random instances.
+    pub fn generate_many<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<Instance> {
+        (0..count).map(|_| self.generate(rng)).collect()
+    }
+}
+
+/// Largest source bandwidth `b_0` such that `b_0` equals the optimal cyclic throughput of the
+/// resulting instance (`T* = min(b_0, (b_0+O)/m, (b_0+O+G)/(n+m))`, Lemma 5.1).
+///
+/// Returns `None` when no constraint binds (a single receiver) or when the fixed point is
+/// degenerate (non-positive, e.g. `O = 0` with at least two guarded nodes).
+#[must_use]
+pub fn pinned_source_bandwidth(open: &[f64], guarded: &[f64]) -> Option<f64> {
+    let n = open.len();
+    let m = guarded.len();
+    let o: f64 = open.iter().sum();
+    let g: f64 = guarded.iter().sum();
+    let mut candidates = Vec::new();
+    if m >= 2 {
+        candidates.push(o / (m as f64 - 1.0));
+    }
+    if n + m >= 2 {
+        candidates.push((o + g) / ((n + m) as f64 - 1.0));
+    }
+    let b0 = candidates
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+    if !b0.is_finite() || b0 <= f64::EPSILON {
+        None
+    } else {
+        Some(b0)
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        1.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{ConstantBandwidth, UniformBandwidth};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GeneratorConfig::new(0, 0.5).is_err());
+        assert!(GeneratorConfig::new(10, -0.1).is_err());
+        assert!(GeneratorConfig::new(10, 1.5).is_err());
+        assert!(GeneratorConfig::new(10, 0.5).is_ok());
+    }
+
+    #[test]
+    fn generates_requested_number_of_receivers() {
+        let config = GeneratorConfig::new(50, 0.7).unwrap();
+        let gen = InstanceGenerator::new(config, UniformBandwidth::unif100());
+        let mut r = rng();
+        for _ in 0..20 {
+            let inst = gen.generate(&mut r);
+            assert_eq!(inst.num_receivers(), 50);
+        }
+    }
+
+    #[test]
+    fn open_fraction_close_to_probability() {
+        let config = GeneratorConfig::new(200, 0.7).unwrap();
+        let gen = InstanceGenerator::new(config, UniformBandwidth::unif100());
+        let mut r = rng();
+        let instances = gen.generate_many(100, &mut r);
+        let total_open: usize = instances.iter().map(Instance::n).sum();
+        let fraction = total_open as f64 / (200.0 * 100.0);
+        assert!((fraction - 0.7).abs() < 0.03, "fraction = {fraction}");
+    }
+
+    #[test]
+    fn all_open_when_probability_one() {
+        let config = GeneratorConfig::new(30, 1.0).unwrap();
+        let gen = InstanceGenerator::new(config, UniformBandwidth::unif100());
+        let inst = gen.generate(&mut rng());
+        assert_eq!(inst.n(), 30);
+        assert_eq!(inst.m(), 0);
+    }
+
+    #[test]
+    fn all_guarded_when_probability_zero() {
+        let config = GeneratorConfig::new(30, 0.0).unwrap();
+        let gen = InstanceGenerator::new(config, UniformBandwidth::unif100());
+        let inst = gen.generate(&mut rng());
+        assert_eq!(inst.n(), 0);
+        assert_eq!(inst.m(), 30);
+        // O = 0 with several guarded nodes: the fixed point is degenerate, so the fallback
+        // (mean bandwidth) applies and the source bandwidth stays positive.
+        assert!(inst.source_bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn pinned_source_equals_cyclic_optimum() {
+        // Hand-checkable values: open = [6, 4], guarded = [2, 2, 1].
+        let open = vec![6.0, 4.0];
+        let guarded = vec![2.0, 2.0, 1.0];
+        let b0 = pinned_source_bandwidth(&open, &guarded).unwrap();
+        // O = 10, G = 5: candidates are 10/2 = 5 and 15/4 = 3.75 → b0 = 3.75.
+        assert!((b0 - 3.75).abs() < 1e-12);
+        // Check the fixed point: T* = min(b0, (b0+O)/m, (b0+O+G)/(n+m)) = b0.
+        let t = (b0 + 10.0 + 5.0) / 5.0;
+        assert!((t - b0).abs() < 1e-12);
+        assert!((b0 + 10.0) / 3.0 >= b0);
+    }
+
+    #[test]
+    fn pinned_source_no_guarded() {
+        // m = 0: only the (O+G)/(n+m−1) constraint applies.
+        let b0 = pinned_source_bandwidth(&[3.0, 3.0, 3.0], &[]).unwrap();
+        assert!((b0 - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinned_source_degenerate_cases() {
+        assert!(pinned_source_bandwidth(&[5.0], &[]).is_none());
+        assert!(pinned_source_bandwidth(&[], &[1.0]).is_none());
+        assert!(pinned_source_bandwidth(&[], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn fixed_source_policy() {
+        let config = GeneratorConfig::new(5, 0.5)
+            .unwrap()
+            .with_source_policy(SourcePolicy::Fixed(7.25));
+        let gen = InstanceGenerator::new(config, ConstantBandwidth::new(2.0).unwrap());
+        let inst = gen.generate(&mut rng());
+        assert_eq!(inst.source_bandwidth(), 7.25);
+        assert!(inst.bandwidths()[1..].iter().all(|&b| b == 2.0));
+    }
+
+    #[test]
+    fn sampled_source_policy() {
+        let config = GeneratorConfig::new(5, 0.5)
+            .unwrap()
+            .with_source_policy(SourcePolicy::Sampled);
+        let gen = InstanceGenerator::new(config, ConstantBandwidth::new(3.0).unwrap());
+        let inst = gen.generate(&mut rng());
+        assert_eq!(inst.source_bandwidth(), 3.0);
+    }
+
+    #[test]
+    fn cyclic_optimum_policy_on_constant_bandwidths() {
+        let config = GeneratorConfig::new(10, 0.5).unwrap();
+        let gen = InstanceGenerator::new(config, ConstantBandwidth::new(1.0).unwrap());
+        let mut r = rng();
+        for _ in 0..50 {
+            let inst = gen.generate(&mut r);
+            let (n, m) = (inst.n(), inst.m());
+            let expected = pinned_source_bandwidth(
+                &vec![1.0; n],
+                &vec![1.0; m],
+            )
+            .unwrap_or(1.0);
+            assert!((inst.source_bandwidth() - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn generate_many_is_reproducible_with_same_seed() {
+        let config = GeneratorConfig::new(20, 0.6).unwrap();
+        let gen = InstanceGenerator::new(config, UniformBandwidth::unif100());
+        let a = gen.generate_many(5, &mut StdRng::seed_from_u64(7));
+        let b = gen.generate_many(5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! Platform model for broadcasting under the bounded multi-port (LastMile) model.
+//!
+//! An [`instance::Instance`] describes a source node `C0`, `n` *open* nodes and `m`
+//! *guarded* nodes (behind NATs or firewalls), each with an outgoing bandwidth.
+//! Incoming bandwidths are assumed unbounded, following the model of the paper
+//! (Beaumont, Bonichon, Eyraud-Dubois, Uznański, Agrawal — "Broadcasting on Large Scale
+//! Heterogeneous Platforms under the Bounded Multi-Port Model").
+//!
+//! The crate also provides:
+//!
+//! * [`distribution`] — the bandwidth distributions used in the paper's average-case study
+//!   (uniform, Pareto, log-normal, and a synthetic PlanetLab-like empirical distribution),
+//! * [`generator`] — random instance generation following the paper's protocol (each node is
+//!   open with probability `p`, the source bandwidth is pinned to the optimal cyclic
+//!   throughput),
+//! * [`paper`] — the fixed instances appearing in the paper's figures (Figures 1, 6, 8, 18
+//!   and the Theorem 6.3 family).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod error;
+pub mod generator;
+pub mod instance;
+pub mod node;
+pub mod paper;
+
+pub use distribution::BandwidthDistribution;
+pub use error::PlatformError;
+pub use generator::InstanceGenerator;
+pub use instance::Instance;
+pub use node::{Node, NodeClass, NodeId};

@@ -1,0 +1,143 @@
+//! Node identity and classification.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node inside an instance.
+///
+/// Index `0` always denotes the source `C0`; indices `1..=n` denote open nodes and
+/// `n+1..=n+m` denote guarded nodes, mirroring the paper's notation.
+pub type NodeId = usize;
+
+/// Connectivity class of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeClass {
+    /// The source node `C0` (always in the open Internet).
+    Source,
+    /// A node in the open Internet: it can exchange data with every other node.
+    Open,
+    /// A node behind a NAT or a firewall: it can only exchange data with open nodes
+    /// (guarded → guarded transfers are forbidden).
+    Guarded,
+}
+
+impl NodeClass {
+    /// Whether a node of this class may *send* data directly to a node of class `other`.
+    ///
+    /// The only forbidden combination is guarded → guarded (the firewall constraint of the
+    /// paper). The source behaves like an open node.
+    #[must_use]
+    pub fn can_send_to(self, other: NodeClass) -> bool {
+        !(self == NodeClass::Guarded && other == NodeClass::Guarded)
+    }
+
+    /// Whether this class counts as "open bandwidth" (source or open node).
+    #[must_use]
+    pub fn is_open_like(self) -> bool {
+        matches!(self, NodeClass::Source | NodeClass::Open)
+    }
+
+    /// Whether this class is guarded.
+    #[must_use]
+    pub fn is_guarded(self) -> bool {
+        matches!(self, NodeClass::Guarded)
+    }
+}
+
+/// A node of the platform: its identifier, class and outgoing bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Index of the node inside its instance.
+    pub id: NodeId,
+    /// Connectivity class.
+    pub class: NodeClass,
+    /// Outgoing bandwidth `b_i` (incoming bandwidth is unbounded in the LastMile model).
+    pub bandwidth: f64,
+}
+
+impl Node {
+    /// Creates a new node description.
+    #[must_use]
+    pub fn new(id: NodeId, class: NodeClass, bandwidth: f64) -> Self {
+        Node {
+            id,
+            class,
+            bandwidth,
+        }
+    }
+
+    /// Lower bound `⌈b_i / T⌉` on the outdegree of this node in any scheme of throughput `T`
+    /// that uses its full outgoing bandwidth.
+    #[must_use]
+    pub fn degree_lower_bound(&self, throughput: f64) -> usize {
+        degree_lower_bound(self.bandwidth, throughput)
+    }
+}
+
+/// Lower bound `⌈b / T⌉` on the outdegree of a node of bandwidth `b` in a scheme of
+/// throughput `T` (Section II-D of the paper).
+///
+/// A tiny relative tolerance is applied before taking the ceiling so that, e.g.,
+/// `b = 3 T` yields 3 and not 4 when the division carries floating-point noise.
+#[must_use]
+pub fn degree_lower_bound(bandwidth: f64, throughput: f64) -> usize {
+    if throughput <= 0.0 || bandwidth <= 0.0 {
+        return 0;
+    }
+    let ratio = bandwidth / throughput;
+    let tol = 1e-9 * ratio.max(1.0);
+    (ratio - tol).ceil().max(0.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firewall_constraint() {
+        assert!(NodeClass::Source.can_send_to(NodeClass::Guarded));
+        assert!(NodeClass::Open.can_send_to(NodeClass::Guarded));
+        assert!(NodeClass::Guarded.can_send_to(NodeClass::Open));
+        assert!(NodeClass::Guarded.can_send_to(NodeClass::Source));
+        assert!(!NodeClass::Guarded.can_send_to(NodeClass::Guarded));
+        assert!(NodeClass::Open.can_send_to(NodeClass::Open));
+    }
+
+    #[test]
+    fn open_like_classification() {
+        assert!(NodeClass::Source.is_open_like());
+        assert!(NodeClass::Open.is_open_like());
+        assert!(!NodeClass::Guarded.is_open_like());
+        assert!(NodeClass::Guarded.is_guarded());
+        assert!(!NodeClass::Open.is_guarded());
+    }
+
+    #[test]
+    fn degree_bound_exact_multiple() {
+        // b = 6, T = 2 → ⌈3⌉ = 3 even with floating point noise.
+        assert_eq!(degree_lower_bound(6.0, 2.0), 3);
+        assert_eq!(degree_lower_bound(6.0, 1.9999999999), 3);
+        assert_eq!(degree_lower_bound(0.3, 0.1), 3);
+    }
+
+    #[test]
+    fn degree_bound_fractional() {
+        assert_eq!(degree_lower_bound(5.0, 2.0), 3);
+        assert_eq!(degree_lower_bound(1.0, 2.0), 1);
+        assert_eq!(degree_lower_bound(0.0, 2.0), 0);
+        assert_eq!(degree_lower_bound(2.0, 0.0), 0);
+    }
+
+    #[test]
+    fn node_degree_bound_matches_free_function() {
+        let node = Node::new(4, NodeClass::Open, 5.0);
+        assert_eq!(node.degree_lower_bound(2.0), degree_lower_bound(5.0, 2.0));
+    }
+
+    #[test]
+    fn node_serde_roundtrip() {
+        let node = Node::new(2, NodeClass::Guarded, 1.5);
+        let json = serde_json::to_string(&node).unwrap();
+        let back: Node = serde_json::from_str(&json).unwrap();
+        assert_eq!(node, back);
+    }
+}

@@ -1,0 +1,321 @@
+//! The fixed instances appearing in the paper's figures.
+//!
+//! These instances are used throughout the test suite and by the experiment harness as
+//! ground-truth fixtures:
+//!
+//! * [`figure1`] — the running example (n = 2 open, m = 3 guarded, optimal throughput 4.4),
+//! * [`figure6`] — the family showing that optimal cyclic throughput with guarded nodes may
+//!   require unbounded source degree,
+//! * [`figure8_gadget`] — the 3-PARTITION reduction gadget of the NP-completeness proof,
+//! * [`figure11`] — the open-only example used to illustrate the cyclic construction
+//!   (b = [5, 5, 3, 2], T = 5),
+//! * [`figure14`] — the larger open-only example of the cyclic induction
+//!   (b = [5, 5, 4, 4, 4, 3], T = 5),
+//! * [`figure18`] — the 5/7 worst-case instance,
+//! * [`theorem63_instance`] — the `I(α, k)` family showing the ratio does not approach 1.
+
+use crate::error::PlatformError;
+use crate::instance::Instance;
+
+/// The paper's Figure 1 instance: source bandwidth 6, open nodes `[5, 5]`, guarded nodes
+/// `[4, 1, 1]`. Its optimal cyclic throughput is 4.4 and its optimal acyclic throughput is 4.
+#[must_use]
+pub fn figure1() -> Instance {
+    Instance::new(6.0, vec![5.0, 5.0], vec![4.0, 1.0, 1.0]).expect("valid figure 1 instance")
+}
+
+/// The paper's Figure 6 family: `b_0 = 1`, one open node of bandwidth `m − 1` and `m` guarded
+/// nodes of bandwidth `1/m`. Its optimal cyclic throughput is 1, but any optimal solution
+/// requires the source to have outdegree `m` while `⌈b_0 / T*⌉ = 1`.
+///
+/// # Errors
+///
+/// Returns an error if `m < 2` (the construction needs at least two guarded nodes).
+pub fn figure6(m: usize) -> Result<Instance, PlatformError> {
+    if m < 2 {
+        return Err(PlatformError::InvalidParameter {
+            name: "m",
+            reason: format!("the Figure 6 family needs m >= 2, got {m}"),
+        });
+    }
+    Instance::new(
+        1.0,
+        vec![(m as f64) - 1.0],
+        vec![1.0 / (m as f64); m],
+    )
+}
+
+/// The 3-PARTITION reduction gadget of Figure 8 (Theorem 3.1).
+///
+/// Given `3p` integers `a_i` with `Σ a_i = p·T` and `T/4 < a_i < T/2`, the gadget is an
+/// open-only instance with a source of bandwidth `3pT`, `3p` intermediate nodes of bandwidths
+/// `a_i` and `p` final nodes of bandwidth 0. Deciding whether throughput `T` is reachable with
+/// the degree of every node `C_i` bounded by `⌈b_i/T⌉` is equivalent to the 3-PARTITION
+/// instance.
+///
+/// Returns the instance together with the target throughput `T`.
+///
+/// # Errors
+///
+/// Returns an error if the `a_i` do not satisfy the 3-PARTITION preconditions.
+pub fn figure8_gadget(items: &[u64], target: u64) -> Result<(Instance, f64), PlatformError> {
+    if items.len() % 3 != 0 || items.is_empty() {
+        return Err(PlatformError::InvalidParameter {
+            name: "items",
+            reason: format!("need a positive multiple of 3 items, got {}", items.len()),
+        });
+    }
+    let p = items.len() / 3;
+    let sum: u64 = items.iter().sum();
+    if sum != (p as u64) * target {
+        return Err(PlatformError::InvalidParameter {
+            name: "items",
+            reason: format!("items must sum to p*T = {}, got {sum}", (p as u64) * target),
+        });
+    }
+    if items
+        .iter()
+        .any(|&a| 4 * a <= target || 2 * a >= target)
+    {
+        return Err(PlatformError::InvalidParameter {
+            name: "items",
+            reason: "every item must satisfy T/4 < a < T/2".to_string(),
+        });
+    }
+    let t = target as f64;
+    let source = 3.0 * (p as f64) * t;
+    let mut open: Vec<f64> = items.iter().map(|&a| a as f64).collect();
+    open.extend(std::iter::repeat(0.0).take(p));
+    let instance = Instance::new(source, open, Vec::new())?;
+    Ok((instance, t))
+}
+
+/// The open-only instance of Figure 11/12 used to illustrate the cyclic construction:
+/// `b = [5, 5, 3, 2]`, target throughput 5 (the first index `i_0` with `S_{i_0−1} < i_0·T`
+/// is 3 = n).
+#[must_use]
+pub fn figure11() -> Instance {
+    Instance::open_only(5.0, vec![5.0, 3.0, 2.0]).expect("valid figure 11 instance")
+}
+
+/// The open-only instance of Figure 14/15/17 used to illustrate the cyclic induction:
+/// `b = [5, 5, 4, 4, 4, 3]`, target throughput 5 (here `i_0 = 3 < n = 5`).
+#[must_use]
+pub fn figure14() -> Instance {
+    Instance::open_only(5.0, vec![5.0, 4.0, 4.0, 4.0, 3.0]).expect("valid figure 14 instance")
+}
+
+/// The 5/7 worst-case instance of Figure 18: `b_0 = 1`, one open node of bandwidth `1 + 2ε`
+/// and two guarded nodes of bandwidth `1/2 − ε`. For `ε = 1/14` the two candidate orderings
+/// achieve the same acyclic throughput `5/7` while the cyclic optimum is 1.
+///
+/// # Errors
+///
+/// Returns an error unless `0 ≤ ε < 1/2`.
+pub fn figure18(epsilon: f64) -> Result<Instance, PlatformError> {
+    if !(0.0..0.5).contains(&epsilon) {
+        return Err(PlatformError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("need 0 <= epsilon < 1/2, got {epsilon}"),
+        });
+    }
+    Instance::new(
+        1.0,
+        vec![1.0 + 2.0 * epsilon],
+        vec![0.5 - epsilon, 0.5 - epsilon],
+    )
+}
+
+/// The `ε` value for which the Figure 18 instance attains the tight 5/7 ratio.
+#[must_use]
+pub fn figure18_tight_epsilon() -> f64 {
+    1.0 / 14.0
+}
+
+/// The `I(α, k)` family of Theorem 6.3: `b_0 = 1`, `n = k·q` open nodes of bandwidth `α = p/q`
+/// and `m = k·p` guarded nodes of bandwidth `1/α`. Its cyclic optimum is 1 while its acyclic
+/// optimum stays below `(1 + √41)/8 ≈ 0.925` when `α ≈ (√41 − 3)/8`.
+///
+/// `alpha` is given as the rational `p/q`.
+///
+/// # Errors
+///
+/// Returns an error unless `p < q`, `p ≥ 1` and `k ≥ 1`.
+pub fn theorem63_instance(p: u32, q: u32, k: u32) -> Result<Instance, PlatformError> {
+    if p == 0 || q == 0 || p >= q || k == 0 {
+        return Err(PlatformError::InvalidParameter {
+            name: "alpha",
+            reason: format!("need 0 < p < q and k >= 1, got p={p}, q={q}, k={k}"),
+        });
+    }
+    let alpha = f64::from(p) / f64::from(q);
+    let n = (k * q) as usize;
+    let m = (k * p) as usize;
+    Instance::new(1.0, vec![alpha; n], vec![1.0 / alpha; m])
+}
+
+/// The irrational `α = (√41 − 3)/8 ≈ 0.4254` of Theorem 6.3, at which the acyclic/cyclic
+/// ratio of `I(α, k)` approaches `(1 + √41)/8`.
+#[must_use]
+pub fn theorem63_alpha() -> f64 {
+    (41.0_f64.sqrt() - 3.0) / 8.0
+}
+
+/// The limit ratio `(1 + √41)/8 ≈ 0.9254` of Theorem 6.3.
+#[must_use]
+pub fn theorem63_ratio() -> f64 {
+    (1.0 + 41.0_f64.sqrt()) / 8.0
+}
+
+/// A convenient rational approximation `p/q = 17/40 = 0.425` of [`theorem63_alpha`], suitable
+/// for building concrete `I(α, k)` instances.
+#[must_use]
+pub fn theorem63_rational_alpha() -> (u32, u32) {
+    (17, 40)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeClass;
+
+    #[test]
+    fn figure1_matches_paper() {
+        let inst = figure1();
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.m(), 3);
+        assert_eq!(inst.bandwidths(), &[6.0, 5.0, 5.0, 4.0, 1.0, 1.0]);
+        assert!((inst.open_sum() - 10.0).abs() < 1e-12);
+        assert!((inst.guarded_sum() - 6.0).abs() < 1e-12);
+        // Lemma 5.1 evaluates to min(6, 16/3, 22/5) = 4.4 on this instance.
+        let bound = (inst.source_bandwidth() + inst.open_sum() + inst.guarded_sum())
+            / inst.num_receivers() as f64;
+        assert!((bound - 4.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure6_family_shape() {
+        let inst = figure6(5).unwrap();
+        assert_eq!(inst.n(), 1);
+        assert_eq!(inst.m(), 5);
+        assert_eq!(inst.source_bandwidth(), 1.0);
+        assert_eq!(inst.open_bandwidths(), &[4.0]);
+        assert!(inst
+            .guarded_bandwidths()
+            .iter()
+            .all(|&g| (g - 0.2).abs() < 1e-12));
+        assert!(figure6(1).is_err());
+    }
+
+    #[test]
+    fn figure6_cyclic_bound_is_one() {
+        for m in 2..20 {
+            let inst = figure6(m).unwrap();
+            let n_m = inst.num_receivers() as f64;
+            let bound = [
+                inst.source_bandwidth(),
+                (inst.source_bandwidth() + inst.open_sum()) / inst.m() as f64,
+                (inst.source_bandwidth() + inst.open_sum() + inst.guarded_sum()) / n_m,
+            ]
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+            assert!((bound - 1.0).abs() < 1e-12, "m = {m}, bound = {bound}");
+        }
+    }
+
+    #[test]
+    fn figure8_gadget_valid_three_partition() {
+        // p = 2, T = 100, items in (25, 50) summing to 200.
+        let items = [30, 33, 37, 26, 35, 39];
+        let (inst, t) = figure8_gadget(&items, 100).unwrap();
+        assert_eq!(t, 100.0);
+        assert_eq!(inst.n(), 3 * 2 + 2);
+        assert_eq!(inst.m(), 0);
+        assert_eq!(inst.source_bandwidth(), 600.0);
+        // Total bandwidth is exactly 4pT, so no bandwidth can be wasted.
+        assert!((inst.total_bandwidth() - 800.0).abs() < 1e-12);
+        // The two final nodes have zero bandwidth and sit last after sorting.
+        assert_eq!(inst.bandwidth(7), 0.0);
+        assert_eq!(inst.bandwidth(8), 0.0);
+    }
+
+    #[test]
+    fn figure8_gadget_rejects_invalid_inputs() {
+        assert!(figure8_gadget(&[30, 33], 100).is_err());
+        assert!(figure8_gadget(&[30, 33, 36], 100).is_err());
+        assert!(figure8_gadget(&[20, 40, 40], 100).is_err());
+        assert!(figure8_gadget(&[25, 25, 50], 100).is_err());
+    }
+
+    #[test]
+    fn figure11_and_figure14_shapes() {
+        let f11 = figure11();
+        assert_eq!(f11.bandwidths(), &[5.0, 5.0, 3.0, 2.0]);
+        assert_eq!(f11.m(), 0);
+        let f14 = figure14();
+        assert_eq!(f14.bandwidths(), &[5.0, 5.0, 4.0, 4.0, 4.0, 3.0]);
+        assert_eq!(f14.m(), 0);
+    }
+
+    #[test]
+    fn figure18_instance() {
+        let eps = figure18_tight_epsilon();
+        let inst = figure18(eps).unwrap();
+        assert_eq!(inst.n(), 1);
+        assert_eq!(inst.m(), 2);
+        assert!((inst.bandwidth(1) - (1.0 + 2.0 * eps)).abs() < 1e-12);
+        assert!((inst.bandwidth(2) - (0.5 - eps)).abs() < 1e-12);
+        // The instance is tight: b0 + O + G = (n+m)·T* with T* = 1.
+        assert!((inst.total_bandwidth() - 3.0).abs() < 1e-12);
+        assert!(figure18(0.6).is_err());
+        assert!(figure18(-0.1).is_err());
+    }
+
+    #[test]
+    fn theorem63_instance_shape() {
+        let (p, q) = theorem63_rational_alpha();
+        let inst = theorem63_instance(p, q, 1).unwrap();
+        assert_eq!(inst.n(), 40);
+        assert_eq!(inst.m(), 17);
+        let alpha = f64::from(p) / f64::from(q);
+        assert!(inst.open_bandwidths().iter().all(|&b| (b - alpha).abs() < 1e-12));
+        assert!(inst
+            .guarded_bandwidths()
+            .iter()
+            .all(|&b| (b - 1.0 / alpha).abs() < 1e-12));
+        // Cyclic optimum of the family is 1 (Lemma 5.1 evaluates to exactly 1).
+        let t = [
+            inst.source_bandwidth(),
+            (inst.source_bandwidth() + inst.open_sum()) / inst.m() as f64,
+            (inst.source_bandwidth() + inst.open_sum() + inst.guarded_sum())
+                / inst.num_receivers() as f64,
+        ]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+        assert!((t - 1.0).abs() < 1e-9, "cyclic bound = {t}");
+        assert!(theorem63_instance(0, 3, 1).is_err());
+        assert!(theorem63_instance(3, 3, 1).is_err());
+        assert!(theorem63_instance(1, 3, 0).is_err());
+    }
+
+    #[test]
+    fn theorem63_constants() {
+        let alpha = theorem63_alpha();
+        assert!((alpha - 0.42539).abs() < 1e-4);
+        let ratio = theorem63_ratio();
+        assert!((ratio - 0.92539).abs() < 1e-4);
+        // f_alpha(2) = g_alpha(3) at the optimum: (2α + 1)/2 = (3α + 1/α + 1)/5.
+        let f = (2.0 * alpha + 1.0) / 2.0;
+        let g = (3.0 * alpha + 1.0 / alpha + 1.0) / 5.0;
+        assert!((f - g).abs() < 1e-9);
+        assert!((f - ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classes_are_as_expected() {
+        let inst = figure1();
+        assert_eq!(inst.class(0), NodeClass::Source);
+        assert_eq!(inst.class(1), NodeClass::Open);
+        assert_eq!(inst.class(3), NodeClass::Guarded);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests on the platform layer: instance normalisation, generators and the
+//! source-bandwidth pinning rule of the average-case study.
+
+use bmp_platform::distribution::{
+    BandwidthDistribution, LogNormalBandwidth, NamedDistribution, ParetoBandwidth,
+    UniformBandwidth,
+};
+use bmp_platform::generator::{pinned_source_bandwidth, GeneratorConfig, InstanceGenerator};
+use bmp_platform::{Instance, NodeClass};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn instances_are_normalised(
+        b0 in 0.0_f64..100.0,
+        open in proptest::collection::vec(0.0_f64..100.0, 0..12),
+        guarded in proptest::collection::vec(0.0_f64..100.0, 0..12),
+    ) {
+        prop_assume!(!open.is_empty() || !guarded.is_empty());
+        let inst = Instance::new(b0, open.clone(), guarded.clone()).unwrap();
+        // Class sizes and totals are preserved.
+        prop_assert_eq!(inst.n(), open.len());
+        prop_assert_eq!(inst.m(), guarded.len());
+        let total: f64 = b0 + open.iter().sum::<f64>() + guarded.iter().sum::<f64>();
+        prop_assert!((inst.total_bandwidth() - total).abs() < 1e-9);
+        // Within each class, bandwidths are sorted by non-increasing value.
+        prop_assert!(inst.open_bandwidths().windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(inst.guarded_bandwidths().windows(2).all(|w| w[0] >= w[1]));
+        // Node classes follow the paper's indexing.
+        prop_assert_eq!(inst.class(0), NodeClass::Source);
+        for i in inst.open_indices() {
+            prop_assert_eq!(inst.class(i), NodeClass::Open);
+        }
+        for i in inst.guarded_indices() {
+            prop_assert_eq!(inst.class(i), NodeClass::Guarded);
+        }
+    }
+
+    #[test]
+    fn pinned_source_is_a_fixed_point_of_lemma_5_1(
+        open in proptest::collection::vec(0.1_f64..50.0, 0..20),
+        guarded in proptest::collection::vec(0.1_f64..50.0, 0..20),
+    ) {
+        prop_assume!(open.len() + guarded.len() >= 2);
+        if let Some(b0) = pinned_source_bandwidth(&open, &guarded) {
+            let o: f64 = open.iter().sum();
+            let g: f64 = guarded.iter().sum();
+            let n = open.len();
+            let m = guarded.len();
+            let mut t_star = b0;
+            if m > 0 {
+                t_star = t_star.min((b0 + o) / m as f64);
+            }
+            t_star = t_star.min((b0 + o + g) / (n + m) as f64);
+            prop_assert!((t_star - b0).abs() < 1e-7 * b0.max(1.0),
+                "b0 = {} but T* = {}", b0, t_star);
+        }
+    }
+
+    #[test]
+    fn generated_instances_respect_the_configuration(
+        receivers in 1usize..60,
+        p in 0.0_f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let config = GeneratorConfig::new(receivers, p).unwrap();
+        let generator = InstanceGenerator::new(config, UniformBandwidth::unif100());
+        let inst = generator.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(inst.num_receivers(), receivers);
+        prop_assert!(inst.source_bandwidth() > 0.0);
+        prop_assert!(inst.bandwidths().iter().all(|&b| b.is_finite() && b >= 0.0));
+    }
+
+    #[test]
+    fn samplers_produce_positive_finite_values(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samplers: Vec<Box<dyn BandwidthDistribution + Send + Sync>> = vec![
+            Box::new(UniformBandwidth::unif100()),
+            Box::new(ParetoBandwidth::power1()),
+            Box::new(ParetoBandwidth::power2()),
+            Box::new(LogNormalBandwidth::ln1()),
+            Box::new(LogNormalBandwidth::ln2()),
+            NamedDistribution::PLab.build(),
+        ];
+        for sampler in &samplers {
+            for _ in 0..50 {
+                let x = sampler.sample(&mut rng);
+                prop_assert!(x.is_finite() && x > 0.0, "{} produced {}", sampler.name(), x);
+            }
+        }
+    }
+}
+
+#[test]
+fn named_distributions_cover_the_paper_labels() {
+    let labels: Vec<&str> = NamedDistribution::all().iter().map(|d| d.label()).collect();
+    for expected in ["Unif100", "Power1", "Power2", "LN1", "LN2", "PLab"] {
+        assert!(labels.contains(&expected), "missing distribution {expected}");
+    }
+}

@@ -1,0 +1,652 @@
+//! Round-based simulation engine implementing push-based chunk streaming.
+//!
+//! Every overlay edge accumulates "credit" at its allocated rate; whenever a full chunk worth
+//! of credit is available and the sender holds a chunk missing at the receiver, one chunk is
+//! pushed (which chunk is decided by the configured [`ChunkPolicy`]). The engine supports file
+//! broadcast and live streaming sources, bandwidth jitter, scheduled churn events and optional
+//! per-round progress tracing.
+
+use crate::events::{ChurnAction, ChurnSchedule};
+use crate::metrics::SimReport;
+use crate::overlay::Overlay;
+use crate::policy::ChunkPolicy;
+use crate::trace::{ProgressTrace, TraceSample};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How the source obtains the data it broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceMode {
+    /// The source holds the whole message from the start (file broadcast).
+    File,
+    /// The source produces chunks at the given rate (live streaming): a chunk can only be
+    /// forwarded once the source has produced it.
+    Live {
+        /// Production rate of the stream (data units per time unit).
+        rate: f64,
+    },
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of chunks composing the message.
+    pub num_chunks: usize,
+    /// Size of one chunk, in bandwidth × time units.
+    pub chunk_size: f64,
+    /// Duration of one simulated round.
+    pub round_duration: f64,
+    /// Maximum number of rounds to simulate.
+    pub max_rounds: usize,
+    /// Seed of the pseudo-random generator (runs are reproducible).
+    pub seed: u64,
+    /// Relative bandwidth jitter: each round, each edge rate is multiplied by a value drawn
+    /// uniformly from `[1 − jitter, 1 + jitter]`. Zero means deterministic rates.
+    pub jitter: f64,
+    /// Source behaviour (file broadcast or live stream).
+    pub source_mode: SourceMode,
+    /// Which useful chunk is pushed over an edge when several are missing at the receiver.
+    pub policy: ChunkPolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_chunks: 200,
+            chunk_size: 1.0,
+            round_duration: 0.25,
+            max_rounds: 100_000,
+            seed: 0x5EED,
+            jitter: 0.0,
+            source_mode: SourceMode::File,
+            policy: ChunkPolicy::RandomUseful,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Adjusts `chunk_size` and `round_duration` so that an edge of rate `reference_rate`
+    /// transfers roughly `chunks_per_round` chunks per round. Keeps the number of chunks.
+    #[must_use]
+    pub fn scaled_to(mut self, reference_rate: f64, chunks_per_round: f64) -> Self {
+        if reference_rate > 0.0 && chunks_per_round > 0.0 {
+            self.chunk_size = reference_rate * self.round_duration / chunks_per_round;
+        }
+        self
+    }
+
+    /// Returns the configuration with a different chunk-selection policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ChunkPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// The simulation engine.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    overlay: Overlay,
+    config: SimConfig,
+    churn: ChurnSchedule,
+}
+
+impl Simulator {
+    /// Creates a simulator for `overlay` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no chunks, non-positive chunk size or round
+    /// duration).
+    #[must_use]
+    pub fn new(overlay: Overlay, config: SimConfig) -> Self {
+        assert!(config.num_chunks > 0, "need at least one chunk");
+        assert!(config.chunk_size > 0.0, "chunk size must be positive");
+        assert!(config.round_duration > 0.0, "round duration must be positive");
+        assert!((0.0..1.0).contains(&config.jitter), "jitter must lie in [0, 1)");
+        Simulator {
+            overlay,
+            config,
+            churn: ChurnSchedule::empty(),
+        }
+    }
+
+    /// Attaches a churn schedule: departed nodes stop sending and receiving from the event
+    /// time onwards, rejoining nodes resume with the chunks they already held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event targets a node outside the overlay.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnSchedule) -> Self {
+        for event in churn.events() {
+            assert!(
+                event.node < self.overlay.num_nodes(),
+                "churn event targets node {} but the overlay has {} nodes",
+                event.node,
+                self.overlay.num_nodes()
+            );
+        }
+        self.churn = churn;
+        self
+    }
+
+    /// The overlay being simulated.
+    #[must_use]
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// The simulation configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The attached churn schedule (empty by default).
+    #[must_use]
+    pub fn churn(&self) -> &ChurnSchedule {
+        &self.churn
+    }
+
+    /// Runs the simulation and returns the per-node delivery report.
+    #[must_use]
+    pub fn run(&self) -> SimReport {
+        self.run_internal(None).0
+    }
+
+    /// Runs the simulation while sampling a progress trace every `sample_every` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every` is zero.
+    #[must_use]
+    pub fn run_traced(&self, sample_every: usize) -> (SimReport, ProgressTrace) {
+        assert!(sample_every > 0, "sample_every must be positive");
+        let (report, trace) = self.run_internal(Some(sample_every));
+        (report, trace.expect("tracing was requested"))
+    }
+
+    fn run_internal(&self, sample_every: Option<usize>) -> (SimReport, Option<ProgressTrace>) {
+        let cfg = &self.config;
+        let n = self.overlay.num_nodes();
+        let num_chunks = cfg.num_chunks;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut has: Vec<Vec<bool>> = vec![vec![false; num_chunks]; n];
+        let mut count = vec![0usize; n];
+        let mut completion: Vec<Option<f64>> = vec![None; n];
+        let mut replication = vec![0usize; num_chunks];
+        let mut alive = vec![true; n];
+        let mut next_event = 0usize;
+
+        // Source contents.
+        let mut source_available = match cfg.source_mode {
+            SourceMode::File => {
+                has[0].iter_mut().for_each(|c| *c = true);
+                count[0] = num_chunks;
+                completion[0] = Some(0.0);
+                replication.iter_mut().for_each(|r| *r = 1);
+                num_chunks
+            }
+            SourceMode::Live { .. } => 0,
+        };
+        let mut source_progress = 0.0_f64;
+
+        let mut credit = vec![0.0_f64; self.overlay.edges().len()];
+        let mut edge_order: Vec<usize> = (0..self.overlay.edges().len()).collect();
+        let mut rounds_run = 0usize;
+        let mut trace = sample_every.map(|_| ProgressTrace::new(num_chunks, n.saturating_sub(1)));
+
+        for round in 0..cfg.max_rounds {
+            rounds_run = round + 1;
+            let time_start = round as f64 * cfg.round_duration;
+            let time_end = rounds_run as f64 * cfg.round_duration;
+
+            // Apply churn events that become effective at or before the start of this round.
+            while next_event < self.churn.events().len()
+                && self.churn.events()[next_event].time <= time_start
+            {
+                let event = self.churn.events()[next_event];
+                alive[event.node] = match event.action {
+                    ChurnAction::Depart => false,
+                    ChurnAction::Rejoin => true,
+                };
+                next_event += 1;
+            }
+
+            // Live source: new chunks become available at the production rate.
+            if let SourceMode::Live { rate } = cfg.source_mode {
+                source_progress += rate * cfg.round_duration;
+                let produced = ((source_progress / cfg.chunk_size) as usize).min(num_chunks);
+                while source_available < produced {
+                    has[0][source_available] = true;
+                    replication[source_available] += 1;
+                    source_available += 1;
+                    count[0] += 1;
+                }
+                if completion[0].is_none() && count[0] == num_chunks {
+                    completion[0] = Some(time_end);
+                }
+            }
+
+            edge_order.shuffle(&mut rng);
+            for &edge_index in &edge_order {
+                let edge = self.overlay.edges()[edge_index];
+                if !alive[edge.from] || !alive[edge.to] {
+                    // A departed endpoint carries no traffic and banks no credit.
+                    credit[edge_index] = 0.0;
+                    continue;
+                }
+                let jitter_factor = if cfg.jitter > 0.0 {
+                    1.0 + cfg.jitter * (rng.gen::<f64>() * 2.0 - 1.0)
+                } else {
+                    1.0
+                };
+                credit[edge_index] += edge.rate * cfg.round_duration * jitter_factor;
+                while credit[edge_index] + 1e-12 >= cfg.chunk_size {
+                    let Some(chunk) = cfg.policy.pick(
+                        &has[edge.from],
+                        &has[edge.to],
+                        &replication,
+                        &mut rng,
+                    ) else {
+                        // No useful chunk: the capacity of this round is lost (it cannot be
+                        // banked beyond one chunk worth of credit).
+                        credit[edge_index] = credit[edge_index].min(cfg.chunk_size);
+                        break;
+                    };
+                    has[edge.to][chunk] = true;
+                    count[edge.to] += 1;
+                    replication[chunk] += 1;
+                    credit[edge_index] -= cfg.chunk_size;
+                    if count[edge.to] == num_chunks && completion[edge.to].is_none() {
+                        completion[edge.to] = Some(time_end);
+                    }
+                }
+            }
+
+            if let (Some(trace), Some(every)) = (trace.as_mut(), sample_every) {
+                if rounds_run % every == 0 {
+                    trace.samples.push(sample(round, time_end, &count, &completion, num_chunks));
+                }
+            }
+
+            // Stop once every currently alive node has completed; departed nodes cannot make
+            // progress anyway.
+            if completion
+                .iter()
+                .zip(&alive)
+                .all(|(c, &a)| c.is_some() || !a)
+            {
+                break;
+            }
+        }
+
+        if let Some(trace) = trace.as_mut() {
+            let final_time = rounds_run as f64 * cfg.round_duration;
+            if trace
+                .samples
+                .last()
+                .is_none_or(|s| s.round + 1 != rounds_run)
+            {
+                trace
+                    .samples
+                    .push(sample(rounds_run.saturating_sub(1), final_time, &count, &completion, num_chunks));
+            }
+        }
+
+        let report = SimReport {
+            num_chunks,
+            chunk_size: cfg.chunk_size,
+            round_duration: cfg.round_duration,
+            rounds_run,
+            completion_time: completion,
+            chunks_received: count,
+        };
+        (report, trace)
+    }
+}
+
+fn sample(
+    round: usize,
+    time: f64,
+    count: &[usize],
+    completion: &[Option<f64>],
+    num_chunks: usize,
+) -> TraceSample {
+    let receivers = count.len().saturating_sub(1).max(1);
+    TraceSample {
+        round,
+        time,
+        min_chunks: count[1..].iter().copied().min().unwrap_or(num_chunks),
+        mean_chunks: count[1..].iter().sum::<usize>() as f64 / receivers as f64,
+        completed_receivers: completion[1..].iter().filter(|c| c.is_some()).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{ChurnEvent, ChurnSchedule};
+    use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+    use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
+    use bmp_platform::paper::{figure1, figure14};
+    use bmp_platform::Instance;
+
+    fn line_overlay() -> Overlay {
+        Overlay::new(3, vec![(0, 1, 2.0), (1, 2, 2.0)])
+    }
+
+    #[test]
+    fn line_overlay_delivers_at_nominal_rate() {
+        let config = SimConfig {
+            num_chunks: 100,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(line_overlay(), config).run();
+        assert!(report.all_completed());
+        let rate = report.min_achieved_rate().unwrap();
+        // Nominal throughput 2; pipelining costs one chunk of delay per hop.
+        assert!(rate > 1.8, "achieved rate {rate}");
+        assert!(rate <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_reproducible() {
+        let config = SimConfig::default();
+        let a = Simulator::new(line_overlay(), config).run();
+        let b = Simulator::new(line_overlay(), config).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure1_acyclic_overlay_sustains_its_throughput() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let overlay = Overlay::from_scheme(&solution.scheme);
+        let config = SimConfig {
+            num_chunks: 300,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(overlay, config).run();
+        assert!(report.all_completed());
+        let rate = report.min_achieved_rate().unwrap();
+        assert!(
+            rate > 0.85 * solution.throughput,
+            "achieved {rate} vs nominal {}",
+            solution.throughput
+        );
+    }
+
+    #[test]
+    fn cyclic_overlay_sustains_its_throughput() {
+        let (scheme, t) = cyclic_open_optimal_scheme(&figure14()).unwrap();
+        let overlay = Overlay::from_scheme(&scheme);
+        let config = SimConfig {
+            num_chunks: 300,
+            chunk_size: 0.5,
+            round_duration: 0.2,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(overlay, config).run();
+        assert!(report.all_completed());
+        let rate = report.min_achieved_rate().unwrap();
+        // The cyclic overlay has longer relay paths, so the chunk-granularity overhead is
+        // larger than in the acyclic case; 80% of the fluid rate is the expected ballpark.
+        assert!(rate > 0.8 * t, "achieved {rate} vs nominal {t}");
+    }
+
+    #[test]
+    fn live_streaming_mode() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let overlay = Overlay::from_scheme(&solution.scheme);
+        let config = SimConfig {
+            num_chunks: 200,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            source_mode: SourceMode::Live {
+                rate: solution.throughput,
+            },
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(overlay, config).run();
+        assert!(report.all_completed());
+        // The receivers finish shortly after the source itself finished producing.
+        let source_done = report.completion_time[0].unwrap();
+        let makespan = report.makespan().unwrap();
+        assert!(makespan >= source_done);
+        assert!(
+            makespan < source_done * 1.3 + 5.0,
+            "makespan {makespan} too far behind the live source ({source_done})"
+        );
+    }
+
+    #[test]
+    fn jitter_still_delivers() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let overlay = Overlay::from_scheme(&solution.scheme);
+        let config = SimConfig {
+            num_chunks: 200,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            jitter: 0.2,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(overlay, config).run();
+        assert!(report.all_completed());
+        let rate = report.min_achieved_rate().unwrap();
+        assert!(rate > 0.7 * solution.throughput, "achieved {rate}");
+    }
+
+    #[test]
+    fn bottleneck_overlay_is_limited_by_its_weakest_incoming_rate() {
+        // Node 2 only receives at rate 0.5: its achieved rate cannot exceed that.
+        let overlay = Overlay::new(3, vec![(0, 1, 4.0), (1, 2, 0.5)]);
+        let config = SimConfig {
+            num_chunks: 100,
+            chunk_size: 0.25,
+            round_duration: 0.5,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(overlay, config).run();
+        assert!(report.all_completed());
+        let rate_2 = report.achieved_rate(2).unwrap();
+        assert!(rate_2 <= 0.5 + 1e-9);
+        assert!(rate_2 > 0.4);
+    }
+
+    #[test]
+    fn unreachable_node_never_completes() {
+        let overlay = Overlay::new(3, vec![(0, 1, 1.0)]);
+        let config = SimConfig {
+            num_chunks: 50,
+            max_rounds: 500,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(overlay, config).run();
+        assert!(!report.all_completed());
+        assert_eq!(report.completion_time[2], None);
+        assert_eq!(report.chunks_received[2], 0);
+        assert_eq!(report.min_achieved_rate(), None);
+        assert_eq!(report.worst_progress(), 0.0);
+    }
+
+    #[test]
+    fn scaled_config_helper() {
+        let config = SimConfig::default().scaled_to(4.0, 2.0);
+        assert!((config.chunk_size - 0.5).abs() < 1e-12);
+        let unchanged = SimConfig::default().scaled_to(0.0, 2.0);
+        assert_eq!(unchanged.chunk_size, SimConfig::default().chunk_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn rejects_zero_chunks() {
+        let config = SimConfig {
+            num_chunks: 0,
+            ..SimConfig::default()
+        };
+        let _ = Simulator::new(line_overlay(), config);
+    }
+
+    #[test]
+    fn homogeneous_chain_of_many_nodes() {
+        // A longer relay chain built from an open-only instance.
+        let inst = Instance::open_only(1.0, vec![1.0; 10]).unwrap();
+        let (scheme, t) = bmp_core::acyclic_open::acyclic_open_optimal_scheme(&inst).unwrap();
+        let overlay = Overlay::from_scheme(&scheme);
+        let config = SimConfig {
+            num_chunks: 200,
+            chunk_size: 0.25,
+            round_duration: 0.25,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(overlay, config).run();
+        assert!(report.all_completed());
+        assert!(report.min_achieved_rate().unwrap() > 0.8 * t);
+    }
+
+    #[test]
+    fn every_policy_delivers_the_whole_message() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let overlay = Overlay::from_scheme(&solution.scheme);
+        for policy in ChunkPolicy::all() {
+            let config = SimConfig {
+                num_chunks: 200,
+                chunk_size: 0.5,
+                round_duration: 0.25,
+                policy,
+                ..SimConfig::default()
+            };
+            let report = Simulator::new(overlay.clone(), config).run();
+            assert!(report.all_completed(), "policy {} failed", policy.label());
+            let rate = report.min_achieved_rate().unwrap();
+            assert!(
+                rate > 0.75 * solution.throughput,
+                "policy {} achieved only {rate}",
+                policy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_policy_on_a_chain_delivers_in_order() {
+        // On a single path with the sequential policy, a node can never hold chunk k+1 without
+        // chunk k, so the slowest prefix equals the number of chunks held.
+        let config = SimConfig {
+            num_chunks: 60,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            policy: ChunkPolicy::Sequential,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(line_overlay(), config).run();
+        assert!(report.all_completed());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let config = SimConfig {
+            num_chunks: 100,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            ..SimConfig::default()
+        };
+        let simulator = Simulator::new(line_overlay(), config);
+        let plain = simulator.run();
+        let (traced, trace) = simulator.run_traced(4);
+        assert_eq!(plain, traced);
+        assert!(!trace.is_empty());
+        // Progress is monotone without churn.
+        assert_eq!(trace.largest_regression(), 0);
+        // The trace agrees with the report on the completion time (up to sampling rounding).
+        let done = trace.time_to_all_completed().unwrap();
+        assert!(done >= traced.makespan().unwrap() - 1e-9);
+        assert!(done <= traced.makespan().unwrap() + 4.0 * config.round_duration);
+    }
+
+    #[test]
+    fn departure_of_the_only_relay_starves_downstream_nodes() {
+        // 0 -> 1 -> 2: once node 1 departs, node 2 stops receiving.
+        let config = SimConfig {
+            num_chunks: 100,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            max_rounds: 400,
+            ..SimConfig::default()
+        };
+        let churn = ChurnSchedule::departures_at(5.0, &[1]);
+        let report = Simulator::new(line_overlay(), config)
+            .with_churn(churn)
+            .run();
+        assert!(!report.all_completed());
+        assert!(report.chunks_received[2] < 100);
+        // Node 2 only received while node 1 was alive (~5 time units at rate ≤ 2).
+        assert!(report.chunks_received[2] as f64 * config.chunk_size <= 2.0 * 5.0 + 1.0);
+    }
+
+    #[test]
+    fn rejoin_lets_the_broadcast_finish() {
+        let config = SimConfig {
+            num_chunks: 100,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            max_rounds: 2_000,
+            ..SimConfig::default()
+        };
+        let churn = ChurnSchedule::new(vec![
+            ChurnEvent { time: 5.0, node: 1, action: ChurnAction::Depart },
+            ChurnEvent { time: 15.0, node: 1, action: ChurnAction::Rejoin },
+        ]);
+        let report = Simulator::new(line_overlay(), config)
+            .with_churn(churn)
+            .run();
+        assert!(report.all_completed());
+        // The outage delays completion by roughly its duration.
+        assert!(report.makespan().unwrap() > 100.0 * 0.5 / 2.0 + 5.0);
+    }
+
+    #[test]
+    fn departure_of_a_leaf_does_not_block_the_others() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let overlay = Overlay::from_scheme(&solution.scheme);
+        let config = SimConfig {
+            num_chunks: 150,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            max_rounds: 2_000,
+            ..SimConfig::default()
+        };
+        // Node 5 is the weakest guarded node; it departs almost immediately.
+        let churn = ChurnSchedule::departures_at(0.5, &[5]);
+        let report = Simulator::new(overlay, config).with_churn(churn.clone()).run();
+        // The survivors still finish.
+        for &node in &churn.surviving_receivers(6) {
+            assert!(report.completion_time[node].is_some(), "node {node} did not finish");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "targets node")]
+    fn churn_on_unknown_node_is_rejected() {
+        let churn = ChurnSchedule::departures_at(1.0, &[9]);
+        let _ = Simulator::new(line_overlay(), SimConfig::default()).with_churn(churn);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_every")]
+    fn zero_sampling_interval_is_rejected() {
+        let _ = Simulator::new(line_overlay(), SimConfig::default()).run_traced(0);
+    }
+
+    #[test]
+    fn with_policy_builder() {
+        let config = SimConfig::default().with_policy(ChunkPolicy::RarestFirst);
+        assert_eq!(config.policy, ChunkPolicy::RarestFirst);
+    }
+}

@@ -1,0 +1,35 @@
+//! Randomized chunk-based streaming simulator for broadcast overlays.
+//!
+//! The paper computes *static* overlay networks (which node sends to which node, at which
+//! rate) and delegates the actual data transfer to the decentralized randomized broadcast of
+//! Massoulié et al. [4]: the message is split into chunks and every sender repeatedly pushes
+//! a *random useful* chunk to each of its overlay neighbours, at the rate assigned to that
+//! edge. This crate provides a discrete-time simulator of that data plane so that the
+//! overlays produced by `bmp-core` can be validated end to end: a scheme of nominal
+//! throughput `T` should deliver the whole message to every node at a rate close to `T`.
+//!
+//! * [`overlay`] — the static overlay (nodes, weighted edges) extracted from a
+//!   [`bmp_core::scheme::BroadcastScheme`],
+//! * [`engine`] — the round-based simulation engine (chunk push policies, optional bandwidth
+//!   jitter, file and live-stream modes, churn injection, progress tracing),
+//! * [`policy`] — the chunk-selection policies (random-useful, sequential, latest, rarest-first),
+//! * [`events`] — scheduled node departures and rejoins (failure injection),
+//! * [`trace`] — per-round progress traces of a run,
+//! * [`metrics`] — per-node completion times, achieved rates and summary statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod events;
+pub mod metrics;
+pub mod overlay;
+pub mod policy;
+pub mod trace;
+
+pub use engine::{SimConfig, Simulator, SourceMode};
+pub use events::{ChurnAction, ChurnEvent, ChurnSchedule};
+pub use metrics::SimReport;
+pub use overlay::Overlay;
+pub use policy::ChunkPolicy;
+pub use trace::{ProgressTrace, TraceSample};

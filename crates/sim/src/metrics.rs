@@ -1,0 +1,123 @@
+//! Simulation results: per-node completion times and achieved rates.
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Number of chunks of the message.
+    pub num_chunks: usize,
+    /// Size of one chunk (bandwidth × time units).
+    pub chunk_size: f64,
+    /// Duration of one simulated round.
+    pub round_duration: f64,
+    /// Number of rounds that were simulated.
+    pub rounds_run: usize,
+    /// For every node, the time at which it held the complete message (`None` if it never
+    /// completed within the simulated horizon). Index 0 is the source.
+    pub completion_time: Vec<Option<f64>>,
+    /// For every node, the number of chunks it held at the end of the run.
+    pub chunks_received: Vec<usize>,
+}
+
+impl SimReport {
+    /// Total size of the message.
+    #[must_use]
+    pub fn message_size(&self) -> f64 {
+        self.num_chunks as f64 * self.chunk_size
+    }
+
+    /// Achieved delivery rate of `node`: message size divided by its completion time.
+    /// Returns `None` when the node did not complete.
+    #[must_use]
+    pub fn achieved_rate(&self, node: usize) -> Option<f64> {
+        self.completion_time[node].map(|t| {
+            if t <= 0.0 {
+                f64::INFINITY
+            } else {
+                self.message_size() / t
+            }
+        })
+    }
+
+    /// Whether every node (other than the source) completed.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.completion_time.iter().skip(1).all(Option::is_some)
+    }
+
+    /// The smallest achieved rate over all receivers, i.e. the empirical analogue of the
+    /// scheme throughput. `None` if some receiver never completed.
+    #[must_use]
+    pub fn min_achieved_rate(&self) -> Option<f64> {
+        let mut min = f64::INFINITY;
+        for node in 1..self.completion_time.len() {
+            min = min.min(self.achieved_rate(node)?);
+        }
+        Some(min)
+    }
+
+    /// Latest completion time over all receivers (`None` if some receiver never completed).
+    #[must_use]
+    pub fn makespan(&self) -> Option<f64> {
+        let mut makespan = 0.0_f64;
+        for node in 1..self.completion_time.len() {
+            makespan = makespan.max(self.completion_time[node]?);
+        }
+        Some(makespan)
+    }
+
+    /// Fraction of the message received by the slowest receiver at the end of the run.
+    #[must_use]
+    pub fn worst_progress(&self) -> f64 {
+        self.chunks_received
+            .iter()
+            .skip(1)
+            .copied()
+            .min()
+            .unwrap_or(0) as f64
+            / self.num_chunks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            num_chunks: 100,
+            chunk_size: 0.5,
+            round_duration: 0.1,
+            rounds_run: 300,
+            completion_time: vec![Some(0.0), Some(20.0), Some(25.0), None],
+            chunks_received: vec![100, 100, 100, 60],
+        }
+    }
+
+    #[test]
+    fn message_size_and_rates() {
+        let r = report();
+        assert!((r.message_size() - 50.0).abs() < 1e-12);
+        assert!((r.achieved_rate(1).unwrap() - 2.5).abs() < 1e-12);
+        assert!((r.achieved_rate(2).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(r.achieved_rate(3), None);
+        assert_eq!(r.achieved_rate(0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert!(!r.all_completed());
+        assert_eq!(r.min_achieved_rate(), None);
+        assert_eq!(r.makespan(), None);
+        assert!((r.worst_progress() - 0.6).abs() < 1e-12);
+        let complete = SimReport {
+            completion_time: vec![Some(0.0), Some(20.0), Some(25.0), Some(50.0)],
+            chunks_received: vec![100; 4],
+            ..report()
+        };
+        assert!(complete.all_completed());
+        assert!((complete.min_achieved_rate().unwrap() - 1.0).abs() < 1e-12);
+        assert!((complete.makespan().unwrap() - 50.0).abs() < 1e-12);
+        assert!((complete.worst_progress() - 1.0).abs() < 1e-12);
+    }
+}

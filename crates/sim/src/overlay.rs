@@ -1,0 +1,132 @@
+//! Static overlays: the weighted digraphs over which the streaming simulation runs.
+
+use bmp_core::scheme::BroadcastScheme;
+
+/// A directed overlay edge with its allocated bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlayEdge {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// Bandwidth allocated to the edge (data units per time unit).
+    pub rate: f64,
+}
+
+/// A static overlay network: the output of the scheduling algorithms, input of the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Overlay {
+    num_nodes: usize,
+    edges: Vec<OverlayEdge>,
+    outgoing: Vec<Vec<usize>>,
+}
+
+impl Overlay {
+    /// Builds an overlay from an explicit edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node outside `0..num_nodes`, is a self-loop, or has a
+    /// non-positive rate.
+    #[must_use]
+    pub fn new(num_nodes: usize, edge_list: Vec<(usize, usize, f64)>) -> Self {
+        let mut edges = Vec::with_capacity(edge_list.len());
+        let mut outgoing = vec![Vec::new(); num_nodes];
+        for (from, to, rate) in edge_list {
+            assert!(from < num_nodes && to < num_nodes, "edge endpoint out of range");
+            assert_ne!(from, to, "self-loops are not allowed");
+            assert!(rate > 0.0 && rate.is_finite(), "edge rate must be positive");
+            outgoing[from].push(edges.len());
+            edges.push(OverlayEdge { from, to, rate });
+        }
+        Overlay {
+            num_nodes,
+            edges,
+            outgoing,
+        }
+    }
+
+    /// Extracts the overlay of a broadcast scheme (one edge per positive rate).
+    #[must_use]
+    pub fn from_scheme(scheme: &BroadcastScheme) -> Self {
+        Overlay::new(scheme.instance().num_nodes(), scheme.edges())
+    }
+
+    /// Number of nodes (node 0 is the source).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// All edges.
+    #[must_use]
+    pub fn edges(&self) -> &[OverlayEdge] {
+        &self.edges
+    }
+
+    /// Indices (into [`Overlay::edges`]) of the edges leaving `node`.
+    #[must_use]
+    pub fn outgoing(&self, node: usize) -> &[usize] {
+        &self.outgoing[node]
+    }
+
+    /// Total rate entering `node`.
+    #[must_use]
+    pub fn in_rate(&self, node: usize) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| e.to == node)
+            .map(|e| e.rate)
+            .sum()
+    }
+
+    /// Total rate leaving `node`.
+    #[must_use]
+    pub fn out_rate(&self, node: usize) -> f64 {
+        self.outgoing[node]
+            .iter()
+            .map(|&e| self.edges[e].rate)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+    use bmp_platform::paper::figure1;
+
+    #[test]
+    fn build_from_edge_list() {
+        let overlay = Overlay::new(3, vec![(0, 1, 2.0), (1, 2, 1.5), (0, 2, 0.5)]);
+        assert_eq!(overlay.num_nodes(), 3);
+        assert_eq!(overlay.edges().len(), 3);
+        assert_eq!(overlay.outgoing(0).len(), 2);
+        assert!((overlay.in_rate(2) - 2.0).abs() < 1e-12);
+        assert!((overlay.out_rate(0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let _ = Overlay::new(2, vec![(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        let _ = Overlay::new(2, vec![(0, 1, 0.0)]);
+    }
+
+    #[test]
+    fn from_scheme_matches_scheme_edges() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let overlay = Overlay::from_scheme(&solution.scheme);
+        assert_eq!(overlay.num_nodes(), 6);
+        assert_eq!(overlay.edges().len(), solution.scheme.edges().len());
+        // Every receiver has incoming rate equal to the throughput.
+        for node in 1..6 {
+            assert!((overlay.in_rate(node) - solution.throughput).abs() < 1e-6);
+        }
+    }
+}

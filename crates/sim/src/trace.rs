@@ -1,0 +1,160 @@
+//! Per-round progress traces of a simulation run.
+//!
+//! A trace samples, every few rounds, how far the slowest and the average receiver have
+//! progressed. It is the raw material for time-series plots (delivery ramp-up, the impact of
+//! a churn event mid-stream) and for start-up-delay style metrics that a single end-of-run
+//! [`crate::metrics::SimReport`] cannot provide.
+
+/// One sampled point of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// Round index at which the sample was taken (after the round's transfers).
+    pub round: usize,
+    /// Simulated time at the end of that round.
+    pub time: f64,
+    /// Number of chunks held by the slowest receiver.
+    pub min_chunks: usize,
+    /// Average number of chunks held over all receivers.
+    pub mean_chunks: f64,
+    /// Number of receivers that hold the complete message.
+    pub completed_receivers: usize,
+}
+
+/// A time series of [`TraceSample`]s collected during one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgressTrace {
+    /// Number of chunks of the message (for normalisation).
+    pub num_chunks: usize,
+    /// Number of receivers.
+    pub num_receivers: usize,
+    /// The samples, in chronological order.
+    pub samples: Vec<TraceSample>,
+}
+
+impl ProgressTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new(num_chunks: usize, num_receivers: usize) -> Self {
+        ProgressTrace {
+            num_chunks,
+            num_receivers,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of samples collected.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// First simulated time at which the slowest receiver held at least `fraction` of the
+    /// message, or `None` if that never happened during the run.
+    #[must_use]
+    pub fn time_to_worst_fraction(&self, fraction: f64) -> Option<f64> {
+        let needed = (fraction * self.num_chunks as f64).ceil() as usize;
+        self.samples
+            .iter()
+            .find(|s| s.min_chunks >= needed)
+            .map(|s| s.time)
+    }
+
+    /// First simulated time at which every receiver held the full message, or `None`.
+    #[must_use]
+    pub fn time_to_all_completed(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.completed_receivers == self.num_receivers)
+            .map(|s| s.time)
+    }
+
+    /// Worst-receiver progress (fraction of the message) at each sample, for plotting.
+    #[must_use]
+    pub fn worst_progress_series(&self) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.time, s.min_chunks as f64 / self.num_chunks as f64))
+            .collect()
+    }
+
+    /// Largest observed drop in worst-receiver progress between two consecutive samples.
+    /// Always zero in a churn-free run (progress is monotone); a churn event that removes a
+    /// well-provisioned node shows up as a stall (zero slope), not a drop, so this is mostly a
+    /// sanity metric.
+    #[must_use]
+    pub fn largest_regression(&self) -> usize {
+        self.samples
+            .windows(2)
+            .map(|w| w[0].min_chunks.saturating_sub(w[1].min_chunks))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> ProgressTrace {
+        ProgressTrace {
+            num_chunks: 100,
+            num_receivers: 3,
+            samples: vec![
+                TraceSample { round: 10, time: 2.5, min_chunks: 10, mean_chunks: 20.0, completed_receivers: 0 },
+                TraceSample { round: 20, time: 5.0, min_chunks: 50, mean_chunks: 60.0, completed_receivers: 1 },
+                TraceSample { round: 30, time: 7.5, min_chunks: 100, mean_chunks: 100.0, completed_receivers: 3 },
+            ],
+        }
+    }
+
+    #[test]
+    fn fraction_lookup() {
+        let t = trace();
+        assert_eq!(t.time_to_worst_fraction(0.1), Some(2.5));
+        assert_eq!(t.time_to_worst_fraction(0.5), Some(5.0));
+        assert_eq!(t.time_to_worst_fraction(0.51), Some(7.5));
+        assert_eq!(t.time_to_worst_fraction(1.0), Some(7.5));
+        assert_eq!(t.time_to_all_completed(), Some(7.5));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_has_no_answers() {
+        let t = ProgressTrace::new(100, 3);
+        assert!(t.is_empty());
+        assert_eq!(t.time_to_worst_fraction(0.5), None);
+        assert_eq!(t.time_to_all_completed(), None);
+        assert_eq!(t.largest_regression(), 0);
+        assert!(t.worst_progress_series().is_empty());
+    }
+
+    #[test]
+    fn progress_series_is_normalised() {
+        let t = trace();
+        let series = t.worst_progress_series();
+        assert_eq!(series.len(), 3);
+        assert!((series[0].1 - 0.1).abs() < 1e-12);
+        assert!((series[2].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_detection() {
+        let mut t = trace();
+        assert_eq!(t.largest_regression(), 0);
+        t.samples.push(TraceSample {
+            round: 40,
+            time: 10.0,
+            min_chunks: 80,
+            mean_chunks: 90.0,
+            completed_receivers: 2,
+        });
+        assert_eq!(t.largest_regression(), 20);
+    }
+}

@@ -1,0 +1,398 @@
+//! Exact decomposition of acyclic broadcast schemes into weighted broadcast trees.
+//!
+//! The construction follows the classical "interval" argument. Every receiver of an acyclic
+//! scheme of throughput `T` receives a total rate of at least `T` from nodes that appear
+//! earlier in a topological order. Lay the incoming edges of every receiver side by side over
+//! the segment `[0, T)` (earlier feeders first). For any level `y ∈ [0, T)`, picking for every
+//! receiver the feeder whose interval covers `y` yields a parent function with no cycles
+//! (parents precede children in the topological order), i.e. a spanning arborescence rooted at
+//! the source. Levels with the same parent function form sub-intervals of `[0, T)`; each
+//! maximal sub-interval becomes one weighted broadcast tree, and by construction the total
+//! weight of the trees using an edge never exceeds the rate the scheme allocates to it.
+//!
+//! The number of trees produced is at most `E − R + 1`, where `E` is the number of overlay
+//! edges actually used and `R` the number of receivers.
+
+use crate::arborescence::Arborescence;
+use crate::error::TreesError;
+use bmp_core::scheme::{BroadcastScheme, RATE_EPS};
+use bmp_flow::eps;
+use bmp_platform::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A set of weighted broadcast trees carrying a broadcast of rate [`TreeDecomposition::throughput`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeDecomposition {
+    trees: Vec<Arborescence>,
+    throughput: f64,
+    num_nodes: usize,
+}
+
+impl TreeDecomposition {
+    /// Bundles explicitly constructed trees into a decomposition.
+    ///
+    /// The caller is responsible for the stated `throughput` matching the sum of the tree
+    /// weights; [`TreeDecomposition::verify`] checks this (and the capacity constraints)
+    /// against a scheme.
+    #[must_use]
+    pub fn from_trees(trees: Vec<Arborescence>, throughput: f64, num_nodes: usize) -> Self {
+        TreeDecomposition {
+            trees,
+            throughput,
+            num_nodes,
+        }
+    }
+
+    /// The broadcast trees, in increasing level order.
+    #[must_use]
+    pub fn trees(&self) -> &[Arborescence] {
+        &self.trees
+    }
+
+    /// Number of trees in the decomposition.
+    #[must_use]
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total rate carried by the decomposition (sum of the tree weights).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.throughput
+    }
+
+    /// Number of nodes of the underlying platform (including the source).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total weight of the trees that route through the edge `from → to`.
+    #[must_use]
+    pub fn edge_usage(&self, from: NodeId, to: NodeId) -> f64 {
+        self.trees
+            .iter()
+            .filter(|t| t.parent(to) == Some(from))
+            .map(Arborescence::weight)
+            .sum()
+    }
+
+    /// All edges used by at least one tree, with their aggregate usage.
+    #[must_use]
+    pub fn used_edges(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let mut usage = vec![0.0_f64; self.num_nodes * self.num_nodes];
+        for tree in &self.trees {
+            for (u, v) in tree.edges() {
+                usage[u * self.num_nodes + v] += tree.weight();
+            }
+        }
+        let mut edges = Vec::new();
+        for u in 0..self.num_nodes {
+            for v in 0..self.num_nodes {
+                if usage[u * self.num_nodes + v] > 0.0 {
+                    edges.push((u, v, usage[u * self.num_nodes + v]));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Largest tree depth over all trees (an upper bound on the pipeline start-up delay in
+    /// hops).
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.trees.iter().map(Arborescence::max_depth).max().unwrap_or(0)
+    }
+
+    /// Largest, over all nodes, of the number of *distinct children* the node has across all
+    /// trees — the number of simultaneous connections the node must maintain when the
+    /// decomposition is used as the data plane. This never exceeds the outdegree of the node
+    /// in the scheme the decomposition was extracted from.
+    #[must_use]
+    pub fn connection_degree(&self, node: NodeId) -> usize {
+        let mut children = vec![false; self.num_nodes];
+        for tree in &self.trees {
+            for (u, v) in tree.edges() {
+                if u == node {
+                    children[v] = true;
+                }
+            }
+        }
+        children.iter().filter(|&&c| c).count()
+    }
+
+    /// Checks the decomposition against the scheme it was extracted from:
+    ///
+    /// * every tree is a spanning arborescence over edges of the scheme,
+    /// * the tree weights sum to the decomposition's throughput,
+    /// * for every edge, the aggregate tree usage stays within the rate allocated by the
+    ///   scheme, up to [`RATE_EPS`]-sized rounding dust (the schemes themselves are built by
+    ///   dichotomic searches, so their rates carry the same dust).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found as a [`TreesError::InvalidArborescence`].
+    pub fn verify(&self, scheme: &BroadcastScheme) -> Result<(), TreesError> {
+        for tree in &self.trees {
+            tree.check_against_scheme(scheme)?;
+        }
+        let total: f64 = self.trees.iter().map(Arborescence::weight).sum();
+        if !eps::approx_eq(total, self.throughput) {
+            return Err(TreesError::InvalidArborescence(format!(
+                "tree weights sum to {total}, expected {}",
+                self.throughput
+            )));
+        }
+        for (u, v, usage) in self.used_edges() {
+            let rate = scheme.rate(u, v);
+            if usage > rate + RATE_EPS * rate.abs().max(1.0) {
+                return Err(TreesError::InvalidArborescence(format!(
+                    "edge C{u} -> C{v} is used at rate {usage} but the scheme only allocates {rate}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decomposes an acyclic broadcast scheme of throughput `throughput` into weighted broadcast
+/// trees.
+///
+/// # Errors
+///
+/// * [`TreesError::NonPositiveThroughput`] when `throughput ≤ 0`,
+/// * [`TreesError::NotAcyclic`] when the scheme's digraph has a cycle,
+/// * [`TreesError::InsufficientIncoming`] when some receiver receives less than `throughput`.
+pub fn decompose_acyclic(
+    scheme: &BroadcastScheme,
+    throughput: f64,
+) -> Result<TreeDecomposition, TreesError> {
+    if !(throughput.is_finite() && throughput > 0.0) {
+        return Err(TreesError::NonPositiveThroughput(throughput));
+    }
+    let order = scheme.topological_order().ok_or(TreesError::NotAcyclic)?;
+    let n = scheme.instance().num_nodes();
+    let mut position = vec![0usize; n];
+    for (pos, &node) in order.iter().enumerate() {
+        position[node] = pos;
+    }
+
+    // For every receiver, the feeders laid out over [0, throughput), earliest feeder first.
+    // `coverage[v]` is a list of (feeder, start, end) with 0 = start_1 < end_1 = start_2 < …
+    let mut coverage: Vec<Vec<(NodeId, f64, f64)>> = vec![Vec::new(); n];
+    for v in scheme.instance().receivers() {
+        let mut feeders: Vec<NodeId> = (0..n)
+            .filter(|&u| u != v && scheme.rate(u, v) > RATE_EPS)
+            .collect();
+        feeders.sort_by_key(|&u| position[u]);
+        let mut level = 0.0_f64;
+        for u in feeders {
+            if level >= throughput - RATE_EPS {
+                break;
+            }
+            let end = (level + scheme.rate(u, v)).min(throughput);
+            coverage[v].push((u, level, end));
+            level = end;
+        }
+        if level + RATE_EPS < throughput {
+            return Err(TreesError::InsufficientIncoming {
+                node: v,
+                received: level,
+                required: throughput,
+            });
+        }
+        // Stretch the last interval to exactly `throughput` so rounding dust cannot leave the
+        // top level uncovered.
+        if let Some(last) = coverage[v].last_mut() {
+            last.2 = throughput;
+        }
+    }
+
+    // Global breakpoints: the union of all interval boundaries strictly inside (0, throughput).
+    let mut breakpoints: Vec<f64> = vec![0.0, throughput];
+    for intervals in &coverage {
+        for &(_, _, end) in intervals {
+            if end > RATE_EPS && end < throughput - RATE_EPS {
+                breakpoints.push(end);
+            }
+        }
+    }
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() <= RATE_EPS);
+
+    // One tree per consecutive pair of breakpoints.
+    let mut trees: Vec<Arborescence> = Vec::with_capacity(breakpoints.len() - 1);
+    for window in breakpoints.windows(2) {
+        let (start, end) = (window[0], window[1]);
+        let width = end - start;
+        if width <= RATE_EPS {
+            continue;
+        }
+        let level = 0.5 * (start + end);
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        for v in scheme.instance().receivers() {
+            parent[v] = coverage[v]
+                .iter()
+                .find(|&&(_, s, e)| s <= level && level < e)
+                .map(|&(u, _, _)| u);
+            if parent[v].is_none() {
+                // The stretch above guarantees coverage; this is unreachable in practice but
+                // kept as a defensive error rather than a panic.
+                return Err(TreesError::InsufficientIncoming {
+                    node: v,
+                    received: level,
+                    required: throughput,
+                });
+            }
+        }
+        let tree = Arborescence::new(parent, width)?;
+        // Merge with the previous tree when the parent functions coincide.
+        if let Some(last) = trees.last_mut() {
+            if (0..n).all(|v| last.parent(v) == tree.parent(v)) {
+                last.set_weight(last.weight() + width);
+                continue;
+            }
+        }
+        trees.push(tree);
+    }
+
+    Ok(TreeDecomposition {
+        trees,
+        throughput,
+        num_nodes: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+    use bmp_core::acyclic_open::acyclic_open_optimal_scheme;
+    use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
+    use bmp_platform::paper::{figure1, figure14};
+    use bmp_platform::Instance;
+
+    #[test]
+    fn figure1_acyclic_solution_decomposes() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let decomposition = decompose_acyclic(&solution.scheme, solution.throughput).unwrap();
+        decomposition.verify(&solution.scheme).unwrap();
+        assert!(decomposition.num_trees() >= 1);
+        assert!(eps::approx_eq(decomposition.throughput(), solution.throughput));
+        // Tree count bound: at most E - R + 1.
+        let e = solution.scheme.edges().len();
+        let r = solution.scheme.instance().num_receivers();
+        assert!(decomposition.num_trees() <= e - r + 1, "{} trees", decomposition.num_trees());
+    }
+
+    #[test]
+    fn star_scheme_is_a_single_tree() {
+        // Receivers have no upload of their own, so the optimum is the source feeding each of
+        // them directly: a single star-shaped broadcast tree.
+        let inst = Instance::open_only(3.0, vec![0.0, 0.0, 0.0]).unwrap();
+        let (scheme, t) = acyclic_open_optimal_scheme(&inst).unwrap();
+        let decomposition = decompose_acyclic(&scheme, t).unwrap();
+        decomposition.verify(&scheme).unwrap();
+        assert_eq!(decomposition.num_trees(), 1);
+        assert_eq!(decomposition.max_depth(), 1);
+        assert_eq!(decomposition.trees()[0].outdegree(0), 3);
+    }
+
+    #[test]
+    fn chain_scheme_is_a_single_path_tree() {
+        let inst = Instance::open_only(2.0, vec![2.0, 2.0, 2.0]).unwrap();
+        let (scheme, t) = acyclic_open_optimal_scheme(&inst).unwrap();
+        let decomposition = decompose_acyclic(&scheme, t).unwrap();
+        decomposition.verify(&scheme).unwrap();
+        assert_eq!(decomposition.num_trees(), 1);
+        assert_eq!(decomposition.max_depth(), 3);
+    }
+
+    #[test]
+    fn connection_degree_never_exceeds_scheme_outdegree() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let decomposition = decompose_acyclic(&solution.scheme, solution.throughput).unwrap();
+        for node in 0..6 {
+            assert!(decomposition.connection_degree(node) <= solution.scheme.outdegree(node));
+        }
+    }
+
+    #[test]
+    fn edge_usage_matches_used_edges() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let decomposition = decompose_acyclic(&solution.scheme, solution.throughput).unwrap();
+        for (u, v, usage) in decomposition.used_edges() {
+            assert!(eps::approx_eq(decomposition.edge_usage(u, v), usage));
+            // Capacity respected up to the RATE_EPS dust documented in `verify`.
+            assert!(usage <= solution.scheme.rate(u, v) + RATE_EPS);
+        }
+        assert_eq!(decomposition.edge_usage(5, 0), 0.0);
+    }
+
+    #[test]
+    fn partial_throughput_decomposition() {
+        // Asking for less than the scheme's throughput is allowed: only a prefix of every
+        // node's feeders is used.
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let half = solution.throughput / 2.0;
+        let decomposition = decompose_acyclic(&solution.scheme, half).unwrap();
+        decomposition.verify(&solution.scheme).unwrap();
+        assert!(eps::approx_eq(decomposition.throughput(), half));
+    }
+
+    #[test]
+    fn rejects_cyclic_scheme() {
+        let (scheme, t) = cyclic_open_optimal_scheme(&figure14()).unwrap();
+        assert_eq!(decompose_acyclic(&scheme, t), Err(TreesError::NotAcyclic));
+    }
+
+    #[test]
+    fn rejects_non_positive_throughput() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        assert!(matches!(
+            decompose_acyclic(&solution.scheme, 0.0),
+            Err(TreesError::NonPositiveThroughput(_))
+        ));
+        assert!(matches!(
+            decompose_acyclic(&solution.scheme, f64::NAN),
+            Err(TreesError::NonPositiveThroughput(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_starved_receiver() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let err = decompose_acyclic(&solution.scheme, solution.throughput * 2.0).unwrap_err();
+        assert!(matches!(err, TreesError::InsufficientIncoming { .. }));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let decomposition = decompose_acyclic(&solution.scheme, solution.throughput).unwrap();
+        let json = serde_json::to_string(&decomposition).unwrap();
+        let back: TreeDecomposition = serde_json::from_str(&json).unwrap();
+        // serde_json parses floats to within one ULP (the `float_roundtrip` feature is off),
+        // so compare structure exactly and weights approximately.
+        assert_eq!(back.num_trees(), decomposition.num_trees());
+        assert_eq!(back.num_nodes(), decomposition.num_nodes());
+        for (a, b) in decomposition.trees().iter().zip(back.trees()) {
+            assert_eq!(a.edges(), b.edges());
+            assert!(eps::approx_eq(a.weight(), b.weight()));
+        }
+        assert!(eps::approx_eq(back.throughput(), decomposition.throughput()));
+    }
+
+    #[test]
+    fn deep_open_only_instance() {
+        // Source-limited open-only instance with many relays: the decomposition still covers
+        // every receiver and respects every edge capacity.
+        let inst = Instance::open_only(3.0, vec![3.0, 2.5, 2.0, 1.5, 1.0, 0.5, 0.25, 0.0]).unwrap();
+        let (scheme, t) = acyclic_open_optimal_scheme(&inst).unwrap();
+        let decomposition = decompose_acyclic(&scheme, t).unwrap();
+        decomposition.verify(&scheme).unwrap();
+        let e = scheme.edges().len();
+        let r = inst.num_receivers();
+        assert!(decomposition.num_trees() <= e - r + 1);
+    }
+}

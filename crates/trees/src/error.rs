@@ -1,0 +1,72 @@
+//! Error type of the tree-decomposition algorithms.
+
+use std::fmt;
+
+/// Errors raised while decomposing a broadcast scheme into broadcast trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreesError {
+    /// The exact interval decomposition only applies to acyclic schemes.
+    NotAcyclic,
+    /// A receiver does not receive enough rate to sustain the requested throughput.
+    InsufficientIncoming {
+        /// The starved receiver.
+        node: usize,
+        /// Rate it receives in the scheme.
+        received: f64,
+        /// Throughput the decomposition was asked to carry.
+        required: f64,
+    },
+    /// The requested throughput is not positive.
+    NonPositiveThroughput(f64),
+    /// An arborescence is malformed (detached node, cycle, wrong root, missing edge…).
+    InvalidArborescence(String),
+}
+
+impl fmt::Display for TreesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreesError::NotAcyclic => {
+                write!(f, "the interval decomposition requires an acyclic scheme")
+            }
+            TreesError::InsufficientIncoming {
+                node,
+                received,
+                required,
+            } => write!(
+                f,
+                "node C{node} receives only {received} but the decomposition must carry {required}"
+            ),
+            TreesError::NonPositiveThroughput(t) => {
+                write!(f, "throughput to decompose must be positive, got {t}")
+            }
+            TreesError::InvalidArborescence(reason) => {
+                write!(f, "invalid arborescence: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TreesError::NotAcyclic.to_string().contains("acyclic"));
+        let e = TreesError::InsufficientIncoming {
+            node: 3,
+            received: 1.5,
+            required: 2.0,
+        };
+        assert!(e.to_string().contains("C3"));
+        assert!(e.to_string().contains("1.5"));
+        assert!(TreesError::NonPositiveThroughput(-1.0)
+            .to_string()
+            .contains("-1"));
+        assert!(TreesError::InvalidArborescence("cycle".into())
+            .to_string()
+            .contains("cycle"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Arborescence packing for general (possibly cyclic) broadcast schemes.
+//!
+//! Edmonds' branching theorem (Schrijver, vol. B, Chapter 53) states that the maximum total
+//! weight of a fractional packing of spanning arborescences rooted at the source, subject to
+//! the edge capacities `c_{i,j}`, equals the minimum over all receivers of the maximum flow
+//! from the source to that receiver — i.e. exactly the paper's definition of the throughput of
+//! a broadcast scheme. [`packing_value`] computes this bound. [`greedy_packing`] extracts an
+//! explicit packing by repeatedly peeling off a bottleneck-weighted arborescence from the
+//! residual capacities; it is exact on the single-path and star cases and a lower bound in
+//! general (the exact interval decomposition of [`crate::decompose`] should be preferred for
+//! acyclic schemes).
+
+use crate::arborescence::Arborescence;
+use crate::decompose::TreeDecomposition;
+use crate::error::TreesError;
+use bmp_core::scheme::{BroadcastScheme, RATE_EPS};
+use bmp_platform::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The Edmonds packing bound of a scheme: the largest total rate any packing of broadcast
+/// trees can carry, equal to the scheme's throughput `min_k maxflow(C0 → Ck)`.
+#[must_use]
+pub fn packing_value(scheme: &BroadcastScheme) -> f64 {
+    scheme.throughput()
+}
+
+/// Outcome of the greedy packing heuristic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GreedyPacking {
+    /// The extracted trees, bundled as a decomposition.
+    pub decomposition: TreeDecomposition,
+    /// The Edmonds bound of the input scheme, for comparison.
+    pub upper_bound: f64,
+}
+
+impl GreedyPacking {
+    /// Fraction of the Edmonds bound achieved by the greedy packing (1 when the heuristic is
+    /// exact, 0 when the scheme carries nothing).
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        if self.upper_bound <= RATE_EPS {
+            1.0
+        } else {
+            self.decomposition.throughput() / self.upper_bound
+        }
+    }
+}
+
+/// Greedily packs bottleneck-weighted spanning arborescences into the residual capacities of
+/// `scheme`. Works on cyclic schemes as well as acyclic ones. Stops when some receiver is no
+/// longer reachable in the residual graph; each extracted tree saturates at least one edge, so
+/// the number of trees never exceeds the number of overlay edges.
+///
+/// # Errors
+///
+/// Propagates [`TreesError::InvalidArborescence`] if an internal tree is malformed (which
+/// would indicate a bug rather than a property of the input).
+pub fn greedy_packing(scheme: &BroadcastScheme) -> Result<GreedyPacking, TreesError> {
+    let n = scheme.instance().num_nodes();
+    let mut residual = vec![0.0_f64; n * n];
+    for (u, v, rate) in scheme.edges() {
+        residual[u * n + v] = rate;
+    }
+
+    let mut trees: Vec<Arborescence> = Vec::new();
+    let mut total = 0.0_f64;
+    loop {
+        let Some(parent) = bfs_arborescence(&residual, n) else {
+            break;
+        };
+        // Bottleneck of this tree in the residual capacities.
+        let bottleneck = parent
+            .iter()
+            .enumerate()
+            .filter_map(|(v, p)| p.map(|u| residual[u * n + v]))
+            .fold(f64::INFINITY, f64::min);
+        if !bottleneck.is_finite() || bottleneck <= RATE_EPS {
+            break;
+        }
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(u) = p {
+                residual[u * n + v] -= bottleneck;
+            }
+        }
+        total += bottleneck;
+        trees.push(Arborescence::new(parent, bottleneck)?);
+    }
+
+    let decomposition = TreeDecomposition::from_trees(trees, total, n);
+    Ok(GreedyPacking {
+        decomposition,
+        upper_bound: packing_value(scheme),
+    })
+}
+
+/// Breadth-first spanning arborescence over the residual edges, or `None` when some receiver
+/// is unreachable from the source.
+fn bfs_arborescence(residual: &[f64], n: usize) -> Option<Vec<Option<NodeId>>> {
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(u) = queue.pop_front() {
+        for v in 0..n {
+            if !visited[v] && residual[u * n + v] > RATE_EPS {
+                visited[v] = true;
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    if visited.iter().all(|&v| v) {
+        Some(parent)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+    use bmp_core::acyclic_open::acyclic_open_optimal_scheme;
+    use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
+    use bmp_flow::eps;
+    use bmp_platform::paper::{figure1, figure14};
+    use bmp_platform::Instance;
+
+    #[test]
+    fn packing_value_is_the_scheme_throughput() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        assert!(eps::approx_eq(
+            packing_value(&solution.scheme),
+            solution.scheme.throughput()
+        ));
+    }
+
+    #[test]
+    fn greedy_packing_on_a_star_is_exact() {
+        let inst = Instance::open_only(100.0, vec![1.0, 1.0, 1.0]).unwrap();
+        let (scheme, t) = acyclic_open_optimal_scheme(&inst).unwrap();
+        let packing = greedy_packing(&scheme).unwrap();
+        assert!(eps::approx_eq(packing.decomposition.throughput(), t));
+        assert!((packing.efficiency() - 1.0).abs() < 1e-9);
+        packing.decomposition.verify(&scheme).unwrap();
+    }
+
+    #[test]
+    fn greedy_packing_on_a_chain_is_exact() {
+        let inst = Instance::open_only(2.0, vec![2.0, 2.0, 2.0]).unwrap();
+        let (scheme, t) = acyclic_open_optimal_scheme(&inst).unwrap();
+        let packing = greedy_packing(&scheme).unwrap();
+        assert!(eps::approx_eq(packing.decomposition.throughput(), t));
+        packing.decomposition.verify(&scheme).unwrap();
+    }
+
+    #[test]
+    fn greedy_packing_never_exceeds_the_bound_and_respects_capacities() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let packing = greedy_packing(&solution.scheme).unwrap();
+        assert!(eps::approx_le(
+            packing.decomposition.throughput(),
+            packing.upper_bound
+        ));
+        packing.decomposition.verify(&solution.scheme).unwrap();
+        assert!(packing.efficiency() <= 1.0 + 1e-9);
+        assert!(packing.efficiency() > 0.0);
+    }
+
+    #[test]
+    fn greedy_packing_handles_cyclic_schemes() {
+        let (scheme, t) = cyclic_open_optimal_scheme(&figure14()).unwrap();
+        let packing = greedy_packing(&scheme).unwrap();
+        // The heuristic yields a genuine (possibly partial) packing of the cyclic overlay.
+        packing.decomposition.verify(&scheme).unwrap();
+        assert!(packing.decomposition.throughput() > 0.0);
+        assert!(eps::approx_le(packing.decomposition.throughput(), t));
+    }
+
+    #[test]
+    fn greedy_packing_of_an_empty_scheme_is_empty() {
+        let scheme = bmp_core::scheme::BroadcastScheme::new(figure1());
+        let packing = greedy_packing(&scheme).unwrap();
+        assert_eq!(packing.decomposition.num_trees(), 0);
+        assert_eq!(packing.decomposition.throughput(), 0.0);
+        assert!((packing.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_count_is_bounded_by_edge_count() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let packing = greedy_packing(&solution.scheme).unwrap();
+        assert!(packing.decomposition.num_trees() <= solution.scheme.edges().len());
+    }
+}

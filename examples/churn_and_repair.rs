@@ -1,0 +1,104 @@
+//! Churn: what a departure costs, and what recomputing the overlay buys back.
+//!
+//! The conclusion of the paper remarks that the computed overlays "should be resilient to
+//! small variations in the communication performance of nodes. However [they are] probably
+//! not resilient to churn." This example quantifies both halves of the remark on a
+//! PlanetLab-like platform:
+//!
+//! 1. build the optimal low-degree acyclic overlay,
+//! 2. remove the busiest relay and measure the residual throughput of the *unchanged* overlay
+//!    (static analysis and chunk-level simulation agree: it collapses),
+//! 3. re-run the solver on the reduced platform (the "repair") and show that the new overlay
+//!    recovers essentially the optimum of the surviving nodes.
+//!
+//! Run with `cargo run --example churn_and_repair`.
+
+use bmp::core::churn::{repair, residual_throughput};
+use bmp::platform::distribution::NamedDistribution;
+use bmp::platform::generator::{GeneratorConfig, InstanceGenerator};
+use bmp::prelude::*;
+use bmp::sim::{ChurnSchedule, Overlay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 40-node platform with PlanetLab-like bandwidths, 70% open nodes, source pinned to the
+    // cyclic optimum (the paper's Figure 19 protocol).
+    let config = GeneratorConfig::new(40, 0.7).expect("valid generator config");
+    let generator = InstanceGenerator::new(config, NamedDistribution::PLab.build());
+    let instance = generator.generate(&mut StdRng::seed_from_u64(2024));
+    println!(
+        "platform: n = {} open, m = {} guarded, b0 = {:.2}",
+        instance.n(),
+        instance.m(),
+        instance.source_bandwidth()
+    );
+
+    let solver = AcyclicGuardedSolver::default();
+    let solution = solver.solve(&instance);
+    println!("nominal acyclic throughput: {:.3}", solution.throughput);
+
+    // The busiest relay (largest outdegree among the receivers) departs.
+    let victim = (1..instance.num_nodes())
+        .max_by_key(|&node| solution.scheme.outdegree(node))
+        .expect("there is at least one receiver");
+    println!(
+        "departing node: C{victim} (outdegree {}, bandwidth {:.2})",
+        solution.scheme.outdegree(victim),
+        instance.bandwidth(victim)
+    );
+
+    // Static analysis: throughput of the unchanged overlay restricted to the survivors.
+    let residual = residual_throughput(&solution.scheme, &[victim]);
+    println!(
+        "residual throughput of the frozen overlay: {:.3} ({:.0}% of nominal)",
+        residual,
+        100.0 * residual / solution.throughput
+    );
+
+    // Dynamic confirmation: simulate the departure mid-broadcast.
+    let sim_config = SimConfig {
+        num_chunks: 400,
+        max_rounds: 20_000,
+        ..SimConfig::default()
+    }
+    .scaled_to(solution.throughput, 2.0);
+    let half_time = 0.5 * 400.0 * sim_config.chunk_size / solution.throughput;
+    let churn = ChurnSchedule::departures_at(half_time, &[victim]);
+    let report = Simulator::new(Overlay::from_scheme(&solution.scheme), sim_config)
+        .with_churn(churn.clone())
+        .run();
+    let starving = churn
+        .surviving_receivers(instance.num_nodes())
+        .into_iter()
+        .filter(|&node| report.completion_time[node].is_none())
+        .count();
+    println!(
+        "simulation with the departure at t = {half_time:.1}: {starving} surviving receiver(s) \
+         never finished on the frozen overlay"
+    );
+
+    // Repair: drop the departed node from the platform and re-run the solver.
+    let outcome = repair(&instance, &[victim], &solver).expect("receivers survive");
+    println!(
+        "repaired overlay: throughput {:.3} on {} surviving receivers \
+         (recomputation is linear-time, Theorem 4.1)",
+        outcome.solution.throughput,
+        outcome.instance.num_receivers()
+    );
+    let repaired_report = Simulator::new(
+        Overlay::from_scheme(&outcome.solution.scheme),
+        SimConfig {
+            num_chunks: 400,
+            max_rounds: 20_000,
+            ..SimConfig::default()
+        }
+        .scaled_to(outcome.solution.throughput, 2.0),
+    )
+    .run();
+    println!(
+        "repaired overlay simulation: all survivors completed = {}, worst rate {:.3}",
+        repaired_report.all_completed(),
+        repaired_report.min_achieved_rate().unwrap_or(0.0)
+    );
+}

@@ -1,0 +1,51 @@
+//! PlanetLab-like bulk broadcast: compare, across NAT prevalence levels, the optimal acyclic
+//! throughput, the simple ω1/ω2 overlays and the cyclic upper bound on platforms whose
+//! bandwidths follow the synthetic PlanetLab-like distribution.
+//!
+//! Run with `cargo run --release --example planetlab_broadcast`.
+
+use bmp::core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp::core::bounds::cyclic_upper_bound;
+use bmp::core::omega::best_omega_throughput;
+use bmp::experiments::stats::mean;
+use bmp::platform::distribution::NamedDistribution;
+use bmp::platform::generator::{GeneratorConfig, InstanceGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let receivers = 200;
+    let trials = 20;
+    let solver = AcyclicGuardedSolver::default();
+
+    println!("PlanetLab-like platform, {receivers} receivers, {trials} trials per point");
+    println!("p(open)   acyclic/cyclic   best-omega/cyclic   max outdegree");
+    for &p in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+        let mut rng = StdRng::seed_from_u64(0x9_1AB + (p * 100.0) as u64);
+        let config = GeneratorConfig::new(receivers, p).expect("valid configuration");
+        let generator = InstanceGenerator::new(config, NamedDistribution::PLab.build());
+        let mut acyclic_ratios = Vec::new();
+        let mut omega_ratios = Vec::new();
+        let mut max_degree = 0usize;
+        for _ in 0..trials {
+            let instance = generator.generate(&mut rng);
+            let cyclic = cyclic_upper_bound(&instance);
+            let solution = solver.solve(&instance);
+            acyclic_ratios.push(solution.throughput / cyclic);
+            let (omega, _) = best_omega_throughput(&instance, 1e-8);
+            omega_ratios.push(omega / cyclic);
+            max_degree = max_degree
+                .max(solution.scheme.outdegrees().into_iter().max().unwrap_or(0));
+        }
+        println!(
+            "{:<9} {:<16.4} {:<19.4} {}",
+            p,
+            mean(&acyclic_ratios),
+            mean(&omega_ratios),
+            max_degree
+        );
+    }
+    println!();
+    println!("Reading: low-degree acyclic overlays stay within a few percent of the cyclic");
+    println!("optimum for every NAT prevalence level, as in Figure 19 of the paper.");
+}

@@ -1,0 +1,47 @@
+//! Explorer for the worst-case families of Section VI: the 5/7 instance (Figure 18) and the
+//! `I(α, k)` family of Theorem 6.3.
+//!
+//! Run with `cargo run --release --example worst_case_explorer`.
+
+use bmp::core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp::core::bounds::{cyclic_upper_bound, five_sevenths, theorem63_limit_ratio};
+use bmp::core::worst_case::{theorem63_acyclic_upper_bound, theorem63_instance};
+use bmp::platform::paper::{figure18, theorem63_rational_alpha};
+
+fn main() {
+    let solver = AcyclicGuardedSolver::default();
+
+    println!("== Figure 18: the 5/7 worst case ==");
+    println!("eps       T*_ac     ratio (cyclic optimum is 1)");
+    for k in 0..=20 {
+        let epsilon = 0.14 * k as f64 / 20.0;
+        let instance = figure18(epsilon).expect("epsilon in range");
+        let (acyclic, _) = solver.optimal_throughput(&instance);
+        let ratio = acyclic / cyclic_upper_bound(&instance);
+        let marker = if (epsilon - 1.0 / 14.0).abs() < 0.004 { "  <= eps = 1/14" } else { "" };
+        println!("{epsilon:<9.4} {acyclic:<9.4} {ratio:.4}{marker}");
+    }
+    println!("tight bound 5/7 = {:.4}", five_sevenths());
+    println!();
+
+    println!("== Theorem 6.3: the I(alpha, k) family ==");
+    let (p, q) = theorem63_rational_alpha();
+    let alpha = f64::from(p) / f64::from(q);
+    println!("alpha = {p}/{q} = {alpha:.4}, analytic acyclic bound = {:.4}, limit = {:.4}",
+        theorem63_acyclic_upper_bound(alpha), theorem63_limit_ratio());
+    println!(" k    n      m      T*_ac   (cyclic optimum is 1)");
+    for k in 1..=4 {
+        let instance = theorem63_instance(p, q, k).expect("valid parameters");
+        let (acyclic, _) = solver.optimal_throughput(&instance);
+        println!(
+            " {:<4} {:<6} {:<6} {:.4}",
+            k,
+            instance.n(),
+            instance.m(),
+            acyclic
+        );
+    }
+    println!();
+    println!("Even for arbitrarily large platforms of this shape, acyclic solutions cannot");
+    println!("get closer to the cyclic optimum than (1+sqrt(41))/8 = {:.4}.", theorem63_limit_ratio());
+}

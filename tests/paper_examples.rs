@@ -1,0 +1,99 @@
+//! Integration tests reproducing the worked examples of the paper (Figures 1, 2, 4, 5 and
+//! Table I) through the public API of the umbrella crate.
+
+use bmp::core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp::core::bounds::cyclic_upper_bound;
+use bmp::core::conservative::{is_compatible_with_order, is_conservative, order_to_word};
+use bmp::core::scheme::BroadcastScheme;
+use bmp::core::word::{word_trace, CodingWord};
+use bmp::experiments::table1::paper_table1;
+use bmp::platform::paper::figure1;
+
+#[test]
+fn figure1_cyclic_optimum_is_4_4() {
+    let instance = figure1();
+    assert!((cyclic_upper_bound(&instance) - 4.4).abs() < 1e-12);
+    // The LP oracle agrees.
+    let lp = bmp::core::lp_check::optimal_cyclic_lp(&instance).unwrap();
+    assert!((lp - 4.4).abs() < 1e-6);
+}
+
+#[test]
+fn figure1_optimal_acyclic_is_4_and_low_degree() {
+    let instance = figure1();
+    let solution = AcyclicGuardedSolver::default().solve(&instance);
+    assert!((solution.throughput - 4.0).abs() < 1e-6);
+    assert!(solution.scheme.is_feasible());
+    assert!(solution.scheme.is_acyclic());
+    assert!((solution.scheme.throughput() - 4.0).abs() < 1e-6);
+    // Theorem 4.1 degree bounds.
+    for node in 0..instance.num_nodes() {
+        let excess = solution.scheme.degree_excess(node, solution.throughput);
+        if instance.is_guarded(node) {
+            assert!(excess <= 1);
+        } else {
+            assert!(excess <= 3);
+        }
+    }
+}
+
+#[test]
+fn figure2_order_and_scheme() {
+    // The order σ = 0 3 1 2 4 5 of Figure 2 reaches throughput 4.
+    let instance = figure1();
+    let order = vec![0, 3, 1, 2, 4, 5];
+    let word = order_to_word(&instance, &order).unwrap();
+    let t = bmp::core::word::optimal_throughput_for_word(&instance, &word, 1e-12);
+    assert!((t - 4.0).abs() < 1e-6);
+    let scheme = AcyclicGuardedSolver::default()
+        .scheme_for_word(&instance, 4.0, &word)
+        .unwrap();
+    assert!(is_compatible_with_order(&scheme, &order).unwrap());
+    assert!(is_conservative(&scheme, &order).unwrap());
+    assert!((scheme.throughput() - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn figure4_non_conservative_scheme_detected() {
+    // Reproduce the non-conservative scheme of Figure 4 and check the detector.
+    let instance = figure1();
+    let mut scheme = BroadcastScheme::new(instance);
+    scheme.set_rate(0, 3, 4.0);
+    scheme.set_rate(0, 1, 2.0);
+    scheme.set_rate(3, 1, 2.0);
+    scheme.set_rate(3, 2, 2.0);
+    scheme.set_rate(1, 2, 2.0);
+    scheme.set_rate(1, 4, 3.0);
+    scheme.set_rate(2, 4, 1.0);
+    scheme.set_rate(2, 5, 4.0);
+    let order = vec![0, 3, 1, 2, 4, 5];
+    assert!(scheme.is_feasible());
+    assert!((scheme.throughput() - 4.0).abs() < 1e-9);
+    assert!(!is_conservative(&scheme, &order).unwrap());
+}
+
+#[test]
+fn figure5_word_and_table1_trace() {
+    // Algorithm 2 at T = 4 produces the word ■©■©■ (order 0 3 1 4 2 5) and the Table I trace.
+    let table = paper_table1();
+    assert!(table.feasible);
+    let open: Vec<f64> = table.columns.iter().map(|c| c.open_avail).collect();
+    assert_eq!(open, vec![6.0, 2.0, 7.0, 3.0, 5.0, 1.0]);
+    assert_eq!(table.columns.last().unwrap().prefix, "gogog");
+
+    // The same trace is obtained directly from the word-state recursion.
+    let word = CodingWord::parse("gogog").unwrap();
+    let trace = word_trace(&figure1(), 4.0, &word);
+    let waste: Vec<f64> = trace.iter().map(|s| s.open_waste).collect();
+    assert_eq!(waste, vec![0.0, 0.0, 0.0, 0.0, 3.0, 3.0]);
+}
+
+#[test]
+fn remark_under_table1_open_open_transfer_comparison() {
+    // The Algorithm 2 word uses only 3 units of open→open transfer, the Figure 2 scheme 4.
+    let instance = figure1();
+    let alg2 = word_trace(&instance, 4.0, &CodingWord::parse("gogog").unwrap());
+    let fig2 = word_trace(&instance, 4.0, &CodingWord::parse("googg").unwrap());
+    assert_eq!(alg2.last().unwrap().open_waste, 3.0);
+    assert_eq!(fig2.last().unwrap().open_waste, 4.0);
+}

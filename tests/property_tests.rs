@@ -1,0 +1,140 @@
+//! Cross-crate property tests: random instances are thrown at every algorithm and the
+//! paper's invariants (feasibility, degree bounds, ratio bounds, oracle agreement) are
+//! checked.
+
+use bmp::core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp::core::acyclic_open::acyclic_open_optimal_scheme;
+use bmp::core::bounds::{
+    acyclic_open_optimum, cyclic_open_optimum, cyclic_upper_bound, five_sevenths,
+    theorem61_ratio_bound,
+};
+use bmp::core::cyclic_open::cyclic_open_optimal_scheme;
+use bmp::core::exhaustive::optimal_acyclic_exhaustive;
+use bmp::core::greedy::is_acyclic_feasible;
+use bmp::core::omega::best_omega_throughput;
+use bmp::platform::{Instance, NodeClass};
+use proptest::prelude::*;
+
+/// Strategy generating a random instance with up to `max_open` open and `max_guarded` guarded
+/// nodes (at least one receiver overall).
+fn instance_strategy(max_open: usize, max_guarded: usize) -> impl Strategy<Value = Instance> {
+    (
+        0.2_f64..20.0,
+        proptest::collection::vec(0.1_f64..20.0, 0..=max_open),
+        proptest::collection::vec(0.1_f64..20.0, 0..=max_guarded),
+    )
+        .prop_filter_map("need at least one receiver", |(b0, open, guarded)| {
+            Instance::new(b0, open, guarded).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn acyclic_solver_invariants(instance in instance_strategy(8, 8)) {
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&instance);
+        let cyclic = cyclic_upper_bound(&instance);
+
+        // Feasibility and acyclicity of the constructed scheme.
+        prop_assert!(solution.scheme.is_feasible(), "{:?}", solution.scheme.validate());
+        prop_assert!(solution.scheme.is_acyclic());
+
+        // The claimed throughput is certified by max-flow on the explicit scheme.
+        let measured = solution.scheme.throughput();
+        prop_assert!(measured + 1e-6 * cyclic.max(1.0) >= solution.throughput,
+            "measured {} < claimed {}", measured, solution.throughput);
+
+        // Sandwich: 5/7 · T* ≤ T*_ac ≤ T* (Theorem 6.2 and Lemma 5.1).
+        prop_assert!(solution.throughput <= cyclic + 1e-6 * cyclic.max(1.0));
+        prop_assert!(solution.throughput >= five_sevenths() * cyclic - 1e-6 * cyclic.max(1.0));
+
+        // Degree bounds of Theorem 4.1.
+        if solution.throughput > 1e-6 {
+            let mut open_excess_three = 0usize;
+            for node in 0..instance.num_nodes() {
+                let excess = solution.scheme.degree_excess(node, solution.throughput);
+                match instance.class(node) {
+                    NodeClass::Guarded => prop_assert!(excess <= 1,
+                        "guarded node {} has excess {}", node, excess),
+                    _ => {
+                        prop_assert!(excess <= 3, "open node {} has excess {}", node, excess);
+                        if excess == 3 {
+                            open_excess_three += 1;
+                        }
+                    }
+                }
+            }
+            prop_assert!(open_excess_three <= 1);
+        }
+    }
+
+    #[test]
+    fn dichotomic_matches_exhaustive_on_tiny_instances(instance in instance_strategy(4, 4)) {
+        let solver = AcyclicGuardedSolver::default();
+        let (dichotomic, _) = solver.optimal_throughput(&instance);
+        let (exhaustive, _) = optimal_acyclic_exhaustive(&instance, 1e-11);
+        prop_assert!((dichotomic - exhaustive).abs() <= 1e-5 * exhaustive.max(1.0),
+            "dichotomic {} vs exhaustive {}", dichotomic, exhaustive);
+    }
+
+    #[test]
+    fn greedy_feasibility_is_monotone(instance in instance_strategy(8, 8), fraction in 0.05_f64..0.95) {
+        // If T is feasible then any smaller T' is feasible too.
+        let solver = AcyclicGuardedSolver::default();
+        let (optimum, _) = solver.optimal_throughput(&instance);
+        prop_assume!(optimum > 1e-6);
+        let smaller = optimum * fraction;
+        prop_assert!(is_acyclic_feasible(&instance, smaller),
+            "T = {} should be feasible below the optimum {}", smaller, optimum);
+        prop_assert!(!is_acyclic_feasible(&instance, optimum * 1.02 + 1e-6));
+    }
+
+    #[test]
+    fn omega_words_never_beat_the_optimum(instance in instance_strategy(6, 6)) {
+        let solver = AcyclicGuardedSolver::default();
+        let (optimum, _) = solver.optimal_throughput(&instance);
+        let (omega, _) = best_omega_throughput(&instance, 1e-9);
+        prop_assert!(omega <= optimum + 1e-6 * optimum.max(1.0));
+    }
+
+    #[test]
+    fn open_only_closed_forms_and_schemes(
+        b0 in 0.5_f64..20.0,
+        open in proptest::collection::vec(0.1_f64..20.0, 1..=10),
+    ) {
+        let instance = Instance::open_only(b0, open).unwrap();
+        let acyclic = acyclic_open_optimum(&instance).unwrap();
+        let cyclic = cyclic_open_optimum(&instance).unwrap();
+
+        // Theorem 6.1: the ratio is at least 1 − 1/n, and acyclic ≤ cyclic.
+        prop_assert!(acyclic <= cyclic + 1e-9);
+        prop_assert!(acyclic / cyclic >= theorem61_ratio_bound(instance.n()) - 1e-9);
+
+        // Algorithm 1 and the cyclic construction both reach their closed-form optima.
+        let (scheme1, t1) = acyclic_open_optimal_scheme(&instance).unwrap();
+        prop_assert!((t1 - acyclic).abs() < 1e-9);
+        prop_assert!(scheme1.is_feasible());
+        prop_assert!(scheme1.throughput() + 1e-6 >= t1);
+        prop_assert!(scheme1.max_degree_excess(t1.max(1e-12)) <= 1);
+
+        let (scheme2, t2) = cyclic_open_optimal_scheme(&instance).unwrap();
+        prop_assert!((t2 - cyclic).abs() < 1e-9);
+        prop_assert!(scheme2.is_feasible());
+        prop_assert!(scheme2.throughput() + 1e-6 >= t2);
+        for node in 0..instance.num_nodes() {
+            let bound = bmp::platform::node::degree_lower_bound(instance.bandwidth(node), t2) + 2;
+            prop_assert!(scheme2.outdegree(node) <= bound.max(4),
+                "node {} degree {} above max({}, 4)", node, scheme2.outdegree(node), bound);
+        }
+    }
+
+    #[test]
+    fn lp_oracle_agrees_with_closed_form_cyclic(instance in instance_strategy(3, 3)) {
+        let lp = bmp::core::lp_check::optimal_cyclic_lp(&instance).unwrap();
+        let closed_form = cyclic_upper_bound(&instance);
+        prop_assert!((lp - closed_form).abs() <= 1e-4 * closed_form.max(1.0),
+            "LP {} vs closed form {}", lp, closed_form);
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the cyclic/acyclic comparison results of Section VI.
+
+use bmp::core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp::core::bounds::{cyclic_upper_bound, five_sevenths, theorem63_limit_ratio};
+use bmp::core::homogeneous::{tight_homogeneous, worst_ratio_over_delta};
+use bmp::core::worst_case::theorem63_acyclic_upper_bound;
+use bmp::experiments::fig19::{run as run_fig19, Fig19Config};
+use bmp::experiments::fig7::{run as run_fig7, Fig7Config};
+use bmp::platform::distribution::NamedDistribution;
+use bmp::platform::paper::{figure18, figure18_tight_epsilon, theorem63_alpha};
+
+#[test]
+fn five_sevenths_is_tight_on_figure18() {
+    let solver = AcyclicGuardedSolver::default();
+    let instance = figure18(figure18_tight_epsilon()).unwrap();
+    let (acyclic, _) = solver.optimal_throughput(&instance);
+    let ratio = acyclic / cyclic_upper_bound(&instance);
+    assert!((ratio - five_sevenths()).abs() < 1e-6);
+}
+
+#[test]
+fn ratio_never_below_five_sevenths_on_tight_homogeneous_grid() {
+    let solver = AcyclicGuardedSolver::default();
+    for n in 1..=8 {
+        for m in 0..=8 {
+            if let Some(cell) = worst_ratio_over_delta(n, m, 6, &solver) {
+                assert!(
+                    cell.worst_ratio >= five_sevenths() - 1e-6,
+                    "(n={n}, m={m}): {}",
+                    cell.worst_ratio
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem63_diagonal_is_bounded_away_from_one() {
+    // Along m ≈ ((√41 − 3)/8)·n the worst ratio stays around 0.92–0.93 even for large n
+    // (Figure 7's persistent dip), and the analytic bound predicts its limit.
+    let solver = AcyclicGuardedSolver::default();
+    let alpha = theorem63_alpha();
+    let n = 64usize;
+    let m = (alpha * n as f64).round() as usize;
+    let cell = worst_ratio_over_delta(n, m, n, &solver).unwrap();
+    assert!(cell.worst_ratio < 0.95, "ratio = {}", cell.worst_ratio);
+    assert!(cell.worst_ratio >= five_sevenths() - 1e-9);
+    assert!((theorem63_acyclic_upper_bound(alpha) - theorem63_limit_ratio()).abs() < 1e-9);
+}
+
+#[test]
+fn open_only_cells_tend_to_one() {
+    let solver = AcyclicGuardedSolver::default();
+    let small = worst_ratio_over_delta(4, 0, 1, &solver).unwrap();
+    let large = worst_ratio_over_delta(64, 0, 1, &solver).unwrap();
+    assert!(large.worst_ratio > small.worst_ratio);
+    assert!(large.worst_ratio > 0.97);
+}
+
+#[test]
+fn tight_homogeneous_instances_have_unit_cyclic_optimum() {
+    for (n, m, delta) in [(3usize, 4usize, 0.0), (5, 2, 2.5), (10, 10, 7.0)] {
+        let instance = tight_homogeneous(n, m, delta).unwrap();
+        assert!((cyclic_upper_bound(&instance) - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn fig7_quick_grid_reproduces_the_paper_shape() {
+    let result = run_fig7(Fig7Config::quick());
+    let minimum = result.global_minimum().unwrap();
+    assert!(minimum.worst_ratio >= five_sevenths() - 1e-6);
+    assert!(result.fraction_above(0.8) > 0.7);
+}
+
+#[test]
+fn fig19_quick_run_stays_within_five_percent_on_average() {
+    let config = Fig19Config {
+        distributions: vec![NamedDistribution::Unif100, NamedDistribution::Ln2],
+        open_probabilities: vec![0.5, 0.9],
+        sizes: vec![20],
+        instances_per_cell: 30,
+        seed: 2026,
+        threads: 2,
+    };
+    let result = run_fig19(&config);
+    for cell in &result.cells {
+        assert!(
+            cell.optimal_acyclic.mean > 0.94,
+            "{} p={} n={}: mean acyclic ratio {}",
+            cell.distribution,
+            cell.open_probability,
+            cell.size,
+            cell.optimal_acyclic.mean
+        );
+        assert!(cell.theorem_word.mean <= cell.best_omega.mean + 1e-9);
+        assert!(cell.best_omega.mean <= cell.optimal_acyclic.mean + 1e-9);
+        assert!(cell.optimal_acyclic.min >= five_sevenths() - 1e-6);
+    }
+}
