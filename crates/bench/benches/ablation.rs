@@ -39,25 +39,35 @@ fn bench_order_quality_vs_cost(c: &mut Criterion) {
     let mut group = fast_group(c, "ablation_order_search");
     for &receivers in &[8usize, 12] {
         let inst = random_instance(receivers, 0.6, 3 + receivers as u64);
-        group.bench_with_input(BenchmarkId::new("exhaustive", receivers), &inst, |b, inst| {
-            b.iter(|| optimal_acyclic_exhaustive(inst, 1e-9).0)
-        });
-        group.bench_with_input(BenchmarkId::new("dichotomic", receivers), &inst, |b, inst| {
-            b.iter(|| AcyclicGuardedSolver::default().optimal_throughput(inst).0)
-        });
-        group.bench_with_input(BenchmarkId::new("omega_words", receivers), &inst, |b, inst| {
-            b.iter(|| best_omega_throughput(inst, 1e-9).0)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", receivers),
+            &inst,
+            |b, inst| b.iter(|| optimal_acyclic_exhaustive(inst, 1e-9).0),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dichotomic", receivers),
+            &inst,
+            |b, inst| b.iter(|| AcyclicGuardedSolver::default().optimal_throughput(inst).0),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("omega_words", receivers),
+            &inst,
+            |b, inst| b.iter(|| best_omega_throughput(inst, 1e-9).0),
+        );
     }
     // Larger sizes where exhaustive enumeration is no longer an option.
     for &receivers in &[200usize, 1_000] {
         let inst = random_instance(receivers, 0.6, 17 + receivers as u64);
-        group.bench_with_input(BenchmarkId::new("dichotomic", receivers), &inst, |b, inst| {
-            b.iter(|| AcyclicGuardedSolver::default().optimal_throughput(inst).0)
-        });
-        group.bench_with_input(BenchmarkId::new("omega_words", receivers), &inst, |b, inst| {
-            b.iter(|| best_omega_throughput(inst, 1e-9).0)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dichotomic", receivers),
+            &inst,
+            |b, inst| b.iter(|| AcyclicGuardedSolver::default().optimal_throughput(inst).0),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("omega_words", receivers),
+            &inst,
+            |b, inst| b.iter(|| best_omega_throughput(inst, 1e-9).0),
+        );
     }
     group.finish();
 }
@@ -70,9 +80,11 @@ fn bench_scheme_construction_and_certification(c: &mut Criterion) {
     for &receivers in &[50usize, 200] {
         let inst = random_instance(receivers, 0.7, 23 + receivers as u64);
         let (throughput, word) = solver.optimal_throughput(&inst);
-        group.bench_with_input(BenchmarkId::new("search_only", receivers), &inst, |b, inst| {
-            b.iter(|| solver.optimal_throughput(inst).0)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("search_only", receivers),
+            &inst,
+            |b, inst| b.iter(|| solver.optimal_throughput(inst).0),
+        );
         group.bench_with_input(
             BenchmarkId::new("build_scheme", receivers),
             &(inst.clone(), word.clone()),
@@ -86,7 +98,9 @@ fn bench_scheme_construction_and_certification(c: &mut Criterion) {
                 })
             },
         );
-        let scheme = solver.scheme_for_word(&inst, throughput * 0.999, &word).unwrap();
+        let scheme = solver
+            .scheme_for_word(&inst, throughput * 0.999, &word)
+            .unwrap();
         group.bench_with_input(
             BenchmarkId::new("certify_max_flow", receivers),
             &scheme,

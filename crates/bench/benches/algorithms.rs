@@ -59,5 +59,10 @@ fn bench_full_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithm1, bench_greedy_test, bench_full_solver);
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_greedy_test,
+    bench_full_solver
+);
 criterion_main!(benches);

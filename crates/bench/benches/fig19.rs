@@ -13,8 +13,7 @@ fn bench_per_instance(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig19_instance_ratios");
     for &size in &[10usize, 100, 1000] {
         let config = GeneratorConfig::new(size, 0.7).unwrap();
-        let generator =
-            InstanceGenerator::new(config, NamedDistribution::Power1.build());
+        let generator = InstanceGenerator::new(config, NamedDistribution::Power1.build());
         let inst = generator.generate(&mut StdRng::seed_from_u64(5));
         group.bench_with_input(BenchmarkId::from_parameter(size), &inst, |b, inst| {
             b.iter(|| ratios_for_instance(inst, &solver).optimal_acyclic)

@@ -13,7 +13,13 @@ fn bench_single_cell(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_m{m}")),
             &(n, m),
-            |b, &(n, m)| b.iter(|| worst_ratio_over_delta(n, m, 16, &solver).unwrap().worst_ratio),
+            |b, &(n, m)| {
+                b.iter(|| {
+                    worst_ratio_over_delta(n, m, 16, &solver)
+                        .unwrap()
+                        .worst_ratio
+                })
+            },
         );
     }
     group.finish();
@@ -22,9 +28,7 @@ fn bench_single_cell(c: &mut Criterion) {
 fn bench_quick_grid(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_grid");
     group.sample_size(10);
-    group.bench_function("quick", |b| {
-        b.iter(|| run(Fig7Config::quick()).cells.len())
-    });
+    group.bench_function("quick", |b| b.iter(|| run(Fig7Config::quick()).cells.len()));
     group.finish();
 }
 

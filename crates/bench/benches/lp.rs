@@ -11,11 +11,9 @@ fn bench_lp_oracle(c: &mut Criterion) {
         let open: Vec<f64> = (0..receivers / 2 + 1).map(|i| 2.0 + i as f64).collect();
         let guarded: Vec<f64> = (0..receivers / 2).map(|i| 1.0 + i as f64 * 0.5).collect();
         let inst = Instance::new(4.0, open, guarded).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(receivers),
-            &inst,
-            |b, inst| b.iter(|| optimal_cyclic_lp(inst).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(receivers), &inst, |b, inst| {
+            b.iter(|| optimal_cyclic_lp(inst).unwrap())
+        });
     }
     group.finish();
 }

@@ -23,7 +23,11 @@ fn overlay_and_config() -> (Overlay, SimConfig, f64) {
         ..SimConfig::default()
     }
     .scaled_to(solution.throughput, 2.0);
-    (Overlay::from_scheme(&solution.scheme), sim_config, solution.throughput)
+    (
+        Overlay::from_scheme(&solution.scheme),
+        sim_config,
+        solution.throughput,
+    )
 }
 
 fn bench_policies(c: &mut Criterion) {
@@ -37,9 +41,7 @@ fn bench_policies(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.label()),
             &config,
-            |b, config| {
-                b.iter(|| Simulator::new(overlay.clone(), *config).run().rounds_run)
-            },
+            |b, config| b.iter(|| Simulator::new(overlay.clone(), *config).run().rounds_run),
         );
     }
     group.finish();
@@ -55,7 +57,12 @@ fn bench_engine_features(c: &mut Criterion) {
         b.iter(|| Simulator::new(overlay.clone(), config).run().rounds_run)
     });
     group.bench_function("traced_run", |b| {
-        b.iter(|| Simulator::new(overlay.clone(), config).run_traced(10).1.len())
+        b.iter(|| {
+            Simulator::new(overlay.clone(), config)
+                .run_traced(10)
+                .1
+                .len()
+        })
     });
     let horizon = 200.0 * config.chunk_size / throughput;
     let churn = ChurnSchedule::departures_at(0.5 * horizon, &[overlay.num_nodes() - 1]);

@@ -43,9 +43,7 @@ fn bench_interval_decomposition(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("makespan_estimate", receivers),
             &decomposition,
-            |b, decomposition| {
-                b.iter(|| makespan_estimate(decomposition, 1_000.0, 1.0).unwrap())
-            },
+            |b, decomposition| b.iter(|| makespan_estimate(decomposition, 1_000.0, 1.0).unwrap()),
         );
     }
     group.finish();
@@ -62,9 +60,11 @@ fn bench_greedy_packing(c: &mut Criterion) {
         let open = UniformBandwidth::unif100().sample_many(receivers, &mut rng);
         let inst = Instance::open_only(30.0, open).unwrap();
         let (scheme, _) = cyclic_open_optimal_scheme(&inst).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(receivers), &scheme, |b, scheme| {
-            b.iter(|| greedy_packing(scheme).unwrap().decomposition.num_trees())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(receivers),
+            &scheme,
+            |b, scheme| b.iter(|| greedy_packing(scheme).unwrap().decomposition.num_trees()),
+        );
     }
     group.finish();
 }

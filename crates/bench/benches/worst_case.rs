@@ -9,7 +9,9 @@ fn bench_worst_case(c: &mut Criterion) {
     group.bench_function("figure18_sweep_101", |b| {
         b.iter(|| figure18_sweep(101).len())
     });
-    group.bench_function("theorem63_sweep_k4", |b| b.iter(|| theorem63_sweep(4).len()));
+    group.bench_function("theorem63_sweep_k4", |b| {
+        b.iter(|| theorem63_sweep(4).len())
+    });
     group.bench_function("figure6_sweep", |b| {
         b.iter(|| figure6_sweep(&[2, 8, 32, 128]).len())
     });

@@ -46,9 +46,9 @@ impl ArgList {
             if BOOLEAN_FLAGS.contains(&key.as_str()) {
                 parsed.flags.insert(key, None);
             } else {
-                let value = iter.next().ok_or_else(|| {
-                    CliError::Usage(format!("flag {key} expects a value"))
-                })?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("flag {key} expects a value")))?;
                 parsed.flags.insert(key, Some(value.clone()));
             }
         }
@@ -85,9 +85,9 @@ impl ArgList {
     pub fn get_parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
         match self.get(flag) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                CliError::Usage(format!("flag {flag} has an invalid value {raw:?}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag {flag} has an invalid value {raw:?}"))),
         }
     }
 
@@ -114,7 +114,12 @@ mod tests {
     #[test]
     fn parses_command_and_flags() {
         let args = ArgList::parse(&strings(&[
-            "solve", "--instance", "inst.json", "--cyclic", "--tolerance", "1e-8",
+            "solve",
+            "--instance",
+            "inst.json",
+            "--cyclic",
+            "--tolerance",
+            "1e-8",
         ]))
         .unwrap();
         assert_eq!(args.command, "solve");

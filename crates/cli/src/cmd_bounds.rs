@@ -33,16 +33,29 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         instance.m(),
         instance.source_bandwidth()
     )?;
-    writeln!(out, "cyclic optimum T* (Lemma 5.1)        : {:.6}", bounds.cyclic_optimum)?;
+    writeln!(
+        out,
+        "cyclic optimum T* (Lemma 5.1)        : {:.6}",
+        bounds.cyclic_optimum
+    )?;
     match bounds.acyclic_open_optimum {
         Some(t) => writeln!(out, "acyclic open-only optimum            : {t:.6}")?,
-        None => writeln!(out, "acyclic open-only optimum            : n/a (guarded nodes present)")?,
+        None => writeln!(
+            out,
+            "acyclic open-only optimum            : n/a (guarded nodes present)"
+        )?,
     }
     match bounds.cyclic_open_optimum {
         Some(t) => writeln!(out, "cyclic open-only optimum             : {t:.6}")?,
-        None => writeln!(out, "cyclic open-only optimum             : n/a (guarded nodes present)")?,
+        None => writeln!(
+            out,
+            "cyclic open-only optimum             : n/a (guarded nodes present)"
+        )?,
     }
-    writeln!(out, "optimal acyclic throughput T*_ac     : {acyclic:.6} (word {word})")?;
+    writeln!(
+        out,
+        "optimal acyclic throughput T*_ac     : {acyclic:.6} (word {word})"
+    )?;
     writeln!(out, "best regular word (omega1/omega2)    : {omega:.6}")?;
     if bounds.cyclic_optimum > 0.0 {
         writeln!(

@@ -23,7 +23,10 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
     let throughput: f64 = args.get_parsed("--throughput", scheme.throughput())?;
 
     let decomposition = if scheme.is_acyclic() {
-        writeln!(out, "method     : exact interval decomposition (acyclic scheme)")?;
+        writeln!(
+            out,
+            "method     : exact interval decomposition (acyclic scheme)"
+        )?;
         decompose_acyclic(&scheme, throughput)?
     } else {
         let packing = greedy_packing(&scheme)?;
@@ -89,15 +92,20 @@ mod tests {
         files::write_scheme(&path, &solution.scheme).unwrap();
         let json_path = temp_path("dec-out.json").to_str().unwrap().to_string();
         let output = run_args(vec![
-            "--scheme".into(), path.clone(),
-            "--message".into(), "100".into(),
-            "--out".into(), json_path.clone(),
+            "--scheme".into(),
+            path.clone(),
+            "--message".into(),
+            "100".into(),
+            "--out".into(),
+            json_path.clone(),
         ])
         .unwrap();
         assert!(output.contains("exact interval decomposition"));
         assert!(output.contains("trees      :"));
         assert!(output.contains("stripe plan"));
-        assert!(std::fs::read_to_string(&json_path).unwrap().contains("trees"));
+        assert!(std::fs::read_to_string(&json_path)
+            .unwrap()
+            .contains("trees"));
         std::fs::remove_file(path).ok();
         std::fs::remove_file(json_path).ok();
     }
@@ -118,8 +126,10 @@ mod tests {
         let path = temp_path("dec-bad.json").to_str().unwrap().to_string();
         files::write_scheme(&path, &solution.scheme).unwrap();
         let err = run_args(vec![
-            "--scheme".into(), path.clone(),
-            "--message".into(), "huge".into(),
+            "--scheme".into(),
+            path.clone(),
+            "--message".into(),
+            "huge".into(),
         ])
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));

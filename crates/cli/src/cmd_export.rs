@@ -51,7 +51,10 @@ mod tests {
 
     fn scheme_path() -> String {
         let solution = AcyclicGuardedSolver::default().solve(&figure1());
-        let path = temp_path("export-scheme.json").to_str().unwrap().to_string();
+        let path = temp_path("export-scheme.json")
+            .to_str()
+            .unwrap()
+            .to_string();
         files::write_scheme(&path, &solution.scheme).unwrap();
         path
     }
@@ -75,12 +78,18 @@ mod tests {
     fn exports_edge_and_degree_csv() {
         let path = scheme_path();
         let edges = run_args(vec![
-            "--scheme".into(), path.clone(), "--format".into(), "edges".into(),
+            "--scheme".into(),
+            path.clone(),
+            "--format".into(),
+            "edges".into(),
         ])
         .unwrap();
         assert!(edges.starts_with("from,to,rate"));
         let degrees = run_args(vec![
-            "--scheme".into(), path.clone(), "--format".into(), "degrees".into(),
+            "--scheme".into(),
+            path.clone(),
+            "--format".into(),
+            "degrees".into(),
         ])
         .unwrap();
         assert!(degrees.starts_with("node,class,bandwidth"));
@@ -92,11 +101,16 @@ mod tests {
         let path = scheme_path();
         let out_path = temp_path("export.dot").to_str().unwrap().to_string();
         let output = run_args(vec![
-            "--scheme".into(), path.clone(), "--out".into(), out_path.clone(),
+            "--scheme".into(),
+            path.clone(),
+            "--out".into(),
+            out_path.clone(),
         ])
         .unwrap();
         assert!(output.contains("wrote dot export"));
-        assert!(std::fs::read_to_string(&out_path).unwrap().starts_with("digraph"));
+        assert!(std::fs::read_to_string(&out_path)
+            .unwrap()
+            .starts_with("digraph"));
         std::fs::remove_file(path).ok();
         std::fs::remove_file(out_path).ok();
     }
@@ -105,7 +119,10 @@ mod tests {
     fn unknown_format_is_a_usage_error() {
         let path = scheme_path();
         let err = run_args(vec![
-            "--scheme".into(), path.clone(), "--format".into(), "png".into(),
+            "--scheme".into(),
+            path.clone(),
+            "--format".into(),
+            "png".into(),
         ])
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));

@@ -107,7 +107,14 @@ mod tests {
         let path = temp_path("gen.json");
         let path_str = path.to_str().unwrap();
         let output = run_args(&[
-            "--receivers", "20", "--dist", "power1", "--seed", "7", "--out", path_str,
+            "--receivers",
+            "20",
+            "--dist",
+            "power1",
+            "--seed",
+            "7",
+            "--out",
+            path_str,
         ])
         .unwrap();
         assert!(output.contains("wrote"));
@@ -118,16 +125,16 @@ mod tests {
 
     #[test]
     fn fixed_source_policy() {
-        let output = run_args(&[
-            "--receivers", "5", "--source", "fixed:42.5", "--seed", "3",
-        ])
-        .unwrap();
+        let output =
+            run_args(&["--receivers", "5", "--source", "fixed:42.5", "--seed", "3"]).unwrap();
         assert!(output.contains("b0 = 42.5"));
     }
 
     #[test]
     fn all_distribution_names_parse() {
-        for name in ["unif100", "power1", "power2", "ln1", "ln2", "plab", "PLab", "UNIF100"] {
+        for name in [
+            "unif100", "power1", "power2", "ln1", "ln2", "plab", "PLab", "UNIF100",
+        ] {
             assert!(parse_distribution(name).is_ok(), "{name}");
         }
         assert!(parse_distribution("zipf").is_err());

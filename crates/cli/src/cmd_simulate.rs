@@ -61,7 +61,11 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
     let report = if args.has("--trace") {
         let (report, trace) = simulator.run_traced(50);
         for (time, progress) in trace.worst_progress_series() {
-            writeln!(out, "  t = {time:>8.2}  worst progress {:.1}%", progress * 100.0)?;
+            writeln!(
+                out,
+                "  t = {time:>8.2}  worst progress {:.1}%",
+                progress * 100.0
+            )?;
         }
         report
     } else {
@@ -72,7 +76,11 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
     writeln!(out, "all completed    : {}", report.all_completed())?;
     match report.min_achieved_rate() {
         Some(rate) => {
-            writeln!(out, "worst delivery rate : {rate:.4} ({:.1}% of nominal)", 100.0 * rate / nominal)?;
+            writeln!(
+                out,
+                "worst delivery rate : {rate:.4} ({:.1}% of nominal)",
+                100.0 * rate / nominal
+            )?;
         }
         None => {
             writeln!(
@@ -113,9 +121,12 @@ mod tests {
     fn simulates_a_file_broadcast() {
         let path = scheme_path();
         let output = run_args(vec![
-            "--scheme".into(), path.clone(),
-            "--chunks".into(), "150".into(),
-            "--seed".into(), "9".into(),
+            "--scheme".into(),
+            path.clone(),
+            "--chunks".into(),
+            "150".into(),
+            "--seed".into(),
+            "9".into(),
         ])
         .unwrap();
         assert!(output.contains("all completed    : true"));
@@ -127,9 +138,12 @@ mod tests {
     fn simulates_with_trace_and_policy() {
         let path = scheme_path();
         let output = run_args(vec![
-            "--scheme".into(), path.clone(),
-            "--chunks".into(), "100".into(),
-            "--policy".into(), "rarest".into(),
+            "--scheme".into(),
+            path.clone(),
+            "--chunks".into(),
+            "100".into(),
+            "--policy".into(),
+            "rarest".into(),
             "--trace".into(),
         ])
         .unwrap();
@@ -142,17 +156,30 @@ mod tests {
     fn live_mode_and_bad_flags() {
         let path = scheme_path();
         let ok = run_args(vec![
-            "--scheme".into(), path.clone(),
-            "--chunks".into(), "100".into(),
-            "--live".into(), "3.5".into(),
+            "--scheme".into(),
+            path.clone(),
+            "--chunks".into(),
+            "100".into(),
+            "--live".into(),
+            "3.5".into(),
         ]);
         assert!(ok.is_ok());
         assert!(matches!(
-            run_args(vec!["--scheme".into(), path.clone(), "--live".into(), "fast".into()]),
+            run_args(vec![
+                "--scheme".into(),
+                path.clone(),
+                "--live".into(),
+                "fast".into()
+            ]),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run_args(vec!["--scheme".into(), path.clone(), "--policy".into(), "bogus".into()]),
+            run_args(vec![
+                "--scheme".into(),
+                path.clone(),
+                "--policy".into(),
+                "bogus".into()
+            ]),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(path).ok();
@@ -160,7 +187,14 @@ mod tests {
 
     #[test]
     fn all_policy_names_parse() {
-        for name in ["random", "random-useful", "sequential", "in-order", "latest", "rarest-first"] {
+        for name in [
+            "random",
+            "random-useful",
+            "sequential",
+            "in-order",
+            "latest",
+            "rarest-first",
+        ] {
             assert!(parse_policy(name).is_ok(), "{name}");
         }
         assert!(parse_policy("fifo").is_err());

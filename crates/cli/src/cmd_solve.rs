@@ -28,7 +28,11 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
     } else {
         let solution = AcyclicGuardedSolver::with_tolerance(tolerance).solve(&instance);
         writeln!(out, "coding word: {}", solution.word)?;
-        (solution.scheme, solution.throughput, "acyclic (Theorem 4.1)")
+        (
+            solution.scheme,
+            solution.throughput,
+            "acyclic (Theorem 4.1)",
+        )
     };
 
     writeln!(out, "algorithm  : {label}")?;
@@ -83,9 +87,12 @@ mod tests {
         let scheme_path = temp_path("solve-scheme.json").to_str().unwrap().to_string();
         let dot_path = temp_path("solve.dot").to_str().unwrap().to_string();
         let output = run_args(&[
-            "--instance".into(), instance_path.clone(),
-            "--out".into(), scheme_path.clone(),
-            "--dot".into(), dot_path.clone(),
+            "--instance".into(),
+            instance_path.clone(),
+            "--out".into(),
+            scheme_path.clone(),
+            "--dot".into(),
+            dot_path.clone(),
         ])
         .unwrap();
         assert!(output.contains("acyclic (Theorem 4.1)"));

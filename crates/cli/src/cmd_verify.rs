@@ -32,7 +32,10 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
             writeln!(out, "  - {violation:?}")?;
         }
     }
-    writeln!(out, "throughput  : {measured:.6} (max-flow from the source to every receiver)")?;
+    writeln!(
+        out,
+        "throughput  : {measured:.6} (max-flow from the source to every receiver)"
+    )?;
     writeln!(out, "acyclic     : {}", scheme.is_acyclic())?;
     writeln!(out, "node  class    bandwidth  outdegree  bound  excess")?;
     let instance = scheme.instance();

@@ -67,7 +67,9 @@ mod tests {
         assert!(CliError::Usage("x".into()).to_string().starts_with("usage"));
         assert!(CliError::Io("x".into()).to_string().starts_with("I/O"));
         assert!(CliError::Json("x".into()).to_string().starts_with("JSON"));
-        assert!(CliError::Algorithm("x".into()).to_string().starts_with("algorithm"));
+        assert!(CliError::Algorithm("x".into())
+            .to_string()
+            .starts_with("algorithm"));
     }
 
     #[test]

@@ -124,7 +124,10 @@ mod tests {
         let path = temp_path("garbage.json");
         let path = path.to_str().unwrap();
         std::fs::write(path, "{not json").unwrap();
-        assert!(matches!(read_instance(path).unwrap_err(), CliError::Json(_)));
+        assert!(matches!(
+            read_instance(path).unwrap_err(),
+            CliError::Json(_)
+        ));
         assert!(matches!(read_scheme(path).unwrap_err(), CliError::Json(_)));
         std::fs::remove_file(path).ok();
     }

@@ -111,7 +111,15 @@ mod tests {
         let scheme = scheme.to_str().unwrap();
 
         run_strings(&[
-            "generate", "--receivers", "15", "--open-prob", "0.6", "--seed", "5", "--out", instance,
+            "generate",
+            "--receivers",
+            "15",
+            "--open-prob",
+            "0.6",
+            "--seed",
+            "5",
+            "--out",
+            instance,
         ])
         .unwrap();
         let bounds = run_strings(&["bounds", "--instance", instance]).unwrap();
@@ -125,7 +133,13 @@ mod tests {
         let export = run_strings(&["export", "--scheme", scheme, "--format", "edges"]).unwrap();
         assert!(export.starts_with("from,to,rate"));
         let simulate = run_strings(&[
-            "simulate", "--scheme", scheme, "--chunks", "120", "--policy", "sequential",
+            "simulate",
+            "--scheme",
+            scheme,
+            "--chunks",
+            "120",
+            "--policy",
+            "sequential",
         ])
         .unwrap();
         assert!(simulate.contains("all completed"));

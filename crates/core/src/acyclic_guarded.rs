@@ -128,11 +128,7 @@ impl AcyclicGuardedSolver {
 
     /// Builds a low-degree scheme achieving throughput `t`, if `t` is acyclically feasible.
     #[must_use]
-    pub fn scheme_for_throughput(
-        &self,
-        instance: &Instance,
-        t: f64,
-    ) -> Option<BroadcastScheme> {
+    pub fn scheme_for_throughput(&self, instance: &Instance, t: f64) -> Option<BroadcastScheme> {
         match greedy_test(instance, t) {
             GreedyOutcome::Feasible { word, .. } => Some(build_scheme(instance, t, &word)),
             GreedyOutcome::Infeasible { .. } => None,

@@ -107,10 +107,7 @@ mod tests {
         // Degree bound of Section III-B: ⌈b_i/T⌉ + 1.
         for node in 0..instance.num_nodes() {
             let excess = scheme.degree_excess(node, throughput);
-            assert!(
-                excess <= 1,
-                "node {node} has degree excess {excess} (> +1)"
-            );
+            assert!(excess <= 1, "node {node} has degree excess {excess} (> +1)");
         }
         scheme
     }
@@ -146,7 +143,11 @@ mod tests {
                 .filter(|&j| scheme.rate(sender, j) > 1e-9)
                 .collect();
             for pair in receivers.windows(2) {
-                assert_eq!(pair[1], pair[0] + 1, "receivers of {sender} not consecutive");
+                assert_eq!(
+                    pair[1],
+                    pair[0] + 1,
+                    "receivers of {sender} not consecutive"
+                );
             }
             // Senders only feed strictly later nodes.
             if let Some(&first) = receivers.first() {

@@ -132,7 +132,7 @@ impl Bounds {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bmp_platform::paper::{figure1, figure6, figure18, figure18_tight_epsilon};
+    use bmp_platform::paper::{figure1, figure18, figure18_tight_epsilon, figure6};
 
     #[test]
     fn figure1_cyclic_bound_is_4_4() {

@@ -13,7 +13,7 @@
 
 use crate::acyclic_guarded::{AcyclicGuardedSolver, AcyclicSolution};
 use crate::scheme::{BroadcastScheme, RATE_EPS};
-use bmp_flow::{dinic_max_flow, FlowNetwork};
+use bmp_flow::{FlowArena, FlowSolver};
 use bmp_platform::{Instance, NodeId};
 
 /// Throughput of `scheme` restricted to the surviving nodes: departed nodes neither send nor
@@ -35,19 +35,15 @@ pub fn residual_throughput(scheme: &BroadcastScheme, departed: &[NodeId]) -> f64
             alive[node] = false;
         }
     }
-    let mut network = FlowNetwork::new(n);
+    let mut edges = Vec::new();
     for (from, to, rate) in scheme.edges() {
         if alive[from] && alive[to] && rate > RATE_EPS {
-            network.add_edge(from, to, rate);
+            edges.push((from, to, rate));
         }
     }
-    let mut throughput = f64::INFINITY;
-    for receiver in instance.receivers() {
-        if !alive[receiver] {
-            continue;
-        }
-        throughput = throughput.min(dinic_max_flow(&network, 0, receiver).value);
-    }
+    let arena = FlowArena::from_edges(n, &edges);
+    let survivors: Vec<NodeId> = instance.receivers().filter(|&r| alive[r]).collect();
+    let throughput = FlowSolver::new().min_max_flow(&arena, 0, &survivors);
     if throughput.is_finite() {
         throughput
     } else {

@@ -29,7 +29,12 @@ impl DepthProfile {
     /// Largest hop depth over the receivers (`None` when some receiver is unreachable).
     #[must_use]
     pub fn max_hops(&self) -> Option<usize> {
-        self.hops[1..].iter().copied().collect::<Option<Vec<_>>>()?.into_iter().max()
+        self.hops[1..]
+            .iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
     }
 
     /// Mean hop depth over the receivers (`None` when some receiver is unreachable).
@@ -175,7 +180,7 @@ mod tests {
         let profile = depth_profile(&solution.scheme);
         assert!(profile.all_reachable());
         let max_hops = profile.max_hops().unwrap();
-        assert!(max_hops >= 2 && max_hops <= 5, "max hops = {max_hops}");
+        assert!((2..=5).contains(&max_hops), "max hops = {max_hops}");
         // Delays are positive, finite, and monotone with hops along any single chain.
         for node in 1..6 {
             let d = profile.delay[node].unwrap();
@@ -204,8 +209,7 @@ mod tests {
         let inst = figure1();
         let optimal = solver.solve(&inst);
         let omega_word = crate::omega::omega1(inst.n(), inst.m());
-        let t_omega =
-            crate::word::optimal_throughput_for_word(&inst, &omega_word, 1e-10) - 1e-9;
+        let t_omega = crate::word::optimal_throughput_for_word(&inst, &omega_word, 1e-10) - 1e-9;
         let omega_scheme = solver
             .scheme_for_word(&inst, t_omega.max(0.0), &omega_word)
             .unwrap();

@@ -32,7 +32,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::GuardedNodesNotSupported { algorithm } => {
-                write!(f, "{algorithm} only supports instances without guarded nodes")
+                write!(
+                    f,
+                    "{algorithm} only supports instances without guarded nodes"
+                )
             }
             CoreError::InfeasibleThroughput { requested, optimum } => write!(
                 f,
@@ -76,8 +79,12 @@ mod tests {
         };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains('4'));
-        assert!(CoreError::InvalidOrder("dup".into()).to_string().contains("dup"));
-        assert!(CoreError::InvalidWord("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::InvalidOrder("dup".into())
+            .to_string()
+            .contains("dup"));
+        assert!(CoreError::InvalidWord("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

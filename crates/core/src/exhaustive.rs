@@ -71,7 +71,9 @@ mod tests {
         assert_eq!(all_words(4, 2).len(), 15);
         // Every generated word has the requested composition and they are all distinct.
         let words = all_words(3, 2);
-        assert!(words.iter().all(|w| w.num_open() == 3 && w.num_guarded() == 2));
+        assert!(words
+            .iter()
+            .all(|w| w.num_open() == 3 && w.num_guarded() == 2));
         let unique: std::collections::HashSet<String> =
             words.iter().map(ToString::to_string).collect();
         assert_eq!(unique.len(), words.len());

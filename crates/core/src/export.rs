@@ -102,10 +102,16 @@ mod tests {
         assert!(dot.starts_with("digraph broadcast {"));
         assert!(dot.trim_end().ends_with('}'));
         for node in 0..6 {
-            assert!(dot.contains(&format!("C{node} [shape=")), "missing node {node}");
+            assert!(
+                dot.contains(&format!("C{node} [shape=")),
+                "missing node {node}"
+            );
         }
         for (from, to, _) in scheme.edges() {
-            assert!(dot.contains(&format!("C{from} -> C{to} ")), "missing edge {from}->{to}");
+            assert!(
+                dot.contains(&format!("C{from} -> C{to} ")),
+                "missing edge {from}->{to}"
+            );
         }
         // Source is highlighted, guarded nodes are boxes.
         assert!(dot.contains("doublecircle"));
@@ -141,7 +147,10 @@ mod tests {
         let (scheme, throughput) = solved();
         let csv = degrees_to_csv(&scheme, throughput);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "node,class,bandwidth,outdegree,degree_bound,excess");
+        assert_eq!(
+            lines[0],
+            "node,class,bandwidth,outdegree,degree_bound,excess"
+        );
         assert_eq!(lines.len(), 7); // header + 6 nodes
         assert!(lines[1].starts_with("0,source,"));
         assert!(lines.iter().any(|l| l.contains(",open,")));

@@ -100,10 +100,7 @@ pub fn greedy_test(instance: &Instance, throughput: f64) -> GreedyOutcome {
                 // would make the next step infeasible.
                 let next_guarded_bw = instance.bandwidth(instance.guarded_id(j + 1));
                 if eps::definitely_lt(state.open_avail, throughput)
-                    || eps::definitely_lt(
-                        state.total_avail() + next_guarded_bw,
-                        2.0 * throughput,
-                    )
+                    || eps::definitely_lt(state.total_avail() + next_guarded_bw, 2.0 * throughput)
                 {
                     letter = Symbol::Open;
                 }

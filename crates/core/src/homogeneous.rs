@@ -124,12 +124,8 @@ pub fn theorem62_case_instance(case: Theorem62Case, n: usize, m: usize) -> Optio
         return None;
     }
     let (o, g) = match case {
-        Theorem62Case::A1 | Theorem62Case::C1 => {
-            ((m as f64 - 1.0) / n as f64, n as f64 / m as f64)
-        }
-        Theorem62Case::A2 | Theorem62Case::B2 => {
-            ((n as f64 + m as f64 - 1.0) / n as f64, 0.0)
-        }
+        Theorem62Case::A1 | Theorem62Case::C1 => ((m as f64 - 1.0) / n as f64, n as f64 / m as f64),
+        Theorem62Case::A2 | Theorem62Case::B2 => ((n as f64 + m as f64 - 1.0) / n as f64, 0.0),
         Theorem62Case::B1 | Theorem62Case::C2 => (1.0, (m as f64 - 1.0) / m as f64),
     };
     Instance::new(1.0, vec![o; n], vec![g; m]).ok()

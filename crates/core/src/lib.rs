@@ -23,8 +23,8 @@
 pub mod acyclic_guarded;
 pub mod acyclic_open;
 pub mod bounds;
-pub mod conservative;
 pub mod churn;
+pub mod conservative;
 pub mod cyclic_open;
 pub mod depth;
 pub mod error;

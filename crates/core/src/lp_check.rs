@@ -53,10 +53,7 @@ fn allowed_pairs(instance: &Instance, order: Option<&[NodeId]>) -> Vec<(NodeId, 
 ///
 /// `order = None` gives the optimal cyclic throughput; `order = Some(σ)` the optimal acyclic
 /// throughput compatible with `σ`.
-fn solve_throughput_lp(
-    instance: &Instance,
-    order: Option<&[NodeId]>,
-) -> Result<f64, CoreError> {
+fn solve_throughput_lp(instance: &Instance, order: Option<&[NodeId]>) -> Result<f64, CoreError> {
     let pairs = allowed_pairs(instance, order);
     let num_pairs = pairs.len();
     let receivers: Vec<NodeId> = instance.receivers().collect();

@@ -126,8 +126,8 @@ impl ThreePartitionInstance {
         }
         let first_final = 1 + self.items.len();
         let mut scheme = BroadcastScheme::new(instance);
-        for item in 0..self.items.len() {
-            scheme.set_rate(0, position[item], t);
+        for &item_position in &position {
+            scheme.set_rate(0, item_position, t);
         }
         for (triple_index, triple) in triples.iter().enumerate() {
             let final_node = first_final + triple_index;
@@ -216,9 +216,7 @@ mod tests {
     fn scheme_from_solution_rejects_bad_triples() {
         let inst = solvable_instance();
         assert!(inst.scheme_from_solution(&[]).is_err());
-        assert!(inst
-            .scheme_from_solution(&[[0, 1, 3], [2, 4, 5]])
-            .is_err());
+        assert!(inst.scheme_from_solution(&[[0, 1, 3], [2, 4, 5]]).is_err());
     }
 
     #[test]

@@ -6,10 +6,18 @@
 //! throughput is the minimum over all receivers of the maximum flow from the source in the
 //! weighted digraph `c`.
 
-use bmp_flow::{dinic_max_flow, eps, FlowNetwork};
+use bmp_flow::{eps, min_max_flow_parallel, FlowArena, FlowNetwork, FlowSolver};
 use bmp_platform::node::degree_lower_bound;
 use bmp_platform::{Instance, NodeClass, NodeId};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable flow workspace: scheme evaluation is the hottest loop of the whole
+    /// workspace, and sharing one solver per thread makes repeated throughput queries
+    /// allocation-free in steady state.
+    static FLOW_SOLVER: RefCell<FlowSolver> = RefCell::new(FlowSolver::new());
+}
 
 /// Rates below this threshold are treated as "no connection" when counting outdegrees and
 /// building flow networks; they only arise from floating-point dust.
@@ -161,27 +169,44 @@ impl BroadcastScheme {
     }
 
     /// Checks bandwidth, firewall and rate-validity constraints. Returns all violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rate matrix does not have `num_nodes²` entries — possible only for a
+    /// scheme deserialized from a malformed document, which must not validate silently.
     #[must_use]
     pub fn validate(&self) -> Vec<SchemeViolation> {
         let mut violations = Vec::new();
         let n = self.instance.num_nodes();
-        for from in 0..n {
-            for to in 0..n {
+        assert_eq!(
+            self.rates.len(),
+            n * n,
+            "rate matrix has {} entries, expected {n}×{n} (malformed scheme document?)",
+            self.rates.len()
+        );
+        // Single pass over the rate matrix: per-row totals are accumulated inline instead
+        // of re-scanning each row through `sent`.
+        for (from, row) in self.rates.chunks_exact(n).enumerate() {
+            let from_guarded = self.instance.class(from) == NodeClass::Guarded;
+            let mut sent = 0.0;
+            for (to, &rate) in row.iter().enumerate() {
+                sent += rate;
                 if from == to {
+                    // The setters forbid self-loops, but a deserialized matrix can carry
+                    // one; it still consumes bandwidth (summed above) and is invalid.
+                    if rate != 0.0 {
+                        violations.push(SchemeViolation::InvalidRate { from, to, rate });
+                    }
                     continue;
                 }
-                let rate = self.rate(from, to);
                 if !rate.is_finite() || rate < -RATE_EPS {
                     violations.push(SchemeViolation::InvalidRate { from, to, rate });
                 }
-                if rate > RATE_EPS
-                    && self.instance.class(from) == NodeClass::Guarded
-                    && self.instance.class(to) == NodeClass::Guarded
+                if rate > RATE_EPS && from_guarded && self.instance.class(to) == NodeClass::Guarded
                 {
                     violations.push(SchemeViolation::FirewallViolated { from, to });
                 }
             }
-            let sent = self.sent(from);
             let bandwidth = self.instance.bandwidth(from);
             if !eps::approx_le(sent, bandwidth) {
                 violations.push(SchemeViolation::BandwidthExceeded {
@@ -200,36 +225,69 @@ impl BroadcastScheme {
         self.validate().is_empty()
     }
 
+    /// The nonzero rates as `(from, to, rate)` triples, skipping dust and the diagonal —
+    /// the single definition of "which edges exist" shared by every graph view below.
+    fn nonzero_rates(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        let n = self.instance.num_nodes();
+        self.rates
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, &rate)| {
+                let (from, to) = (idx / n, idx % n);
+                (rate > RATE_EPS && from != to).then_some((from, to, rate))
+            })
+    }
+
     /// Converts the scheme into a flow network (one edge per meaningful rate).
     #[must_use]
     pub fn to_flow_network(&self) -> FlowNetwork {
         let n = self.instance.num_nodes();
         let mut network = FlowNetwork::with_capacity(n, n * n / 2);
-        for from in 0..n {
-            for to in 0..n {
-                if from != to && self.rate(from, to) > RATE_EPS {
-                    network.add_edge(from, to, self.rate(from, to));
-                }
-            }
+        for (from, to, rate) in self.nonzero_rates() {
+            network.add_edge(from, to, rate);
         }
         network
+    }
+
+    /// Converts the scheme into the flat CSR arena the flow solvers operate on (one pass
+    /// over the nonzero rates).
+    #[must_use]
+    pub fn to_flow_arena(&self) -> FlowArena {
+        let edges: Vec<(NodeId, NodeId, f64)> = self.nonzero_rates().collect();
+        FlowArena::from_edges(self.instance.num_nodes(), &edges)
     }
 
     /// Maximum flow from the source to `receiver` in the scheme's weighted digraph.
     #[must_use]
     pub fn max_flow_to(&self, receiver: NodeId) -> f64 {
-        let network = self.to_flow_network();
-        dinic_max_flow(&network, 0, receiver).value
+        let arena = self.to_flow_arena();
+        FLOW_SOLVER.with(|solver| solver.borrow_mut().max_flow(&arena, 0, receiver))
     }
 
     /// Throughput of the scheme: `min_k maxflow(C0 → Ck)` over all receivers (Section II-D).
+    ///
+    /// Evaluated with the batched CSR kernel: one arena build, then per-receiver max-flows
+    /// in ascending in-capacity order, each capped at the running minimum
+    /// ([`FlowSolver::min_max_flow`]). The result is exactly the minimum of the individual
+    /// max-flows.
     #[must_use]
     pub fn throughput(&self) -> f64 {
-        let network = self.to_flow_network();
-        self.instance
-            .receivers()
-            .map(|k| dinic_max_flow(&network, 0, k).value)
-            .fold(f64::INFINITY, f64::min)
+        let arena = self.to_flow_arena();
+        let receivers: Vec<NodeId> = self.instance.receivers().collect();
+        FLOW_SOLVER.with(|solver| solver.borrow_mut().min_max_flow(&arena, 0, &receivers))
+    }
+
+    /// Like [`BroadcastScheme::throughput`], but fanning the receivers out across `threads`
+    /// scoped worker threads (each with its own solver workspace).
+    ///
+    /// Worth it for large instances only; the sequential batched evaluator wins below a few
+    /// hundred nodes. Callers already running inside a parallel sweep should prefer
+    /// [`BroadcastScheme::throughput`] to avoid oversubscription.
+    #[must_use]
+    pub fn throughput_parallel(&self, threads: usize) -> f64 {
+        let arena = self.to_flow_arena();
+        let receivers: Vec<NodeId> = self.instance.receivers().collect();
+        min_max_flow_parallel(&arena, 0, &receivers, threads)
     }
 
     /// Topological order of the scheme's digraph if it is acyclic, `None` otherwise.
@@ -239,13 +297,13 @@ impl BroadcastScheme {
     #[must_use]
     pub fn topological_order(&self) -> Option<Vec<NodeId>> {
         let n = self.instance.num_nodes();
+        // One pass over the nonzero rates builds the adjacency lists and indegrees; the
+        // Kahn loop below then touches only actual edges instead of rescanning the matrix.
         let mut indegree = vec![0usize; n];
-        for from in 0..n {
-            for to in 0..n {
-                if from != to && self.rate(from, to) > RATE_EPS {
-                    indegree[to] += 1;
-                }
-            }
+        let mut successors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (from, to, _) in self.nonzero_rates() {
+            indegree[to] += 1;
+            successors[from].push(to);
         }
         // Kahn's algorithm, preferring smaller indices for determinism.
         let mut order = Vec::with_capacity(n);
@@ -255,12 +313,10 @@ impl BroadcastScheme {
             .collect();
         while let Some(std::cmp::Reverse(v)) = ready.pop() {
             order.push(v);
-            for to in 0..n {
-                if to != v && self.rate(v, to) > RATE_EPS {
-                    indegree[to] -= 1;
-                    if indegree[to] == 0 {
-                        ready.push(std::cmp::Reverse(to));
-                    }
+            for &to in &successors[v] {
+                indegree[to] -= 1;
+                if indegree[to] == 0 {
+                    ready.push(std::cmp::Reverse(to));
                 }
             }
         }
@@ -286,19 +342,11 @@ impl BroadcastScheme {
         }
     }
 
-    /// Edges of the scheme as `(from, to, rate)` triples, skipping dust.
+    /// Edges of the scheme as `(from, to, rate)` triples, skipping dust (one pass over the
+    /// nonzero rates).
     #[must_use]
     pub fn edges(&self) -> Vec<(NodeId, NodeId, f64)> {
-        let n = self.instance.num_nodes();
-        let mut edges = Vec::new();
-        for from in 0..n {
-            for to in 0..n {
-                if from != to && self.rate(from, to) > RATE_EPS {
-                    edges.push((from, to, self.rate(from, to)));
-                }
-            }
-        }
-        edges
+        self.nonzero_rates().collect()
     }
 }
 
@@ -455,6 +503,39 @@ mod tests {
         assert_eq!(s.edges(), vec![(0, 2, 2.0)]);
     }
 
+    /// Acceptance check for the batched evaluator: on the paper's Figure 1 (throughput
+    /// 4.4) and Figure 2 (throughput 4.0) schemes, the batched multi-sink evaluation must
+    /// equal the naive per-receiver minimum bit-for-bit.
+    #[test]
+    fn batched_throughput_equals_naive_on_paper_schemes() {
+        let figure2_scheme = {
+            let mut s = BroadcastScheme::new(figure1());
+            s.set_rate(0, 3, 4.0);
+            s.set_rate(0, 2, 2.0);
+            s.set_rate(3, 1, 4.0);
+            s.set_rate(1, 2, 2.0);
+            s.set_rate(1, 4, 3.0);
+            s.set_rate(2, 4, 1.0);
+            s.set_rate(2, 5, 4.0);
+            s
+        };
+        for (scheme, expected) in [(figure1_optimal_scheme(), 4.4), (figure2_scheme, 4.0)] {
+            let naive = scheme
+                .instance()
+                .receivers()
+                .map(|k| scheme.max_flow_to(k))
+                .fold(f64::INFINITY, f64::min);
+            let batched = scheme.throughput();
+            assert_eq!(batched, naive, "batched {batched} vs naive {naive}");
+            let parallel = scheme.throughput_parallel(4);
+            assert_eq!(parallel, naive, "parallel {parallel} vs naive {naive}");
+            assert!(
+                (batched - expected).abs() < 1e-9,
+                "expected {expected}, got {batched}"
+            );
+        }
+    }
+
     #[test]
     fn max_flow_to_individual_receiver() {
         let mut s = BroadcastScheme::new(figure1());
@@ -463,6 +544,54 @@ mod tests {
         assert!((s.max_flow_to(1) - 3.0).abs() < 1e-9);
         assert!((s.max_flow_to(2) - 2.0).abs() < 1e-9);
         assert_eq!(s.max_flow_to(5), 0.0);
+    }
+
+    /// Mutates the serialized form of `scheme` through the JSON value model and
+    /// deserializes it back, bypassing the setters' invariants like a hand-edited file.
+    fn rebuild_with_rates(
+        scheme: &BroadcastScheme,
+        edit: impl FnOnce(&mut Vec<serde::Value>),
+    ) -> BroadcastScheme {
+        let json = serde_json::to_string(scheme).unwrap();
+        let mut value: serde::Value = serde_json::from_str(&json).unwrap();
+        let serde::Value::Object(fields) = &mut value else {
+            panic!("scheme serializes as an object");
+        };
+        let rates = fields
+            .iter_mut()
+            .find(|(key, _)| key == "rates")
+            .map(|(_, value)| value)
+            .unwrap();
+        let serde::Value::Array(items) = rates else {
+            panic!("rates serialize as an array");
+        };
+        edit(items);
+        serde_json::from_str(&serde_json::to_string(&value).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn validate_rejects_deserialized_self_loop() {
+        // A hand-edited document can put rate mass on the diagonal, which the setters
+        // forbid; validation must flag it (and count it against the sender's bandwidth).
+        let tampered = rebuild_with_rates(&BroadcastScheme::new(figure1()), |rates| {
+            rates[0] = serde::Value::F64(1000.0); // c_{0,0}
+        });
+        let violations = tampered.validate();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, SchemeViolation::InvalidRate { from: 0, to: 0, .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, SchemeViolation::BandwidthExceeded { node: 0, .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed scheme document")]
+    fn validate_rejects_truncated_rate_matrix() {
+        let truncated = rebuild_with_rates(&figure1_optimal_scheme(), |rates| {
+            rates.pop();
+        });
+        let _ = truncated.validate();
     }
 
     #[test]

@@ -289,11 +289,7 @@ pub fn word_trace(instance: &Instance, throughput: f64, word: &CodingWord) -> Ve
 /// Returns 0 when the word is invalid even for arbitrarily small throughput (e.g. wrong
 /// counts).
 #[must_use]
-pub fn optimal_throughput_for_word(
-    instance: &Instance,
-    word: &CodingWord,
-    tolerance: f64,
-) -> f64 {
+pub fn optimal_throughput_for_word(instance: &Instance, word: &CodingWord, tolerance: f64) -> f64 {
     if !word.is_complete_for(instance) {
         return 0.0;
     }
@@ -385,9 +381,17 @@ mod tests {
     fn validity_at_throughput_4() {
         let inst = figure1();
         assert!(is_valid_word(&inst, 4.0, &word_gogog()));
-        assert!(is_valid_word(&inst, 4.0, &CodingWord::parse("googg").unwrap()));
+        assert!(is_valid_word(
+            &inst,
+            4.0,
+            &CodingWord::parse("googg").unwrap()
+        ));
         // Starting with two guarded nodes requires 2T ≤ b0 = 6, impossible at T = 4.
-        assert!(!is_valid_word(&inst, 4.0, &CodingWord::parse("ggoog").unwrap()));
+        assert!(!is_valid_word(
+            &inst,
+            4.0,
+            &CodingWord::parse("ggoog").unwrap()
+        ));
     }
 
     #[test]
@@ -421,7 +425,11 @@ mod tests {
     fn zero_throughput_is_always_valid_for_complete_words() {
         let inst = figure1();
         assert!(is_valid_word(&inst, 0.0, &word_gogog()));
-        assert!(!is_valid_word(&inst, 0.0, &CodingWord::parse("oo").unwrap()));
+        assert!(!is_valid_word(
+            &inst,
+            0.0,
+            &CodingWord::parse("oo").unwrap()
+        ));
     }
 
     #[test]

@@ -45,6 +45,9 @@ fn main() -> std::io::Result<()> {
         &fig19_result.to_csv().to_csv_string(),
     )?;
 
-    println!("all experiments written to {}", options.output_dir.display());
+    println!(
+        "all experiments written to {}",
+        options.output_dir.display()
+    );
     Ok(())
 }

@@ -143,8 +143,9 @@ fn run_trial(receivers: usize, kind: DepartureKind, seed: u64) -> Option<ChurnTr
         return None;
     }
     let victim = match kind {
-        DepartureKind::BusiestRelay => (1..instance.num_nodes())
-            .max_by_key(|&node| solution.scheme.outdegree(node))?,
+        DepartureKind::BusiestRelay => {
+            (1..instance.num_nodes()).max_by_key(|&node| solution.scheme.outdegree(node))?
+        }
         DepartureKind::RandomReceiver => rng.gen_range(1..instance.num_nodes()),
     };
     let residual = residual_throughput(&solution.scheme, &[victim]);
@@ -167,16 +168,19 @@ pub fn run(quick: bool, threads: usize) -> ChurnReport {
     let mut cells = Vec::new();
     for &receivers in sizes {
         for kind in [DepartureKind::BusiestRelay, DepartureKind::RandomReceiver] {
-            let seeds: Vec<u64> = (0..trials).map(|t| t as u64 * 7919 + receivers as u64).collect();
-            let trials: Vec<ChurnTrial> = parallel_map(&seeds, threads, |&seed| {
-                run_trial(receivers, kind, seed)
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+            let seeds: Vec<u64> = (0..trials)
+                .map(|t| t as u64 * 7919 + receivers as u64)
+                .collect();
+            let trials: Vec<ChurnTrial> =
+                parallel_map(&seeds, threads, |&seed| run_trial(receivers, kind, seed))
+                    .into_iter()
+                    .flatten()
+                    .collect();
             let residual: Vec<f64> = trials.iter().map(ChurnTrial::residual_ratio).collect();
             let repaired: Vec<f64> = trials.iter().map(ChurnTrial::repaired_ratio).collect();
-            if let (Some(residual), Some(repaired)) = (Summary::of(&residual), Summary::of(&repaired)) {
+            if let (Some(residual), Some(repaired)) =
+                (Summary::of(&residual), Summary::of(&repaired))
+            {
                 cells.push(ChurnCell {
                     receivers,
                     kind,

@@ -102,7 +102,10 @@ impl DepthReport {
     }
 }
 
-fn measure(scheme: &bmp_core::scheme::BroadcastScheme, throughput: f64) -> Option<DepthMeasurement> {
+fn measure(
+    scheme: &bmp_core::scheme::BroadcastScheme,
+    throughput: f64,
+) -> Option<DepthMeasurement> {
     let profile = depth_profile(scheme);
     Some(DepthMeasurement {
         throughput,
@@ -135,7 +138,9 @@ fn run_trial(receivers: usize, seed: u64) -> Option<DepthTrial> {
     let omega = measure(&omega_scheme, full)?;
 
     let throttled_target = omega_throughput * 0.95;
-    let throttled_scheme = solver.scheme_for_word(&instance, throttled_target, &word).ok()?;
+    let throttled_scheme = solver
+        .scheme_for_word(&instance, throttled_target, &word)
+        .ok()?;
     let omega_throttled = measure(&throttled_scheme, throttled_target)?;
 
     Some(DepthTrial {
@@ -149,17 +154,22 @@ fn run_trial(receivers: usize, seed: u64) -> Option<DepthTrial> {
 /// Runs the depth experiment. `quick` uses fewer trials and smaller platforms.
 #[must_use]
 pub fn run(quick: bool, threads: usize) -> DepthReport {
-    let sizes: &[usize] = if quick { &[15, 40] } else { &[15, 40, 100, 300] };
+    let sizes: &[usize] = if quick {
+        &[15, 40]
+    } else {
+        &[15, 40, 100, 300]
+    };
     let trials = if quick { 15 } else { 100 };
     let mut cells = Vec::new();
     for &receivers in sizes {
-        let seeds: Vec<u64> = (0..trials).map(|t| t as u64 * 6151 + receivers as u64).collect();
-        let results: Vec<DepthTrial> = parallel_map(&seeds, threads, |&seed| {
-            run_trial(receivers, seed)
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let seeds: Vec<u64> = (0..trials)
+            .map(|t| t as u64 * 6151 + receivers as u64)
+            .collect();
+        let results: Vec<DepthTrial> =
+            parallel_map(&seeds, threads, |&seed| run_trial(receivers, seed))
+                .into_iter()
+                .flatten()
+                .collect();
         if results.is_empty() {
             continue;
         }
@@ -168,10 +178,16 @@ pub fn run(quick: bool, threads: usize) -> DepthReport {
             receivers,
             trials: results.len(),
             optimal_max_hops: mean(
-                &results.iter().map(|t| t.optimal.max_hops as f64).collect::<Vec<_>>(),
+                &results
+                    .iter()
+                    .map(|t| t.optimal.max_hops as f64)
+                    .collect::<Vec<_>>(),
             ),
             omega_max_hops: mean(
-                &results.iter().map(|t| t.omega.max_hops as f64).collect::<Vec<_>>(),
+                &results
+                    .iter()
+                    .map(|t| t.omega.max_hops as f64)
+                    .collect::<Vec<_>>(),
             ),
             throttled_max_hops: mean(
                 &results

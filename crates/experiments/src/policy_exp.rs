@@ -96,13 +96,14 @@ pub fn run(quick: bool, threads: usize) -> PolicyReport {
     let mut cells = Vec::new();
     for &receivers in sizes {
         for policy in ChunkPolicy::all() {
-            let seeds: Vec<u64> = (0..trials).map(|t| t as u64 * 4099 + receivers as u64).collect();
-            let results: Vec<(f64, bool)> = parallel_map(&seeds, threads, |&seed| {
-                run_trial(receivers, policy, seed)
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+            let seeds: Vec<u64> = (0..trials)
+                .map(|t| t as u64 * 4099 + receivers as u64)
+                .collect();
+            let results: Vec<(f64, bool)> =
+                parallel_map(&seeds, threads, |&seed| run_trial(receivers, policy, seed))
+                    .into_iter()
+                    .flatten()
+                    .collect();
             if results.is_empty() {
                 continue;
             }

@@ -97,9 +97,7 @@ mod tests {
 
     #[test]
     fn full_flag_overrides_quick() {
-        let options = RunOptions::parse(
-            ["--quick", "--full"].iter().map(ToString::to_string),
-        );
+        let options = RunOptions::parse(["--quick", "--full"].iter().map(ToString::to_string));
         assert!(!options.quick);
     }
 

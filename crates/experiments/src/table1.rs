@@ -47,11 +47,18 @@ impl Table1 {
             .collect();
         out.push_str(&format!("pi    | {}\n", prefix_row.join(" | ")));
         for (label, accessor) in [
-            ("O(pi)", &(|c: &TraceColumn| c.open_avail) as &dyn Fn(&TraceColumn) -> f64),
+            (
+                "O(pi)",
+                &(|c: &TraceColumn| c.open_avail) as &dyn Fn(&TraceColumn) -> f64,
+            ),
             ("G(pi)", &|c: &TraceColumn| c.guarded_avail),
             ("W(pi)", &|c: &TraceColumn| c.open_waste),
         ] {
-            let cells: Vec<String> = self.columns.iter().map(|c| format!("{}", accessor(c))).collect();
+            let cells: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| format!("{}", accessor(c)))
+                .collect();
             out.push_str(&format!("{label} | {}\n", cells.join(" | ")));
         }
         out

@@ -245,7 +245,11 @@ mod tests {
             .iter()
             .min_by(|a, b| a.ratio.partial_cmp(&b.ratio).unwrap())
             .unwrap();
-        assert!((min.ratio - five_sevenths()).abs() < 5e-3, "min = {}", min.ratio);
+        assert!(
+            (min.ratio - five_sevenths()).abs() < 5e-3,
+            "min = {}",
+            min.ratio
+        );
         assert!((min.epsilon - 1.0 / 14.0).abs() < 0.02);
         // Everywhere the ratio stays within [5/7, 1].
         for row in &rows {

@@ -3,11 +3,17 @@
 //! Dinic's algorithm runs in `O(V² E)` independently of the capacity values, which makes it
 //! safe for the real-valued capacities used throughout this workspace (no pseudo-polynomial
 //! behaviour). Capacities below the workspace tolerance are ignored.
+//!
+//! The implementation lives in the CSR kernel ([`crate::csr::FlowSolver`]); this module is
+//! the stable free-function entry point. Callers solving many flows on the same network
+//! should build a [`crate::csr::FlowArena`] once and reuse a solver instead.
 
-use crate::eps;
-use crate::graph::{FlowNetwork, FlowResult, Residual};
+use crate::csr::FlowSolver;
+use crate::graph::{FlowNetwork, FlowResult};
 
 /// Computes a maximum flow from `source` to `sink` with Dinic's algorithm.
+///
+/// Convenience wrapper building a one-shot CSR arena and solver workspace.
 ///
 /// # Panics
 ///
@@ -16,90 +22,9 @@ use crate::graph::{FlowNetwork, FlowResult, Residual};
 pub fn dinic_max_flow(network: &FlowNetwork, source: usize, sink: usize) -> FlowResult {
     assert!(source < network.num_nodes(), "source out of range");
     assert!(sink < network.num_nodes(), "sink out of range");
-    if source == sink {
-        return FlowResult {
-            value: 0.0,
-            edge_flows: vec![0.0; network.num_edges()],
-        };
-    }
-    let mut residual = network.residual();
-    let mut total = 0.0;
-    let mut level = vec![-1_i32; network.num_nodes()];
-    let mut iter = vec![0_usize; network.num_nodes()];
-    while bfs_levels(&residual, source, sink, &mut level) {
-        iter.iter_mut().for_each(|i| *i = 0);
-        loop {
-            let pushed = dfs_augment(
-                &mut residual,
-                source,
-                sink,
-                f64::INFINITY,
-                &level,
-                &mut iter,
-            );
-            if !eps::is_positive(pushed) {
-                break;
-            }
-            total += pushed;
-        }
-    }
-    FlowResult {
-        value: total,
-        edge_flows: residual.edge_flows(),
-    }
-}
-
-/// Breadth-first search building the level graph; returns whether the sink is reachable.
-fn bfs_levels(residual: &Residual, source: usize, sink: usize, level: &mut [i32]) -> bool {
-    level.iter_mut().for_each(|l| *l = -1);
-    level[source] = 0;
-    let mut queue = std::collections::VecDeque::new();
-    queue.push_back(source);
-    while let Some(node) = queue.pop_front() {
-        for &arc in &residual.adj[node] {
-            let to = residual.to[arc];
-            if level[to] < 0 && eps::is_positive(residual.cap[arc]) {
-                level[to] = level[node] + 1;
-                queue.push_back(to);
-            }
-        }
-    }
-    level[sink] >= 0
-}
-
-/// Depth-first search pushing flow along the level graph (iterative-pointer variant).
-fn dfs_augment(
-    residual: &mut Residual,
-    node: usize,
-    sink: usize,
-    limit: f64,
-    level: &[i32],
-    iter: &mut [usize],
-) -> f64 {
-    if node == sink {
-        return limit;
-    }
-    while iter[node] < residual.adj[node].len() {
-        let arc = residual.adj[node][iter[node]];
-        let to = residual.to[arc];
-        if level[to] == level[node] + 1 && eps::is_positive(residual.cap[arc]) {
-            let pushed = dfs_augment(
-                residual,
-                to,
-                sink,
-                limit.min(residual.cap[arc]),
-                level,
-                iter,
-            );
-            if eps::is_positive(pushed) {
-                residual.cap[arc] -= pushed;
-                residual.cap[arc ^ 1] += pushed;
-                return pushed;
-            }
-        }
-        iter[node] += 1;
-    }
-    0.0
+    let arena = network.arena();
+    FlowSolver::with_capacity(network.num_nodes(), network.num_edges())
+        .max_flow_result(&arena, source, sink)
 }
 
 #[cfg(test)]

@@ -1,12 +1,15 @@
 //! Edmonds–Karp maximum-flow algorithm (shortest augmenting paths).
 //!
 //! Used as an independent cross-check of [`crate::dinic`]: the two solvers are compared on
-//! random networks by property tests.
+//! random networks by property tests. The implementation lives in the CSR kernel
+//! ([`crate::csr::FlowSolver::edmonds_karp`]); this module is the free-function entry point.
 
-use crate::eps;
-use crate::graph::{FlowNetwork, FlowResult, Residual};
+use crate::csr::FlowSolver;
+use crate::graph::{FlowNetwork, FlowResult};
 
 /// Computes a maximum flow from `source` to `sink` with the Edmonds–Karp algorithm.
+///
+/// Convenience wrapper building a one-shot CSR arena and solver workspace.
 ///
 /// # Panics
 ///
@@ -15,62 +18,9 @@ use crate::graph::{FlowNetwork, FlowResult, Residual};
 pub fn edmonds_karp_max_flow(network: &FlowNetwork, source: usize, sink: usize) -> FlowResult {
     assert!(source < network.num_nodes(), "source out of range");
     assert!(sink < network.num_nodes(), "sink out of range");
-    if source == sink {
-        return FlowResult {
-            value: 0.0,
-            edge_flows: vec![0.0; network.num_edges()],
-        };
-    }
-    let mut residual = network.residual();
-    let mut total = 0.0;
-    let mut parent_arc = vec![usize::MAX; network.num_nodes()];
-    while let Some(bottleneck) = bfs_augment(&residual, source, sink, &mut parent_arc) {
-        total += bottleneck;
-        // Walk back from the sink applying the augmentation.
-        let mut node = sink;
-        while node != source {
-            let arc = parent_arc[node];
-            residual.cap[arc] -= bottleneck;
-            residual.cap[arc ^ 1] += bottleneck;
-            node = residual.to[arc ^ 1];
-        }
-    }
-    FlowResult {
-        value: total,
-        edge_flows: residual.edge_flows(),
-    }
-}
-
-/// Breadth-first search for a shortest augmenting path; returns its bottleneck capacity and
-/// fills `parent_arc` with the arc used to reach each node.
-fn bfs_augment(
-    residual: &Residual,
-    source: usize,
-    sink: usize,
-    parent_arc: &mut [usize],
-) -> Option<f64> {
-    parent_arc.iter_mut().for_each(|p| *p = usize::MAX);
-    let mut bottleneck = vec![0.0_f64; residual.adj.len()];
-    bottleneck[source] = f64::INFINITY;
-    let mut queue = std::collections::VecDeque::new();
-    queue.push_back(source);
-    while let Some(node) = queue.pop_front() {
-        for &arc in &residual.adj[node] {
-            let to = residual.to[arc];
-            if to != source
-                && parent_arc[to] == usize::MAX
-                && eps::is_positive(residual.cap[arc])
-            {
-                parent_arc[to] = arc;
-                bottleneck[to] = bottleneck[node].min(residual.cap[arc]);
-                if to == sink {
-                    return Some(bottleneck[sink]);
-                }
-                queue.push_back(to);
-            }
-        }
-    }
-    None
+    let arena = network.arena();
+    FlowSolver::with_capacity(network.num_nodes(), network.num_edges())
+        .edmonds_karp(&arena, source, sink)
 }
 
 #[cfg(test)]

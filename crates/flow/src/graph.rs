@@ -1,5 +1,6 @@
 //! Directed flow networks with real-valued capacities.
 
+use crate::csr::FlowArena;
 use crate::eps;
 
 /// Identifier of an edge inside a [`FlowNetwork`], as returned by [`FlowNetwork::add_edge`].
@@ -20,12 +21,17 @@ pub struct Edge {
 /// this crate.
 ///
 /// Parallel edges and self-loops are permitted (self-loops never carry flow). Capacities below
-/// the workspace tolerance are treated as zero by the solvers.
+/// the workspace tolerance are treated as zero by the solvers. The builder API is
+/// edge-list-shaped; solvers run on the flat CSR [`FlowArena`] obtained from
+/// [`FlowNetwork::arena`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowNetwork {
     num_nodes: usize,
     edges: Vec<Edge>,
     adjacency: Vec<Vec<EdgeId>>,
+    /// Total capacity entering each node, maintained by [`FlowNetwork::add_edge`] so that
+    /// [`FlowNetwork::in_capacity`] is `O(1)` instead of a scan over every edge.
+    in_caps: Vec<f64>,
 }
 
 impl FlowNetwork {
@@ -36,6 +42,7 @@ impl FlowNetwork {
             num_nodes,
             edges: Vec::new(),
             adjacency: vec![Vec::new(); num_nodes],
+            in_caps: vec![0.0; num_nodes],
         }
     }
 
@@ -46,6 +53,7 @@ impl FlowNetwork {
             num_nodes,
             edges: Vec::with_capacity(num_edges),
             adjacency: vec![Vec::new(); num_nodes],
+            in_caps: vec![0.0; num_nodes],
         }
     }
 
@@ -74,12 +82,9 @@ impl FlowNetwork {
             "capacity must be finite and non-negative, got {capacity}"
         );
         let id = self.edges.len();
-        self.edges.push(Edge {
-            from,
-            to,
-            capacity,
-        });
+        self.edges.push(Edge { from, to, capacity });
         self.adjacency[from].push(id);
+        self.in_caps[to] += capacity;
         id
     }
 
@@ -114,20 +119,16 @@ impl FlowNetwork {
             .sum()
     }
 
-    /// Total capacity entering `node`.
+    /// Total capacity entering `node` (`O(1)`: maintained incrementally).
     #[must_use]
     pub fn in_capacity(&self, node: usize) -> f64 {
-        self.edges
-            .iter()
-            .filter(|e| e.to == node)
-            .map(|e| e.capacity)
-            .sum()
+        self.in_caps[node]
     }
 
-    /// Builds the residual representation used by the augmenting-path solvers.
+    /// Builds the flat CSR arena the solvers operate on.
     #[must_use]
-    pub(crate) fn residual(&self) -> Residual {
-        Residual::from_network(self)
+    pub fn arena(&self) -> FlowArena {
+        FlowArena::from_network(self)
     }
 }
 
@@ -173,54 +174,6 @@ impl FlowResult {
     }
 }
 
-/// Internal residual-graph representation shared by Dinic and Edmonds–Karp.
-#[derive(Debug, Clone)]
-pub(crate) struct Residual {
-    /// `to` node of each residual arc.
-    pub to: Vec<usize>,
-    /// Remaining capacity of each residual arc.
-    pub cap: Vec<f64>,
-    /// Adjacency lists of residual arc indices.
-    pub adj: Vec<Vec<usize>>,
-    /// For residual arc `2k` (forward of input edge `k`), the original capacity.
-    pub original_cap: Vec<f64>,
-}
-
-impl Residual {
-    pub(crate) fn from_network(network: &FlowNetwork) -> Self {
-        let num_nodes = network.num_nodes();
-        let num_edges = network.num_edges();
-        let mut residual = Residual {
-            to: Vec::with_capacity(2 * num_edges),
-            cap: Vec::with_capacity(2 * num_edges),
-            adj: vec![Vec::new(); num_nodes],
-            original_cap: Vec::with_capacity(num_edges),
-        };
-        for edge in network.edges() {
-            let fwd = residual.to.len();
-            residual.to.push(edge.to);
-            residual.cap.push(edge.capacity);
-            residual.adj[edge.from].push(fwd);
-            let bwd = residual.to.len();
-            residual.to.push(edge.from);
-            residual.cap.push(0.0);
-            residual.adj[edge.to].push(bwd);
-            residual.original_cap.push(edge.capacity);
-        }
-        residual
-    }
-
-    /// Extracts per-input-edge flows: flow on edge `k` = original capacity − residual capacity
-    /// of arc `2k`.
-    pub(crate) fn edge_flows(&self) -> Vec<f64> {
-        self.original_cap
-            .iter()
-            .enumerate()
-            .map(|(k, &cap)| eps::clamp_nonnegative(cap - self.cap[2 * k]).max(0.0))
-            .collect()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +195,21 @@ mod tests {
     }
 
     #[test]
+    fn in_capacity_tracks_every_insertion() {
+        let mut net = FlowNetwork::new(3);
+        assert_eq!(net.in_capacity(1), 0.0);
+        net.add_edge(0, 1, 1.25);
+        net.add_edge(2, 1, 0.75);
+        net.add_edge(1, 2, 4.0);
+        assert!((net.in_capacity(1) - 2.0).abs() < 1e-12);
+        assert!((net.in_capacity(2) - 4.0).abs() < 1e-12);
+        assert_eq!(net.in_capacity(0), 0.0);
+        // Parallel edges accumulate.
+        net.add_edge(0, 1, 0.5);
+        assert!((net.in_capacity(1) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn add_edge_rejects_bad_endpoint() {
         let mut net = FlowNetwork::new(2);
@@ -256,15 +224,14 @@ mod tests {
     }
 
     #[test]
-    fn residual_construction() {
+    fn arena_conversion_preserves_dimensions() {
         let mut net = FlowNetwork::new(3);
         net.add_edge(0, 1, 2.0);
         net.add_edge(1, 2, 1.5);
-        let res = net.residual();
-        assert_eq!(res.to.len(), 4);
-        assert_eq!(res.cap, vec![2.0, 0.0, 1.5, 0.0]);
-        assert_eq!(res.adj[1], vec![1, 2]);
-        assert_eq!(res.edge_flows(), vec![0.0, 0.0]);
+        let arena = net.arena();
+        assert_eq!(arena.num_nodes(), 3);
+        assert_eq!(arena.num_edges(), 2);
+        assert!((arena.in_capacity(2) - net.in_capacity(2)).abs() < 1e-12);
     }
 
     #[test]

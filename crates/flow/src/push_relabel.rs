@@ -3,12 +3,15 @@
 //! Third independent solver, used by the property tests to cross-check Dinic and
 //! Edmonds–Karp. The implementation is the textbook FIFO variant with `O(V³)` complexity,
 //! which does not depend on the capacity values and is therefore safe for `f64` capacities.
+//! The implementation lives in the CSR kernel ([`crate::csr::FlowSolver::push_relabel`]);
+//! this module is the free-function entry point.
 
-use crate::eps;
+use crate::csr::FlowSolver;
 use crate::graph::{FlowNetwork, FlowResult};
-use std::collections::VecDeque;
 
 /// Computes a maximum flow from `source` to `sink` with the FIFO push-relabel algorithm.
+///
+/// Convenience wrapper building a one-shot CSR arena and solver workspace.
 ///
 /// # Panics
 ///
@@ -17,107 +20,9 @@ use std::collections::VecDeque;
 pub fn push_relabel_max_flow(network: &FlowNetwork, source: usize, sink: usize) -> FlowResult {
     assert!(source < network.num_nodes(), "source out of range");
     assert!(sink < network.num_nodes(), "sink out of range");
-    let num_edges = network.num_edges();
-    if source == sink {
-        return FlowResult {
-            value: 0.0,
-            edge_flows: vec![0.0; num_edges],
-        };
-    }
-    let n = network.num_nodes();
-    let mut residual = network.residual();
-    let mut height = vec![0_usize; n];
-    let mut excess = vec![0.0_f64; n];
-    let mut in_queue = vec![false; n];
-    let mut queue = VecDeque::new();
-    height[source] = n;
-
-    // Saturate every arc leaving the source.
-    let source_arcs: Vec<usize> = residual.adj[source].clone();
-    for arc in source_arcs {
-        let capacity = residual.cap[arc];
-        if !eps::is_positive(capacity) {
-            continue;
-        }
-        let to = residual.to[arc];
-        residual.cap[arc] = 0.0;
-        residual.cap[arc ^ 1] += capacity;
-        excess[to] += capacity;
-        excess[source] -= capacity;
-        if to != sink && to != source && !in_queue[to] {
-            in_queue[to] = true;
-            queue.push_back(to);
-        }
-    }
-
-    while let Some(node) = queue.pop_front() {
-        in_queue[node] = false;
-        discharge(
-            &mut residual,
-            node,
-            source,
-            sink,
-            &mut height,
-            &mut excess,
-            &mut queue,
-            &mut in_queue,
-        );
-    }
-
-    FlowResult {
-        value: excess[sink].max(0.0),
-        edge_flows: residual.edge_flows(),
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn discharge(
-    residual: &mut crate::graph::Residual,
-    node: usize,
-    source: usize,
-    sink: usize,
-    height: &mut [usize],
-    excess: &mut [f64],
-    queue: &mut VecDeque<usize>,
-    in_queue: &mut [bool],
-) {
-    let n = height.len();
-    while eps::is_positive(excess[node]) {
-        let mut pushed_any = false;
-        let arcs: Vec<usize> = residual.adj[node].clone();
-        for arc in arcs {
-            if !eps::is_positive(excess[node]) {
-                break;
-            }
-            let to = residual.to[arc];
-            if eps::is_positive(residual.cap[arc]) && height[node] == height[to] + 1 {
-                let delta = excess[node].min(residual.cap[arc]);
-                residual.cap[arc] -= delta;
-                residual.cap[arc ^ 1] += delta;
-                excess[node] -= delta;
-                excess[to] += delta;
-                pushed_any = true;
-                if to != source && to != sink && !in_queue[to] {
-                    in_queue[to] = true;
-                    queue.push_back(to);
-                }
-            }
-        }
-        if eps::is_positive(excess[node]) && !pushed_any {
-            // Relabel: raise the node just above its lowest admissible neighbour.
-            let mut min_height = usize::MAX;
-            for &arc in &residual.adj[node] {
-                if eps::is_positive(residual.cap[arc]) {
-                    min_height = min_height.min(height[residual.to[arc]]);
-                }
-            }
-            if min_height == usize::MAX || min_height + 1 > 2 * n {
-                // No admissible arc at all: the remaining excess cannot reach the sink.
-                break;
-            }
-            height[node] = min_height + 1;
-        }
-    }
+    let arena = network.arena();
+    FlowSolver::with_capacity(network.num_nodes(), network.num_edges())
+        .push_relabel(&arena, source, sink)
 }
 
 #[cfg(test)]

@@ -35,8 +35,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
-        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert_eq!(
+            LpError::Unbounded.to_string(),
+            "linear program is unbounded"
+        );
         assert!(LpError::Malformed("bad arity".into())
             .to_string()
             .contains("bad arity"));

@@ -152,8 +152,8 @@ impl Tableau {
     #[must_use]
     pub fn choose_entering(&self, allowed: &[bool], bland: bool) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
-        for col in 0..self.cols {
-            if !allowed[col] {
+        for (col, &is_allowed) in allowed.iter().enumerate().take(self.cols) {
+            if !is_allowed {
                 continue;
             }
             let rc = self.reduced_cost(col);
@@ -161,7 +161,7 @@ impl Tableau {
                 if bland {
                     return Some(col);
                 }
-                if best.map_or(true, |(_, value)| rc > value) {
+                if best.is_none_or(|(_, value)| rc > value) {
                     best = Some((col, rc));
                 }
             }

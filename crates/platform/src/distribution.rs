@@ -326,13 +326,16 @@ impl PlanetLabLike {
         if quantiles.len() < 2 {
             return Err(invalid("need at least two rows".to_string()));
         }
-        if (quantiles[0].0 - 0.0).abs() > 1e-12 || (quantiles[quantiles.len() - 1].0 - 1.0).abs() > 1e-12
+        if (quantiles[0].0 - 0.0).abs() > 1e-12
+            || (quantiles[quantiles.len() - 1].0 - 1.0).abs() > 1e-12
         {
             return Err(invalid("table must span probabilities 0 to 1".to_string()));
         }
         for w in quantiles.windows(2) {
             if w[1].0 <= w[0].0 {
-                return Err(invalid("probabilities must be strictly increasing".to_string()));
+                return Err(invalid(
+                    "probabilities must be strictly increasing".to_string(),
+                ));
             }
             if w[1].1 < w[0].1 {
                 return Err(invalid("values must be non-decreasing".to_string()));
@@ -633,7 +636,11 @@ mod tests {
             let dist = named.build();
             let mut r = rng();
             let x = dist.sample(&mut r);
-            assert!(x > 0.0, "{} produced non-positive sample {x}", named.label());
+            assert!(
+                x > 0.0,
+                "{} produced non-positive sample {x}",
+                named.label()
+            );
         }
         assert_eq!(NamedDistribution::Unif100.label(), "Unif100");
         assert_eq!(NamedDistribution::PLab.label(), "PLab");

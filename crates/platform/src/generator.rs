@@ -142,9 +142,7 @@ pub fn pinned_source_bandwidth(open: &[f64], guarded: &[f64]) -> Option<f64> {
     if n + m >= 2 {
         candidates.push((o + g) / ((n + m) as f64 - 1.0));
     }
-    let b0 = candidates
-        .into_iter()
-        .fold(f64::INFINITY, f64::min);
+    let b0 = candidates.into_iter().fold(f64::INFINITY, f64::min);
     if !b0.is_finite() || b0 <= f64::EPSILON {
         None
     } else {
@@ -279,11 +277,7 @@ mod tests {
         for _ in 0..50 {
             let inst = gen.generate(&mut r);
             let (n, m) = (inst.n(), inst.m());
-            let expected = pinned_source_bandwidth(
-                &vec![1.0; n],
-                &vec![1.0; m],
-            )
-            .unwrap_or(1.0);
+            let expected = pinned_source_bandwidth(&vec![1.0; n], &vec![1.0; m]).unwrap_or(1.0);
             assert!((inst.source_bandwidth() - expected).abs() < 1e-12);
         }
     }

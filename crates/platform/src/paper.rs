@@ -38,11 +38,7 @@ pub fn figure6(m: usize) -> Result<Instance, PlatformError> {
             reason: format!("the Figure 6 family needs m >= 2, got {m}"),
         });
     }
-    Instance::new(
-        1.0,
-        vec![(m as f64) - 1.0],
-        vec![1.0 / (m as f64); m],
-    )
+    Instance::new(1.0, vec![(m as f64) - 1.0], vec![1.0 / (m as f64); m])
 }
 
 /// The 3-PARTITION reduction gadget of Figure 8 (Theorem 3.1).
@@ -59,7 +55,7 @@ pub fn figure6(m: usize) -> Result<Instance, PlatformError> {
 ///
 /// Returns an error if the `a_i` do not satisfy the 3-PARTITION preconditions.
 pub fn figure8_gadget(items: &[u64], target: u64) -> Result<(Instance, f64), PlatformError> {
-    if items.len() % 3 != 0 || items.is_empty() {
+    if !items.len().is_multiple_of(3) || items.is_empty() {
         return Err(PlatformError::InvalidParameter {
             name: "items",
             reason: format!("need a positive multiple of 3 items, got {}", items.len()),
@@ -73,10 +69,7 @@ pub fn figure8_gadget(items: &[u64], target: u64) -> Result<(Instance, f64), Pla
             reason: format!("items must sum to p*T = {}, got {sum}", (p as u64) * target),
         });
     }
-    if items
-        .iter()
-        .any(|&a| 4 * a <= target || 2 * a >= target)
-    {
+    if items.iter().any(|&a| 4 * a <= target || 2 * a >= target) {
         return Err(PlatformError::InvalidParameter {
             name: "items",
             reason: "every item must satisfy T/4 < a < T/2".to_string(),
@@ -85,7 +78,7 @@ pub fn figure8_gadget(items: &[u64], target: u64) -> Result<(Instance, f64), Pla
     let t = target as f64;
     let source = 3.0 * (p as f64) * t;
     let mut open: Vec<f64> = items.iter().map(|&a| a as f64).collect();
-    open.extend(std::iter::repeat(0.0).take(p));
+    open.extend(std::iter::repeat_n(0.0, p));
     let instance = Instance::new(source, open, Vec::new())?;
     Ok((instance, t))
 }
@@ -278,7 +271,10 @@ mod tests {
         assert_eq!(inst.n(), 40);
         assert_eq!(inst.m(), 17);
         let alpha = f64::from(p) / f64::from(q);
-        assert!(inst.open_bandwidths().iter().all(|&b| (b - alpha).abs() < 1e-12));
+        assert!(inst
+            .open_bandwidths()
+            .iter()
+            .all(|&b| (b - alpha).abs() < 1e-12));
         assert!(inst
             .guarded_bandwidths()
             .iter()

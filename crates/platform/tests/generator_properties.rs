@@ -2,8 +2,7 @@
 //! source-bandwidth pinning rule of the average-case study.
 
 use bmp_platform::distribution::{
-    BandwidthDistribution, LogNormalBandwidth, NamedDistribution, ParetoBandwidth,
-    UniformBandwidth,
+    BandwidthDistribution, LogNormalBandwidth, NamedDistribution, ParetoBandwidth, UniformBandwidth,
 };
 use bmp_platform::generator::{pinned_source_bandwidth, GeneratorConfig, InstanceGenerator};
 use bmp_platform::{Instance, NodeClass};
@@ -99,6 +98,9 @@ proptest! {
 fn named_distributions_cover_the_paper_labels() {
     let labels: Vec<&str> = NamedDistribution::all().iter().map(|d| d.label()).collect();
     for expected in ["Unif100", "Power1", "Power2", "LN1", "LN2", "PLab"] {
-        assert!(labels.contains(&expected), "missing distribution {expected}");
+        assert!(
+            labels.contains(&expected),
+            "missing distribution {expected}"
+        );
     }
 }

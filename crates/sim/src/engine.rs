@@ -103,8 +103,14 @@ impl Simulator {
     pub fn new(overlay: Overlay, config: SimConfig) -> Self {
         assert!(config.num_chunks > 0, "need at least one chunk");
         assert!(config.chunk_size > 0.0, "chunk size must be positive");
-        assert!(config.round_duration > 0.0, "round duration must be positive");
-        assert!((0.0..1.0).contains(&config.jitter), "jitter must lie in [0, 1)");
+        assert!(
+            config.round_duration > 0.0,
+            "round duration must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.jitter),
+            "jitter must lie in [0, 1)"
+        );
         Simulator {
             overlay,
             config,
@@ -246,12 +252,10 @@ impl Simulator {
                 };
                 credit[edge_index] += edge.rate * cfg.round_duration * jitter_factor;
                 while credit[edge_index] + 1e-12 >= cfg.chunk_size {
-                    let Some(chunk) = cfg.policy.pick(
-                        &has[edge.from],
-                        &has[edge.to],
-                        &replication,
-                        &mut rng,
-                    ) else {
+                    let Some(chunk) =
+                        cfg.policy
+                            .pick(&has[edge.from], &has[edge.to], &replication, &mut rng)
+                    else {
                         // No useful chunk: the capacity of this round is lost (it cannot be
                         // banked beyond one chunk worth of credit).
                         credit[edge_index] = credit[edge_index].min(cfg.chunk_size);
@@ -268,8 +272,10 @@ impl Simulator {
             }
 
             if let (Some(trace), Some(every)) = (trace.as_mut(), sample_every) {
-                if rounds_run % every == 0 {
-                    trace.samples.push(sample(round, time_end, &count, &completion, num_chunks));
+                if rounds_run.is_multiple_of(every) {
+                    trace
+                        .samples
+                        .push(sample(round, time_end, &count, &completion, num_chunks));
                 }
             }
 
@@ -291,9 +297,13 @@ impl Simulator {
                 .last()
                 .is_none_or(|s| s.round + 1 != rounds_run)
             {
-                trace
-                    .samples
-                    .push(sample(rounds_run.saturating_sub(1), final_time, &count, &completion, num_chunks));
+                trace.samples.push(sample(
+                    rounds_run.saturating_sub(1),
+                    final_time,
+                    &count,
+                    &completion,
+                    num_chunks,
+                ));
             }
         }
 
@@ -600,8 +610,16 @@ mod tests {
             ..SimConfig::default()
         };
         let churn = ChurnSchedule::new(vec![
-            ChurnEvent { time: 5.0, node: 1, action: ChurnAction::Depart },
-            ChurnEvent { time: 15.0, node: 1, action: ChurnAction::Rejoin },
+            ChurnEvent {
+                time: 5.0,
+                node: 1,
+                action: ChurnAction::Depart,
+            },
+            ChurnEvent {
+                time: 15.0,
+                node: 1,
+                action: ChurnAction::Rejoin,
+            },
         ]);
         let report = Simulator::new(line_overlay(), config)
             .with_churn(churn)
@@ -624,10 +642,15 @@ mod tests {
         };
         // Node 5 is the weakest guarded node; it departs almost immediately.
         let churn = ChurnSchedule::departures_at(0.5, &[5]);
-        let report = Simulator::new(overlay, config).with_churn(churn.clone()).run();
+        let report = Simulator::new(overlay, config)
+            .with_churn(churn.clone())
+            .run();
         // The survivors still finish.
         for &node in &churn.surviving_receivers(6) {
-            assert!(report.completion_time[node].is_some(), "node {node} did not finish");
+            assert!(
+                report.completion_time[node].is_some(),
+                "node {node} did not finish"
+            );
         }
     }
 

@@ -135,8 +135,16 @@ mod tests {
     #[test]
     fn events_are_sorted_by_time() {
         let schedule = ChurnSchedule::new(vec![
-            ChurnEvent { time: 5.0, node: 2, action: ChurnAction::Depart },
-            ChurnEvent { time: 1.0, node: 1, action: ChurnAction::Depart },
+            ChurnEvent {
+                time: 5.0,
+                node: 2,
+                action: ChurnAction::Depart,
+            },
+            ChurnEvent {
+                time: 1.0,
+                node: 1,
+                action: ChurnAction::Depart,
+            },
         ]);
         assert_eq!(schedule.events()[0].node, 1);
         assert_eq!(schedule.events()[1].node, 2);
@@ -145,14 +153,35 @@ mod tests {
     #[test]
     fn departures_and_rejoins_compose_over_time() {
         let schedule = ChurnSchedule::new(vec![
-            ChurnEvent { time: 1.0, node: 1, action: ChurnAction::Depart },
-            ChurnEvent { time: 3.0, node: 1, action: ChurnAction::Rejoin },
-            ChurnEvent { time: 2.0, node: 2, action: ChurnAction::Depart },
+            ChurnEvent {
+                time: 1.0,
+                node: 1,
+                action: ChurnAction::Depart,
+            },
+            ChurnEvent {
+                time: 3.0,
+                node: 1,
+                action: ChurnAction::Rejoin,
+            },
+            ChurnEvent {
+                time: 2.0,
+                node: 2,
+                action: ChurnAction::Depart,
+            },
         ]);
-        assert_eq!(schedule.departed_at(0.5, 4), vec![false, false, false, false]);
-        assert_eq!(schedule.departed_at(1.5, 4), vec![false, true, false, false]);
+        assert_eq!(
+            schedule.departed_at(0.5, 4),
+            vec![false, false, false, false]
+        );
+        assert_eq!(
+            schedule.departed_at(1.5, 4),
+            vec![false, true, false, false]
+        );
         assert_eq!(schedule.departed_at(2.5, 4), vec![false, true, true, false]);
-        assert_eq!(schedule.departed_at(3.5, 4), vec![false, false, true, false]);
+        assert_eq!(
+            schedule.departed_at(3.5, 4),
+            vec![false, false, true, false]
+        );
         assert_eq!(schedule.final_departed(4), vec![false, false, true, false]);
         assert_eq!(schedule.surviving_receivers(4), vec![1, 3]);
     }
@@ -161,7 +190,10 @@ mod tests {
     fn departures_at_helper() {
         let schedule = ChurnSchedule::departures_at(2.0, &[3, 1]);
         assert_eq!(schedule.events().len(), 2);
-        assert_eq!(schedule.final_departed(5), vec![false, true, false, true, false]);
+        assert_eq!(
+            schedule.final_departed(5),
+            vec![false, true, false, true, false]
+        );
         assert_eq!(schedule.surviving_receivers(5), vec![2, 4]);
     }
 

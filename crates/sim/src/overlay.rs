@@ -33,7 +33,10 @@ impl Overlay {
         let mut edges = Vec::with_capacity(edge_list.len());
         let mut outgoing = vec![Vec::new(); num_nodes];
         for (from, to, rate) in edge_list {
-            assert!(from < num_nodes && to < num_nodes, "edge endpoint out of range");
+            assert!(
+                from < num_nodes && to < num_nodes,
+                "edge endpoint out of range"
+            );
             assert_ne!(from, to, "self-loops are not allowed");
             assert!(rate > 0.0 && rate.is_finite(), "edge rate must be positive");
             outgoing[from].push(edges.len());

@@ -70,12 +70,8 @@ impl ChunkPolicy {
                     .map(|offset| (start + offset) % num_chunks)
                     .find(|&c| sender[c] && !receiver[c])
             }
-            ChunkPolicy::Sequential => {
-                (0..num_chunks).find(|&c| sender[c] && !receiver[c])
-            }
-            ChunkPolicy::LatestUseful => {
-                (0..num_chunks).rev().find(|&c| sender[c] && !receiver[c])
-            }
+            ChunkPolicy::Sequential => (0..num_chunks).find(|&c| sender[c] && !receiver[c]),
+            ChunkPolicy::LatestUseful => (0..num_chunks).rev().find(|&c| sender[c] && !receiver[c]),
             ChunkPolicy::RarestFirst => (0..num_chunks)
                 .filter(|&c| sender[c] && !receiver[c])
                 .min_by_key(|&c| (replication[c], c)),
@@ -98,7 +94,10 @@ mod tests {
         let receiver = vec![true, true, true];
         let replication = vec![1; 3];
         for policy in ChunkPolicy::all() {
-            assert_eq!(policy.pick(&sender, &receiver, &replication, &mut rng()), None);
+            assert_eq!(
+                policy.pick(&sender, &receiver, &replication, &mut rng()),
+                None
+            );
         }
     }
 
@@ -108,7 +107,10 @@ mod tests {
         let receiver = vec![false; 4];
         let replication = vec![0; 4];
         for policy in ChunkPolicy::all() {
-            assert_eq!(policy.pick(&sender, &receiver, &replication, &mut rng()), None);
+            assert_eq!(
+                policy.pick(&sender, &receiver, &replication, &mut rng()),
+                None
+            );
         }
     }
 

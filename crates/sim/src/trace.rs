@@ -106,9 +106,27 @@ mod tests {
             num_chunks: 100,
             num_receivers: 3,
             samples: vec![
-                TraceSample { round: 10, time: 2.5, min_chunks: 10, mean_chunks: 20.0, completed_receivers: 0 },
-                TraceSample { round: 20, time: 5.0, min_chunks: 50, mean_chunks: 60.0, completed_receivers: 1 },
-                TraceSample { round: 30, time: 7.5, min_chunks: 100, mean_chunks: 100.0, completed_receivers: 3 },
+                TraceSample {
+                    round: 10,
+                    time: 2.5,
+                    min_chunks: 10,
+                    mean_chunks: 20.0,
+                    completed_receivers: 0,
+                },
+                TraceSample {
+                    round: 20,
+                    time: 5.0,
+                    min_chunks: 50,
+                    mean_chunks: 60.0,
+                    completed_receivers: 1,
+                },
+                TraceSample {
+                    round: 30,
+                    time: 7.5,
+                    min_chunks: 100,
+                    mean_chunks: 100.0,
+                    completed_receivers: 3,
+                },
             ],
         }
     }

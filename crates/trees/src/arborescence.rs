@@ -145,11 +145,7 @@ impl Arborescence {
     /// Largest depth over all receivers.
     #[must_use]
     pub fn max_depth(&self) -> usize {
-        self.depths()
-            .into_iter()
-            .flatten()
-            .max()
-            .unwrap_or(0)
+        self.depths().into_iter().flatten().max().unwrap_or(0)
     }
 
     /// Outdegree of `node` within this tree (number of children).
@@ -200,7 +196,9 @@ mod tests {
     use bmp_platform::paper::figure1;
 
     fn chain(n: usize, weight: f64) -> Arborescence {
-        let parent = (0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect();
+        let parent = (0..n)
+            .map(|v| if v == 0 { None } else { Some(v - 1) })
+            .collect();
         Arborescence::new(parent, weight).unwrap()
     }
 
@@ -215,10 +213,7 @@ mod tests {
         assert_eq!(tree.max_depth(), 3);
         assert_eq!(tree.outdegree(0), 1);
         assert_eq!(tree.outdegree(3), 0);
-        assert_eq!(
-            tree.depths(),
-            vec![Some(0), Some(1), Some(2), Some(3)]
-        );
+        assert_eq!(tree.depths(), vec![Some(0), Some(1), Some(2), Some(3)]);
     }
 
     #[test]
@@ -279,11 +274,10 @@ mod tests {
         // Build a tree that only uses edges of the scheme: parent = the strongest feeder.
         let n = scheme.instance().num_nodes();
         let mut parent = vec![None; n];
-        for v in 1..n {
-            let best = (0..n)
+        for (v, slot) in parent.iter_mut().enumerate().skip(1) {
+            *slot = (0..n)
                 .filter(|&u| u != v && scheme.rate(u, v) > RATE_EPS)
                 .max_by(|&a, &b| scheme.rate(a, v).partial_cmp(&scheme.rate(b, v)).unwrap());
-            parent[v] = best;
         }
         let tree = Arborescence::new(parent, 0.5).unwrap();
         tree.check_against_scheme(scheme).unwrap();
@@ -294,16 +288,16 @@ mod tests {
         let solution = AcyclicGuardedSolver::default().solve(&figure1());
         // A star from the source is not supported: the source does not feed everyone directly.
         let n = solution.scheme.instance().num_nodes();
-        let parent: Vec<Option<NodeId>> =
-            (0..n).map(|v| if v == 0 { None } else { Some(0) }).collect();
+        let parent: Vec<Option<NodeId>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(0) })
+            .collect();
         let tree = Arborescence::new(parent, 0.5).unwrap();
         assert!(tree.check_against_scheme(&solution.scheme).is_err());
     }
 
     #[test]
     fn check_against_scheme_rejects_firewalled_edge() {
-        let mut scheme =
-            bmp_core::scheme::BroadcastScheme::new(figure1());
+        let mut scheme = bmp_core::scheme::BroadcastScheme::new(figure1());
         // Deliberately add a guarded -> guarded edge to the raw matrix.
         scheme.set_rate(0, 1, 5.0);
         scheme.set_rate(1, 2, 5.0);

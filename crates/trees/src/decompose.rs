@@ -101,7 +101,11 @@ impl TreeDecomposition {
     /// hops).
     #[must_use]
     pub fn max_depth(&self) -> usize {
-        self.trees.iter().map(Arborescence::max_depth).max().unwrap_or(0)
+        self.trees
+            .iter()
+            .map(Arborescence::max_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest, over all nodes, of the number of *distinct children* the node has across all
@@ -278,11 +282,18 @@ mod tests {
         let decomposition = decompose_acyclic(&solution.scheme, solution.throughput).unwrap();
         decomposition.verify(&solution.scheme).unwrap();
         assert!(decomposition.num_trees() >= 1);
-        assert!(eps::approx_eq(decomposition.throughput(), solution.throughput));
+        assert!(eps::approx_eq(
+            decomposition.throughput(),
+            solution.throughput
+        ));
         // Tree count bound: at most E - R + 1.
         let e = solution.scheme.edges().len();
         let r = solution.scheme.instance().num_receivers();
-        assert!(decomposition.num_trees() <= e - r + 1, "{} trees", decomposition.num_trees());
+        assert!(
+            decomposition.num_trees() <= e - r + 1,
+            "{} trees",
+            decomposition.num_trees()
+        );
     }
 
     #[test]
@@ -380,7 +391,10 @@ mod tests {
             assert_eq!(a.edges(), b.edges());
             assert!(eps::approx_eq(a.weight(), b.weight()));
         }
-        assert!(eps::approx_eq(back.throughput(), decomposition.throughput()));
+        assert!(eps::approx_eq(
+            back.throughput(),
+            decomposition.throughput()
+        ));
     }
 
     #[test]

@@ -65,10 +65,7 @@ pub fn greedy_packing(scheme: &BroadcastScheme) -> Result<GreedyPacking, TreesEr
 
     let mut trees: Vec<Arborescence> = Vec::new();
     let mut total = 0.0_f64;
-    loop {
-        let Some(parent) = bfs_arborescence(&residual, n) else {
-            break;
-        };
+    while let Some(parent) = bfs_arborescence(&residual, n) {
         // Bottleneck of this tree in the residual capacities.
         let bottleneck = parent
             .iter()

@@ -112,10 +112,12 @@ pub fn makespan_estimate(
     message_size: f64,
     chunk_size: f64,
 ) -> Result<f64, TreesError> {
-    Ok(completion_estimate(decomposition, message_size, chunk_size)?
-        .into_iter()
-        .skip(1)
-        .fold(0.0, f64::max))
+    Ok(
+        completion_estimate(decomposition, message_size, chunk_size)?
+            .into_iter()
+            .skip(1)
+            .fold(0.0, f64::max),
+    )
 }
 
 #[cfg(test)]

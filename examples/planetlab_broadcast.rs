@@ -34,8 +34,8 @@ fn main() {
             acyclic_ratios.push(solution.throughput / cyclic);
             let (omega, _) = best_omega_throughput(&instance, 1e-8);
             omega_ratios.push(omega / cyclic);
-            max_degree = max_degree
-                .max(solution.scheme.outdegrees().into_iter().max().unwrap_or(0));
+            max_degree =
+                max_degree.max(solution.scheme.outdegrees().into_iter().max().unwrap_or(0));
         }
         println!(
             "{:<9} {:<16.4} {:<19.4} {}",

@@ -3,17 +3,24 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use bmp::prelude::*;
 use bmp::core::bounds::cyclic_upper_bound;
+use bmp::prelude::*;
 
 fn main() {
     // A source with 6 Mbit/s of upload, two open nodes (5 Mbit/s each) and three guarded
     // nodes behind NATs (4, 1 and 1 Mbit/s) — this is the running example of the paper.
-    let instance = Instance::new(6.0, vec![5.0, 5.0], vec![4.0, 1.0, 1.0])
-        .expect("valid bandwidths");
+    let instance =
+        Instance::new(6.0, vec![5.0, 5.0], vec![4.0, 1.0, 1.0]).expect("valid bandwidths");
 
-    println!("platform: n = {} open, m = {} guarded", instance.n(), instance.m());
-    println!("cyclic optimum (Lemma 5.1): {:.3}", cyclic_upper_bound(&instance));
+    println!(
+        "platform: n = {} open, m = {} guarded",
+        instance.n(),
+        instance.m()
+    );
+    println!(
+        "cyclic optimum (Lemma 5.1): {:.3}",
+        cyclic_upper_bound(&instance)
+    );
 
     // Solve the acyclic problem: dichotomic search over the linear-time feasibility test.
     let solver = AcyclicGuardedSolver::default();

@@ -24,8 +24,8 @@ fn main() {
     );
 
     // Exact decomposition into spanning broadcast trees.
-    let decomposition =
-        decompose_acyclic(&solution.scheme, solution.throughput).expect("acyclic schemes decompose");
+    let decomposition = decompose_acyclic(&solution.scheme, solution.throughput)
+        .expect("acyclic schemes decompose");
     decomposition
         .verify(&solution.scheme)
         .expect("the decomposition respects every edge capacity");

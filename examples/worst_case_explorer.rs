@@ -18,7 +18,11 @@ fn main() {
         let instance = figure18(epsilon).expect("epsilon in range");
         let (acyclic, _) = solver.optimal_throughput(&instance);
         let ratio = acyclic / cyclic_upper_bound(&instance);
-        let marker = if (epsilon - 1.0 / 14.0).abs() < 0.004 { "  <= eps = 1/14" } else { "" };
+        let marker = if (epsilon - 1.0 / 14.0).abs() < 0.004 {
+            "  <= eps = 1/14"
+        } else {
+            ""
+        };
         println!("{epsilon:<9.4} {acyclic:<9.4} {ratio:.4}{marker}");
     }
     println!("tight bound 5/7 = {:.4}", five_sevenths());
@@ -27,8 +31,11 @@ fn main() {
     println!("== Theorem 6.3: the I(alpha, k) family ==");
     let (p, q) = theorem63_rational_alpha();
     let alpha = f64::from(p) / f64::from(q);
-    println!("alpha = {p}/{q} = {alpha:.4}, analytic acyclic bound = {:.4}, limit = {:.4}",
-        theorem63_acyclic_upper_bound(alpha), theorem63_limit_ratio());
+    println!(
+        "alpha = {p}/{q} = {alpha:.4}, analytic acyclic bound = {:.4}, limit = {:.4}",
+        theorem63_acyclic_upper_bound(alpha),
+        theorem63_limit_ratio()
+    );
     println!(" k    n      m      T*_ac   (cyclic optimum is 1)");
     for k in 1..=4 {
         let instance = theorem63_instance(p, q, k).expect("valid parameters");
@@ -43,5 +50,8 @@ fn main() {
     }
     println!();
     println!("Even for arbitrarily large platforms of this shape, acyclic solutions cannot");
-    println!("get closer to the cyclic optimum than (1+sqrt(41))/8 = {:.4}.", theorem63_limit_ratio());
+    println!(
+        "get closer to the cyclic optimum than (1+sqrt(41))/8 = {:.4}.",
+        theorem63_limit_ratio()
+    );
 }

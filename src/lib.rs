@@ -23,9 +23,8 @@ pub use bmp_trees as trees;
 /// Convenience prelude bringing the most commonly used items into scope.
 pub mod prelude {
     pub use bmp_core::{
-        acyclic_guarded::AcyclicGuardedSolver, acyclic_open::acyclic_open_scheme,
-        bounds::Bounds, cyclic_open::cyclic_open_scheme, scheme::BroadcastScheme,
-        word::CodingWord,
+        acyclic_guarded::AcyclicGuardedSolver, acyclic_open::acyclic_open_scheme, bounds::Bounds,
+        cyclic_open::cyclic_open_scheme, scheme::BroadcastScheme, word::CodingWord,
     };
     pub use bmp_platform::{
         distribution::BandwidthDistribution, generator::InstanceGenerator, instance::Instance,

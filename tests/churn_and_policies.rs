@@ -78,7 +78,10 @@ fn static_residual_analysis_predicts_simulated_starvation() {
         );
     } else {
         // Some rate survives for every receiver; with a generous horizon everyone finishes.
-        assert!(all_survivors_done, "residual {residual} > 0 but survivors starved");
+        assert!(
+            all_survivors_done,
+            "residual {residual} > 0 but survivors starved"
+        );
     }
 }
 
@@ -96,7 +99,9 @@ fn repair_restores_the_optimum_of_the_surviving_platform() {
     // The repaired overlay is the solver's optimum on the reduced platform, hence at least
     // 5/7 of the reduced cyclic optimum.
     let reduced_cyclic = bmp::core::bounds::cyclic_upper_bound(&outcome.instance);
-    assert!(outcome.solution.throughput >= bmp::core::bounds::five_sevenths() * reduced_cyclic - 1e-6);
+    assert!(
+        outcome.solution.throughput >= bmp::core::bounds::five_sevenths() * reduced_cyclic - 1e-6
+    );
 
     // And it streams: the simulator delivers on the repaired overlay.
     let config = SimConfig {

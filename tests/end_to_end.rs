@@ -31,7 +31,11 @@ fn acyclic_pipeline_on_random_platforms() {
         let solution = solver.solve(&instance);
 
         // Feasibility, acyclicity and max-flow verification.
-        assert!(solution.scheme.is_feasible(), "violations: {:?}", solution.scheme.validate());
+        assert!(
+            solution.scheme.is_feasible(),
+            "violations: {:?}",
+            solution.scheme.validate()
+        );
         assert!(solution.scheme.is_acyclic());
         let measured = solution.scheme.throughput();
         assert!(
@@ -104,8 +108,7 @@ fn cyclic_pipeline_on_open_only_platforms() {
         assert!(scheme.throughput() + 1e-6 >= t);
         // Theorem 5.2 degree bound.
         for node in 0..instance.num_nodes() {
-            let bound =
-                bmp::platform::node::degree_lower_bound(instance.bandwidth(node), t) + 2;
+            let bound = bmp::platform::node::degree_lower_bound(instance.bandwidth(node), t) + 2;
             assert!(scheme.outdegree(node) <= bound.max(4));
         }
     }

@@ -85,7 +85,7 @@ fn greedy_packing_recovers_most_of_the_cyclic_optimum_on_open_platforms() {
     // a large share of the optimum.
     let open: Vec<f64> = (0..12).map(|i| 10.0 - 0.5 * i as f64).collect();
     let instance = Instance::open_only(6.0, open).unwrap();
-    let (scheme, throughput) = cyclic_open_optimal_scheme(&instance).unwrap();
+    let (scheme, _throughput) = cyclic_open_optimal_scheme(&instance).unwrap();
     let packing = greedy_packing(&scheme).unwrap();
     packing.decomposition.verify(&scheme).unwrap();
     assert!(

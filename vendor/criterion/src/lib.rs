@@ -1,0 +1,355 @@
+//! Offline micro-benchmark harness exposing the `criterion` surface this workspace uses.
+//!
+//! Each benchmark is warmed up, then timed over batches until the measurement budget is
+//! spent; the median batch mean is reported as `ns/iter` on stdout. Under `cargo test`
+//! (which passes `--test` to `harness = false` targets) every benchmark body runs exactly
+//! once so the suite stays fast while still exercising the bench code.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier (criterion-compatible).
+pub use std::hint::black_box;
+
+pub mod measurement {
+    //! Measurement kinds. Only wall-clock time is supported.
+
+    /// Wall-clock time measurement (the default).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Identifier of a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (f, Some(p)) if f.is_empty() => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+/// Entry point holding global configuration (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test` for one-shot mode, a bare string filters
+    /// benchmark names; criterion-specific flags are accepted and ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.settings.test_mode = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--load-baseline" | "--sample-size" | "--warm-up-time" | "--measurement-time" => {
+                    // Flags with a value we do not use.
+                    if matches!(
+                        arg.as_str(),
+                        "--sample-size"
+                            | "--warm-up-time"
+                            | "--measurement-time"
+                            | "--save-baseline"
+                            | "--baseline"
+                            | "--load-baseline"
+                            | "--profile-time"
+                    ) {
+                        let _ = args.next();
+                    }
+                }
+                flag if flag.starts_with("--") => {}
+                filter => self.settings.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _criterion: std::marker::PhantomData,
+            name: name.into(),
+            settings: self.settings.clone(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id: BenchmarkId = name.into();
+        run_one(&self.settings, &id.render(), &mut routine);
+        self
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and timing settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _criterion: std::marker::PhantomData<(&'a mut Criterion, M)>,
+    name: String,
+    settings: Settings,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.settings.sample_size = samples.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.measurement_time = duration;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_one(&self.settings, &label, &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_one(&self.settings, &label, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, reporting the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.settings.test_mode {
+            black_box(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm-up: also estimates the per-call cost to size measurement batches.
+        let warm_up_end = Instant::now() + self.settings.warm_up_time;
+        let mut warm_up_iters = 0u64;
+        let warm_up_start = Instant::now();
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_call = warm_up_start.elapsed().as_secs_f64() / warm_up_iters.max(1) as f64;
+        let batch_budget =
+            self.settings.measurement_time.as_secs_f64() / self.settings.sample_size as f64;
+        let batch_iters = ((batch_budget / per_call.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / batch_iters as f64 * 1e9);
+        }
+    }
+}
+
+fn run_one(settings: &Settings, label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(filter) = &settings.filter {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        settings: settings.clone(),
+        samples: Vec::new(),
+    };
+    routine(&mut bencher);
+    if settings.test_mode {
+        println!("test {label} ... ok (bench smoke run)");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{label:<56} (no measurement: b.iter was never called)");
+        return;
+    }
+    bencher
+        .samples
+        .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let best = bencher.samples[0];
+    println!("{label:<56} median {median:>14.1} ns/iter  (best {best:>14.1})");
+}
+
+/// Declares a group of benchmark functions (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion = criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("dinic", 16).render(), "dinic/16");
+        assert_eq!(BenchmarkId::from_parameter(8).render(), "8");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples_quickly() {
+        let settings = Settings {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            test_mode: false,
+            filter: None,
+        };
+        let mut bencher = Bencher {
+            settings,
+            samples: Vec::new(),
+        };
+        bencher.iter(|| black_box(2 + 2));
+        assert_eq!(bencher.samples.len(), 3);
+        assert!(bencher.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut criterion = Criterion {
+            settings: Settings {
+                sample_size: 2,
+                warm_up_time: Duration::from_millis(1),
+                measurement_time: Duration::from_millis(2),
+                test_mode: true,
+                filter: None,
+            },
+        };
+        let mut group = criterion.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with", 4), &4, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

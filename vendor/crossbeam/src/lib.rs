@@ -1,0 +1,72 @@
+//! Offline shim for the pieces of `crossbeam` this workspace uses: scoped threads.
+//!
+//! Implemented on top of `std::thread::scope` (stable since Rust 1.63), keeping
+//! crossbeam's call shape: the closure passed to [`scope`] receives a [`Scope`] whose
+//! `spawn` hands the child closure a `&Scope` again (commonly ignored as `|_|`).
+//!
+//! Divergence from crossbeam: a panicking child makes [`scope`] panic on join (std
+//! semantics) instead of returning `Err`. Callers here immediately `.expect()` the
+//! result, so the observable behaviour — a panic — is the same.
+
+use std::thread;
+
+/// Scoped-thread handle passed to the [`scope`] closure and to spawned children.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The child closure receives the scope (crossbeam shape).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's stack.
+///
+/// All spawned threads are joined before `scope` returns. Always returns `Ok`; see the
+/// module docs for the panic-propagation divergence from crossbeam.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let mut results = vec![0; data.len()];
+        scope(|s| {
+            for (slot, &x) in results.iter_mut().zip(&data) {
+                s.spawn(move |_| {
+                    *slot = x * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let result = scope(|s| {
+            let handle = s.spawn(|inner| {
+                let nested = inner.spawn(|_| 21);
+                nested.join().unwrap() * 2
+            });
+            handle.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline property-testing harness exposing the `proptest` surface this workspace uses.
+//!
+//! Cases are generated from deterministic per-test seeds (derived from the test name, or
+//! from `PROPTEST_SEED` when set), so failures are reproducible run-to-run. There is no
+//! shrinking: a failing case is reported with the generated inputs instead. The supported
+//! surface is exactly what the repository's test suites rely on:
+//!
+//! * range strategies (`0usize..10`, `0.0_f64..1.0`, `2..=8`), tuples of strategies,
+//!   [`collection::vec`], [`strategy::Just`],
+//! * `.prop_map`, `.prop_flat_map`, `.prop_filter`, `.prop_filter_map`,
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`] macros with an optional `#![proptest_config(...)]` header.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing a `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests (subset of the real `proptest!` macro).
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run(stringify!($name), &config, |rng| {
+                    let strategy = ($($strategy,)+);
+                    let ($($arg,)+) = match $crate::strategy::Strategy::try_sample(&strategy, rng) {
+                        Ok(values) => values,
+                        Err(reason) => return Err($crate::test_runner::TestCaseError::Reject(reason)),
+                    };
+                    // Rendered before the body runs: the body may consume the inputs.
+                    let inputs: ::std::string::String = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}; ")),+),
+                        $(&$arg),+
+                    );
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            Err($crate::test_runner::TestCaseError::Fail(
+                                format!("{message}\n  inputs: {inputs}"),
+                            ))
+                        }
+                        other => other,
+                    }
+                });
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (it is regenerated without counting against the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::borrow::Cow::Borrowed(stringify!($cond)),
+            ));
+        }
+    };
+}

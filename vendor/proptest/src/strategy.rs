@@ -1,0 +1,268 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::borrow::Cow;
+use std::ops::{Range, RangeInclusive};
+
+/// Why a generated case was rejected (e.g. a failed `prop_assume!` or filter).
+pub type Rejection = Cow<'static, str>;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike the real proptest there is no shrinking: `try_sample` either produces a value or
+/// rejects the attempt (the runner retries rejected attempts without consuming a case).
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Generates one value.
+    fn try_sample(&self, rng: &mut StdRng) -> Result<Self::Value, Rejection>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value and feeds it to `f` to obtain the strategy that
+    /// produces the final value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `predicate` (others are rejected and retried).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<Rejection>,
+        predicate: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            predicate,
+        }
+    }
+
+    /// Maps values through a fallible `f`, rejecting cases where it returns `None`.
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        reason: impl Into<Rejection>,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn try_sample(&self, rng: &mut StdRng) -> Result<Self::Value, Rejection> {
+        (**self).try_sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn try_sample(&self, _rng: &mut StdRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn try_sample(&self, rng: &mut StdRng) -> Result<U, Rejection> {
+        self.inner.try_sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn try_sample(&self, rng: &mut StdRng) -> Result<T::Value, Rejection> {
+        let intermediate = self.inner.try_sample(rng)?;
+        (self.f)(intermediate).try_sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: Rejection,
+    predicate: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn try_sample(&self, rng: &mut StdRng) -> Result<S::Value, Rejection> {
+        let value = self.inner.try_sample(rng)?;
+        if (self.predicate)(&value) {
+            Ok(value)
+        } else {
+            Err(self.reason.clone())
+        }
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: Rejection,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn try_sample(&self, rng: &mut StdRng) -> Result<U, Rejection> {
+        let value = self.inner.try_sample(rng)?;
+        (self.f)(value).ok_or_else(|| self.reason.clone())
+    }
+}
+
+/// Type-erased strategy, see [`Strategy::boxed`].
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn try_sample(&self, rng: &mut StdRng) -> Result<T, Rejection> {
+        self.inner.try_sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn try_sample(&self, rng: &mut StdRng) -> Result<$ty, Rejection> {
+                if self.start >= self.end {
+                    return Err(Cow::Borrowed("empty range strategy"));
+                }
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn try_sample(&self, rng: &mut StdRng) -> Result<$ty, Rejection> {
+                if self.start() > self.end() {
+                    return Err(Cow::Borrowed("empty range strategy"));
+                }
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn try_sample(&self, rng: &mut StdRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.try_sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Length specification accepted by [`crate::collection::vec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        SizeRange {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// See [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn try_sample(&self, rng: &mut StdRng) -> Result<Vec<S::Value>, Rejection> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.try_sample(rng)).collect()
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic case runner backing the [`crate::proptest!`] macro.
+
+use crate::strategy::Rejection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+    /// Maximum number of rejected attempts before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed: the property does not hold.
+    Fail(String),
+    /// The case was rejected (filtered out); it is retried without counting.
+    Reject(Rejection),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Creates a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(Rejection::Owned(reason.into()))
+    }
+}
+
+/// Base seed for a test: `PROPTEST_SEED` when set, otherwise a stable hash of the name.
+fn base_seed(test_name: &str) -> u64 {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(parsed) = seed.parse::<u64>() {
+            return parsed;
+        }
+    }
+    let mut hasher = DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Runs `case` until `config.cases` cases passed, panicking on the first failure.
+///
+/// Each case gets its own RNG seeded from the test name and attempt index, so a failure
+/// message's seed information is enough to reproduce it.
+pub fn run(
+    test_name: &str,
+    config: &Config,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let base = base_seed(test_name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest `{test_name}`: too many rejected cases \
+                         ({rejected} rejects for {accepted} accepted)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest `{test_name}` failed after {accepted} passing case(s) \
+                     (attempt seed {seed}):\n  {message}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        run("trivial", &Config::with_cases(16), |rng| {
+            let x = (0usize..100).try_sample(rng).unwrap();
+            if x < 100 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("out of range"))
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn runner_reports_failures() {
+        run("failing", &Config::with_cases(16), |rng| {
+            let x = (0usize..10).try_sample(rng).unwrap();
+            if x < 5 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("x too large"))
+            }
+        });
+    }
+
+    #[test]
+    fn rejects_do_not_consume_cases() {
+        let mut accepted = 0;
+        run("rejecting", &Config::with_cases(8), |rng| {
+            let x = (0usize..10).try_sample(rng).unwrap();
+            if x % 2 == 1 {
+                return Err(TestCaseError::reject("odd"));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_surface_works(
+            x in 0usize..50,
+            pair in (0.0_f64..1.0, 1u64..4),
+            items in crate::collection::vec(0i32..10, 0..6),
+        ) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert!(pair.0 < 1.0 && pair.1 >= 1);
+            prop_assert_eq!(items.len(), items.len());
+            prop_assert_ne!(x, 13usize);
+        }
+
+        #[test]
+        fn combinators_compose(n in (1usize..8).prop_flat_map(|n| {
+            crate::collection::vec(0usize..n, 1..=4).prop_map(move |v| (n, v))
+        })) {
+            let (bound, values) = n;
+            prop_assert!(values.iter().all(|&v| v < bound));
+        }
+    }
+}

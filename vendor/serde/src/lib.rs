@@ -1,0 +1,416 @@
+//! Offline drop-in subset of `serde` used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides the exact
+//! surface the workspace relies on: the [`Serialize`] / [`Deserialize`] traits (over a
+//! JSON-shaped [`Value`] model instead of serde's visitor machinery) and the matching
+//! derive macros re-exported from `serde_derive`. `serde_json` (also vendored) renders
+//! [`Value`] to text and parses it back.
+//!
+//! The representation mirrors serde's defaults so that documents produced here are
+//! interchangeable with real serde_json output for the types this workspace defines:
+//! structs are maps, unit enum variants are strings, data-carrying variants are
+//! externally tagged single-key maps, newtype structs are transparent.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-shaped value: the intermediate representation of every (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent that fits `i64`).
+    I64(i64),
+    /// Unsigned integer larger than `i64::MAX`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as `f64` when it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(x) => Some(x as f64),
+            Value::U64(x) => Some(x as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(x) if x >= 0 => Some(x as u64),
+            Value::U64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) => i64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object (field list).
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the shape a type expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates an "expected X while deserializing Y" error.
+    pub fn expected(what: &str, while_parsing: &str) -> Self {
+        DeError {
+            message: format!("expected {what} while deserializing {while_parsing}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a field of an object by name (helper used by the derive macros).
+pub fn field<'a>(
+    fields: &'a [(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a Value, DeError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}` while deserializing {ty}")))
+}
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if (*self as i128) >= 0 && (*self as i128) > i64::MAX as i128 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_i64()
+                    .map(|x| x as i128)
+                    .or_else(|| value.as_u64().map(|x| x as i128))
+                    .ok_or_else(|| DeError::expected("integer", stringify!($ty)))?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value.as_array().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected array of length {expected}, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::from_value(&1.5_f64.to_value()).unwrap(), 1.5);
+        assert_eq!(usize::from_value(&7_usize.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v = vec![(1.0_f64, 2.0_f64), (3.0, 4.0)];
+        assert_eq!(Vec::<(f64, f64)>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_accept_integral_json_numbers() {
+        assert_eq!(f64::from_value(&Value::I64(3)).unwrap(), 3.0);
+        assert_eq!(u64::from_value(&Value::I64(3)).unwrap(), 3);
+        assert!(u64::from_value(&Value::I64(-3)).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let obj = vec![("a".to_string(), Value::I64(1))];
+        assert!(field(&obj, "a", "T").is_ok());
+        let err = field(&obj, "b", "T").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}

@@ -1,0 +1,346 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! The build environment has no crates.io access, so these derives are written against
+//! `proc_macro` alone: the input item is tokenised by hand and the generated impls are
+//! assembled as source text. Supported shapes — exactly the ones this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, wider ones as arrays),
+//! * unit structs,
+//! * enums with unit, newtype, tuple and struct variants (externally tagged, like serde).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported and produce a
+//! compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Splits the tokens of a brace/paren group on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments (e.g. `BTreeMap<String, f64>`) do not split fields.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0_i32;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Strips leading `#[...]` attributes and a `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Field names of a `{ ... }` group (named fields).
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for part in split_top_level_commas(tokens) {
+        let i = skip_attrs_and_vis(&part, 0);
+        match part.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => continue, // trailing comma
+            Some(other) => return Err(format!("unexpected token {other} in field list")),
+        }
+        match part.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{}`",
+                    names.last().unwrap()
+                ))
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Number of fields of a `( ... )` group (tuple fields).
+fn parse_tuple_arity(tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .count()
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored serde derive"
+            ));
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(parse_tuple_arity(&body))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unexpected struct body {other:?}")),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<TokenTree>>()
+                }
+                other => return Err(format!("unexpected enum body {other:?}")),
+            };
+            let mut variants = Vec::new();
+            for part in split_top_level_commas(&body) {
+                let j = skip_attrs_and_vis(&part, 0);
+                let variant_name = match part.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => continue, // trailing comma
+                    Some(other) => return Err(format!("unexpected token {other} in enum body")),
+                };
+                let shape = match part.get(j + 1) {
+                    None => VariantShape::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantShape::Tuple(parse_tuple_arity(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantShape::Named(parse_named_fields(&inner)?)
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        return Err(format!(
+                            "explicit discriminant on variant `{variant_name}` is not supported"
+                        ));
+                    }
+                    Some(other) => {
+                        return Err(format!("unexpected token {other} after variant name"))
+                    }
+                };
+                variants.push((variant_name, shape));
+            }
+            Shape::Enum(variants)
+        }
+        other => return Err(format!("cannot derive serde traits for `{other}` items")),
+    };
+    Ok(Input { name, shape })
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return compile_error(&message),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Object(fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(variant, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{variant} => serde::Value::Str({variant:?}.to_string()),\n"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{variant}(f0) => serde::Value::Object(vec![({variant:?}.to_string(), serde::Serialize::to_value(f0))]),\n"
+                    ),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{variant}({}) => serde::Value::Object(vec![({variant:?}.to_string(), serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                            .collect();
+                        format!(
+                            "{name}::{variant} {{ {binds} }} => serde::Value::Object(vec![({variant:?}.to_string(), serde::Value::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n{body}\n    }}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return compile_error(&message),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::field(obj, {f:?}, {name:?})?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = value.as_object().ok_or_else(|| serde::DeError::expected(\"map\", {name:?}))?;\nOk({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| serde::DeError::expected(\"array\", {name:?}))?;\nif items.len() != {arity} {{ return Err(serde::DeError::custom(format!(\"expected {arity} elements for {name}, got {{}}\", items.len()))); }}\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = value; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, shape)| matches!(shape, VariantShape::Unit))
+                .map(|(variant, _)| format!("{variant:?} => return Ok({name}::{variant}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(variant, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "{variant:?} => return Ok({name}::{variant}(serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        Some(format!(
+                            "{variant:?} => {{\nlet items = payload.as_array().ok_or_else(|| serde::DeError::expected(\"array\", {name:?}))?;\nif items.len() != {arity} {{ return Err(serde::DeError::custom(\"wrong tuple variant arity\".to_string())); }}\nreturn Ok({name}::{variant}({}));\n}}\n",
+                            items.join(", ")
+                        ))
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(serde::field(obj, {f:?}, {name:?})?)?,\n"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{variant:?} => {{\nlet obj = payload.as_object().ok_or_else(|| serde::DeError::expected(\"map\", {name:?}))?;\nreturn Ok({name}::{variant} {{\n{inits}}});\n}}\n"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(tag) = value.as_str() {{\n    match tag {{\n{unit_arms}        _ => return Err(serde::DeError::custom(format!(\"unknown variant `{{tag}}` of {name}\"))),\n    }}\n}}\nif let Some(obj) = value.as_object() {{\n    if obj.len() == 1 {{\n        let (tag, payload) = &obj[0];\n        match tag.as_str() {{\n{tagged_arms}            _ => return Err(serde::DeError::custom(format!(\"unknown variant `{{tag}}` of {name}\"))),\n        }}\n    }}\n}}\nErr(serde::DeError::expected(\"enum representation\", {name:?}))"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n    }}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
