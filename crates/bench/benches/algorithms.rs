@@ -1,9 +1,11 @@
 //! Scaling of the core constructive algorithms (Algorithm 1, Algorithm 2, scheme building).
 //! The paper claims linear-time feasibility testing; these benches exhibit the scaling.
+//! The registered solvers are benchmarked uniformly through the `Solver` trait.
 
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
 use bmp_core::acyclic_open::acyclic_open_optimal_scheme;
 use bmp_core::greedy::greedy_test;
+use bmp_core::solver::{registry, EvalCtx};
 use bmp_platform::distribution::{BandwidthDistribution, UniformBandwidth};
 use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
 use bmp_platform::Instance;
@@ -59,10 +61,36 @@ fn bench_full_solver(c: &mut Criterion) {
     group.finish();
 }
 
+/// Every registered solver through the uniform trait entry point, on the instance class
+/// it supports (the exhaustive oracle is skipped: it caps out at 20 receivers).
+fn bench_registry_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_solvers");
+    group.sample_size(20);
+    let guarded = random_instance(200, 0.7, 23);
+    let open = open_instance(200, 7);
+    for solver in registry() {
+        let inst = match solver.name() {
+            "exhaustive" => continue,
+            "acyclic-open" | "cyclic-open" => &open,
+            _ => &guarded,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(solver.name()),
+            inst,
+            |b, inst| {
+                let mut ctx = EvalCtx::new();
+                b.iter(|| solver.solve(inst, &mut ctx).expect("solvable").throughput)
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_algorithm1,
     bench_greedy_test,
-    bench_full_solver
+    bench_full_solver,
+    bench_registry_solvers
 );
 criterion_main!(benches);

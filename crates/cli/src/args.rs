@@ -16,7 +16,20 @@ pub struct ArgList {
 }
 
 /// Flags that take no value (presence/absence switches).
-const BOOLEAN_FLAGS: &[&str] = &["--cyclic", "--quiet", "--trace"];
+const BOOLEAN_FLAGS: &[&str] = &["--cyclic", "--trace"];
+
+/// The accepted flags of one subcommand.
+///
+/// Each `cmd_*` module declares its spec and calls [`ArgList::reject_unknown_flags`]
+/// before reading any flag, so a typo (`--instnace`) fails with a usage error that
+/// enumerates the accepted flags instead of being silently ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlagSpec {
+    /// Subcommand the spec belongs to (used in error messages).
+    pub command: &'static str,
+    /// Every flag the subcommand accepts, boolean or value-taking.
+    pub flags: &'static [&'static str],
+}
 
 impl ArgList {
     /// Parses raw arguments (excluding the binary name).
@@ -46,13 +59,44 @@ impl ArgList {
             if BOOLEAN_FLAGS.contains(&key.as_str()) {
                 parsed.flags.insert(key, None);
             } else {
+                // Refuse to consume a following flag as the value: a typo'd boolean
+                // switch (`--cylic --instance x.json`) must fail on the typo itself
+                // instead of swallowing the next flag and failing somewhere else.
                 let value = iter
-                    .next()
+                    .next_if(|value| !value.starts_with("--"))
                     .ok_or_else(|| CliError::Usage(format!("flag {key} expects a value")))?;
                 parsed.flags.insert(key, Some(value.clone()));
             }
         }
         Ok(parsed)
+    }
+
+    /// Names of every flag present on the command line, in sorted order.
+    pub fn flag_names(&self) -> impl Iterator<Item = &str> {
+        self.flags.keys().map(String::as_str)
+    }
+
+    /// Rejects any flag not listed in `spec` with a usage error enumerating the
+    /// subcommand's accepted flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] naming the first unknown flag.
+    pub fn reject_unknown_flags(&self, spec: &FlagSpec) -> Result<(), CliError> {
+        for name in self.flag_names() {
+            if !spec.flags.contains(&name) {
+                let accepted = if spec.flags.is_empty() {
+                    "it takes no flags".to_string()
+                } else {
+                    format!("accepted flags: {}", spec.flags.join(", "))
+                };
+                return Err(CliError::Usage(format!(
+                    "unknown flag {name} for `{}`; {accepted}",
+                    spec.command
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Whether the boolean switch `flag` was given.
@@ -143,6 +187,17 @@ mod tests {
     }
 
     #[test]
+    fn value_flags_do_not_swallow_following_flags() {
+        // A typo'd boolean switch must fail on the typo itself, not consume the next
+        // flag as its value and fail with a misleading message further on.
+        let err =
+            ArgList::parse(&strings(&["solve", "--cylic", "--instance", "x.json"])).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("--cylic"));
+        assert!(message.contains("expects a value"));
+    }
+
+    #[test]
     fn unexpected_positional_is_reported() {
         let err = ArgList::parse(&strings(&["solve", "oops"])).unwrap_err();
         assert!(err.to_string().contains("unexpected positional"));
@@ -169,5 +224,32 @@ mod tests {
     fn empty_flag_name_is_rejected() {
         let err = ArgList::parse(&strings(&["solve", "--"])).unwrap_err();
         assert!(err.to_string().contains("empty flag"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_the_accepted_list() {
+        let spec = FlagSpec {
+            command: "solve",
+            flags: &["--instance", "--algorithm"],
+        };
+        let ok = ArgList::parse(&strings(&["solve", "--instance", "x.json"])).unwrap();
+        assert!(ok.reject_unknown_flags(&spec).is_ok());
+        let typo = ArgList::parse(&strings(&["solve", "--instnace", "x.json"])).unwrap();
+        let err = typo.reject_unknown_flags(&spec).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("--instnace"));
+        assert!(message.contains("`solve`"));
+        assert!(message.contains("--instance, --algorithm"));
+    }
+
+    #[test]
+    fn flagless_commands_say_so() {
+        let spec = FlagSpec {
+            command: "help",
+            flags: &[],
+        };
+        let args = ArgList::parse(&strings(&["help", "--trace"])).unwrap();
+        let err = args.reject_unknown_flags(&spec).unwrap_err();
+        assert!(err.to_string().contains("takes no flags"));
     }
 }

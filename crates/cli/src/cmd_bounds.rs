@@ -1,12 +1,18 @@
 //! `bounds` — print the closed-form throughput bounds of an instance.
 
-use crate::args::ArgList;
+use crate::args::{ArgList, FlagSpec};
 use crate::error::CliError;
 use crate::files;
 use bmp_core::bounds::Bounds;
 use bmp_core::omega::best_omega_throughput;
 use bmp_core::AcyclicGuardedSolver;
 use std::io::Write;
+
+/// Flags accepted by `bounds`.
+pub const FLAGS: FlagSpec = FlagSpec {
+    command: "bounds",
+    flags: &["--instance"],
+};
 
 /// Runs the `bounds` subcommand.
 ///
@@ -20,6 +26,7 @@ use std::io::Write;
 ///
 /// Returns a [`CliError`] when the instance cannot be read.
 pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    args.reject_unknown_flags(&FLAGS)?;
     let instance = files::read_instance(args.require("--instance")?)?;
     let bounds = Bounds::of(&instance);
     let solver = AcyclicGuardedSolver::default();

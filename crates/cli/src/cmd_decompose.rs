@@ -1,10 +1,16 @@
 //! `decompose` — split a broadcast scheme into weighted broadcast trees.
 
-use crate::args::ArgList;
+use crate::args::{ArgList, FlagSpec};
 use crate::error::CliError;
 use crate::files;
 use bmp_trees::{decompose_acyclic, greedy_packing, stripe_message};
 use std::io::Write;
+
+/// Flags accepted by `decompose`.
+pub const FLAGS: FlagSpec = FlagSpec {
+    command: "decompose",
+    flags: &["--scheme", "--throughput", "--message", "--out"],
+};
 
 /// Runs the `decompose` subcommand.
 ///
@@ -19,6 +25,7 @@ use std::io::Write;
 ///
 /// Returns a [`CliError`] when the scheme cannot be read or the decomposition fails.
 pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    args.reject_unknown_flags(&FLAGS)?;
     let scheme = files::read_scheme(args.require("--scheme")?)?;
     let throughput: f64 = args.get_parsed("--throughput", scheme.throughput())?;
 

@@ -1,10 +1,16 @@
 //! `export` — render a broadcast scheme as Graphviz DOT or CSV.
 
-use crate::args::ArgList;
+use crate::args::{ArgList, FlagSpec};
 use crate::error::CliError;
 use crate::files;
 use bmp_core::export::{degrees_to_csv, scheme_to_csv, scheme_to_dot};
 use std::io::Write;
+
+/// Flags accepted by `export`.
+pub const FLAGS: FlagSpec = FlagSpec {
+    command: "export",
+    flags: &["--scheme", "--format", "--throughput", "--out"],
+};
 
 /// Runs the `export` subcommand.
 ///
@@ -17,6 +23,7 @@ use std::io::Write;
 /// Returns a [`CliError`] when the scheme cannot be read, the format is unknown or the output
 /// file cannot be written.
 pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    args.reject_unknown_flags(&FLAGS)?;
     let scheme = files::read_scheme(args.require("--scheme")?)?;
     let format = args.get("--format").unwrap_or("dot");
     let rendered = match format {

@@ -1,6 +1,6 @@
 //! `generate` — sample a random platform instance and store it as JSON.
 
-use crate::args::ArgList;
+use crate::args::{ArgList, FlagSpec};
 use crate::error::CliError;
 use crate::files;
 use bmp_platform::distribution::NamedDistribution;
@@ -43,6 +43,19 @@ fn parse_source_policy(raw: &str) -> Result<SourcePolicy, CliError> {
     }
 }
 
+/// Flags accepted by `generate`.
+pub const FLAGS: FlagSpec = FlagSpec {
+    command: "generate",
+    flags: &[
+        "--receivers",
+        "--open-prob",
+        "--dist",
+        "--seed",
+        "--source",
+        "--out",
+    ],
+};
+
 /// Runs the `generate` subcommand.
 ///
 /// Flags: `--receivers N` (required), `--open-prob P` (default 0.7), `--dist NAME` (default
@@ -53,6 +66,7 @@ fn parse_source_policy(raw: &str) -> Result<SourcePolicy, CliError> {
 ///
 /// Returns a [`CliError`] for malformed flags or unwritable output files.
 pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    args.reject_unknown_flags(&FLAGS)?;
     let receivers: usize = args.require_parsed("--receivers")?;
     let open_probability: f64 = args.get_parsed("--open-prob", 0.7)?;
     let distribution = parse_distribution(args.get("--dist").unwrap_or("unif100"))?;

@@ -1,6 +1,6 @@
 //! `simulate` — run the chunk-level streaming simulator on a broadcast scheme.
 
-use crate::args::ArgList;
+use crate::args::{ArgList, FlagSpec};
 use crate::error::CliError;
 use crate::files;
 use bmp_sim::{ChunkPolicy, Overlay, SimConfig, Simulator, SourceMode};
@@ -18,6 +18,14 @@ pub(crate) fn parse_policy(raw: &str) -> Result<ChunkPolicy, CliError> {
     }
 }
 
+/// Flags accepted by `simulate`.
+pub const FLAGS: FlagSpec = FlagSpec {
+    command: "simulate",
+    flags: &[
+        "--scheme", "--chunks", "--policy", "--seed", "--jitter", "--live", "--trace",
+    ],
+};
+
 /// Runs the `simulate` subcommand.
 ///
 /// Flags: `--scheme FILE` (required), `--chunks N` (default 300), `--policy NAME` (default
@@ -29,6 +37,7 @@ pub(crate) fn parse_policy(raw: &str) -> Result<ChunkPolicy, CliError> {
 ///
 /// Returns a [`CliError`] when the scheme cannot be read or a flag is malformed.
 pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    args.reject_unknown_flags(&FLAGS)?;
     let scheme = files::read_scheme(args.require("--scheme")?)?;
     let nominal = scheme.throughput();
     let overlay = Overlay::from_scheme(&scheme);

@@ -1,60 +1,121 @@
 //! `solve` — compute a low-degree broadcast overlay for an instance.
 
-use crate::args::ArgList;
+use crate::args::{ArgList, FlagSpec};
 use crate::error::CliError;
 use crate::files;
-use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
 use bmp_core::export::scheme_to_dot;
-use bmp_core::AcyclicGuardedSolver;
+use bmp_core::solver::{EvalCtx, Solution, Solver};
 use std::io::Write;
 
-/// Runs the `solve` subcommand.
-///
-/// Flags: `--instance FILE` (required), `--cyclic` (use the cyclic construction of Theorem 5.2,
-/// open-only instances), `--tolerance EPS` (dichotomic search precision, default `1e-9`),
-/// `--out FILE` (write the scheme as JSON), `--dot FILE` (write a Graphviz rendering).
-///
-/// # Errors
-///
-/// Returns a [`CliError`] when the instance cannot be read, the cyclic construction is asked
-/// for an instance with guarded nodes, or an output file cannot be written.
-pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
-    let instance = files::read_instance(args.require("--instance")?)?;
-    let tolerance: f64 = args.get_parsed("--tolerance", 1e-9)?;
+/// Flags accepted by `solve`.
+pub const FLAGS: FlagSpec = FlagSpec {
+    command: "solve",
+    flags: &[
+        "--instance",
+        "--algorithm",
+        "--cyclic",
+        "--tolerance",
+        "--out",
+        "--dot",
+    ],
+};
 
-    let (scheme, throughput, label) = if args.has("--cyclic") {
-        let (scheme, throughput) = cyclic_open_optimal_scheme(&instance)?;
-        (scheme, throughput, "cyclic (Theorem 5.2)")
-    } else {
-        let solution = AcyclicGuardedSolver::with_tolerance(tolerance).solve(&instance);
-        writeln!(out, "coding word: {}", solution.word)?;
-        (
-            solution.scheme,
-            solution.throughput,
-            "acyclic (Theorem 4.1)",
-        )
+pub use bmp_trees::solver::full_registry;
+
+/// One line per registered solver: `name — description`.
+fn registry_listing(solvers: &[Box<dyn Solver>]) -> String {
+    solvers
+        .iter()
+        .map(|solver| format!("  {:<20} {}", solver.name(), solver.describe()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Resolves `--algorithm` (and the legacy `--cyclic` switch) against the registry.
+fn pick_solver(args: &ArgList) -> Result<Box<dyn Solver>, CliError> {
+    let requested = match (args.get("--algorithm"), args.has("--cyclic")) {
+        (Some(_), true) => {
+            return Err(CliError::Usage(
+                "pass either --algorithm NAME or the legacy --cyclic switch, not both".into(),
+            ))
+        }
+        (Some(name), false) => name,
+        // `--cyclic` predates the registry and remains an alias for the cyclic
+        // construction of Theorem 5.2.
+        (None, true) => "cyclic-open",
+        (None, false) => "acyclic-guarded",
     };
+    let mut solvers = full_registry();
+    match solvers.iter().position(|s| s.name() == requested) {
+        Some(index) => Ok(solvers.swap_remove(index)),
+        None => Err(CliError::Usage(format!(
+            "unknown algorithm {requested:?}; registered solvers:\n{}",
+            registry_listing(&solvers)
+        ))),
+    }
+}
 
-    writeln!(out, "algorithm  : {label}")?;
-    writeln!(out, "throughput : {throughput:.6}")?;
-    writeln!(out, "verified   : {:.6} (max-flow)", scheme.throughput())?;
+/// Renders the uniform report every algorithm shares, from its [`Solution`].
+fn report<W: Write>(solution: &Solution, out: &mut W) -> Result<(), CliError> {
+    writeln!(out, "algorithm  : {}", solution.algorithm)?;
+    if let Some(word) = &solution.word {
+        writeln!(out, "word       : {word}")?;
+    }
+    let scheme = &solution.scheme;
+    writeln!(out, "throughput : {:.6}", solution.throughput)?;
+    writeln!(
+        out,
+        "verified   : {:.6} (max-flow)",
+        solution.verified_throughput
+    )?;
     writeln!(out, "feasible   : {}", scheme.is_feasible())?;
     writeln!(out, "acyclic    : {}", scheme.is_acyclic())?;
     writeln!(out, "edges      : {}", scheme.edges().len())?;
-    let degrees = scheme.outdegrees();
     writeln!(
         out,
         "outdegrees : {:?} (max excess over ceil(b_i/T): {})",
-        degrees,
-        scheme.max_degree_excess(throughput)
+        scheme.outdegrees(),
+        scheme.max_degree_excess(solution.throughput)
     )?;
+    let telemetry = &solution.telemetry;
+    writeln!(
+        out,
+        "telemetry  : {} flow solves, {} bisection iters, {:.3} ms",
+        telemetry.flow_solves,
+        telemetry.bisection_iters,
+        telemetry.wall_time.as_secs_f64() * 1e3
+    )?;
+    Ok(())
+}
+
+/// Runs the `solve` subcommand.
+///
+/// Flags: `--instance FILE` (required), `--algorithm NAME` (registry dispatch; unknown
+/// names list the registered solvers), `--cyclic` (legacy alias for
+/// `--algorithm cyclic-open`), `--tolerance EPS` (dichotomic search precision, default
+/// `1e-9`), `--out FILE` (write the scheme as JSON), `--dot FILE` (write a Graphviz
+/// rendering).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the instance cannot be read, the algorithm name is
+/// unknown, the algorithm rejects the instance, or an output file cannot be written.
+pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    args.reject_unknown_flags(&FLAGS)?;
+    let solver = pick_solver(args)?;
+    let instance = files::read_instance(args.require("--instance")?)?;
+    let tolerance: f64 = args.get_parsed("--tolerance", 1e-9)?;
+
+    let mut ctx = EvalCtx::with_tolerance(tolerance);
+    let solution = solver.solve(&instance, &mut ctx)?;
+    report(&solution, out)?;
 
     if let Some(path) = args.get("--out") {
-        files::write_scheme(path, &scheme)?;
+        files::write_scheme(path, &solution.scheme)?;
         writeln!(out, "wrote scheme to {path}")?;
     }
     if let Some(path) = args.get("--dot") {
-        files::write_text(path, &scheme_to_dot(&scheme))?;
+        files::write_text(path, &scheme_to_dot(&solution.scheme))?;
         writeln!(out, "wrote Graphviz rendering to {path}")?;
     }
     Ok(())
@@ -81,6 +142,13 @@ mod tests {
         path_str
     }
 
+    fn write_open_instance(name: &str) -> String {
+        let path = temp_path(name).to_str().unwrap().to_string();
+        let instance = Instance::open_only(5.0, vec![5.0, 5.0, 3.0, 2.0]).unwrap();
+        files::write_instance(&path, &instance).unwrap();
+        path
+    }
+
     #[test]
     fn solves_the_running_example_acyclically() {
         let instance_path = write_figure1();
@@ -95,10 +163,13 @@ mod tests {
             dot_path.clone(),
         ])
         .unwrap();
-        assert!(output.contains("acyclic (Theorem 4.1)"));
+        assert!(output.contains("algorithm  : acyclic-guarded"));
         assert!(output.contains("throughput : 4.0"));
         assert!(output.contains("feasible   : true"));
-        assert!(output.contains("coding word"));
+        assert!(output.contains("word       :"));
+        assert!(output.contains("telemetry  :"));
+        // The word comes after the algorithm header (uniform report order).
+        assert!(output.find("algorithm").unwrap() < output.find("word").unwrap());
         let scheme = files::read_scheme(&scheme_path).unwrap();
         assert!(scheme.is_feasible());
         let dot = std::fs::read_to_string(&dot_path).unwrap();
@@ -109,13 +180,53 @@ mod tests {
     }
 
     #[test]
-    fn cyclic_solve_works_on_open_only_instances() {
-        let path = temp_path("solve-open.json").to_str().unwrap().to_string();
-        let instance = Instance::open_only(5.0, vec![5.0, 5.0, 3.0, 2.0]).unwrap();
-        files::write_instance(&path, &instance).unwrap();
+    fn registry_dispatch_covers_every_applicable_solver() {
+        // The acceptance bar for the unified API: at least five distinct registry names
+        // dispatchable through `--algorithm` on stock instances.
+        let guarded_path = write_figure1();
+        let open_path = write_open_instance("solve-open-dispatch.json");
+        let mut dispatched = Vec::new();
+        for solver in full_registry() {
+            let name = solver.name();
+            let path = match name {
+                "acyclic-open" | "cyclic-open" => &open_path,
+                _ => &guarded_path,
+            };
+            let output = run_args(&[
+                "--instance".into(),
+                path.clone(),
+                "--algorithm".into(),
+                name.into(),
+            ])
+            .unwrap_or_else(|e| panic!("--algorithm {name} failed: {e}"));
+            assert!(output.contains("feasible   : true"), "{name}: {output}");
+            assert!(output.contains("telemetry  :"), "{name}: {output}");
+            dispatched.push(name);
+        }
+        assert!(dispatched.len() >= 5, "only dispatched {dispatched:?}");
+        for path in [guarded_path, open_path] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn cyclic_switch_remains_an_alias() {
+        let path = write_open_instance("solve-open.json");
         let output = run_args(&["--instance".into(), path.clone(), "--cyclic".into()]).unwrap();
-        assert!(output.contains("cyclic (Theorem 5.2)"));
+        assert!(output.contains("algorithm  : cyclic-open"));
         assert!(output.contains("feasible   : true"));
+        let explicit = run_args(&[
+            "--instance".into(),
+            path.clone(),
+            "--algorithm".into(),
+            "cyclic-open".into(),
+        ])
+        .unwrap();
+        // Same algorithm either way; only telemetry timing may differ.
+        assert_eq!(
+            output.lines().next().unwrap(),
+            explicit.lines().next().unwrap()
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -125,6 +236,48 @@ mod tests {
         let err = run_args(&["--instance".into(), path.clone(), "--cyclic".into()]).unwrap_err();
         assert!(matches!(err, CliError::Algorithm(_)));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_algorithm_lists_the_registry() {
+        let path = write_figure1();
+        let err = run_args(&[
+            "--instance".into(),
+            path.clone(),
+            "--algorithm".into(),
+            "frobnicate".into(),
+        ])
+        .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("unknown algorithm"));
+        for name in ["acyclic-guarded", "cyclic-open", "tree-decomposition"] {
+            assert!(message.contains(name), "missing {name} in: {message}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn algorithm_and_cyclic_conflict() {
+        let path = write_figure1();
+        let err = run_args(&[
+            "--instance".into(),
+            path.clone(),
+            "--cyclic".into(),
+            "--algorithm".into(),
+            "auto".into(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("not both"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn typoed_flag_is_rejected_with_the_accepted_list() {
+        let err = run_args(&["--instnace".into(), "x.json".into()]).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("--instnace"));
+        assert!(message.contains("--instance"));
+        assert!(message.contains("--algorithm"));
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! `verify` — check a broadcast scheme against the model's constraints.
 
-use crate::args::ArgList;
+use crate::args::{ArgList, FlagSpec};
 use crate::error::CliError;
 use crate::files;
 use bmp_platform::node::degree_lower_bound;
 use std::io::Write;
+
+/// Flags accepted by `verify`.
+pub const FLAGS: FlagSpec = FlagSpec {
+    command: "verify",
+    flags: &["--scheme", "--throughput"],
+};
 
 /// Runs the `verify` subcommand.
 ///
@@ -19,6 +25,7 @@ use std::io::Write;
 ///
 /// Returns a [`CliError`] when the scheme cannot be read.
 pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    args.reject_unknown_flags(&FLAGS)?;
     let scheme = files::read_scheme(args.require("--scheme")?)?;
     let violations = scheme.validate();
     let measured = scheme.throughput();

@@ -43,12 +43,17 @@ USAGE: bmp-cli <command> [flags]
 COMMANDS:
   generate   sample a random platform instance          (--receivers, --open-prob, --dist, --seed, --source, --out)
   bounds     print closed-form and computed throughput bounds  (--instance)
-  solve      compute a low-degree broadcast overlay     (--instance, --cyclic, --tolerance, --out, --dot)
+  solve      compute a low-degree broadcast overlay     (--instance, --algorithm, --cyclic, --tolerance, --out, --dot)
   verify     check a scheme's constraints and degrees   (--scheme, --throughput)
   decompose  split a scheme into weighted broadcast trees  (--scheme, --throughput, --message, --out)
   simulate   run the chunk-level streaming simulator    (--scheme, --chunks, --policy, --seed, --jitter, --live, --trace)
-  export     render a scheme as DOT or CSV              (--scheme, --format, --out)
+  export     render a scheme as DOT or CSV              (--scheme, --format, --throughput, --out)
   help       print this message
+
+`solve --algorithm NAME` dispatches any registered solver (acyclic-guarded,
+acyclic-open, cyclic-open, exhaustive, omega-word, auto, tree-decomposition);
+an unknown NAME lists the registry with one-line descriptions. Unrecognized
+flags are rejected with the subcommand's accepted flag list.
 ";
 
 /// Parses `args` (excluding the binary name) and runs the corresponding subcommand, writing
@@ -69,6 +74,10 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "simulate" => cmd_simulate::run(&parsed, out),
         "export" => cmd_export::run(&parsed, out),
         "help" | "" => {
+            parsed.reject_unknown_flags(&args::FlagSpec {
+                command: "help",
+                flags: &[],
+            })?;
             out.write_all(USAGE.as_bytes())?;
             Ok(())
         }

@@ -16,6 +16,7 @@ use crate::bounds::cyclic_upper_bound;
 use crate::error::CoreError;
 use crate::greedy::{greedy_test, GreedyOutcome};
 use crate::scheme::BroadcastScheme;
+use crate::search::DichotomicSearch;
 use crate::word::{CodingWord, Symbol};
 use bmp_platform::{Instance, NodeId};
 
@@ -64,39 +65,36 @@ impl AcyclicGuardedSolver {
         greedy_test(instance, t).is_feasible()
     }
 
+    /// The shared bisection driver configured with this solver's tolerance and cap.
+    #[must_use]
+    pub fn search(&self) -> DichotomicSearch {
+        DichotomicSearch {
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations,
+        }
+    }
+
     /// Optimal acyclic throughput `T*_ac` (up to the solver tolerance) together with a valid
     /// coding word attaining it.
     #[must_use]
     pub fn optimal_throughput(&self, instance: &Instance) -> (f64, CodingWord) {
+        let (throughput, word, _) = self.optimal_throughput_traced(instance);
+        (throughput, word)
+    }
+
+    /// Like [`AcyclicGuardedSolver::optimal_throughput`], additionally reporting the number
+    /// of bisection probes spent (surfaced as telemetry by the solver registry).
+    #[must_use]
+    pub fn optimal_throughput_traced(&self, instance: &Instance) -> (f64, CodingWord, u64) {
         let upper = cyclic_upper_bound(instance);
-        if upper <= 0.0 {
-            let word = greedy_test(instance, 0.0)
-                .word()
-                .cloned()
-                .unwrap_or_default();
-            return (0.0, word);
-        }
-        if let GreedyOutcome::Feasible { word, .. } = greedy_test(instance, upper) {
-            return (upper, word);
-        }
-        let mut lo = 0.0_f64;
-        let mut hi = upper;
-        for _ in 0..self.max_iterations {
-            if hi - lo <= self.tolerance * hi.max(1.0) {
-                break;
-            }
-            let mid = 0.5 * (lo + hi);
-            if self.is_feasible(instance, mid) {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        let word = greedy_test(instance, lo)
+        let outcome = self
+            .search()
+            .maximize(upper, |t| self.is_feasible(instance, t));
+        let word = greedy_test(instance, outcome.value)
             .word()
             .cloned()
-            .expect("lo is feasible by construction");
-        (lo, word)
+            .unwrap_or_default();
+        (outcome.value, word, outcome.probes)
     }
 
     /// Builds the low-degree scheme of Lemma 4.6 for a valid word at throughput `t`.

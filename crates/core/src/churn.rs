@@ -13,19 +13,35 @@
 
 use crate::acyclic_guarded::{AcyclicGuardedSolver, AcyclicSolution};
 use crate::scheme::{BroadcastScheme, RATE_EPS};
-use bmp_flow::{FlowArena, FlowSolver};
+use crate::solver::EvalCtx;
 use bmp_platform::{Instance, NodeId};
 
 /// Throughput of `scheme` restricted to the surviving nodes: departed nodes neither send nor
 /// receive nor relay, and departed receivers are not counted in the minimum.
 ///
-/// Returns 0 when a surviving receiver is disconnected from the source.
+/// One-shot convenience over [`residual_throughput_with`]; sweeps evaluating many
+/// departures should hold an [`EvalCtx`] and call the `_with` variant so the flow
+/// workspace (and, for a fixed survivor set, the arena itself) is reused.
 ///
 /// # Panics
 ///
 /// Panics if the source (node 0) is listed among the departed nodes.
 #[must_use]
 pub fn residual_throughput(scheme: &BroadcastScheme, departed: &[NodeId]) -> f64 {
+    residual_throughput_with(scheme, departed, &mut EvalCtx::new())
+}
+
+/// [`residual_throughput`] evaluated through an explicit context.
+///
+/// # Panics
+///
+/// Panics if the source (node 0) is listed among the departed nodes.
+#[must_use]
+pub fn residual_throughput_with(
+    scheme: &BroadcastScheme,
+    departed: &[NodeId],
+    ctx: &mut EvalCtx,
+) -> f64 {
     let instance = scheme.instance();
     let n = instance.num_nodes();
     let mut alive = vec![true; n];
@@ -41,9 +57,8 @@ pub fn residual_throughput(scheme: &BroadcastScheme, departed: &[NodeId]) -> f64
             edges.push((from, to, rate));
         }
     }
-    let arena = FlowArena::from_edges(n, &edges);
     let survivors: Vec<NodeId> = instance.receivers().filter(|&r| alive[r]).collect();
-    let throughput = FlowSolver::new().min_max_flow(&arena, 0, &survivors);
+    let throughput = ctx.min_max_flow(n, &edges, 0, &survivors);
     if throughput.is_finite() {
         throughput
     } else {
@@ -153,6 +168,20 @@ mod tests {
         let solution = solver.solve(&figure1());
         let residual = residual_throughput(&solution.scheme, &[]);
         assert!((residual - solution.scheme.throughput()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn context_variant_matches_one_shot_across_departures() {
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&figure1());
+        let mut ctx = EvalCtx::new();
+        for departed in [&[][..], &[3][..], &[5][..], &[1, 4][..]] {
+            assert_eq!(
+                residual_throughput_with(&solution.scheme, departed, &mut ctx),
+                residual_throughput(&solution.scheme, departed)
+            );
+        }
+        assert!(ctx.flow_solves() > 0);
     }
 
     #[test]

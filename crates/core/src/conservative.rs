@@ -99,8 +99,9 @@ pub fn order_to_word(instance: &Instance, order: &[NodeId]) -> Result<CodingWord
     Ok(word)
 }
 
-/// Optimal acyclic throughput `T*_ac(σ)` for an increasing order `σ`, computed by dichotomic
-/// search on the word-validity conditions.
+/// Optimal acyclic throughput `T*_ac(σ)` for an increasing order `σ`, computed by the
+/// shared dichotomic driver ([`crate::search::DichotomicSearch`], via
+/// [`optimal_throughput_for_word`]) on the word-validity conditions.
 ///
 /// # Errors
 ///

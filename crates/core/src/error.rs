@@ -22,6 +22,26 @@ pub enum CoreError {
     /// A coding word was malformed with respect to the instance (wrong number of open or
     /// guarded symbols).
     InvalidWord(String),
+    /// A registered solver cannot handle the given instance for a reason other than
+    /// guarded nodes (e.g. the exhaustive oracle refusing an instance too large to
+    /// enumerate).
+    Unsupported {
+        /// Name of the solver that was invoked.
+        algorithm: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A solver produced a scheme whose max-flow verification fell short of the
+    /// throughput it claimed — an internal invariant violation surfaced instead of
+    /// silently returning an infeasible solution.
+    VerificationFailed {
+        /// Name of the solver that was invoked.
+        algorithm: &'static str,
+        /// Throughput the solver claimed.
+        claimed: f64,
+        /// Throughput the scheme actually achieves by max-flow.
+        achieved: f64,
+    },
     /// An error bubbled up from the LP cross-check oracle.
     Lp(bmp_lp::LpError),
     /// An error bubbled up from the platform layer.
@@ -43,6 +63,17 @@ impl fmt::Display for CoreError {
             ),
             CoreError::InvalidOrder(reason) => write!(f, "invalid node ordering: {reason}"),
             CoreError::InvalidWord(reason) => write!(f, "invalid coding word: {reason}"),
+            CoreError::Unsupported { algorithm, reason } => {
+                write!(f, "{algorithm} does not support this instance: {reason}")
+            }
+            CoreError::VerificationFailed {
+                algorithm,
+                claimed,
+                achieved,
+            } => write!(
+                f,
+                "{algorithm} claimed throughput {claimed} but its scheme only achieves {achieved}"
+            ),
             CoreError::Lp(e) => write!(f, "LP oracle error: {e}"),
             CoreError::Platform(e) => write!(f, "platform error: {e}"),
         }
@@ -85,6 +116,18 @@ mod tests {
         assert!(CoreError::InvalidWord("bad".into())
             .to_string()
             .contains("bad"));
+        let e = CoreError::Unsupported {
+            algorithm: "exhaustive",
+            reason: "too large".into(),
+        };
+        assert!(e.to_string().contains("exhaustive"));
+        assert!(e.to_string().contains("too large"));
+        let e = CoreError::VerificationFailed {
+            algorithm: "acyclic-guarded",
+            claimed: 4.0,
+            achieved: 3.5,
+        };
+        assert!(e.to_string().contains("3.5"));
     }
 
     #[test]

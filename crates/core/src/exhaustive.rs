@@ -5,7 +5,8 @@
 //! Enumerating them is exponential but perfectly fine for the small instances used to
 //! validate Algorithm 2 and the dichotomic search.
 
-use crate::word::{optimal_throughput_for_word, CodingWord, Symbol};
+use crate::search::DichotomicSearch;
+use crate::word::{is_valid_word, CodingWord, Symbol};
 use bmp_platform::Instance;
 
 /// Generates every coding word with `n` open and `m` guarded letters.
@@ -43,15 +44,30 @@ fn generate(
 /// best word. Intended for instances with at most ~20 receivers.
 #[must_use]
 pub fn optimal_acyclic_exhaustive(instance: &Instance, tolerance: f64) -> (f64, CodingWord) {
-    let words = all_words(instance.n(), instance.m());
+    let (throughput, word, _) = optimal_acyclic_exhaustive_traced(instance, tolerance);
+    (throughput, word)
+}
+
+/// Like [`optimal_acyclic_exhaustive`], additionally reporting the total number of
+/// dichotomic probes spent across all words (surfaced as telemetry by the solver
+/// registry).
+#[must_use]
+pub fn optimal_acyclic_exhaustive_traced(
+    instance: &Instance,
+    tolerance: f64,
+) -> (f64, CodingWord, u64) {
+    let upper = crate::bounds::cyclic_upper_bound(instance);
+    let search = DichotomicSearch::with_tolerance(tolerance);
+    let mut probes = 0u64;
     let mut best = (0.0_f64, CodingWord::empty());
-    for word in words {
-        let t = optimal_throughput_for_word(instance, &word, tolerance);
-        if t > best.0 {
-            best = (t, word);
+    for word in all_words(instance.n(), instance.m()) {
+        let outcome = search.maximize(upper, |t| is_valid_word(instance, t, &word));
+        probes += outcome.probes;
+        if outcome.value > best.0 {
+            best = (outcome.value, word);
         }
     }
-    best
+    (best.0, best.1, probes)
 }
 
 #[cfg(test)]

@@ -16,6 +16,32 @@
 //! Ground-truth oracles for the tests and experiments live in [`exhaustive`] (enumeration of
 //! increasing orders) and [`lp_check`] (linear programming via `bmp-lp`). Broadcast schemes
 //! themselves, and their throughput evaluation by max-flow (`bmp-flow`), live in [`scheme`].
+//!
+//! # Architecture: the unified solver API
+//!
+//! The algorithms above are uniformly exposed through the [`solver`] module, which is the
+//! entry point every layer (CLI, experiments, benchmarks) programs against:
+//!
+//! * [`solver::Solver`] — the trait every algorithm implements: `name()`, `describe()`,
+//!   `solve(&Instance, &mut EvalCtx) -> Result<Solution, CoreError>`.
+//! * [`solver::Solution`] — the uniform result: scheme, claimed (and verified) throughput,
+//!   optional coding word, algorithm label, and [`solver::Telemetry`] (flow solves,
+//!   bisection probes, wall time).
+//! * [`solver::EvalCtx`] — the *explicit* evaluation context owning the flow arena and
+//!   solver workspace. It is the primary throughput-evaluation path (the thread-local in
+//!   [`scheme`] remains only as a convenience fallback for ad-hoc calls) and it retains
+//!   the arena across evaluations: an unchanged edge set is re-scored by rewriting
+//!   capacities in place instead of rebuilding the CSR arena.
+//! * [`solver::registry`] — enumerates the built-in solvers (`acyclic-guarded`,
+//!   `acyclic-open`, `cyclic-open`, `exhaustive`, `omega-word`, `auto`); downstream
+//!   crates append their own implementations (`bmp-trees` ships a tree-decomposition
+//!   adapter, assembled into the full list by the CLI).
+//! * [`search::DichotomicSearch`] — the one shared bisection driver behind every
+//!   dichotomic search in the crate, reporting its probe count for telemetry.
+//!
+//! The pre-existing free functions and builder types ([`AcyclicGuardedSolver`],
+//! [`acyclic_open::acyclic_open_scheme`], [`cyclic_open::cyclic_open_scheme`], …) remain
+//! supported thin entry points; the trait implementations delegate to them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +62,8 @@ pub mod lp_check;
 pub mod omega;
 pub mod reduction;
 pub mod scheme;
+pub mod search;
+pub mod solver;
 pub mod word;
 pub mod worst_case;
 
@@ -45,4 +73,6 @@ pub use bounds::Bounds;
 pub use cyclic_open::{cyclic_open_optimal_scheme, cyclic_open_scheme};
 pub use error::CoreError;
 pub use scheme::BroadcastScheme;
+pub use search::DichotomicSearch;
+pub use solver::{registry, EvalCtx, Solution, Solver, Telemetry};
 pub use word::CodingWord;

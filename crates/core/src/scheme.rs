@@ -13,9 +13,14 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 
 thread_local! {
-    /// Reusable flow workspace: scheme evaluation is the hottest loop of the whole
-    /// workspace, and sharing one solver per thread makes repeated throughput queries
-    /// allocation-free in steady state.
+    /// Convenience fallback workspace for the inherent evaluation methods below.
+    ///
+    /// The *primary* evaluation path is an explicit [`crate::solver::EvalCtx`], which owns
+    /// its own arena + solver, retains the arena across near-identical evaluations, and
+    /// counts flow solves for telemetry; hot paths (the solver registry, experiment
+    /// sweeps, benchmarks) thread one through explicitly. The thread-local only keeps the
+    /// ad-hoc calls (`scheme.throughput()` in tests, examples and one-shot tooling)
+    /// allocation-free without forcing every caller to carry a context.
     static FLOW_SOLVER: RefCell<FlowSolver> = RefCell::new(FlowSolver::new());
 }
 
@@ -347,6 +352,14 @@ impl BroadcastScheme {
     #[must_use]
     pub fn edges(&self) -> Vec<(NodeId, NodeId, f64)> {
         self.nonzero_rates().collect()
+    }
+
+    /// Like [`BroadcastScheme::edges`], but writing into `buf` (cleared first) so repeat
+    /// callers — the incremental arena cache of [`crate::solver::EvalCtx`] — reuse one
+    /// allocation across evaluations.
+    pub fn edges_into(&self, buf: &mut Vec<(NodeId, NodeId, f64)>) {
+        buf.clear();
+        buf.extend(self.nonzero_rates());
     }
 }
 

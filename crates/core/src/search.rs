@@ -1,0 +1,142 @@
+//! The shared incremental dichotomic driver behind every bisection in the crate.
+//!
+//! Three call sites used to carry their own copy of the same loop — the Theorem 4.1
+//! solver ([`crate::acyclic_guarded`]), the per-word optimum
+//! ([`crate::word::optimal_throughput_for_word`], which also serves the per-order search
+//! of [`crate::conservative`]), and the exhaustive oracle ([`crate::exhaustive`]). They
+//! now all drive [`DichotomicSearch::maximize`], which fixes the bracketing convention
+//! (`lo` feasible, `hi` infeasible), the relative stopping rule, and the defensive
+//! iteration cap in one place, and reports how many probes were spent so callers can
+//! surface it as telemetry ([`crate::solver::Telemetry::bisection_iters`]).
+
+/// Dichotomic search over a monotone feasibility predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DichotomicSearch {
+    /// Relative precision of the search: the loop stops once the bracket width drops
+    /// below `tolerance * hi.max(1.0)`.
+    pub tolerance: f64,
+    /// Maximum number of bisection iterations (defensive cap; 200 halvings exhaust an
+    /// `f64` bracket long before this triggers).
+    pub max_iterations: usize,
+}
+
+impl Default for DichotomicSearch {
+    fn default() -> Self {
+        DichotomicSearch {
+            tolerance: 1e-10,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Result of a [`DichotomicSearch::maximize`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchOutcome {
+    /// Largest value found feasible (a lower bound on the true supremum, within the
+    /// search tolerance).
+    pub value: f64,
+    /// Number of predicate probes spent, including the initial probe of `upper`.
+    pub probes: u64,
+}
+
+impl DichotomicSearch {
+    /// Creates a driver with a custom relative tolerance and the default iteration cap.
+    #[must_use]
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        DichotomicSearch {
+            tolerance,
+            ..Self::default()
+        }
+    }
+
+    /// Largest `t ∈ [0, upper]` with `feasible(t)`, assuming `feasible` is monotone
+    /// (feasible on an interval starting at 0) and `feasible(0)` holds.
+    ///
+    /// When `upper <= 0` the search returns 0 without probing. When `upper` itself is
+    /// feasible it is returned after a single probe. Otherwise the invariant `lo`
+    /// feasible / `hi` infeasible is maintained until the bracket is narrower than
+    /// `tolerance * hi.max(1.0)` and the feasible end is returned.
+    pub fn maximize(&self, upper: f64, mut feasible: impl FnMut(f64) -> bool) -> SearchOutcome {
+        if upper <= 0.0 {
+            return SearchOutcome {
+                value: 0.0,
+                probes: 0,
+            };
+        }
+        let mut probes = 1;
+        if feasible(upper) {
+            return SearchOutcome {
+                value: upper,
+                probes,
+            };
+        }
+        let mut lo = 0.0_f64;
+        let mut hi = upper;
+        for _ in 0..self.max_iterations {
+            if hi - lo <= self.tolerance * hi.max(1.0) {
+                break;
+            }
+            let mid = 0.5 * (lo + hi);
+            probes += 1;
+            if feasible(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        SearchOutcome { value: lo, probes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_threshold_of_a_step_predicate() {
+        let search = DichotomicSearch::default();
+        let outcome = search.maximize(10.0, |t| t <= std::f64::consts::PI);
+        assert!((outcome.value - std::f64::consts::PI).abs() < 1e-9);
+        assert!(outcome.probes > 10);
+    }
+
+    #[test]
+    fn feasible_upper_returns_immediately() {
+        let search = DichotomicSearch::default();
+        let outcome = search.maximize(4.0, |_| true);
+        assert_eq!(outcome.value, 4.0);
+        assert_eq!(outcome.probes, 1);
+    }
+
+    #[test]
+    fn non_positive_upper_skips_probing() {
+        let search = DichotomicSearch::default();
+        let outcome = search.maximize(0.0, |_| panic!("must not probe"));
+        assert_eq!(outcome.value, 0.0);
+        assert_eq!(outcome.probes, 0);
+        assert_eq!(search.maximize(-3.0, |_| panic!()).value, 0.0);
+    }
+
+    #[test]
+    fn tolerance_controls_probe_count() {
+        let coarse = DichotomicSearch::with_tolerance(1e-3);
+        let fine = DichotomicSearch::with_tolerance(1e-12);
+        let coarse_probes = coarse.maximize(8.0, |t| t <= 5.5).probes;
+        let fine_probes = fine.maximize(8.0, |t| t <= 5.5).probes;
+        assert!(coarse_probes < fine_probes);
+        // Both brackets still contain the threshold from below.
+        assert!(coarse.maximize(8.0, |t| t <= 5.5).value <= 5.5);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let search = DichotomicSearch {
+            tolerance: 0.0,
+            max_iterations: 7,
+        };
+        let outcome = search.maximize(1.0, |t| t <= 0.3);
+        // One probe of the upper bound plus at most seven bisection probes.
+        assert!(outcome.probes <= 8);
+        assert!(outcome.value <= 0.3);
+    }
+}

@@ -1,0 +1,635 @@
+//! The unified solver API: one trait, one solution type, one evaluation context.
+//!
+//! Every scheduling algorithm of the crate is exposed through the [`Solver`] trait and
+//! enumerated by [`registry`], so the CLI, the experiment runners and the benchmarks all
+//! dispatch uniformly instead of hand-rolling per-algorithm branches:
+//!
+//! * [`Solver`] — `name()` / `describe()` / `solve(&Instance, &mut EvalCtx)`,
+//! * [`Solution`] — scheme + claimed throughput + optional coding word + algorithm label
+//!   \+ [`Telemetry`] (flow solves, bisection probes, wall time),
+//! * [`EvalCtx`] — an *explicit* flow-evaluation workspace owning the
+//!   [`FlowArena`] and [`FlowSolver`]. It replaces the hidden thread-local in
+//!   [`crate::scheme`] as the primary evaluation path and retains the arena across
+//!   evaluations: when the edge *set* of the evaluated network is unchanged (the
+//!   dichotomic search re-scoring near-identical schemes, churn sweeps re-scoring
+//!   survivor overlays), capacities are rewritten in place
+//!   ([`FlowArena::set_edge_capacities`]) instead of rebuilding the CSR arena.
+//!
+//! Every solver verifies its own output before returning: the constructed scheme is
+//! re-scored by max-flow through the context and a shortfall against the claimed
+//! throughput surfaces as [`CoreError::VerificationFailed`] instead of a silently wrong
+//! `Solution`.
+//!
+//! The registry contains the core algorithms (`acyclic-guarded`, `acyclic-open`,
+//! `cyclic-open`, `exhaustive`, `omega-word`, `auto`). Downstream crates implement
+//! [`Solver`] for their own algorithms and append them — `bmp-trees` ships a
+//! tree-decomposition adapter, and the CLI assembles the full list (core + trees) for
+//! `solve --algorithm` dispatch. (The adapter cannot live in this crate's registry
+//! because `bmp-trees` depends on `bmp-core`, not the other way around.)
+
+use crate::acyclic_guarded::AcyclicGuardedSolver;
+use crate::acyclic_open::acyclic_open_optimal_scheme;
+use crate::bounds::cyclic_upper_bound;
+use crate::cyclic_open::cyclic_open_optimal_scheme;
+use crate::error::CoreError;
+use crate::exhaustive::optimal_acyclic_exhaustive_traced;
+use crate::omega::{omega1, omega2};
+use crate::scheme::BroadcastScheme;
+use crate::search::DichotomicSearch;
+use crate::word::{is_valid_word, CodingWord, Symbol};
+use bmp_flow::{FlowArena, FlowSolver};
+use bmp_platform::{Instance, NodeId};
+use std::time::{Duration, Instant};
+
+/// Relative tolerance of the post-solve max-flow verification.
+const VERIFY_TOL: f64 = 1e-6;
+
+/// Cost counters and timing of one [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Telemetry {
+    /// Number of per-sink max-flow evaluations requested through the context (batched
+    /// evaluations count one per sink, even when the early-exit cap truncates a solve).
+    pub flow_solves: u64,
+    /// Number of feasibility probes spent by dichotomic searches.
+    pub bisection_iters: u64,
+    /// Wall-clock time of the solve, including verification.
+    pub wall_time: Duration,
+}
+
+/// Uniform result of every registered solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Registry name of the algorithm that actually ran (e.g. `"acyclic-guarded"`).
+    pub algorithm: &'static str,
+    /// Throughput the algorithm claims; verified against the scheme by max-flow before
+    /// the solution is returned.
+    pub throughput: f64,
+    /// The scheme's throughput as measured by max-flow during verification (within the
+    /// verification tolerance of `throughput`, and free for callers to display — the
+    /// evaluation already happened).
+    pub verified_throughput: f64,
+    /// The coding word / increasing order realising the scheme, for the algorithms that
+    /// have one.
+    pub word: Option<CodingWord>,
+    /// The explicit broadcast scheme.
+    pub scheme: BroadcastScheme,
+    /// Cost counters of this solve.
+    pub telemetry: Telemetry,
+}
+
+/// Explicit flow-evaluation workspace: owns the arena and the solver buffers, retains
+/// the arena across evaluations, and counts work for [`Telemetry`].
+///
+/// In steady state (same edge set as the previous evaluation) an evaluation performs no
+/// CSR construction and no allocation: the capacities are rewritten in place and the
+/// reusable [`FlowSolver`] buffers are refilled.
+#[derive(Debug, Clone)]
+pub struct EvalCtx {
+    solver: FlowSolver,
+    arena: Option<FlowArena>,
+    arena_nodes: usize,
+    /// Endpoints of the cached arena's edges, in edge order.
+    arena_edges: Vec<(NodeId, NodeId)>,
+    scratch_edges: Vec<(NodeId, NodeId, f64)>,
+    scratch_caps: Vec<f64>,
+    scratch_sinks: Vec<NodeId>,
+    tolerance: f64,
+    flow_solves: u64,
+    bisection_iters: u64,
+    arena_builds: u64,
+    arena_updates: u64,
+}
+
+impl Default for EvalCtx {
+    /// Same as [`EvalCtx::new`]: the derived zero-value would set `tolerance` to `0.0`
+    /// and degenerate every dichotomic search into its full iteration cap.
+    fn default() -> Self {
+        EvalCtx::new()
+    }
+}
+
+impl EvalCtx {
+    /// Default dichotomic tolerance, matching [`AcyclicGuardedSolver::default`].
+    pub const DEFAULT_TOLERANCE: f64 = 1e-10;
+
+    /// Creates a context with the default search tolerance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_tolerance(Self::DEFAULT_TOLERANCE)
+    }
+
+    /// Creates a context whose dichotomic searches use relative precision `tolerance`.
+    #[must_use]
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        EvalCtx {
+            solver: FlowSolver::new(),
+            arena: None,
+            arena_nodes: 0,
+            arena_edges: Vec::new(),
+            scratch_edges: Vec::new(),
+            scratch_caps: Vec::new(),
+            scratch_sinks: Vec::new(),
+            tolerance,
+            flow_solves: 0,
+            bisection_iters: 0,
+            arena_builds: 0,
+            arena_updates: 0,
+        }
+    }
+
+    /// Relative precision the registered solvers use for their dichotomic searches.
+    #[must_use]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The shared bisection driver configured with this context's tolerance.
+    #[must_use]
+    pub fn search(&self) -> DichotomicSearch {
+        DichotomicSearch::with_tolerance(self.tolerance)
+    }
+
+    /// Records `probes` dichotomic feasibility probes (solvers call this; exposed so
+    /// out-of-crate [`Solver`] implementations can account their searches too).
+    pub fn add_bisection_iters(&mut self, probes: u64) {
+        self.bisection_iters += probes;
+    }
+
+    /// Total per-sink max-flow evaluations requested so far.
+    #[must_use]
+    pub fn flow_solves(&self) -> u64 {
+        self.flow_solves
+    }
+
+    /// Total dichotomic probes recorded so far.
+    #[must_use]
+    pub fn bisection_iters(&self) -> u64 {
+        self.bisection_iters
+    }
+
+    /// Number of from-scratch CSR arena constructions performed.
+    #[must_use]
+    pub fn arena_builds(&self) -> u64 {
+        self.arena_builds
+    }
+
+    /// Number of evaluations that reused the cached arena via in-place capacity updates.
+    #[must_use]
+    pub fn arena_updates(&self) -> u64 {
+        self.arena_updates
+    }
+
+    /// Throughput of `scheme` (`min_k maxflow(source → C_k)`), evaluated through the
+    /// retained arena.
+    pub fn throughput(&mut self, scheme: &BroadcastScheme) -> f64 {
+        let mut edges = std::mem::take(&mut self.scratch_edges);
+        scheme.edges_into(&mut edges);
+        let mut sinks = std::mem::take(&mut self.scratch_sinks);
+        sinks.clear();
+        sinks.extend(scheme.instance().receivers());
+        let value = self.min_max_flow(scheme.instance().num_nodes(), &edges, 0, &sinks);
+        self.scratch_edges = edges;
+        self.scratch_sinks = sinks;
+        value
+    }
+
+    /// Maximum flow from the source to `receiver` in `scheme`'s weighted digraph.
+    pub fn max_flow_to(&mut self, scheme: &BroadcastScheme, receiver: NodeId) -> f64 {
+        let mut edges = std::mem::take(&mut self.scratch_edges);
+        scheme.edges_into(&mut edges);
+        self.prepare_arena(scheme.instance().num_nodes(), &edges);
+        self.scratch_edges = edges;
+        self.flow_solves += 1;
+        let arena = self.arena.as_ref().expect("arena prepared above");
+        self.solver.max_flow(arena, 0, receiver)
+    }
+
+    /// `min_k maxflow(source → sinks_k)` over an explicit edge list (the entry point for
+    /// evaluations that are not a whole scheme, e.g. survivor overlays in the churn
+    /// analysis). Returns `f64::INFINITY` when `sinks` is empty.
+    pub fn min_max_flow(
+        &mut self,
+        num_nodes: usize,
+        edges: &[(NodeId, NodeId, f64)],
+        source: NodeId,
+        sinks: &[NodeId],
+    ) -> f64 {
+        self.prepare_arena(num_nodes, edges);
+        self.flow_solves += sinks.len() as u64;
+        let arena = self.arena.as_ref().expect("arena prepared above");
+        self.solver.min_max_flow(arena, source, sinks)
+    }
+
+    /// Points the cached arena at `edges`: an in-place capacity rewrite when the edge
+    /// set (endpoints, in order) is unchanged, a CSR rebuild otherwise.
+    fn prepare_arena(&mut self, num_nodes: usize, edges: &[(NodeId, NodeId, f64)]) {
+        let reusable = self.arena.is_some()
+            && self.arena_nodes == num_nodes
+            && self.arena_edges.len() == edges.len()
+            && self
+                .arena_edges
+                .iter()
+                .zip(edges)
+                .all(|(&(from, to), &(from2, to2, _))| from == from2 && to == to2);
+        if reusable {
+            self.scratch_caps.clear();
+            self.scratch_caps
+                .extend(edges.iter().map(|&(_, _, cap)| cap));
+            self.arena
+                .as_mut()
+                .expect("reusable implies present")
+                .set_edge_capacities(&self.scratch_caps);
+            self.arena_updates += 1;
+        } else {
+            self.arena = Some(FlowArena::from_edges(num_nodes, edges));
+            self.arena_nodes = num_nodes;
+            self.arena_edges.clear();
+            self.arena_edges
+                .extend(edges.iter().map(|&(from, to, _)| (from, to)));
+            self.arena_builds += 1;
+        }
+    }
+}
+
+/// A broadcast scheduling algorithm with a uniform entry point.
+///
+/// Implementations must be stateless (configuration lives in the struct, scratch state
+/// in the [`EvalCtx`]), so one boxed instance can serve any number of solves.
+pub trait Solver: Send + Sync {
+    /// Registry name (`--algorithm` value), kebab-case.
+    fn name(&self) -> &'static str;
+
+    /// One-line human description (paper reference, supported instance classes).
+    fn describe(&self) -> &'static str;
+
+    /// Solves `instance`, evaluating flows through `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::GuardedNodesNotSupported`] or [`CoreError::Unsupported`] when the
+    /// algorithm cannot handle the instance; [`CoreError::VerificationFailed`] when the
+    /// constructed scheme fails its own max-flow verification.
+    fn solve(&self, instance: &Instance, ctx: &mut EvalCtx) -> Result<Solution, CoreError>;
+}
+
+/// Timing/verification scaffolding shared by every [`Solver`] implementation —
+/// including out-of-crate adapters such as the `bmp-trees` tree-decomposition solver.
+///
+/// Snapshot the context's counters with [`SolveRecorder::start`], run the algorithm,
+/// then let [`SolveRecorder::finish`] verify the claimed throughput by max-flow and
+/// assemble the [`Solution`] with the counter deltas as [`Telemetry`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolveRecorder {
+    started: Instant,
+    flow_solves: u64,
+    bisection_iters: u64,
+}
+
+impl SolveRecorder {
+    /// Snapshots `ctx`'s counters and the wall clock at the start of a solve.
+    #[must_use]
+    pub fn start(ctx: &EvalCtx) -> Self {
+        SolveRecorder {
+            started: Instant::now(),
+            flow_solves: ctx.flow_solves,
+            bisection_iters: ctx.bisection_iters,
+        }
+    }
+
+    /// Verifies the claimed throughput by max-flow through `ctx` and assembles the
+    /// [`Solution`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VerificationFailed`] when the scheme's measured throughput
+    /// falls short of `throughput` beyond the shared verification tolerance.
+    pub fn finish(
+        self,
+        algorithm: &'static str,
+        ctx: &mut EvalCtx,
+        throughput: f64,
+        word: Option<CodingWord>,
+        scheme: BroadcastScheme,
+    ) -> Result<Solution, CoreError> {
+        let achieved = ctx.throughput(&scheme);
+        if achieved + VERIFY_TOL * throughput.max(1.0) < throughput {
+            return Err(CoreError::VerificationFailed {
+                algorithm,
+                claimed: throughput,
+                achieved,
+            });
+        }
+        let telemetry = Telemetry {
+            flow_solves: ctx.flow_solves - self.flow_solves,
+            bisection_iters: ctx.bisection_iters - self.bisection_iters,
+            wall_time: self.started.elapsed(),
+        };
+        Ok(Solution {
+            algorithm,
+            throughput,
+            verified_throughput: achieved,
+            word,
+            scheme,
+            telemetry,
+        })
+    }
+}
+
+/// Theorem 4.1: dichotomic search over Algorithm 2 plus the low-degree construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AcyclicGuardedAlgorithm;
+
+impl Solver for AcyclicGuardedAlgorithm {
+    fn name(&self) -> &'static str {
+        "acyclic-guarded"
+    }
+
+    fn describe(&self) -> &'static str {
+        "optimal acyclic throughput by dichotomic search over GreedyTest, low-degree scheme of Lemma 4.6 (Theorem 4.1); any instance"
+    }
+
+    fn solve(&self, instance: &Instance, ctx: &mut EvalCtx) -> Result<Solution, CoreError> {
+        let recorder = SolveRecorder::start(ctx);
+        let legacy = AcyclicGuardedSolver::with_tolerance(ctx.tolerance());
+        let (throughput, word, probes) = legacy.optimal_throughput_traced(instance);
+        ctx.add_bisection_iters(probes);
+        let scheme = if throughput <= 0.0 {
+            BroadcastScheme::new(instance.clone())
+        } else {
+            legacy.scheme_for_word(instance, throughput, &word)?
+        };
+        recorder.finish(self.name(), ctx, throughput, Some(word), scheme)
+    }
+}
+
+/// Algorithm 1: closed-form optimal acyclic broadcast for open-only instances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AcyclicOpenAlgorithm;
+
+impl Solver for AcyclicOpenAlgorithm {
+    fn name(&self) -> &'static str {
+        "acyclic-open"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Algorithm 1: optimal acyclic broadcast at min(b0, S_{n-1}/n) (Section III-B); open-only instances"
+    }
+
+    fn solve(&self, instance: &Instance, ctx: &mut EvalCtx) -> Result<Solution, CoreError> {
+        let recorder = SolveRecorder::start(ctx);
+        let (scheme, throughput) = acyclic_open_optimal_scheme(instance)?;
+        let word = CodingWord::from_symbols(vec![Symbol::Open; instance.n()]);
+        recorder.finish(self.name(), ctx, throughput, Some(word), scheme)
+    }
+}
+
+/// Theorem 5.2: cyclic construction for open-only instances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CyclicOpenAlgorithm;
+
+impl Solver for CyclicOpenAlgorithm {
+    fn name(&self) -> &'static str {
+        "cyclic-open"
+    }
+
+    fn describe(&self) -> &'static str {
+        "optimal cyclic broadcast at min(b0, (b0+O)/n) with local re-routings (Theorem 5.2); open-only instances"
+    }
+
+    fn solve(&self, instance: &Instance, ctx: &mut EvalCtx) -> Result<Solution, CoreError> {
+        let recorder = SolveRecorder::start(ctx);
+        let (scheme, throughput) = cyclic_open_optimal_scheme(instance)?;
+        recorder.finish(self.name(), ctx, throughput, None, scheme)
+    }
+}
+
+/// Ground-truth oracle: enumeration of every increasing order (coding word).
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveAlgorithm {
+    /// Refuse instances with more receivers than this (the enumeration is `C(n+m, m)`
+    /// words; 20 letters is ~184k words at worst).
+    pub max_letters: usize,
+}
+
+impl Default for ExhaustiveAlgorithm {
+    fn default() -> Self {
+        ExhaustiveAlgorithm { max_letters: 20 }
+    }
+}
+
+impl Solver for ExhaustiveAlgorithm {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn describe(&self) -> &'static str {
+        "ground-truth optimal acyclic throughput by enumerating every increasing order (Lemma 4.2); small instances only"
+    }
+
+    fn solve(&self, instance: &Instance, ctx: &mut EvalCtx) -> Result<Solution, CoreError> {
+        let letters = instance.n() + instance.m();
+        if letters > self.max_letters {
+            return Err(CoreError::Unsupported {
+                algorithm: self.name(),
+                reason: format!(
+                    "{letters} receivers exceed the enumeration cap of {} letters",
+                    self.max_letters
+                ),
+            });
+        }
+        let recorder = SolveRecorder::start(ctx);
+        let (throughput, word, probes) =
+            optimal_acyclic_exhaustive_traced(instance, ctx.tolerance());
+        ctx.add_bisection_iters(probes);
+        let scheme = if throughput <= 0.0 {
+            BroadcastScheme::new(instance.clone())
+        } else {
+            AcyclicGuardedSolver::with_tolerance(ctx.tolerance())
+                .scheme_for_word(instance, throughput, &word)?
+        };
+        recorder.finish(self.name(), ctx, throughput, Some(word), scheme)
+    }
+}
+
+/// The better of the two regular interleaving words `ω1`/`ω2` of Theorem 6.2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OmegaWordAlgorithm;
+
+impl Solver for OmegaWordAlgorithm {
+    fn name(&self) -> &'static str {
+        "omega-word"
+    }
+
+    fn describe(&self) -> &'static str {
+        "best regular interleaving word omega1/omega2 (Theorem 6.2 heuristic, >= 5/7 of the cyclic optimum); any instance"
+    }
+
+    fn solve(&self, instance: &Instance, ctx: &mut EvalCtx) -> Result<Solution, CoreError> {
+        let recorder = SolveRecorder::start(ctx);
+        let upper = cyclic_upper_bound(instance);
+        let search = ctx.search();
+        let mut best = (f64::NEG_INFINITY, CodingWord::empty());
+        // Same selection rule as `omega::best_omega_throughput` (ω1 wins ties), with the
+        // probes of both searches accounted.
+        for word in [
+            omega2(instance.n(), instance.m()),
+            omega1(instance.n(), instance.m()),
+        ] {
+            let outcome = search.maximize(upper, |t| is_valid_word(instance, t, &word));
+            ctx.add_bisection_iters(outcome.probes);
+            if outcome.value >= best.0 {
+                best = (outcome.value, word);
+            }
+        }
+        let (throughput, word) = best;
+        let scheme = if throughput <= 0.0 {
+            BroadcastScheme::new(instance.clone())
+        } else {
+            AcyclicGuardedSolver::with_tolerance(ctx.tolerance())
+                .scheme_for_word(instance, throughput, &word)?
+        };
+        recorder.finish(self.name(), ctx, throughput, Some(word), scheme)
+    }
+}
+
+/// Instance-driven dispatch: the cyclic construction when it applies, Theorem 4.1
+/// otherwise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutoAlgorithm;
+
+impl Solver for AutoAlgorithm {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn describe(&self) -> &'static str {
+        "cyclic-open on open-only instances (cyclic >= acyclic there), acyclic-guarded otherwise; the returned label names the algorithm that ran"
+    }
+
+    fn solve(&self, instance: &Instance, ctx: &mut EvalCtx) -> Result<Solution, CoreError> {
+        if instance.has_guarded() {
+            AcyclicGuardedAlgorithm.solve(instance, ctx)
+        } else {
+            CyclicOpenAlgorithm.solve(instance, ctx)
+        }
+    }
+}
+
+/// Every solver implemented by this crate, in presentation order.
+///
+/// Downstream crates append their own [`Solver`] implementations (e.g. the
+/// tree-decomposition adapter of `bmp-trees`) before dispatching by name.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(AcyclicGuardedAlgorithm),
+        Box::new(AcyclicOpenAlgorithm),
+        Box::new(CyclicOpenAlgorithm),
+        Box::new(ExhaustiveAlgorithm::default()),
+        Box::new(OmegaWordAlgorithm),
+        Box::new(AutoAlgorithm),
+    ]
+}
+
+/// Looks a core solver up by registry name.
+#[must_use]
+pub fn find(name: &str) -> Option<Box<dyn Solver>> {
+    registry().into_iter().find(|solver| solver.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_platform::paper::figure1;
+
+    #[test]
+    fn registry_names_are_unique_and_described() {
+        let solvers = registry();
+        assert!(solvers.len() >= 5);
+        let mut names: Vec<&str> = solvers.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), solvers.len(), "duplicate registry names");
+        for solver in &solvers {
+            assert!(!solver.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn find_resolves_known_names_only() {
+        assert!(find("acyclic-guarded").is_some());
+        assert!(find("cyclic-open").is_some());
+        assert!(find("no-such-solver").is_none());
+    }
+
+    #[test]
+    fn acyclic_guarded_matches_legacy_entry_point() {
+        let instance = figure1();
+        let mut ctx = EvalCtx::new();
+        let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
+        let legacy = AcyclicGuardedSolver::default().solve(&instance);
+        assert!((solution.throughput - legacy.throughput).abs() < 1e-9);
+        assert_eq!(solution.word.as_ref().unwrap(), &legacy.word);
+        assert_eq!(solution.scheme, legacy.scheme);
+        assert!(solution.telemetry.bisection_iters > 0);
+        assert!(solution.telemetry.flow_solves > 0);
+    }
+
+    #[test]
+    fn auto_picks_the_instance_appropriate_algorithm() {
+        let mut ctx = EvalCtx::new();
+        let guarded = AutoAlgorithm.solve(&figure1(), &mut ctx).unwrap();
+        assert_eq!(guarded.algorithm, "acyclic-guarded");
+        let open = Instance::open_only(10.0, vec![4.0, 4.0, 1.0]).unwrap();
+        let open_solution = AutoAlgorithm.solve(&open, &mut ctx).unwrap();
+        assert_eq!(open_solution.algorithm, "cyclic-open");
+        // On this instance the cyclic optimum strictly beats the acyclic one.
+        assert!(open_solution.throughput > guarded.throughput);
+    }
+
+    #[test]
+    fn exhaustive_refuses_oversized_instances() {
+        let big = Instance::open_only(5.0, vec![1.0; 30]).unwrap();
+        let err = ExhaustiveAlgorithm::default()
+            .solve(&big, &mut EvalCtx::new())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn eval_ctx_reuses_arena_across_identical_edge_sets() {
+        let instance = figure1();
+        let mut ctx = EvalCtx::new();
+        let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
+        let mut scheme = solution.scheme;
+        // The solve's own verification built the arena for this scheme's edge set; every
+        // following evaluation over the same edge set — including one with perturbed
+        // rates — must go through the in-place capacity update, not a rebuild.
+        let before_builds = ctx.arena_builds();
+        let updates_before = ctx.arena_updates();
+        let t1 = ctx.throughput(&scheme);
+        let (from, to, rate) = scheme.edges()[0];
+        scheme.set_rate(from, to, rate * 0.5);
+        let t2 = ctx.throughput(&scheme);
+        assert_eq!(ctx.arena_builds(), before_builds);
+        assert_eq!(ctx.arena_updates(), updates_before + 2);
+        assert!(t2 <= t1 + 1e-12);
+        // And the incremental result matches a from-scratch evaluation.
+        assert_eq!(t2, EvalCtx::new().throughput(&scheme));
+    }
+
+    #[test]
+    fn eval_ctx_max_flow_matches_scheme_method() {
+        let instance = figure1();
+        let solution = AcyclicGuardedAlgorithm
+            .solve(&instance, &mut EvalCtx::new())
+            .unwrap();
+        let mut ctx = EvalCtx::new();
+        for receiver in instance.receivers() {
+            assert_eq!(
+                ctx.max_flow_to(&solution.scheme, receiver),
+                solution.scheme.max_flow_to(receiver)
+            );
+        }
+    }
+}

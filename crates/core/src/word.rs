@@ -283,8 +283,9 @@ pub fn word_trace(instance: &Instance, throughput: f64, word: &CodingWord) -> Ve
     states
 }
 
-/// Largest throughput for which `word` is valid (`T*_ac(word)`), computed by dichotomic
-/// search up to relative precision `tolerance`.
+/// Largest throughput for which `word` is valid (`T*_ac(word)`), computed by the shared
+/// dichotomic driver ([`crate::search::DichotomicSearch`]) up to relative precision
+/// `tolerance`.
 ///
 /// Returns 0 when the word is invalid even for arbitrarily small throughput (e.g. wrong
 /// counts).
@@ -293,27 +294,10 @@ pub fn optimal_throughput_for_word(instance: &Instance, word: &CodingWord, toler
     if !word.is_complete_for(instance) {
         return 0.0;
     }
-    let mut lo = 0.0_f64;
-    let mut hi = crate::bounds::cyclic_upper_bound(instance);
-    if hi <= 0.0 {
-        return 0.0;
-    }
-    if is_valid_word(instance, hi, word) {
-        return hi;
-    }
-    // Invariant: `lo` is valid, `hi` is not.
-    for _ in 0..200 {
-        if hi - lo <= tolerance * hi.max(1.0) {
-            break;
-        }
-        let mid = 0.5 * (lo + hi);
-        if is_valid_word(instance, mid, word) {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    lo
+    let upper = crate::bounds::cyclic_upper_bound(instance);
+    crate::search::DichotomicSearch::with_tolerance(tolerance)
+        .maximize(upper, |t| is_valid_word(instance, t, word))
+        .value
 }
 
 #[cfg(test)]

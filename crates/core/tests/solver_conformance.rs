@@ -1,0 +1,210 @@
+//! Conformance suite for the unified solver registry: every registered solver, run over a
+//! corpus of small open/guarded instances, must produce a feasible scheme whose claimed
+//! throughput is certified by max-flow, with populated telemetry — and the trait
+//! implementations must agree with the legacy free-function entry points they wrap.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_core::acyclic_open::acyclic_open_optimal_scheme;
+use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
+use bmp_core::exhaustive::optimal_acyclic_exhaustive;
+use bmp_core::omega::best_omega_throughput;
+use bmp_core::solver::{registry, EvalCtx};
+use bmp_core::CoreError;
+use bmp_platform::paper::{figure1, figure11, figure14};
+use bmp_platform::Instance;
+use proptest::prelude::*;
+
+/// Small open/guarded instances covering every solver's supported class.
+fn corpus() -> Vec<Instance> {
+    vec![
+        figure1(),
+        figure11(),
+        figure14(),
+        Instance::open_only(6.0, vec![5.0, 4.0, 3.0]).unwrap(),
+        Instance::open_only(10.0, vec![4.0, 4.0, 1.0]).unwrap(),
+        Instance::new(6.0, vec![], vec![2.0, 1.0, 1.0]).unwrap(),
+        Instance::new(10.0, vec![8.0, 6.0, 5.0, 2.0], vec![7.0, 3.0, 1.0]).unwrap(),
+        Instance::new(3.0, vec![9.0, 1.0], vec![4.0, 4.0, 0.5, 0.5]).unwrap(),
+        Instance::new(1.0, vec![0.5; 4], vec![3.0; 2]).unwrap(),
+    ]
+}
+
+/// Solvers that report a coding word and spend dichotomic probes.
+fn is_word_based(name: &str) -> bool {
+    matches!(name, "acyclic-guarded" | "exhaustive" | "omega-word")
+}
+
+#[test]
+fn every_solver_conforms_on_the_corpus() {
+    let mut ctx = EvalCtx::new();
+    for solver in registry() {
+        let mut solved = 0usize;
+        for instance in corpus() {
+            let solution = match solver.solve(&instance, &mut ctx) {
+                Ok(solution) => solution,
+                // Class restrictions are legitimate (open-only algorithms on guarded
+                // instances); anything else is a conformance failure.
+                Err(CoreError::GuardedNodesNotSupported { .. })
+                | Err(CoreError::Unsupported { .. }) => continue,
+                Err(other) => panic!("{}: unexpected error {other}", solver.name()),
+            };
+            solved += 1;
+            assert!(
+                solution.scheme.validate().is_empty(),
+                "{}: violations {:?}",
+                solver.name(),
+                solution.scheme.validate()
+            );
+            // The claimed throughput is certified by max-flow on the returned scheme.
+            let achieved = solution.scheme.throughput();
+            assert!(
+                (achieved - solution.throughput).abs() <= 1e-5 * solution.throughput.max(1.0),
+                "{}: claimed {} vs measured {achieved}",
+                solver.name(),
+                solution.throughput
+            );
+            // Telemetry counters are populated: every solve verifies by max-flow, and
+            // word-based solvers spend dichotomic probes.
+            assert!(
+                solution.telemetry.flow_solves > 0,
+                "{}: no flow solves recorded",
+                solver.name()
+            );
+            if is_word_based(solution.algorithm) && solution.throughput > 0.0 {
+                assert!(
+                    solution.telemetry.bisection_iters > 0,
+                    "{}: no bisection probes recorded",
+                    solver.name()
+                );
+                assert!(solution.word.is_some(), "{}: missing word", solver.name());
+            }
+        }
+        assert!(
+            solved >= 2,
+            "{} solved only {solved} corpus instances",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn word_based_solvers_never_beat_the_ground_truth() {
+    // The exhaustive oracle is the acyclic optimum; the heuristics must stay at or below
+    // it, and acyclic-guarded must match it.
+    let mut ctx = EvalCtx::new();
+    let by_name = |name: &str| {
+        registry()
+            .into_iter()
+            .find(|s| s.name() == name)
+            .expect("registered")
+    };
+    for instance in corpus() {
+        let exact = by_name("exhaustive").solve(&instance, &mut ctx).unwrap();
+        let guarded = by_name("acyclic-guarded")
+            .solve(&instance, &mut ctx)
+            .unwrap();
+        let omega = by_name("omega-word").solve(&instance, &mut ctx).unwrap();
+        let tol = 1e-5 * exact.throughput.max(1.0);
+        assert!(
+            (guarded.throughput - exact.throughput).abs() <= tol,
+            "dichotomic {} vs exhaustive {}",
+            guarded.throughput,
+            exact.throughput
+        );
+        assert!(omega.throughput <= exact.throughput + tol);
+    }
+}
+
+#[test]
+fn trait_impls_match_legacy_entry_points() {
+    // The legacy free functions / builder remain the implementation; the trait adapters
+    // must be exactly equivalent on their shared domain.
+    let mut ctx = EvalCtx::new();
+    let by_name = |name: &str| {
+        registry()
+            .into_iter()
+            .find(|s| s.name() == name)
+            .expect("registered")
+    };
+    for instance in corpus() {
+        let legacy = AcyclicGuardedSolver::default().solve(&instance);
+        let adapted = by_name("acyclic-guarded")
+            .solve(&instance, &mut ctx)
+            .unwrap();
+        assert!((legacy.throughput - adapted.throughput).abs() < 1e-12);
+        assert_eq!(Some(&legacy.word), adapted.word.as_ref());
+        assert_eq!(legacy.scheme, adapted.scheme);
+
+        let (exhaustive_t, _) = optimal_acyclic_exhaustive(&instance, EvalCtx::DEFAULT_TOLERANCE);
+        let exhaustive = by_name("exhaustive").solve(&instance, &mut ctx).unwrap();
+        assert!((exhaustive_t - exhaustive.throughput).abs() < 1e-9);
+
+        let (omega_t, _) = best_omega_throughput(&instance, EvalCtx::DEFAULT_TOLERANCE);
+        let omega = by_name("omega-word").solve(&instance, &mut ctx).unwrap();
+        assert!((omega_t - omega.throughput).abs() < 1e-9);
+
+        if !instance.has_guarded() {
+            let (legacy_scheme, legacy_t) = acyclic_open_optimal_scheme(&instance).unwrap();
+            let open = by_name("acyclic-open").solve(&instance, &mut ctx).unwrap();
+            assert_eq!(legacy_t, open.throughput);
+            assert_eq!(legacy_scheme, open.scheme);
+
+            let (legacy_scheme, legacy_t) = cyclic_open_optimal_scheme(&instance).unwrap();
+            let cyclic = by_name("cyclic-open").solve(&instance, &mut ctx).unwrap();
+            assert_eq!(legacy_t, cyclic.throughput);
+            assert_eq!(legacy_scheme, cyclic.scheme);
+        }
+    }
+}
+
+/// Random open-only instance and rate matrix; entries below 0.5 are zeroed so that the
+/// edge *set* survives the ±50% rate perturbations used by the incremental test.
+fn random_scheme() -> impl Strategy<Value = (bmp_core::BroadcastScheme, Vec<f64>)> {
+    (2..=7usize).prop_flat_map(|n| {
+        let rates = proptest::collection::vec(0.0_f64..10.0, n * n);
+        let factors = proptest::collection::vec(0.5_f64..1.5, n * n);
+        (rates, factors).prop_map(move |(rates, factors)| {
+            let instance =
+                Instance::open_only(5.0, vec![1.0; n - 1]).expect("valid open-only instance");
+            let mut scheme = bmp_core::BroadcastScheme::new(instance);
+            for i in 0..n {
+                for j in 0..n {
+                    let rate = rates[i * n + j];
+                    if i != j && rate >= 0.5 {
+                        scheme.set_rate(i, j, rate);
+                    }
+                }
+            }
+            (scheme, factors)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental-capacity arena path (retained arena, capacities rewritten in
+    /// place) must equal a from-scratch rebuild for every evaluation of a perturbed
+    /// scheme.
+    #[test]
+    fn incremental_arena_equals_rebuild(case in random_scheme()) {
+        let (mut scheme, factors) = case;
+        let mut retained = EvalCtx::new();
+        let first = retained.throughput(&scheme);
+        prop_assert_eq!(first, EvalCtx::new().throughput(&scheme));
+        // Perturb every edge's rate without changing the edge set, twice.
+        for round in 0..2 {
+            let n = scheme.instance().num_nodes();
+            for (from, to, rate) in scheme.edges() {
+                let factor = factors[(from * n + to) % factors.len()];
+                scheme.set_rate(from, to, rate * factor);
+            }
+            let updates_before = retained.arena_updates();
+            let incremental = retained.throughput(&scheme);
+            let fresh = EvalCtx::new().throughput(&scheme);
+            prop_assert_eq!(incremental, fresh, "round {}", round);
+            prop_assert_eq!(retained.arena_updates(), updates_before + 1,
+                "round {} did not take the incremental path", round);
+        }
+    }
+}

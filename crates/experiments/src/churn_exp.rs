@@ -13,11 +13,12 @@
 //!   of the surviving platform (Theorem 4.1 guarantees at least 5/7).
 
 use crate::csvout::CsvTable;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_with;
 use crate::stats::Summary;
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
 use bmp_core::bounds::cyclic_upper_bound;
-use bmp_core::churn::{repair, residual_throughput};
+use bmp_core::churn::{repair, residual_throughput_with};
+use bmp_core::solver::EvalCtx;
 use bmp_platform::distribution::NamedDistribution;
 use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
 use rand::rngs::StdRng;
@@ -132,7 +133,12 @@ impl ChurnReport {
     }
 }
 
-fn run_trial(receivers: usize, kind: DepartureKind, seed: u64) -> Option<ChurnTrial> {
+fn run_trial(
+    ctx: &mut EvalCtx,
+    receivers: usize,
+    kind: DepartureKind,
+    seed: u64,
+) -> Option<ChurnTrial> {
     let mut rng = StdRng::seed_from_u64(seed);
     let config = GeneratorConfig::new(receivers, 0.7).ok()?;
     let generator = InstanceGenerator::new(config, NamedDistribution::Unif100.build());
@@ -148,7 +154,7 @@ fn run_trial(receivers: usize, kind: DepartureKind, seed: u64) -> Option<ChurnTr
         }
         DepartureKind::RandomReceiver => rng.gen_range(1..instance.num_nodes()),
     };
-    let residual = residual_throughput(&solution.scheme, &[victim]);
+    let residual = residual_throughput_with(&solution.scheme, &[victim], ctx);
     let outcome = repair(&instance, &[victim], &solver)?;
     Some(ChurnTrial {
         receivers,
@@ -171,11 +177,15 @@ pub fn run(quick: bool, threads: usize) -> ChurnReport {
             let seeds: Vec<u64> = (0..trials)
                 .map(|t| t as u64 * 7919 + receivers as u64)
                 .collect();
+            // One EvalCtx per worker: the flow workspace is reused across that worker's
+            // whole chunk instead of leaning on the scheme.rs thread-local.
             let trials: Vec<ChurnTrial> =
-                parallel_map(&seeds, threads, |&seed| run_trial(receivers, kind, seed))
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                parallel_map_with(&seeds, threads, EvalCtx::new, |ctx, &seed| {
+                    run_trial(ctx, receivers, kind, seed)
+                })
+                .into_iter()
+                .flatten()
+                .collect();
             let residual: Vec<f64> = trials.iter().map(ChurnTrial::residual_ratio).collect();
             let repaired: Vec<f64> = trials.iter().map(ChurnTrial::repaired_ratio).collect();
             if let (Some(residual), Some(repaired)) =

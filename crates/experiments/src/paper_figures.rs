@@ -1,9 +1,9 @@
 //! Figures 1, 2 and 5: the paper's running example, its optimal cyclic scheme, its acyclic
 //! schemes, and an end-to-end streaming simulation over the computed overlays.
 
-use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
 use bmp_core::bounds::cyclic_upper_bound;
 use bmp_core::scheme::BroadcastScheme;
+use bmp_core::solver::{AcyclicGuardedAlgorithm, EvalCtx, Solver};
 use bmp_core::word::CodingWord;
 use bmp_platform::paper::figure1;
 use bmp_sim::{Overlay, SimConfig, Simulator};
@@ -33,9 +33,10 @@ pub struct PaperFiguresReport {
 pub fn run() -> PaperFiguresReport {
     let instance = figure1();
     let cyclic_optimum = cyclic_upper_bound(&instance);
-    let solver = AcyclicGuardedSolver::default();
-    let solution = solver.solve(&instance);
-    let measured_throughput = solution.scheme.throughput();
+    let solution = AcyclicGuardedAlgorithm
+        .solve(&instance, &mut EvalCtx::new())
+        .expect("the acyclic-guarded solver handles every instance");
+    let measured_throughput = solution.verified_throughput;
     let overlay = Overlay::from_scheme(&solution.scheme);
     let sim_config = SimConfig {
         num_chunks: 400,
@@ -48,7 +49,7 @@ pub fn run() -> PaperFiguresReport {
     PaperFiguresReport {
         cyclic_optimum,
         acyclic_optimum: solution.throughput,
-        word: solution.word,
+        word: solution.word.expect("acyclic-guarded always yields a word"),
         outdegrees: solution.scheme.outdegrees(),
         acyclic_scheme: solution.scheme,
         measured_throughput,

@@ -16,8 +16,26 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, threads, || (), |(), item| f(item))
+}
+
+/// Like [`parallel_map`], but every worker thread builds one reusable state with `init`
+/// and threads it through its whole chunk.
+///
+/// This is how the sweeps carry a per-worker `bmp_core::solver::EvalCtx`: the flow
+/// workspace (and, for fixed edge sets, the arena itself) is constructed once per worker
+/// instead of once per item — or, worse, hidden in a thread-local the caller cannot see
+/// or account.
+pub fn parallel_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let workers = threads.min(items.len());
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
@@ -30,10 +48,11 @@ where
         for (chunk_index, results_chunk) in results.chunks_mut(chunk_size).enumerate() {
             let start = chunk_index * chunk_size;
             let items_chunk = &items[start..(start + results_chunk.len()).min(items.len())];
-            let f = &f;
+            let (init, f) = (&init, &f);
             scope.spawn(move |_| {
+                let mut state = init();
                 for (slot, item) in results_chunk.iter_mut().zip(items_chunk) {
-                    *slot = Some(f(item));
+                    *slot = Some(f(&mut state, item));
                 }
             });
         }
@@ -93,5 +112,36 @@ mod tests {
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
         assert!(default_threads() <= 8);
+    }
+
+    #[test]
+    fn stateful_map_reuses_one_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..100).collect();
+        let inits = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |acc, &x| {
+                *acc += 1;
+                x + *acc - *acc // result independent of the state
+            },
+        );
+        assert_eq!(out, items);
+        // One state per worker (4), not one per item (100).
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+        // Sequential path: exactly one state.
+        let inits_seq = AtomicUsize::new(0);
+        let _ = parallel_map_with(
+            &items,
+            1,
+            || inits_seq.fetch_add(1, Ordering::Relaxed),
+            |_, &x| x,
+        );
+        assert_eq!(inits_seq.load(Ordering::Relaxed), 1);
     }
 }

@@ -139,6 +139,64 @@ impl FlowArena {
         self.in_cap[node]
     }
 
+    /// Endpoints `(tail, head)` of input edge `edge` (insertion order of
+    /// [`FlowArena::from_edges`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge >= num_edges`.
+    #[must_use]
+    pub fn edge_endpoints(&self, edge: usize) -> (usize, usize) {
+        let forward = self.edge_pos[edge] as usize;
+        let head = self.to[forward] as usize;
+        let tail = self.to[self.partner[forward] as usize] as usize;
+        (tail, head)
+    }
+
+    /// Capacity currently assigned to input edge `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge >= num_edges`.
+    #[must_use]
+    pub fn edge_capacity(&self, edge: usize) -> f64 {
+        self.base_cap[self.edge_pos[edge] as usize]
+    }
+
+    /// Overwrites every input edge's capacity in place (`capacities[k]` is the new
+    /// capacity of edge `k`).
+    ///
+    /// This is the incremental-update path used by evaluation contexts that re-score
+    /// near-identical networks (e.g. the dichotomic search probing a scheme whose edge
+    /// *set* is fixed while the rates move): instead of rebuilding the arena — degree
+    /// counting, prefix sums, and five array allocations — only the capacities and the
+    /// in-capacity sums are rewritten. The result is bit-for-bit the arena that
+    /// [`FlowArena::from_edges`] would build over the same edge set with the new
+    /// capacities — in-capacities are resummed in insertion order — without any
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities.len() != num_edges` or any capacity is negative or not
+    /// finite.
+    pub fn set_edge_capacities(&mut self, capacities: &[f64]) {
+        assert_eq!(
+            capacities.len(),
+            self.num_edges,
+            "expected one capacity per input edge"
+        );
+        self.in_cap.fill(0.0);
+        for (edge, &capacity) in capacities.iter().enumerate() {
+            assert!(
+                capacity.is_finite() && capacity >= 0.0,
+                "capacity must be finite and non-negative, got {capacity}"
+            );
+            let forward = self.edge_pos[edge] as usize;
+            self.base_cap[forward] = capacity;
+            self.in_cap[self.to[forward] as usize] += capacity;
+        }
+    }
+
     /// Total capacity leaving `node` (`O(out-degree)`).
     #[must_use]
     pub fn out_capacity(&self, node: usize) -> f64 {
@@ -734,6 +792,52 @@ mod tests {
         assert!((pr.value - dinic).abs() < 1e-9);
         assert_eq!(ek.edge_flows.len(), arena.num_edges());
         assert_eq!(pr.edge_flows.len(), arena.num_edges());
+    }
+
+    #[test]
+    fn edge_accessors_follow_insertion_order() {
+        let arena = diamond_arena();
+        assert_eq!(arena.edge_endpoints(0), (0, 1));
+        assert_eq!(arena.edge_endpoints(4), (1, 2));
+        assert_eq!(arena.edge_capacity(0), 3.0);
+        assert_eq!(arena.edge_capacity(3), 4.0);
+    }
+
+    #[test]
+    fn in_place_capacity_update_matches_rebuild() {
+        let edges = [
+            (0usize, 1usize, 3.0),
+            (0, 2, 2.0),
+            (1, 3, 2.0),
+            (2, 3, 4.0),
+            (1, 2, 5.0),
+        ];
+        let mut updated = FlowArena::from_edges(4, &edges);
+        let new_caps = [1.0, 7.0, 0.0, 2.5, 3.0];
+        updated.set_edge_capacities(&new_caps);
+        let rebuilt = FlowArena::from_edges(
+            4,
+            &edges
+                .iter()
+                .zip(new_caps)
+                .map(|(&(from, to, _), cap)| (from, to, cap))
+                .collect::<Vec<_>>(),
+        );
+        // The updated arena must be bit-for-bit the rebuilt one (same CSR layout, same
+        // capacities, same in-capacities), so every downstream solve agrees exactly.
+        assert_eq!(updated, rebuilt);
+        let mut solver = FlowSolver::new();
+        assert_eq!(
+            solver.max_flow(&updated, 0, 3),
+            solver.max_flow(&rebuilt, 0, 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_capacity_update_is_rejected() {
+        let mut arena = diamond_arena();
+        arena.set_edge_capacities(&[1.0, 2.0, -1.0, 4.0, 5.0]);
     }
 
     #[test]

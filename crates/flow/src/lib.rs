@@ -13,7 +13,10 @@
 //! * [`csr::FlowArena`] — a flat compressed-sparse-row arc arena (`start`/`to`/`partner`/
 //!   `base_cap` arrays plus precomputed per-node in-capacities), built once per network.
 //!   Residual arcs of a node are contiguous, so the hot BFS/DFS loops scan linear memory
-//!   instead of chasing `Vec<Vec<usize>>` pointers.
+//!   instead of chasing `Vec<Vec<usize>>` pointers. When only the *capacities* of a fixed
+//!   edge set change (the dichotomic search re-scoring near-identical schemes),
+//!   [`csr::FlowArena::set_edge_capacities`] rewrites them in place — equivalent to a
+//!   from-scratch rebuild, without the CSR construction or its allocations.
 //! * [`csr::FlowSolver`] — a workspace owning every buffer the solvers mutate (residual
 //!   capacities, levels, current-arc cursors, queues, push-relabel state). Buffers are
 //!   reused across calls: in steady state a solve performs **zero heap allocation**.

@@ -146,6 +146,31 @@ proptest! {
     }
 
     #[test]
+    fn incremental_capacity_update_equals_rebuild(
+        net in random_network(8, 24),
+        new_caps in proptest::collection::vec(0.0_f64..20.0, 0..=24),
+    ) {
+        // Overwriting capacities in place must be indistinguishable from rebuilding the
+        // arena from scratch over the same edge set with the new capacities.
+        let mut updated = net.arena();
+        let edges: Vec<(usize, usize, f64)> = (0..updated.num_edges())
+            .map(|k| {
+                let (from, to) = updated.edge_endpoints(k);
+                let cap = new_caps.get(k).copied().unwrap_or(updated.edge_capacity(k));
+                (from, to, cap)
+            })
+            .collect();
+        updated.set_edge_capacities(&edges.iter().map(|&(_, _, cap)| cap).collect::<Vec<_>>());
+        let rebuilt = bmp_flow::FlowArena::from_edges(net.num_nodes(), &edges);
+        prop_assert_eq!(&updated, &rebuilt);
+        let sinks: Vec<usize> = (1..net.num_nodes()).collect();
+        let mut solver = FlowSolver::new();
+        let incremental = solver.min_max_flow(&updated, 0, &sinks);
+        let fresh = solver.min_max_flow(&rebuilt, 0, &sinks);
+        prop_assert_eq!(incremental, fresh);
+    }
+
+    #[test]
     fn adding_an_edge_never_decreases_flow(net in random_network(7, 18), extra_cap in 0.1_f64..5.0) {
         let s = 0;
         let t = net.num_nodes() - 1;

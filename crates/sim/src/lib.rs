@@ -2,7 +2,7 @@
 //!
 //! The paper computes *static* overlay networks (which node sends to which node, at which
 //! rate) and delegates the actual data transfer to the decentralized randomized broadcast of
-//! Massoulié et al. [4]: the message is split into chunks and every sender repeatedly pushes
+//! Massoulié et al. \[4\]: the message is split into chunks and every sender repeatedly pushes
 //! a *random useful* chunk to each of its overlay neighbours, at the rate assigned to that
 //! edge. This crate provides a discrete-time simulator of that data plane so that the
 //! overlays produced by `bmp-core` can be validated end to end: a scheme of nominal

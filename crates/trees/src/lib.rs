@@ -16,7 +16,10 @@
 //! * [`packing`] — Edmonds-style packing value of arbitrary schemes and a greedy packing
 //!   heuristic that also handles cyclic schemes,
 //! * [`stripe`] — striping a finite message over a decomposition and estimating per-node
-//!   completion times under pipelined chunked transfer.
+//!   completion times under pipelined chunked transfer,
+//! * [`solver`] — an adapter registering the tree-based schedule in the unified solver
+//!   API (`bmp_core::solver`), so `solve --algorithm tree-decomposition` works alongside
+//!   the core algorithms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +28,12 @@ pub mod arborescence;
 pub mod decompose;
 pub mod error;
 pub mod packing;
+pub mod solver;
 pub mod stripe;
 
 pub use arborescence::Arborescence;
 pub use decompose::{decompose_acyclic, TreeDecomposition};
 pub use error::TreesError;
 pub use packing::{greedy_packing, packing_value};
+pub use solver::{full_registry, TreeDecompositionAlgorithm};
 pub use stripe::{completion_estimate, makespan_estimate, stripe_message, StripePlan};

@@ -23,12 +23,33 @@ pub use bmp_trees as trees;
 /// Convenience prelude bringing the most commonly used items into scope.
 pub mod prelude {
     pub use bmp_core::{
-        acyclic_guarded::AcyclicGuardedSolver, acyclic_open::acyclic_open_scheme, bounds::Bounds,
-        cyclic_open::cyclic_open_scheme, scheme::BroadcastScheme, word::CodingWord,
+        acyclic_guarded::AcyclicGuardedSolver,
+        acyclic_open::acyclic_open_scheme,
+        bounds::Bounds,
+        cyclic_open::cyclic_open_scheme,
+        scheme::BroadcastScheme,
+        solver::{EvalCtx, Solution, Solver, Telemetry},
+        word::CodingWord,
     };
     pub use bmp_platform::{
         distribution::BandwidthDistribution, generator::InstanceGenerator, instance::Instance,
         node::NodeClass,
     };
     pub use bmp_sim::engine::{SimConfig, Simulator};
+}
+
+/// Every solver in the workspace: the `bmp-core` registry plus the tree-decomposition
+/// adapter of `bmp-trees` — the same list the CLI dispatches through
+/// `solve --algorithm NAME`.
+pub use bmp_trees::full_registry;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn full_registry_includes_core_and_trees() {
+        let names: Vec<&str> = super::full_registry().iter().map(|s| s.name()).collect();
+        assert!(names.len() >= 6);
+        assert!(names.contains(&"acyclic-guarded"));
+        assert!(names.contains(&"tree-decomposition"));
+    }
 }
