@@ -1,20 +1,27 @@
-//! Multi-sink throughput evaluation: naive per-sink Dinic vs the batched CSR evaluator.
+//! Multi-sink throughput evaluation: naive per-sink Dinic vs the batched CSR evaluator
+//! vs the scoped-thread parallel fan-out, measured from n = 50 up to the fleet-scale
+//! n ∈ {2000, 5000} overlays called out by the ROADMAP.
 //!
-//! This is the benchmark behind the flow-kernel redesign: `BroadcastScheme::throughput`
-//! is `min_k maxflow(source → C_k)` over all receivers, and the seed implementation ran
-//! one from-scratch Dinic (residual rebuild included) per receiver. The batched evaluator
-//! builds one CSR arena, orders the sinks by in-capacity and caps every solve at the
-//! running minimum. Three variants are timed on random broadcast-like digraphs with
-//! n ∈ {50, 200, 500} nodes:
+//! `BroadcastScheme::throughput` is `min_k maxflow(source → C_k)` over all receivers.
+//! The variants:
 //!
-//! * `naive`          — per-sink `dinic_max_flow` free-function calls (seed behaviour),
+//! * `naive`          — per-sink `dinic_max_flow` free-function calls (seed behaviour;
+//!   n ≤ 500 only, it is quadratically off the pace at scale),
 //! * `batched`        — arena build + `FlowSolver::min_max_flow` (cold workspace),
 //! * `batched_reuse`  — `min_max_flow` on a prebuilt arena with a warm solver (the
-//!   steady-state hot path of the experiment sweeps),
-//! * `parallel`       — `min_max_flow_parallel` across 4 threads (n = 500 only).
+//!   steady-state hot path of the experiment sweeps — the sequential baseline),
+//! * `parallel-auto`  — `min_max_flow_parallel` with the `suggested_flow_threads`
+//!   heuristic (sequential below 1000 nodes / 128 sinks, capped available parallelism
+//!   above),
+//! * `parallel/T`     — fixed thread counts for the fan-out curve.
+//!
+//! Results are drained from the harness and written as `BENCH_throughput.json` at the
+//! repo root (machine-readable perf trajectory).
 
-use bmp_flow::{dinic_max_flow, min_max_flow_parallel, FlowNetwork, FlowSolver};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bmp_flow::{
+    dinic_max_flow, min_max_flow_parallel, suggested_flow_threads, FlowNetwork, FlowSolver,
+};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -54,39 +61,62 @@ fn bench_throughput(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
-    for &n in &[50usize, 200, 500] {
+    for &n in &[50usize, 200, 500, 2000, 5000] {
         let net = random_overlay(n, 0xBEA0 + n as u64);
         let sinks: Vec<usize> = (1..n).collect();
         let arena = net.arena();
-        let expected = naive_throughput(&net, &sinks);
-        assert_eq!(
-            FlowSolver::new().min_max_flow(&arena, 0, &sinks),
-            expected,
-            "batched evaluator must agree with the naive baseline before being timed"
-        );
-
-        group.bench_with_input(BenchmarkId::new("naive", n), &net, |b, net| {
-            b.iter(|| naive_throughput(net, &sinks))
-        });
-        group.bench_with_input(BenchmarkId::new("batched", n), &net, |b, net| {
-            b.iter(|| {
-                let arena = net.arena();
-                FlowSolver::new().min_max_flow(&arena, 0, &sinks)
-            })
-        });
         let mut warm = FlowSolver::new();
-        warm.min_max_flow(&arena, 0, &sinks);
+        let expected = warm.min_max_flow(&arena, 0, &sinks);
+        if n <= 500 {
+            // The naive baseline is only affordable (and only interesting) at the
+            // PR-1 sizes; it anchors the batched evaluator's exactness.
+            assert_eq!(
+                naive_throughput(&net, &sinks),
+                expected,
+                "batched evaluator must agree with the naive baseline before being timed"
+            );
+            group.bench_with_input(BenchmarkId::new("naive", n), &net, |b, net| {
+                b.iter(|| naive_throughput(net, &sinks))
+            });
+            group.bench_with_input(BenchmarkId::new("batched", n), &net, |b, net| {
+                b.iter(|| {
+                    let arena = net.arena();
+                    FlowSolver::new().min_max_flow(&arena, 0, &sinks)
+                })
+            });
+        }
+        // The parallel fan-out shares the exactness argument at every size.
+        assert_eq!(
+            min_max_flow_parallel(&arena, 0, &sinks, 4),
+            expected,
+            "parallel evaluator must agree with the sequential baseline before being timed"
+        );
         group.bench_with_input(BenchmarkId::new("batched_reuse", n), &arena, |b, arena| {
             b.iter(|| warm.min_max_flow(arena, 0, &sinks))
         });
         if n >= 500 {
-            group.bench_with_input(BenchmarkId::new("parallel", n), &arena, |b, arena| {
-                b.iter(|| min_max_flow_parallel(arena, 0, &sinks, 4))
+            let auto_threads = suggested_flow_threads(n, sinks.len());
+            group.bench_with_input(BenchmarkId::new("parallel-auto", n), &arena, |b, arena| {
+                b.iter(|| min_max_flow_parallel(arena, 0, &sinks, auto_threads))
             });
+            for threads in [4usize, 8] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("parallel/{threads}"), n),
+                    &arena,
+                    |b, arena| b.iter(|| min_max_flow_parallel(arena, 0, &sinks, threads)),
+                );
+            }
         }
     }
     group.finish();
 }
 
 criterion_group!(benches, bench_throughput);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    if let Some(path) = bmp_bench::write_bench_json("throughput", &criterion::take_reports()) {
+        println!("wrote {}", path.display());
+    }
+    criterion::Criterion::default().final_summary();
+}

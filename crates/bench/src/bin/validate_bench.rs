@@ -1,0 +1,28 @@
+//! Validates the machine-readable benchmark reports at the repo root: both
+//! `BENCH_dichotomic.json` and `BENCH_throughput.json` must parse and contain the
+//! benchmark ids the perf acceptance criteria pin. CI runs this right after the bench
+//! smoke runs, so a bench refactor that silently drops a tracked id fails the build.
+
+use bmp_bench::{repo_root, validate_bench_json, DICHOTOMIC_REQUIRED_IDS, THROUGHPUT_REQUIRED_IDS};
+
+fn main() {
+    let root = repo_root();
+    let checks = [
+        ("dichotomic", &DICHOTOMIC_REQUIRED_IDS[..]),
+        ("throughput", &THROUGHPUT_REQUIRED_IDS[..]),
+    ];
+    let mut failed = false;
+    for (benchmark, expected) in checks {
+        let path = root.join(format!("BENCH_{benchmark}.json"));
+        match validate_bench_json(&path, benchmark, expected) {
+            Ok(()) => println!("ok: {} ({} pinned ids)", path.display(), expected.len()),
+            Err(error) => {
+                eprintln!("invalid: {error}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

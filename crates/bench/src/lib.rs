@@ -1,1 +1,249 @@
-//! Benchmark crate (see benches/).
+//! Benchmark crate (see `benches/`), plus the machine-readable benchmark report
+//! pipeline: the headline benches (`dichotomic`, `throughput`) drain the results
+//! collected by the vendored criterion harness ([`criterion::take_reports`]) and write
+//! them as `BENCH_<name>.json` at the repository root, so the perf trajectory of the
+//! hot paths is tracked across PRs instead of living in scrollback. CI smoke-runs the
+//! benches (`--test`) and then validates the emitted files with
+//! [`validate_bench_json`] via the `validate_bench` binary.
+
+use criterion::BenchReport;
+use std::path::{Path, PathBuf};
+
+/// Repository root (the benches run from `crates/bench`, the reports belong at the
+/// workspace root next to `ROADMAP.md`).
+#[must_use]
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Renders `reports` as the `BENCH_*.json` document: benchmark name, `measured` or
+/// `smoke` mode, and one `{id, median_ns, best_ns}` entry per benchmark id.
+#[must_use]
+pub fn bench_report_json(benchmark: &str, reports: &[BenchReport]) -> String {
+    let mode = if reports.iter().any(|r| r.smoke) {
+        "smoke"
+    } else {
+        "measured"
+    };
+    let results = serde::Value::Array(
+        reports
+            .iter()
+            .map(|r| {
+                serde::Value::Object(vec![
+                    ("id".to_string(), serde::Value::Str(r.id.clone())),
+                    ("median_ns".to_string(), serde::Value::F64(r.median_ns)),
+                    ("best_ns".to_string(), serde::Value::F64(r.best_ns)),
+                ])
+            })
+            .collect(),
+    );
+    let document = serde::Value::Object(vec![
+        (
+            "benchmark".to_string(),
+            serde::Value::Str(benchmark.to_string()),
+        ),
+        ("mode".to_string(), serde::Value::Str(mode.to_string())),
+        ("results".to_string(), results),
+    ]);
+    serde_json::to_string_pretty(&document).expect("report document serializes")
+}
+
+/// Writes the drained criterion reports as `BENCH_<benchmark>.json` at the repo root.
+/// Returns the path written. Skips (returning `None`) when `reports` is empty — a
+/// filtered bench run measured nothing and must not clobber the committed report.
+pub fn write_bench_json(benchmark: &str, reports: &[BenchReport]) -> Option<PathBuf> {
+    if reports.is_empty() {
+        return None;
+    }
+    let path = repo_root().join(format!("BENCH_{benchmark}.json"));
+    std::fs::write(&path, bench_report_json(benchmark, reports))
+        .unwrap_or_else(|error| panic!("cannot write {}: {error}", path.display()));
+    Some(path)
+}
+
+/// Validates an emitted `BENCH_*.json`: it parses, names `benchmark`, carries a known
+/// `mode`, and every id in `expected_ids` appears verbatim among the results (exact
+/// match — a substring match would let `.../500` be satisfied by `.../5000`, silently
+/// unpinning the n = 500 acceptance benchmarks).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_bench_json(
+    path: &Path,
+    benchmark: &str,
+    expected_ids: &[&str],
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+    let value: serde::Value = serde_json::from_str(&text)
+        .map_err(|error| format!("{} is not JSON: {error}", path.display()))?;
+    let fields = value
+        .as_object()
+        .ok_or_else(|| format!("{}: top level is not an object", path.display()))?;
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, value)| value)
+            .ok_or_else(|| format!("{}: missing field `{name}`", path.display()))
+    };
+    let named = field("benchmark")?
+        .as_str()
+        .ok_or_else(|| format!("{}: `benchmark` is not a string", path.display()))?;
+    if named != benchmark {
+        return Err(format!(
+            "{}: benchmark is {named:?}, expected {benchmark:?}",
+            path.display()
+        ));
+    }
+    let mode = field("mode")?
+        .as_str()
+        .ok_or_else(|| format!("{}: `mode` is not a string", path.display()))?;
+    if !matches!(mode, "measured" | "smoke") {
+        return Err(format!("{}: unknown mode {mode:?}", path.display()));
+    }
+    let results = field("results")?
+        .as_array()
+        .ok_or_else(|| format!("{}: `results` is not an array", path.display()))?;
+    if results.is_empty() {
+        return Err(format!("{}: empty results", path.display()));
+    }
+    let mut ids = Vec::with_capacity(results.len());
+    for result in results {
+        let entry = result
+            .as_object()
+            .ok_or_else(|| format!("{}: result entry is not an object", path.display()))?;
+        let lookup = |name: &str| {
+            entry
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, value)| value)
+                .ok_or_else(|| format!("{}: result entry missing `{name}`", path.display()))
+        };
+        let id = lookup("id")?
+            .as_str()
+            .ok_or_else(|| format!("{}: result id is not a string", path.display()))?;
+        for metric in ["median_ns", "best_ns"] {
+            let value = lookup(metric)?
+                .as_f64()
+                .ok_or_else(|| format!("{}: {id}: `{metric}` is not a number", path.display()))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!(
+                    "{}: {id}: `{metric}` is {value}, expected a non-negative finite number",
+                    path.display()
+                ));
+            }
+        }
+        ids.push(id.to_string());
+    }
+    for expected in expected_ids {
+        if !ids.iter().any(|id| id == expected) {
+            return Err(format!(
+                "{}: no result id equals {expected:?} (got {ids:?})",
+                path.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The benchmark ids the `dichotomic` report must contain (the acceptance surface of
+/// the incremental-evaluation work: journal vs scan at n = 500 / 2000 / 5000).
+pub const DICHOTOMIC_REQUIRED_IDS: [&str; 6] = [
+    "journaled_reevaluation/scan-single-sink/500",
+    "journaled_reevaluation/journaled-single-sink/500",
+    "journaled_reevaluation/scan-single-sink/2000",
+    "journaled_reevaluation/journaled-single-sink/2000",
+    "journaled_reevaluation/scan-single-sink/5000",
+    "journaled_reevaluation/journaled-single-sink/5000",
+];
+
+/// The benchmark ids the `throughput` report must contain (sequential batched pass vs
+/// the parallel fan-out at fleet scale).
+pub const THROUGHPUT_REQUIRED_IDS: [&str; 4] = [
+    "throughput/batched_reuse/2000",
+    "throughput/parallel-auto/2000",
+    "throughput/batched_reuse/5000",
+    "throughput/parallel-auto/5000",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_reports() -> Vec<BenchReport> {
+        vec![
+            BenchReport {
+                id: "group/alpha/500".to_string(),
+                median_ns: 120.5,
+                best_ns: 100.0,
+                smoke: false,
+            },
+            BenchReport {
+                id: "group/beta/2000".to_string(),
+                median_ns: 340.0,
+                best_ns: 300.0,
+                smoke: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_json_roundtrips_through_the_validator() {
+        let dir = std::env::temp_dir().join(format!("bmp_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sample.json");
+        std::fs::write(&path, bench_report_json("sample", &sample_reports())).unwrap();
+        validate_bench_json(&path, "sample", &["group/alpha/500", "group/beta/2000"]).unwrap();
+        // Wrong name and missing ids are reported.
+        assert!(validate_bench_json(&path, "other", &[]).is_err());
+        let err = validate_bench_json(&path, "sample", &["gamma"]).unwrap_err();
+        assert!(err.contains("gamma"), "{err}");
+        // Exact matching: a substring or prefix of a present id does not count (the
+        // `/500`-vs-`/5000` trap).
+        assert!(validate_bench_json(&path, "sample", &["group/alpha/50"]).is_err());
+        assert!(validate_bench_json(&path, "sample", &["alpha/500"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smoke_runs_are_marked_and_still_validate() {
+        let reports = vec![BenchReport {
+            id: "group/alpha/500".to_string(),
+            median_ns: 0.0,
+            best_ns: 0.0,
+            smoke: true,
+        }];
+        let json = bench_report_json("sample", &reports);
+        assert!(json.contains("\"smoke\""));
+        let dir = std::env::temp_dir().join(format!("bmp_bench_smoke_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sample.json");
+        std::fs::write(&path, json).unwrap();
+        validate_bench_json(&path, "sample", &["group/alpha/500"]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("bmp_bench_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_bad.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(validate_bench_json(&path, "bad", &[]).is_err());
+        std::fs::write(
+            &path,
+            "{\"benchmark\": \"bad\", \"mode\": \"measured\", \"results\": []}",
+        )
+        .unwrap();
+        assert!(validate_bench_json(&path, "bad", &[]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_report_sets_are_not_written() {
+        assert!(write_bench_json("never-written", &[]).is_none());
+        assert!(!repo_root().join("BENCH_never-written.json").exists());
+    }
+}

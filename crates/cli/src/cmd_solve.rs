@@ -80,9 +80,11 @@ fn report<W: Write>(solution: &Solution, out: &mut W) -> Result<(), CliError> {
     let telemetry = &solution.telemetry;
     writeln!(
         out,
-        "telemetry  : {} flow solves, {} bisection iters, {:.3} ms",
+        "telemetry  : {} flow solves, {} bisection iters, {} rescans skipped ({} edges patched), {:.3} ms",
         telemetry.flow_solves,
         telemetry.bisection_iters,
+        telemetry.rescans_skipped,
+        telemetry.edges_patched,
         telemetry.wall_time.as_secs_f64() * 1e3
     )?;
     Ok(())

@@ -9,7 +9,14 @@
 //!   static overlay is *not* churn-resilient);
 //! * [`repair`] removes the departed nodes from the instance, re-runs the acyclic solver and
 //!   reports the new optimum, i.e. the price of a recomputation (typically: small — the
-//!   algorithms are fast enough to be re-run on every membership change).
+//!   algorithms are fast enough to be re-run on every membership change);
+//! * [`degradation_tolerance`] quantifies the *other* half of the remark ("resilient to
+//!   small variations in the communication performance of nodes"): the dichotomic search
+//!   for the largest fraction by which one node's upload rates can degrade before the
+//!   delivered throughput drops below a floor. Its probes re-score the same scheme with
+//!   only that node's outgoing rates moving — exactly the access pattern the dirty-edge
+//!   journal of [`BroadcastScheme`] accelerates (the evaluation context patches the few
+//!   journaled capacities instead of rescanning the O(n²) rate matrix per probe).
 
 use crate::acyclic_guarded::{AcyclicGuardedSolver, AcyclicSolution};
 use crate::scheme::{BroadcastScheme, RATE_EPS};
@@ -33,6 +40,10 @@ pub fn residual_throughput(scheme: &BroadcastScheme, departed: &[NodeId]) -> f64
 
 /// [`residual_throughput`] evaluated through an explicit context.
 ///
+/// The survivor overlay is assembled into a context-owned buffer
+/// ([`EvalCtx::min_max_flow_with`]), so a sweep evaluating thousands of departure sets
+/// performs no per-call edge-list allocation.
+///
 /// # Panics
 ///
 /// Panics if the source (node 0) is listed among the departed nodes.
@@ -51,19 +62,65 @@ pub fn residual_throughput_with(
             alive[node] = false;
         }
     }
-    let mut edges = Vec::new();
-    for (from, to, rate) in scheme.edges() {
-        if alive[from] && alive[to] && rate > RATE_EPS {
-            edges.push((from, to, rate));
-        }
-    }
     let survivors: Vec<NodeId> = instance.receivers().filter(|&r| alive[r]).collect();
-    let throughput = ctx.min_max_flow(n, &edges, 0, &survivors);
+    let throughput = ctx.min_max_flow_with(n, 0, &survivors, |edges| {
+        edges.extend(
+            scheme
+                .edges()
+                .into_iter()
+                .filter(|&(from, to, rate)| alive[from] && alive[to] && rate > RATE_EPS),
+        );
+    });
     if throughput.is_finite() {
         throughput
     } else {
         0.0
     }
+}
+
+/// Dichotomic degradation probe: the largest fraction `d ∈ [0, 1]` by which `node`'s
+/// outgoing rates can be uniformly scaled down (to `1 − d` of their nominal value) while
+/// the scheme still delivers at least `floor` to every receiver.
+///
+/// Returns 1.0 when even losing the node's entire upload keeps the floor (the node is
+/// not load-bearing) and 0.0 when any degradation at all breaks it. The probes bisect
+/// through `ctx` ([`crate::search::DichotomicSearch`] at the context tolerance, probes
+/// accounted as [`crate::solver::Telemetry::bisection_iters`]); every probe re-scores a
+/// working copy of the scheme whose only moving rates are `node`'s outgoing edges, so
+/// the evaluations ride the dirty-edge journal
+/// ([`crate::solver::Telemetry::rescans_skipped`]) instead of rescanning the rate
+/// matrix.
+///
+/// # Panics
+///
+/// Panics if `node` is out of range for the scheme's instance.
+#[must_use]
+pub fn degradation_tolerance(
+    scheme: &BroadcastScheme,
+    node: NodeId,
+    floor: f64,
+    ctx: &mut EvalCtx,
+) -> f64 {
+    let instance = scheme.instance();
+    assert!(node < instance.num_nodes(), "node {node} out of range");
+    let out_edges: Vec<(NodeId, f64)> = (0..instance.num_nodes())
+        .filter_map(|to| {
+            let rate = scheme.rate(node, to);
+            (to != node && rate > RATE_EPS).then_some((to, rate))
+        })
+        .collect();
+    let mut probe = scheme.clone();
+    let search = ctx.search();
+    let tol = 1e-9 * floor.max(1.0);
+    let outcome = search.maximize(1.0, |degradation| {
+        let scale = 1.0 - degradation;
+        for &(to, rate) in &out_edges {
+            probe.set_rate(node, to, rate * scale);
+        }
+        ctx.throughput(&probe) + tol >= floor
+    });
+    ctx.add_bisection_iters(outcome.probes);
+    outcome.value
 }
 
 /// Result of repairing an overlay after departures.
@@ -182,6 +239,70 @@ mod tests {
             );
         }
         assert!(ctx.flow_solves() > 0);
+    }
+
+    #[test]
+    fn degradation_tolerance_separates_relays_from_leaves() {
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&figure1());
+        let mut ctx = EvalCtx::new();
+        let floor = 0.9 * solution.throughput;
+        // The guarded relay C3 carries a large share of the rate: it cannot degrade far
+        // before the floor breaks.
+        let relay = degradation_tolerance(&solution.scheme, 3, floor, &mut ctx);
+        // The last guarded node relays little: it tolerates much more degradation.
+        let leaf = degradation_tolerance(&solution.scheme, 5, floor, &mut ctx);
+        assert!(
+            relay < leaf,
+            "relay tolerance {relay} should be below leaf tolerance {leaf}"
+        );
+        assert!((0.0..=1.0).contains(&relay));
+        assert!((0.0..=1.0).contains(&leaf));
+        // The probes bisect and ride the dirty-edge journal.
+        assert!(ctx.bisection_iters() > 0);
+        assert!(ctx.rescans_skipped() > 0);
+    }
+
+    #[test]
+    fn degradation_tolerance_honors_trivial_floors() {
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&figure1());
+        let mut ctx = EvalCtx::new();
+        // A zero floor survives losing the node entirely.
+        assert_eq!(
+            degradation_tolerance(&solution.scheme, 3, 0.0, &mut ctx),
+            1.0
+        );
+        // A floor above the nominal throughput fails immediately.
+        let t = solution.throughput;
+        assert_eq!(
+            degradation_tolerance(&solution.scheme, 3, 2.0 * t, &mut ctx),
+            0.0
+        );
+    }
+
+    #[test]
+    fn degradation_probe_matches_a_hand_scaled_evaluation() {
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&figure1());
+        let mut ctx = EvalCtx::new();
+        let floor = 0.8 * solution.throughput;
+        let d = degradation_tolerance(&solution.scheme, 0, floor, &mut ctx);
+        // Re-scale by hand at the returned tolerance and just below the breaking point:
+        // the floor must hold there and fail slightly above.
+        let verify = |degradation: f64| {
+            let mut scaled = solution.scheme.clone();
+            for (from, to, rate) in solution.scheme.edges() {
+                if from == 0 {
+                    scaled.set_rate(from, to, rate * (1.0 - degradation));
+                }
+            }
+            scaled.throughput()
+        };
+        assert!(verify(d) + 1e-6 >= floor);
+        if d < 1.0 - 1e-6 {
+            assert!(verify((d + 0.05).min(1.0)) < floor + 1e-6);
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::acyclic_guarded::AcyclicGuardedSolver;
 use crate::bounds::cyclic_upper_bound;
+use crate::solver::EvalCtx;
 use bmp_platform::Instance;
 
 /// Builds the tight homogeneous instance with parameters `(n, m, Δ)` and `b_0 = T* = 1`.
@@ -114,6 +115,37 @@ pub fn worst_ratio_over_delta(
     } else {
         None
     }
+}
+
+/// [`worst_ratio_over_delta`], additionally *certifying* the worst cell through an
+/// explicit evaluation context: the scheme realising the worst ratio is rebuilt from its
+/// coding word and re-scored by max-flow through `ctx` (no hidden thread-local), so the
+/// dichotomic value the figure reports is backed by an explicit overlay. This is the
+/// entry point the Figure 7 sweep threads its per-worker [`EvalCtx`] through.
+///
+/// # Panics
+///
+/// Panics when the certification fails — a constructed scheme under-delivering its
+/// dichotomic throughput is a solver bug, not a data point.
+#[must_use]
+pub fn worst_ratio_over_delta_with(
+    n: usize,
+    m: usize,
+    delta_steps: usize,
+    solver: &AcyclicGuardedSolver,
+    ctx: &mut EvalCtx,
+) -> Option<HomogeneousRatio> {
+    let cell = worst_ratio_over_delta(n, m, delta_steps, solver)?;
+    if let Some(instance) = tight_homogeneous(cell.n, cell.m, cell.worst_delta) {
+        let (throughput, word) = solver.optimal_throughput(&instance);
+        if throughput > 0.0 {
+            let scheme = solver
+                .scheme_for_word(&instance, throughput, &word)
+                .expect("the dichotomic word is valid at its own throughput");
+            crate::solver::certify_throughput(ctx, &scheme, throughput);
+        }
+    }
+    Some(cell)
 }
 
 /// The six extreme homogeneous cases used in the proof of Theorem 6.2 (cases A1/A2, B1/B2,

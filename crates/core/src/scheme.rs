@@ -5,12 +5,39 @@
 //! outgoing-bandwidth budget and no guarded node sends to another guarded node, and its
 //! throughput is the minimum over all receivers of the maximum flow from the source in the
 //! weighted digraph `c`.
+//!
+//! # The dirty-edge journal
+//!
+//! Search loops (the dichotomic drivers, the churn degradation probes, the benchmarks)
+//! evaluate long runs of near-identical schemes. Rediscovering *which* rates moved used
+//! to cost a full O(n²) rate-matrix scan per evaluation, so every mutation now maintains
+//! a journal that [`crate::solver::EvalCtx`] consumes to skip the scan entirely:
+//!
+//! * every scheme object carries a process-unique [`BroadcastScheme::eval_id`] (fresh on
+//!   construction, clone and deserialization — two objects never share an id, so a cached
+//!   arena can be associated with exactly one scheme);
+//! * [`BroadcastScheme::set_rate`] / [`BroadcastScheme::add_rate`] compare the old and
+//!   new value against [`RATE_EPS`]: a mutation that creates or removes an *edge* bumps
+//!   [`BroadcastScheme::edge_epoch`] (the edge set changed — evaluators must rebuild),
+//!   while a capacity-only change on an existing edge appends the touched `(from, to)`
+//!   pair to the journal;
+//! * the journal is addressed by *absolute* cursors ([`BroadcastScheme::journal_bounds`]
+//!   / [`BroadcastScheme::journal_since`]) and compacts itself once it exceeds a few
+//!   entries per node: a caught-up evaluator keeps patching after compaction, a stale one
+//!   falls back to the full scan — never to a wrong answer;
+//! * [`BroadcastScheme::prune_dust`] only zeroes rates that are already below
+//!   [`RATE_EPS`], i.e. values that were never edges, so it touches neither the epoch nor
+//!   the journal.
+//!
+//! The journal is pure bookkeeping: it is excluded from equality, serialization and the
+//! serialized document format (a deserialized scheme starts with a fresh id and an empty
+//! journal).
 
 use bmp_flow::{eps, min_max_flow_parallel, FlowArena, FlowNetwork, FlowSolver};
 use bmp_platform::node::degree_lower_bound;
 use bmp_platform::{Instance, NodeClass, NodeId};
-use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 thread_local! {
     /// Convenience fallback workspace for the inherent evaluation methods below.
@@ -58,12 +85,89 @@ pub enum SchemeViolation {
     },
 }
 
+/// Source of process-unique scheme identities (never reused, so an evaluation context can
+/// safely key its cached arena by id).
+static NEXT_EVAL_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_eval_id() -> u64 {
+    NEXT_EVAL_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A broadcast scheme over a given instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct BroadcastScheme {
     instance: Instance,
     /// Row-major rate matrix `c[i * num_nodes + j]`.
     rates: Vec<f64>,
+    /// Process-unique identity of this object (see the module docs).
+    eval_id: u64,
+    /// Incremented whenever a mutation creates or removes an edge.
+    edge_epoch: u64,
+    /// Absolute cursor of `journal[0]` (grows on compaction; see the module docs).
+    journal_base: u64,
+    /// Touched `(from, to)` pairs of capacity-only mutations since the last epoch bump or
+    /// compaction, oldest first.
+    journal: Vec<(NodeId, NodeId)>,
+}
+
+impl Clone for BroadcastScheme {
+    /// Clones the instance and the rates; the clone is a *new* evaluation identity with a
+    /// fresh [`BroadcastScheme::eval_id`] and an empty journal (the original and the clone
+    /// may diverge independently, so they must not share journal state).
+    fn clone(&self) -> Self {
+        BroadcastScheme {
+            instance: self.instance.clone(),
+            rates: self.rates.clone(),
+            eval_id: fresh_eval_id(),
+            edge_epoch: 0,
+            journal_base: 0,
+            journal: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for BroadcastScheme {
+    /// Equality is semantic: same instance, same rate matrix. The journal bookkeeping is
+    /// per-object state and does not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.instance == other.instance && self.rates == other.rates
+    }
+}
+
+impl serde::Serialize for BroadcastScheme {
+    /// Serializes the semantic fields only (`instance`, `rates`), exactly like the
+    /// pre-journal derived implementation, so documents stay interchangeable.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "instance".to_string(),
+                serde::Serialize::to_value(&self.instance),
+            ),
+            ("rates".to_string(), serde::Serialize::to_value(&self.rates)),
+        ])
+    }
+}
+
+impl serde::Deserialize for BroadcastScheme {
+    /// Rebuilds the scheme with a fresh evaluation identity and an empty journal (a
+    /// document knows nothing about the mutation history of the object it came from).
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("map", "BroadcastScheme"))?;
+        Ok(BroadcastScheme {
+            instance: serde::Deserialize::from_value(serde::field(
+                obj,
+                "instance",
+                "BroadcastScheme",
+            )?)?,
+            rates: serde::Deserialize::from_value(serde::field(obj, "rates", "BroadcastScheme")?)?,
+            eval_id: fresh_eval_id(),
+            edge_epoch: 0,
+            journal_base: 0,
+            journal: Vec::new(),
+        })
+    }
 }
 
 impl BroadcastScheme {
@@ -74,6 +178,10 @@ impl BroadcastScheme {
         BroadcastScheme {
             instance,
             rates: vec![0.0; n * n],
+            eval_id: fresh_eval_id(),
+            edge_epoch: 0,
+            journal_base: 0,
+            journal: Vec::new(),
         }
     }
 
@@ -94,7 +202,7 @@ impl BroadcastScheme {
         self.rates[self.index(from, to)]
     }
 
-    /// Sets the transfer rate `c_{from,to}`.
+    /// Sets the transfer rate `c_{from,to}`, journaling the change (see the module docs).
     ///
     /// # Panics
     ///
@@ -102,10 +210,13 @@ impl BroadcastScheme {
     pub fn set_rate(&mut self, from: NodeId, to: NodeId, rate: f64) {
         assert_ne!(from, to, "a node cannot send to itself");
         let idx = self.index(from, to);
+        let old = self.rates[idx];
         self.rates[idx] = rate;
+        self.record_rate_change(from, to, old, rate);
     }
 
-    /// Adds `delta` to the transfer rate `c_{from,to}` (clamping tiny negative results to 0).
+    /// Adds `delta` to the transfer rate `c_{from,to}` (clamping tiny negative results to 0),
+    /// journaling the change (see the module docs).
     ///
     /// # Panics
     ///
@@ -113,7 +224,85 @@ impl BroadcastScheme {
     pub fn add_rate(&mut self, from: NodeId, to: NodeId, delta: f64) {
         assert_ne!(from, to, "a node cannot send to itself");
         let idx = self.index(from, to);
-        self.rates[idx] = eps::clamp_nonnegative(self.rates[idx] + delta);
+        let old = self.rates[idx];
+        let new = eps::clamp_nonnegative(old + delta);
+        self.rates[idx] = new;
+        self.record_rate_change(from, to, old, new);
+    }
+
+    /// Journal capacity before compaction: a few entries per node, with a floor so tiny
+    /// instances can still buffer a whole search round.
+    fn journal_capacity(&self) -> usize {
+        (4 * self.instance.num_nodes()).max(256)
+    }
+
+    /// Maintains the dirty-edge journal for one rate write (see the module docs): an
+    /// edge-set change bumps the epoch, a capacity change on an existing edge is appended
+    /// to the journal, and a dust-level change (never an edge either way) is ignored.
+    fn record_rate_change(&mut self, from: NodeId, to: NodeId, old: f64, new: f64) {
+        if old == new {
+            return;
+        }
+        let was_edge = old > RATE_EPS;
+        let is_edge = new > RATE_EPS;
+        if was_edge != is_edge {
+            self.edge_epoch += 1;
+            self.journal_base += self.journal.len() as u64;
+            self.journal.clear();
+        } else if is_edge {
+            if self.journal.len() >= self.journal_capacity() {
+                // Compaction: drop the buffered entries but keep the absolute cursor
+                // space monotone. Evaluators that already consumed everything up to the
+                // new base keep patching; stale ones fall back to a full scan.
+                self.journal_base += self.journal.len() as u64;
+                self.journal.clear();
+            }
+            self.journal.push((from, to));
+        }
+    }
+
+    /// Process-unique identity of this scheme object (see the module docs).
+    #[must_use]
+    pub fn eval_id(&self) -> u64 {
+        self.eval_id
+    }
+
+    /// Number of edge-set-changing mutations this object has seen. Two evaluations of the
+    /// same object with equal epochs are guaranteed to see the same edge *set* (only
+    /// capacities may differ, and every difference is journaled).
+    #[must_use]
+    pub fn edge_epoch(&self) -> u64 {
+        self.edge_epoch
+    }
+
+    /// Absolute `(base, end)` cursor range of the currently buffered journal entries.
+    ///
+    /// An evaluator that consumed the journal up to cursor `c` can later patch
+    /// incrementally iff `base <= c` (no compaction swallowed unseen entries) and the
+    /// epoch is unchanged; the entries to apply are [`BroadcastScheme::journal_since`]`(c)`.
+    #[must_use]
+    pub fn journal_bounds(&self) -> (u64, u64) {
+        (
+            self.journal_base,
+            self.journal_base + self.journal.len() as u64,
+        )
+    }
+
+    /// The journaled `(from, to)` pairs from absolute cursor `cursor` onwards, oldest
+    /// first. Pairs may repeat; each is an edge of the current edge set whose rate
+    /// changed since `cursor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursor` lies outside [`BroadcastScheme::journal_bounds`].
+    #[must_use]
+    pub fn journal_since(&self, cursor: u64) -> &[(NodeId, NodeId)] {
+        let (base, end) = self.journal_bounds();
+        assert!(
+            (base..=end).contains(&cursor),
+            "journal cursor {cursor} outside the buffered range {base}..={end}"
+        );
+        &self.journal[(cursor - base) as usize..]
     }
 
     /// Total rate sent by `node`.
@@ -295,6 +484,22 @@ impl BroadcastScheme {
         min_max_flow_parallel(&arena, 0, &receivers, threads)
     }
 
+    /// [`BroadcastScheme::throughput`] with the worker count picked by
+    /// [`bmp_flow::suggested_flow_threads`]: sequential below the fan-out break-even
+    /// (small instances), scoped-thread parallel above it (n ≥ 1000 overlays).
+    #[must_use]
+    pub fn throughput_auto(&self) -> f64 {
+        let threads = bmp_flow::suggested_flow_threads(
+            self.instance.num_nodes(),
+            self.instance.receivers().count(),
+        );
+        if threads <= 1 {
+            self.throughput()
+        } else {
+            self.throughput_parallel(threads)
+        }
+    }
+
     /// Topological order of the scheme's digraph if it is acyclic, `None` otherwise.
     ///
     /// The returned order always starts with the source when the source has no incoming
@@ -339,6 +544,11 @@ impl BroadcastScheme {
     }
 
     /// Removes rates below [`RATE_EPS`] (floating-point dust) from the matrix.
+    ///
+    /// Dust is never an edge ([`BroadcastScheme::edges`] and the flow views share the
+    /// strict `> RATE_EPS` threshold), so zeroing it changes neither the edge set nor any
+    /// edge capacity: the journal and the epoch are deliberately left untouched, and a
+    /// journal-patching evaluator remains exact across a prune.
     pub fn prune_dust(&mut self) {
         for rate in &mut self.rates {
             if *rate <= RATE_EPS {
@@ -613,6 +823,95 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: BroadcastScheme = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn journal_records_capacity_changes_and_epochs_edge_set_changes() {
+        let mut s = BroadcastScheme::new(figure1());
+        let epoch0 = s.edge_epoch();
+        assert_eq!(s.journal_bounds(), (0, 0));
+        // Creating an edge is an edge-set change: epoch bump, no journal entry.
+        s.set_rate(0, 1, 2.0);
+        assert_eq!(s.edge_epoch(), epoch0 + 1);
+        assert_eq!(s.journal_bounds(), (0, 0));
+        // Moving an existing edge's rate is journaled.
+        s.set_rate(0, 1, 3.0);
+        s.add_rate(0, 1, 0.5);
+        assert_eq!(s.edge_epoch(), epoch0 + 1);
+        let (base, end) = s.journal_bounds();
+        assert_eq!(end - base, 2);
+        assert_eq!(s.journal_since(base), &[(0, 1), (0, 1)]);
+        // Writing the identical value is not a change at all.
+        s.set_rate(0, 1, 3.5);
+        assert_eq!(s.journal_bounds(), (base, end));
+        // Removing the edge bumps the epoch and flushes the journal.
+        s.set_rate(0, 1, 0.0);
+        assert_eq!(s.edge_epoch(), epoch0 + 2);
+        let (base2, end2) = s.journal_bounds();
+        assert_eq!(base2, end2);
+        // Dust-to-dust writes are invisible to the journal.
+        s.set_rate(0, 2, RATE_EPS / 2.0);
+        assert_eq!(s.edge_epoch(), epoch0 + 2);
+        assert_eq!(s.journal_bounds(), (base2, end2));
+    }
+
+    #[test]
+    fn journal_compaction_keeps_absolute_cursors_monotone() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(0, 1, 1.0);
+        let capacity = (4 * s.instance().num_nodes()).max(256);
+        for k in 0..capacity {
+            s.set_rate(0, 1, 2.0 + k as f64);
+        }
+        let (_, end) = s.journal_bounds();
+        assert_eq!(end, capacity as u64);
+        // The next journaled write exceeds the capacity: the buffer compacts, the
+        // absolute end keeps growing, and a cursor inside the dropped range is rejected.
+        s.set_rate(0, 1, 1.5);
+        let (base, end) = s.journal_bounds();
+        assert_eq!(base, capacity as u64);
+        assert_eq!(end, capacity as u64 + 1);
+        assert_eq!(s.journal_since(base).len(), 1);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.journal_since(base - 1)
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn clone_and_deserialization_reset_the_evaluation_identity() {
+        let mut s = figure1_optimal_scheme();
+        s.set_rate(0, 1, 0.3);
+        let clone = s.clone();
+        assert_eq!(clone, s);
+        assert_ne!(clone.eval_id(), s.eval_id());
+        assert_eq!(clone.edge_epoch(), 0);
+        assert_eq!(clone.journal_bounds(), (0, 0));
+        let back: BroadcastScheme =
+            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_ne!(back.eval_id(), s.eval_id());
+        assert_eq!(back.journal_bounds(), (0, 0));
+    }
+
+    #[test]
+    fn prune_dust_leaves_the_journal_untouched() {
+        let mut s = BroadcastScheme::new(figure1());
+        s.set_rate(0, 2, 2.0);
+        s.set_rate(0, 2, 2.5); // journaled
+        s.set_rate(0, 1, 1e-12); // dust, invisible
+        let epoch = s.edge_epoch();
+        let bounds = s.journal_bounds();
+        s.prune_dust();
+        assert_eq!(s.edge_epoch(), epoch);
+        assert_eq!(s.journal_bounds(), bounds);
+        assert_eq!(s.rate(0, 1), 0.0);
+    }
+
+    #[test]
+    fn throughput_auto_matches_sequential_evaluation() {
+        let s = figure1_optimal_scheme();
+        assert_eq!(s.throughput_auto(), s.throughput());
     }
 
     #[test]

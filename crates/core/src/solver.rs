@@ -10,10 +10,17 @@
 //! * [`EvalCtx`] — an *explicit* flow-evaluation workspace owning the
 //!   [`FlowArena`] and [`FlowSolver`]. It replaces the hidden thread-local in
 //!   [`crate::scheme`] as the primary evaluation path and retains the arena across
-//!   evaluations: when the edge *set* of the evaluated network is unchanged (the
-//!   dichotomic search re-scoring near-identical schemes, churn sweeps re-scoring
-//!   survivor overlays), capacities are rewritten in place
-//!   ([`FlowArena::set_edge_capacities`]) instead of rebuilding the CSR arena.
+//!   evaluations. Scheme evaluations are incremental end-to-end: the context consumes
+//!   the dirty-edge journal of [`BroadcastScheme`] (see the `scheme` module docs), so a
+//!   re-evaluation of a scheme whose edge *set* is unchanged skips the O(n²) rate-matrix
+//!   scan entirely and patches only the journaled capacities into the cached arena
+//!   ([`FlowArena::patch_edge_capacities`], resolved through a CSR edge-index map the
+//!   context maintains). An edge-set change (epoch bump), a different scheme object, or
+//!   a stale journal cursor falls back to the scan-plus-rewrite path
+//!   ([`FlowArena::set_edge_capacities`]), and a changed edge list rebuilds the arena.
+//!   The journal fast path is observable as [`Telemetry::rescans_skipped`] /
+//!   [`Telemetry::edges_patched`] and can be disabled per context
+//!   ([`EvalCtx::set_journal_enabled`]) for A/B measurement.
 //!
 //! Every solver verifies its own output before returning: the constructed scheme is
 //! re-scored by max-flow through the context and a shortfall against the claimed
@@ -52,6 +59,11 @@ pub struct Telemetry {
     pub flow_solves: u64,
     /// Number of feasibility probes spent by dichotomic searches.
     pub bisection_iters: u64,
+    /// Number of scheme evaluations that skipped the O(n²) rate-matrix rescan by
+    /// consuming the scheme's dirty-edge journal instead.
+    pub rescans_skipped: u64,
+    /// Total edge capacities patched into the cached arena by journaled evaluations.
+    pub edges_patched: u64,
     /// Wall-clock time of the solve, including verification.
     pub wall_time: Duration,
 }
@@ -77,12 +89,23 @@ pub struct Solution {
     pub telemetry: Telemetry,
 }
 
+/// Association between the cached arena and the scheme object it was last pointed at:
+/// the scheme's identity, its edge epoch, and how far into its dirty-edge journal the
+/// arena's capacities are current.
+#[derive(Debug, Clone, Copy)]
+struct JournalAssoc {
+    scheme_id: u64,
+    epoch: u64,
+    cursor: u64,
+}
+
 /// Explicit flow-evaluation workspace: owns the arena and the solver buffers, retains
 /// the arena across evaluations, and counts work for [`Telemetry`].
 ///
-/// In steady state (same edge set as the previous evaluation) an evaluation performs no
-/// CSR construction and no allocation: the capacities are rewritten in place and the
-/// reusable [`FlowSolver`] buffers are refilled.
+/// In steady state (re-probing the same scheme object with an unchanged edge set — the
+/// access pattern of every dichotomic search loop) an evaluation performs no O(n²)
+/// rate-matrix scan, no CSR construction and no allocation: the journaled capacities are
+/// patched into the cached arena and the reusable [`FlowSolver`] buffers are refilled.
 #[derive(Debug, Clone)]
 pub struct EvalCtx {
     solver: FlowSolver,
@@ -90,14 +113,26 @@ pub struct EvalCtx {
     arena_nodes: usize,
     /// Endpoints of the cached arena's edges, in edge order.
     arena_edges: Vec<(NodeId, NodeId)>,
+    /// `(from, to) → edge index` into the cached arena; rebuilt lazily after an arena
+    /// rebuild, valid as long as the edge set is unchanged.
+    edge_index: std::collections::HashMap<(NodeId, NodeId), u32>,
+    edge_index_valid: bool,
+    /// Which scheme object (and journal position) the cached arena is current for.
+    journal_assoc: Option<JournalAssoc>,
+    /// Chicken bit: `false` forces the PR-2 scan-based path (for A/B benchmarks).
+    journal_enabled: bool,
     scratch_edges: Vec<(NodeId, NodeId, f64)>,
+    scratch_filtered: Vec<(NodeId, NodeId, f64)>,
     scratch_caps: Vec<f64>,
+    scratch_patches: Vec<(usize, f64)>,
     scratch_sinks: Vec<NodeId>,
     tolerance: f64,
     flow_solves: u64,
     bisection_iters: u64,
     arena_builds: u64,
     arena_updates: u64,
+    rescans_skipped: u64,
+    edges_patched: u64,
 }
 
 impl Default for EvalCtx {
@@ -126,14 +161,22 @@ impl EvalCtx {
             arena: None,
             arena_nodes: 0,
             arena_edges: Vec::new(),
+            edge_index: std::collections::HashMap::new(),
+            edge_index_valid: false,
+            journal_assoc: None,
+            journal_enabled: true,
             scratch_edges: Vec::new(),
+            scratch_filtered: Vec::new(),
             scratch_caps: Vec::new(),
+            scratch_patches: Vec::new(),
             scratch_sinks: Vec::new(),
             tolerance,
             flow_solves: 0,
             bisection_iters: 0,
             arena_builds: 0,
             arena_updates: 0,
+            rescans_skipped: 0,
+            edges_patched: 0,
         }
     }
 
@@ -179,26 +222,50 @@ impl EvalCtx {
         self.arena_updates
     }
 
+    /// Number of scheme evaluations that skipped the O(n²) rate-matrix rescan via the
+    /// dirty-edge journal.
+    #[must_use]
+    pub fn rescans_skipped(&self) -> u64 {
+        self.rescans_skipped
+    }
+
+    /// Total edge capacities patched into the cached arena by journaled evaluations.
+    #[must_use]
+    pub fn edges_patched(&self) -> u64 {
+        self.edges_patched
+    }
+
+    /// Enables or disables the dirty-edge-journal fast path (enabled by default).
+    ///
+    /// With the journal disabled every scheme evaluation takes the scan-based path
+    /// (edge-list rescan plus in-place capacity rewrite or rebuild) — the PR-2 behaviour,
+    /// kept addressable so benchmarks can measure the journal's win and operators have a
+    /// kill switch. Results are identical either way.
+    pub fn set_journal_enabled(&mut self, enabled: bool) {
+        self.journal_enabled = enabled;
+        if !enabled {
+            self.journal_assoc = None;
+        }
+    }
+
     /// Throughput of `scheme` (`min_k maxflow(source → C_k)`), evaluated through the
-    /// retained arena.
+    /// retained arena (journal-patched when possible, see the type docs).
     pub fn throughput(&mut self, scheme: &BroadcastScheme) -> f64 {
-        let mut edges = std::mem::take(&mut self.scratch_edges);
-        scheme.edges_into(&mut edges);
+        self.ensure_scheme_arena(scheme);
         let mut sinks = std::mem::take(&mut self.scratch_sinks);
         sinks.clear();
         sinks.extend(scheme.instance().receivers());
-        let value = self.min_max_flow(scheme.instance().num_nodes(), &edges, 0, &sinks);
-        self.scratch_edges = edges;
+        self.flow_solves += sinks.len() as u64;
+        let arena = self.arena.as_ref().expect("arena prepared above");
+        let value = self.solver.min_max_flow(arena, 0, &sinks);
         self.scratch_sinks = sinks;
         value
     }
 
-    /// Maximum flow from the source to `receiver` in `scheme`'s weighted digraph.
+    /// Maximum flow from the source to `receiver` in `scheme`'s weighted digraph
+    /// (journal-patched when possible, like [`EvalCtx::throughput`]).
     pub fn max_flow_to(&mut self, scheme: &BroadcastScheme, receiver: NodeId) -> f64 {
-        let mut edges = std::mem::take(&mut self.scratch_edges);
-        scheme.edges_into(&mut edges);
-        self.prepare_arena(scheme.instance().num_nodes(), &edges);
-        self.scratch_edges = edges;
+        self.ensure_scheme_arena(scheme);
         self.flow_solves += 1;
         let arena = self.arena.as_ref().expect("arena prepared above");
         self.solver.max_flow(arena, 0, receiver)
@@ -220,9 +287,115 @@ impl EvalCtx {
         self.solver.min_max_flow(arena, source, sinks)
     }
 
+    /// Like [`EvalCtx::min_max_flow`], but the edge list is produced by `fill` into a
+    /// context-owned buffer, so repeat callers (the churn sweep filtering a scheme down
+    /// to its survivors for thousands of departure sets) reuse one allocation instead of
+    /// building a fresh `Vec` per evaluation.
+    ///
+    /// The dirty-edge journal does not apply here — a filtered edge list is a different
+    /// edge *set* than the scheme's, so the context takes the endpoint-comparison path
+    /// (in-place rewrite when the filtered set is unchanged, rebuild otherwise).
+    pub fn min_max_flow_with(
+        &mut self,
+        num_nodes: usize,
+        source: NodeId,
+        sinks: &[NodeId],
+        fill: impl FnOnce(&mut Vec<(NodeId, NodeId, f64)>),
+    ) -> f64 {
+        let mut edges = std::mem::take(&mut self.scratch_filtered);
+        edges.clear();
+        fill(&mut edges);
+        let value = self.min_max_flow(num_nodes, &edges, source, sinks);
+        self.scratch_filtered = edges;
+        value
+    }
+
+    /// Points the cached arena at `scheme`'s current rates: a sparse journal patch when
+    /// the cached arena is current for this scheme object's edge set, the scan-based
+    /// [`EvalCtx::prepare_arena`] path otherwise.
+    fn ensure_scheme_arena(&mut self, scheme: &BroadcastScheme) {
+        if self.journal_enabled && self.try_patch_from_journal(scheme) {
+            return;
+        }
+        let mut edges = std::mem::take(&mut self.scratch_edges);
+        scheme.edges_into(&mut edges);
+        self.prepare_arena(scheme.instance().num_nodes(), &edges);
+        self.scratch_edges = edges;
+        if self.journal_enabled {
+            self.journal_assoc = Some(JournalAssoc {
+                scheme_id: scheme.eval_id(),
+                epoch: scheme.edge_epoch(),
+                cursor: scheme.journal_bounds().1,
+            });
+        }
+    }
+
+    /// Attempts the journal fast path: applicable iff the cached arena belongs to this
+    /// very scheme object, the edge set is unchanged (same epoch), and no journal
+    /// compaction swallowed entries this context has not seen. On success only the
+    /// journaled capacities are patched; on any mismatch the caller falls back to the
+    /// full scan, so the fast path can never produce a different result.
+    fn try_patch_from_journal(&mut self, scheme: &BroadcastScheme) -> bool {
+        let Some(assoc) = self.journal_assoc else {
+            return false;
+        };
+        let (base, end) = scheme.journal_bounds();
+        if assoc.scheme_id != scheme.eval_id()
+            || assoc.epoch != scheme.edge_epoch()
+            || assoc.cursor < base
+            || assoc.cursor > end
+            || self.arena.is_none()
+        {
+            return false;
+        }
+        self.ensure_edge_index();
+        let mut patches = std::mem::take(&mut self.scratch_patches);
+        patches.clear();
+        for &(from, to) in scheme.journal_since(assoc.cursor) {
+            let Some(&edge) = self.edge_index.get(&(from, to)) else {
+                // Unreachable under the journal protocol (an unchanged epoch means every
+                // journaled pair is an edge of the cached set), but a fallback to the
+                // full scan is always safe.
+                self.scratch_patches = patches;
+                self.journal_assoc = None;
+                return false;
+            };
+            patches.push((edge as usize, scheme.rate(from, to)));
+        }
+        self.arena
+            .as_mut()
+            .expect("checked above")
+            .patch_edge_capacities(&patches);
+        self.rescans_skipped += 1;
+        self.edges_patched += patches.len() as u64;
+        self.scratch_patches = patches;
+        self.journal_assoc = Some(JournalAssoc {
+            cursor: end,
+            ..assoc
+        });
+        true
+    }
+
+    /// Rebuilds the `(from, to) → edge index` map if the arena was rebuilt since it was
+    /// last valid.
+    fn ensure_edge_index(&mut self) {
+        if self.edge_index_valid {
+            return;
+        }
+        self.edge_index.clear();
+        self.edge_index.reserve(self.arena_edges.len());
+        for (k, &(from, to)) in self.arena_edges.iter().enumerate() {
+            self.edge_index.insert((from, to), k as u32);
+        }
+        self.edge_index_valid = true;
+    }
+
     /// Points the cached arena at `edges`: an in-place capacity rewrite when the edge
-    /// set (endpoints, in order) is unchanged, a CSR rebuild otherwise.
+    /// set (endpoints, in order) is unchanged, a CSR rebuild otherwise. Severs any
+    /// journal association (the caller re-establishes it when `edges` came from a
+    /// scheme).
     fn prepare_arena(&mut self, num_nodes: usize, edges: &[(NodeId, NodeId, f64)]) {
+        self.journal_assoc = None;
         let reusable = self.arena.is_some()
             && self.arena_nodes == num_nodes
             && self.arena_edges.len() == edges.len()
@@ -246,9 +419,27 @@ impl EvalCtx {
             self.arena_edges.clear();
             self.arena_edges
                 .extend(edges.iter().map(|&(from, to, _)| (from, to)));
+            self.edge_index_valid = false;
             self.arena_builds += 1;
         }
     }
+}
+
+/// Certifies that `scheme` delivers at least `claimed` by max-flow through `ctx` and
+/// returns the measured throughput — the shared flow-certification stage of the
+/// experiment sweeps (Figure 7 worst cells, Figure 19 spot checks, depth profiling).
+///
+/// # Panics
+///
+/// Panics when the scheme under-delivers beyond a `1e-6` relative tolerance: an
+/// under-delivering scheme is a solver bug, not a data point.
+pub fn certify_throughput(ctx: &mut EvalCtx, scheme: &BroadcastScheme, claimed: f64) -> f64 {
+    let achieved = ctx.throughput(scheme);
+    assert!(
+        achieved + 1e-6 * claimed.max(1.0) >= claimed,
+        "certification failed: scheme delivers {achieved} < claimed {claimed}"
+    );
+    achieved
 }
 
 /// A broadcast scheduling algorithm with a uniform entry point.
@@ -283,6 +474,8 @@ pub struct SolveRecorder {
     started: Instant,
     flow_solves: u64,
     bisection_iters: u64,
+    rescans_skipped: u64,
+    edges_patched: u64,
 }
 
 impl SolveRecorder {
@@ -293,6 +486,23 @@ impl SolveRecorder {
             started: Instant::now(),
             flow_solves: ctx.flow_solves,
             bisection_iters: ctx.bisection_iters,
+            rescans_skipped: ctx.rescans_skipped,
+            edges_patched: ctx.edges_patched,
+        }
+    }
+
+    /// The [`Telemetry`] accumulated through `ctx` since [`SolveRecorder::start`]: the
+    /// counter deltas plus the elapsed wall clock. Used by [`SolveRecorder::finish`] and
+    /// available directly for instrumented evaluation runs that are not a full solve
+    /// (e.g. the churn degradation probes and the conformance suite).
+    #[must_use]
+    pub fn telemetry(&self, ctx: &EvalCtx) -> Telemetry {
+        Telemetry {
+            flow_solves: ctx.flow_solves - self.flow_solves,
+            bisection_iters: ctx.bisection_iters - self.bisection_iters,
+            rescans_skipped: ctx.rescans_skipped - self.rescans_skipped,
+            edges_patched: ctx.edges_patched - self.edges_patched,
+            wall_time: self.started.elapsed(),
         }
     }
 
@@ -319,11 +529,7 @@ impl SolveRecorder {
                 achieved,
             });
         }
-        let telemetry = Telemetry {
-            flow_solves: ctx.flow_solves - self.flow_solves,
-            bisection_iters: ctx.bisection_iters - self.bisection_iters,
-            wall_time: self.started.elapsed(),
-        };
+        let telemetry = self.telemetry(ctx);
         Ok(Solution {
             algorithm,
             throughput,
@@ -597,25 +803,91 @@ mod tests {
     }
 
     #[test]
-    fn eval_ctx_reuses_arena_across_identical_edge_sets() {
+    fn eval_ctx_patches_journaled_rates_without_rescans() {
         let instance = figure1();
         let mut ctx = EvalCtx::new();
         let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
         let mut scheme = solution.scheme;
-        // The solve's own verification built the arena for this scheme's edge set; every
-        // following evaluation over the same edge set — including one with perturbed
-        // rates — must go through the in-place capacity update, not a rebuild.
-        let before_builds = ctx.arena_builds();
+        // The solve's own verification built the arena for this scheme object; every
+        // following evaluation of the same object with an unchanged edge set — including
+        // one with perturbed rates — must consume the journal: no rebuild, no bulk
+        // rewrite, no rate-matrix rescan.
+        let builds_before = ctx.arena_builds();
         let updates_before = ctx.arena_updates();
+        let skips_before = ctx.rescans_skipped();
         let t1 = ctx.throughput(&scheme);
         let (from, to, rate) = scheme.edges()[0];
         scheme.set_rate(from, to, rate * 0.5);
         let t2 = ctx.throughput(&scheme);
-        assert_eq!(ctx.arena_builds(), before_builds);
-        assert_eq!(ctx.arena_updates(), updates_before + 2);
+        assert_eq!(ctx.arena_builds(), builds_before);
+        assert_eq!(ctx.arena_updates(), updates_before);
+        assert_eq!(ctx.rescans_skipped(), skips_before + 2);
+        assert_eq!(ctx.edges_patched(), 1);
         assert!(t2 <= t1 + 1e-12);
-        // And the incremental result matches a from-scratch evaluation.
+        // And the journaled result matches a from-scratch evaluation.
         assert_eq!(t2, EvalCtx::new().throughput(&scheme));
+    }
+
+    #[test]
+    fn disabled_journal_restores_the_scan_based_path() {
+        let instance = figure1();
+        let mut ctx = EvalCtx::new();
+        ctx.set_journal_enabled(false);
+        let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
+        let mut scheme = solution.scheme;
+        let updates_before = ctx.arena_updates();
+        let (from, to, rate) = scheme.edges()[0];
+        scheme.set_rate(from, to, rate * 0.5);
+        let scanned = ctx.throughput(&scheme);
+        // Same edge set, journal disabled: the endpoint-comparison rewrite path runs.
+        assert_eq!(ctx.arena_updates(), updates_before + 1);
+        assert_eq!(ctx.rescans_skipped(), 0);
+        let mut journaled = EvalCtx::new();
+        let _ = journaled.throughput(&scheme);
+        assert_eq!(scanned, journaled.throughput(&scheme));
+    }
+
+    #[test]
+    fn journal_association_is_per_object_and_survives_divergence() {
+        let instance = figure1();
+        let mut ctx = EvalCtx::new();
+        let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
+        let mut a = solution.scheme;
+        let _ = ctx.throughput(&a);
+        // A clone is a new identity: evaluating it must not consume A's association...
+        let mut b = a.clone();
+        let (from, to, rate) = a.edges()[0];
+        b.set_rate(from, to, rate * 0.25);
+        let skips_before = ctx.rescans_skipped();
+        let tb = ctx.throughput(&b);
+        assert_eq!(ctx.rescans_skipped(), skips_before);
+        assert_eq!(tb, EvalCtx::new().throughput(&b));
+        // ...and evaluating A afterwards must not reuse B's capacities either.
+        a.set_rate(from, to, rate * 0.75);
+        let ta = ctx.throughput(&a);
+        assert_eq!(ta, EvalCtx::new().throughput(&a));
+        // An edge-set change on A (edge removed) falls back to a rebuild, still exact.
+        a.set_rate(from, to, 0.0);
+        let ta2 = ctx.throughput(&a);
+        assert_eq!(ta2, EvalCtx::new().throughput(&a));
+    }
+
+    #[test]
+    fn interleaved_explicit_edge_evaluations_sever_the_association_safely() {
+        let instance = figure1();
+        let mut ctx = EvalCtx::new();
+        let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
+        let mut scheme = solution.scheme;
+        let _ = ctx.throughput(&scheme);
+        // An explicit-edge evaluation (the churn access pattern) re-points the arena.
+        let survivors: Vec<usize> = instance.receivers().collect();
+        let _ = ctx.min_max_flow_with(instance.num_nodes(), 0, &survivors, |edges| {
+            edges.extend(scheme.edges().into_iter().take(3));
+        });
+        // The next scheme evaluation must notice and take the full path, not patch.
+        let (from, to, rate) = scheme.edges()[0];
+        scheme.set_rate(from, to, rate * 0.5);
+        assert_eq!(ctx.throughput(&scheme), EvalCtx::new().throughput(&scheme));
     }
 
     #[test]

@@ -5,10 +5,11 @@
 
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
 use bmp_core::acyclic_open::acyclic_open_optimal_scheme;
+use bmp_core::churn::degradation_tolerance;
 use bmp_core::cyclic_open::cyclic_open_optimal_scheme;
 use bmp_core::exhaustive::optimal_acyclic_exhaustive;
 use bmp_core::omega::best_omega_throughput;
-use bmp_core::solver::{registry, EvalCtx};
+use bmp_core::solver::{registry, EvalCtx, SolveRecorder};
 use bmp_core::CoreError;
 use bmp_platform::paper::{figure1, figure11, figure14};
 use bmp_platform::Instance;
@@ -157,6 +158,62 @@ fn trait_impls_match_legacy_entry_points() {
     }
 }
 
+/// Every registry solver's solution, re-probed by the dichotomic degradation search:
+/// the probes re-score near-identical schemes through the shared context, so every run
+/// must ride the dirty-edge journal — `rescans_skipped > 0` in its [`Telemetry`] — and
+/// agree exactly with a journal-free context.
+#[test]
+fn every_solver_dichotomic_reprobe_rides_the_journal() {
+    let mut ctx = EvalCtx::new();
+    for solver in registry() {
+        let mut reprobed = 0usize;
+        for instance in corpus() {
+            let Ok(solution) = solver.solve(&instance, &mut ctx) else {
+                continue;
+            };
+            if solution.throughput <= 0.0 {
+                continue;
+            }
+            // Degrade the source's upload: always present and always load-bearing.
+            let floor = 0.9 * solution.throughput;
+            let recorder = SolveRecorder::start(&ctx);
+            let tolerance = degradation_tolerance(&solution.scheme, 0, floor, &mut ctx);
+            let telemetry = recorder.telemetry(&ctx);
+            assert!(
+                telemetry.rescans_skipped > 0,
+                "{}: dichotomic re-probe never skipped a rescan ({telemetry:?})",
+                solver.name()
+            );
+            assert!(
+                telemetry.edges_patched > 0,
+                "{}: dichotomic re-probe never patched an edge ({telemetry:?})",
+                solver.name()
+            );
+            assert!(
+                telemetry.bisection_iters > 0,
+                "{}: no probes recorded",
+                solver.name()
+            );
+            // The journaled probes must reproduce the journal-free result exactly.
+            let mut scan_ctx = EvalCtx::new();
+            scan_ctx.set_journal_enabled(false);
+            let scanned = degradation_tolerance(&solution.scheme, 0, floor, &mut scan_ctx);
+            assert_eq!(
+                tolerance,
+                scanned,
+                "{}: journaled and scan-based probes disagree",
+                solver.name()
+            );
+            reprobed += 1;
+        }
+        assert!(
+            reprobed >= 2,
+            "{} re-probed only {reprobed} corpus instances",
+            solver.name()
+        );
+    }
+}
+
 /// Random open-only instance and rate matrix; entries below 0.5 are zeroed so that the
 /// edge *set* survives the ±50% rate perturbations used by the incremental test.
 fn random_scheme() -> impl Strategy<Value = (bmp_core::BroadcastScheme, Vec<f64>)> {
@@ -183,28 +240,53 @@ fn random_scheme() -> impl Strategy<Value = (bmp_core::BroadcastScheme, Vec<f64>
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The incremental-capacity arena path (retained arena, capacities rewritten in
-    /// place) must equal a from-scratch rebuild for every evaluation of a perturbed
-    /// scheme.
+    /// The journaled fast path (retained arena, sparse capacity patches) must equal a
+    /// from-scratch rebuild for every evaluation of a perturbed scheme.
     #[test]
-    fn incremental_arena_equals_rebuild(case in random_scheme()) {
+    fn journaled_patches_equal_rebuild(case in random_scheme()) {
         let (mut scheme, factors) = case;
         let mut retained = EvalCtx::new();
         let first = retained.throughput(&scheme);
         prop_assert_eq!(first, EvalCtx::new().throughput(&scheme));
-        // Perturb every edge's rate without changing the edge set, twice.
+        // Perturb every edge's rate without changing the edge set, twice: both rounds
+        // must ride the journal (no rescan, no rebuild) and agree with a fresh context.
         for round in 0..2 {
             let n = scheme.instance().num_nodes();
             for (from, to, rate) in scheme.edges() {
                 let factor = factors[(from * n + to) % factors.len()];
                 scheme.set_rate(from, to, rate * factor);
             }
-            let updates_before = retained.arena_updates();
+            let builds_before = retained.arena_builds();
+            let skips_before = retained.rescans_skipped();
             let incremental = retained.throughput(&scheme);
             let fresh = EvalCtx::new().throughput(&scheme);
             prop_assert_eq!(incremental, fresh, "round {}", round);
-            prop_assert_eq!(retained.arena_updates(), updates_before + 1,
-                "round {} did not take the incremental path", round);
+            prop_assert_eq!(retained.arena_builds(), builds_before,
+                "round {} rebuilt the arena", round);
+            prop_assert_eq!(retained.rescans_skipped(), skips_before + 1,
+                "round {} did not take the journal path", round);
         }
+        // Pruning dust is invisible to the journal: the next evaluation still patches
+        // and still agrees bit-for-bit.
+        scheme.prune_dust();
+        let skips_before = retained.rescans_skipped();
+        prop_assert_eq!(retained.throughput(&scheme), EvalCtx::new().throughput(&scheme));
+        prop_assert_eq!(retained.rescans_skipped(), skips_before + 1);
+        // An edge-set-changing mutation (remove one edge, add another) must fall back
+        // to the scan/rebuild path — and stay exact.
+        let edges = scheme.edges();
+        if let Some(&(from, to, _)) = edges.first() {
+            scheme.set_rate(from, to, 0.0);
+        }
+        let n = scheme.instance().num_nodes();
+        if n >= 3 {
+            let (a, b) = (n - 2, n - 1);
+            let rate = scheme.rate(a, b);
+            scheme.set_rate(a, b, rate + 1.0);
+        }
+        let skips_before = retained.rescans_skipped();
+        prop_assert_eq!(retained.throughput(&scheme), EvalCtx::new().throughput(&scheme));
+        prop_assert_eq!(retained.rescans_skipped(), skips_before,
+            "an edge-set change must not take the journal path");
     }
 }

@@ -12,13 +12,13 @@
 //! * `repaired / reduced optimum` — how close the re-solved overlay gets to the cyclic optimum
 //!   of the surviving platform (Theorem 4.1 guarantees at least 5/7).
 
-use crate::csvout::CsvTable;
+use crate::csvout::{telemetry_cells, telemetry_sum, CsvTable, TELEMETRY_COLUMNS};
 use crate::parallel::parallel_map_with;
 use crate::stats::Summary;
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
 use bmp_core::bounds::cyclic_upper_bound;
-use bmp_core::churn::{repair, residual_throughput_with};
-use bmp_core::solver::EvalCtx;
+use bmp_core::churn::{degradation_tolerance, repair, residual_throughput_with};
+use bmp_core::solver::{AcyclicGuardedAlgorithm, EvalCtx, SolveRecorder, Solver, Telemetry};
 use bmp_platform::distribution::NamedDistribution;
 use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
 use rand::rngs::StdRng;
@@ -59,6 +59,13 @@ pub struct ChurnTrial {
     pub repaired: f64,
     /// Cyclic optimum (Lemma 5.1) of the reduced platform.
     pub reduced_optimum: f64,
+    /// Dichotomic degradation tolerance of the victim before it departs: the largest
+    /// fraction of its upload it can lose while the overlay still delivers 90% of the
+    /// nominal rate ([`degradation_tolerance`]).
+    pub degradation: f64,
+    /// Evaluation cost of this trial (solve + verification + degradation probes +
+    /// residual evaluation), as counted by the worker's [`EvalCtx`].
+    pub telemetry: Telemetry,
 }
 
 impl ChurnTrial {
@@ -94,6 +101,10 @@ pub struct ChurnCell {
     pub residual: Summary,
     /// Summary of `repaired / reduced optimum` over the trials.
     pub repaired: Summary,
+    /// Summary of the victims' degradation tolerance over the trials.
+    pub degradation: Summary,
+    /// Total evaluation cost of the cell's trials.
+    pub telemetry: Telemetry,
 }
 
 /// Full report of the churn experiment.
@@ -104,10 +115,12 @@ pub struct ChurnReport {
 }
 
 impl ChurnReport {
-    /// Renders the report as CSV.
+    /// Renders the report as CSV, with the shared telemetry columns appended
+    /// ([`TELEMETRY_COLUMNS`]) so the sweep's evaluation cost is tracked next to its
+    /// results.
     #[must_use]
     pub fn to_csv(&self) -> CsvTable {
-        let mut table = CsvTable::new(&[
+        let header: Vec<&str> = [
             "receivers",
             "departure",
             "residual_mean",
@@ -116,9 +129,15 @@ impl ChurnReport {
             "repaired_mean",
             "repaired_median",
             "repaired_min",
-        ]);
+            "degradation_mean",
+            "degradation_median",
+        ]
+        .into_iter()
+        .chain(TELEMETRY_COLUMNS)
+        .collect();
+        let mut table = CsvTable::new(&header);
         for cell in &self.cells {
-            table.push_row(vec![
+            let mut row = vec![
                 cell.receivers.to_string(),
                 cell.kind.label().to_string(),
                 format!("{:.6}", cell.residual.mean),
@@ -127,7 +146,11 @@ impl ChurnReport {
                 format!("{:.6}", cell.repaired.mean),
                 format!("{:.6}", cell.repaired.median),
                 format!("{:.6}", cell.repaired.min),
-            ]);
+                format!("{:.6}", cell.degradation.mean),
+                format!("{:.6}", cell.degradation.median),
+            ];
+            row.extend(telemetry_cells(&cell.telemetry));
+            table.push_row(row);
         }
         table
     }
@@ -143,8 +166,10 @@ fn run_trial(
     let config = GeneratorConfig::new(receivers, 0.7).ok()?;
     let generator = InstanceGenerator::new(config, NamedDistribution::Unif100.build());
     let instance = generator.generate(&mut rng);
-    let solver = AcyclicGuardedSolver::default();
-    let solution = solver.solve(&instance);
+    let recorder = SolveRecorder::start(ctx);
+    // The registry solver evaluates (and self-verifies) through the worker's context, so
+    // the whole trial's flow cost lands in one telemetry record.
+    let solution = AcyclicGuardedAlgorithm.solve(&instance, ctx).ok()?;
     if solution.throughput <= 1e-9 {
         return None;
     }
@@ -154,8 +179,13 @@ fn run_trial(
         }
         DepartureKind::RandomReceiver => rng.gen_range(1..instance.num_nodes()),
     };
+    // Performance-variation half of the paper's remark: how far the victim's upload can
+    // degrade before the overlay misses 90% of the nominal rate. The probes ride the
+    // scheme's dirty-edge journal through the worker context.
+    let degradation =
+        degradation_tolerance(&solution.scheme, victim, 0.9 * solution.throughput, ctx);
     let residual = residual_throughput_with(&solution.scheme, &[victim], ctx);
-    let outcome = repair(&instance, &[victim], &solver)?;
+    let outcome = repair(&instance, &[victim], &AcyclicGuardedSolver::default())?;
     Some(ChurnTrial {
         receivers,
         kind,
@@ -163,6 +193,8 @@ fn run_trial(
         residual,
         repaired: outcome.solution.throughput,
         reduced_optimum: cyclic_upper_bound(&outcome.instance),
+        degradation,
+        telemetry: recorder.telemetry(ctx),
     })
 }
 
@@ -188,14 +220,19 @@ pub fn run(quick: bool, threads: usize) -> ChurnReport {
                 .collect();
             let residual: Vec<f64> = trials.iter().map(ChurnTrial::residual_ratio).collect();
             let repaired: Vec<f64> = trials.iter().map(ChurnTrial::repaired_ratio).collect();
-            if let (Some(residual), Some(repaired)) =
-                (Summary::of(&residual), Summary::of(&repaired))
-            {
+            let degradation: Vec<f64> = trials.iter().map(|t| t.degradation).collect();
+            if let (Some(residual), Some(repaired), Some(degradation)) = (
+                Summary::of(&residual),
+                Summary::of(&repaired),
+                Summary::of(&degradation),
+            ) {
                 cells.push(ChurnCell {
                     receivers,
                     kind,
                     residual,
                     repaired,
+                    degradation,
+                    telemetry: telemetry_sum(trials.iter().map(|t| &t.telemetry)),
                 });
             }
         }
@@ -219,7 +256,20 @@ mod tests {
             // Residual throughput cannot exceed the nominal throughput.
             assert!(cell.residual.max <= 1.0 + 1e-6, "{cell:?}");
             assert!(cell.residual.min >= -1e-9);
+            // Degradation tolerances are fractions, and every trial evaluated flows.
+            assert!(cell.degradation.min >= -1e-9, "{cell:?}");
+            assert!(cell.degradation.max <= 1.0 + 1e-9, "{cell:?}");
+            assert!(cell.telemetry.flow_solves > 0, "{cell:?}");
+            assert!(cell.telemetry.bisection_iters > 0, "{cell:?}");
         }
+        // The degradation probes re-score near-identical schemes: across the report the
+        // journal fast path must have fired.
+        let total: u64 = report
+            .cells
+            .iter()
+            .map(|c| c.telemetry.rescans_skipped)
+            .sum();
+        assert!(total > 0, "no journaled evaluation in the whole sweep");
     }
 
     #[test]
@@ -246,11 +296,16 @@ mod tests {
     }
 
     #[test]
-    fn csv_has_one_row_per_cell() {
+    fn csv_has_one_row_per_cell_with_telemetry_columns() {
         let report = run(true, 1);
         let csv = report.to_csv().to_csv_string();
         assert_eq!(csv.lines().count(), report.cells.len() + 1);
         assert!(csv.starts_with("receivers,departure"));
+        let header = csv.lines().next().unwrap();
+        for column in TELEMETRY_COLUMNS {
+            assert!(header.contains(column), "missing column {column}: {header}");
+        }
+        assert!(header.contains("degradation_mean"));
         assert!(csv.contains("busiest-relay"));
         assert!(csv.contains("random-receiver"));
     }
@@ -264,6 +319,8 @@ mod tests {
             residual: 0.0,
             repaired: 1.0,
             reduced_optimum: 0.0,
+            degradation: 1.0,
+            telemetry: Telemetry::default(),
         };
         assert_eq!(trial.residual_ratio(), 0.0);
         assert_eq!(trial.repaired_ratio(), 1.0);

@@ -1,8 +1,47 @@
-//! Minimal CSV writer used by the experiment binaries.
+//! Minimal CSV writer used by the experiment binaries, plus the shared telemetry
+//! column convention: every experiment that evaluates flows through a
+//! [`bmp_core::solver::EvalCtx`] appends [`TELEMETRY_COLUMNS`] to its header and renders
+//! the aggregated counters with [`telemetry_cells`], so the cost of a sweep (flow
+//! solves, dichotomic probes, journal fast-path hits, wall time) is visible next to its
+//! results instead of only in ad-hoc logs.
 
+use bmp_core::solver::Telemetry;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
+
+/// Column names shared by every experiment CSV that reports evaluation telemetry.
+pub const TELEMETRY_COLUMNS: [&str; 4] = [
+    "flow_solves",
+    "bisection_iters",
+    "rescans_skipped",
+    "wall_time_ms",
+];
+
+/// Renders `telemetry` as one cell per entry of [`TELEMETRY_COLUMNS`].
+#[must_use]
+pub fn telemetry_cells(telemetry: &Telemetry) -> Vec<String> {
+    vec![
+        telemetry.flow_solves.to_string(),
+        telemetry.bisection_iters.to_string(),
+        telemetry.rescans_skipped.to_string(),
+        format!("{:.3}", telemetry.wall_time.as_secs_f64() * 1e3),
+    ]
+}
+
+/// Sums per-trial telemetries into one aggregate (counters add, wall times add).
+#[must_use]
+pub fn telemetry_sum<'a>(telemetries: impl IntoIterator<Item = &'a Telemetry>) -> Telemetry {
+    let mut total = Telemetry::default();
+    for t in telemetries {
+        total.flow_solves += t.flow_solves;
+        total.bisection_iters += t.bisection_iters;
+        total.rescans_skipped += t.rescans_skipped;
+        total.edges_patched += t.edges_patched;
+        total.wall_time += t.wall_time;
+    }
+    total
+}
 
 /// An in-memory CSV table with a fixed header.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,6 +161,39 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut table = CsvTable::new(&["a", "b"]);
         table.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn telemetry_cells_match_the_shared_columns() {
+        let telemetry = Telemetry {
+            flow_solves: 12,
+            bisection_iters: 7,
+            rescans_skipped: 5,
+            edges_patched: 9,
+            wall_time: std::time::Duration::from_millis(4),
+        };
+        let cells = telemetry_cells(&telemetry);
+        assert_eq!(cells.len(), TELEMETRY_COLUMNS.len());
+        assert_eq!(cells[0], "12");
+        assert_eq!(cells[1], "7");
+        assert_eq!(cells[2], "5");
+        assert_eq!(cells[3], "4.000");
+        let total = telemetry_sum([&telemetry, &telemetry]);
+        assert_eq!(total.flow_solves, 24);
+        assert_eq!(total.edges_patched, 18);
+        assert_eq!(total.wall_time, std::time::Duration::from_millis(8));
+        // A table built with the shared columns accepts the rendered cells.
+        let mut table = CsvTable::new(
+            &["cell"]
+                .iter()
+                .copied()
+                .chain(TELEMETRY_COLUMNS)
+                .collect::<Vec<_>>(),
+        );
+        let mut row = vec!["x".to_string()];
+        row.extend(telemetry_cells(&total));
+        table.push_row(row);
+        assert!(table.to_csv_string().contains("rescans_skipped"));
     }
 
     #[test]

@@ -13,11 +13,12 @@
 //! throughput-versus-delay trade-off left open by the paper.
 
 use crate::csvout::CsvTable;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_with;
 use crate::stats::{mean, Summary};
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
 use bmp_core::depth::depth_profile;
 use bmp_core::omega::{best_omega_throughput, omega_word, OmegaChoice};
+use bmp_core::solver::EvalCtx;
 use bmp_core::word::optimal_throughput_for_word;
 use bmp_platform::distribution::NamedDistribution;
 use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
@@ -102,10 +103,15 @@ impl DepthReport {
     }
 }
 
+/// Measures a scheme's depth profile, after certifying through the worker's context that
+/// it actually delivers its claimed throughput (no hidden thread-local: every flow
+/// evaluation of the sweep goes through the explicit per-worker [`EvalCtx`]).
 fn measure(
+    ctx: &mut EvalCtx,
     scheme: &bmp_core::scheme::BroadcastScheme,
     throughput: f64,
 ) -> Option<DepthMeasurement> {
+    bmp_core::solver::certify_throughput(ctx, scheme, throughput);
     let profile = depth_profile(scheme);
     Some(DepthMeasurement {
         throughput,
@@ -114,7 +120,7 @@ fn measure(
     })
 }
 
-fn run_trial(receivers: usize, seed: u64) -> Option<DepthTrial> {
+fn run_trial(ctx: &mut EvalCtx, receivers: usize, seed: u64) -> Option<DepthTrial> {
     let config = GeneratorConfig::new(receivers, 0.7).ok()?;
     let generator = InstanceGenerator::new(config, NamedDistribution::Unif100.build());
     let instance = generator.generate(&mut StdRng::seed_from_u64(seed));
@@ -124,7 +130,7 @@ fn run_trial(receivers: usize, seed: u64) -> Option<DepthTrial> {
     if solution.throughput <= 1e-9 {
         return None;
     }
-    let optimal = measure(&solution.scheme, solution.throughput)?;
+    let optimal = measure(ctx, &solution.scheme, solution.throughput)?;
 
     let (_, choice) = best_omega_throughput(&instance, 1e-9);
     let word = omega_word(&instance, choice);
@@ -135,13 +141,13 @@ fn run_trial(receivers: usize, seed: u64) -> Option<DepthTrial> {
     // Back off marginally from the word's optimum so the feasibility test is unambiguous.
     let full = omega_throughput * (1.0 - 1e-7);
     let omega_scheme = solver.scheme_for_word(&instance, full, &word).ok()?;
-    let omega = measure(&omega_scheme, full)?;
+    let omega = measure(ctx, &omega_scheme, full)?;
 
     let throttled_target = omega_throughput * 0.95;
     let throttled_scheme = solver
         .scheme_for_word(&instance, throttled_target, &word)
         .ok()?;
-    let omega_throttled = measure(&throttled_scheme, throttled_target)?;
+    let omega_throttled = measure(ctx, &throttled_scheme, throttled_target)?;
 
     Some(DepthTrial {
         receivers,
@@ -165,11 +171,14 @@ pub fn run(quick: bool, threads: usize) -> DepthReport {
         let seeds: Vec<u64> = (0..trials)
             .map(|t| t as u64 * 6151 + receivers as u64)
             .collect();
+        // One EvalCtx per worker (the churn_exp convention), reused across the chunk.
         let results: Vec<DepthTrial> =
-            parallel_map(&seeds, threads, |&seed| run_trial(receivers, seed))
-                .into_iter()
-                .flatten()
-                .collect();
+            parallel_map_with(&seeds, threads, EvalCtx::new, |ctx, &seed| {
+                run_trial(ctx, receivers, seed)
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         if results.is_empty() {
             continue;
         }
@@ -236,7 +245,9 @@ mod tests {
 
     #[test]
     fn single_trial_is_consistent() {
-        let trial = run_trial(20, 3).expect("trial runs");
+        let mut ctx = EvalCtx::new();
+        let trial = run_trial(&mut ctx, 20, 3).expect("trial runs");
+        assert!(ctx.flow_solves() > 0, "trial must evaluate through the ctx");
         assert_eq!(trial.receivers, 20);
         assert!(trial.omega.throughput <= trial.optimal.throughput * (1.0 + 1e-6));
         assert!(trial.omega_throttled.throughput < trial.omega.throughput);

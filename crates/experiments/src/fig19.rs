@@ -9,11 +9,12 @@
 //! * the single word selected by the Theorem 6.2 case analysis (red curve).
 
 use crate::csvout::CsvTable;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_with;
 use crate::stats::Summary;
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
 use bmp_core::bounds::cyclic_upper_bound;
 use bmp_core::omega::{best_omega_throughput, theorem_word_throughput};
+use bmp_core::solver::EvalCtx;
 use bmp_platform::distribution::NamedDistribution;
 use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
 use rand::rngs::StdRng;
@@ -145,11 +146,36 @@ impl Fig19Result {
     }
 }
 
-/// Computes the three ratios for one instance.
+/// Largest instance (in nodes) whose acyclic optimum is spot-certified by an explicit
+/// scheme during the sweep: small enough to keep the certification cost negligible next
+/// to the dichotomic searches, large enough to cover the paper's 10- and 100-receiver
+/// cells in full.
+pub const CERTIFY_MAX_NODES: usize = 128;
+
+/// Computes the three ratios for one instance (one-shot convenience over
+/// [`ratios_for_instance_with`]).
 #[must_use]
 pub fn ratios_for_instance(
     instance: &bmp_platform::Instance,
     solver: &AcyclicGuardedSolver,
+) -> InstanceRatios {
+    ratios_for_instance_with(instance, solver, &mut EvalCtx::new())
+}
+
+/// Computes the three ratios for one instance through an explicit per-worker context.
+///
+/// On instances up to [`CERTIFY_MAX_NODES`] nodes the dichotomic acyclic optimum is
+/// additionally certified: the word's scheme is built and re-scored by max-flow through
+/// `ctx` (never the `scheme.rs` thread-local).
+///
+/// # Panics
+///
+/// Panics when the certification fails — an under-delivering scheme is a solver bug.
+#[must_use]
+pub fn ratios_for_instance_with(
+    instance: &bmp_platform::Instance,
+    solver: &AcyclicGuardedSolver,
+    ctx: &mut EvalCtx,
 ) -> InstanceRatios {
     let cyclic = cyclic_upper_bound(instance);
     if cyclic <= 0.0 {
@@ -159,7 +185,13 @@ pub fn ratios_for_instance(
             theorem_word: 1.0,
         };
     }
-    let (acyclic, _) = solver.optimal_throughput(instance);
+    let (acyclic, word) = solver.optimal_throughput(instance);
+    if acyclic > 0.0 && instance.num_nodes() <= CERTIFY_MAX_NODES {
+        let scheme = solver
+            .scheme_for_word(instance, acyclic, &word)
+            .expect("the dichotomic word is valid at its own throughput");
+        bmp_core::solver::certify_throughput(ctx, &scheme, acyclic);
+    }
     let (omega, _) = best_omega_throughput(instance, solver.tolerance);
     let theorem = theorem_word_throughput(instance, solver.tolerance);
     InstanceRatios {
@@ -186,15 +218,18 @@ pub fn run(config: &Fig19Config) -> Fig19Result {
                 let seeds: Vec<u64> = (0..config.instances_per_cell as u64)
                     .map(|i| cell_seed.wrapping_add(i.wrapping_mul(0x517C_C1B7_2722_0A95)))
                     .collect();
-                let ratios = parallel_map(&seeds, config.threads, |&seed| {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let generator_config =
-                        GeneratorConfig::new(size, p).expect("valid generator configuration");
-                    let sampler = distribution.build();
-                    let generator = InstanceGenerator::new(generator_config, sampler);
-                    let instance = generator.generate(&mut rng);
-                    ratios_for_instance(&instance, &solver)
-                });
+                // One EvalCtx per worker (the churn_exp convention): certification flows
+                // go through explicit state, not the scheme.rs thread-local.
+                let ratios =
+                    parallel_map_with(&seeds, config.threads, EvalCtx::new, |ctx, &seed| {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let generator_config =
+                            GeneratorConfig::new(size, p).expect("valid generator configuration");
+                        let sampler = distribution.build();
+                        let generator = InstanceGenerator::new(generator_config, sampler);
+                        let instance = generator.generate(&mut rng);
+                        ratios_for_instance_with(&instance, &solver, ctx)
+                    });
                 let acyclic: Vec<f64> = ratios.iter().map(|r| r.optimal_acyclic).collect();
                 let omega: Vec<f64> = ratios.iter().map(|r| r.best_omega).collect();
                 let theorem: Vec<f64> = ratios.iter().map(|r| r.theorem_word).collect();

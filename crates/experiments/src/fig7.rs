@@ -2,9 +2,10 @@
 //! `n, m ∈ [0, 100]`.
 
 use crate::csvout::CsvTable;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_with;
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
-use bmp_core::homogeneous::{worst_ratio_over_delta, HomogeneousRatio};
+use bmp_core::homogeneous::{worst_ratio_over_delta_with, HomogeneousRatio};
+use bmp_core::solver::EvalCtx;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the Figure 7 grid exploration.
@@ -121,16 +122,24 @@ pub fn run(config: Fig7Config) -> Fig7Result {
             }
         }
     }
-    let results = parallel_map(&cells_to_run, config.threads, |&(n, m)| {
-        // Δ = n·k/steps: use at least 14 steps so that the small-instance corner can hit
-        // the 5/7-tight instances (they need Δ = n/7, e.g. Δ = 1/7 for n = 1).
-        let delta_steps = if config.delta_steps == 0 {
-            n.max(14)
-        } else {
-            config.delta_steps
-        };
-        worst_ratio_over_delta(n, m, delta_steps, &solver)
-    });
+    // One EvalCtx per worker (the churn_exp convention): each cell's worst scheme is
+    // certified by max-flow through explicit per-worker state, never the scheme.rs
+    // thread-local.
+    let results = parallel_map_with(
+        &cells_to_run,
+        config.threads,
+        EvalCtx::new,
+        |ctx, &(n, m)| {
+            // Δ = n·k/steps: use at least 14 steps so that the small-instance corner can
+            // hit the 5/7-tight instances (they need Δ = n/7, e.g. Δ = 1/7 for n = 1).
+            let delta_steps = if config.delta_steps == 0 {
+                n.max(14)
+            } else {
+                config.delta_steps
+            };
+            worst_ratio_over_delta_with(n, m, delta_steps, &solver, ctx)
+        },
+    );
     Fig7Result {
         config,
         cells: results.into_iter().flatten().collect(),

@@ -3,7 +3,7 @@
 
 use bmp_core::bounds::cyclic_upper_bound;
 use bmp_core::scheme::BroadcastScheme;
-use bmp_core::solver::{AcyclicGuardedAlgorithm, EvalCtx, Solver};
+use bmp_core::solver::{AcyclicGuardedAlgorithm, EvalCtx, Solver, Telemetry};
 use bmp_core::word::CodingWord;
 use bmp_platform::paper::figure1;
 use bmp_sim::{Overlay, SimConfig, Simulator};
@@ -25,6 +25,8 @@ pub struct PaperFiguresReport {
     pub measured_throughput: f64,
     /// Empirical delivery rate of the slowest receiver in the chunk-level simulation.
     pub simulated_rate: f64,
+    /// Evaluation cost of the solve (flow solves, probes, journal hits, wall time).
+    pub telemetry: Telemetry,
 }
 
 /// Builds the report: solve the Figure 1 instance, re-verify the scheme by max-flow and by
@@ -54,6 +56,7 @@ pub fn run() -> PaperFiguresReport {
         acyclic_scheme: solution.scheme,
         measured_throughput,
         simulated_rate,
+        telemetry: solution.telemetry,
     }
 }
 
@@ -80,6 +83,13 @@ impl PaperFiguresReport {
             "Simulated worst-receiver rate: {:.3}\n",
             self.simulated_rate
         ));
+        out.push_str(&format!(
+            "Telemetry: {} flow solves, {} bisection iters, {} rescans skipped, {:.3} ms\n",
+            self.telemetry.flow_solves,
+            self.telemetry.bisection_iters,
+            self.telemetry.rescans_skipped,
+            self.telemetry.wall_time.as_secs_f64() * 1e3
+        ));
         for (from, to, rate) in self.acyclic_scheme.edges() {
             out.push_str(&format!("  C{from} -> C{to} : {rate:.3}\n"));
         }
@@ -105,9 +115,12 @@ mod tests {
 
     #[test]
     fn render_mentions_key_quantities() {
-        let text = run().render();
+        let report = run();
+        let text = report.render();
         assert!(text.contains("4.4"));
         assert!(text.contains("gogog"));
         assert!(text.contains("C0 -> C3"));
+        assert!(text.contains("flow solves"));
+        assert!(report.telemetry.flow_solves > 0);
     }
 }

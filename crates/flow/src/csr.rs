@@ -48,6 +48,13 @@ pub struct FlowArena {
     edge_pos: Vec<u32>,
     /// Total capacity entering each node (length `n`).
     in_cap: Vec<f64>,
+    /// `in_start[v]..in_start[v + 1]` indexes `in_edges` (length `n + 1`).
+    in_start: Vec<u32>,
+    /// Input-edge ids grouped by head node, ascending within each group (length `m`).
+    /// This is the summation order of [`FlowArena::from_edges`] restricted to one head,
+    /// which is what lets [`FlowArena::patch_edge_capacities`] recompute a patched node's
+    /// in-capacity bit-for-bit identically to a full rebuild.
+    in_edges: Vec<u32>,
 }
 
 impl FlowArena {
@@ -84,6 +91,15 @@ impl FlowArena {
         let mut base_cap = vec![0.0f64; 2 * num_edges];
         let mut edge_pos = vec![0u32; num_edges];
         let mut in_cap = vec![0.0f64; num_nodes];
+        let mut in_start = vec![0u32; num_nodes + 1];
+        for &(_, to, _) in edges {
+            in_start[to + 1] += 1;
+        }
+        for v in 0..num_nodes {
+            in_start[v + 1] += in_start[v];
+        }
+        let mut in_cursor: Vec<u32> = in_start[..num_nodes].to_vec();
+        let mut in_edges = vec![0u32; num_edges];
         for (k, &(from, to, capacity)) in edges.iter().enumerate() {
             let forward = cursor[from];
             cursor[from] += 1;
@@ -97,6 +113,8 @@ impl FlowArena {
             partner[backward as usize] = forward;
             edge_pos[k] = forward;
             in_cap[to] += capacity;
+            in_edges[in_cursor[to] as usize] = k as u32;
+            in_cursor[to] += 1;
         }
         FlowArena {
             num_nodes,
@@ -107,6 +125,8 @@ impl FlowArena {
             base_cap,
             edge_pos,
             in_cap,
+            in_start,
+            in_edges,
         }
     }
 
@@ -194,6 +214,42 @@ impl FlowArena {
             let forward = self.edge_pos[edge] as usize;
             self.base_cap[forward] = capacity;
             self.in_cap[self.to[forward] as usize] += capacity;
+        }
+    }
+
+    /// Overwrites the capacities of a *sparse* set of input edges in place
+    /// (`patches[i] = (edge_idx, new_capacity)`, insertion-order edge indices).
+    ///
+    /// This is the journaled-update path used by evaluation contexts whose caller knows
+    /// exactly which edges moved since the arena was last current (a dirty-edge journal on
+    /// the scheme being probed): instead of rewriting every capacity
+    /// ([`FlowArena::set_edge_capacities`]) — let alone rescanning an O(n²) rate matrix to
+    /// find the changes — only the touched capacities are written and only the affected
+    /// heads' in-capacities are recomputed. Each affected head is resummed over its
+    /// incoming edges in insertion order, so the result is bit-for-bit the arena that
+    /// [`FlowArena::from_edges`] would build with the patched capacities. Duplicate edge
+    /// indices are allowed (the last write wins), and no allocation is performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge index is `>= num_edges` or a capacity is negative or not finite.
+    pub fn patch_edge_capacities(&mut self, patches: &[(usize, f64)]) {
+        for &(edge, capacity) in patches {
+            assert!(edge < self.num_edges, "edge index {edge} out of range");
+            assert!(
+                capacity.is_finite() && capacity >= 0.0,
+                "capacity must be finite and non-negative, got {capacity}"
+            );
+            self.base_cap[self.edge_pos[edge] as usize] = capacity;
+        }
+        // Second pass so duplicate heads are resummed only over final capacities
+        // (resumming the same head more than once is redundant but harmless).
+        for &(edge, _) in patches {
+            let head = self.to[self.edge_pos[edge] as usize] as usize;
+            let incoming = self.in_start[head] as usize..self.in_start[head + 1] as usize;
+            self.in_cap[head] = incoming
+                .map(|slot| self.base_cap[self.edge_pos[self.in_edges[slot] as usize] as usize])
+                .sum();
         }
     }
 
@@ -634,6 +690,25 @@ impl FlowSolver {
     }
 }
 
+/// Worker-count heuristic for [`min_max_flow_parallel`]: how many threads are worth
+/// spawning for a multi-sink evaluation of `num_sinks` sinks on a `num_nodes`-node arena.
+///
+/// Small evaluations are dominated by the per-thread solver warm-up and the scoped-thread
+/// fan-out, so the heuristic stays sequential below a thousand nodes or 128 sinks
+/// (measured in `crates/bench/benches/throughput.rs`: the sequential batched evaluator
+/// wins comfortably at n = 500). Above that it uses the machine's available parallelism,
+/// capped at 8 so evaluation fan-out stays polite inside already-parallel sweeps.
+#[must_use]
+pub fn suggested_flow_threads(num_nodes: usize, num_sinks: usize) -> usize {
+    if num_nodes < 1000 || num_sinks < 128 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
 /// [`FlowSolver::min_max_flow`] fanned out over scoped threads.
 ///
 /// Each worker owns a private [`FlowSolver`] and pulls sinks from the same
@@ -838,6 +913,60 @@ mod tests {
     fn negative_capacity_update_is_rejected() {
         let mut arena = diamond_arena();
         arena.set_edge_capacities(&[1.0, 2.0, -1.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn sparse_patch_matches_rebuild() {
+        let edges = [
+            (0usize, 1usize, 3.0),
+            (0, 2, 2.0),
+            (1, 3, 2.0),
+            (2, 3, 4.0),
+            (1, 2, 5.0),
+        ];
+        let mut patched = FlowArena::from_edges(4, &edges);
+        // Touch two edges, one of them twice (the last write must win).
+        patched.patch_edge_capacities(&[(3, 9.0), (0, 1.25), (3, 0.75)]);
+        let rebuilt = FlowArena::from_edges(
+            4,
+            &[
+                (0, 1, 1.25),
+                (0, 2, 2.0),
+                (1, 3, 2.0),
+                (2, 3, 0.75),
+                (1, 2, 5.0),
+            ],
+        );
+        // Bit-for-bit the rebuilt arena, including the resummed in-capacities.
+        assert_eq!(patched, rebuilt);
+        let mut solver = FlowSolver::new();
+        assert_eq!(
+            solver.max_flow(&patched, 0, 3),
+            solver.max_flow(&rebuilt, 0, 3)
+        );
+        // An empty patch is a no-op.
+        patched.patch_edge_capacities(&[]);
+        assert_eq!(patched, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn patch_rejects_bad_edge_index() {
+        diamond_arena().patch_edge_capacities(&[(5, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn patch_rejects_negative_capacity() {
+        diamond_arena().patch_edge_capacities(&[(0, -2.0)]);
+    }
+
+    #[test]
+    fn suggested_threads_stays_sequential_for_small_evaluations() {
+        assert_eq!(suggested_flow_threads(500, 499), 1);
+        assert_eq!(suggested_flow_threads(5000, 64), 1);
+        let large = suggested_flow_threads(2000, 1999);
+        assert!((1..=8).contains(&large));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   instead of chasing `Vec<Vec<usize>>` pointers. When only the *capacities* of a fixed
 //!   edge set change (the dichotomic search re-scoring near-identical schemes),
 //!   [`csr::FlowArena::set_edge_capacities`] rewrites them in place — equivalent to a
-//!   from-scratch rebuild, without the CSR construction or its allocations.
+//!   from-scratch rebuild, without the CSR construction or its allocations. When the
+//!   caller knows exactly *which* edges moved (a dirty-edge journal on the probed
+//!   scheme), [`csr::FlowArena::patch_edge_capacities`] writes only those capacities and
+//!   resums only the affected in-capacities — still bit-for-bit equal to a rebuild.
 //! * [`csr::FlowSolver`] — a workspace owning every buffer the solvers mutate (residual
 //!   capacities, levels, current-arc cursors, queues, push-relabel state). Buffers are
 //!   reused across calls: in steady state a solve performs **zero heap allocation**.
@@ -53,7 +56,7 @@ pub mod graph;
 pub mod mincut;
 pub mod push_relabel;
 
-pub use csr::{min_max_flow_parallel, FlowArena, FlowSolver};
+pub use csr::{min_max_flow_parallel, suggested_flow_threads, FlowArena, FlowSolver};
 pub use dinic::dinic_max_flow;
 pub use edmonds_karp::edmonds_karp_max_flow;
 pub use graph::{EdgeId, FlowNetwork, FlowResult};

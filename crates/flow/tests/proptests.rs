@@ -171,6 +171,44 @@ proptest! {
     }
 
     #[test]
+    fn sparse_capacity_patch_equals_rebuild(
+        net in random_network(8, 24),
+        patches in proptest::collection::vec((0usize..24, 0.0_f64..20.0), 0..=12),
+    ) {
+        // Patching an arbitrary (possibly repeating) subset of edge capacities must be
+        // bit-for-bit the arena rebuilt from scratch with the final capacities — the
+        // contract the journaled evaluation path of `bmp_core::solver::EvalCtx` rests on.
+        let mut patched = net.arena();
+        if patched.num_edges() == 0 {
+            return Ok(());
+        }
+        let patches: Vec<(usize, f64)> = patches
+            .into_iter()
+            .map(|(edge, cap)| (edge % patched.num_edges(), cap))
+            .collect();
+        patched.patch_edge_capacities(&patches);
+        let edges: Vec<(usize, usize, f64)> = (0..patched.num_edges())
+            .map(|k| {
+                let (from, to) = patched.edge_endpoints(k);
+                // Last write wins, matching the patch semantics.
+                let cap = patches
+                    .iter()
+                    .rev()
+                    .find(|&&(edge, _)| edge == k)
+                    .map_or(net.edges()[k].capacity, |&(_, cap)| cap);
+                (from, to, cap)
+            })
+            .collect();
+        let rebuilt = bmp_flow::FlowArena::from_edges(net.num_nodes(), &edges);
+        prop_assert_eq!(&patched, &rebuilt);
+        let sinks: Vec<usize> = (1..net.num_nodes()).collect();
+        let mut solver = FlowSolver::new();
+        let incremental = solver.min_max_flow(&patched, 0, &sinks);
+        let fresh = solver.min_max_flow(&rebuilt, 0, &sinks);
+        prop_assert_eq!(incremental, fresh);
+    }
+
+    #[test]
     fn adding_an_edge_never_decreases_flow(net in random_network(7, 18), extra_cap in 0.1_f64..5.0) {
         let s = 0;
         let t = net.num_nodes() - 1;

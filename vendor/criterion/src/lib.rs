@@ -6,10 +6,42 @@
 //! once so the suite stays fast while still exercising the bench code.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard optimization barrier (criterion-compatible).
 pub use std::hint::black_box;
+
+/// One completed benchmark measurement (an extension over upstream criterion: the
+/// harness collects every result so bench binaries can emit machine-readable reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Full benchmark label (`group/function/parameter`).
+    pub id: String,
+    /// Median time per iteration in nanoseconds (0.0 under `--test`).
+    pub median_ns: f64,
+    /// Best sample in nanoseconds (0.0 under `--test`).
+    pub best_ns: f64,
+    /// Whether the run was a `--test` smoke run (one iteration, no timing).
+    pub smoke: bool,
+}
+
+/// Results collected by every benchmark run in this process, in execution order.
+static REPORTS: Mutex<Vec<BenchReport>> = Mutex::new(Vec::new());
+
+/// Drains the results collected so far (benchmark binaries call this after running
+/// their groups to write machine-readable report files).
+#[must_use]
+pub fn take_reports() -> Vec<BenchReport> {
+    std::mem::take(&mut REPORTS.lock().expect("report collector poisoned"))
+}
+
+fn record_report(report: BenchReport) {
+    REPORTS
+        .lock()
+        .expect("report collector poisoned")
+        .push(report);
+}
 
 pub mod measurement {
     //! Measurement kinds. Only wall-clock time is supported.
@@ -261,6 +293,12 @@ fn run_one(settings: &Settings, label: &str, routine: &mut dyn FnMut(&mut Benche
     routine(&mut bencher);
     if settings.test_mode {
         println!("test {label} ... ok (bench smoke run)");
+        record_report(BenchReport {
+            id: label.to_string(),
+            median_ns: 0.0,
+            best_ns: 0.0,
+            smoke: true,
+        });
         return;
     }
     if bencher.samples.is_empty() {
@@ -273,6 +311,12 @@ fn run_one(settings: &Settings, label: &str, routine: &mut dyn FnMut(&mut Benche
     let median = bencher.samples[bencher.samples.len() / 2];
     let best = bencher.samples[0];
     println!("{label:<56} median {median:>14.1} ns/iter  (best {best:>14.1})");
+    record_report(BenchReport {
+        id: label.to_string(),
+        median_ns: median,
+        best_ns: best,
+        smoke: false,
+    });
 }
 
 /// Declares a group of benchmark functions (subset of criterion's macro).
@@ -331,6 +375,28 @@ mod tests {
         bencher.iter(|| black_box(2 + 2));
         assert_eq!(bencher.samples.len(), 3);
         assert!(bencher.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn reports_are_collected_and_drained() {
+        let settings = Settings {
+            sample_size: 2,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(2),
+            test_mode: false,
+            filter: None,
+        };
+        run_one(&settings, "collector/unique-report-label", &mut |b| {
+            b.iter(|| black_box(1 + 1))
+        });
+        let reports = take_reports();
+        let mine = reports
+            .iter()
+            .find(|r| r.id == "collector/unique-report-label")
+            .expect("report recorded");
+        assert!(!mine.smoke);
+        assert!(mine.median_ns >= 0.0);
+        assert!(mine.best_ns <= mine.median_ns);
     }
 
     #[test]
