@@ -15,15 +15,29 @@
 //!   above),
 //! * `parallel/T`     — fixed thread counts for the fan-out curve.
 //!
+//! The `worker_pool` group compares the three fan-out strategies head to head at a
+//! fixed thread count (pool-vs-scoped and pool-vs-sequential):
+//!
+//! * `sequential`     — warm `FlowSolver::min_max_flow` (the no-fan-out floor),
+//! * `scoped/4`       — `min_max_flow_scoped`, the per-call scoped-thread spawn,
+//! * `pooled/4`       — `FlowPool::min_max_flow_with` on the persistent global pool
+//!   (long-lived workers, warm per-worker solvers, no per-call spawn).
+//!
+//! On a single-core container all three land within noise of each other — the group
+//! exists so the BENCH JSON records the trajectory and multi-core hardware shows the
+//! pool's win the moment it runs there.
+//!
 //! Results are drained from the harness and written as `BENCH_throughput.json` at the
 //! repo root (machine-readable perf trajectory).
 
 use bmp_flow::{
-    dinic_max_flow, min_max_flow_parallel, suggested_flow_threads, FlowNetwork, FlowSolver,
+    dinic_max_flow, min_max_flow_parallel, min_max_flow_scoped, suggested_flow_threads,
+    FlowNetwork, FlowPool, FlowSolver,
 };
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Random broadcast-like digraph: node 0 is the source, every node has out-degree ~8 with
@@ -111,7 +125,38 @@ fn bench_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_throughput);
+/// Pool-vs-scoped and pool-vs-sequential at a fixed fan-out of 4 lanes.
+fn bench_worker_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worker_pool");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let pool = FlowPool::global();
+    for &n in &[500usize, 2000] {
+        let net = random_overlay(n, 0xBEA0 + n as u64);
+        let sinks: Vec<usize> = (1..n).collect();
+        let arena = Arc::new(net.arena());
+        let mut warm = FlowSolver::new();
+        let expected = warm.min_max_flow(&arena, 0, &sinks);
+        // All three strategies are exact — assert it before timing them.
+        assert_eq!(min_max_flow_scoped(&arena, 0, &sinks, 4), expected);
+        assert_eq!(pool.min_max_flow(&arena, 0, &sinks, 4), expected);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &arena, |b, arena| {
+            b.iter(|| warm.min_max_flow(arena, 0, &sinks))
+        });
+        group.bench_with_input(BenchmarkId::new("scoped/4", n), &arena, |b, arena| {
+            b.iter(|| min_max_flow_scoped(arena, 0, &sinks, 4))
+        });
+        let mut submitter = FlowSolver::new();
+        group.bench_with_input(BenchmarkId::new("pooled/4", n), &arena, |b, arena| {
+            b.iter(|| pool.min_max_flow_with(&mut submitter, arena, 0, &sinks, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_worker_pool);
 
 fn main() {
     benches();

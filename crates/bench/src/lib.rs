@@ -4,7 +4,11 @@
 //! them as `BENCH_<name>.json` at the repository root, so the perf trajectory of the
 //! hot paths is tracked across PRs instead of living in scrollback. CI smoke-runs the
 //! benches (`--test`) and then validates the emitted files with
-//! [`validate_bench_json`] via the `validate_bench` binary.
+//! [`validate_bench_json`] via the `validate_bench` binary; a separate CI job re-runs
+//! the headline benches *measured* and gates them against the committed baselines with
+//! [`perf_gate`] (`validate_bench --baseline DIR`, [`REGRESSION_TOLERANCE`]× slowdown
+//! tolerance on the pinned ids — a format check alone would happily commit a 100×
+//! slower hot path).
 
 use criterion::BenchReport;
 use std::path::{Path, PathBuf};
@@ -61,6 +65,98 @@ pub fn write_bench_json(benchmark: &str, reports: &[BenchReport]) -> Option<Path
     Some(path)
 }
 
+/// A parsed `BENCH_*.json` document: its `mode` and one `(id, median_ns)` per result.
+#[derive(Debug, Clone)]
+pub struct BenchDocument {
+    /// `"measured"` or `"smoke"`.
+    pub mode: String,
+    /// `(id, median_ns)` in document order.
+    pub medians: Vec<(String, f64)>,
+}
+
+impl BenchDocument {
+    /// Whether the document carries real timings (a `--test` smoke run does not).
+    #[must_use]
+    pub fn is_measured(&self) -> bool {
+        self.mode == "measured"
+    }
+
+    /// The median of `id`, if present.
+    #[must_use]
+    pub fn median_ns(&self, id: &str) -> Option<f64> {
+        self.medians
+            .iter()
+            .find(|(candidate, _)| candidate == id)
+            .map(|&(_, median)| median)
+    }
+}
+
+/// Generous slowdown tolerance of the CI perf-regression gate: a pinned benchmark id
+/// fails the gate only when its freshly measured median exceeds this multiple of the
+/// committed baseline median. 3× absorbs runner-to-runner noise, thermal variance and
+/// the vendored harness's coarse sampling while still catching a hot path falling off a
+/// cliff (the journal wins being guarded are 20×–1000×).
+pub const REGRESSION_TOLERANCE: f64 = 3.0;
+
+/// Outcome of gating one fresh benchmark document against its committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// `false` when either document was a smoke run — there are no timings to compare,
+    /// so the gate abstains (CI still validates ids through [`validate_bench_json`]).
+    pub compared: bool,
+    /// One human-readable message per pinned id slower than the tolerance allows.
+    /// Empty means the gate passed.
+    pub regressions: Vec<String>,
+}
+
+/// Compares the freshly emitted report at `fresh` against the committed `baseline`:
+/// every id in `pinned` that is slower than `tolerance ×` its baseline median is
+/// reported as a regression. Ids missing from the baseline (newly added benchmarks)
+/// are skipped — they have no history to regress against; ids missing from the fresh
+/// document are a structural error (the separate id validation pins them).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (unreadable or malformed
+/// document, pinned id absent from the fresh report).
+pub fn perf_gate(
+    fresh: &Path,
+    baseline: &Path,
+    benchmark: &str,
+    pinned: &[&str],
+    tolerance: f64,
+) -> Result<GateReport, String> {
+    let fresh_doc = read_bench_document(fresh, benchmark)?;
+    let baseline_doc = read_bench_document(baseline, benchmark)?;
+    if !fresh_doc.is_measured() || !baseline_doc.is_measured() {
+        return Ok(GateReport {
+            compared: false,
+            regressions: Vec::new(),
+        });
+    }
+    let mut regressions = Vec::new();
+    for &id in pinned {
+        let measured = fresh_doc
+            .median_ns(id)
+            .ok_or_else(|| format!("{}: pinned id {id:?} missing", fresh.display()))?;
+        let Some(reference) = baseline_doc.median_ns(id) else {
+            continue; // new benchmark: no baseline yet
+        };
+        if reference > 0.0 && measured > tolerance * reference {
+            regressions.push(format!(
+                "{id}: {:.3} ms vs baseline {:.3} ms ({:.2}x, tolerance {tolerance}x)",
+                measured / 1e6,
+                reference / 1e6,
+                measured / reference
+            ));
+        }
+    }
+    Ok(GateReport {
+        compared: true,
+        regressions,
+    })
+}
+
 /// Validates an emitted `BENCH_*.json`: it parses, names `benchmark`, carries a known
 /// `mode`, and every id in `expected_ids` appears verbatim among the results (exact
 /// match — a substring match would let `.../500` be satisfied by `.../5000`, silently
@@ -74,6 +170,26 @@ pub fn validate_bench_json(
     benchmark: &str,
     expected_ids: &[&str],
 ) -> Result<(), String> {
+    let document = read_bench_document(path, benchmark)?;
+    for expected in expected_ids {
+        if document.median_ns(expected).is_none() {
+            let ids: Vec<&str> = document.medians.iter().map(|(id, _)| id.as_str()).collect();
+            return Err(format!(
+                "{}: no result id equals {expected:?} (got {ids:?})",
+                path.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses and structurally checks one `BENCH_*.json` document (shared by
+/// [`validate_bench_json`] and [`perf_gate`]).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn read_bench_document(path: &Path, benchmark: &str) -> Result<BenchDocument, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
     let value: serde::Value = serde_json::from_str(&text)
@@ -109,7 +225,7 @@ pub fn validate_bench_json(
     if results.is_empty() {
         return Err(format!("{}: empty results", path.display()));
     }
-    let mut ids = Vec::with_capacity(results.len());
+    let mut medians = Vec::with_capacity(results.len());
     for result in results {
         let entry = result
             .as_object()
@@ -124,6 +240,7 @@ pub fn validate_bench_json(
         let id = lookup("id")?
             .as_str()
             .ok_or_else(|| format!("{}: result id is not a string", path.display()))?;
+        let mut median = 0.0;
         for metric in ["median_ns", "best_ns"] {
             let value = lookup(metric)?
                 .as_f64()
@@ -134,18 +251,16 @@ pub fn validate_bench_json(
                     path.display()
                 ));
             }
+            if metric == "median_ns" {
+                median = value;
+            }
         }
-        ids.push(id.to_string());
+        medians.push((id.to_string(), median));
     }
-    for expected in expected_ids {
-        if !ids.iter().any(|id| id == expected) {
-            return Err(format!(
-                "{}: no result id equals {expected:?} (got {ids:?})",
-                path.display()
-            ));
-        }
-    }
-    Ok(())
+    Ok(BenchDocument {
+        mode: mode.to_string(),
+        medians,
+    })
 }
 
 /// The benchmark ids the `dichotomic` report must contain (the acceptance surface of
@@ -160,12 +275,16 @@ pub const DICHOTOMIC_REQUIRED_IDS: [&str; 6] = [
 ];
 
 /// The benchmark ids the `throughput` report must contain (sequential batched pass vs
-/// the parallel fan-out at fleet scale).
-pub const THROUGHPUT_REQUIRED_IDS: [&str; 4] = [
+/// the parallel fan-out at fleet scale, plus the persistent-pool-vs-scoped-spawn and
+/// pool-vs-sequential comparisons of the `worker_pool` group).
+pub const THROUGHPUT_REQUIRED_IDS: [&str; 7] = [
     "throughput/batched_reuse/2000",
     "throughput/parallel-auto/2000",
     "throughput/batched_reuse/5000",
     "throughput/parallel-auto/5000",
+    "worker_pool/sequential/2000",
+    "worker_pool/scoped/4/2000",
+    "worker_pool/pooled/4/2000",
 ];
 
 #[cfg(test)]
@@ -245,5 +364,104 @@ mod tests {
     fn empty_report_sets_are_not_written() {
         assert!(write_bench_json("never-written", &[]).is_none());
         assert!(!repo_root().join("BENCH_never-written.json").exists());
+    }
+
+    /// Writes a measured two-result document and returns its path.
+    fn write_doc(dir: &Path, name: &str, alpha_median: f64, beta_median: f64) -> PathBuf {
+        let reports = vec![
+            BenchReport {
+                id: "group/alpha/500".to_string(),
+                median_ns: alpha_median,
+                best_ns: alpha_median * 0.9,
+                smoke: false,
+            },
+            BenchReport {
+                id: "group/beta/2000".to_string(),
+                median_ns: beta_median,
+                best_ns: beta_median * 0.9,
+                smoke: false,
+            },
+        ];
+        let path = dir.join(format!("BENCH_{name}.json"));
+        std::fs::write(&path, bench_report_json("sample", &reports)).unwrap();
+        path
+    }
+
+    #[test]
+    fn perf_gate_passes_within_tolerance_and_fails_beyond_it() {
+        let dir = std::env::temp_dir().join(format!("bmp_bench_gate_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = write_doc(&dir, "baseline", 100.0, 1000.0);
+        // 2.9x on one id, 0.5x on the other: generous tolerance absorbs both.
+        let noisy = write_doc(&dir, "noisy", 290.0, 500.0);
+        let report = perf_gate(
+            &noisy,
+            &baseline,
+            "sample",
+            &["group/alpha/500", "group/beta/2000"],
+            REGRESSION_TOLERANCE,
+        )
+        .unwrap();
+        assert!(report.compared);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        // 3.5x on alpha: the gate names the id, both medians and the ratio.
+        let slow = write_doc(&dir, "slow", 350.0, 1000.0);
+        let report = perf_gate(
+            &slow,
+            &baseline,
+            "sample",
+            &["group/alpha/500", "group/beta/2000"],
+            REGRESSION_TOLERANCE,
+        )
+        .unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        let message = &report.regressions[0];
+        assert!(message.contains("group/alpha/500"), "{message}");
+        assert!(message.contains("3.50x"), "{message}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perf_gate_abstains_on_smoke_documents_and_skips_unknown_baseline_ids() {
+        let dir = std::env::temp_dir().join(format!("bmp_bench_gate2_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = write_doc(&dir, "baseline", 100.0, 1000.0);
+        // A smoke-mode fresh document has no timings: the gate abstains instead of
+        // comparing zeros.
+        let smoke = dir.join("BENCH_smoke.json");
+        let smoke_reports = vec![BenchReport {
+            id: "group/alpha/500".to_string(),
+            median_ns: 0.0,
+            best_ns: 0.0,
+            smoke: true,
+        }];
+        std::fs::write(&smoke, bench_report_json("sample", &smoke_reports)).unwrap();
+        let report = perf_gate(&smoke, &baseline, "sample", &["group/alpha/500"], 3.0).unwrap();
+        assert!(!report.compared);
+        assert!(report.regressions.is_empty());
+        // A pinned id absent from the *baseline* is a new benchmark, not a regression…
+        let fresh = write_doc(&dir, "fresh", 100.0, 1000.0);
+        let narrow = dir.join("BENCH_narrow.json");
+        let narrow_reports = vec![BenchReport {
+            id: "group/alpha/500".to_string(),
+            median_ns: 100.0,
+            best_ns: 90.0,
+            smoke: false,
+        }];
+        std::fs::write(&narrow, bench_report_json("sample", &narrow_reports)).unwrap();
+        let report = perf_gate(
+            &fresh,
+            &narrow,
+            "sample",
+            &["group/alpha/500", "group/beta/2000"],
+            3.0,
+        )
+        .unwrap();
+        assert!(report.compared);
+        assert!(report.regressions.is_empty());
+        // …but a pinned id absent from the *fresh* document is a structural error.
+        let err = perf_gate(&narrow, &fresh, "sample", &["group/beta/2000"], 3.0).unwrap_err();
+        assert!(err.contains("group/beta/2000"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,6 +15,7 @@ pub const FLAGS: FlagSpec = FlagSpec {
         "--algorithm",
         "--cyclic",
         "--tolerance",
+        "--threads",
         "--out",
         "--dot",
     ],
@@ -95,8 +96,10 @@ fn report<W: Write>(solution: &Solution, out: &mut W) -> Result<(), CliError> {
 /// Flags: `--instance FILE` (required), `--algorithm NAME` (registry dispatch; unknown
 /// names list the registered solvers), `--cyclic` (legacy alias for
 /// `--algorithm cyclic-open`), `--tolerance EPS` (dichotomic search precision, default
-/// `1e-9`), `--out FILE` (write the scheme as JSON), `--dot FILE` (write a Graphviz
-/// rendering).
+/// `1e-9`), `--threads N` (flow-evaluation fan-out over the persistent worker pool:
+/// `1` sequential — the default — `N > 1` up to N concurrent lanes, `0` the
+/// instance-size heuristic; the reported throughput is bit-identical either way),
+/// `--out FILE` (write the scheme as JSON), `--dot FILE` (write a Graphviz rendering).
 ///
 /// # Errors
 ///
@@ -107,8 +110,10 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
     let solver = pick_solver(args)?;
     let instance = files::read_instance(args.require("--instance")?)?;
     let tolerance: f64 = args.get_parsed("--tolerance", 1e-9)?;
+    let threads: usize = args.get_parsed("--threads", 1)?;
 
     let mut ctx = EvalCtx::with_tolerance(tolerance);
+    ctx.set_parallelism(threads);
     let solution = solver.solve(&instance, &mut ctx)?;
     report(&solution, out)?;
 
@@ -209,6 +214,40 @@ mod tests {
         for path in [guarded_path, open_path] {
             std::fs::remove_file(path).ok();
         }
+    }
+
+    #[test]
+    fn threads_flag_changes_nothing_but_wall_time() {
+        let path = write_figure1();
+        let sequential = run_args(&["--instance".into(), path.clone()]).unwrap();
+        for threads in ["0", "2", "8"] {
+            let pooled = run_args(&[
+                "--instance".into(),
+                path.clone(),
+                "--threads".into(),
+                threads.into(),
+            ])
+            .unwrap();
+            // Same algorithm, word, throughput, verification — the fan-out may only
+            // change the telemetry timing line.
+            let stable = |report: &str| {
+                report
+                    .lines()
+                    .filter(|line| !line.starts_with("telemetry"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(stable(&sequential), stable(&pooled), "--threads {threads}");
+        }
+        let err = run_args(&[
+            "--instance".into(),
+            path.clone(),
+            "--threads".into(),
+            "many".into(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--threads"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

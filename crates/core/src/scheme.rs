@@ -32,8 +32,47 @@
 //! The journal is pure bookkeeping: it is excluded from equality, serialization and the
 //! serialized document format (a deserialized scheme starts with a fresh id and an empty
 //! journal).
+//!
+//! # Copy-on-probe: how to write a search loop that stays fast
+//!
+//! The journal fast path keys on *object identity*: a [`BroadcastScheme::eval_id`] is
+//! fresh on every construction, clone and deserialization, so an evaluation context can
+//! associate its cached arena with exactly one object. The flip side: a search that
+//! clones the scheme *inside* its probe loop hands the context a brand-new identity on
+//! every probe and silently pays the full O(n²) rate-matrix scan each time. The intended
+//! idiom — used by `churn::degradation_tolerance` and every dichotomic driver — is
+//! **copy-on-probe**: clone **one working copy** before the loop, then mutate that same
+//! object in place per probe, so every mutation lands in its journal and every
+//! re-evaluation patches a handful of capacities instead of rescanning the matrix:
+//!
+//! ```
+//! use bmp_core::scheme::BroadcastScheme;
+//! use bmp_core::solver::EvalCtx;
+//! use bmp_platform::Instance;
+//!
+//! let instance = Instance::open_only(4.0, vec![2.0, 1.0]).unwrap();
+//! let mut nominal = BroadcastScheme::new(instance);
+//! nominal.set_rate(0, 1, 2.0);
+//! nominal.set_rate(0, 2, 1.0);
+//! nominal.set_rate(1, 2, 1.0);
+//!
+//! let mut ctx = EvalCtx::new();
+//! # ctx.set_journal_enabled(true); // the CI matrix exports BMP_DISABLE_JOURNAL=1
+//! // ONE clone for the whole search, made before the loop. (A clone per probe would
+//! // carry a fresh `eval_id` each time — full rescan on every evaluation.)
+//! let mut probe = nominal.clone();
+//! let baseline = ctx.throughput(&probe); // first evaluation builds + caches the arena
+//! for step in 1..=4 {
+//!     let scale = 1.0 - 0.1 * f64::from(step);
+//!     probe.set_rate(0, 1, 2.0 * scale); // capacity-only change: journaled
+//!     let degraded = ctx.throughput(&probe); // patches 1 capacity, skips the rescan
+//!     assert!(degraded <= baseline);
+//! }
+//! assert_eq!(ctx.rescans_skipped(), 4);
+//! assert_eq!(ctx.arena_builds(), 1);
+//! ```
 
-use bmp_flow::{eps, min_max_flow_parallel, FlowArena, FlowNetwork, FlowSolver};
+use bmp_flow::{eps, FlowArena, FlowNetwork, FlowSolver};
 use bmp_platform::node::degree_lower_bound;
 use bmp_platform::{Instance, NodeClass, NodeId};
 use std::cell::RefCell;
@@ -471,17 +510,27 @@ impl BroadcastScheme {
         FLOW_SOLVER.with(|solver| solver.borrow_mut().min_max_flow(&arena, 0, &receivers))
     }
 
-    /// Like [`BroadcastScheme::throughput`], but fanning the receivers out across `threads`
-    /// scoped worker threads (each with its own solver workspace).
+    /// Like [`BroadcastScheme::throughput`], but fanning the receivers out across the
+    /// persistent worker pool ([`bmp_flow::FlowPool::global`]) with up to `threads`
+    /// concurrent lanes (long-lived workers with warm solver workspaces; this thread
+    /// works a share itself).
     ///
-    /// Worth it for large instances only; the sequential batched evaluator wins below a few
-    /// hundred nodes. Callers already running inside a parallel sweep should prefer
-    /// [`BroadcastScheme::throughput`] to avoid oversubscription.
+    /// Worth it for large instances only; the sequential batched evaluator wins below a
+    /// few hundred nodes. The pool is shared and capped, so calls from inside an
+    /// already-parallel sweep stay bounded — but such callers should still prefer
+    /// [`BroadcastScheme::throughput`], as the outer fan-out owns the cores. Searches
+    /// re-evaluating near-identical schemes should use an
+    /// [`crate::solver::EvalCtx`] with [`crate::solver::EvalCtx::set_parallelism`]
+    /// instead: it retains the arena across probes, which this convenience method
+    /// rebuilds per call.
     #[must_use]
     pub fn throughput_parallel(&self, threads: usize) -> f64 {
-        let arena = self.to_flow_arena();
         let receivers: Vec<NodeId> = self.instance.receivers().collect();
-        min_max_flow_parallel(&arena, 0, &receivers, threads)
+        if threads.min(receivers.len()) <= 1 {
+            return self.throughput();
+        }
+        let arena = std::sync::Arc::new(self.to_flow_arena());
+        bmp_flow::FlowPool::global().min_max_flow(&arena, 0, &receivers, threads)
     }
 
     /// [`BroadcastScheme::throughput`] with the worker count picked by

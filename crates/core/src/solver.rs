@@ -20,7 +20,33 @@
 //!   ([`FlowArena::set_edge_capacities`]), and a changed edge list rebuilds the arena.
 //!   The journal fast path is observable as [`Telemetry::rescans_skipped`] /
 //!   [`Telemetry::edges_patched`] and can be disabled per context
-//!   ([`EvalCtx::set_journal_enabled`]) for A/B measurement.
+//!   ([`EvalCtx::set_journal_enabled`]) for A/B measurement — or process-wide by
+//!   exporting `BMP_DISABLE_JOURNAL=1` (read once per [`EvalCtx::new`]; the CI matrix
+//!   uses it to keep the scan path covered).
+//!
+//! # Parallel evaluation
+//!
+//! [`EvalCtx::set_parallelism`] switches `throughput` evaluations onto the process-wide
+//! persistent worker pool ([`bmp_flow::FlowPool::global`]): the journaled (or scanned)
+//! capacities are patched into the retained arena exactly as in the sequential path,
+//! then the per-receiver max-flows fan out across long-lived workers, the submitting
+//! thread working a share on the context's own solver. Values **and** the
+//! [`Telemetry`] counters (`flow_solves`, `rescans_skipped`, `edges_patched`) are
+//! bit-for-bit identical to sequential evaluation — the fan-out only changes wall time —
+//! which the conformance suite asserts for every registry solver. `0` selects the
+//! [`bmp_flow::suggested_flow_threads`] heuristic per evaluation; the default of `1`
+//! stays sequential, which is also the right setting inside already-parallel sweeps
+//! (the pool is shared and capped, but the outer fan-out owns the cores — see
+//! `bmp_experiments::parallel::eval_parallelism`).
+//!
+//! # Copy-on-probe
+//!
+//! The journal fast path keys on *object identity* ([`BroadcastScheme::eval_id`]): a
+//! search that clones the scheme per probe hands the context a fresh, journal-less
+//! object every time and silently pays the full O(n²) rescan. Clone **one working
+//! copy** before the loop and mutate it in place per probe instead — see the
+//! "Copy-on-probe" section of the [`crate::scheme`] module docs for the doctest'd
+//! pattern (`churn::degradation_tolerance` is the in-tree exemplar).
 //!
 //! Every solver verifies its own output before returning: the constructed scheme is
 //! re-scored by max-flow through the context and a shortfall against the claimed
@@ -44,8 +70,9 @@ use crate::omega::{omega1, omega2};
 use crate::scheme::BroadcastScheme;
 use crate::search::DichotomicSearch;
 use crate::word::{is_valid_word, CodingWord, Symbol};
-use bmp_flow::{FlowArena, FlowSolver};
+use bmp_flow::{suggested_flow_threads, FlowArena, FlowPool, FlowSolver};
 use bmp_platform::{Instance, NodeId};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Relative tolerance of the post-solve max-flow verification.
@@ -89,6 +116,14 @@ pub struct Solution {
     pub telemetry: Telemetry,
 }
 
+/// Whether `BMP_DISABLE_JOURNAL` requests the scan-based evaluation path (any non-empty
+/// value other than `0`). Read once per context construction.
+fn journal_disabled_by_env() -> bool {
+    std::env::var("BMP_DISABLE_JOURNAL")
+        .map(|value| !value.is_empty() && value != "0")
+        .unwrap_or(false)
+}
+
 /// Association between the cached arena and the scheme object it was last pointed at:
 /// the scheme's identity, its edge epoch, and how far into its dirty-edge journal the
 /// arena's capacities are current.
@@ -109,7 +144,11 @@ struct JournalAssoc {
 #[derive(Debug, Clone)]
 pub struct EvalCtx {
     solver: FlowSolver,
-    arena: Option<FlowArena>,
+    /// Retained arena. Behind an [`Arc`] so parallel evaluations can hand it to the
+    /// persistent worker pool without copying; in steady state the context is the sole
+    /// owner (workers drop their clones before an evaluation returns), so
+    /// [`Arc::make_mut`] patches it in place exactly like a plain field.
+    arena: Option<Arc<FlowArena>>,
     arena_nodes: usize,
     /// Endpoints of the cached arena's edges, in edge order.
     arena_edges: Vec<(NodeId, NodeId)>,
@@ -121,6 +160,9 @@ pub struct EvalCtx {
     journal_assoc: Option<JournalAssoc>,
     /// Chicken bit: `false` forces the PR-2 scan-based path (for A/B benchmarks).
     journal_enabled: bool,
+    /// Fan-out of `throughput` evaluations: `1` sequential (default), `> 1` dispatch
+    /// onto the shared worker pool, `0` the per-evaluation size heuristic.
+    parallelism: usize,
     scratch_edges: Vec<(NodeId, NodeId, f64)>,
     scratch_filtered: Vec<(NodeId, NodeId, f64)>,
     scratch_caps: Vec<f64>,
@@ -154,6 +196,11 @@ impl EvalCtx {
     }
 
     /// Creates a context whose dichotomic searches use relative precision `tolerance`.
+    ///
+    /// The dirty-edge journal starts enabled unless the `BMP_DISABLE_JOURNAL`
+    /// environment variable is set to a non-empty value other than `0` — the
+    /// process-wide kill switch the CI matrix uses to keep the scan-based path covered.
+    /// [`EvalCtx::set_journal_enabled`] overrides either way.
     #[must_use]
     pub fn with_tolerance(tolerance: f64) -> Self {
         EvalCtx {
@@ -164,7 +211,8 @@ impl EvalCtx {
             edge_index: std::collections::HashMap::new(),
             edge_index_valid: false,
             journal_assoc: None,
-            journal_enabled: true,
+            journal_enabled: !journal_disabled_by_env(),
+            parallelism: 1,
             scratch_edges: Vec::new(),
             scratch_filtered: Vec::new(),
             scratch_caps: Vec::new(),
@@ -235,7 +283,8 @@ impl EvalCtx {
         self.edges_patched
     }
 
-    /// Enables or disables the dirty-edge-journal fast path (enabled by default).
+    /// Enables or disables the dirty-edge-journal fast path (enabled by default, unless
+    /// the `BMP_DISABLE_JOURNAL` environment variable turned it off at construction).
     ///
     /// With the journal disabled every scheme evaluation takes the scan-based path
     /// (edge-list rescan plus in-place capacity rewrite or rebuild) — the PR-2 behaviour,
@@ -248,16 +297,68 @@ impl EvalCtx {
         }
     }
 
+    /// Whether the dirty-edge-journal fast path is currently enabled. On a fresh
+    /// context this reflects the `BMP_DISABLE_JOURNAL` environment variable, so tests
+    /// and sweeps can consult it instead of re-parsing the variable themselves.
+    #[must_use]
+    pub fn journal_enabled(&self) -> bool {
+        self.journal_enabled
+    }
+
+    /// Sets the fan-out of [`EvalCtx::throughput`] evaluations (see the module docs):
+    /// `1` (the default) evaluates sequentially on the calling thread, `threads > 1`
+    /// dispatches the per-receiver max-flows onto the shared persistent worker pool
+    /// ([`FlowPool::global`]) with up to `threads` concurrent lanes, and `0` picks per
+    /// evaluation via [`bmp_flow::suggested_flow_threads`] (sequential for small
+    /// instances, pooled at fleet scale).
+    ///
+    /// Values and telemetry counters are bit-for-bit independent of this setting; only
+    /// wall time changes. Contexts used *inside* an already-parallel sweep should stay
+    /// at `1` — the outer fan-out owns the cores.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads;
+    }
+
+    /// The configured evaluation fan-out (`1` sequential, `0` auto).
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
     /// Throughput of `scheme` (`min_k maxflow(source → C_k)`), evaluated through the
-    /// retained arena (journal-patched when possible, see the type docs).
+    /// retained arena (journal-patched when possible, see the type docs) at the
+    /// configured parallelism ([`EvalCtx::set_parallelism`]; sequential by default).
     pub fn throughput(&mut self, scheme: &BroadcastScheme) -> f64 {
+        self.throughput_with_threads(scheme, self.parallelism)
+    }
+
+    /// [`EvalCtx::throughput`] at an explicit fan-out, overriding the configured
+    /// parallelism for this one evaluation (`0` = size heuristic, `1` = sequential).
+    /// Same journal fast path, same telemetry, bit-identical value.
+    pub fn throughput_parallel(&mut self, scheme: &BroadcastScheme, threads: usize) -> f64 {
+        self.throughput_with_threads(scheme, threads)
+    }
+
+    fn throughput_with_threads(&mut self, scheme: &BroadcastScheme, threads: usize) -> f64 {
         self.ensure_scheme_arena(scheme);
         let mut sinks = std::mem::take(&mut self.scratch_sinks);
         sinks.clear();
         sinks.extend(scheme.instance().receivers());
         self.flow_solves += sinks.len() as u64;
         let arena = self.arena.as_ref().expect("arena prepared above");
-        let value = self.solver.min_max_flow(arena, 0, &sinks);
+        let threads = match threads {
+            0 => suggested_flow_threads(arena.num_nodes(), sinks.len()),
+            explicit => explicit,
+        };
+        let value = if threads > 1 {
+            // The pool borrows the arena Arc for the call and the submitter share runs
+            // on this context's own solver; every worker clone is dropped before the
+            // call returns, so the retained arena stays uniquely owned (in-place
+            // journal patches keep working without a copy).
+            FlowPool::global().min_max_flow_with(&mut self.solver, arena, 0, &sinks, threads)
+        } else {
+            self.solver.min_max_flow(arena, 0, &sinks)
+        };
         self.scratch_sinks = sinks;
         value
     }
@@ -362,10 +463,7 @@ impl EvalCtx {
             };
             patches.push((edge as usize, scheme.rate(from, to)));
         }
-        self.arena
-            .as_mut()
-            .expect("checked above")
-            .patch_edge_capacities(&patches);
+        Arc::make_mut(self.arena.as_mut().expect("checked above")).patch_edge_capacities(&patches);
         self.rescans_skipped += 1;
         self.edges_patched += patches.len() as u64;
         self.scratch_patches = patches;
@@ -408,13 +506,11 @@ impl EvalCtx {
             self.scratch_caps.clear();
             self.scratch_caps
                 .extend(edges.iter().map(|&(_, _, cap)| cap));
-            self.arena
-                .as_mut()
-                .expect("reusable implies present")
+            Arc::make_mut(self.arena.as_mut().expect("reusable implies present"))
                 .set_edge_capacities(&self.scratch_caps);
             self.arena_updates += 1;
         } else {
-            self.arena = Some(FlowArena::from_edges(num_nodes, edges));
+            self.arena = Some(Arc::new(FlowArena::from_edges(num_nodes, edges)));
             self.arena_nodes = num_nodes;
             self.arena_edges.clear();
             self.arena_edges
@@ -806,6 +902,9 @@ mod tests {
     fn eval_ctx_patches_journaled_rates_without_rescans() {
         let instance = figure1();
         let mut ctx = EvalCtx::new();
+        // Explicitly, not by default: the CI matrix runs the suite with
+        // BMP_DISABLE_JOURNAL=1, and this test asserts journal-on behaviour.
+        ctx.set_journal_enabled(true);
         let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
         let mut scheme = solution.scheme;
         // The solve's own verification built the arena for this scheme object; every
@@ -851,6 +950,7 @@ mod tests {
     fn journal_association_is_per_object_and_survives_divergence() {
         let instance = figure1();
         let mut ctx = EvalCtx::new();
+        ctx.set_journal_enabled(true); // immune to the CI journal-off matrix
         let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
         let mut a = solution.scheme;
         let _ = ctx.throughput(&a);
@@ -888,6 +988,65 @@ mod tests {
         let (from, to, rate) = scheme.edges()[0];
         scheme.set_rate(from, to, rate * 0.5);
         assert_eq!(ctx.throughput(&scheme), EvalCtx::new().throughput(&scheme));
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_including_counters() {
+        let instance = figure1();
+        let solution = AcyclicGuardedAlgorithm
+            .solve(&instance, &mut EvalCtx::new())
+            .unwrap();
+        let mut scheme = solution.scheme;
+        // Two fresh contexts run the same evaluation sequence — nominal, then two
+        // journaled perturbations — one sequential, one through the worker pool.
+        let mut seq = EvalCtx::new();
+        let mut par = EvalCtx::new();
+        par.set_parallelism(4);
+        assert_eq!(par.parallelism(), 4);
+        for round in 0..3 {
+            if round > 0 {
+                let (from, to, rate) = scheme.edges()[round % scheme.edges().len()];
+                scheme.set_rate(from, to, rate * 0.75);
+            }
+            assert_eq!(par.throughput(&scheme), seq.throughput(&scheme));
+        }
+        // The fan-out changes wall time only: every counter matches bit-for-bit.
+        assert_eq!(par.flow_solves(), seq.flow_solves());
+        assert_eq!(par.rescans_skipped(), seq.rescans_skipped());
+        assert_eq!(par.edges_patched(), seq.edges_patched());
+        assert_eq!(par.arena_builds(), seq.arena_builds());
+        assert_eq!(par.arena_updates(), seq.arena_updates());
+        // One-shot overrides agree too, including the auto heuristic (sequential at
+        // this size) and an explicit fan-out wider than the receiver count.
+        let expected = seq.throughput(&scheme);
+        assert_eq!(par.throughput_parallel(&scheme, 0), expected);
+        assert_eq!(par.throughput_parallel(&scheme, 2), expected);
+        assert_eq!(par.throughput_parallel(&scheme, 64), expected);
+        assert_eq!(seq.throughput_parallel(&scheme, 3), expected);
+    }
+
+    #[test]
+    fn pooled_evaluation_keeps_the_retained_arena_patchable() {
+        let instance = figure1();
+        let mut ctx = EvalCtx::new();
+        ctx.set_journal_enabled(true); // immune to the CI journal-off matrix
+        ctx.set_parallelism(4);
+        let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
+        let mut scheme = solution.scheme;
+        let _ = ctx.throughput(&scheme);
+        let builds_before = ctx.arena_builds();
+        let skips_before = ctx.rescans_skipped();
+        // After a pooled evaluation every worker has dropped its arena reference, so
+        // the journal fast path keeps patching the retained arena in place: no rebuild
+        // even though the arena was shared with the pool moments ago.
+        for step in 1..=3 {
+            let (from, to, rate) = scheme.edges()[0];
+            scheme.set_rate(from, to, rate * (1.0 - 0.1 * f64::from(step)));
+            let pooled = ctx.throughput(&scheme);
+            assert_eq!(pooled, EvalCtx::new().throughput(&scheme));
+        }
+        assert_eq!(ctx.arena_builds(), builds_before);
+        assert_eq!(ctx.rescans_skipped(), skips_before + 3);
     }
 
     #[test]

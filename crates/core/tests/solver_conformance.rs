@@ -165,6 +165,9 @@ fn trait_impls_match_legacy_entry_points() {
 #[test]
 fn every_solver_dichotomic_reprobe_rides_the_journal() {
     let mut ctx = EvalCtx::new();
+    // Explicitly, not by default: the CI matrix runs this suite with
+    // BMP_DISABLE_JOURNAL=1, and this test asserts journal-on behaviour.
+    ctx.set_journal_enabled(true);
     for solver in registry() {
         let mut reprobed = 0usize;
         for instance in corpus() {
@@ -214,6 +217,54 @@ fn every_solver_dichotomic_reprobe_rides_the_journal() {
     }
 }
 
+/// Every registry solver must produce the *same* solution under a pooled evaluation
+/// context as under a sequential one: same algorithm label, bit-identical claimed and
+/// verified throughput, same word, same scheme, and bit-identical telemetry counters
+/// (`wall_time` is the only field allowed to differ — the fan-out changes nothing but
+/// elapsed time).
+#[test]
+fn every_solver_matches_under_a_pooled_ctx() {
+    for solver in registry() {
+        for instance in corpus() {
+            let mut seq = EvalCtx::new();
+            let mut pooled = EvalCtx::new();
+            pooled.set_parallelism(4);
+            let sequential = solver.solve(&instance, &mut seq);
+            let parallel = solver.solve(&instance, &mut pooled);
+            match (sequential, parallel) {
+                (Ok(sequential), Ok(parallel)) => {
+                    let name = solver.name();
+                    assert_eq!(sequential.algorithm, parallel.algorithm, "{name}");
+                    assert_eq!(
+                        sequential.throughput.to_bits(),
+                        parallel.throughput.to_bits(),
+                        "{name}: claimed throughput diverged"
+                    );
+                    assert_eq!(
+                        sequential.verified_throughput.to_bits(),
+                        parallel.verified_throughput.to_bits(),
+                        "{name}: verified throughput diverged"
+                    );
+                    assert_eq!(sequential.word, parallel.word, "{name}");
+                    assert_eq!(sequential.scheme, parallel.scheme, "{name}");
+                    let (s, p) = (&sequential.telemetry, &parallel.telemetry);
+                    assert_eq!(s.flow_solves, p.flow_solves, "{name}");
+                    assert_eq!(s.bisection_iters, p.bisection_iters, "{name}");
+                    assert_eq!(s.rescans_skipped, p.rescans_skipped, "{name}");
+                    assert_eq!(s.edges_patched, p.edges_patched, "{name}");
+                }
+                (Err(_), Err(_)) => {} // class restrictions hit identically
+                (sequential, parallel) => panic!(
+                    "{}: sequential {:?} vs pooled {:?} disagree on solvability",
+                    solver.name(),
+                    sequential.map(|s| s.throughput),
+                    parallel.map(|s| s.throughput)
+                ),
+            }
+        }
+    }
+}
+
 /// Random open-only instance and rate matrix; entries below 0.5 are zeroed so that the
 /// edge *set* survives the ±50% rate perturbations used by the incremental test.
 fn random_scheme() -> impl Strategy<Value = (bmp_core::BroadcastScheme, Vec<f64>)> {
@@ -246,6 +297,9 @@ proptest! {
     fn journaled_patches_equal_rebuild(case in random_scheme()) {
         let (mut scheme, factors) = case;
         let mut retained = EvalCtx::new();
+        // Explicitly, not by default: the CI matrix exports BMP_DISABLE_JOURNAL=1 and
+        // this test asserts journal-on behaviour.
+        retained.set_journal_enabled(true);
         let first = retained.throughput(&scheme);
         prop_assert_eq!(first, EvalCtx::new().throughput(&scheme));
         // Perturb every edge's rate without changing the edge set, twice: both rounds
@@ -288,5 +342,51 @@ proptest! {
         prop_assert_eq!(retained.throughput(&scheme), EvalCtx::new().throughput(&scheme));
         prop_assert_eq!(retained.rescans_skipped(), skips_before,
             "an edge-set change must not take the journal path");
+    }
+
+    /// `EvalCtx::throughput_parallel` (the persistent-pool fan-out) must equal
+    /// sequential evaluation **bit-identically** — values and telemetry counters — on
+    /// random overlays, with the journal on and off, at every fan-out in {1, 2, 4}.
+    /// Runs the same probe sequence (nominal evaluation, then two rounds of journaled
+    /// perturbations) through one sequential and one parallel context per combination.
+    #[test]
+    fn parallel_throughput_is_bit_identical_to_sequential(case in random_scheme()) {
+        let (mut scheme, factors) = case;
+        let n = scheme.instance().num_nodes();
+        for journal in [true, false] {
+            for threads in [1usize, 2, 4] {
+                let mut seq = EvalCtx::new();
+                seq.set_journal_enabled(journal);
+                let mut par = EvalCtx::new();
+                par.set_journal_enabled(journal);
+                par.set_parallelism(threads);
+                let rec_seq = SolveRecorder::start(&seq);
+                let rec_par = SolveRecorder::start(&par);
+                prop_assert_eq!(par.throughput(&scheme), seq.throughput(&scheme),
+                    "nominal (journal={}, threads={})", journal, threads);
+                for round in 0..2 {
+                    for (from, to, rate) in scheme.edges() {
+                        let factor = factors[(from * n + to) % factors.len()];
+                        scheme.set_rate(from, to, rate * factor);
+                    }
+                    prop_assert_eq!(par.throughput(&scheme), seq.throughput(&scheme),
+                        "round {} (journal={}, threads={})", round, journal, threads);
+                }
+                // Telemetry counters are bit-exact; wall_time is the only field the
+                // fan-out may change.
+                let t_seq = rec_seq.telemetry(&seq);
+                let t_par = rec_par.telemetry(&par);
+                prop_assert_eq!(t_par.flow_solves, t_seq.flow_solves);
+                prop_assert_eq!(t_par.bisection_iters, t_seq.bisection_iters);
+                prop_assert_eq!(t_par.rescans_skipped, t_seq.rescans_skipped);
+                prop_assert_eq!(t_par.edges_patched, t_seq.edges_patched);
+                if journal {
+                    // The probe sequence is journal-friendly: both contexts must have
+                    // actually ridden the fast path, or the comparison proves nothing.
+                    prop_assert!(t_seq.rescans_skipped >= 2,
+                        "sequential context never took the journal path");
+                }
+            }
+        }
     }
 }

@@ -171,9 +171,16 @@ pub fn run(quick: bool, threads: usize) -> DepthReport {
         let seeds: Vec<u64> = (0..trials)
             .map(|t| t as u64 * 6151 + receivers as u64)
             .collect();
-        // One EvalCtx per worker (the churn_exp convention), reused across the chunk.
+        // One EvalCtx per worker (the churn_exp convention), reused across the chunk;
+        // its flow fan-out is 1 inside a parallel sweep (the outer map owns the cores)
+        // and the pool-backed auto heuristic when the sweep runs sequentially.
+        let worker_ctx = || {
+            let mut ctx = EvalCtx::new();
+            ctx.set_parallelism(crate::parallel::eval_parallelism(threads));
+            ctx
+        };
         let results: Vec<DepthTrial> =
-            parallel_map_with(&seeds, threads, EvalCtx::new, |ctx, &seed| {
+            parallel_map_with(&seeds, threads, worker_ctx, |ctx, &seed| {
                 run_trial(ctx, receivers, seed)
             })
             .into_iter()

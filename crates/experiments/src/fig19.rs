@@ -219,17 +219,22 @@ pub fn run(config: &Fig19Config) -> Fig19Result {
                     .map(|i| cell_seed.wrapping_add(i.wrapping_mul(0x517C_C1B7_2722_0A95)))
                     .collect();
                 // One EvalCtx per worker (the churn_exp convention): certification flows
-                // go through explicit state, not the scheme.rs thread-local.
-                let ratios =
-                    parallel_map_with(&seeds, config.threads, EvalCtx::new, |ctx, &seed| {
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        let generator_config =
-                            GeneratorConfig::new(size, p).expect("valid generator configuration");
-                        let sampler = distribution.build();
-                        let generator = InstanceGenerator::new(generator_config, sampler);
-                        let instance = generator.generate(&mut rng);
-                        ratios_for_instance_with(&instance, &solver, ctx)
-                    });
+                // go through explicit state, not the scheme.rs thread-local, and never
+                // stack the flow pool's fan-out on the sweep's own.
+                let worker_ctx = || {
+                    let mut ctx = EvalCtx::new();
+                    ctx.set_parallelism(crate::parallel::eval_parallelism(config.threads));
+                    ctx
+                };
+                let ratios = parallel_map_with(&seeds, config.threads, worker_ctx, |ctx, &seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let generator_config =
+                        GeneratorConfig::new(size, p).expect("valid generator configuration");
+                    let sampler = distribution.build();
+                    let generator = InstanceGenerator::new(generator_config, sampler);
+                    let instance = generator.generate(&mut rng);
+                    ratios_for_instance_with(&instance, &solver, ctx)
+                });
                 let acyclic: Vec<f64> = ratios.iter().map(|r| r.optimal_acyclic).collect();
                 let omega: Vec<f64> = ratios.iter().map(|r| r.best_omega).collect();
                 let theorem: Vec<f64> = ratios.iter().map(|r| r.theorem_word).collect();

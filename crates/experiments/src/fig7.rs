@@ -124,22 +124,22 @@ pub fn run(config: Fig7Config) -> Fig7Result {
     }
     // One EvalCtx per worker (the churn_exp convention): each cell's worst scheme is
     // certified by max-flow through explicit per-worker state, never the scheme.rs
-    // thread-local.
-    let results = parallel_map_with(
-        &cells_to_run,
-        config.threads,
-        EvalCtx::new,
-        |ctx, &(n, m)| {
-            // Δ = n·k/steps: use at least 14 steps so that the small-instance corner can
-            // hit the 5/7-tight instances (they need Δ = n/7, e.g. Δ = 1/7 for n = 1).
-            let delta_steps = if config.delta_steps == 0 {
-                n.max(14)
-            } else {
-                config.delta_steps
-            };
-            worst_ratio_over_delta_with(n, m, delta_steps, &solver, ctx)
-        },
-    );
+    // thread-local — and never stacking the flow pool's fan-out on the sweep's own.
+    let worker_ctx = || {
+        let mut ctx = EvalCtx::new();
+        ctx.set_parallelism(crate::parallel::eval_parallelism(config.threads));
+        ctx
+    };
+    let results = parallel_map_with(&cells_to_run, config.threads, worker_ctx, |ctx, &(n, m)| {
+        // Δ = n·k/steps: use at least 14 steps so that the small-instance corner can
+        // hit the 5/7-tight instances (they need Δ = n/7, e.g. Δ = 1/7 for n = 1).
+        let delta_steps = if config.delta_steps == 0 {
+            n.max(14)
+        } else {
+            config.delta_steps
+        };
+        worst_ratio_over_delta_with(n, m, delta_steps, &solver, ctx)
+    });
     Fig7Result {
         config,
         cells: results.into_iter().flatten().collect(),

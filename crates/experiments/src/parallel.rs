@@ -65,6 +65,24 @@ where
         .collect()
 }
 
+/// Flow-evaluation fan-out for the per-worker `bmp_core::solver::EvalCtx` of a sweep
+/// running `outer_threads` workers (the value to pass to `EvalCtx::set_parallelism`).
+///
+/// A sweep that is itself parallel already owns the cores: stacking the flow pool's
+/// fan-out on top would oversubscribe the machine, so its workers evaluate
+/// sequentially (`1`). A sequential sweep has the whole machine to itself, so its one
+/// worker gets the auto setting (`0` — the `suggested_flow_threads` heuristic backed by
+/// the shared, capped `bmp_flow::FlowPool`), which stays sequential on the small
+/// instances the sweeps mostly score and fans out only at fleet scale.
+#[must_use]
+pub fn eval_parallelism(outer_threads: usize) -> usize {
+    if outer_threads > 1 {
+        1
+    } else {
+        0
+    }
+}
+
 /// Default number of worker threads: the machine's available parallelism, capped at 8 so the
 /// experiment binaries stay polite on shared machines.
 #[must_use]
@@ -106,6 +124,17 @@ mod tests {
     fn more_threads_than_items() {
         let items = vec![1u32, 2, 3];
         assert_eq!(parallel_map(&items, 64, |&x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn eval_parallelism_never_stacks_fanouts() {
+        // A parallel sweep pins its workers' flow evaluation to sequential; only a
+        // sequential sweep hands its one worker the pool-backed auto setting.
+        assert_eq!(eval_parallelism(0), 0);
+        assert_eq!(eval_parallelism(1), 0);
+        for outer in 2..=16 {
+            assert_eq!(eval_parallelism(outer), 1);
+        }
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //!   tight minimum is found early, and each subsequent max-flow is capped at the running
 //!   minimum (a sink whose flow reaches the cap cannot lower the minimum, so its solve
 //!   terminates early). The result is exactly equal to evaluating every sink in full.
-//! * [`min_max_flow_parallel`] — the same evaluation fanned out over scoped threads for
-//!   large instances, one solver workspace per thread, sharing the running minimum through
-//!   an atomic so late sinks still benefit from early-exit caps.
+//! * [`min_max_flow_parallel`] — the same evaluation fanned out over the persistent
+//!   worker pool ([`crate::pool::FlowPool`]) for large instances, one long-lived solver
+//!   workspace per worker, sharing the running minimum through an atomic so late sinks
+//!   still benefit from early-exit caps. [`min_max_flow_scoped`] keeps the old per-call
+//!   scoped-thread fan-out as the A/B baseline.
 
 use crate::eps;
 use crate::graph::{FlowNetwork, FlowResult};
@@ -269,7 +271,7 @@ impl FlowArena {
     /// # Panics
     ///
     /// Panics if a sink is out of range.
-    fn order_sinks_into(&self, sinks: &[usize], order: &mut Vec<u32>) {
+    pub(crate) fn order_sinks_into(&self, sinks: &[usize], order: &mut Vec<u32>) {
         order.clear();
         order.extend(sinks.iter().map(|&sink| {
             assert!(sink < self.num_nodes, "sink out of range");
@@ -709,7 +711,38 @@ pub fn suggested_flow_threads(num_nodes: usize, num_sinks: usize) -> usize {
         .min(8)
 }
 
-/// [`FlowSolver::min_max_flow`] fanned out over scoped threads.
+/// [`FlowSolver::min_max_flow`] fanned out over the persistent worker pool
+/// ([`crate::pool::FlowPool::global`]).
+///
+/// This is a thin convenience wrapper for borrowed arenas: the pool hands work to
+/// long-lived threads, so the arena is cloned into an [`std::sync::Arc`] for the call
+/// (one memcpy of the CSR arrays — noise next to a multi-sink solve at the sizes where
+/// fan-out pays). Hot paths that evaluate repeatedly should hold an
+/// `Arc<FlowArena>` themselves and call [`crate::pool::FlowPool::min_max_flow_with`]
+/// directly, reusing their submitter workspace and skipping the clone; `bmp-core`'s
+/// evaluation context does exactly that.
+///
+/// `threads <= 1` falls back to the sequential evaluator. Returns `f64::INFINITY` for an
+/// empty `sinks`. The result is bit-for-bit the sequential evaluation either way.
+#[must_use]
+pub fn min_max_flow_parallel(
+    arena: &FlowArena,
+    source: usize,
+    sinks: &[usize],
+    threads: usize,
+) -> f64 {
+    let mut solver = FlowSolver::new();
+    if threads.min(sinks.len()) <= 1 {
+        return solver.min_max_flow(arena, source, sinks);
+    }
+    let arena = std::sync::Arc::new(arena.clone());
+    crate::pool::FlowPool::global().min_max_flow_with(&mut solver, &arena, source, sinks, threads)
+}
+
+/// [`FlowSolver::min_max_flow`] fanned out over per-call scoped threads — the PR-3
+/// fan-out, kept as the A/B baseline the `worker_pool` benchmark group measures the
+/// persistent pool against (and as a fallback for callers that must not share the
+/// process-wide pool).
 ///
 /// Each worker owns a private [`FlowSolver`] and pulls sinks from the same
 /// ascending-in-capacity order (strided), publishing the running minimum through an atomic
@@ -720,7 +753,7 @@ pub fn suggested_flow_threads(num_nodes: usize, num_sinks: usize) -> usize {
 /// `threads <= 1` falls back to the sequential evaluator. Returns `f64::INFINITY` for an
 /// empty `sinks`.
 #[must_use]
-pub fn min_max_flow_parallel(
+pub fn min_max_flow_scoped(
     arena: &FlowArena,
     source: usize,
     sinks: &[usize],
@@ -825,6 +858,7 @@ mod tests {
         let batched = solver.min_max_flow(&arena, 0, &[1, 2, 3]);
         assert_eq!(batched, naive);
         assert_eq!(min_max_flow_parallel(&arena, 0, &[1, 2, 3], 3), naive);
+        assert_eq!(min_max_flow_scoped(&arena, 0, &[1, 2, 3], 3), naive);
     }
 
     #[test]
@@ -982,5 +1016,6 @@ mod tests {
         let sequential = FlowSolver::new().min_max_flow(&arena, 0, &sinks);
         assert_eq!(sequential, 0.5);
         assert_eq!(min_max_flow_parallel(&arena, 0, &sinks, 8), 0.5);
+        assert_eq!(min_max_flow_scoped(&arena, 0, &sinks, 8), 0.5);
     }
 }

@@ -27,8 +27,32 @@
 //!   `min_k maxflow(source → k)`: sinks are visited in ascending in-capacity order and each
 //!   solve is capped at the running minimum, terminating early once the cap is reached (a
 //!   sink whose flow reaches the running minimum cannot lower it). The result is exactly
-//!   the minimum of the individually computed flows. [`csr::min_max_flow_parallel`] fans
-//!   the same evaluation out across scoped threads for large instances.
+//!   the minimum of the individually computed flows.
+//!
+//! # The worker-pool layer
+//!
+//! Large multi-sink evaluations fan out across threads. Two fan-outs exist:
+//!
+//! * [`pool::FlowPool`] — the production path: a persistent pool of long-lived workers,
+//!   each owning a reusable [`csr::FlowSolver`] that stays warm across evaluations.
+//!   Workers are spawned lazily up to the pool cap and fed sink batches through a
+//!   channel; every evaluation shares its running minimum through an atomic, and the
+//!   submitting thread always works a share itself. [`pool::FlowPool::global`] is the
+//!   process-wide instance (capped at 8 workers, the same ceiling as
+//!   [`suggested_flow_threads`]) shared by [`min_max_flow_parallel`] and the parallel
+//!   evaluation mode of `bmp-core`'s `EvalCtx`, so the machine-wide flow-thread count
+//!   stays bounded no matter how many contexts request parallelism. Arenas travel to the
+//!   workers as `Arc<FlowArena>` clones that are dropped before the submitter is
+//!   released — a context that owns the only other reference keeps patching its retained
+//!   arena in place.
+//! * [`csr::min_max_flow_scoped`] — the former per-call scoped-thread fan-out, kept as
+//!   the A/B baseline (benchmarked against the pool in the `worker_pool` group of
+//!   `crates/bench/benches/throughput.rs`) and for callers that must not share the
+//!   global pool.
+//!
+//! [`suggested_flow_threads`] decides when fan-out pays at all: sequential below 1000
+//! nodes / 128 sinks, available parallelism capped at 8 above. Every fan-out is
+//! bit-for-bit equal to the sequential batched evaluation.
 //!
 //! # Entry points
 //!
@@ -54,13 +78,17 @@ pub mod edmonds_karp;
 pub mod eps;
 pub mod graph;
 pub mod mincut;
+pub mod pool;
 pub mod push_relabel;
 
-pub use csr::{min_max_flow_parallel, suggested_flow_threads, FlowArena, FlowSolver};
+pub use csr::{
+    min_max_flow_parallel, min_max_flow_scoped, suggested_flow_threads, FlowArena, FlowSolver,
+};
 pub use dinic::dinic_max_flow;
 pub use edmonds_karp::edmonds_karp_max_flow;
 pub use graph::{EdgeId, FlowNetwork, FlowResult};
 pub use mincut::{min_cut, MinCut};
+pub use pool::FlowPool;
 pub use push_relabel::push_relabel_max_flow;
 
 /// Maximum-flow value from `source` to `sink` computed with the default solver (Dinic).
