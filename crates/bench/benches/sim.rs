@@ -1,28 +1,40 @@
 //! Chunk-level streaming simulator benchmarks (the Massoulié-style data plane).
+//!
+//! Two groups:
+//!
+//! * `streaming_simulation` — whole runs over solved overlays (end-to-end cost);
+//! * `sim_round` — the per-round hot path of the session engine: stepping a
+//!   mid-broadcast session (word-packed possession bitsets, O(chunks/64) useful-chunk
+//!   scans) and the rarest-first pick on wide chunk sets. Drained into
+//!   `BENCH_sim.json` at the repo root; the `sim_round` ids are pinned by the CI perf
+//!   gate (`validate_bench`).
 
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
 use bmp_platform::distribution::UniformBandwidth;
 use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
-use bmp_sim::{Overlay, SimConfig, Simulator};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bmp_sim::{ChunkBitset, Overlay, Session, SimConfig, Simulator};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn solved_overlay(receivers: usize, seed: u64) -> (Overlay, f64) {
+    let config = GeneratorConfig::new(receivers, 0.7).unwrap();
+    let generator = InstanceGenerator::new(config, UniformBandwidth::unif100());
+    let inst = generator.generate(&mut StdRng::seed_from_u64(seed));
+    let solution = AcyclicGuardedSolver::default().solve(&inst);
+    (Overlay::from_scheme(&solution.scheme), solution.throughput)
+}
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("streaming_simulation");
     group.sample_size(10);
-    let solver = AcyclicGuardedSolver::default();
     for &receivers in &[10usize, 50] {
-        let config = GeneratorConfig::new(receivers, 0.7).unwrap();
-        let generator = InstanceGenerator::new(config, UniformBandwidth::unif100());
-        let inst = generator.generate(&mut StdRng::seed_from_u64(17));
-        let solution = solver.solve(&inst);
-        let overlay = Overlay::from_scheme(&solution.scheme);
+        let (overlay, throughput) = solved_overlay(receivers, 17);
         let sim_config = SimConfig {
             num_chunks: 200,
             ..SimConfig::default()
         }
-        .scaled_to(solution.throughput, 2.0);
+        .scaled_to(throughput, 2.0);
         group.bench_with_input(
             BenchmarkId::from_parameter(receivers),
             &(overlay, sim_config),
@@ -38,5 +50,94 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);
+/// The session engine's hot path: one round over every edge, each push scanning the
+/// word-packed possession sets. The session is advanced to mid-broadcast first (all
+/// possession sets partially filled — the expensive regime for useful-chunk scans), then
+/// every iteration steps a fresh clone a fixed number of rounds.
+fn bench_session_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_round");
+    group.sample_size(10);
+
+    let (overlay, throughput) = solved_overlay(50, 17);
+    let sim_config = SimConfig {
+        num_chunks: 1000,
+        ..SimConfig::default()
+    }
+    .scaled_to(throughput, 2.0);
+    let mut warm = Session::new(overlay, sim_config);
+    // Advance to mid-broadcast: stop once the mean receiver holds ~half the message.
+    while !warm.is_complete() {
+        warm.step();
+        let held: usize = warm.counts().iter().skip(1).sum();
+        if held * 2 >= 1000 * (warm.counts().len() - 1) {
+            break;
+        }
+    }
+    const ROUNDS: usize = 25;
+    group.bench_with_input(
+        BenchmarkId::new("session", "50x1000"),
+        &warm,
+        |b, session| {
+            b.iter(|| {
+                let mut session = session.clone();
+                let mut delivered = 0usize;
+                for _ in 0..ROUNDS {
+                    delivered += session.step().delivered;
+                }
+                delivered
+            })
+        },
+    );
+
+    // The rarest-first pick is the most expensive policy scan: it must visit every
+    // useful chunk, not just the first hit. 4096 chunks = 64 words per scan.
+    let chunks = 4096usize;
+    let sender = {
+        let mut set = ChunkBitset::new(chunks);
+        (0..chunks).filter(|c| c % 3 != 0).for_each(|c| {
+            set.insert(c);
+        });
+        set
+    };
+    let receiver = {
+        let mut set = ChunkBitset::new(chunks);
+        (0..chunks).filter(|c| c % 5 == 0).for_each(|c| {
+            set.insert(c);
+        });
+        set
+    };
+    let replication: Vec<usize> = (0..chunks).map(|c| 1 + (c * 31) % 97).collect();
+    group.bench_with_input(
+        BenchmarkId::new("pick/rarest-first", chunks),
+        &(sender, receiver, replication),
+        |b, (sender, receiver, replication)| b.iter(|| sender.rarest_useful(receiver, replication)),
+    );
+
+    // A/B baseline: the pre-session boolean data plane (one byte per chunk, no word
+    // skipping) — what every pick cost before the bitset refactor.
+    let sender_bools: Vec<bool> = (0..chunks).map(|c| c % 3 != 0).collect();
+    let receiver_bools: Vec<bool> = (0..chunks).map(|c| c % 5 == 0).collect();
+    let replication_bools: Vec<usize> = (0..chunks).map(|c| 1 + (c * 31) % 97).collect();
+    group.bench_with_input(
+        BenchmarkId::new("pick/rarest-first-bools", chunks),
+        &(sender_bools, receiver_bools, replication_bools),
+        |b, (sender, receiver, replication)| {
+            b.iter(|| {
+                (0..sender.len())
+                    .filter(|&c| sender[c] && !receiver[c])
+                    .min_by_key(|&c| (replication[c], c))
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_session_round);
+
+fn main() {
+    benches();
+    if let Some(path) = bmp_bench::write_bench_json("sim", &criterion::take_reports()) {
+        println!("wrote {}", path.display());
+    }
+    criterion::Criterion::default().final_summary();
+}

@@ -1,7 +1,8 @@
-//! Validates the machine-readable benchmark reports at the repo root: both
-//! `BENCH_dichotomic.json` and `BENCH_throughput.json` must parse and contain the
-//! benchmark ids the perf acceptance criteria pin. CI runs this right after the bench
-//! smoke runs, so a bench refactor that silently drops a tracked id fails the build.
+//! Validates the machine-readable benchmark reports at the repo root:
+//! `BENCH_dichotomic.json`, `BENCH_throughput.json` and `BENCH_sim.json` must parse and
+//! contain the benchmark ids the perf acceptance criteria pin. CI runs this right after
+//! the bench smoke runs, so a bench refactor that silently drops a tracked id fails the
+//! build.
 //!
 //! With `--baseline DIR` it additionally acts as the CI perf-regression gate: the
 //! freshly emitted documents are compared against the committed copies saved in `DIR`,
@@ -12,7 +13,7 @@
 
 use bmp_bench::{
     perf_gate, repo_root, validate_bench_json, DICHOTOMIC_REQUIRED_IDS, REGRESSION_TOLERANCE,
-    THROUGHPUT_REQUIRED_IDS,
+    SIM_REQUIRED_IDS, THROUGHPUT_REQUIRED_IDS,
 };
 use std::path::PathBuf;
 
@@ -39,6 +40,7 @@ fn main() {
     let checks = [
         ("dichotomic", &DICHOTOMIC_REQUIRED_IDS[..]),
         ("throughput", &THROUGHPUT_REQUIRED_IDS[..]),
+        ("sim", &SIM_REQUIRED_IDS[..]),
     ];
     let mut failed = false;
     for (benchmark, expected) in checks {

@@ -1,5 +1,5 @@
 //! Benchmark crate (see `benches/`), plus the machine-readable benchmark report
-//! pipeline: the headline benches (`dichotomic`, `throughput`) drain the results
+//! pipeline: the headline benches (`dichotomic`, `throughput`, `sim`) drain the results
 //! collected by the vendored criterion harness ([`criterion::take_reports`]) and write
 //! them as `BENCH_<name>.json` at the repository root, so the perf trajectory of the
 //! hot paths is tracked across PRs instead of living in scrollback. CI smoke-runs the
@@ -285,6 +285,13 @@ pub const THROUGHPUT_REQUIRED_IDS: [&str; 7] = [
     "worker_pool/sequential/2000",
     "worker_pool/scoped/4/2000",
     "worker_pool/pooled/4/2000",
+];
+
+/// The benchmark ids the `sim` report must contain (the session engine's per-round hot
+/// path over the word-packed possession bitsets, and the widest policy scan).
+pub const SIM_REQUIRED_IDS: [&str; 2] = [
+    "sim_round/session/50x1000",
+    "sim_round/pick/rarest-first/4096",
 ];
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ pub struct ArgList {
 }
 
 /// Flags that take no value (presence/absence switches).
-const BOOLEAN_FLAGS: &[&str] = &["--cyclic", "--trace"];
+const BOOLEAN_FLAGS: &[&str] = &["--cyclic", "--trace", "--repair"];
 
 /// The accepted flags of one subcommand.
 ///

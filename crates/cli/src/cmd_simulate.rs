@@ -1,9 +1,28 @@
 //! `simulate` — run the chunk-level streaming simulator on a broadcast scheme.
+//!
+//! Two modes share the flag surface:
+//!
+//! * **frozen overlay** (no `--churn`): the classic one-shot validation run, with
+//!   optional progress tracing;
+//! * **closed loop** (`--churn SPEC`): the session engine applies the churn trace and an
+//!   adaptation policy — the static baseline by default, the incremental
+//!   re-solve-and-hot-swap controller with `--repair` — and reports *delivered* goodput
+//!   against the nominal throughput, plus the controller's decision log and telemetry.
+//!
+//! The command can also solve and simulate in one shot: `--instance FILE` (with
+//! `--algorithm NAME` and `--threads N`) runs a registry solver first and streams over
+//! the overlay it produces.
 
 use crate::args::{ArgList, FlagSpec};
+use crate::cmd_solve::resolve_algorithm;
 use crate::error::CliError;
 use crate::files;
-use bmp_sim::{ChunkPolicy, Overlay, SimConfig, Simulator, SourceMode};
+use bmp_core::scheme::BroadcastScheme;
+use bmp_core::solver::EvalCtx;
+use bmp_sim::{
+    run_adaptive, AdaptationPolicy, ChunkPolicy, ChurnAction, ChurnEvent, ChurnSchedule, Overlay,
+    RepairController, SessionOutcome, SimConfig, Simulator, SourceMode, StaticPolicy,
+};
 use std::io::Write;
 
 pub(crate) fn parse_policy(raw: &str) -> Result<ChunkPolicy, CliError> {
@@ -22,23 +41,181 @@ pub(crate) fn parse_policy(raw: &str) -> Result<ChunkPolicy, CliError> {
 pub const FLAGS: FlagSpec = FlagSpec {
     command: "simulate",
     flags: &[
-        "--scheme", "--chunks", "--policy", "--seed", "--jitter", "--live", "--trace",
+        "--scheme",
+        "--instance",
+        "--algorithm",
+        "--threads",
+        "--chunks",
+        "--policy",
+        "--seed",
+        "--jitter",
+        "--live",
+        "--trace",
+        "--churn",
+        "--repair",
+        "--floor",
     ],
 };
 
+/// Parses a churn specification: `TIME:NODES` events separated by `;`, nodes separated
+/// by `,`. A node is an index (departure), `+index` (rejoin), or the word `busiest`
+/// (the scheme's busiest relay departs).
+fn parse_churn(raw: &str, scheme: &BroadcastScheme) -> Result<ChurnSchedule, CliError> {
+    let num_nodes = scheme.instance().num_nodes();
+    let mut events = Vec::new();
+    for part in raw.split(';').filter(|part| !part.trim().is_empty()) {
+        let (time_raw, nodes_raw) = part.split_once(':').ok_or_else(|| {
+            CliError::Usage(format!(
+                "churn event {part:?} must be TIME:NODE[,NODE...] (e.g. \"5:3,7;12:+3\")"
+            ))
+        })?;
+        let time: f64 = time_raw.trim().parse().map_err(|_| {
+            CliError::Usage(format!("invalid churn event time {:?}", time_raw.trim()))
+        })?;
+        if !time.is_finite() || time < 0.0 {
+            return Err(CliError::Usage(format!(
+                "churn event time {time} must be non-negative and finite"
+            )));
+        }
+        for token in nodes_raw.split(',') {
+            let token = token.trim();
+            let (action, name) = match token.strip_prefix('+') {
+                Some(rest) => (ChurnAction::Rejoin, rest),
+                None => (ChurnAction::Depart, token),
+            };
+            let node = if name.eq_ignore_ascii_case("busiest") {
+                scheme.busiest_receiver().unwrap_or(1)
+            } else {
+                name.parse().map_err(|_| {
+                    CliError::Usage(format!(
+                        "invalid churn node {token:?} (expected an index, +index or \"busiest\")"
+                    ))
+                })?
+            };
+            if node == 0 {
+                return Err(CliError::Usage("the source (node 0) cannot churn".into()));
+            }
+            if node >= num_nodes {
+                return Err(CliError::Usage(format!(
+                    "churn node {node} out of range (the platform has {num_nodes} nodes)"
+                )));
+            }
+            events.push(ChurnEvent { time, node, action });
+        }
+    }
+    if events.is_empty() {
+        return Err(CliError::Usage(
+            "empty churn specification (expected TIME:NODE[,NODE...][;...])".into(),
+        ));
+    }
+    Ok(ChurnSchedule::new(events))
+}
+
+/// Loads the scheme: from `--scheme FILE`, or by solving `--instance FILE` with the
+/// requested `--algorithm` (one-shot solve + simulate).
+fn load_scheme<W: Write>(
+    args: &ArgList,
+    threads: usize,
+    out: &mut W,
+) -> Result<BroadcastScheme, CliError> {
+    match (args.get("--scheme"), args.get("--instance")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "pass either --scheme FILE or --instance FILE, not both".into(),
+        )),
+        (Some(path), None) => {
+            if args.has("--algorithm") {
+                return Err(CliError::Usage(
+                    "--algorithm only applies when solving from --instance".into(),
+                ));
+            }
+            files::read_scheme(path)
+        }
+        (None, Some(path)) => {
+            let instance = files::read_instance(path)?;
+            let solver = resolve_algorithm(args.get("--algorithm").unwrap_or("acyclic-guarded"))?;
+            let mut ctx = EvalCtx::new();
+            ctx.set_parallelism(threads);
+            let solution = solver.solve(&instance, &mut ctx)?;
+            writeln!(
+                out,
+                "solved {} receivers with {} (throughput {:.4}, {} flow solves)",
+                instance.num_receivers(),
+                solution.algorithm,
+                solution.throughput,
+                solution.telemetry.flow_solves
+            )?;
+            Ok(solution.scheme)
+        }
+        (None, None) => Err(CliError::Usage(
+            "missing required flag --scheme (or --instance to solve first)".into(),
+        )),
+    }
+}
+
+/// Renders the closed-loop outcome: swap timeline, survivor completion, goodput ratio.
+fn report_outcome<W: Write>(outcome: &SessionOutcome, out: &mut W) -> Result<(), CliError> {
+    for swap in &outcome.swaps {
+        let action = match swap.repaired_nominal {
+            Some(repaired) if swap.swapped => {
+                format!("hot-swapped (repaired nominal {repaired:.4})")
+            }
+            _ => "kept the overlay".to_string(),
+        };
+        let recovery = match swap.recovered_at {
+            Some(at) => format!("recovered at t = {at:.2}"),
+            None => "never recovered".to_string(),
+        };
+        writeln!(
+            out,
+            "  t = {:>7.2}  membership change: {action}, {recovery}",
+            swap.time
+        )?;
+    }
+    let completed = outcome
+        .survivors
+        .iter()
+        .filter(|&&node| outcome.report.completion_time[node].is_some())
+        .count();
+    writeln!(out, "rounds simulated : {}", outcome.report.rounds_run)?;
+    writeln!(
+        out,
+        "survivors completed : {completed}/{}",
+        outcome.survivors.len()
+    )?;
+    writeln!(
+        out,
+        "delivered goodput : {:.4} ({:.1}% of nominal)",
+        outcome.goodput(),
+        100.0 * outcome.goodput_vs_nominal()
+    )?;
+    if let Some(recovery) = outcome.recovery_time() {
+        writeln!(out, "post-churn recovery : {recovery:.2} time units")?;
+    }
+    Ok(())
+}
+
 /// Runs the `simulate` subcommand.
 ///
-/// Flags: `--scheme FILE` (required), `--chunks N` (default 300), `--policy NAME` (default
-/// random), `--seed S` (default the engine default), `--jitter J` (default 0), `--live RATE`
-/// (live-stream source at the given production rate instead of a file broadcast), `--trace`
-/// (print the worst-receiver progress every 50 rounds).
+/// Flags: `--scheme FILE` *or* `--instance FILE` (solve first; `--algorithm NAME`
+/// selects the registry solver, `--threads N` its flow fan-out), `--chunks N` (default
+/// 300), `--policy NAME` (default random), `--seed S`, `--jitter J`, `--live RATE`,
+/// `--trace` (worst-receiver progress every 50 rounds; frozen-overlay runs only),
+/// `--churn SPEC` (scheduled departures/rejoins, e.g. `"5:busiest"` or `"5:3,7;12:+3"`),
+/// `--repair` (adapt by incremental re-solve + hot-swap instead of the static baseline),
+/// `--floor F` (repair when the residual drops below `F ×` nominal, default 0.9).
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] when the scheme cannot be read or a flag is malformed.
+/// Returns a [`CliError`] when the scheme/instance cannot be read or a flag is malformed.
 pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
     args.reject_unknown_flags(&FLAGS)?;
-    let scheme = files::read_scheme(args.require("--scheme")?)?;
+    let threads: usize = args.get_parsed("--threads", 1)?;
+    if args.has("--threads") && !(args.has("--repair") || args.get("--instance").is_some()) {
+        return Err(CliError::Usage(
+            "--threads only applies when solving (--instance) or repairing (--repair)".into(),
+        ));
+    }
+    let scheme = load_scheme(args, threads, out)?;
     let nominal = scheme.throughput();
     let overlay = Overlay::from_scheme(&scheme);
 
@@ -56,6 +233,82 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         config.source_mode = SourceMode::Live { rate };
     }
     let config = config.scaled_to(nominal, 2.0);
+
+    let churn = args
+        .get("--churn")
+        .map(|raw| parse_churn(raw, &scheme))
+        .transpose()?;
+    if args.has("--repair") && churn.is_none() {
+        return Err(CliError::Usage(
+            "--repair requires a --churn specification to react to".into(),
+        ));
+    }
+    if args.has("--floor") && !args.has("--repair") {
+        return Err(CliError::Usage(
+            "--floor only applies with --repair (it is the repair controller's threshold)".into(),
+        ));
+    }
+    let floor: f64 = args.get_parsed("--floor", 0.9)?;
+    if !(0.0..=1.0).contains(&floor) || floor == 0.0 {
+        return Err(CliError::Usage(format!(
+            "--floor {floor} must lie in (0, 1]"
+        )));
+    }
+    if args.has("--trace") && churn.is_some() {
+        return Err(CliError::Usage(
+            "--trace is only available without --churn (the closed loop reports its own timeline)"
+                .into(),
+        ));
+    }
+
+    if let Some(churn) = churn {
+        // Closed-loop run: the session engine plus an adaptation policy.
+        let mut repair_controller = args.has("--repair").then(|| {
+            let mut controller =
+                RepairController::new(scheme.instance().clone(), scheme.clone(), nominal, floor);
+            controller.set_parallelism(threads);
+            controller
+        });
+        let mut static_policy = StaticPolicy;
+        let policy: &mut dyn AdaptationPolicy = match repair_controller.as_mut() {
+            Some(controller) => controller,
+            None => &mut static_policy,
+        };
+        writeln!(
+            out,
+            "simulating {} chunks over {} edges (policy {}, nominal throughput {:.4}, adaptation {})",
+            config.num_chunks,
+            overlay.edges().len(),
+            config.policy.label(),
+            nominal,
+            policy.label()
+        )?;
+        let outcome = run_adaptive(overlay, config, &churn, policy, nominal);
+        report_outcome(&outcome, out)?;
+        if let Some(repair_controller) = &repair_controller {
+            let ctx = repair_controller.ctx();
+            writeln!(
+                out,
+                "controller telemetry : {} flow solves, {} bisection iters, {} rescans skipped ({} edges patched)",
+                ctx.flow_solves(),
+                ctx.bisection_iters(),
+                ctx.rescans_skipped(),
+                ctx.edges_patched()
+            )?;
+            for decision in repair_controller.decisions() {
+                writeln!(
+                    out,
+                    "  decision at t = {:.2}: departed {:?}, victim tolerance {:.3}, residual {:.4} ({:.1}% of nominal)",
+                    decision.time,
+                    decision.departed,
+                    decision.victim_tolerance,
+                    decision.residual,
+                    100.0 * decision.residual / nominal
+                )?;
+            }
+        }
+        return Ok(());
+    }
 
     let simulator = Simulator::new(overlay, config);
     writeln!(
@@ -116,6 +369,12 @@ mod tests {
         let solution = AcyclicGuardedSolver::default().solve(&figure1());
         let path = temp_path("sim-scheme.json").to_str().unwrap().to_string();
         files::write_scheme(&path, &solution.scheme).unwrap();
+        path
+    }
+
+    fn instance_path() -> String {
+        let path = temp_path("sim-instance.json").to_str().unwrap().to_string();
+        files::write_instance(&path, &figure1()).unwrap();
         path
     }
 
@@ -192,6 +451,153 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn churned_static_run_reports_goodput() {
+        let path = scheme_path();
+        let output = run_args(vec![
+            "--scheme".into(),
+            path.clone(),
+            "--chunks".into(),
+            "150".into(),
+            "--churn".into(),
+            "5:busiest".into(),
+        ])
+        .unwrap();
+        assert!(output.contains("adaptation static"));
+        assert!(output.contains("membership change: kept the overlay"));
+        assert!(output.contains("delivered goodput"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn churned_repair_run_swaps_and_beats_static() {
+        let path = scheme_path();
+        let common = |repair: bool| {
+            let mut args = vec![
+                "--scheme".to_string(),
+                path.clone(),
+                "--chunks".into(),
+                "150".into(),
+                "--churn".into(),
+                "5:3".into(),
+            ];
+            if repair {
+                args.push("--repair".into());
+            }
+            run_args(args).unwrap()
+        };
+        let static_out = common(false);
+        let repair_out = common(true);
+        assert!(repair_out.contains("adaptation repair"));
+        assert!(repair_out.contains("hot-swapped"));
+        assert!(repair_out.contains("controller telemetry"));
+        assert!(repair_out.contains("decision at t ="));
+        let goodput = |report: &str| -> f64 {
+            report
+                .lines()
+                .find(|line| line.starts_with("delivered goodput"))
+                .and_then(|line| line.split(':').nth(1))
+                .and_then(|rest| rest.trim().split(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            goodput(&repair_out) > goodput(&static_out),
+            "repair {repair_out} vs static {static_out}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn solves_and_simulates_in_one_shot() {
+        let path = instance_path();
+        let output = run_args(vec![
+            "--instance".into(),
+            path.clone(),
+            "--algorithm".into(),
+            "acyclic-guarded".into(),
+            "--threads".into(),
+            "2".into(),
+            "--chunks".into(),
+            "120".into(),
+            "--churn".into(),
+            "4:busiest".into(),
+            "--repair".into(),
+        ])
+        .unwrap();
+        assert!(output.contains("solved 5 receivers with acyclic-guarded"));
+        assert!(output.contains("adaptation repair"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn churn_specs_parse_and_reject_malformed_input() {
+        let solution = AcyclicGuardedSolver::default().solve(&figure1());
+        let scheme = &solution.scheme;
+        let schedule = parse_churn("5:3,+4;1.5:busiest", scheme).unwrap();
+        assert_eq!(schedule.events().len(), 3);
+        assert_eq!(schedule.events()[0].time, 1.5);
+        for bad in ["", "5", "x:3", "5:zero", "5:0", "5:99", "-1:3", "5:+nope"] {
+            assert!(parse_churn(bad, scheme).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn conflicting_and_incomplete_flag_combinations_are_rejected() {
+        let scheme = scheme_path();
+        let instance = instance_path();
+        for args in [
+            vec![
+                "--scheme".to_string(),
+                scheme.clone(),
+                "--instance".into(),
+                instance.clone(),
+            ],
+            vec!["--scheme".to_string(), scheme.clone(), "--repair".into()],
+            vec![
+                "--scheme".to_string(),
+                scheme.clone(),
+                "--algorithm".into(),
+                "auto".into(),
+            ],
+            vec![
+                "--scheme".to_string(),
+                scheme.clone(),
+                "--churn".into(),
+                "5:3".into(),
+                "--trace".into(),
+            ],
+            vec![
+                "--instance".to_string(),
+                instance.clone(),
+                "--algorithm".into(),
+                "frobnicate".into(),
+            ],
+            vec![
+                "--scheme".to_string(),
+                scheme.clone(),
+                "--churn".into(),
+                "5:3".into(),
+                "--floor".into(),
+                "2.0".into(),
+            ],
+            vec![
+                "--scheme".to_string(),
+                scheme.clone(),
+                "--threads".into(),
+                "4".into(),
+            ],
+        ] {
+            assert!(
+                matches!(run_args(args.clone()), Err(CliError::Usage(_))),
+                "{args:?} should be a usage error"
+            );
+        }
+        std::fs::remove_file(scheme).ok();
+        std::fs::remove_file(instance).ok();
     }
 
     #[test]

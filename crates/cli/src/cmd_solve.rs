@@ -32,6 +32,20 @@ fn registry_listing(solvers: &[Box<dyn Solver>]) -> String {
         .join("\n")
 }
 
+/// Resolves an algorithm name against the full registry, enumerating the registered
+/// solvers (with descriptions) on an unknown name. Shared by `solve` and the
+/// solve-then-simulate path of `simulate`.
+pub(crate) fn resolve_algorithm(requested: &str) -> Result<Box<dyn Solver>, CliError> {
+    let mut solvers = full_registry();
+    match solvers.iter().position(|s| s.name() == requested) {
+        Some(index) => Ok(solvers.swap_remove(index)),
+        None => Err(CliError::Usage(format!(
+            "unknown algorithm {requested:?}; registered solvers:\n{}",
+            registry_listing(&solvers)
+        ))),
+    }
+}
+
 /// Resolves `--algorithm` (and the legacy `--cyclic` switch) against the registry.
 fn pick_solver(args: &ArgList) -> Result<Box<dyn Solver>, CliError> {
     let requested = match (args.get("--algorithm"), args.has("--cyclic")) {
@@ -46,14 +60,7 @@ fn pick_solver(args: &ArgList) -> Result<Box<dyn Solver>, CliError> {
         (None, true) => "cyclic-open",
         (None, false) => "acyclic-guarded",
     };
-    let mut solvers = full_registry();
-    match solvers.iter().position(|s| s.name() == requested) {
-        Some(index) => Ok(solvers.swap_remove(index)),
-        None => Err(CliError::Usage(format!(
-            "unknown algorithm {requested:?}; registered solvers:\n{}",
-            registry_listing(&solvers)
-        ))),
-    }
+    resolve_algorithm(requested)
 }
 
 /// Renders the uniform report every algorithm shares, from its [`Solution`].

@@ -46,7 +46,9 @@ COMMANDS:
   solve      compute a low-degree broadcast overlay     (--instance, --algorithm, --cyclic, --tolerance, --out, --dot)
   verify     check a scheme's constraints and degrees   (--scheme, --throughput)
   decompose  split a scheme into weighted broadcast trees  (--scheme, --throughput, --message, --out)
-  simulate   run the chunk-level streaming simulator    (--scheme, --chunks, --policy, --seed, --jitter, --live, --trace)
+  simulate   run the chunk-level streaming simulator    (--scheme | --instance [--algorithm, --threads], --chunks,
+             and the closed-loop session engine          --policy, --seed, --jitter, --live, --trace,
+                                                         --churn SPEC, --repair, --floor)
   export     render a scheme as DOT or CSV              (--scheme, --format, --throughput, --out)
   help       print this message
 
@@ -54,6 +56,11 @@ COMMANDS:
 acyclic-open, cyclic-open, exhaustive, omega-word, auto, tree-decomposition);
 an unknown NAME lists the registry with one-line descriptions. Unrecognized
 flags are rejected with the subcommand's accepted flag list.
+
+`simulate --churn \"5:busiest;12:+3\"` injects scheduled departures/rejoins and
+reports delivered goodput; adding `--repair` re-solves the surviving platform
+on every membership change and hot-swaps the repaired overlay mid-broadcast.
+With `--instance` the command solves and simulates in one shot.
 ";
 
 /// Parses `args` (excluding the binary name) and runs the corresponding subcommand, writing

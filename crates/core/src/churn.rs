@@ -136,6 +136,29 @@ pub struct RepairOutcome {
     pub id_map: Vec<(NodeId, NodeId)>,
 }
 
+impl RepairOutcome {
+    /// The repaired scheme's overlay edges translated back to the *original* node ids
+    /// (through [`RepairOutcome::id_map`]). This is the hot-swap entry point of the
+    /// adaptive session controller in `bmp-sim`: the running data plane still addresses
+    /// the full platform (departed nodes stay addressable in case they rejoin), so the
+    /// re-solved overlay must be expressed in the original id space before it can
+    /// replace the frozen one mid-broadcast.
+    #[must_use]
+    pub fn edges_in_original_ids(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let slots = self.id_map.iter().map(|&(_, new)| new).max().unwrap_or(0) + 1;
+        let mut new_to_old = vec![0; slots];
+        for &(old, new) in &self.id_map {
+            new_to_old[new] = old;
+        }
+        self.solution
+            .scheme
+            .edges()
+            .into_iter()
+            .map(|(from, to, rate)| (new_to_old[from], new_to_old[to], rate))
+            .collect()
+    }
+}
+
 /// Rebuilds an instance without the departed nodes and re-runs the acyclic solver.
 ///
 /// Returns `None` when no receiver survives.
@@ -322,6 +345,30 @@ mod tests {
         // The id map covers the source and the four survivors.
         assert_eq!(outcome.id_map.len(), 5);
         assert!(outcome.id_map.iter().all(|&(old, _)| old != 3));
+    }
+
+    #[test]
+    fn repaired_edges_translate_back_to_original_ids() {
+        let solver = AcyclicGuardedSolver::default();
+        let instance = figure1();
+        let outcome = repair(&instance, &[3], &solver).unwrap();
+        let edges = outcome.edges_in_original_ids();
+        assert_eq!(edges.len(), outcome.solution.scheme.edges().len());
+        for &(from, to, rate) in &edges {
+            assert_ne!(from, 3, "departed node reappeared as sender");
+            assert_ne!(to, 3, "departed node reappeared as receiver");
+            assert!(from < instance.num_nodes() && to < instance.num_nodes());
+            assert!(rate > 0.0);
+        }
+        // The translated overlay delivers the repaired throughput to the survivors.
+        let survivors: Vec<NodeId> = (1..instance.num_nodes()).filter(|&v| v != 3).collect();
+        let mut ctx = EvalCtx::new();
+        let value = ctx.min_max_flow(instance.num_nodes(), &edges, 0, &survivors);
+        assert!(
+            (value - outcome.solution.throughput).abs() < 1e-6,
+            "translated overlay delivers {value} vs repaired {}",
+            outcome.solution.throughput
+        );
     }
 
     #[test]

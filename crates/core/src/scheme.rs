@@ -374,6 +374,15 @@ impl BroadcastScheme {
             .count()
     }
 
+    /// The *busiest relay*: the receiver with the largest outdegree (ties broken by the
+    /// highest id), or `None` when the instance has no receivers. This is the adversarial
+    /// churn victim used throughout the churn analysis, the experiments and the CLI's
+    /// `--churn "T:busiest"` token — removing it severs the most subtrees.
+    #[must_use]
+    pub fn busiest_receiver(&self) -> Option<NodeId> {
+        (1..self.instance.num_nodes()).max_by_key(|&node| self.outdegree(node))
+    }
+
     /// Outdegrees of every node, source first.
     #[must_use]
     pub fn outdegrees(&self) -> Vec<usize> {

@@ -158,6 +158,16 @@ pub struct EvalCtx {
     edge_index_valid: bool,
     /// Which scheme object (and journal position) the cached arena is current for.
     journal_assoc: Option<JournalAssoc>,
+    /// Retained arena of *explicit-edge* evaluations ([`EvalCtx::min_max_flow`] — the
+    /// churn residual path), kept separate from the scheme arena so interleaving the two
+    /// kinds of evaluation costs neither its cache: a residual probe between two
+    /// journaled scheme re-probes no longer severs the journal association, and a sweep
+    /// alternating the two reuses both arenas in place. Behind an [`Arc`] for the same
+    /// reason as `arena`: the worker pool borrows it for the call.
+    explicit_arena: Option<Arc<FlowArena>>,
+    explicit_nodes: usize,
+    /// Endpoints of the cached explicit arena's edges, in edge order.
+    explicit_edges: Vec<(NodeId, NodeId)>,
     /// Chicken bit: `false` forces the PR-2 scan-based path (for A/B benchmarks).
     journal_enabled: bool,
     /// Fan-out of `throughput` evaluations: `1` sequential (default), `> 1` dispatch
@@ -211,6 +221,9 @@ impl EvalCtx {
             edge_index: std::collections::HashMap::new(),
             edge_index_valid: false,
             journal_assoc: None,
+            explicit_arena: None,
+            explicit_nodes: 0,
+            explicit_edges: Vec::new(),
             journal_enabled: !journal_disabled_by_env(),
             parallelism: 1,
             scratch_edges: Vec::new(),
@@ -375,6 +388,14 @@ impl EvalCtx {
     /// `min_k maxflow(source → sinks_k)` over an explicit edge list (the entry point for
     /// evaluations that are not a whole scheme, e.g. survivor overlays in the churn
     /// analysis). Returns `f64::INFINITY` when `sinks` is empty.
+    ///
+    /// The evaluation runs on a *per-call* retained arena of its own (in-place capacity
+    /// rewrite when the explicit edge set is unchanged, rebuild otherwise), so it leaves
+    /// the scheme arena — and with it any dirty-edge-journal association — untouched,
+    /// and it honours the configured parallelism ([`EvalCtx::set_parallelism`]): at a
+    /// fan-out above 1 (or when the `0` auto heuristic triggers at fleet scale) the
+    /// per-sink max-flows dispatch onto the shared persistent worker pool, the value
+    /// staying bit-identical to the sequential pass.
     pub fn min_max_flow(
         &mut self,
         num_nodes: usize,
@@ -382,10 +403,18 @@ impl EvalCtx {
         source: NodeId,
         sinks: &[NodeId],
     ) -> f64 {
-        self.prepare_arena(num_nodes, edges);
+        self.prepare_explicit_arena(num_nodes, edges);
         self.flow_solves += sinks.len() as u64;
-        let arena = self.arena.as_ref().expect("arena prepared above");
-        self.solver.min_max_flow(arena, source, sinks)
+        let arena = self.explicit_arena.as_ref().expect("arena prepared above");
+        let threads = match self.parallelism {
+            0 => suggested_flow_threads(num_nodes, sinks.len()),
+            explicit => explicit,
+        };
+        if threads > 1 {
+            FlowPool::global().min_max_flow_with(&mut self.solver, arena, source, sinks, threads)
+        } else {
+            self.solver.min_max_flow(arena, source, sinks)
+        }
     }
 
     /// Like [`EvalCtx::min_max_flow`], but the edge list is produced by `fill` into a
@@ -394,8 +423,9 @@ impl EvalCtx {
     /// building a fresh `Vec` per evaluation.
     ///
     /// The dirty-edge journal does not apply here — a filtered edge list is a different
-    /// edge *set* than the scheme's, so the context takes the endpoint-comparison path
-    /// (in-place rewrite when the filtered set is unchanged, rebuild otherwise).
+    /// edge *set* than the scheme's, so the evaluation runs on the context's explicit
+    /// arena (in-place rewrite when the filtered set is unchanged, rebuild otherwise)
+    /// and any journal association of the scheme arena survives untouched.
     pub fn min_max_flow_with(
         &mut self,
         num_nodes: usize,
@@ -486,6 +516,40 @@ impl EvalCtx {
             self.edge_index.insert((from, to), k as u32);
         }
         self.edge_index_valid = true;
+    }
+
+    /// Points the cached *explicit-edge* arena at `edges`: an in-place capacity rewrite
+    /// when the edge set (endpoints, in order) is unchanged, a CSR rebuild otherwise.
+    /// Mirrors [`EvalCtx::prepare_arena`] on the explicit fields; the scheme arena and
+    /// its journal association are never touched.
+    fn prepare_explicit_arena(&mut self, num_nodes: usize, edges: &[(NodeId, NodeId, f64)]) {
+        let reusable = self.explicit_arena.is_some()
+            && self.explicit_nodes == num_nodes
+            && self.explicit_edges.len() == edges.len()
+            && self
+                .explicit_edges
+                .iter()
+                .zip(edges)
+                .all(|(&(from, to), &(from2, to2, _))| from == from2 && to == to2);
+        if reusable {
+            self.scratch_caps.clear();
+            self.scratch_caps
+                .extend(edges.iter().map(|&(_, _, cap)| cap));
+            Arc::make_mut(
+                self.explicit_arena
+                    .as_mut()
+                    .expect("reusable implies present"),
+            )
+            .set_edge_capacities(&self.scratch_caps);
+            self.arena_updates += 1;
+        } else {
+            self.explicit_arena = Some(Arc::new(FlowArena::from_edges(num_nodes, edges)));
+            self.explicit_nodes = num_nodes;
+            self.explicit_edges.clear();
+            self.explicit_edges
+                .extend(edges.iter().map(|&(from, to, _)| (from, to)));
+            self.arena_builds += 1;
+        }
     }
 
     /// Points the cached arena at `edges`: an in-place capacity rewrite when the edge
@@ -973,21 +1037,62 @@ mod tests {
     }
 
     #[test]
-    fn interleaved_explicit_edge_evaluations_sever_the_association_safely() {
+    fn interleaved_explicit_edge_evaluations_keep_the_scheme_association() {
         let instance = figure1();
         let mut ctx = EvalCtx::new();
+        ctx.set_journal_enabled(true); // immune to the CI journal-off matrix
         let solution = AcyclicGuardedAlgorithm.solve(&instance, &mut ctx).unwrap();
         let mut scheme = solution.scheme;
         let _ = ctx.throughput(&scheme);
-        // An explicit-edge evaluation (the churn access pattern) re-points the arena.
+        // Explicit-edge evaluations (the churn residual access pattern) run on their own
+        // retained arena: interleaving them must neither invalidate the scheme arena's
+        // journal association nor rebuild anything on repetition.
         let survivors: Vec<usize> = instance.receivers().collect();
-        let _ = ctx.min_max_flow_with(instance.num_nodes(), 0, &survivors, |edges| {
+        let filtered = |edges: &mut Vec<(usize, usize, f64)>, scheme: &BroadcastScheme| {
             edges.extend(scheme.edges().into_iter().take(3));
+        };
+        let first = ctx.min_max_flow_with(instance.num_nodes(), 0, &survivors, |edges| {
+            filtered(edges, &scheme)
         });
-        // The next scheme evaluation must notice and take the full path, not patch.
-        let (from, to, rate) = scheme.edges()[0];
-        scheme.set_rate(from, to, rate * 0.5);
-        assert_eq!(ctx.throughput(&scheme), EvalCtx::new().throughput(&scheme));
+        let builds_after_first = ctx.arena_builds();
+        let skips_before = ctx.rescans_skipped();
+        for round in 1..=3 {
+            // The scheme re-probe rides the journal even though a residual evaluation
+            // ran in between…
+            let (from, to, rate) = scheme.edges()[0];
+            scheme.set_rate(from, to, rate * (1.0 - 0.1 * round as f64));
+            let journaled = ctx.throughput(&scheme);
+            assert_eq!(journaled, EvalCtx::new().throughput(&scheme));
+            // …and the repeated residual evaluation reuses the explicit arena in place.
+            let residual = ctx.min_max_flow_with(instance.num_nodes(), 0, &survivors, |edges| {
+                filtered(edges, &scheme)
+            });
+            assert_eq!(residual, first);
+        }
+        assert_eq!(ctx.arena_builds(), builds_after_first);
+        assert_eq!(ctx.rescans_skipped(), skips_before + 3);
+    }
+
+    #[test]
+    fn explicit_edge_evaluation_is_pool_parallel_and_bit_identical() {
+        let instance = figure1();
+        let solution = AcyclicGuardedAlgorithm
+            .solve(&instance, &mut EvalCtx::new())
+            .unwrap();
+        let edges = solution.scheme.edges();
+        let sinks: Vec<usize> = instance.receivers().collect();
+        let mut seq = EvalCtx::new();
+        let expected = seq.min_max_flow(instance.num_nodes(), &edges, 0, &sinks);
+        for threads in [0usize, 2, 4, 64] {
+            let mut par = EvalCtx::new();
+            par.set_parallelism(threads);
+            assert_eq!(
+                par.min_max_flow(instance.num_nodes(), &edges, 0, &sinks),
+                expected,
+                "threads {threads}"
+            );
+            assert_eq!(par.flow_solves(), seq.flow_solves());
+        }
     }
 
     #[test]

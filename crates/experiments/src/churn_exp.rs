@@ -174,9 +174,7 @@ fn run_trial(
         return None;
     }
     let victim = match kind {
-        DepartureKind::BusiestRelay => {
-            (1..instance.num_nodes()).max_by_key(|&node| solution.scheme.outdegree(node))?
-        }
+        DepartureKind::BusiestRelay => solution.scheme.busiest_receiver()?,
         DepartureKind::RandomReceiver => rng.gen_range(1..instance.num_nodes()),
     };
     // Performance-variation half of the paper's remark: how far the victim's upload can

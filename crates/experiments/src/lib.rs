@@ -13,6 +13,7 @@
 //! | Extension | Module | Binary |
 //! |---|---|---|
 //! | Churn: residual throughput and repair quality | [`churn_exp`] | `cargo run -p bmp-experiments --bin churn` |
+//! | Churn: repair-vs-static *delivered* goodput (session engine) | [`sim_churn_exp`] | `cargo run -p bmp-experiments --bin sim_churn` |
 //! | Depth/delay of the produced overlays | [`depth_exp`] | `cargo run -p bmp-experiments --bin depth` |
 //! | Chunk-policy ablation of the data plane | [`policy_exp`] | `cargo run -p bmp-experiments --bin policies` |
 //!
@@ -31,6 +32,7 @@ pub mod paper_figures;
 pub mod parallel;
 pub mod policy_exp;
 pub mod runner;
+pub mod sim_churn_exp;
 pub mod stats;
 pub mod table1;
 pub mod worst_case;

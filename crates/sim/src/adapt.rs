@@ -1,0 +1,604 @@
+//! The adaptation layer: controllers that re-solve and hot-swap overlays on churn.
+//!
+//! This module closes the loop between the solver stack of `bmp-core` and the data plane
+//! of this crate. A [`Session`] steps the broadcast round by round; [`run_adaptive`]
+//! watches the churn schedule and, whenever the departed set changes, asks an
+//! [`AdaptationPolicy`] what to do. The policy either keeps the current overlay (the
+//! paper's static control plane — [`StaticPolicy`]) or returns a freshly solved overlay
+//! for the surviving platform, which the driver hot-swaps into the running session
+//! without losing already-delivered chunks.
+//!
+//! ```text
+//!      churn event                  AdaptationPolicy::adapt
+//!   ┌──────────────┐   departed   ┌─────────────────────────┐   Some(overlay)
+//!   │ ChurnSchedule ├────────────▶│ probe → residual → repair├───────────────┐
+//!   └──────┬───────┘              └─────────────────────────┘               ▼
+//!          │ set_alive                      ▲                        Session::hot_swap
+//!          ▼                                │ EvalCtx (journal +              │
+//!   ┌──────────────┐  step() / RoundStats   │ per-call arena, pool)           │
+//!   │   Session    │◀───────────────────────┴─────────────────────────────────┘
+//!   └──────────────┘   possession, credit and RNG survive the swap
+//! ```
+//!
+//! [`RepairController`] is the reference policy. On every membership change it
+//!
+//! 1. probes how sensitive the *currently deployed* overlay is to the newest victim
+//!    ([`bmp_core::churn::degradation_tolerance`] — the *copy-on-probe* exemplar, so the
+//!    bisection rides the scheme's dirty-edge journal:
+//!    [`bmp_core::solver::Telemetry::rescans_skipped`] grows),
+//! 2. evaluates the residual throughput of the *currently deployed* overlay (the
+//!    nominal one before any swap, the latest repaired one after) restricted to the
+//!    survivors — an [`EvalCtx::min_max_flow_with`] evaluation on the context's
+//!    per-call explicit arena that can fan out over the persistent flow pool,
+//! 3. and only when the residual misses the configured floor re-solves the surviving
+//!    platform ([`bmp_core::churn::repair`]) and returns the repaired overlay translated
+//!    back to the original node ids
+//!    ([`bmp_core::churn::RepairOutcome::edges_in_original_ids`]).
+//!
+//! The controller owns one long-lived [`EvalCtx`] for all of this, so arenas and flow
+//! workspaces stay warm across churn events; its [`RepairController::set_parallelism`]
+//! forwards to the context for pooled evaluation of large survivor overlays.
+
+use crate::engine::SimConfig;
+use crate::events::{ChurnAction, ChurnSchedule};
+use crate::metrics::SimReport;
+use crate::overlay::Overlay;
+use crate::session::Session;
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_core::churn::{degradation_tolerance, repair};
+use bmp_core::scheme::BroadcastScheme;
+use bmp_core::solver::EvalCtx;
+use bmp_platform::{Instance, NodeId};
+
+/// What a policy hands back when it wants the running overlay replaced.
+#[derive(Debug, Clone)]
+pub struct AdaptDecision {
+    /// The replacement overlay, in the session's (original) node id space.
+    pub overlay: Overlay,
+    /// Nominal throughput the replacement was solved for (diagnostics).
+    pub repaired_nominal: f64,
+}
+
+/// A controller consulted by [`run_adaptive`] whenever the departed set changes.
+///
+/// The contract: `adapt` receives the complete current set of departed receivers (not a
+/// delta) and the simulated time, and returns `Some` replacement overlay — over the
+/// *same* node id space as the running session — to trigger a hot-swap, or `None` to
+/// keep the current overlay. The driver calls it once per membership change, before the
+/// first round at which the change is effective; implementations are free to keep state
+/// (solvers, evaluation contexts, decision logs) across calls.
+pub trait AdaptationPolicy {
+    /// Label used in reports and CSV output.
+    fn label(&self) -> &'static str;
+
+    /// Reacts to the current departed set; `Some` means hot-swap the returned overlay.
+    fn adapt(&mut self, departed: &[NodeId], time: f64) -> Option<AdaptDecision>;
+}
+
+/// The paper's baseline: the overlay is computed once and never adapted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticPolicy;
+
+impl AdaptationPolicy for StaticPolicy {
+    fn label(&self) -> &'static str {
+        "static"
+    }
+
+    fn adapt(&mut self, _departed: &[NodeId], _time: f64) -> Option<AdaptDecision> {
+        None
+    }
+}
+
+/// One `adapt` call of a [`RepairController`], for telemetry and CSV output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerDecision {
+    /// Simulated time of the membership change.
+    pub time: f64,
+    /// The departed receivers at that time.
+    pub departed: Vec<NodeId>,
+    /// Journal-riding degradation tolerance of the newest victim, probed on the overlay
+    /// that was deployed at decision time (1.0 when the departed set was empty — a pure
+    /// rejoin).
+    pub victim_tolerance: f64,
+    /// Residual throughput of the overlay that was *deployed* at decision time (the
+    /// nominal one before any swap, the latest repaired one after), restricted to the
+    /// survivors.
+    pub residual: f64,
+    /// Nominal throughput of the replacement overlay, when one was issued.
+    pub repaired: Option<f64>,
+}
+
+/// The reference adaptation policy: incremental re-solve of the surviving platform (see
+/// the module docs for the probe → residual → repair pipeline).
+#[derive(Debug)]
+pub struct RepairController {
+    instance: Instance,
+    scheme: BroadcastScheme,
+    nominal: f64,
+    floor: f64,
+    solver: AcyclicGuardedSolver,
+    ctx: EvalCtx,
+    decisions: Vec<ControllerDecision>,
+    /// The overlay currently carrying the broadcast, as a scheme over the *original*
+    /// instance (the nominal scheme until the first swap). Both controller probes judge
+    /// this, not the long-replaced nominal overlay — a second departure that cripples a
+    /// repaired overlay would otherwise be judged against the wrong graph.
+    deployed: BroadcastScheme,
+    /// The departed set of the previous `adapt` call, for identifying the nodes that
+    /// changed in this one.
+    previous_departed: Vec<NodeId>,
+    /// Whether the deployed overlay is still the nominal one (no repair issued, or the
+    /// last full rejoin restored it). A full rejoin only triggers a swap when this is
+    /// `false` — restoring an overlay that never left would report a phantom repair.
+    nominal_deployed: bool,
+}
+
+impl RepairController {
+    /// Creates a controller for a session broadcasting `scheme` (nominal throughput
+    /// `nominal`) over `instance`. The controller repairs as soon as the frozen
+    /// overlay's residual throughput drops below `floor_fraction × nominal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor_fraction` is outside `(0, 1]` or `nominal` is not positive.
+    #[must_use]
+    pub fn new(
+        instance: Instance,
+        scheme: BroadcastScheme,
+        nominal: f64,
+        floor_fraction: f64,
+    ) -> Self {
+        assert!(
+            floor_fraction > 0.0 && floor_fraction <= 1.0,
+            "floor fraction must lie in (0, 1]"
+        );
+        assert!(nominal > 0.0, "nominal throughput must be positive");
+        RepairController {
+            floor: floor_fraction * nominal,
+            deployed: scheme.clone(),
+            instance,
+            scheme,
+            nominal,
+            solver: AcyclicGuardedSolver::default(),
+            ctx: EvalCtx::new(),
+            decisions: Vec::new(),
+            previous_departed: Vec::new(),
+            nominal_deployed: true,
+        }
+    }
+
+    /// Residual throughput of the *currently deployed* overlay restricted to the
+    /// survivors of `departed` (per-call explicit arena, pooled at the configured
+    /// parallelism).
+    fn deployed_residual(&mut self, departed: &[NodeId]) -> f64 {
+        let n = self.instance.num_nodes();
+        let mut alive = vec![true; n];
+        for &node in departed {
+            if node < n {
+                alive[node] = false;
+            }
+        }
+        let survivors: Vec<NodeId> = (1..n).filter(|&node| alive[node]).collect();
+        let deployed = &self.deployed;
+        let residual = self.ctx.min_max_flow_with(n, 0, &survivors, |edges| {
+            edges.extend(
+                deployed
+                    .edges()
+                    .into_iter()
+                    .filter(|&(from, to, _)| alive[from] && alive[to]),
+            );
+        });
+        if residual.is_finite() {
+            residual
+        } else {
+            0.0
+        }
+    }
+
+    /// Forwards to [`EvalCtx::set_parallelism`]: residual probes of large survivor
+    /// overlays fan out over the persistent flow worker pool (`0` = auto heuristic).
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.ctx.set_parallelism(threads);
+    }
+
+    /// The controller's evaluation context (telemetry: flow solves, bisection probes,
+    /// journal fast-path counters).
+    #[must_use]
+    pub fn ctx(&self) -> &EvalCtx {
+        &self.ctx
+    }
+
+    /// Every `adapt` call so far, oldest first.
+    #[must_use]
+    pub fn decisions(&self) -> &[ControllerDecision] {
+        &self.decisions
+    }
+}
+
+impl AdaptationPolicy for RepairController {
+    fn label(&self) -> &'static str {
+        "repair"
+    }
+
+    fn adapt(&mut self, departed: &[NodeId], time: f64) -> Option<AdaptDecision> {
+        if departed.is_empty() {
+            // Every earlier departure rejoined: restore the nominal overlay — but only
+            // when a repair actually replaced it; otherwise there is nothing to restore
+            // and a swap would be reported for a repair that never happened.
+            self.previous_departed.clear();
+            let decision = if self.nominal_deployed {
+                None
+            } else {
+                self.deployed = self.scheme.clone();
+                self.nominal_deployed = true;
+                Some(AdaptDecision {
+                    overlay: Overlay::from_scheme(&self.scheme),
+                    repaired_nominal: self.nominal,
+                })
+            };
+            self.decisions.push(ControllerDecision {
+                time,
+                departed: Vec::new(),
+                victim_tolerance: 1.0,
+                residual: self.nominal,
+                repaired: decision.as_ref().map(|d| d.repaired_nominal),
+            });
+            return decision;
+        }
+        // 1. Sensitivity probe of the newest victim (the node that departed since the
+        //    previous call; an arbitrary departed node when only rejoins happened): a
+        //    dichotomic search whose re-evaluations ride the scheme's dirty-edge
+        //    journal (copy-on-probe).
+        let victim = departed
+            .iter()
+            .copied()
+            .find(|node| !self.previous_departed.contains(node))
+            .unwrap_or_else(|| *departed.last().expect("checked non-empty"));
+        self.previous_departed = departed.to_vec();
+        let victim_tolerance =
+            degradation_tolerance(&self.deployed, victim, self.floor, &mut self.ctx);
+        // 2. Authoritative check: residual throughput of the overlay the session is
+        //    *currently* running — the nominal one before any swap, the most recently
+        //    repaired one after (per-call explicit arena; pooled at the configured
+        //    parallelism).
+        let residual = self.deployed_residual(departed);
+        let decision = if residual + 1e-12 >= self.floor {
+            None // the deployed overlay still meets the floor: no swap needed
+        } else {
+            // 3. Re-solve the surviving platform and translate back to original ids.
+            repair(&self.instance, departed, &self.solver).map(|outcome| {
+                let edges = outcome.edges_in_original_ids();
+                let overlay = Overlay::new(self.instance.num_nodes(), edges.clone());
+                // Rebuild the deployed scheme over the original instance so the next
+                // decision's probes judge what the session is actually running.
+                let mut deployed = BroadcastScheme::new(self.instance.clone());
+                for &(from, to, rate) in &edges {
+                    deployed.set_rate(from, to, rate);
+                }
+                self.deployed = deployed;
+                self.nominal_deployed = false;
+                AdaptDecision {
+                    overlay,
+                    repaired_nominal: outcome.solution.throughput,
+                }
+            })
+        };
+        self.decisions.push(ControllerDecision {
+            time,
+            departed: departed.to_vec(),
+            victim_tolerance,
+            residual,
+            repaired: decision.as_ref().map(|d| d.repaired_nominal),
+        });
+        decision
+    }
+}
+
+/// One membership change as seen by the driver: whether a swap happened and when the
+/// data plane recovered from it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapEvent {
+    /// Simulated time at which the membership change took effect.
+    pub time: f64,
+    /// Whether the policy issued a replacement overlay.
+    pub swapped: bool,
+    /// Nominal throughput of the replacement, when one was issued.
+    pub repaired_nominal: Option<f64>,
+    /// First time after the change at which no active receiver starved (every alive,
+    /// incomplete receiver gained at least one chunk in the round) — the post-churn
+    /// recovery instant. `None` when the run ended still starved. The metric tracks
+    /// whether anyone *present* is starving: a later membership change that removes the
+    /// starved receivers themselves also counts as recovery, because the broadcast is
+    /// healthy again for everyone who remains.
+    pub recovered_at: Option<f64>,
+}
+
+/// Outcome of one adaptive run: the delivery report plus the swap/recovery timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// The per-node delivery report.
+    pub report: SimReport,
+    /// One entry per membership change, in order.
+    pub swaps: Vec<SwapEvent>,
+    /// Receivers alive at the end of the run — the session's final churn state, which
+    /// can differ from the schedule's final state when the broadcast completes before
+    /// later events fire (those events were never simulated and must not skew the
+    /// goodput denominator).
+    pub survivors: Vec<NodeId>,
+    /// Nominal throughput of the initial overlay (the comparison baseline).
+    pub nominal: f64,
+}
+
+impl SessionOutcome {
+    /// Average delivered data rate per surviving receiver ([`SimReport::delivered_goodput`]).
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        self.report.delivered_goodput(&self.survivors)
+    }
+
+    /// Delivered goodput as a fraction of the nominal throughput — the headline metric
+    /// of the static-vs-repaired comparison.
+    #[must_use]
+    pub fn goodput_vs_nominal(&self) -> f64 {
+        if self.nominal <= 0.0 {
+            0.0
+        } else {
+            self.goodput() / self.nominal
+        }
+    }
+
+    /// Time from the last hot-swap to its recovery instant (`None` without a swap, or
+    /// when the run ended before recovering).
+    #[must_use]
+    pub fn recovery_time(&self) -> Option<f64> {
+        self.swaps
+            .iter()
+            .rev()
+            .find(|s| s.swapped)
+            .and_then(|s| s.recovered_at.map(|at| at - s.time))
+    }
+}
+
+/// Runs a closed-loop session: steps the data plane over `overlay`, applies `churn`, and
+/// lets `policy` hot-swap replacement overlays on every membership change. `nominal` is
+/// the initial overlay's solved throughput (the goodput baseline).
+///
+/// Determinism: the session RNG is seeded once from [`SimConfig::seed`]; with a
+/// deterministic policy (both [`StaticPolicy`] and [`RepairController`] are), the same
+/// seed, schedule and configuration replay to a bit-identical [`SessionOutcome`].
+///
+/// # Panics
+///
+/// Panics if a churn event targets a node outside the overlay, or the policy returns an
+/// overlay over a different node id space.
+#[must_use]
+pub fn run_adaptive(
+    overlay: Overlay,
+    config: SimConfig,
+    churn: &ChurnSchedule,
+    policy: &mut dyn AdaptationPolicy,
+    nominal: f64,
+) -> SessionOutcome {
+    let n = overlay.num_nodes();
+    for event in churn.events() {
+        assert!(
+            event.node < n,
+            "churn event targets node {} but the overlay has {n} nodes",
+            event.node
+        );
+    }
+    let mut session = Session::new(overlay, config);
+    let mut next_event = 0usize;
+    let mut swaps: Vec<SwapEvent> = Vec::new();
+    let mut awaiting_recovery: Vec<usize> = Vec::new();
+    for round in 0..config.max_rounds {
+        let time_start = round as f64 * config.round_duration;
+        let mut membership_changed = false;
+        while next_event < churn.events().len() && churn.events()[next_event].time <= time_start {
+            let event = churn.events()[next_event];
+            session.set_alive(event.node, matches!(event.action, ChurnAction::Rejoin));
+            membership_changed = true;
+            next_event += 1;
+        }
+        if membership_changed {
+            let departed: Vec<NodeId> = (1..n).filter(|&v| !session.is_alive(v)).collect();
+            let decision = policy.adapt(&departed, time_start);
+            let mut record = SwapEvent {
+                time: time_start,
+                swapped: false,
+                repaired_nominal: None,
+                recovered_at: None,
+            };
+            if let Some(decision) = decision {
+                record.swapped = true;
+                record.repaired_nominal = Some(decision.repaired_nominal);
+                session.hot_swap(decision.overlay);
+            }
+            swaps.push(record);
+            awaiting_recovery.push(swaps.len() - 1);
+        }
+        let stats = session.step();
+        if stats.all_active_progressed && !awaiting_recovery.is_empty() {
+            for &index in &awaiting_recovery {
+                swaps[index].recovered_at = Some(session.time());
+            }
+            awaiting_recovery.clear();
+        }
+        if session.is_complete() {
+            break;
+        }
+    }
+    SessionOutcome {
+        survivors: (1..n).filter(|&node| session.is_alive(node)).collect(),
+        report: session.report(),
+        swaps,
+        nominal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+    use bmp_platform::paper::figure1;
+
+    fn solved_figure1() -> (Instance, BroadcastScheme, f64, Overlay) {
+        let instance = figure1();
+        let solution = AcyclicGuardedSolver::default().solve(&instance);
+        let overlay = Overlay::from_scheme(&solution.scheme);
+        (instance, solution.scheme, solution.throughput, overlay)
+    }
+
+    fn config() -> SimConfig {
+        SimConfig {
+            num_chunks: 200,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            max_rounds: 4_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn static_policy_never_swaps_and_starves_on_a_relay_departure() {
+        let (_, _, nominal, overlay) = solved_figure1();
+        // C3 is the load-bearing guarded relay of the Figure 1 solution.
+        let churn = ChurnSchedule::departures_at(5.0, &[3]);
+        let mut policy = StaticPolicy;
+        let outcome = run_adaptive(overlay, config(), &churn, &mut policy, nominal);
+        assert_eq!(outcome.swaps.len(), 1);
+        assert!(!outcome.swaps[0].swapped);
+        assert!(outcome.goodput_vs_nominal() < 1.0);
+        assert_eq!(outcome.survivors, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn repair_controller_swaps_on_a_load_bearing_departure_and_beats_static() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::departures_at(5.0, &[3]);
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        let repaired = run_adaptive(overlay.clone(), config(), &churn, &mut controller, nominal);
+        let static_run = run_adaptive(overlay, config(), &churn, &mut StaticPolicy, nominal);
+        assert_eq!(repaired.swaps.len(), 1);
+        assert!(
+            repaired.swaps[0].swapped,
+            "relay departure must trigger repair"
+        );
+        let repaired_nominal = repaired.swaps[0].repaired_nominal.unwrap();
+        assert!(repaired_nominal > 0.0);
+        // Same seed, same trace: the repaired session delivers strictly more.
+        assert!(
+            repaired.goodput() > static_run.goodput(),
+            "repaired {} vs static {}",
+            repaired.goodput(),
+            static_run.goodput()
+        );
+        assert!(repaired.recovery_time().is_some());
+        // The controller's decision pipeline ran: degradation probes (bisection) and
+        // residual evaluations through its one long-lived context — and the re-probes
+        // rode the dirty-edge journal (unless the CI kill switch disabled it).
+        let decision = &controller.decisions()[0];
+        assert_eq!(decision.departed, vec![3]);
+        assert!(decision.residual < 0.9 * nominal);
+        assert!(controller.ctx().flow_solves() > 0);
+        assert!(controller.ctx().bisection_iters() > 0);
+        if EvalCtx::new().journal_enabled() {
+            assert!(controller.ctx().rescans_skipped() > 0);
+        }
+    }
+
+    #[test]
+    fn second_departure_is_judged_against_the_deployed_repaired_overlay() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        // The load-bearing relay C3 departs first (repair #1); later the strongest open
+        // node C1 departs too. The second decision must judge the *repaired* overlay —
+        // which leans on C1 — not the long-replaced nominal one, and repair again.
+        let churn = ChurnSchedule::new(vec![
+            crate::events::ChurnEvent {
+                time: 4.0,
+                node: 3,
+                action: ChurnAction::Depart,
+            },
+            crate::events::ChurnEvent {
+                time: 12.0,
+                node: 1,
+                action: ChurnAction::Depart,
+            },
+        ]);
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        let outcome = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
+        assert_eq!(controller.decisions().len(), 2);
+        let second = &controller.decisions()[1];
+        assert_eq!(second.departed, vec![1, 3]);
+        assert!(
+            second.repaired.is_some(),
+            "the second departure cripples the deployed repaired overlay: {second:?}"
+        );
+        assert!(outcome.swaps.iter().all(|s| s.swapped));
+        // Every survivor of both departures still completes on the twice-repaired
+        // overlay.
+        assert_eq!(outcome.survivors, vec![2, 4, 5]);
+        for &node in &outcome.survivors {
+            assert!(
+                outcome.report.completion_time[node].is_some(),
+                "survivor {node} starved"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_controller_restores_the_nominal_overlay_on_full_rejoin() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::new(vec![
+            crate::events::ChurnEvent {
+                time: 4.0,
+                node: 3,
+                action: ChurnAction::Depart,
+            },
+            crate::events::ChurnEvent {
+                time: 12.0,
+                node: 3,
+                action: ChurnAction::Rejoin,
+            },
+        ]);
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        let outcome = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
+        assert_eq!(outcome.swaps.len(), 2);
+        // The rejoin decision restores the nominal overlay.
+        let last = controller.decisions().last().unwrap();
+        assert!(last.departed.is_empty());
+        assert_eq!(last.repaired, Some(nominal));
+        assert!(outcome.report.all_completed());
+    }
+
+    #[test]
+    fn harmless_departures_do_not_trigger_a_swap() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        // C5 relays almost nothing: the residual stays above a modest floor. Its later
+        // rejoin must not trigger a swap either — the nominal overlay never left.
+        let churn = ChurnSchedule::new(vec![
+            crate::events::ChurnEvent {
+                time: 5.0,
+                node: 5,
+                action: ChurnAction::Depart,
+            },
+            crate::events::ChurnEvent {
+                time: 10.0,
+                node: 5,
+                action: ChurnAction::Rejoin,
+            },
+        ]);
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.5);
+        let outcome = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
+        assert_eq!(outcome.swaps.len(), 2);
+        assert!(outcome.swaps.iter().all(|s| !s.swapped));
+        let departure = &controller.decisions()[0];
+        assert!(departure.residual >= 0.5 * nominal);
+        assert_eq!(departure.repaired, None);
+        // The full rejoin found the nominal overlay still deployed: no phantom repair.
+        let rejoin = &controller.decisions()[1];
+        assert!(rejoin.departed.is_empty());
+        assert_eq!(rejoin.repaired, None);
+        assert!(outcome.report.all_completed());
+    }
+}

@@ -1,0 +1,286 @@
+//! Word-packed chunk-possession bitsets: the data-plane state of a streaming session.
+//!
+//! Every node's "which chunks do I hold" set used to be a `Vec<bool>`; a chunk-selection
+//! scan over it ([`crate::policy::ChunkPolicy::pick`]) touched one byte per chunk, per
+//! edge, per round — the hottest loop of the whole simulator. A [`ChunkBitset`] packs the
+//! set into `u64` words so the *useful-chunk* predicate (`sender holds ∧ receiver lacks`)
+//! is evaluated 64 chunks at a time (`sender_word & !receiver_word`), and entire useless
+//! words are skipped with one comparison. The policy scans become O(chunks / 64) plus one
+//! bit scan in the word that hits, instead of O(chunks).
+//!
+//! The invariant maintained throughout: bits at positions `>= num_chunks` are always
+//! zero, so word-level operations never report phantom chunks.
+
+/// A fixed-capacity set of chunk indices, packed 64 per word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkBitset {
+    num_chunks: usize,
+    words: Vec<u64>,
+}
+
+impl ChunkBitset {
+    /// Creates an empty set with capacity for `num_chunks` chunks.
+    #[must_use]
+    pub fn new(num_chunks: usize) -> Self {
+        ChunkBitset {
+            num_chunks,
+            words: vec![0; num_chunks.div_ceil(64)],
+        }
+    }
+
+    /// Builds a set from a boolean possession vector (test and migration helper).
+    #[must_use]
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut set = ChunkBitset::new(bools.len());
+        for (chunk, &held) in bools.iter().enumerate() {
+            if held {
+                set.insert(chunk);
+            }
+        }
+        set
+    }
+
+    /// Capacity of the set (the number of chunks of the message).
+    #[must_use]
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    /// Whether `chunk` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk >= num_chunks`.
+    #[must_use]
+    pub fn contains(&self, chunk: usize) -> bool {
+        assert!(chunk < self.num_chunks, "chunk {chunk} out of range");
+        self.words[chunk / 64] & (1 << (chunk % 64)) != 0
+    }
+
+    /// Inserts `chunk`; returns `true` when it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk >= num_chunks`.
+    pub fn insert(&mut self, chunk: usize) -> bool {
+        assert!(chunk < self.num_chunks, "chunk {chunk} out of range");
+        let word = &mut self.words[chunk / 64];
+        let mask = 1 << (chunk % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Inserts every chunk (the file-broadcast source holds the whole message).
+    pub fn fill(&mut self) {
+        for word in &mut self.words {
+            *word = u64::MAX;
+        }
+        self.mask_tail();
+    }
+
+    /// Number of chunks in the set.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Zeroes the bits at positions `>= num_chunks` of the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.num_chunks % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// The lowest-index chunk in `self` but not in `other` (a *useful* chunk for a
+    /// receiver whose possession set is `other`), or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities.
+    #[must_use]
+    pub fn first_useful(&self, other: &ChunkBitset) -> Option<usize> {
+        self.assert_same_capacity(other);
+        for (index, (&mine, &theirs)) in self.words.iter().zip(&other.words).enumerate() {
+            let useful = mine & !theirs;
+            if useful != 0 {
+                return Some(index * 64 + useful.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The highest-index useful chunk, or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities.
+    #[must_use]
+    pub fn last_useful(&self, other: &ChunkBitset) -> Option<usize> {
+        self.assert_same_capacity(other);
+        for (index, (&mine, &theirs)) in self.words.iter().zip(&other.words).enumerate().rev() {
+            let useful = mine & !theirs;
+            if useful != 0 {
+                return Some(index * 64 + 63 - useful.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The lowest-index useful chunk at position `>= start`, wrapping around to the start
+    /// of the set when none exists above `start`. Equivalent in distribution to the
+    /// random-start circular scan of the boolean data plane when `start` is uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities or `start >= num_chunks`.
+    #[must_use]
+    pub fn circular_useful(&self, other: &ChunkBitset, start: usize) -> Option<usize> {
+        self.assert_same_capacity(other);
+        assert!(start < self.num_chunks, "start {start} out of range");
+        let first_word = start / 64;
+        // Masked scan of the word containing `start`, then whole words above it.
+        let above = self.words[first_word] & !other.words[first_word] & (u64::MAX << (start % 64));
+        if above != 0 {
+            return Some(first_word * 64 + above.trailing_zeros() as usize);
+        }
+        for index in first_word + 1..self.words.len() {
+            let useful = self.words[index] & !other.words[index];
+            if useful != 0 {
+                return Some(index * 64 + useful.trailing_zeros() as usize);
+            }
+        }
+        // Wrap: the first useful chunk anywhere is necessarily below `start` now.
+        self.first_useful(other)
+    }
+
+    /// The useful chunk with the smallest `(replication, index)` key — the rarest-first
+    /// choice. `replication` must cover every chunk index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities.
+    #[must_use]
+    pub fn rarest_useful(&self, other: &ChunkBitset, replication: &[usize]) -> Option<usize> {
+        self.assert_same_capacity(other);
+        let mut best: Option<(usize, usize)> = None;
+        for (index, (&mine, &theirs)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut useful = mine & !theirs;
+            while useful != 0 {
+                let chunk = index * 64 + useful.trailing_zeros() as usize;
+                useful &= useful - 1;
+                let key = (replication[chunk], chunk);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, chunk)| chunk)
+    }
+
+    fn assert_same_capacity(&self, other: &ChunkBitset) {
+        assert_eq!(
+            self.num_chunks, other.num_chunks,
+            "possession sets of different capacities"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut set = ChunkBitset::new(130);
+        assert_eq!(set.count(), 0);
+        assert!(set.insert(0));
+        assert!(set.insert(64));
+        assert!(set.insert(129));
+        assert!(!set.insert(129), "second insert is not fresh");
+        assert_eq!(set.count(), 3);
+        assert!(set.contains(0) && set.contains(64) && set.contains(129));
+        assert!(!set.contains(1) && !set.contains(128));
+    }
+
+    #[test]
+    fn fill_respects_capacity() {
+        let mut set = ChunkBitset::new(70);
+        set.fill();
+        assert_eq!(set.count(), 70);
+        assert!(set.contains(69));
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bools: Vec<bool> = (0..100).map(|c| c % 3 == 0).collect();
+        let set = ChunkBitset::from_bools(&bools);
+        for (chunk, &held) in bools.iter().enumerate() {
+            assert_eq!(set.contains(chunk), held, "chunk {chunk}");
+        }
+        assert_eq!(set.count(), bools.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn useful_scans_match_a_linear_reference() {
+        // Crosses word boundaries: sender holds multiples of 7, receiver multiples of 3.
+        let n = 200;
+        let sender = ChunkBitset::from_bools(&(0..n).map(|c| c % 7 == 0).collect::<Vec<_>>());
+        let receiver = ChunkBitset::from_bools(&(0..n).map(|c| c % 3 == 0).collect::<Vec<_>>());
+        let useful: Vec<usize> = (0..n).filter(|&c| c % 7 == 0 && c % 3 != 0).collect();
+        assert_eq!(sender.first_useful(&receiver), useful.first().copied());
+        assert_eq!(sender.last_useful(&receiver), useful.last().copied());
+        for start in 0..n {
+            let expected = useful
+                .iter()
+                .find(|&&c| c >= start)
+                .or_else(|| useful.first())
+                .copied();
+            assert_eq!(
+                sender.circular_useful(&receiver, start),
+                expected,
+                "start {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_useful_chunk_is_none_everywhere() {
+        let sender = ChunkBitset::from_bools(&[true, false, true, false]);
+        let receiver = ChunkBitset::from_bools(&[true, true, true, true]);
+        assert_eq!(sender.first_useful(&receiver), None);
+        assert_eq!(sender.last_useful(&receiver), None);
+        assert_eq!(sender.circular_useful(&receiver, 2), None);
+        assert_eq!(sender.rarest_useful(&receiver, &[1; 4]), None);
+    }
+
+    #[test]
+    fn rarest_prefers_low_replication_then_low_index() {
+        let sender = ChunkBitset::from_bools(&[true; 100]);
+        let receiver = ChunkBitset::new(100);
+        let mut replication = vec![5; 100];
+        replication[70] = 1;
+        replication[90] = 1;
+        assert_eq!(sender.rarest_useful(&receiver, &replication), Some(70));
+        replication[70] = 2;
+        assert_eq!(sender.rarest_useful(&receiver, &replication), Some(90));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut set = ChunkBitset::new(10);
+        set.insert(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacities")]
+    fn capacity_mismatch_panics() {
+        let a = ChunkBitset::new(10);
+        let b = ChunkBitset::new(11);
+        let _ = a.first_useful(&b);
+    }
+}

@@ -5,15 +5,18 @@
 //! pushed (which chunk is decided by the configured [`ChunkPolicy`]). The engine supports file
 //! broadcast and live streaming sources, bandwidth jitter, scheduled churn events and optional
 //! per-round progress tracing.
+//!
+//! [`Simulator`] is the one-shot convenience wrapper: it drives a [`crate::session::Session`]
+//! (the stepped data plane) from round 0 to completion over a frozen overlay, applying the
+//! attached churn schedule as it goes. Closed-loop runs that *react* to churn (re-solve and
+//! hot-swap the overlay mid-broadcast) use the session and [`crate::adapt`] directly.
 
 use crate::events::{ChurnAction, ChurnSchedule};
 use crate::metrics::SimReport;
 use crate::overlay::Overlay;
 use crate::policy::ChunkPolicy;
+use crate::session::Session;
 use crate::trace::{ProgressTrace, TraceSample};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// How the source obtains the data it broadcasts.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -178,120 +181,45 @@ impl Simulator {
         let cfg = &self.config;
         let n = self.overlay.num_nodes();
         let num_chunks = cfg.num_chunks;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-        let mut has: Vec<Vec<bool>> = vec![vec![false; num_chunks]; n];
-        let mut count = vec![0usize; n];
-        let mut completion: Vec<Option<f64>> = vec![None; n];
-        let mut replication = vec![0usize; num_chunks];
-        let mut alive = vec![true; n];
+        let mut session = Session::new(self.overlay.clone(), self.config);
         let mut next_event = 0usize;
-
-        // Source contents.
-        let mut source_available = match cfg.source_mode {
-            SourceMode::File => {
-                has[0].iter_mut().for_each(|c| *c = true);
-                count[0] = num_chunks;
-                completion[0] = Some(0.0);
-                replication.iter_mut().for_each(|r| *r = 1);
-                num_chunks
-            }
-            SourceMode::Live { .. } => 0,
-        };
-        let mut source_progress = 0.0_f64;
-
-        let mut credit = vec![0.0_f64; self.overlay.edges().len()];
-        let mut edge_order: Vec<usize> = (0..self.overlay.edges().len()).collect();
-        let mut rounds_run = 0usize;
         let mut trace = sample_every.map(|_| ProgressTrace::new(num_chunks, n.saturating_sub(1)));
 
         for round in 0..cfg.max_rounds {
-            rounds_run = round + 1;
             let time_start = round as f64 * cfg.round_duration;
-            let time_end = rounds_run as f64 * cfg.round_duration;
 
             // Apply churn events that become effective at or before the start of this round.
             while next_event < self.churn.events().len()
                 && self.churn.events()[next_event].time <= time_start
             {
                 let event = self.churn.events()[next_event];
-                alive[event.node] = match event.action {
-                    ChurnAction::Depart => false,
-                    ChurnAction::Rejoin => true,
-                };
+                session.set_alive(event.node, matches!(event.action, ChurnAction::Rejoin));
                 next_event += 1;
             }
 
-            // Live source: new chunks become available at the production rate.
-            if let SourceMode::Live { rate } = cfg.source_mode {
-                source_progress += rate * cfg.round_duration;
-                let produced = ((source_progress / cfg.chunk_size) as usize).min(num_chunks);
-                while source_available < produced {
-                    has[0][source_available] = true;
-                    replication[source_available] += 1;
-                    source_available += 1;
-                    count[0] += 1;
-                }
-                if completion[0].is_none() && count[0] == num_chunks {
-                    completion[0] = Some(time_end);
-                }
-            }
-
-            edge_order.shuffle(&mut rng);
-            for &edge_index in &edge_order {
-                let edge = self.overlay.edges()[edge_index];
-                if !alive[edge.from] || !alive[edge.to] {
-                    // A departed endpoint carries no traffic and banks no credit.
-                    credit[edge_index] = 0.0;
-                    continue;
-                }
-                let jitter_factor = if cfg.jitter > 0.0 {
-                    1.0 + cfg.jitter * (rng.gen::<f64>() * 2.0 - 1.0)
-                } else {
-                    1.0
-                };
-                credit[edge_index] += edge.rate * cfg.round_duration * jitter_factor;
-                while credit[edge_index] + 1e-12 >= cfg.chunk_size {
-                    let Some(chunk) =
-                        cfg.policy
-                            .pick(&has[edge.from], &has[edge.to], &replication, &mut rng)
-                    else {
-                        // No useful chunk: the capacity of this round is lost (it cannot be
-                        // banked beyond one chunk worth of credit).
-                        credit[edge_index] = credit[edge_index].min(cfg.chunk_size);
-                        break;
-                    };
-                    has[edge.to][chunk] = true;
-                    count[edge.to] += 1;
-                    replication[chunk] += 1;
-                    credit[edge_index] -= cfg.chunk_size;
-                    if count[edge.to] == num_chunks && completion[edge.to].is_none() {
-                        completion[edge.to] = Some(time_end);
-                    }
-                }
-            }
+            session.step();
 
             if let (Some(trace), Some(every)) = (trace.as_mut(), sample_every) {
-                if rounds_run.is_multiple_of(every) {
-                    trace
-                        .samples
-                        .push(sample(round, time_end, &count, &completion, num_chunks));
+                if session.rounds_run().is_multiple_of(every) {
+                    trace.samples.push(sample(
+                        round,
+                        session.time(),
+                        session.counts(),
+                        session.completions(),
+                        num_chunks,
+                    ));
                 }
             }
 
             // Stop once every currently alive node has completed; departed nodes cannot make
             // progress anyway.
-            if completion
-                .iter()
-                .zip(&alive)
-                .all(|(c, &a)| c.is_some() || !a)
-            {
+            if session.is_complete() {
                 break;
             }
         }
 
+        let rounds_run = session.rounds_run();
         if let Some(trace) = trace.as_mut() {
-            let final_time = rounds_run as f64 * cfg.round_duration;
             if trace
                 .samples
                 .last()
@@ -299,23 +227,15 @@ impl Simulator {
             {
                 trace.samples.push(sample(
                     rounds_run.saturating_sub(1),
-                    final_time,
-                    &count,
-                    &completion,
+                    session.time(),
+                    session.counts(),
+                    session.completions(),
                     num_chunks,
                 ));
             }
         }
 
-        let report = SimReport {
-            num_chunks,
-            chunk_size: cfg.chunk_size,
-            round_duration: cfg.round_duration,
-            rounds_run,
-            completion_time: completion,
-            chunks_received: count,
-        };
-        (report, trace)
+        (session.report(), trace)
     }
 }
 

@@ -1,35 +1,72 @@
-//! Randomized chunk-based streaming simulator for broadcast overlays.
+//! Randomized chunk-based streaming simulator — and closed-loop session engine — for
+//! broadcast overlays.
 //!
 //! The paper computes *static* overlay networks (which node sends to which node, at which
 //! rate) and delegates the actual data transfer to the decentralized randomized broadcast of
 //! Massoulié et al. \[4\]: the message is split into chunks and every sender repeatedly pushes
 //! a *random useful* chunk to each of its overlay neighbours, at the rate assigned to that
-//! edge. This crate provides a discrete-time simulator of that data plane so that the
-//! overlays produced by `bmp-core` can be validated end to end: a scheme of nominal
-//! throughput `T` should deliver the whole message to every node at a rate close to `T`.
+//! edge. This crate provides a discrete-time simulator of that data plane, in two layers:
 //!
-//! * [`overlay`] — the static overlay (nodes, weighted edges) extracted from a
-//!   [`bmp_core::scheme::BroadcastScheme`],
-//! * [`engine`] — the round-based simulation engine (chunk push policies, optional bandwidth
-//!   jitter, file and live-stream modes, churn injection, progress tracing),
-//! * [`policy`] — the chunk-selection policies (random-useful, sequential, latest, rarest-first),
-//! * [`events`] — scheduled node departures and rejoins (failure injection),
-//! * [`trace`] — per-round progress traces of a run,
-//! * [`metrics`] — per-node completion times, achieved rates and summary statistics.
+//! # The one-shot simulator
+//!
+//! [`engine::Simulator`] validates an overlay end to end: a scheme of nominal throughput
+//! `T` should deliver the whole message to every node at a rate close to `T`. It supports
+//! chunk-policy ablation, bandwidth jitter, live-stream sources, scheduled churn and
+//! progress tracing — but the overlay it simulates is frozen for the whole run.
+//!
+//! # The session engine (closed-loop adaptive simulation)
+//!
+//! The paper's conclusion makes a *dynamic* claim — the overlays tolerate "small
+//! variations in communication performance" but are "probably not resilient to churn",
+//! and the algorithms are cheap enough to re-run on every membership change. The session
+//! layer tests exactly that, live:
+//!
+//! * [`session::Session`] — the stepped data plane: chunk possession as word-packed
+//!   bitsets ([`bitset::ChunkBitset`], O(chunks/64) useful-chunk scans), per-edge credit,
+//!   per-node completion, one RNG seeded once from [`SimConfig::seed`] and never
+//!   re-seeded. [`session::Session::hot_swap`] replaces the overlay mid-broadcast without
+//!   losing delivered chunks (credit on surviving `(from, to)` pairs carries over);
+//! * [`adapt`] — the control loop ([`adapt::run_adaptive`], control-flow diagram in the
+//!   module docs) and the [`adapt::AdaptationPolicy`] contract: on every membership
+//!   change the policy sees the full departed set and may return a replacement overlay.
+//!   [`adapt::RepairController`] is the reference implementation: it probes the victim's
+//!   degradation tolerance (the *copy-on-probe* idiom of the `bmp_core::scheme` module
+//!   docs — one working copy, journaled rate mutations, re-evaluations that skip the
+//!   O(n²) rescan), measures the frozen overlay's residual throughput, and re-solves the
+//!   surviving platform only when the residual misses its floor;
+//! * metrics for the closed loop: [`metrics::SimReport::delivered_goodput`] (defined
+//!   even when starved receivers never complete) and the per-swap recovery instants of
+//!   [`adapt::SessionOutcome`], so static-vs-repaired runs compare on *delivered*
+//!   throughput under the same seed and churn trace.
+//!
+//! Module map: [`overlay`] (static weighted digraphs extracted from a
+//! [`bmp_core::scheme::BroadcastScheme`]), [`bitset`] (packed possession sets),
+//! [`session`] (stepped data plane), [`engine`] (one-shot wrapper), [`adapt`] (control
+//! loop), [`policy`] (chunk selection), [`events`] (churn schedules), [`trace`]
+//! (progress time series), [`metrics`] (delivery reports).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
+pub mod bitset;
 pub mod engine;
 pub mod events;
 pub mod metrics;
 pub mod overlay;
 pub mod policy;
+pub mod session;
 pub mod trace;
 
+pub use adapt::{
+    run_adaptive, AdaptDecision, AdaptationPolicy, RepairController, SessionOutcome, StaticPolicy,
+    SwapEvent,
+};
+pub use bitset::ChunkBitset;
 pub use engine::{SimConfig, Simulator, SourceMode};
 pub use events::{ChurnAction, ChurnEvent, ChurnSchedule};
 pub use metrics::SimReport;
 pub use overlay::Overlay;
 pub use policy::ChunkPolicy;
+pub use session::{RoundStats, Session};
 pub use trace::{ProgressTrace, TraceSample};

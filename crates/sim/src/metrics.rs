@@ -65,6 +65,23 @@ impl SimReport {
         Some(makespan)
     }
 
+    /// Average *delivered* data rate per listed receiver: total chunks the nodes hold at
+    /// the end of the run, times the chunk size, divided by the simulated time and the
+    /// number of nodes. Unlike [`SimReport::min_achieved_rate`] this is defined even when
+    /// some receiver never completed — exactly the situation a churned run produces — so
+    /// it is the metric the adaptive-session experiments compare against the nominal
+    /// throughput (goodput-vs-nominal ratio). Returns 0 for an empty node list or a run
+    /// of zero rounds.
+    #[must_use]
+    pub fn delivered_goodput(&self, nodes: &[usize]) -> f64 {
+        let elapsed = self.rounds_run as f64 * self.round_duration;
+        if nodes.is_empty() || elapsed <= 0.0 {
+            return 0.0;
+        }
+        let delivered: usize = nodes.iter().map(|&node| self.chunks_received[node]).sum();
+        delivered as f64 * self.chunk_size / elapsed / nodes.len() as f64
+    }
+
     /// Fraction of the message received by the slowest receiver at the end of the run.
     #[must_use]
     pub fn worst_progress(&self) -> f64 {
@@ -119,5 +136,19 @@ mod tests {
         assert!((complete.min_achieved_rate().unwrap() - 1.0).abs() < 1e-12);
         assert!((complete.makespan().unwrap() - 50.0).abs() < 1e-12);
         assert!((complete.worst_progress() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivered_goodput_averages_over_the_listed_nodes() {
+        let r = report();
+        // 300 rounds × 0.1 = 30 time units; nodes 1 and 3 hold 100 + 60 chunks of 0.5.
+        let goodput = r.delivered_goodput(&[1, 3]);
+        assert!((goodput - 160.0 * 0.5 / 30.0 / 2.0).abs() < 1e-12);
+        assert_eq!(r.delivered_goodput(&[]), 0.0);
+        let empty_run = SimReport {
+            rounds_run: 0,
+            ..report()
+        };
+        assert_eq!(empty_run.delivered_goodput(&[1]), 0.0);
     }
 }

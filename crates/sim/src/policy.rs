@@ -7,7 +7,13 @@
 //! rate is the same; the transient behaviour (start-up delay, chunk-diversity collapse)
 //! differs, and the policy ablation benchmark quantifies that difference on the overlays
 //! built by `bmp-core`.
+//!
+//! Possession state is word-packed ([`ChunkBitset`]): every pick evaluates the useful-chunk
+//! predicate 64 chunks at a time instead of byte-by-byte, which is what keeps the per-edge
+//! per-round scan affordable at fleet-scale chunk counts (the `sim_round` bench group tracks
+//! it).
 
+use crate::bitset::ChunkBitset;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -52,29 +58,27 @@ impl ChunkPolicy {
     /// Picks a chunk held by the sender and missing at the receiver, or `None` when the sender
     /// has nothing useful to offer. `replication[c]` is the number of nodes currently holding
     /// chunk `c` (only consulted by [`ChunkPolicy::RarestFirst`]).
+    ///
+    /// Every scan is word-parallel over the packed possession sets; the random-useful pick
+    /// draws one uniform starting index and takes the first useful chunk at or after it
+    /// (wrapping), equivalent in distribution to the circular scan of the unpacked data
+    /// plane.
     #[must_use]
     pub fn pick(
         &self,
-        sender: &[bool],
-        receiver: &[bool],
+        sender: &ChunkBitset,
+        receiver: &ChunkBitset,
         replication: &[usize],
         rng: &mut StdRng,
     ) -> Option<usize> {
-        let num_chunks = sender.len();
         match self {
             ChunkPolicy::RandomUseful => {
-                // Random starting point followed by a circular scan: equivalent in
-                // distribution to uniform choice when many chunks are useful, much cheaper.
-                let start = rng.gen_range(0..num_chunks);
-                (0..num_chunks)
-                    .map(|offset| (start + offset) % num_chunks)
-                    .find(|&c| sender[c] && !receiver[c])
+                let start = rng.gen_range(0..sender.num_chunks());
+                sender.circular_useful(receiver, start)
             }
-            ChunkPolicy::Sequential => (0..num_chunks).find(|&c| sender[c] && !receiver[c]),
-            ChunkPolicy::LatestUseful => (0..num_chunks).rev().find(|&c| sender[c] && !receiver[c]),
-            ChunkPolicy::RarestFirst => (0..num_chunks)
-                .filter(|&c| sender[c] && !receiver[c])
-                .min_by_key(|&c| (replication[c], c)),
+            ChunkPolicy::Sequential => sender.first_useful(receiver),
+            ChunkPolicy::LatestUseful => sender.last_useful(receiver),
+            ChunkPolicy::RarestFirst => sender.rarest_useful(receiver, replication),
         }
     }
 }
@@ -88,10 +92,16 @@ mod tests {
         StdRng::seed_from_u64(42)
     }
 
+    fn sets(sender: &[bool], receiver: &[bool]) -> (ChunkBitset, ChunkBitset) {
+        (
+            ChunkBitset::from_bools(sender),
+            ChunkBitset::from_bools(receiver),
+        )
+    }
+
     #[test]
     fn no_useful_chunk_returns_none() {
-        let sender = vec![true, false, true];
-        let receiver = vec![true, true, true];
+        let (sender, receiver) = sets(&[true, false, true], &[true, true, true]);
         let replication = vec![1; 3];
         for policy in ChunkPolicy::all() {
             assert_eq!(
@@ -103,8 +113,7 @@ mod tests {
 
     #[test]
     fn sender_with_nothing_returns_none() {
-        let sender = vec![false; 4];
-        let receiver = vec![false; 4];
+        let (sender, receiver) = sets(&[false; 4], &[false; 4]);
         let replication = vec![0; 4];
         for policy in ChunkPolicy::all() {
             assert_eq!(
@@ -116,8 +125,7 @@ mod tests {
 
     #[test]
     fn sequential_picks_lowest_index() {
-        let sender = vec![true, true, true, true];
-        let receiver = vec![true, false, false, true];
+        let (sender, receiver) = sets(&[true, true, true, true], &[true, false, false, true]);
         let replication = vec![4, 1, 1, 4];
         assert_eq!(
             ChunkPolicy::Sequential.pick(&sender, &receiver, &replication, &mut rng()),
@@ -127,8 +135,7 @@ mod tests {
 
     #[test]
     fn latest_picks_highest_index() {
-        let sender = vec![true, true, true, false];
-        let receiver = vec![true, false, false, false];
+        let (sender, receiver) = sets(&[true, true, true, false], &[true, false, false, false]);
         let replication = vec![4, 1, 1, 0];
         assert_eq!(
             ChunkPolicy::LatestUseful.pick(&sender, &receiver, &replication, &mut rng()),
@@ -138,8 +145,7 @@ mod tests {
 
     #[test]
     fn rarest_first_prefers_low_replication() {
-        let sender = vec![true, true, true];
-        let receiver = vec![false, false, false];
+        let (sender, receiver) = sets(&[true, true, true], &[false, false, false]);
         let replication = vec![5, 1, 3];
         assert_eq!(
             ChunkPolicy::RarestFirst.pick(&sender, &receiver, &replication, &mut rng()),
@@ -149,8 +155,7 @@ mod tests {
 
     #[test]
     fn rarest_first_breaks_ties_by_index() {
-        let sender = vec![true, true, true];
-        let receiver = vec![false, false, false];
+        let (sender, receiver) = sets(&[true, true, true], &[false, false, false]);
         let replication = vec![2, 2, 2];
         assert_eq!(
             ChunkPolicy::RarestFirst.pick(&sender, &receiver, &replication, &mut rng()),
@@ -160,22 +165,22 @@ mod tests {
 
     #[test]
     fn random_useful_only_returns_useful_chunks() {
-        let sender = vec![true, false, true, false, true, false];
-        let receiver = vec![false, false, true, false, false, false];
+        let sender_bools = [true, false, true, false, true, false];
+        let receiver_bools = [false, false, true, false, false, false];
+        let (sender, receiver) = sets(&sender_bools, &receiver_bools);
         let replication = vec![1; 6];
         let mut rng = rng();
         for _ in 0..100 {
             let chunk = ChunkPolicy::RandomUseful
                 .pick(&sender, &receiver, &replication, &mut rng)
                 .unwrap();
-            assert!(sender[chunk] && !receiver[chunk]);
+            assert!(sender_bools[chunk] && !receiver_bools[chunk]);
         }
     }
 
     #[test]
     fn random_useful_eventually_covers_all_useful_chunks() {
-        let sender = vec![true, true, true, true];
-        let receiver = vec![false, false, false, false];
+        let (sender, receiver) = sets(&[true; 4], &[false; 4]);
         let replication = vec![1; 4];
         let mut rng = rng();
         let mut seen = [false; 4];

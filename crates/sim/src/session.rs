@@ -1,0 +1,453 @@
+//! The stepped session engine: data-plane state that survives overlay hot-swaps.
+//!
+//! [`crate::engine::Simulator`] runs a whole broadcast in one call over a frozen overlay.
+//! A [`Session`] is the same data plane — word-packed chunk possession
+//! ([`crate::bitset::ChunkBitset`]), per-edge credit, per-node completion — exposed
+//! round-by-round, so a *controller* can sit in the loop: observe churn, re-solve the
+//! surviving platform, and [`Session::hot_swap`] the freshly computed overlay into the
+//! running broadcast without losing a single delivered chunk. The adaptation layer that
+//! drives it lives in [`crate::adapt`].
+//!
+//! Determinism contract: the session owns its RNG, seeded once from
+//! [`SimConfig::seed`] at construction and never re-seeded — not even by a hot-swap —
+//! so the same seed, churn schedule and controller decisions replay to a bit-identical
+//! [`SimReport`]. Hot-swapping an overlay whose edge list is *identical* (same endpoint
+//! sequence) keeps the per-edge credit and the shuffled edge order untouched, which makes
+//! such a swap a strict no-op for every metric; a swap that changes the edge set carries
+//! the credit of surviving `(from, to)` pairs over and starts new edges at zero credit.
+
+use crate::bitset::ChunkBitset;
+use crate::engine::{SimConfig, SourceMode};
+use crate::metrics::SimReport;
+use crate::overlay::Overlay;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// What one simulated round delivered (the controller's per-round observability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Number of chunk transfers completed this round.
+    pub delivered: usize,
+    /// Whether every *active* receiver (alive and incomplete at the start of the round)
+    /// gained at least one chunk or completed. `true` when no receiver was active. The
+    /// post-churn recovery metric is built on this: a repaired overlay has recovered once
+    /// nobody is starved any more.
+    pub all_active_progressed: bool,
+}
+
+/// A running broadcast session: the data plane of one simulated swarm.
+#[derive(Debug, Clone)]
+pub struct Session {
+    overlay: Overlay,
+    config: SimConfig,
+    rng: StdRng,
+    /// Word-packed possession set of every node.
+    has: Vec<ChunkBitset>,
+    count: Vec<usize>,
+    completion: Vec<Option<f64>>,
+    replication: Vec<usize>,
+    alive: Vec<bool>,
+    credit: Vec<f64>,
+    edge_order: Vec<usize>,
+    source_available: usize,
+    source_progress: f64,
+    rounds_run: usize,
+    swaps: usize,
+    /// Chunk counts at the start of the current round (recovery observability).
+    prev_count: Vec<usize>,
+}
+
+impl Session {
+    /// Creates a session over `overlay` with the given configuration. The RNG is seeded
+    /// from [`SimConfig::seed`] here and nowhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no chunks, non-positive chunk size or
+    /// round duration, jitter outside `[0, 1)`).
+    #[must_use]
+    pub fn new(overlay: Overlay, config: SimConfig) -> Self {
+        assert!(config.num_chunks > 0, "need at least one chunk");
+        assert!(config.chunk_size > 0.0, "chunk size must be positive");
+        assert!(
+            config.round_duration > 0.0,
+            "round duration must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.jitter),
+            "jitter must lie in [0, 1)"
+        );
+        let n = overlay.num_nodes();
+        let num_chunks = config.num_chunks;
+        let mut session = Session {
+            rng: StdRng::seed_from_u64(config.seed),
+            has: vec![ChunkBitset::new(num_chunks); n],
+            count: vec![0; n],
+            completion: vec![None; n],
+            replication: vec![0; num_chunks],
+            alive: vec![true; n],
+            credit: vec![0.0; overlay.edges().len()],
+            edge_order: (0..overlay.edges().len()).collect(),
+            source_available: 0,
+            source_progress: 0.0,
+            rounds_run: 0,
+            swaps: 0,
+            prev_count: vec![0; n],
+            overlay,
+            config,
+        };
+        if session.config.source_mode == SourceMode::File {
+            session.has[0].fill();
+            session.count[0] = num_chunks;
+            session.completion[0] = Some(0.0);
+            session.replication.iter_mut().for_each(|r| *r = 1);
+            session.source_available = num_chunks;
+        }
+        session
+    }
+
+    /// The overlay currently carrying the broadcast.
+    #[must_use]
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// The simulation configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Number of rounds stepped so far.
+    #[must_use]
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Simulated time at the end of the last stepped round.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.rounds_run as f64 * self.config.round_duration
+    }
+
+    /// Number of overlay hot-swaps performed so far.
+    #[must_use]
+    pub fn swaps(&self) -> usize {
+        self.swaps
+    }
+
+    /// Chunks held per node.
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.count
+    }
+
+    /// Completion time per node (`None` while incomplete). Index 0 is the source.
+    #[must_use]
+    pub fn completions(&self) -> &[Option<f64>] {
+        &self.completion
+    }
+
+    /// Whether `node` currently participates (churn flag).
+    #[must_use]
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// Applies a churn action: a departed node stops sending and receiving, a rejoining
+    /// node resumes with the chunks it already held. Takes effect from the next
+    /// [`Session::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the source (node 0) is asked to depart.
+    pub fn set_alive(&mut self, node: usize, alive: bool) {
+        assert!(node < self.alive.len(), "node {node} out of range");
+        assert!(node != 0 || alive, "the source cannot depart");
+        self.alive[node] = alive;
+    }
+
+    /// Whether every node that still matters (alive, plus the source) has completed.
+    /// Departed nodes cannot make progress and are not waited for.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completion
+            .iter()
+            .zip(&self.alive)
+            .all(|(c, &a)| c.is_some() || !a)
+    }
+
+    /// Replaces the overlay carrying the broadcast *without* touching possession state,
+    /// completion times or the RNG stream. Credit banked on `(from, to)` pairs present in
+    /// both overlays carries over; new edges start at zero credit. A swap to an overlay
+    /// with the identical edge-endpoint sequence keeps the credit vector and shuffled
+    /// edge order byte-for-byte (so swapping in an identical overlay is a metrics no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ — a hot-swap rewires the same swarm, it does not
+    /// resize it (departed nodes stay addressable in case they rejoin) — or if either
+    /// overlay contains parallel `(from, to)` edges: credit is banked per node pair, so
+    /// duplicates would drop or duplicate banked bandwidth (overlays extracted from a
+    /// [`bmp_core::scheme::BroadcastScheme`] are duplicate-free by construction).
+    pub fn hot_swap(&mut self, overlay: Overlay) {
+        assert_eq!(
+            overlay.num_nodes(),
+            self.overlay.num_nodes(),
+            "hot-swap must preserve the node id space"
+        );
+        let identical = overlay.edges().len() == self.overlay.edges().len()
+            && overlay
+                .edges()
+                .iter()
+                .zip(self.overlay.edges())
+                .all(|(new, old)| new.from == old.from && new.to == old.to);
+        if !identical {
+            let mut banked: HashMap<(usize, usize), f64> =
+                HashMap::with_capacity(self.overlay.edges().len());
+            for (edge, &credit) in self.overlay.edges().iter().zip(&self.credit) {
+                let previous = banked.insert((edge.from, edge.to), credit);
+                assert!(
+                    previous.is_none(),
+                    "hot-swap requires unique (from, to) edges, found a parallel edge \
+                     {} -> {} in the running overlay",
+                    edge.from,
+                    edge.to
+                );
+            }
+            let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(overlay.edges().len());
+            self.credit = overlay
+                .edges()
+                .iter()
+                .map(|edge| {
+                    assert!(
+                        seen.insert((edge.from, edge.to)),
+                        "hot-swap requires unique (from, to) edges, found a parallel edge \
+                         {} -> {} in the replacement overlay",
+                        edge.from,
+                        edge.to
+                    );
+                    banked.get(&(edge.from, edge.to)).copied().unwrap_or(0.0)
+                })
+                .collect();
+            self.edge_order = (0..overlay.edges().len()).collect();
+        }
+        self.overlay = overlay;
+        self.swaps += 1;
+    }
+
+    /// Advances the simulation by one round: live-source production, credit accrual and
+    /// chunk pushes over every edge (in a freshly shuffled order), completion tracking.
+    pub fn step(&mut self) -> RoundStats {
+        let cfg = self.config;
+        let num_chunks = cfg.num_chunks;
+        let time_end = (self.rounds_run + 1) as f64 * cfg.round_duration;
+        self.prev_count.copy_from_slice(&self.count);
+
+        // Live source: new chunks become available at the production rate.
+        if let SourceMode::Live { rate } = cfg.source_mode {
+            self.source_progress += rate * cfg.round_duration;
+            let produced = ((self.source_progress / cfg.chunk_size) as usize).min(num_chunks);
+            while self.source_available < produced {
+                self.has[0].insert(self.source_available);
+                self.replication[self.source_available] += 1;
+                self.source_available += 1;
+                self.count[0] += 1;
+            }
+            if self.completion[0].is_none() && self.count[0] == num_chunks {
+                self.completion[0] = Some(time_end);
+            }
+        }
+
+        let mut delivered = 0usize;
+        self.edge_order.shuffle(&mut self.rng);
+        for position in 0..self.edge_order.len() {
+            let edge_index = self.edge_order[position];
+            let edge = self.overlay.edges()[edge_index];
+            if !self.alive[edge.from] || !self.alive[edge.to] {
+                // A departed endpoint carries no traffic and banks no credit.
+                self.credit[edge_index] = 0.0;
+                continue;
+            }
+            let jitter_factor = if cfg.jitter > 0.0 {
+                1.0 + cfg.jitter * (self.rng.gen::<f64>() * 2.0 - 1.0)
+            } else {
+                1.0
+            };
+            self.credit[edge_index] += edge.rate * cfg.round_duration * jitter_factor;
+            while self.credit[edge_index] + 1e-12 >= cfg.chunk_size {
+                let Some(chunk) = cfg.policy.pick(
+                    &self.has[edge.from],
+                    &self.has[edge.to],
+                    &self.replication,
+                    &mut self.rng,
+                ) else {
+                    // No useful chunk: the capacity of this round is lost (it cannot be
+                    // banked beyond one chunk worth of credit).
+                    self.credit[edge_index] = self.credit[edge_index].min(cfg.chunk_size);
+                    break;
+                };
+                self.has[edge.to].insert(chunk);
+                self.count[edge.to] += 1;
+                self.replication[chunk] += 1;
+                self.credit[edge_index] -= cfg.chunk_size;
+                delivered += 1;
+                if self.count[edge.to] == num_chunks && self.completion[edge.to].is_none() {
+                    self.completion[edge.to] = Some(time_end);
+                }
+            }
+        }
+        self.rounds_run += 1;
+
+        let all_active_progressed = (1..self.count.len()).all(|node| {
+            let was_active = self.alive[node] && self.prev_count[node] < num_chunks;
+            !was_active || self.count[node] > self.prev_count[node]
+        });
+        RoundStats {
+            delivered,
+            all_active_progressed,
+        }
+    }
+
+    /// The per-node delivery report of the session so far.
+    #[must_use]
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            num_chunks: self.config.num_chunks,
+            chunk_size: self.config.chunk_size,
+            round_duration: self.config.round_duration,
+            rounds_run: self.rounds_run,
+            completion_time: self.completion.clone(),
+            chunks_received: self.count.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+
+    fn line_overlay() -> Overlay {
+        Overlay::new(3, vec![(0, 1, 2.0), (1, 2, 2.0)])
+    }
+
+    fn config() -> SimConfig {
+        SimConfig {
+            num_chunks: 80,
+            chunk_size: 0.5,
+            round_duration: 0.25,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn stepping_to_completion_matches_the_one_shot_simulator() {
+        let mut session = Session::new(line_overlay(), config());
+        for _ in 0..config().max_rounds {
+            session.step();
+            if session.is_complete() {
+                break;
+            }
+        }
+        let stepped = session.report();
+        let one_shot = Simulator::new(line_overlay(), config()).run();
+        assert_eq!(stepped, one_shot);
+        assert_eq!(session.swaps(), 0);
+        assert!((session.time() - stepped.rounds_run as f64 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_hot_swap_changes_nothing() {
+        let mut swapped = Session::new(line_overlay(), config());
+        let mut plain = Session::new(line_overlay(), config());
+        for round in 0..200 {
+            if round == 40 {
+                swapped.hot_swap(line_overlay());
+            }
+            swapped.step();
+            plain.step();
+            if swapped.is_complete() && plain.is_complete() {
+                break;
+            }
+        }
+        assert_eq!(swapped.report(), plain.report());
+        assert_eq!(swapped.swaps(), 1);
+    }
+
+    #[test]
+    fn hot_swap_keeps_delivered_chunks_and_completion() {
+        let mut session = Session::new(line_overlay(), config());
+        for _ in 0..30 {
+            session.step();
+        }
+        let counts_before = session.counts().to_vec();
+        // Rewire: node 2 now fed straight from the source.
+        session.hot_swap(Overlay::new(3, vec![(0, 1, 2.0), (0, 2, 2.0)]));
+        assert_eq!(session.counts(), counts_before.as_slice());
+        for _ in 0..2_000 {
+            session.step();
+            if session.is_complete() {
+                break;
+            }
+        }
+        assert!(session.report().all_completed());
+    }
+
+    #[test]
+    fn departed_nodes_receive_nothing_until_rejoin() {
+        let mut session = Session::new(line_overlay(), config());
+        session.set_alive(1, false);
+        for _ in 0..40 {
+            session.step();
+        }
+        assert_eq!(session.counts()[1], 0);
+        assert_eq!(session.counts()[2], 0);
+        assert!(!session.is_alive(1));
+        session.set_alive(1, true);
+        for _ in 0..2_000 {
+            session.step();
+            if session.is_complete() {
+                break;
+            }
+        }
+        assert!(session.report().all_completed());
+    }
+
+    #[test]
+    fn round_stats_report_starvation_and_recovery() {
+        let mut session = Session::new(line_overlay(), config());
+        session.set_alive(1, false);
+        // Node 2 is alive but starved: its only feeder departed.
+        let stats = session.step();
+        assert!(!stats.all_active_progressed);
+        // Rewiring the source straight to node 2 un-starves it within a couple of
+        // rounds (credit has to accrue to one chunk first).
+        session.hot_swap(Overlay::new(3, vec![(0, 2, 2.0)]));
+        let recovered = (0..5).any(|_| session.step().all_active_progressed);
+        assert!(recovered);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel edge")]
+    fn hot_swap_rejects_parallel_edges() {
+        let mut session = Session::new(line_overlay(), config());
+        session.hot_swap(Overlay::new(3, vec![(0, 1, 1.0), (0, 1, 2.0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "node id space")]
+    fn hot_swap_rejects_resizes() {
+        let mut session = Session::new(line_overlay(), config());
+        session.hot_swap(Overlay::new(4, vec![(0, 1, 1.0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "source cannot depart")]
+    fn source_departure_is_rejected() {
+        let mut session = Session::new(line_overlay(), config());
+        session.set_alive(0, false);
+    }
+}
