@@ -1,27 +1,36 @@
 //! Chunk-level streaming simulator benchmarks (the Massoulié-style data plane).
 //!
-//! Two groups:
+//! Three groups:
 //!
 //! * `streaming_simulation` — whole runs over solved overlays (end-to-end cost);
 //! * `sim_round` — the per-round hot path of the session engine: stepping a
 //!   mid-broadcast session (word-packed possession bitsets, O(chunks/64) useful-chunk
-//!   scans) and the rarest-first pick on wide chunk sets. Drained into
-//!   `BENCH_sim.json` at the repo root; the `sim_round` ids are pinned by the CI perf
-//!   gate (`validate_bench`).
+//!   scans) and the rarest-first pick on wide chunk sets;
+//! * `fault_storm` — the hardened repair pipeline under injected solver failures: one
+//!   full faulted repair cycle (probe, residual, retries, hot-swap plan). Drained into
+//!   `BENCH_sim.json` at the repo root; the `sim_round` and `fault_storm` ids are
+//!   pinned by the CI perf gate (`validate_bench`).
 
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
 use bmp_platform::distribution::UniformBandwidth;
 use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
-use bmp_sim::{ChunkBitset, Overlay, Session, SimConfig, Simulator};
+use bmp_platform::Instance;
+use bmp_sim::{
+    AdaptationPolicy, ChunkBitset, FaultPlan, Overlay, RepairController, Session, SimConfig,
+    Simulator,
+};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn solved_overlay(receivers: usize, seed: u64) -> (Overlay, f64) {
+fn generated_instance(receivers: usize, seed: u64) -> Instance {
     let config = GeneratorConfig::new(receivers, 0.7).unwrap();
     let generator = InstanceGenerator::new(config, UniformBandwidth::unif100());
-    let inst = generator.generate(&mut StdRng::seed_from_u64(seed));
-    let solution = AcyclicGuardedSolver::default().solve(&inst);
+    generator.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn solved_overlay(receivers: usize, seed: u64) -> (Overlay, f64) {
+    let solution = AcyclicGuardedSolver::default().solve(&generated_instance(receivers, seed));
     (Overlay::from_scheme(&solution.scheme), solution.throughput)
 }
 
@@ -132,7 +141,47 @@ fn bench_session_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation, bench_session_round);
+/// One full faulted repair cycle of the hardened controller on a 50-receiver platform:
+/// the victim probe (journal-riding bisection), the pooled-capable residual evaluation,
+/// two injected solve failures absorbed by the retry budget, and the successful third
+/// attempt producing the hot-swap plan. This is the whole control-plane cost of
+/// surviving a transient solver outage, gated so hardening never regresses it silently.
+fn bench_fault_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_storm");
+    group.sample_size(10);
+    let receivers = 50usize;
+    let instance = generated_instance(receivers, 17);
+    let solution = AcyclicGuardedSolver::default().solve(&instance);
+    let victim = solution.scheme.busiest_receiver().unwrap();
+    group.bench_with_input(
+        BenchmarkId::new("repair-cycle", receivers),
+        &(instance, solution),
+        |b, (instance, solution)| {
+            b.iter(|| {
+                let mut controller = RepairController::new(
+                    instance.clone(),
+                    solution.scheme.clone(),
+                    solution.throughput,
+                    0.9,
+                );
+                FaultPlan::disabled()
+                    .with_solve_failures(vec![0, 1])
+                    .install(controller.ctx_mut());
+                let decision = controller.adapt(&[victim], 0.0);
+                assert!(decision.is_some(), "the third attempt must repair");
+                controller.decisions()[0].attempts
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_session_round,
+    bench_fault_storm
+);
 
 fn main() {
     benches();

@@ -288,10 +288,12 @@ pub const THROUGHPUT_REQUIRED_IDS: [&str; 7] = [
 ];
 
 /// The benchmark ids the `sim` report must contain (the session engine's per-round hot
-/// path over the word-packed possession bitsets, and the widest policy scan).
-pub const SIM_REQUIRED_IDS: [&str; 2] = [
+/// path over the word-packed possession bitsets, the widest policy scan, and the
+/// hardened repair pipeline's faulted repair cycle).
+pub const SIM_REQUIRED_IDS: [&str; 3] = [
     "sim_round/session/50x1000",
     "sim_round/pick/rarest-first/4096",
+    "fault_storm/repair-cycle/50",
 ];
 
 #[cfg(test)]

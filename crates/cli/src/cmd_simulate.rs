@@ -12,6 +12,12 @@
 //! The command can also solve and simulate in one shot: `--instance FILE` (with
 //! `--algorithm NAME` and `--threads N`) runs a registry solver first and streams over
 //! the overlay it produces.
+//!
+//! Closed-loop runs are crash-safe: `--checkpoint FILE` periodically serializes the
+//! complete run state (`--checkpoint-every N` rounds), `--halt-after N` stops
+//! mid-broadcast as a crash stand-in, and `--resume FILE` continues from a checkpoint —
+//! producing a final report bit-identical to the uninterrupted run under the same seed
+//! and trace (`--report FILE` writes it as JSON for byte-for-byte comparison).
 
 use crate::args::{ArgList, FlagSpec};
 use crate::cmd_solve::resolve_algorithm;
@@ -20,8 +26,8 @@ use crate::files;
 use bmp_core::scheme::BroadcastScheme;
 use bmp_core::solver::EvalCtx;
 use bmp_sim::{
-    run_adaptive, AdaptationPolicy, ChunkPolicy, ChurnAction, ChurnEvent, ChurnSchedule, Overlay,
-    RepairController, SessionOutcome, SimConfig, Simulator, SourceMode, StaticPolicy,
+    AdaptiveRun, ChunkPolicy, ChurnAction, ChurnEvent, ChurnSchedule, Overlay, RepairController,
+    SessionOutcome, SimConfig, Simulator, SourceMode, StaticPolicy,
 };
 use std::io::Write;
 
@@ -54,6 +60,11 @@ pub const FLAGS: FlagSpec = FlagSpec {
         "--churn",
         "--repair",
         "--floor",
+        "--checkpoint",
+        "--checkpoint-every",
+        "--halt-after",
+        "--resume",
+        "--report",
     ],
 };
 
@@ -152,6 +163,234 @@ fn load_scheme<W: Write>(
     }
 }
 
+/// The closed-loop policy, held concretely so the driver can both step the run through
+/// the `AdaptationPolicy` trait and borrow the controller for checkpointing.
+enum PolicyKind {
+    Static(StaticPolicy),
+    Repair(Box<RepairController>),
+}
+
+impl PolicyKind {
+    fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Static(_) => "static",
+            PolicyKind::Repair(_) => "repair",
+        }
+    }
+
+    fn step(&mut self, run: &mut AdaptiveRun) -> bool {
+        match self {
+            PolicyKind::Static(policy) => run.step(policy),
+            PolicyKind::Repair(controller) => run.step(&mut **controller),
+        }
+    }
+
+    fn controller(&self) -> Option<&RepairController> {
+        match self {
+            PolicyKind::Static(_) => None,
+            PolicyKind::Repair(controller) => Some(controller),
+        }
+    }
+
+    fn outcome(&self, run: &AdaptiveRun) -> SessionOutcome {
+        match self {
+            PolicyKind::Static(policy) => run.outcome(policy),
+            PolicyKind::Repair(controller) => run.outcome(&**controller),
+        }
+    }
+}
+
+/// Crash-safety options of a closed-loop run.
+struct Checkpointing<'a> {
+    /// Where to write checkpoints (`--checkpoint FILE`); `None` disables them.
+    path: Option<&'a str>,
+    /// Rounds between checkpoint writes (`--checkpoint-every N`).
+    every: usize,
+    /// Stop (without finishing) once this many rounds have run (`--halt-after N`) — the
+    /// crash stand-in of the recovery smoke test.
+    halt_after: Option<usize>,
+}
+
+/// Parses and validates the crash-safety flags. `closed_loop` says whether the run has
+/// a churn trace (or is a resume): the flags are meaningless for frozen-overlay runs.
+fn parse_checkpointing<'a>(
+    args: &'a ArgList,
+    closed_loop: bool,
+) -> Result<Checkpointing<'a>, CliError> {
+    if !closed_loop {
+        for flag in [
+            "--checkpoint",
+            "--checkpoint-every",
+            "--halt-after",
+            "--report",
+        ] {
+            if args.has(flag) {
+                return Err(CliError::Usage(format!(
+                    "{flag} only applies to closed-loop runs (--churn or --resume)"
+                )));
+            }
+        }
+    }
+    if args.has("--checkpoint-every") && !args.has("--checkpoint") {
+        return Err(CliError::Usage(
+            "--checkpoint-every requires --checkpoint FILE (where to write)".into(),
+        ));
+    }
+    let every: usize = args.get_parsed("--checkpoint-every", 50usize)?;
+    if every == 0 {
+        return Err(CliError::Usage(
+            "--checkpoint-every must be at least 1 round".into(),
+        ));
+    }
+    let halt_after = args
+        .get("--halt-after")
+        .map(|raw| {
+            raw.parse::<usize>().map_err(|_| {
+                CliError::Usage(format!("flag --halt-after has an invalid value {raw:?}"))
+            })
+        })
+        .transpose()?;
+    Ok(Checkpointing {
+        path: args.get("--checkpoint"),
+        every,
+        halt_after,
+    })
+}
+
+/// Steps the closed loop to completion — or to the `--halt-after` crash point — writing
+/// checkpoints on the configured cadence (and always at the halt point, so a crash
+/// never loses more than the final partial round). Returns whether the run finished.
+fn drive(
+    run: &mut AdaptiveRun,
+    kind: &mut PolicyKind,
+    checkpointing: &Checkpointing<'_>,
+) -> Result<bool, CliError> {
+    let mut since_checkpoint = 0usize;
+    loop {
+        let finished = kind.step(run);
+        since_checkpoint += 1;
+        let halted = !finished
+            && checkpointing
+                .halt_after
+                .is_some_and(|halt| run.session().rounds_run() >= halt);
+        if let Some(path) = checkpointing.path {
+            if finished || halted || since_checkpoint >= checkpointing.every {
+                files::write_checkpoint(path, &run.checkpoint(kind.controller()))?;
+                since_checkpoint = 0;
+            }
+        }
+        if finished || halted {
+            return Ok(finished);
+        }
+    }
+}
+
+/// Renders the end of a closed-loop run: the outcome report (or the halt notice),
+/// controller telemetry, and the `--report FILE` JSON artefact.
+fn finish_closed_loop<W: Write>(
+    run: &AdaptiveRun,
+    kind: &PolicyKind,
+    finished: bool,
+    checkpointing: &Checkpointing<'_>,
+    report_path: Option<&str>,
+    out: &mut W,
+) -> Result<(), CliError> {
+    if !finished {
+        match checkpointing.path {
+            Some(path) => writeln!(
+                out,
+                "halted after {} rounds (checkpoint written to {path})",
+                run.session().rounds_run()
+            )?,
+            None => writeln!(out, "halted after {} rounds", run.session().rounds_run())?,
+        }
+        return Ok(());
+    }
+    let outcome = kind.outcome(run);
+    report_outcome(&outcome, out)?;
+    if let Some(controller) = kind.controller() {
+        let ctx = controller.ctx();
+        writeln!(
+            out,
+            "controller telemetry : {} flow solves, {} bisection iters, {} rescans skipped ({} edges patched)",
+            ctx.flow_solves(),
+            ctx.bisection_iters(),
+            ctx.rescans_skipped(),
+            ctx.edges_patched()
+        )?;
+        for decision in controller.decisions() {
+            let solver = decision.solver.as_deref().unwrap_or("-");
+            writeln!(
+                out,
+                "  decision at t = {:.2}: departed {:?}, victim tolerance {:.3}, residual {:.4} ({:.1}% of nominal), {} attempt(s), solver {solver}{}{}",
+                decision.time,
+                decision.departed,
+                decision.victim_tolerance,
+                decision.residual,
+                100.0 * decision.residual / outcome.nominal,
+                decision.attempts,
+                if decision.probe_timed_out { ", probe timed out" } else { "" },
+                if decision.degraded { ", DEGRADED" } else { "" },
+            )?;
+        }
+    }
+    if let Some(path) = report_path {
+        files::write_text(path, &serde_json::to_string(&outcome.report)?)?;
+        writeln!(out, "report written to {path}")?;
+    }
+    Ok(())
+}
+
+/// Runs `simulate --resume FILE`: rehydrates a checkpointed closed-loop run (the
+/// checkpoint fixes the overlay, churn trace, configuration and policy, so the usual
+/// input flags conflict) and steps it to completion — or to the next `--halt-after`.
+fn run_resumed<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    for flag in [
+        "--scheme",
+        "--instance",
+        "--algorithm",
+        "--threads",
+        "--chunks",
+        "--policy",
+        "--seed",
+        "--jitter",
+        "--live",
+        "--trace",
+        "--churn",
+        "--repair",
+        "--floor",
+    ] {
+        if args.has(flag) {
+            return Err(CliError::Usage(format!(
+                "{flag} conflicts with --resume (the checkpoint already fixes the run)"
+            )));
+        }
+    }
+    let checkpointing = parse_checkpointing(args, true)?;
+    let path = args.get("--resume").expect("caller checked");
+    let checkpoint = files::read_checkpoint(path)?;
+    let (mut run, controller) = AdaptiveRun::resume(checkpoint);
+    let mut kind = match controller {
+        Some(controller) => PolicyKind::Repair(Box::new(controller)),
+        None => PolicyKind::Static(StaticPolicy),
+    };
+    writeln!(
+        out,
+        "resumed closed-loop run at round {} (adaptation {})",
+        run.session().rounds_run(),
+        kind.label()
+    )?;
+    let finished = drive(&mut run, &mut kind, &checkpointing)?;
+    finish_closed_loop(
+        &run,
+        &kind,
+        finished,
+        &checkpointing,
+        args.get("--report"),
+        out,
+    )
+}
+
 /// Renders the closed-loop outcome: swap timeline, survivor completion, goodput ratio.
 fn report_outcome<W: Write>(outcome: &SessionOutcome, out: &mut W) -> Result<(), CliError> {
     for swap in &outcome.swaps {
@@ -191,6 +430,12 @@ fn report_outcome<W: Write>(outcome: &SessionOutcome, out: &mut W) -> Result<(),
     if let Some(recovery) = outcome.recovery_time() {
         writeln!(out, "post-churn recovery : {recovery:.2} time units")?;
     }
+    if let Some(floor) = outcome.degraded_floor {
+        writeln!(
+            out,
+            "DEGRADED : repair budget exhausted, kept the last good overlay (residual floor {floor:.4})"
+        )?;
+    }
     Ok(())
 }
 
@@ -204,11 +449,20 @@ fn report_outcome<W: Write>(outcome: &SessionOutcome, out: &mut W) -> Result<(),
 /// `--repair` (adapt by incremental re-solve + hot-swap instead of the static baseline),
 /// `--floor F` (repair when the residual drops below `F ×` nominal, default 0.9).
 ///
+/// Crash safety (closed-loop runs only): `--checkpoint FILE` writes the run state
+/// every `--checkpoint-every N` rounds (default 50) and at the end, `--halt-after N`
+/// stops mid-broadcast after N rounds (a crash stand-in), `--resume FILE` continues a
+/// checkpointed run bit-identically, and `--report FILE` writes the final delivery
+/// report as JSON for byte-for-byte comparison.
+///
 /// # Errors
 ///
 /// Returns a [`CliError`] when the scheme/instance cannot be read or a flag is malformed.
 pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
     args.reject_unknown_flags(&FLAGS)?;
+    if args.get("--resume").is_some() {
+        return run_resumed(args, out);
+    }
     let threads: usize = args.get_parsed("--threads", 1)?;
     if args.has("--threads") && !(args.has("--repair") || args.get("--instance").is_some()) {
         return Err(CliError::Usage(
@@ -261,18 +515,18 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         ));
     }
 
+    let checkpointing = parse_checkpointing(args, churn.is_some())?;
+
     if let Some(churn) = churn {
-        // Closed-loop run: the session engine plus an adaptation policy.
-        let mut repair_controller = args.has("--repair").then(|| {
+        // Closed-loop run: the session engine plus an adaptation policy, stepped
+        // through the crash-safe driver so checkpoints can be cut between rounds.
+        let mut kind = if args.has("--repair") {
             let mut controller =
                 RepairController::new(scheme.instance().clone(), scheme.clone(), nominal, floor);
             controller.set_parallelism(threads);
-            controller
-        });
-        let mut static_policy = StaticPolicy;
-        let policy: &mut dyn AdaptationPolicy = match repair_controller.as_mut() {
-            Some(controller) => controller,
-            None => &mut static_policy,
+            PolicyKind::Repair(Box::new(controller))
+        } else {
+            PolicyKind::Static(StaticPolicy)
         };
         writeln!(
             out,
@@ -281,33 +535,18 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
             overlay.edges().len(),
             config.policy.label(),
             nominal,
-            policy.label()
+            kind.label()
         )?;
-        let outcome = run_adaptive(overlay, config, &churn, policy, nominal);
-        report_outcome(&outcome, out)?;
-        if let Some(repair_controller) = &repair_controller {
-            let ctx = repair_controller.ctx();
-            writeln!(
-                out,
-                "controller telemetry : {} flow solves, {} bisection iters, {} rescans skipped ({} edges patched)",
-                ctx.flow_solves(),
-                ctx.bisection_iters(),
-                ctx.rescans_skipped(),
-                ctx.edges_patched()
-            )?;
-            for decision in repair_controller.decisions() {
-                writeln!(
-                    out,
-                    "  decision at t = {:.2}: departed {:?}, victim tolerance {:.3}, residual {:.4} ({:.1}% of nominal)",
-                    decision.time,
-                    decision.departed,
-                    decision.victim_tolerance,
-                    decision.residual,
-                    100.0 * decision.residual / nominal
-                )?;
-            }
-        }
-        return Ok(());
+        let mut run = AdaptiveRun::new(overlay, config, churn, nominal);
+        let finished = drive(&mut run, &mut kind, &checkpointing)?;
+        return finish_closed_loop(
+            &run,
+            &kind,
+            finished,
+            &checkpointing,
+            args.get("--report"),
+            out,
+        );
     }
 
     let simulator = Simulator::new(overlay, config);
@@ -598,6 +837,139 @@ mod tests {
         }
         std::fs::remove_file(scheme).ok();
         std::fs::remove_file(instance).ok();
+    }
+
+    #[test]
+    fn halted_run_resumes_to_a_bit_identical_report() {
+        let path = scheme_path();
+        let checkpoint = temp_path("sim-checkpoint.json")
+            .to_str()
+            .unwrap()
+            .to_string();
+        let report_full = temp_path("sim-report-full.json")
+            .to_str()
+            .unwrap()
+            .to_string();
+        let report_resumed = temp_path("sim-report-resumed.json")
+            .to_str()
+            .unwrap()
+            .to_string();
+        let base = |extra: Vec<String>| {
+            let mut args = vec![
+                "--scheme".to_string(),
+                path.clone(),
+                "--chunks".into(),
+                "150".into(),
+                "--churn".into(),
+                "5:3;12:+3".into(),
+                "--repair".into(),
+            ];
+            args.extend(extra);
+            args
+        };
+        // Uninterrupted reference run through the same crash-safe driver.
+        let full = run_args(base(vec![
+            "--checkpoint".into(),
+            checkpoint.clone(),
+            "--report".into(),
+            report_full.clone(),
+        ]))
+        .unwrap();
+        assert!(full.contains("report written to"));
+        // Interrupted run: checkpoint every 10 rounds, crash after 40.
+        let halted = run_args(base(vec![
+            "--checkpoint".into(),
+            checkpoint.clone(),
+            "--checkpoint-every".into(),
+            "10".into(),
+            "--halt-after".into(),
+            "40".into(),
+        ]))
+        .unwrap();
+        assert!(halted.contains("halted after 40 rounds"));
+        // Resume from the crash point and finish.
+        let resumed = run_args(vec![
+            "--resume".into(),
+            checkpoint.clone(),
+            "--report".into(),
+            report_resumed.clone(),
+        ])
+        .unwrap();
+        assert!(resumed.contains("resumed closed-loop run at round 40 (adaptation repair)"));
+        assert!(resumed.contains("hot-swapped"));
+        let full_bytes = std::fs::read(&report_full).unwrap();
+        let resumed_bytes = std::fs::read(&report_resumed).unwrap();
+        assert!(!full_bytes.is_empty());
+        assert_eq!(
+            full_bytes, resumed_bytes,
+            "resumed report must be byte-identical to the uninterrupted run"
+        );
+        for file in [&path, &checkpoint, &report_full, &report_resumed] {
+            std::fs::remove_file(file).ok();
+        }
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        let path = scheme_path();
+        for args in [
+            // --checkpoint-every without --checkpoint.
+            vec![
+                "--scheme".to_string(),
+                path.clone(),
+                "--churn".into(),
+                "5:3".into(),
+                "--checkpoint-every".into(),
+                "10".into(),
+            ],
+            // Crash-safety flags on a frozen-overlay run.
+            vec![
+                "--scheme".to_string(),
+                path.clone(),
+                "--checkpoint".into(),
+                "/tmp/never-written.json".into(),
+            ],
+            vec![
+                "--scheme".to_string(),
+                path.clone(),
+                "--report".into(),
+                "/tmp/never-written.json".into(),
+            ],
+            // Zero cadence.
+            vec![
+                "--scheme".to_string(),
+                path.clone(),
+                "--churn".into(),
+                "5:3".into(),
+                "--checkpoint".into(),
+                "/tmp/never-written.json".into(),
+                "--checkpoint-every".into(),
+                "0".into(),
+            ],
+            // Input flags conflict with --resume.
+            vec![
+                "--resume".to_string(),
+                "/tmp/whatever.json".into(),
+                "--scheme".into(),
+                path.clone(),
+            ],
+            vec![
+                "--resume".to_string(),
+                "/tmp/whatever.json".into(),
+                "--repair".into(),
+            ],
+        ] {
+            assert!(
+                matches!(run_args(args.clone()), Err(CliError::Usage(_))),
+                "{args:?} should be a usage error"
+            );
+        }
+        // A missing checkpoint file is an I/O error, not a usage error.
+        assert!(matches!(
+            run_args(vec!["--resume".into(), "/nonexistent/bmp/cp.json".into()]),
+            Err(CliError::Io(_))
+        ));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Reading and writing the CLI's JSON artefacts (instances and broadcast schemes).
+//! Reading and writing the CLI's JSON artefacts (instances, broadcast schemes, and
+//! closed-loop run checkpoints).
 
 use crate::error::CliError;
 use bmp_core::scheme::BroadcastScheme;
 use bmp_platform::Instance;
+use bmp_sim::RunCheckpoint;
 use std::fs;
 use std::path::Path;
 
@@ -47,6 +49,30 @@ pub fn read_scheme(path: &str) -> Result<BroadcastScheme, CliError> {
 /// Returns [`CliError::Io`] when the file cannot be written.
 pub fn write_scheme(path: &str, scheme: &BroadcastScheme) -> Result<(), CliError> {
     write_text(path, &serde_json::to_string_pretty(scheme)?)
+}
+
+/// Reads a closed-loop run checkpoint written by [`write_checkpoint`].
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the file cannot be read and [`CliError::Json`] when it
+/// does not contain a valid checkpoint (validation is structural here; the semantic
+/// invariants are enforced when the run is resumed).
+pub fn read_checkpoint(path: &str) -> Result<RunCheckpoint, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read checkpoint file {path}: {e}")))?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// Writes a closed-loop run checkpoint as compact JSON. The encoding is deterministic
+/// (f64 values use shortest-round-trip formatting), so identical run states produce
+/// byte-identical checkpoint files.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the file cannot be written.
+pub fn write_checkpoint(path: &str, checkpoint: &RunCheckpoint) -> Result<(), CliError> {
+    write_text(path, &serde_json::to_string(checkpoint)?)
 }
 
 /// Writes raw text to `path`, creating parent directories when needed.

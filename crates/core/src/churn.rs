@@ -19,8 +19,10 @@
 //!   journaled capacities instead of rescanning the O(n²) rate matrix per probe).
 
 use crate::acyclic_guarded::{AcyclicGuardedSolver, AcyclicSolution};
+use crate::error::CoreError;
+use crate::faults::FaultSite;
 use crate::scheme::{BroadcastScheme, RATE_EPS};
-use crate::solver::EvalCtx;
+use crate::solver::{EvalCtx, Solver};
 use bmp_platform::{Instance, NodeId};
 
 /// Throughput of `scheme` restricted to the surviving nodes: departed nodes neither send nor
@@ -125,6 +127,32 @@ pub fn degradation_tolerance(
     outcome.value
 }
 
+/// Fallible variant of [`degradation_tolerance`] for callers that participate in the
+/// fault-injection plane: the probe is intercepted at [`FaultSite::Probe`] before any
+/// flow evaluation, surfacing an injected timeout as [`CoreError::Timeout`]. Without an
+/// installed fault script this is exactly [`degradation_tolerance`].
+///
+/// # Errors
+///
+/// [`CoreError::Timeout`] when the context's fault script fails this probe.
+///
+/// # Panics
+///
+/// Panics if `node` is out of range for the scheme's instance.
+pub fn try_degradation_tolerance(
+    scheme: &BroadcastScheme,
+    node: NodeId,
+    floor: f64,
+    ctx: &mut EvalCtx,
+) -> Result<f64, CoreError> {
+    if ctx.intercept_fault(FaultSite::Probe).is_some() {
+        return Err(CoreError::Timeout {
+            operation: format!("degradation probe of node {node}"),
+        });
+    }
+    Ok(degradation_tolerance(scheme, node, floor, ctx))
+}
+
 /// Result of repairing an overlay after departures.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RepairOutcome {
@@ -145,33 +173,38 @@ impl RepairOutcome {
     /// replace the frozen one mid-broadcast.
     #[must_use]
     pub fn edges_in_original_ids(&self) -> Vec<(NodeId, NodeId, f64)> {
-        let slots = self.id_map.iter().map(|&(_, new)| new).max().unwrap_or(0) + 1;
-        let mut new_to_old = vec![0; slots];
-        for &(old, new) in &self.id_map {
-            new_to_old[new] = old;
-        }
-        self.solution
-            .scheme
-            .edges()
-            .into_iter()
-            .map(|(from, to, rate)| (new_to_old[from], new_to_old[to], rate))
-            .collect()
+        translate_edges(&self.solution.scheme, &self.id_map)
     }
 }
 
-/// Rebuilds an instance without the departed nodes and re-runs the acyclic solver.
-///
-/// Returns `None` when no receiver survives.
+/// Translates a reduced-instance scheme's edges back to original node ids through an
+/// `(old, new)` id map.
+fn translate_edges(
+    scheme: &BroadcastScheme,
+    id_map: &[(NodeId, NodeId)],
+) -> Vec<(NodeId, NodeId, f64)> {
+    let slots = id_map.iter().map(|&(_, new)| new).max().unwrap_or(0) + 1;
+    let mut new_to_old = vec![0; slots];
+    for &(old, new) in id_map {
+        new_to_old[new] = old;
+    }
+    scheme
+        .edges()
+        .into_iter()
+        .map(|(from, to, rate)| (new_to_old[from], new_to_old[to], rate))
+        .collect()
+}
+
+/// Rebuilds the instance without the departed nodes, returning the reduced instance and
+/// the `(old, new)` id map, or `None` when no receiver survives.
 ///
 /// # Panics
 ///
 /// Panics if the source is listed among the departed nodes.
-#[must_use]
-pub fn repair(
+fn reduce_instance(
     instance: &Instance,
     departed: &[NodeId],
-    solver: &AcyclicGuardedSolver,
-) -> Option<RepairOutcome> {
+) -> Option<(Instance, Vec<(NodeId, NodeId)>)> {
     let mut alive = vec![true; instance.num_nodes()];
     for &node in departed {
         assert_ne!(node, 0, "the source cannot depart");
@@ -207,6 +240,70 @@ pub fn repair(
     for (new_index, &(old_id, _)) in guarded.iter().enumerate() {
         id_map.push((old_id, reduced.n() + new_index + 1));
     }
+    Some((reduced, id_map))
+}
+
+/// A repaired overlay computed by an arbitrary registry solver, already translated back
+/// to the original id space — the solver-agnostic counterpart of [`RepairOutcome`] that
+/// the fallback-solver chain of the adaptive repair pipeline consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairPlan {
+    /// Registry name of the solver that produced the plan.
+    pub algorithm: &'static str,
+    /// Verified throughput of the repaired overlay on the reduced instance.
+    pub throughput: f64,
+    /// The repaired overlay's edges in *original* node ids (see
+    /// [`RepairOutcome::edges_in_original_ids`]).
+    pub edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+/// Rebuilds the instance without the departed nodes and re-solves it through any
+/// [`Solver`] — the fallible, fallback-capable sibling of [`repair`].
+///
+/// Returns `Ok(None)` when no receiver survives (nothing to repair). Solver failures —
+/// real ([`CoreError::GuardedNodesNotSupported`], [`CoreError::Unsupported`],
+/// [`CoreError::VerificationFailed`]) or injected through the context's fault script —
+/// propagate so the caller can retry or walk a fallback chain.
+///
+/// # Errors
+///
+/// Any error of the underlying [`Solver::solve`] call.
+///
+/// # Panics
+///
+/// Panics if the source is listed among the departed nodes.
+pub fn repair_with(
+    instance: &Instance,
+    departed: &[NodeId],
+    solver: &dyn Solver,
+    ctx: &mut EvalCtx,
+) -> Result<Option<RepairPlan>, CoreError> {
+    let Some((reduced, id_map)) = reduce_instance(instance, departed) else {
+        return Ok(None);
+    };
+    let solution = solver.solve(&reduced, ctx)?;
+    let edges = translate_edges(&solution.scheme, &id_map);
+    Ok(Some(RepairPlan {
+        algorithm: solution.algorithm,
+        throughput: solution.throughput,
+        edges,
+    }))
+}
+
+/// Rebuilds an instance without the departed nodes and re-runs the acyclic solver.
+///
+/// Returns `None` when no receiver survives.
+///
+/// # Panics
+///
+/// Panics if the source is listed among the departed nodes.
+#[must_use]
+pub fn repair(
+    instance: &Instance,
+    departed: &[NodeId],
+    solver: &AcyclicGuardedSolver,
+) -> Option<RepairOutcome> {
+    let (reduced, id_map) = reduce_instance(instance, departed)?;
     let solution = solver.solve(&reduced);
     Some(RepairOutcome {
         instance: reduced,
@@ -376,6 +473,73 @@ mod tests {
         let solver = AcyclicGuardedSolver::default();
         let instance = figure1();
         assert!(repair(&instance, &[1, 2, 3, 4, 5], &solver).is_none());
+    }
+
+    #[test]
+    fn repair_with_matches_the_legacy_repair() {
+        use crate::solver::AcyclicGuardedAlgorithm;
+        let instance = figure1();
+        let legacy = repair(&instance, &[3], &AcyclicGuardedSolver::default()).unwrap();
+        let mut ctx = EvalCtx::new();
+        let plan = repair_with(&instance, &[3], &AcyclicGuardedAlgorithm, &mut ctx)
+            .unwrap()
+            .unwrap();
+        assert_eq!(plan.algorithm, "acyclic-guarded");
+        assert!((plan.throughput - legacy.solution.throughput).abs() < 1e-9);
+        assert_eq!(plan.edges, legacy.edges_in_original_ids());
+    }
+
+    #[test]
+    fn repair_with_propagates_injected_solver_faults() {
+        use crate::faults::InjectedFaults;
+        use crate::solver::AcyclicGuardedAlgorithm;
+        let instance = figure1();
+        let mut ctx = EvalCtx::new();
+        ctx.set_injected_faults(Some(InjectedFaults::new(vec![0], vec![], vec![])));
+        let err = repair_with(&instance, &[3], &AcyclicGuardedAlgorithm, &mut ctx).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InjectedFault {
+                site: "solve",
+                occurrence: 0
+            }
+        ));
+        // The script is spent: the next attempt through the same context succeeds.
+        let plan = repair_with(&instance, &[3], &AcyclicGuardedAlgorithm, &mut ctx).unwrap();
+        assert!(plan.is_some());
+    }
+
+    #[test]
+    fn repair_with_after_all_receivers_depart_is_none() {
+        use crate::solver::AcyclicGuardedAlgorithm;
+        let mut ctx = EvalCtx::new();
+        let plan = repair_with(
+            &figure1(),
+            &[1, 2, 3, 4, 5],
+            &AcyclicGuardedAlgorithm,
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn try_degradation_tolerance_matches_and_times_out_on_schedule() {
+        use crate::faults::{FaultSite, InjectedFaults};
+        let solver = AcyclicGuardedSolver::default();
+        let solution = solver.solve(&figure1());
+        let floor = 0.9 * solution.throughput;
+        let mut ctx = EvalCtx::new();
+        let plain = degradation_tolerance(&solution.scheme, 3, floor, &mut ctx);
+        let fallible = try_degradation_tolerance(&solution.scheme, 3, floor, &mut ctx).unwrap();
+        assert_eq!(plain, fallible);
+        ctx.set_injected_faults(Some(
+            InjectedFaults::default().and_fail(FaultSite::Probe, 1),
+        ));
+        assert!(try_degradation_tolerance(&solution.scheme, 3, floor, &mut ctx).is_ok());
+        let err = try_degradation_tolerance(&solution.scheme, 3, floor, &mut ctx).unwrap_err();
+        assert!(matches!(err, CoreError::Timeout { .. }));
+        assert!(err.to_string().contains("node 3"));
     }
 
     #[test]

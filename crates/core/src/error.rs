@@ -42,6 +42,19 @@ pub enum CoreError {
         /// Throughput the scheme actually achieves by max-flow.
         achieved: f64,
     },
+    /// A deliberately injected fault from a fault-injection plan (resilience testing):
+    /// the nth interception of the named site was scheduled to fail.
+    InjectedFault {
+        /// The interception site (`"solve"`, `"verify"`, `"probe"`).
+        site: &'static str,
+        /// Which occurrence of the site fired (0-based).
+        occurrence: u64,
+    },
+    /// An operation exceeded its deadline (real or injected by a fault plan).
+    Timeout {
+        /// Human-readable description of what timed out.
+        operation: String,
+    },
     /// An error bubbled up from the LP cross-check oracle.
     Lp(bmp_lp::LpError),
     /// An error bubbled up from the platform layer.
@@ -74,6 +87,10 @@ impl fmt::Display for CoreError {
                 f,
                 "{algorithm} claimed throughput {claimed} but its scheme only achieves {achieved}"
             ),
+            CoreError::InjectedFault { site, occurrence } => {
+                write!(f, "injected fault at {site} (occurrence {occurrence})")
+            }
+            CoreError::Timeout { operation } => write!(f, "{operation} timed out"),
             CoreError::Lp(e) => write!(f, "LP oracle error: {e}"),
             CoreError::Platform(e) => write!(f, "platform error: {e}"),
         }
@@ -128,6 +145,17 @@ mod tests {
             achieved: 3.5,
         };
         assert!(e.to_string().contains("3.5"));
+        let e = CoreError::InjectedFault {
+            site: "solve",
+            occurrence: 2,
+        };
+        assert!(e.to_string().contains("solve"));
+        assert!(e.to_string().contains('2'));
+        let e = CoreError::Timeout {
+            operation: "degradation probe of node 3".into(),
+        };
+        assert!(e.to_string().contains("timed out"));
+        assert!(e.to_string().contains("node 3"));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod depth;
 pub mod error;
 pub mod exhaustive;
 pub mod export;
+pub mod faults;
 pub mod greedy;
 pub mod homogeneous;
 pub mod lp_check;
@@ -75,6 +76,7 @@ pub use acyclic_open::{acyclic_open_optimal_scheme, acyclic_open_scheme};
 pub use bounds::Bounds;
 pub use cyclic_open::{cyclic_open_optimal_scheme, cyclic_open_scheme};
 pub use error::CoreError;
+pub use faults::{FaultSite, InjectedFaults};
 pub use scheme::BroadcastScheme;
 pub use search::DichotomicSearch;
 pub use solver::{registry, EvalCtx, Solution, Solver, Telemetry};

@@ -66,6 +66,7 @@ use crate::bounds::cyclic_upper_bound;
 use crate::cyclic_open::cyclic_open_optimal_scheme;
 use crate::error::CoreError;
 use crate::exhaustive::optimal_acyclic_exhaustive_traced;
+use crate::faults::{FaultSite, InjectedFaults};
 use crate::omega::{omega1, omega2};
 use crate::scheme::BroadcastScheme;
 use crate::search::DichotomicSearch;
@@ -179,6 +180,9 @@ pub struct EvalCtx {
     scratch_patches: Vec<(usize, f64)>,
     scratch_sinks: Vec<NodeId>,
     tolerance: f64,
+    /// Installed fault-injection script; `None` (production) makes every interception
+    /// a single branch on a `None` discriminant.
+    injected_faults: Option<InjectedFaults>,
     flow_solves: u64,
     bisection_iters: u64,
     arena_builds: u64,
@@ -232,6 +236,7 @@ impl EvalCtx {
             scratch_patches: Vec::new(),
             scratch_sinks: Vec::new(),
             tolerance,
+            injected_faults: None,
             flow_solves: 0,
             bisection_iters: 0,
             arena_builds: 0,
@@ -251,6 +256,30 @@ impl EvalCtx {
     #[must_use]
     pub fn search(&self) -> DichotomicSearch {
         DichotomicSearch::with_tolerance(self.tolerance)
+    }
+
+    /// Installs (or with `None`, removes) a fault-injection script. Interceptions are
+    /// counted from this call; see [`InjectedFaults`].
+    pub fn set_injected_faults(&mut self, faults: Option<InjectedFaults>) {
+        self.injected_faults = faults;
+    }
+
+    /// The installed fault-injection script, if any (its `fired`/`pending` counters
+    /// reflect interceptions so far).
+    #[must_use]
+    pub fn injected_faults(&self) -> Option<&InjectedFaults> {
+        self.injected_faults.as_ref()
+    }
+
+    /// Fault-plane interception: records that `site` was reached and returns the
+    /// occurrence index when the installed script schedules this occurrence to fail.
+    /// Always `None` (one branch, no counting) when no script is installed.
+    #[inline]
+    pub fn intercept_fault(&mut self, site: FaultSite) -> Option<u64> {
+        match self.injected_faults.as_mut() {
+            None => None,
+            Some(faults) => faults.intercept(site),
+        }
     }
 
     /// Records `probes` dichotomic feasibility probes (solvers call this; exposed so
@@ -672,7 +701,8 @@ impl SolveRecorder {
     /// # Errors
     ///
     /// Returns [`CoreError::VerificationFailed`] when the scheme's measured throughput
-    /// falls short of `throughput` beyond the shared verification tolerance.
+    /// falls short of `throughput` beyond the shared verification tolerance, or
+    /// [`CoreError::InjectedFault`] when the context's fault script fails this solve.
     pub fn finish(
         self,
         algorithm: &'static str,
@@ -681,12 +711,19 @@ impl SolveRecorder {
         word: Option<CodingWord>,
         scheme: BroadcastScheme,
     ) -> Result<Solution, CoreError> {
+        if let Some(occurrence) = ctx.intercept_fault(FaultSite::Solve) {
+            return Err(CoreError::InjectedFault {
+                site: FaultSite::Solve.label(),
+                occurrence,
+            });
+        }
         let achieved = ctx.throughput(&scheme);
-        if achieved + VERIFY_TOL * throughput.max(1.0) < throughput {
+        let verify_fault = ctx.intercept_fault(FaultSite::Verify).is_some();
+        if verify_fault || achieved + VERIFY_TOL * throughput.max(1.0) < throughput {
             return Err(CoreError::VerificationFailed {
                 algorithm,
                 claimed: throughput,
-                achieved,
+                achieved: if verify_fault { 0.0 } else { achieved },
             });
         }
         let telemetry = self.telemetry(ctx);

@@ -14,6 +14,7 @@
 //! |---|---|---|
 //! | Churn: residual throughput and repair quality | [`churn_exp`] | `cargo run -p bmp-experiments --bin churn` |
 //! | Churn: repair-vs-static *delivered* goodput (session engine) | [`sim_churn_exp`] | `cargo run -p bmp-experiments --bin sim_churn` |
+//! | Fault storms: survival/recovery of the hardened repair pipeline | [`fault_storm_exp`] | `cargo run -p bmp-experiments --bin fault_storm` |
 //! | Depth/delay of the produced overlays | [`depth_exp`] | `cargo run -p bmp-experiments --bin depth` |
 //! | Chunk-policy ablation of the data plane | [`policy_exp`] | `cargo run -p bmp-experiments --bin policies` |
 //!
@@ -26,6 +27,7 @@
 pub mod churn_exp;
 pub mod csvout;
 pub mod depth_exp;
+pub mod fault_storm_exp;
 pub mod fig19;
 pub mod fig7;
 pub mod paper_figures;

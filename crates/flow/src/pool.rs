@@ -57,7 +57,8 @@ struct EvalShared {
     /// Tickets not yet finished; the submitter waits for zero.
     pending: Mutex<usize>,
     done: Condvar,
-    /// Raised when a worker panicked mid-ticket; the submitter re-panics.
+    /// Raised when a worker panicked mid-ticket; the submitter discards the pooled
+    /// result and recomputes the evaluation sequentially on its own thread.
     poisoned: AtomicBool,
 }
 
@@ -106,6 +107,37 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Outstanding injected worker panics (the `FaultPlan` hook of `bmp-sim`): each armed
+/// panic makes one worker ticket panic at the start of its drain. Zero in production —
+/// the only cost of the disabled hook is one relaxed load per ticket.
+static INJECTED_WORKER_PANICS: AtomicU64 = AtomicU64::new(0);
+
+/// Arms `count` injected worker panics: the next `count` pool tickets picked up by
+/// worker threads panic instead of draining their share. The submitting thread is never
+/// the victim, so every poisoned evaluation still completes (sequentially) — this is
+/// the fault-injection entry point the crash-resilience tests use to prove panic
+/// containment and worker survival.
+pub fn arm_worker_panics(count: u64) {
+    INJECTED_WORKER_PANICS.fetch_add(count, Ordering::SeqCst);
+}
+
+/// Clears any outstanding injected worker panics, returning how many were pending.
+/// Fault-plan teardown calls this so one test's leftover tokens cannot leak into the
+/// next run's evaluations.
+pub fn disarm_worker_panics() -> u64 {
+    INJECTED_WORKER_PANICS.swap(0, Ordering::SeqCst)
+}
+
+/// Consumes one armed panic token, if any are outstanding.
+fn take_injected_panic() -> bool {
+    if INJECTED_WORKER_PANICS.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    INJECTED_WORKER_PANICS
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
 /// Worker main loop: pull tickets until the queue is drained *and* shut down. The
 /// solver workspace lives for the whole thread, so its buffers stay warm across
 /// evaluations — the entire point of keeping the workers persistent.
@@ -126,14 +158,23 @@ fn worker_main(queue: Arc<Queue>) {
         };
         let Ticket { arena, shared } = ticket;
         // A panicking solve must not wedge the submitter (it waits for the pending
-        // count) or kill the worker; contain it, flag it, and let the submitter
-        // re-panic on its own thread.
-        let outcome = catch_unwind(AssertUnwindSafe(|| shared.drain(&mut solver, &arena)));
+        // count) or kill the worker; contain it, flag the evaluation as poisoned, and
+        // let the submitter recompute sequentially. The worker itself stays in its
+        // loop — a panic never shrinks the pool's parallelism.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if take_injected_panic() {
+                panic!("injected flow worker panic");
+            }
+            shared.drain(&mut solver, &arena)
+        }));
         // Release the network before the submitter can wake: once `pending` hits zero,
         // no worker holds an arena reference any more.
         drop(arena);
         if outcome.is_err() {
             shared.poisoned.store(true, Ordering::Release);
+            // The unwound solve may have left the workspace mid-mutation; a fresh
+            // solver restores the buffers' invariants for the next ticket.
+            solver = FlowSolver::new();
         }
         shared.finish_ticket();
     }
@@ -150,6 +191,8 @@ pub struct FlowPool {
     queue: Arc<Queue>,
     max_workers: usize,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Evaluations that hit a worker panic and were recomputed sequentially.
+    panics_contained: AtomicU64,
 }
 
 impl std::fmt::Debug for Queue {
@@ -175,6 +218,7 @@ impl FlowPool {
             }),
             max_workers,
             workers: Mutex::new(Vec::new()),
+            panics_contained: AtomicU64::new(0),
         }
     }
 
@@ -206,6 +250,27 @@ impl FlowPool {
             .len()
     }
 
+    /// Number of worker threads spawned so far that are still running. Workers contain
+    /// panics with `catch_unwind` and never exit before pool shutdown, so this equals
+    /// [`FlowPool::spawned_workers`] even after poisoned evaluations — the assertion
+    /// behind the panic-containment tests.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.workers
+            .lock()
+            .expect("pool worker list poisoned")
+            .iter()
+            .filter(|handle| !handle.is_finished())
+            .count()
+    }
+
+    /// Number of evaluations that hit a worker panic, were discarded, and were
+    /// recomputed sequentially on the submitting thread.
+    #[must_use]
+    pub fn panics_contained(&self) -> u64 {
+        self.panics_contained.load(Ordering::Relaxed)
+    }
+
     /// Lazily grows the worker set to `wanted` threads (capped at the pool maximum).
     fn ensure_workers(&self, wanted: usize) {
         let target = wanted.min(self.max_workers);
@@ -229,10 +294,14 @@ impl FlowPool {
     /// the sequential [`FlowSolver::min_max_flow`]; `threads <= 1` (or a pool with no
     /// workers) simply runs it. Returns `f64::INFINITY` for an empty `sinks`.
     ///
+    /// A worker panic mid-evaluation is contained, not propagated: the poisoned pooled
+    /// result is discarded and the evaluation recomputed sequentially on the submitting
+    /// thread (counted by [`FlowPool::panics_contained`]), so the returned value is
+    /// correct — and the workers survive for the next evaluation.
+    ///
     /// # Panics
     ///
-    /// Panics if `source` or a sink is out of range, or if a pool worker panicked while
-    /// working this evaluation.
+    /// Panics if `source` or a sink is out of range.
     pub fn min_max_flow_with(
         &self,
         solver: &mut FlowSolver,
@@ -303,10 +372,13 @@ impl FlowPool {
                 .expect("pool evaluation state poisoned");
         }
         drop(pending);
-        assert!(
-            !shared.poisoned.load(Ordering::Acquire),
-            "a flow pool worker panicked during this evaluation"
-        );
+        if shared.poisoned.load(Ordering::Acquire) {
+            // A worker panicked mid-drain: its claimed sink may have been abandoned
+            // without lowering the running minimum, so the pooled value cannot be
+            // trusted. Recompute sequentially — same result contract, one thread.
+            self.panics_contained.fetch_add(1, Ordering::Relaxed);
+            return solver.min_max_flow(arena, source, sinks);
+        }
         f64::from_bits(shared.min_bits.load(Ordering::Acquire))
     }
 
@@ -442,6 +514,43 @@ mod tests {
         let b = FlowPool::global() as *const FlowPool;
         assert_eq!(a, b);
         assert_eq!(FlowPool::global().max_workers(), GLOBAL_POOL_CAP);
+    }
+
+    #[test]
+    fn a_panicking_evaluation_is_contained_and_parallelism_survives() {
+        let pool = FlowPool::new(2);
+        // Wide enough that draining the sink order takes far longer than a worker
+        // wake-up: on a small arena an optimized submitter can finish the whole order
+        // and reclaim both helper tickets before either worker dequeues one, and the
+        // armed panic would never fire.
+        let arena = Arc::new(wide_arena(1024));
+        let sinks: Vec<usize> = (1..1024).collect();
+        let expected = FlowSolver::new().min_max_flow(&arena, 0, &sinks);
+        // Warm the pool so both workers exist before the fault is armed.
+        assert_eq!(pool.min_max_flow(&arena, 0, &sinks, 3), expected);
+        assert_eq!(pool.spawned_workers(), 2);
+        // Panic tokens are process-global: a concurrently running test's worker may
+        // consume one (its evaluation falls back sequentially and stays correct), and
+        // ticket pickup races the submitter's own drain, so arm-and-evaluate until a
+        // panic lands on this pool.
+        let mut attempts = 0;
+        while pool.panics_contained() == 0 {
+            attempts += 1;
+            assert!(attempts <= 500, "no injected panic ever reached this pool");
+            arm_worker_panics(1);
+            // Even the poisoned evaluation returns the exact sequential result.
+            assert_eq!(pool.min_max_flow(&arena, 0, &sinks, 3), expected);
+        }
+        disarm_worker_panics();
+        // Containment: no worker died and none was respawned — later evaluations keep
+        // the full fan-out and exact results.
+        assert_eq!(pool.spawned_workers(), 2);
+        assert_eq!(pool.live_workers(), 2);
+        let contained = pool.panics_contained();
+        for _ in 0..10 {
+            assert_eq!(pool.min_max_flow(&arena, 0, &sinks, 3), expected);
+        }
+        assert_eq!(pool.panics_contained(), contained);
     }
 
     #[test]

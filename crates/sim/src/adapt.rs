@@ -1,12 +1,12 @@
 //! The adaptation layer: controllers that re-solve and hot-swap overlays on churn.
 //!
 //! This module closes the loop between the solver stack of `bmp-core` and the data plane
-//! of this crate. A [`Session`] steps the broadcast round by round; [`run_adaptive`]
-//! watches the churn schedule and, whenever the departed set changes, asks an
-//! [`AdaptationPolicy`] what to do. The policy either keeps the current overlay (the
-//! paper's static control plane — [`StaticPolicy`]) or returns a freshly solved overlay
-//! for the surviving platform, which the driver hot-swaps into the running session
-//! without losing already-delivered chunks.
+//! of this crate. A [`Session`] steps the broadcast round by round; [`AdaptiveRun`] (and
+//! its one-shot wrapper [`run_adaptive`]) watches the churn schedule and, whenever the
+//! departed set changes, asks an [`AdaptationPolicy`] what to do. The policy either
+//! keeps the current overlay (the paper's static control plane — [`StaticPolicy`]) or
+//! returns a freshly solved overlay for the surviving platform, which the driver
+//! hot-swaps into the running session without losing already-delivered chunks.
 //!
 //! ```text
 //!      churn event                  AdaptationPolicy::adapt
@@ -20,35 +20,95 @@
 //!   └──────────────┘   possession, credit and RNG survive the swap
 //! ```
 //!
-//! [`RepairController`] is the reference policy. On every membership change it
+//! # The hardened repair pipeline
 //!
-//! 1. probes how sensitive the *currently deployed* overlay is to the newest victim
-//!    ([`bmp_core::churn::degradation_tolerance`] — the *copy-on-probe* exemplar, so the
-//!    bisection rides the scheme's dirty-edge journal:
-//!    [`bmp_core::solver::Telemetry::rescans_skipped`] grows),
+//! [`RepairController`] is the reference policy. On *every* membership change —
+//! departures and rejoins alike, there is no separate restore path — it runs one state
+//! machine:
+//!
+//! ```text
+//!  probe: try_degradation_tolerance(victim)
+//!     │            └─ injected timeout ⇒ recorded (probe_timed_out), pipeline continues
+//!     ▼
+//!  residual of the DEPLOYED overlay over the survivors
+//!     │  ≥ floor ────────────────▶ keep the deployed overlay (no swap; degraded clears)
+//!     │  < floor
+//!     ▼
+//!  re-solve the survivors: walk the solver registry() in order
+//!     │  attempt fails transiently (injected fault, timeout, failed verification)
+//!     │     └─ retry same solver, ≤ RETRIES_PER_SOLVER retries (modelled backoff:
+//!     │        each retry consumes one unit of the cycle's attempt budget)
+//!     │  solver rejects the instance (unsupported) ⇒ next registry solver
+//!     │  REPAIR_ATTEMPT_BUDGET attempts exhausted
+//!     │     └─ DEGRADED: keep stepping the last good overlay; its residual is floor-
+//!     │        tracked in the controller and surfaced as SessionOutcome::degraded_floor
+//!     ▼
+//!  hot-swap the repaired overlay (degraded state clears; the solver that produced the
+//!  plan — primary or fallback — is recorded in the decision log)
+//! ```
+//!
+//! Step by step:
+//!
+//! 1. it probes how sensitive the *currently deployed* overlay is to the newest victim
+//!    ([`bmp_core::churn::try_degradation_tolerance`] — the *copy-on-probe* exemplar, so
+//!    the bisection rides the scheme's dirty-edge journal:
+//!    [`bmp_core::solver::Telemetry::rescans_skipped`] grows); an injected probe timeout
+//!    is recorded and survived, the residual check below stays authoritative,
 //! 2. evaluates the residual throughput of the *currently deployed* overlay (the
 //!    nominal one before any swap, the latest repaired one after) restricted to the
 //!    survivors — an [`EvalCtx::min_max_flow_with`] evaluation on the context's
-//!    per-call explicit arena that can fan out over the persistent flow pool,
+//!    per-call explicit arena that can fan out over the persistent flow pool. A rejoin
+//!    is judged exactly like a departure: the returning node is merged into the
+//!    *deployed* overlay's survivor set, so an overlay that starves it fails this check
+//!    and triggers a fresh re-solve (which, on a full rejoin, reproduces the nominal
+//!    overlay) instead of blindly restoring a remembered one,
 //! 3. and only when the residual misses the configured floor re-solves the surviving
-//!    platform ([`bmp_core::churn::repair`]) and returns the repaired overlay translated
-//!    back to the original node ids
-//!    ([`bmp_core::churn::RepairOutcome::edges_in_original_ids`]).
+//!    platform through the fallible, fallback-capable [`bmp_core::churn::repair_with`]
+//!    entry point, walking [`bmp_core::solver::registry`] with the retry/backoff budget
+//!    shown above.
 //!
 //! The controller owns one long-lived [`EvalCtx`] for all of this, so arenas and flow
 //! workspaces stay warm across churn events; its [`RepairController::set_parallelism`]
-//! forwards to the context for pooled evaluation of large survivor overlays.
+//! forwards to the context for pooled evaluation of large survivor overlays, and
+//! [`RepairController::ctx_mut`] is the installation point for a
+//! [`crate::faults::FaultPlan`] fault script.
+//!
+//! # Checkpoint & restore
+//!
+//! An adaptive run is crash-safe: [`AdaptiveRun::checkpoint`] captures the complete
+//! driver state (the [`SessionSnapshot`] including the raw RNG state, the churn
+//! schedule and event cursor, the swap/recovery timeline, and — when the run is
+//! controller-driven — a [`ControllerSnapshot`] of the repair pipeline) into a
+//! serde-backed [`RunCheckpoint`]. [`AdaptiveRun::resume`] validates and rehydrates the
+//! run; stepping the resumed run produces a [`SimReport`] bit-identical to the
+//! uninterrupted one under the same seed and trace, because every decision input
+//! (overlay rates, instance bandwidths, RNG words) round-trips exactly through the
+//! vendored JSON layer. Two deliberate non-goals: the controller's `EvalCtx` is rebuilt
+//! fresh on resume (its caches are telemetry, never decision inputs), and an installed
+//! fault script does *not* survive the checkpoint — fault plans live in the test
+//! harness, not in the production snapshot.
 
 use crate::engine::SimConfig;
 use crate::events::{ChurnAction, ChurnSchedule};
 use crate::metrics::SimReport;
 use crate::overlay::Overlay;
-use crate::session::Session;
-use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
-use bmp_core::churn::{degradation_tolerance, repair};
+use crate::session::{Session, SessionSnapshot};
+use bmp_core::churn::{repair_with, try_degradation_tolerance, RepairPlan};
 use bmp_core::scheme::BroadcastScheme;
-use bmp_core::solver::EvalCtx;
+use bmp_core::solver::{registry, EvalCtx};
+use bmp_core::CoreError;
 use bmp_platform::{Instance, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Solve attempts one membership change may consume — across retries *and* fallback
+/// solvers — before the controller gives up and degrades.
+pub const REPAIR_ATTEMPT_BUDGET: u32 = 8;
+
+/// Transient-failure retries granted to each solver of the fallback chain before the
+/// controller walks on to the next registry entry. Backoff is modelled, not slept:
+/// simulated time does not advance during a repair, so each retry simply consumes one
+/// unit of [`REPAIR_ATTEMPT_BUDGET`].
+pub const RETRIES_PER_SOLVER: u32 = 2;
 
 /// What a policy hands back when it wants the running overlay replaced.
 #[derive(Debug, Clone)]
@@ -73,6 +133,14 @@ pub trait AdaptationPolicy {
 
     /// Reacts to the current departed set; `Some` means hot-swap the returned overlay.
     fn adapt(&mut self, departed: &[NodeId], time: f64) -> Option<AdaptDecision>;
+
+    /// When the policy is in the graceful-degradation terminal state (it wanted to
+    /// repair but exhausted its budget), the floor-tracked residual throughput of the
+    /// last good overlay it is keeping alive. `None` for policies that never degrade —
+    /// the default.
+    fn degraded_floor(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The paper's baseline: the overlay is computed once and never adapted.
@@ -89,8 +157,9 @@ impl AdaptationPolicy for StaticPolicy {
     }
 }
 
-/// One `adapt` call of a [`RepairController`], for telemetry and CSV output.
-#[derive(Debug, Clone, PartialEq)]
+/// One `adapt` call of a [`RepairController`], for telemetry, CSV output and the
+/// controller checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ControllerDecision {
     /// Simulated time of the membership change.
     pub time: f64,
@@ -98,25 +167,56 @@ pub struct ControllerDecision {
     pub departed: Vec<NodeId>,
     /// Journal-riding degradation tolerance of the newest victim, probed on the overlay
     /// that was deployed at decision time (1.0 when the departed set was empty — a pure
-    /// rejoin).
+    /// rejoin — or when the probe was timed out by an injected fault).
     pub victim_tolerance: f64,
+    /// Whether the victim probe was cut short by an injected timeout
+    /// ([`bmp_core::CoreError::Timeout`]). The pipeline records and survives it: the
+    /// residual check is authoritative.
+    pub probe_timed_out: bool,
     /// Residual throughput of the overlay that was *deployed* at decision time (the
     /// nominal one before any swap, the latest repaired one after), restricted to the
     /// survivors.
     pub residual: f64,
     /// Nominal throughput of the replacement overlay, when one was issued.
     pub repaired: Option<f64>,
+    /// Solve attempts consumed by this decision's repair cycle (0 when the residual met
+    /// the floor and no repair was tried).
+    pub attempts: u32,
+    /// Registry name of the solver that produced the issued plan (`"acyclic-guarded"`
+    /// when the primary succeeded, a fallback's name otherwise).
+    pub solver: Option<String>,
+    /// Whether this decision left the controller in the graceful-degradation state
+    /// (repair wanted, budget exhausted, last good overlay kept).
+    pub degraded: bool,
+}
+
+/// What one budgeted walk of the fallback chain produced.
+struct RepairAttempt {
+    plan: Option<RepairPlan>,
+    attempts: u32,
+    solver: Option<&'static str>,
+    exhausted: bool,
+}
+
+/// Whether a repair error is worth retrying on the same solver (injected faults, probe
+/// timeouts and failed verifications are transient; instance-class rejections are not).
+fn is_transient(error: &CoreError) -> bool {
+    matches!(
+        error,
+        CoreError::InjectedFault { .. }
+            | CoreError::Timeout { .. }
+            | CoreError::VerificationFailed { .. }
+    )
 }
 
 /// The reference adaptation policy: incremental re-solve of the surviving platform (see
-/// the module docs for the probe → residual → repair pipeline).
+/// the module docs for the probe → residual → re-solve → retry/backoff → fallback chain
+/// → degraded floor pipeline).
 #[derive(Debug)]
 pub struct RepairController {
     instance: Instance,
-    scheme: BroadcastScheme,
     nominal: f64,
     floor: f64,
-    solver: AcyclicGuardedSolver,
     ctx: EvalCtx,
     decisions: Vec<ControllerDecision>,
     /// The overlay currently carrying the broadcast, as a scheme over the *original*
@@ -127,15 +227,21 @@ pub struct RepairController {
     /// The departed set of the previous `adapt` call, for identifying the nodes that
     /// changed in this one.
     previous_departed: Vec<NodeId>,
-    /// Whether the deployed overlay is still the nominal one (no repair issued, or the
-    /// last full rejoin restored it). A full rejoin only triggers a swap when this is
-    /// `false` — restoring an overlay that never left would report a phantom repair.
+    /// Whether the deployed overlay is still the nominal one (no repair has replaced
+    /// it, or a rejoin re-solve reproduced its throughput). Diagnostics only.
     nominal_deployed: bool,
+    /// Whether the controller is in the graceful-degradation terminal state: a repair
+    /// was wanted but the attempt budget ran dry, so the session keeps stepping on the
+    /// last good overlay.
+    degraded: bool,
+    /// Floor-tracked residual throughput of the last good overlay while degraded (the
+    /// minimum residual observed across degraded decisions). Cleared on recovery.
+    degraded_floor: Option<f64>,
 }
 
 impl RepairController {
     /// Creates a controller for a session broadcasting `scheme` (nominal throughput
-    /// `nominal`) over `instance`. The controller repairs as soon as the frozen
+    /// `nominal`) over `instance`. The controller repairs as soon as the deployed
     /// overlay's residual throughput drops below `floor_fraction × nominal`.
     ///
     /// # Panics
@@ -155,15 +261,15 @@ impl RepairController {
         assert!(nominal > 0.0, "nominal throughput must be positive");
         RepairController {
             floor: floor_fraction * nominal,
-            deployed: scheme.clone(),
+            deployed: scheme,
             instance,
-            scheme,
             nominal,
-            solver: AcyclicGuardedSolver::default(),
             ctx: EvalCtx::new(),
             decisions: Vec::new(),
             previous_departed: Vec::new(),
             nominal_deployed: true,
+            degraded: false,
+            degraded_floor: None,
         }
     }
 
@@ -195,6 +301,49 @@ impl RepairController {
         }
     }
 
+    /// One budgeted walk of the fallback chain: every [`registry`] solver in order, up
+    /// to [`RETRIES_PER_SOLVER`] transient-failure retries each, at most
+    /// [`REPAIR_ATTEMPT_BUDGET`] solve attempts in total.
+    fn attempt_repair(&mut self, departed: &[NodeId]) -> RepairAttempt {
+        let mut attempts = 0u32;
+        for solver in registry() {
+            let mut tries = 0u32;
+            loop {
+                if attempts >= REPAIR_ATTEMPT_BUDGET {
+                    return RepairAttempt {
+                        plan: None,
+                        attempts,
+                        solver: None,
+                        exhausted: true,
+                    };
+                }
+                attempts += 1;
+                tries += 1;
+                match repair_with(&self.instance, departed, solver.as_ref(), &mut self.ctx) {
+                    Ok(plan) => {
+                        return RepairAttempt {
+                            plan,
+                            attempts,
+                            solver: Some(solver.name()),
+                            exhausted: false,
+                        };
+                    }
+                    Err(error) if is_transient(&error) && tries <= RETRIES_PER_SOLVER => {
+                        // Modelled backoff: the retry consumed one budget unit; walk
+                        // the loop again on the same solver.
+                    }
+                    Err(_) => break, // non-transient, or this solver's retries are spent
+                }
+            }
+        }
+        RepairAttempt {
+            plan: None,
+            attempts,
+            solver: None,
+            exhausted: true,
+        }
+    }
+
     /// Forwards to [`EvalCtx::set_parallelism`]: residual probes of large survivor
     /// overlays fan out over the persistent flow worker pool (`0` = auto heuristic).
     pub fn set_parallelism(&mut self, threads: usize) {
@@ -208,10 +357,111 @@ impl RepairController {
         &self.ctx
     }
 
+    /// Mutable access to the evaluation context — the installation point for a
+    /// [`crate::faults::FaultPlan`] fault script
+    /// ([`FaultPlan::install`](crate::faults::FaultPlan::install)).
+    pub fn ctx_mut(&mut self) -> &mut EvalCtx {
+        &mut self.ctx
+    }
+
     /// Every `adapt` call so far, oldest first.
     #[must_use]
     pub fn decisions(&self) -> &[ControllerDecision] {
         &self.decisions
+    }
+
+    /// Whether the controller is in the graceful-degradation terminal state (see
+    /// [`AdaptationPolicy::degraded_floor`]).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Captures the complete control-plane state into a serializable snapshot. The
+    /// evaluation context is deliberately *not* captured: its caches and counters are
+    /// telemetry, never decision inputs, so a resumed controller with a fresh context
+    /// makes bit-identical decisions. An installed fault script is not captured either
+    /// (fault plans belong to the test harness, not the production snapshot).
+    #[must_use]
+    pub fn checkpoint(&self) -> ControllerSnapshot {
+        ControllerSnapshot {
+            source_bandwidth: self.instance.source_bandwidth(),
+            open_bandwidths: self
+                .instance
+                .open_indices()
+                .map(|i| self.instance.bandwidth(i))
+                .collect(),
+            guarded_bandwidths: self
+                .instance
+                .guarded_indices()
+                .map(|i| self.instance.bandwidth(i))
+                .collect(),
+            deployed_edges: self.deployed.edges(),
+            nominal: self.nominal,
+            floor: self.floor,
+            previous_departed: self.previous_departed.clone(),
+            nominal_deployed: self.nominal_deployed,
+            degraded: self.degraded,
+            degraded_floor: self.degraded_floor,
+            decisions: self.decisions.clone(),
+        }
+    }
+
+    /// Rehydrates a controller from a [`ControllerSnapshot`], validating it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's bandwidths do not form a valid platform instance, its
+    /// floor/nominal are inconsistent, its deployed edges or departed set reference
+    /// nodes outside the instance, or its degradation flags disagree.
+    #[must_use]
+    pub fn resume(snapshot: &ControllerSnapshot) -> Self {
+        assert!(
+            snapshot.nominal > 0.0,
+            "controller snapshot: nominal throughput must be positive"
+        );
+        assert!(
+            snapshot.floor > 0.0 && snapshot.floor <= snapshot.nominal,
+            "controller snapshot: floor must lie in (0, nominal]"
+        );
+        assert_eq!(
+            snapshot.degraded,
+            snapshot.degraded_floor.is_some(),
+            "controller snapshot: degradation flag and floor disagree"
+        );
+        let instance = Instance::new_presorted(
+            snapshot.source_bandwidth,
+            snapshot.open_bandwidths.clone(),
+            snapshot.guarded_bandwidths.clone(),
+        )
+        .expect("controller snapshot holds an invalid platform instance");
+        let n = instance.num_nodes();
+        for &node in &snapshot.previous_departed {
+            assert!(
+                node != 0 && node < n,
+                "controller snapshot departs node {node} outside the {n}-node instance"
+            );
+        }
+        let mut deployed = BroadcastScheme::new(instance.clone());
+        for &(from, to, rate) in &snapshot.deployed_edges {
+            assert!(
+                from < n && to < n,
+                "controller snapshot deploys an edge outside the instance"
+            );
+            deployed.set_rate(from, to, rate);
+        }
+        RepairController {
+            instance,
+            nominal: snapshot.nominal,
+            floor: snapshot.floor,
+            ctx: EvalCtx::new(),
+            decisions: snapshot.decisions.clone(),
+            deployed,
+            previous_departed: snapshot.previous_departed.clone(),
+            nominal_deployed: snapshot.nominal_deployed,
+            degraded: snapshot.degraded,
+            degraded_floor: snapshot.degraded_floor,
+        }
     }
 }
 
@@ -221,82 +471,122 @@ impl AdaptationPolicy for RepairController {
     }
 
     fn adapt(&mut self, departed: &[NodeId], time: f64) -> Option<AdaptDecision> {
-        if departed.is_empty() {
-            // Every earlier departure rejoined: restore the nominal overlay — but only
-            // when a repair actually replaced it; otherwise there is nothing to restore
-            // and a swap would be reported for a repair that never happened.
-            self.previous_departed.clear();
-            let decision = if self.nominal_deployed {
-                None
-            } else {
-                self.deployed = self.scheme.clone();
-                self.nominal_deployed = true;
-                Some(AdaptDecision {
-                    overlay: Overlay::from_scheme(&self.scheme),
-                    repaired_nominal: self.nominal,
-                })
-            };
-            self.decisions.push(ControllerDecision {
-                time,
-                departed: Vec::new(),
-                victim_tolerance: 1.0,
-                residual: self.nominal,
-                repaired: decision.as_ref().map(|d| d.repaired_nominal),
-            });
-            return decision;
-        }
         // 1. Sensitivity probe of the newest victim (the node that departed since the
         //    previous call; an arbitrary departed node when only rejoins happened): a
         //    dichotomic search whose re-evaluations ride the scheme's dirty-edge
-        //    journal (copy-on-probe).
+        //    journal (copy-on-probe). A pure rejoin has no victim to probe, and an
+        //    injected probe timeout is recorded and survived — the residual check
+        //    below stays authoritative either way.
         let victim = departed
             .iter()
             .copied()
             .find(|node| !self.previous_departed.contains(node))
-            .unwrap_or_else(|| *departed.last().expect("checked non-empty"));
+            .or_else(|| departed.last().copied());
         self.previous_departed = departed.to_vec();
-        let victim_tolerance =
-            degradation_tolerance(&self.deployed, victim, self.floor, &mut self.ctx);
+        let (victim_tolerance, probe_timed_out) = match victim {
+            None => (1.0, false),
+            Some(victim) => {
+                match try_degradation_tolerance(&self.deployed, victim, self.floor, &mut self.ctx) {
+                    Ok(tolerance) => (tolerance, false),
+                    Err(_) => (1.0, true),
+                }
+            }
+        };
         // 2. Authoritative check: residual throughput of the overlay the session is
-        //    *currently* running — the nominal one before any swap, the most recently
-        //    repaired one after (per-call explicit arena; pooled at the configured
-        //    parallelism).
+        //    *currently* running, restricted to the survivors. Rejoined nodes are part
+        //    of the survivor set, so an overlay that starves a returning node fails
+        //    this check and is re-solved — the rejoin merges into the deployed state
+        //    instead of blindly restoring a remembered overlay.
         let residual = self.deployed_residual(departed);
-        let decision = if residual + 1e-12 >= self.floor {
-            None // the deployed overlay still meets the floor: no swap needed
+        let (decision, attempts, solver, degraded_now) = if residual + 1e-12 >= self.floor {
+            // The deployed overlay serves everyone present at the floor: no swap, and
+            // any earlier degradation is over.
+            self.degraded = false;
+            self.degraded_floor = None;
+            (None, 0, None, false)
         } else {
-            // 3. Re-solve the surviving platform and translate back to original ids.
-            repair(&self.instance, departed, &self.solver).map(|outcome| {
-                let edges = outcome.edges_in_original_ids();
-                let overlay = Overlay::new(self.instance.num_nodes(), edges.clone());
-                // Rebuild the deployed scheme over the original instance so the next
-                // decision's probes judge what the session is actually running.
-                let mut deployed = BroadcastScheme::new(self.instance.clone());
-                for &(from, to, rate) in &edges {
-                    deployed.set_rate(from, to, rate);
+            // 3. Re-solve the surviving platform through the budgeted fallback chain.
+            let attempt = self.attempt_repair(departed);
+            match attempt.plan {
+                Some(plan) => {
+                    let overlay = Overlay::new(self.instance.num_nodes(), plan.edges.clone());
+                    // Rebuild the deployed scheme over the original instance so the
+                    // next decision's probes judge what the session is actually
+                    // running.
+                    let mut deployed = BroadcastScheme::new(self.instance.clone());
+                    for &(from, to, rate) in &plan.edges {
+                        deployed.set_rate(from, to, rate);
+                    }
+                    self.deployed = deployed;
+                    self.nominal_deployed = false;
+                    self.degraded = false;
+                    self.degraded_floor = None;
+                    (
+                        Some(AdaptDecision {
+                            overlay,
+                            repaired_nominal: plan.throughput,
+                        }),
+                        attempt.attempts,
+                        attempt.solver.map(str::to_string),
+                        false,
+                    )
                 }
-                self.deployed = deployed;
-                self.nominal_deployed = false;
-                AdaptDecision {
-                    overlay,
-                    repaired_nominal: outcome.solution.throughput,
+                None => {
+                    if attempt.exhausted {
+                        // Graceful degradation: keep stepping the last good overlay
+                        // and floor-track how much it still delivers.
+                        self.degraded = true;
+                        self.degraded_floor = Some(match self.degraded_floor {
+                            Some(floor) => floor.min(residual),
+                            None => residual,
+                        });
+                    }
+                    (None, attempt.attempts, None, self.degraded)
                 }
-            })
+            }
         };
         self.decisions.push(ControllerDecision {
             time,
             departed: departed.to_vec(),
             victim_tolerance,
+            probe_timed_out,
             residual,
             repaired: decision.as_ref().map(|d| d.repaired_nominal),
+            attempts,
+            solver,
+            degraded: degraded_now,
         });
         decision
     }
+
+    fn degraded_floor(&self) -> Option<f64> {
+        self.degraded_floor
+    }
+}
+
+/// Serializable control-plane state of a [`RepairController`]: the platform's
+/// bandwidths (enough to rebuild the [`Instance`] exactly — f64 values round-trip
+/// bit-exactly through the vendored JSON layer), the deployed overlay's edges, the
+/// floor and degradation bookkeeping, and the full decision log. Produced by
+/// [`RepairController::checkpoint`], consumed by [`RepairController::resume`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerSnapshot {
+    source_bandwidth: f64,
+    open_bandwidths: Vec<f64>,
+    guarded_bandwidths: Vec<f64>,
+    deployed_edges: Vec<(usize, usize, f64)>,
+    nominal: f64,
+    floor: f64,
+    previous_departed: Vec<usize>,
+    nominal_deployed: bool,
+    degraded: bool,
+    degraded_floor: Option<f64>,
+    decisions: Vec<ControllerDecision>,
 }
 
 /// One membership change as seen by the driver: whether a swap happened and when the
 /// data plane recovered from it.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SwapEvent {
     /// Simulated time at which the membership change took effect.
     pub time: f64,
@@ -327,6 +617,10 @@ pub struct SessionOutcome {
     pub survivors: Vec<NodeId>,
     /// Nominal throughput of the initial overlay (the comparison baseline).
     pub nominal: f64,
+    /// When the policy ended the run in the graceful-degradation state, the
+    /// floor-tracked residual throughput of the last good overlay it kept stepping
+    /// ([`AdaptationPolicy::degraded_floor`]); `None` for a healthy run.
+    pub degraded_floor: Option<f64>,
 }
 
 impl SessionOutcome {
@@ -359,6 +653,228 @@ impl SessionOutcome {
     }
 }
 
+/// A resumable adaptive run: the stepped closed loop of [`run_adaptive`], exposed one
+/// round at a time so a caller can checkpoint between rounds
+/// ([`AdaptiveRun::checkpoint`]), crash, and [`AdaptiveRun::resume`] later with a
+/// bit-identical continuation. The policy is passed to every [`AdaptiveRun::step`]
+/// call rather than owned, so one driver type serves both [`StaticPolicy`] and
+/// [`RepairController`] runs.
+#[derive(Debug)]
+pub struct AdaptiveRun {
+    session: Session,
+    churn: ChurnSchedule,
+    next_event: usize,
+    swaps: Vec<SwapEvent>,
+    awaiting_recovery: Vec<usize>,
+    nominal: f64,
+}
+
+impl AdaptiveRun {
+    /// Starts a run: the session broadcasts over `overlay` under `config`, `churn` is
+    /// applied as rounds pass, and `nominal` is the initial overlay's solved
+    /// throughput (the goodput baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a churn event targets a node outside the overlay.
+    #[must_use]
+    pub fn new(overlay: Overlay, config: SimConfig, churn: ChurnSchedule, nominal: f64) -> Self {
+        let n = overlay.num_nodes();
+        for event in churn.events() {
+            assert!(
+                event.node < n,
+                "churn event targets node {} but the overlay has {n} nodes",
+                event.node
+            );
+        }
+        AdaptiveRun {
+            session: Session::new(overlay, config),
+            churn,
+            next_event: 0,
+            swaps: Vec::new(),
+            awaiting_recovery: Vec::new(),
+            nominal,
+        }
+    }
+
+    /// The underlying stepped session.
+    #[must_use]
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The swap/recovery timeline so far.
+    #[must_use]
+    pub fn swaps(&self) -> &[SwapEvent] {
+        &self.swaps
+    }
+
+    /// Whether the run is over: the broadcast completed or the round budget ran out.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.session.is_complete() || self.session.rounds_run() >= self.session.config().max_rounds
+    }
+
+    /// Advances one round: applies due churn events, consults `policy` on a membership
+    /// change (hot-swapping its replacement overlay), steps the data plane and updates
+    /// the recovery timeline. Returns [`AdaptiveRun::is_finished`] afterwards; stepping
+    /// a finished run is a no-op returning `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns an overlay over a different node id space.
+    pub fn step(&mut self, policy: &mut dyn AdaptationPolicy) -> bool {
+        if self.is_finished() {
+            return true;
+        }
+        let n = self.session.overlay().num_nodes();
+        let time_start = self.session.time();
+        let mut membership_changed = false;
+        while self.next_event < self.churn.events().len()
+            && self.churn.events()[self.next_event].time <= time_start
+        {
+            let event = self.churn.events()[self.next_event];
+            self.session
+                .set_alive(event.node, matches!(event.action, ChurnAction::Rejoin));
+            membership_changed = true;
+            self.next_event += 1;
+        }
+        if membership_changed {
+            let departed: Vec<NodeId> = (1..n).filter(|&v| !self.session.is_alive(v)).collect();
+            let decision = policy.adapt(&departed, time_start);
+            let mut record = SwapEvent {
+                time: time_start,
+                swapped: false,
+                repaired_nominal: None,
+                recovered_at: None,
+            };
+            if let Some(decision) = decision {
+                record.swapped = true;
+                record.repaired_nominal = Some(decision.repaired_nominal);
+                self.session.hot_swap(decision.overlay);
+            }
+            self.swaps.push(record);
+            self.awaiting_recovery.push(self.swaps.len() - 1);
+        }
+        let stats = self.session.step();
+        if stats.all_active_progressed && !self.awaiting_recovery.is_empty() {
+            for &index in &self.awaiting_recovery {
+                self.swaps[index].recovered_at = Some(self.session.time());
+            }
+            self.awaiting_recovery.clear();
+        }
+        self.is_finished()
+    }
+
+    /// Assembles the [`SessionOutcome`] of the run so far (normally called once
+    /// [`AdaptiveRun::is_finished`]); `policy` contributes its degradation state.
+    #[must_use]
+    pub fn outcome(&self, policy: &dyn AdaptationPolicy) -> SessionOutcome {
+        let n = self.session.overlay().num_nodes();
+        SessionOutcome {
+            survivors: (1..n).filter(|&node| self.session.is_alive(node)).collect(),
+            report: self.session.report(),
+            swaps: self.swaps.clone(),
+            nominal: self.nominal,
+            degraded_floor: policy.degraded_floor(),
+        }
+    }
+
+    /// Captures the complete run state — session snapshot (with raw RNG words), churn
+    /// schedule and event cursor, swap/recovery timeline, and the controller's
+    /// [`ControllerSnapshot`] for a [`RepairController`]-driven run (`None` for a
+    /// static run) — into one self-contained, serializable checkpoint.
+    #[must_use]
+    pub fn checkpoint(&self, controller: Option<&RepairController>) -> RunCheckpoint {
+        RunCheckpoint {
+            session: self.session.checkpoint(),
+            churn: self.churn.clone(),
+            next_event: self.next_event,
+            swaps: self.swaps.clone(),
+            awaiting_recovery: self.awaiting_recovery.clone(),
+            nominal: self.nominal,
+            controller: controller.map(RepairController::checkpoint),
+        }
+    }
+
+    /// Rehydrates a run (and its controller, when the checkpoint carries one) from a
+    /// [`RunCheckpoint`], validating every layer. Stepping the resumed run under the
+    /// same policy replays the uninterrupted run bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint is internally inconsistent (cursor past the schedule,
+    /// recovery indices outside the timeline, session/controller validation failures).
+    #[must_use]
+    pub fn resume(checkpoint: RunCheckpoint) -> (Self, Option<RepairController>) {
+        let RunCheckpoint {
+            session,
+            churn,
+            next_event,
+            swaps,
+            awaiting_recovery,
+            nominal,
+            controller,
+        } = checkpoint;
+        let session = Session::resume(session);
+        let n = session.overlay().num_nodes();
+        for event in churn.events() {
+            assert!(
+                event.node < n,
+                "checkpointed churn event targets node {} but the overlay has {n} nodes",
+                event.node
+            );
+        }
+        assert!(
+            next_event <= churn.events().len(),
+            "checkpoint event cursor is past the end of the schedule"
+        );
+        for &index in &awaiting_recovery {
+            assert!(
+                index < swaps.len(),
+                "checkpoint recovery index {index} is outside the swap timeline"
+            );
+        }
+        let controller = controller.as_ref().map(RepairController::resume);
+        (
+            AdaptiveRun {
+                session,
+                churn,
+                next_event,
+                swaps,
+                awaiting_recovery,
+                nominal,
+            },
+            controller,
+        )
+    }
+}
+
+/// A crash-safe checkpoint of an [`AdaptiveRun`]: everything needed to resume the run
+/// — no other flags or files required — serialized through the vendored JSON layer.
+/// The invariant (exercised by the crash-recovery CI smoke): resuming from any
+/// checkpoint of a run yields a final [`SimReport`] bit-identical to the uninterrupted
+/// run under the same seed and trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunCheckpoint {
+    session: SessionSnapshot,
+    churn: ChurnSchedule,
+    next_event: usize,
+    swaps: Vec<SwapEvent>,
+    awaiting_recovery: Vec<usize>,
+    nominal: f64,
+    controller: Option<ControllerSnapshot>,
+}
+
+impl RunCheckpoint {
+    /// Whether the checkpoint carries a [`ControllerSnapshot`] (a repair-driven run)
+    /// rather than describing a static run.
+    #[must_use]
+    pub fn has_controller(&self) -> bool {
+        self.controller.is_some()
+    }
+}
+
 /// Runs a closed-loop session: steps the data plane over `overlay`, applies `churn`, and
 /// lets `policy` hot-swap replacement overlays on every membership change. `nominal` is
 /// the initial overlay's solved throughput (the goodput baseline).
@@ -379,66 +895,16 @@ pub fn run_adaptive(
     policy: &mut dyn AdaptationPolicy,
     nominal: f64,
 ) -> SessionOutcome {
-    let n = overlay.num_nodes();
-    for event in churn.events() {
-        assert!(
-            event.node < n,
-            "churn event targets node {} but the overlay has {n} nodes",
-            event.node
-        );
-    }
-    let mut session = Session::new(overlay, config);
-    let mut next_event = 0usize;
-    let mut swaps: Vec<SwapEvent> = Vec::new();
-    let mut awaiting_recovery: Vec<usize> = Vec::new();
-    for round in 0..config.max_rounds {
-        let time_start = round as f64 * config.round_duration;
-        let mut membership_changed = false;
-        while next_event < churn.events().len() && churn.events()[next_event].time <= time_start {
-            let event = churn.events()[next_event];
-            session.set_alive(event.node, matches!(event.action, ChurnAction::Rejoin));
-            membership_changed = true;
-            next_event += 1;
-        }
-        if membership_changed {
-            let departed: Vec<NodeId> = (1..n).filter(|&v| !session.is_alive(v)).collect();
-            let decision = policy.adapt(&departed, time_start);
-            let mut record = SwapEvent {
-                time: time_start,
-                swapped: false,
-                repaired_nominal: None,
-                recovered_at: None,
-            };
-            if let Some(decision) = decision {
-                record.swapped = true;
-                record.repaired_nominal = Some(decision.repaired_nominal);
-                session.hot_swap(decision.overlay);
-            }
-            swaps.push(record);
-            awaiting_recovery.push(swaps.len() - 1);
-        }
-        let stats = session.step();
-        if stats.all_active_progressed && !awaiting_recovery.is_empty() {
-            for &index in &awaiting_recovery {
-                swaps[index].recovered_at = Some(session.time());
-            }
-            awaiting_recovery.clear();
-        }
-        if session.is_complete() {
-            break;
-        }
-    }
-    SessionOutcome {
-        survivors: (1..n).filter(|&node| session.is_alive(node)).collect(),
-        report: session.report(),
-        swaps,
-        nominal,
-    }
+    let mut run = AdaptiveRun::new(overlay, config, churn.clone(), nominal);
+    while !run.step(policy) {}
+    run.outcome(policy)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::ChurnEvent;
+    use crate::faults::FaultPlan;
     use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
     use bmp_platform::paper::figure1;
 
@@ -470,6 +936,7 @@ mod tests {
         assert!(!outcome.swaps[0].swapped);
         assert!(outcome.goodput_vs_nominal() < 1.0);
         assert_eq!(outcome.survivors, vec![1, 2, 4, 5]);
+        assert_eq!(outcome.degraded_floor, None);
     }
 
     #[test]
@@ -500,6 +967,10 @@ mod tests {
         let decision = &controller.decisions()[0];
         assert_eq!(decision.departed, vec![3]);
         assert!(decision.residual < 0.9 * nominal);
+        // The unfaulted primary succeeds on its first attempt.
+        assert_eq!(decision.attempts, 1);
+        assert_eq!(decision.solver.as_deref(), Some("acyclic-guarded"));
+        assert!(!decision.degraded && !decision.probe_timed_out);
         assert!(controller.ctx().flow_solves() > 0);
         assert!(controller.ctx().bisection_iters() > 0);
         if EvalCtx::new().journal_enabled() {
@@ -514,12 +985,12 @@ mod tests {
         // node C1 departs too. The second decision must judge the *repaired* overlay —
         // which leans on C1 — not the long-replaced nominal one, and repair again.
         let churn = ChurnSchedule::new(vec![
-            crate::events::ChurnEvent {
+            ChurnEvent {
                 time: 4.0,
                 node: 3,
                 action: ChurnAction::Depart,
             },
-            crate::events::ChurnEvent {
+            ChurnEvent {
                 time: 12.0,
                 node: 1,
                 action: ChurnAction::Depart,
@@ -550,12 +1021,12 @@ mod tests {
     fn repair_controller_restores_the_nominal_overlay_on_full_rejoin() {
         let (instance, scheme, nominal, overlay) = solved_figure1();
         let churn = ChurnSchedule::new(vec![
-            crate::events::ChurnEvent {
+            ChurnEvent {
                 time: 4.0,
                 node: 3,
                 action: ChurnAction::Depart,
             },
-            crate::events::ChurnEvent {
+            ChurnEvent {
                 time: 12.0,
                 node: 3,
                 action: ChurnAction::Rejoin,
@@ -564,10 +1035,16 @@ mod tests {
         let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
         let outcome = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
         assert_eq!(outcome.swaps.len(), 2);
-        // The rejoin decision restores the nominal overlay.
+        // The rejoin decision re-solves the full survivor set, reproducing the nominal
+        // throughput — and the residual it judged was the *deployed* (repaired)
+        // overlay's, which starves the returning relay.
         let last = controller.decisions().last().unwrap();
         assert!(last.departed.is_empty());
         assert_eq!(last.repaired, Some(nominal));
+        assert!(
+            last.residual < 0.9 * nominal,
+            "the rejoin must be judged against the deployed overlay, not assumed healthy"
+        );
         assert!(outcome.report.all_completed());
     }
 
@@ -577,12 +1054,12 @@ mod tests {
         // C5 relays almost nothing: the residual stays above a modest floor. Its later
         // rejoin must not trigger a swap either — the nominal overlay never left.
         let churn = ChurnSchedule::new(vec![
-            crate::events::ChurnEvent {
+            ChurnEvent {
                 time: 5.0,
                 node: 5,
                 action: ChurnAction::Depart,
             },
-            crate::events::ChurnEvent {
+            ChurnEvent {
                 time: 10.0,
                 node: 5,
                 action: ChurnAction::Rejoin,
@@ -595,10 +1072,297 @@ mod tests {
         let departure = &controller.decisions()[0];
         assert!(departure.residual >= 0.5 * nominal);
         assert_eq!(departure.repaired, None);
-        // The full rejoin found the nominal overlay still deployed: no phantom repair.
+        assert_eq!(departure.attempts, 0);
+        // The rejoin found the nominal overlay serving everyone: no phantom repair.
         let rejoin = &controller.decisions()[1];
         assert!(rejoin.departed.is_empty());
         assert_eq!(rejoin.repaired, None);
         assert!(outcome.report.all_completed());
+    }
+
+    #[test]
+    fn depart_rejoin_depart_merges_the_returning_relay_into_the_deployed_overlay() {
+        // The ROADMAP item-5 hazard: a rejoin must be handled by merging the returning
+        // node into the *currently deployed* overlay (probe → residual → re-solve),
+        // not by restoring a remembered nominal overlay. The depart→rejoin→depart
+        // trace exercises the full cycle: repair, rejoin-triggered re-solve, and a
+        // second repair judged against what the rejoin actually deployed.
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::new(vec![
+            ChurnEvent {
+                time: 4.0,
+                node: 3,
+                action: ChurnAction::Depart,
+            },
+            ChurnEvent {
+                time: 10.0,
+                node: 3,
+                action: ChurnAction::Rejoin,
+            },
+            ChurnEvent {
+                time: 16.0,
+                node: 3,
+                action: ChurnAction::Depart,
+            },
+        ]);
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        let outcome = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
+        let decisions = controller.decisions();
+        assert_eq!(decisions.len(), 3);
+        // Departure #1: repaired.
+        assert!(decisions[0].repaired.is_some());
+        // Rejoin: judged against the deployed (repaired) overlay, which starves the
+        // returning relay — so the controller re-solved and reproduced nominal.
+        assert!(decisions[1].departed.is_empty());
+        assert!(decisions[1].residual < 0.9 * nominal);
+        assert_eq!(decisions[1].repaired, Some(nominal));
+        // Departure #2: judged against the overlay the rejoin deployed, repaired
+        // again.
+        assert_eq!(decisions[2].departed, vec![3]);
+        assert!(decisions[2].repaired.is_some());
+        assert!(outcome.swaps.iter().all(|s| s.swapped));
+        assert_eq!(outcome.survivors, vec![1, 2, 4, 5]);
+        for &node in &outcome.survivors {
+            assert!(
+                outcome.report.completion_time[node].is_some(),
+                "survivor {node} starved"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_budget_absorbs_transient_solve_faults() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::departures_at(5.0, &[3]);
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        // Two injected solve failures: the primary's first two attempts die, the third
+        // (its last retry) succeeds. No fallback engaged.
+        FaultPlan::disabled()
+            .with_solve_failures(vec![0, 1])
+            .install(controller.ctx_mut());
+        let outcome = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
+        let decision = &controller.decisions()[0];
+        assert!(decision.repaired.is_some());
+        assert_eq!(decision.attempts, 3);
+        assert_eq!(decision.solver.as_deref(), Some("acyclic-guarded"));
+        assert!(!decision.degraded);
+        assert!(!controller.is_degraded());
+        assert_eq!(controller.ctx().injected_faults().unwrap().fired(), 2);
+        assert!(outcome.swaps[0].swapped);
+        for &node in &outcome.survivors {
+            assert!(outcome.report.completion_time[node].is_some());
+        }
+    }
+
+    #[test]
+    fn fallback_chain_engages_when_the_primary_exhausts_its_retries() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::departures_at(5.0, &[3]);
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        // Three injected solve failures kill every try of the primary; the chain walks
+        // on and a fallback solver produces the plan.
+        FaultPlan::disabled()
+            .with_solve_failures(vec![0, 1, 2])
+            .install(controller.ctx_mut());
+        let outcome = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
+        let decision = &controller.decisions()[0];
+        assert!(decision.repaired.is_some());
+        assert!(decision.attempts > 3);
+        let solver = decision.solver.as_deref().unwrap();
+        assert_ne!(solver, "acyclic-guarded", "a fallback must have repaired");
+        assert!(!decision.degraded);
+        assert!(outcome.swaps[0].swapped);
+        for &node in &outcome.survivors {
+            assert!(outcome.report.completion_time[node].is_some());
+        }
+    }
+
+    #[test]
+    fn probe_timeouts_do_not_stall_the_pipeline() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::departures_at(5.0, &[3]);
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        FaultPlan::disabled()
+            .with_probe_timeouts(vec![0])
+            .install(controller.ctx_mut());
+        let outcome = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
+        let decision = &controller.decisions()[0];
+        assert!(decision.probe_timed_out);
+        assert_eq!(decision.victim_tolerance, 1.0);
+        // The residual check stayed authoritative: the repair still happened.
+        assert!(decision.repaired.is_some());
+        assert!(outcome.swaps[0].swapped);
+        assert!(outcome.report.completion_time[1].is_some());
+    }
+
+    #[test]
+    fn exhausted_repair_budget_degrades_to_the_last_good_overlay() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::departures_at(5.0, &[3]);
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        // Enough injected solve failures to exhaust the whole attempt budget across
+        // the entire fallback chain: the controller must degrade, not panic or stall.
+        FaultPlan::disabled()
+            .with_solve_failures((0..2 * REPAIR_ATTEMPT_BUDGET as u64).collect())
+            .install(controller.ctx_mut());
+        let outcome = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
+        let decision = &controller.decisions()[0];
+        assert_eq!(decision.repaired, None);
+        assert_eq!(decision.attempts, REPAIR_ATTEMPT_BUDGET);
+        assert!(decision.degraded);
+        assert!(controller.is_degraded());
+        // The session kept stepping on the last good (nominal) overlay: no swap, the
+        // floor-tracked residual is surfaced, and delivery continued for the nodes the
+        // overlay still reaches.
+        assert!(!outcome.swaps[0].swapped);
+        let floor = outcome.degraded_floor.expect("degraded floor surfaced");
+        assert!((floor - decision.residual).abs() < 1e-12);
+        assert!(outcome.goodput() > 0.0);
+        assert_eq!(outcome.report.rounds_run, config().max_rounds);
+    }
+
+    #[test]
+    fn checkpointed_adaptive_run_resumes_bit_identically() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::new(vec![
+            ChurnEvent {
+                time: 4.0,
+                node: 3,
+                action: ChurnAction::Depart,
+            },
+            ChurnEvent {
+                time: 12.0,
+                node: 3,
+                action: ChurnAction::Rejoin,
+            },
+        ]);
+        let mut reference_ctl =
+            RepairController::new(instance.clone(), scheme.clone(), nominal, 0.9);
+        let mut reference = AdaptiveRun::new(overlay.clone(), config(), churn.clone(), nominal);
+        while !reference.step(&mut reference_ctl) {}
+        let reference_outcome = reference.outcome(&reference_ctl);
+
+        // Interrupted run: checkpoint after 30 rounds (the first repair has happened,
+        // the rejoin has not), serialize through actual JSON text, drop everything,
+        // resume and finish.
+        let mut front_ctl = RepairController::new(instance, scheme, nominal, 0.9);
+        let mut front = AdaptiveRun::new(overlay, config(), churn, nominal);
+        for _ in 0..30 {
+            front.step(&mut front_ctl);
+        }
+        assert_eq!(front.swaps().len(), 1, "the repair predates the checkpoint");
+        let json = serde_json::to_string(&front.checkpoint(Some(&front_ctl))).unwrap();
+        drop(front);
+        drop(front_ctl);
+        let checkpoint: RunCheckpoint = serde_json::from_str(&json).unwrap();
+        assert!(checkpoint.has_controller());
+        let (mut resumed, resumed_ctl) = AdaptiveRun::resume(checkpoint);
+        let mut resumed_ctl = resumed_ctl.expect("controller-driven checkpoint");
+        assert_eq!(resumed.session().rounds_run(), 30);
+        while !resumed.step(&mut resumed_ctl) {}
+        let resumed_outcome = resumed.outcome(&resumed_ctl);
+
+        assert_eq!(resumed_outcome, reference_outcome);
+        assert_eq!(resumed_ctl.decisions(), reference_ctl.decisions());
+    }
+
+    #[test]
+    fn static_checkpoint_roundtrips_without_a_controller() {
+        let (_, _, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::departures_at(5.0, &[3]);
+        let mut reference = AdaptiveRun::new(overlay.clone(), config(), churn.clone(), nominal);
+        let mut policy = StaticPolicy;
+        while !reference.step(&mut policy) {}
+        let reference_outcome = reference.outcome(&policy);
+
+        let mut front = AdaptiveRun::new(overlay, config(), churn, nominal);
+        for _ in 0..50 {
+            front.step(&mut policy);
+        }
+        let checkpoint = front.checkpoint(None);
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        let roundtripped: RunCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(roundtripped, checkpoint);
+        assert!(!roundtripped.has_controller());
+        let (mut resumed, none_ctl) = AdaptiveRun::resume(roundtripped);
+        assert!(none_ctl.is_none());
+        while !resumed.step(&mut policy) {}
+        assert_eq!(resumed.outcome(&policy), reference_outcome);
+    }
+
+    #[test]
+    fn fault_storm_acceptance_repaired_session_survives_where_static_starves() {
+        // The PR's acceptance storm: >= 3 injected solver failures, one injected probe
+        // timeout and one armed flow-worker panic, against an early load-bearing
+        // departure. The repaired session must complete without panicking and deliver
+        // at least half the nominal goodput; the static session delivers under 5%.
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let churn = ChurnSchedule::departures_at(2.0, &[3]);
+        let static_run = run_adaptive(
+            overlay.clone(),
+            config(),
+            &churn,
+            &mut StaticPolicy,
+            nominal,
+        );
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        // Pooled evaluation so the armed worker panic actually lands in a pool worker.
+        controller.set_parallelism(2);
+        let plan = FaultPlan::disabled()
+            .with_solve_failures(vec![0, 1, 2])
+            .with_probe_timeouts(vec![0])
+            .with_worker_panics(1);
+        let contained_before = bmp_flow::FlowPool::global().panics_contained();
+        plan.install(controller.ctx_mut());
+        let repaired = run_adaptive(overlay, config(), &churn, &mut controller, nominal);
+        // Every scheduled solver/probe fault actually fired.
+        assert_eq!(controller.ctx().injected_faults().unwrap().fired(), 4);
+        // The armed worker panic may not have landed during the run: ticket pickup
+        // races the submitting thread, which drains shares too and never panics. Keep
+        // driving pooled residual evaluations until a worker claims the token, then
+        // prove containment — the poisoned evaluation is recomputed sequentially, so
+        // the value stays exact.
+        let mut attempts = 0;
+        while bmp_flow::FlowPool::global().panics_contained() == contained_before {
+            attempts += 1;
+            assert!(attempts <= 200, "the armed worker panic never landed");
+            let pooled = controller.deployed_residual(&[3]);
+            let mut sequential = EvalCtx::new();
+            let expected = sequential.min_max_flow_with(
+                controller.instance.num_nodes(),
+                0,
+                &[1, 2, 4, 5],
+                |edges| {
+                    edges.extend(
+                        controller
+                            .deployed
+                            .edges()
+                            .into_iter()
+                            .filter(|&(from, to, _)| from != 3 && to != 3),
+                    );
+                },
+            );
+            assert_eq!(pooled, expected, "containment must stay bit-identical");
+        }
+        assert_eq!(
+            bmp_flow::disarm_worker_panics(),
+            0,
+            "the landed panic consumed its token"
+        );
+        assert!(!controller.is_degraded());
+        assert!(repaired.swaps[0].swapped);
+        assert!(
+            repaired.goodput_vs_nominal() >= 0.5,
+            "repaired goodput {} of nominal",
+            repaired.goodput_vs_nominal()
+        );
+        assert!(
+            static_run.goodput_vs_nominal() < 0.05,
+            "static goodput {} of nominal",
+            static_run.goodput_vs_nominal()
+        );
+        for &node in &repaired.survivors {
+            assert!(repaired.report.completion_time[node].is_some());
+        }
     }
 }

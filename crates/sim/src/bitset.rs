@@ -46,6 +46,31 @@ impl ChunkBitset {
         self.num_chunks
     }
 
+    /// The raw packed words, low chunk indices first — the checkpoint representation.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set from words captured with [`ChunkBitset::words`]. Tail bits beyond
+    /// `num_chunks` are cleared, so a tampered serialized form cannot violate the
+    /// phantom-chunk invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` has the wrong length for `num_chunks`.
+    #[must_use]
+    pub fn from_words(num_chunks: usize, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            num_chunks.div_ceil(64),
+            "word count does not match the chunk capacity"
+        );
+        let mut set = ChunkBitset { num_chunks, words };
+        set.mask_tail();
+        set
+    }
+
     /// Whether `chunk` is in the set.
     ///
     /// # Panics

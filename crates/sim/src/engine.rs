@@ -17,9 +17,10 @@ use crate::overlay::Overlay;
 use crate::policy::ChunkPolicy;
 use crate::session::Session;
 use crate::trace::{ProgressTrace, TraceSample};
+use serde::{Deserialize, Serialize};
 
 /// How the source obtains the data it broadcasts.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SourceMode {
     /// The source holds the whole message from the start (file broadcast).
     File,
@@ -32,7 +33,7 @@ pub enum SourceMode {
 }
 
 /// Configuration of a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Number of chunks composing the message.
     pub num_chunks: usize,

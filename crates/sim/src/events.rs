@@ -9,9 +9,10 @@
 //! recomputation is.
 
 use bmp_platform::NodeId;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// What happens to a node at a scheduled time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ChurnAction {
     /// The node leaves: it stops sending and receiving.
     Depart,
@@ -20,7 +21,7 @@ pub enum ChurnAction {
 }
 
 /// One scheduled churn event.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChurnEvent {
     /// Simulated time at which the event takes effect (applied at the first round whose start
     /// time is `≥ time`).
@@ -117,6 +118,36 @@ impl ChurnSchedule {
     pub fn surviving_receivers(&self, num_nodes: usize) -> Vec<NodeId> {
         let departed = self.final_departed(num_nodes);
         (1..num_nodes).filter(|&v| !departed[v]).collect()
+    }
+}
+
+impl Serialize for ChurnSchedule {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("events".to_string(), self.events.to_value())])
+    }
+}
+
+/// Validated deserialization: the same invariants [`ChurnSchedule::new`] enforces by
+/// panicking (no source churn, finite non-negative times) surface as errors here, so a
+/// corrupted or hand-edited checkpoint is rejected instead of aborting the process.
+impl Deserialize for ChurnSchedule {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "ChurnSchedule"))?;
+        let events =
+            Vec::<ChurnEvent>::from_value(serde::field(fields, "events", "ChurnSchedule")?)?;
+        for event in &events {
+            if event.node == 0 {
+                return Err(DeError::custom("churn schedule targets the source"));
+            }
+            if !(event.time.is_finite() && event.time >= 0.0) {
+                return Err(DeError::custom(
+                    "churn event times must be non-negative and finite",
+                ));
+            }
+        }
+        Ok(ChurnSchedule::new(events))
     }
 }
 

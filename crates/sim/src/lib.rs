@@ -39,11 +39,19 @@
 //!   [`adapt::SessionOutcome`], so static-vs-repaired runs compare on *delivered*
 //!   throughput under the same seed and churn trace.
 //!
+//! The robustness plane rounds this out: [`faults::FaultPlan`] scripts deterministic
+//! fault storms (injected solver failures, forced verification failures, probe
+//! timeouts, flow-worker panics, seeded churn storms) into a controller's evaluation
+//! context, and [`adapt::AdaptiveRun`] makes the closed loop crash-safe — its
+//! [`adapt::RunCheckpoint`] captures session, schedule and controller state so a
+//! resumed run replays bit-identically.
+//!
 //! Module map: [`overlay`] (static weighted digraphs extracted from a
 //! [`bmp_core::scheme::BroadcastScheme`]), [`bitset`] (packed possession sets),
 //! [`session`] (stepped data plane), [`engine`] (one-shot wrapper), [`adapt`] (control
-//! loop), [`policy`] (chunk selection), [`events`] (churn schedules), [`trace`]
-//! (progress time series), [`metrics`] (delivery reports).
+//! loop, checkpoint/resume), [`faults`] (deterministic fault injection), [`policy`]
+//! (chunk selection), [`events`] (churn schedules), [`trace`] (progress time series),
+//! [`metrics`] (delivery reports).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +60,7 @@ pub mod adapt;
 pub mod bitset;
 pub mod engine;
 pub mod events;
+pub mod faults;
 pub mod metrics;
 pub mod overlay;
 pub mod policy;
@@ -59,14 +68,15 @@ pub mod session;
 pub mod trace;
 
 pub use adapt::{
-    run_adaptive, AdaptDecision, AdaptationPolicy, RepairController, SessionOutcome, StaticPolicy,
-    SwapEvent,
+    run_adaptive, AdaptDecision, AdaptationPolicy, AdaptiveRun, ControllerDecision,
+    ControllerSnapshot, RepairController, RunCheckpoint, SessionOutcome, StaticPolicy, SwapEvent,
 };
 pub use bitset::ChunkBitset;
 pub use engine::{SimConfig, Simulator, SourceMode};
 pub use events::{ChurnAction, ChurnEvent, ChurnSchedule};
+pub use faults::{merge_schedules, FaultPlan, DEFAULT_STORM_SEED, FAULT_PLAN_ENV};
 pub use metrics::SimReport;
 pub use overlay::Overlay;
 pub use policy::ChunkPolicy;
-pub use session::{RoundStats, Session};
+pub use session::{RoundStats, Session, SessionSnapshot};
 pub use trace::{ProgressTrace, TraceSample};

@@ -1,7 +1,9 @@
 //! Simulation results: per-node completion times and achieved rates.
 
+use serde::{Deserialize, Serialize};
+
 /// Outcome of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Number of chunks of the message.
     pub num_chunks: usize,

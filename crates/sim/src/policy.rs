@@ -16,9 +16,10 @@
 use crate::bitset::ChunkBitset;
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Which useful chunk a sender pushes over an edge when several are missing at the receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ChunkPolicy {
     /// A uniformly random useful chunk (the policy analysed by Massoulié et al.).
     #[default]

@@ -23,6 +23,7 @@ use crate::overlay::Overlay;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// What one simulated round delivered (the controller's per-round observability).
@@ -35,6 +36,36 @@ pub struct RoundStats {
     /// post-churn recovery metric is built on this: a repaired overlay has recovered once
     /// nobody is starved any more.
     pub all_active_progressed: bool,
+}
+
+/// Serializable image of a running [`Session`]: every field of the data plane including
+/// the raw RNG state, so [`Session::resume`] continues the *exact* random stream. The
+/// crash-recovery invariant rests on this: checkpoint, kill the process, resume, and the
+/// finished broadcast's [`SimReport`] is bit-identical to the uninterrupted run.
+///
+/// Produced by [`Session::checkpoint`]; serialize with `serde_json` (all fields are
+/// finite numbers, booleans or nested vectors).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    num_nodes: usize,
+    /// Overlay edges as `(from, to, rate)` triples.
+    edges: Vec<(usize, usize, f64)>,
+    config: SimConfig,
+    /// The four xoshiro256** state words of the session RNG.
+    rng_state: Vec<u64>,
+    /// Word-packed possession set per node (see [`ChunkBitset::words`]).
+    has: Vec<Vec<u64>>,
+    count: Vec<usize>,
+    completion: Vec<Option<f64>>,
+    replication: Vec<usize>,
+    alive: Vec<bool>,
+    credit: Vec<f64>,
+    edge_order: Vec<usize>,
+    source_available: usize,
+    source_progress: f64,
+    rounds_run: usize,
+    swaps: usize,
+    prev_count: Vec<usize>,
 }
 
 /// A running broadcast session: the data plane of one simulated swarm.
@@ -311,6 +342,126 @@ impl Session {
         }
     }
 
+    /// Captures the complete data-plane state (including the raw RNG state) as a
+    /// serializable snapshot. [`Session::resume`] rebuilds an indistinguishable session:
+    /// stepping the original and the resumed copy produces bit-identical reports.
+    #[must_use]
+    pub fn checkpoint(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            num_nodes: self.overlay.num_nodes(),
+            edges: self
+                .overlay
+                .edges()
+                .iter()
+                .map(|e| (e.from, e.to, e.rate))
+                .collect(),
+            config: self.config,
+            rng_state: self.rng.state().to_vec(),
+            has: self.has.iter().map(|set| set.words().to_vec()).collect(),
+            count: self.count.clone(),
+            completion: self.completion.clone(),
+            replication: self.replication.clone(),
+            alive: self.alive.clone(),
+            credit: self.credit.clone(),
+            edge_order: self.edge_order.clone(),
+            source_available: self.source_available,
+            source_progress: self.source_progress,
+            rounds_run: self.rounds_run,
+            swaps: self.swaps,
+            prev_count: self.prev_count.clone(),
+        }
+    }
+
+    /// Rebuilds a session from a [`Session::checkpoint`] snapshot. The RNG continues the
+    /// exact stream the checkpointed session would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is internally inconsistent (mismatched vector lengths, a
+    /// malformed edge order, a degenerate configuration, or invalid overlay edges) — the
+    /// shapes a corrupted or hand-edited checkpoint file produces.
+    #[must_use]
+    pub fn resume(snapshot: SessionSnapshot) -> Self {
+        let SessionSnapshot {
+            num_nodes,
+            edges,
+            config,
+            rng_state,
+            has,
+            count,
+            completion,
+            replication,
+            alive,
+            credit,
+            edge_order,
+            source_available,
+            source_progress,
+            rounds_run,
+            swaps,
+            prev_count,
+        } = snapshot;
+        // `Session::new` re-checks the configuration; the overlay constructor re-checks
+        // the edges. Everything else is validated here before the fields are adopted.
+        let fresh = Session::new(Overlay::new(num_nodes, edges), config);
+        let n = fresh.overlay.num_nodes();
+        let num_edges = fresh.overlay.edges().len();
+        assert_eq!(rng_state.len(), 4, "snapshot RNG state must hold 4 words");
+        for (label, len) in [
+            ("has", has.len()),
+            ("count", count.len()),
+            ("completion", completion.len()),
+            ("alive", alive.len()),
+            ("prev_count", prev_count.len()),
+        ] {
+            assert_eq!(len, n, "snapshot field `{label}` does not cover every node");
+        }
+        assert_eq!(
+            replication.len(),
+            config.num_chunks,
+            "snapshot replication does not cover every chunk"
+        );
+        assert_eq!(
+            credit.len(),
+            num_edges,
+            "snapshot credit does not cover every edge"
+        );
+        let mut order_check: Vec<usize> = edge_order.clone();
+        order_check.sort_unstable();
+        assert!(
+            order_check.into_iter().eq(0..num_edges),
+            "snapshot edge order is not a permutation of the edges"
+        );
+        assert!(alive[0], "the source cannot be departed");
+        let has: Vec<ChunkBitset> = has
+            .into_iter()
+            .map(|words| ChunkBitset::from_words(config.num_chunks, words))
+            .collect();
+        for (node, set) in has.iter().enumerate() {
+            assert_eq!(
+                set.count(),
+                count[node],
+                "snapshot chunk count of node {node} disagrees with its possession set"
+            );
+        }
+        Session {
+            rng: StdRng::from_state([rng_state[0], rng_state[1], rng_state[2], rng_state[3]]),
+            has,
+            count,
+            completion,
+            replication,
+            alive,
+            credit,
+            edge_order,
+            source_available,
+            source_progress,
+            rounds_run,
+            swaps,
+            prev_count,
+            overlay: fresh.overlay,
+            config,
+        }
+    }
+
     /// The per-node delivery report of the session so far.
     #[must_use]
     pub fn report(&self) -> SimReport {
@@ -428,6 +579,147 @@ mod tests {
         session.hot_swap(Overlay::new(3, vec![(0, 2, 2.0)]));
         let recovered = (0..5).any(|_| session.step().all_active_progressed);
         assert!(recovered);
+    }
+
+    #[test]
+    fn hot_swap_banks_credit_for_overlapping_edges_only() {
+        // Rates below one chunk per round, so credit builds up fractionally.
+        let mut session = Session::new(Overlay::new(3, vec![(0, 1, 1.9), (1, 2, 1.7)]), config());
+        session.step();
+        let credit_01 = session.credit[0];
+        let credit_12 = session.credit[1];
+        assert!(credit_01 > 0.0 && credit_12 > 0.0);
+        // Overlapping swap: (0, 1) survives (reordered, new rate), (1, 2) is dropped,
+        // (0, 2) is new.
+        session.hot_swap(Overlay::new(3, vec![(0, 2, 1.0), (0, 1, 2.5)]));
+        assert_eq!(session.credit, vec![0.0, credit_01]);
+        // Swapping back does not resurrect the dropped edge's credit.
+        session.hot_swap(Overlay::new(3, vec![(0, 1, 1.9), (1, 2, 1.7)]));
+        assert_eq!(session.credit, vec![credit_01, 0.0]);
+        let _ = credit_12;
+    }
+
+    #[test]
+    fn repeated_swaps_between_two_steps_compose() {
+        let mut session = Session::new(Overlay::new(3, vec![(0, 1, 1.9), (1, 2, 1.7)]), config());
+        session.step();
+        let credit_01 = session.credit[0];
+        let report_before = session.report();
+        // Three swaps back-to-back without stepping: A -> B -> A. The (0, 1) credit
+        // survives every hop; the (1, 2) credit dies at the first overlay that lacks
+        // the edge and stays dead.
+        session.hot_swap(Overlay::new(3, vec![(0, 1, 2.5)]));
+        session.hot_swap(Overlay::new(3, vec![(0, 1, 0.1), (0, 2, 3.0)]));
+        session.hot_swap(Overlay::new(3, vec![(0, 1, 1.9), (1, 2, 1.7)]));
+        assert_eq!(session.swaps(), 3);
+        assert_eq!(session.credit, vec![credit_01, 0.0]);
+        // Swaps alone never touch possession state or completion.
+        assert_eq!(session.report(), report_before);
+    }
+
+    #[test]
+    fn swap_to_an_empty_overlay_parks_the_broadcast() {
+        let mut session = Session::new(line_overlay(), config());
+        for _ in 0..10 {
+            session.step();
+        }
+        let counts_before = session.counts().to_vec();
+        session.hot_swap(Overlay::new(3, Vec::new()));
+        assert!(session.credit.is_empty());
+        // Stepping an edgeless overlay delivers nothing but keeps time advancing.
+        for _ in 0..5 {
+            let stats = session.step();
+            assert_eq!(stats.delivered, 0);
+            assert!(!stats.all_active_progressed);
+        }
+        assert_eq!(session.counts(), counts_before.as_slice());
+        // Swapping a real overlay back in revives the broadcast (fresh credit).
+        session.hot_swap(Overlay::new(3, vec![(0, 1, 2.0), (0, 2, 2.0)]));
+        assert_eq!(session.credit, vec![0.0, 0.0]);
+        for _ in 0..2_000 {
+            session.step();
+            if session.is_complete() {
+                break;
+            }
+        }
+        assert!(session.report().all_completed());
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_identically() {
+        // Jitter keeps the RNG stream hot so the raw-state restore is load-bearing.
+        let config = SimConfig {
+            jitter: 0.2,
+            ..config()
+        };
+        let overlay = || Overlay::new(3, vec![(0, 1, 2.0), (1, 2, 2.0)]);
+        let mut uninterrupted = Session::new(overlay(), config);
+        let mut front = Session::new(overlay(), config);
+        for _ in 0..37 {
+            uninterrupted.step();
+            front.step();
+        }
+        // Serialize through actual JSON text — the exact crash-recovery path.
+        let json = serde_json::to_string(&front.checkpoint()).unwrap();
+        drop(front);
+        let snapshot: SessionSnapshot = serde_json::from_str(&json).unwrap();
+        let mut resumed = Session::resume(snapshot);
+        assert_eq!(resumed.rounds_run(), 37);
+        loop {
+            let a = uninterrupted.step();
+            let b = resumed.step();
+            assert_eq!(a, b);
+            assert_eq!(uninterrupted.counts(), resumed.counts());
+            if uninterrupted.is_complete() && resumed.is_complete() {
+                break;
+            }
+            assert!(uninterrupted.rounds_run() < 10_000, "no completion");
+        }
+        assert_eq!(uninterrupted.report(), resumed.report());
+    }
+
+    #[test]
+    fn checkpoint_survives_a_hot_swap_and_churn() {
+        let mut session = Session::new(line_overlay(), config());
+        session.set_alive(1, false);
+        for _ in 0..10 {
+            session.step();
+        }
+        session.hot_swap(Overlay::new(3, vec![(0, 2, 2.0)]));
+        let snapshot = session.checkpoint();
+        let mut resumed = Session::resume(snapshot.clone());
+        assert_eq!(resumed.checkpoint(), snapshot);
+        assert!(!resumed.is_alive(1));
+        assert_eq!(resumed.swaps(), 1);
+        for _ in 0..2_000 {
+            session.step();
+            resumed.step();
+            if session.is_complete() {
+                break;
+            }
+        }
+        assert_eq!(session.report(), resumed.report());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with its possession set")]
+    fn resume_rejects_a_tampered_snapshot() {
+        let mut session = Session::new(line_overlay(), config());
+        for _ in 0..5 {
+            session.step();
+        }
+        let mut snapshot = session.checkpoint();
+        snapshot.count[2] += 1;
+        let _ = Session::resume(snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn resume_rejects_a_malformed_edge_order() {
+        let session = Session::new(line_overlay(), config());
+        let mut snapshot = session.checkpoint();
+        snapshot.edge_order = vec![0, 0];
+        let _ = Session::resume(snapshot);
     }
 
     #[test]
