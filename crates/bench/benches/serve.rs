@@ -1,0 +1,86 @@
+//! Fleet-layer benchmarks (`bmp-serve`): the cost of hosting many sessions in one
+//! process.
+//!
+//! Two pinned ids (gated by `validate_bench`):
+//!
+//! * `serve/fleet-step/256` — a 256-session fleet on 4 shards, tiny per-session
+//!   platforms, stepped to completion. Sharding is where the fleet's sublinear
+//!   wall-clock vs serial stepping comes from; this id watches the whole path
+//!   (coordinator, admission, shard round-robin, ordered merge).
+//! * `serve/admission/1k` — 1000 admission decisions under a combined session-cap +
+//!   capacity + queue policy, no sessions run: the pure control-plane cost.
+
+use bmp_serve::{run_fleet, AdmissionPolicy, ChurnConfig, FleetConfig};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+fn fleet_config(sessions: usize, shards: usize) -> FleetConfig {
+    FleetConfig {
+        sessions,
+        shards,
+        receivers: 3,
+        chunks: 12,
+        seed: 0xF1EE7,
+        floor: 0.9,
+        flow_threads: 1,
+        repair_algorithm: None,
+        admission: AdmissionPolicy::default(),
+        churn: ChurnConfig {
+            start: 2.0,
+            spacing: 2.0,
+            waves: 1,
+        },
+        fault_plan: None,
+    }
+}
+
+fn bench_fleet_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    let sessions = 256usize;
+    let config = fleet_config(sessions, 4);
+    group.bench_with_input(
+        BenchmarkId::new("fleet-step", sessions),
+        &config,
+        |b, config| {
+            b.iter(|| {
+                let report = run_fleet(config);
+                assert_eq!(report.sessions.len(), sessions);
+                report.metrics.total_swaps
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    // Deterministic synthetic loads spanning the policy's interesting range.
+    let loads: Vec<f64> = (0..1000).map(|i| 50.0 + ((i * 37) % 450) as f64).collect();
+    let policy = AdmissionPolicy {
+        max_sessions: Some(64),
+        capacity: Some(16_000.0),
+        queue: true,
+    };
+    group.bench_with_input(
+        BenchmarkId::new("admission", "1k"),
+        &(policy, loads),
+        |b, (policy, loads)| {
+            b.iter(|| {
+                let decisions = policy.decide(loads);
+                assert_eq!(decisions.len(), 1000);
+                decisions.len()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_step, bench_admission);
+
+fn main() {
+    benches();
+    if let Some(path) = bmp_bench::write_bench_json("serve", &criterion::take_reports()) {
+        println!("wrote {}", path.display());
+    }
+    criterion::Criterion::default().final_summary();
+}

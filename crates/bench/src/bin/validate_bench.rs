@@ -1,6 +1,7 @@
 //! Validates the machine-readable benchmark reports at the repo root:
-//! `BENCH_dichotomic.json`, `BENCH_throughput.json` and `BENCH_sim.json` must parse and
-//! contain the benchmark ids the perf acceptance criteria pin. CI runs this right after
+//! `BENCH_dichotomic.json`, `BENCH_throughput.json`, `BENCH_sim.json` and
+//! `BENCH_serve.json` must parse and contain the benchmark ids the perf acceptance
+//! criteria pin. CI runs this right after
 //! the bench smoke runs, so a bench refactor that silently drops a tracked id fails the
 //! build.
 //!
@@ -13,7 +14,7 @@
 
 use bmp_bench::{
     perf_gate, repo_root, validate_bench_json, DICHOTOMIC_REQUIRED_IDS, REGRESSION_TOLERANCE,
-    SIM_REQUIRED_IDS, THROUGHPUT_REQUIRED_IDS,
+    SERVE_REQUIRED_IDS, SIM_REQUIRED_IDS, THROUGHPUT_REQUIRED_IDS,
 };
 use std::path::PathBuf;
 
@@ -41,6 +42,7 @@ fn main() {
         ("dichotomic", &DICHOTOMIC_REQUIRED_IDS[..]),
         ("throughput", &THROUGHPUT_REQUIRED_IDS[..]),
         ("sim", &SIM_REQUIRED_IDS[..]),
+        ("serve", &SERVE_REQUIRED_IDS[..]),
     ];
     let mut failed = false;
     for (benchmark, expected) in checks {

@@ -296,6 +296,10 @@ pub const SIM_REQUIRED_IDS: [&str; 3] = [
     "fault_storm/repair-cycle/50",
 ];
 
+/// The benchmark ids the `serve` report must contain (the sharded fleet runner end to
+/// end, and the pure admission-control decision path).
+pub const SERVE_REQUIRED_IDS: [&str; 2] = ["serve/fleet-step/256", "serve/admission/1k"];
+
 #[cfg(test)]
 mod tests {
     use super::*;

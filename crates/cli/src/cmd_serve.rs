@@ -1,0 +1,295 @@
+//! `serve` — run a sharded multi-session broadcast fleet ([`bmp_serve`]).
+//!
+//! One process hosts N concurrent broadcast sessions behind admission control:
+//!
+//! ```text
+//! bmp serve --sessions 64 --shards 4 --churn 4:3:2 --fault-plan storm \
+//!           --max-sessions 48 --queue --report fleet.json --csv fleet.csv
+//! ```
+//!
+//! The run is deterministic for a fixed seed regardless of `--shards` (per-session
+//! RNG streams, ordered metric merge) — the report written for `--shards 1` and
+//! `--shards 4` is byte-identical.
+
+use crate::args::{ArgList, FlagSpec};
+use crate::error::CliError;
+use bmp_serve::{
+    run_fleet, AdmissionPolicy, AdmissionVerdict, ChurnConfig, FleetConfig, FleetReport,
+};
+use bmp_sim::FaultPlan;
+use std::io::Write;
+
+/// Flags accepted by `serve`.
+pub const FLAGS: FlagSpec = FlagSpec {
+    command: "serve",
+    flags: &[
+        "--sessions",
+        "--shards",
+        "--receivers",
+        "--chunks",
+        "--seed",
+        "--floor",
+        "--threads",
+        "--max-sessions",
+        "--capacity",
+        "--queue",
+        "--repair-algorithm",
+        "--churn",
+        "--fault-plan",
+        "--report",
+        "--csv",
+    ],
+};
+
+/// Parses a `START:SPACING:WAVES` churn feed specification.
+fn parse_churn(raw: &str) -> Result<ChurnConfig, CliError> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    if parts.len() != 3 {
+        return Err(CliError::Usage(format!(
+            "churn spec {raw:?} must be START:SPACING:WAVES (e.g. \"4:3:2\")"
+        )));
+    }
+    let start: f64 = parts[0]
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid churn start {:?}", parts[0])))?;
+    let spacing: f64 = parts[1]
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid churn spacing {:?}", parts[1])))?;
+    let waves: usize = parts[2]
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid churn wave count {:?}", parts[2])))?;
+    if !start.is_finite() || start < 0.0 || spacing <= 0.0 || !spacing.is_finite() {
+        return Err(CliError::Usage(format!(
+            "churn spec {raw:?}: start must be non-negative and spacing positive"
+        )));
+    }
+    Ok(ChurnConfig {
+        start,
+        spacing,
+        waves,
+    })
+}
+
+/// Runs the `serve` subcommand.
+///
+/// Flags: `--sessions N` (default 8), `--shards K` (default 1), `--receivers R`
+/// (default 4), `--chunks C` (default 60), `--seed S`, `--floor F` (default 0.9),
+/// `--threads T` (flow fan-out per controller), `--max-sessions N` / `--capacity L` /
+/// `--queue` (admission policy), `--repair-algorithm NAME`, `--churn
+/// START:SPACING:WAVES` (default `4:3:2`), `--fault-plan SPEC` (`storm`,
+/// `storm:SEED`, `off`; unset reads `BMP_FAULT_PLAN`), `--report FILE` (fleet report
+/// JSON), `--csv FILE` (per-session rows).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed flags or unwritable output paths.
+pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    args.reject_unknown_flags(&FLAGS)?;
+    let sessions: usize = args.get_parsed("--sessions", 8)?;
+    let shards: usize = args.get_parsed("--shards", 1)?;
+    if sessions == 0 || shards == 0 {
+        return Err(CliError::Usage(
+            "--sessions and --shards must both be at least 1".into(),
+        ));
+    }
+    let floor: f64 = args.get_parsed("--floor", 0.9)?;
+    if !(floor > 0.0 && floor <= 1.0) {
+        return Err(CliError::Usage(format!(
+            "--floor {floor} must lie in (0, 1]"
+        )));
+    }
+    let repair_algorithm = args.get("--repair-algorithm");
+    if let Some(name) = repair_algorithm {
+        if bmp_core::solver::find(name).is_none() {
+            let names: Vec<&str> = bmp_core::solver::registry()
+                .iter()
+                .map(|solver| solver.name())
+                .collect();
+            return Err(CliError::Usage(format!(
+                "unknown repair algorithm {name:?} (expected one of {})",
+                names.join(", ")
+            )));
+        }
+    }
+    let capacity = args
+        .get("--capacity")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .map_err(|_| CliError::Usage(format!("invalid capacity {raw:?}")))
+        })
+        .transpose()?;
+    let max_sessions = args
+        .get("--max-sessions")
+        .map(|raw| {
+            raw.parse::<usize>()
+                .map_err(|_| CliError::Usage(format!("invalid session cap {raw:?}")))
+        })
+        .transpose()?;
+    let churn = match args.get("--churn") {
+        Some(raw) => parse_churn(raw)?,
+        None => ChurnConfig::default(),
+    };
+    let fault_plan = match args.get("--fault-plan") {
+        Some(spec) => FaultPlan::parse(spec),
+        None => FaultPlan::from_env(),
+    };
+    let config = FleetConfig {
+        sessions,
+        shards,
+        receivers: args.get_parsed("--receivers", 4)?,
+        chunks: args.get_parsed("--chunks", 60)?,
+        seed: args.get_parsed("--seed", 0x5EED)?,
+        floor,
+        flow_threads: args.get_parsed("--threads", 1)?,
+        repair_algorithm: repair_algorithm.map(str::to_string),
+        admission: AdmissionPolicy {
+            max_sessions,
+            capacity,
+            queue: args.has("--queue"),
+        },
+        churn,
+        fault_plan,
+    };
+
+    writeln!(
+        out,
+        "serving {} session(s) across {} shard(s) (receivers {}, chunks {}, seed {:#x}, floor {})",
+        config.sessions, config.shards, config.receivers, config.chunks, config.seed, config.floor
+    )?;
+    let report = run_fleet(&config);
+    render_summary(&report, out)?;
+    if let Some(path) = args.get("--report") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::Io(format!("cannot write fleet report {path:?}: {e}")))?;
+        writeln!(out, "fleet report written to {path}")?;
+    }
+    if let Some(path) = args.get("--csv") {
+        std::fs::write(path, report.to_csv())
+            .map_err(|e| CliError::Io(format!("cannot write fleet CSV {path:?}: {e}")))?;
+        writeln!(out, "per-session CSV written to {path}")?;
+    }
+    Ok(())
+}
+
+/// Renders the human-readable fleet summary.
+fn render_summary<W: Write>(report: &FleetReport, out: &mut W) -> Result<(), CliError> {
+    let metrics = &report.metrics;
+    writeln!(
+        out,
+        "admission : {} run, {} rejected",
+        metrics.sessions_run, metrics.sessions_rejected
+    )?;
+    for decision in &report.admissions {
+        if let AdmissionVerdict::Rejected { reason } = decision.verdict {
+            writeln!(
+                out,
+                "  session {:>4} rejected ({reason:?}, load {:.2})",
+                decision.session, decision.load
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "goodput   : mean {:.1}% of nominal; histogram {:?}",
+        100.0 * metrics.mean_goodput_vs_nominal,
+        metrics.goodput_histogram
+    )?;
+    match (
+        metrics.recovery_p50,
+        metrics.recovery_p90,
+        metrics.recovery_p99,
+    ) {
+        (Some(p50), Some(p90), Some(p99)) => writeln!(
+            out,
+            "recovery  : p50 {p50:.2} / p90 {p90:.2} / p99 {p99:.2} (simulated time)"
+        )?,
+        _ => writeln!(out, "recovery  : no repaired session recovered")?,
+    }
+    writeln!(
+        out,
+        "repairs   : {} swaps, {} repairs, {} attempts, {} degraded session(s)",
+        metrics.total_swaps,
+        metrics.total_repairs,
+        metrics.total_attempts,
+        metrics.degraded_sessions
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_args(args: Vec<String>) -> Result<String, CliError> {
+        let list = ArgList::parse(&args)?;
+        let mut out = Vec::new();
+        run(&list, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn a_small_fleet_serves_and_summarizes() {
+        let output = run_args(vec![
+            "--sessions".into(),
+            "3".into(),
+            "--shards".into(),
+            "2".into(),
+            "--chunks".into(),
+            "24".into(),
+        ])
+        .unwrap();
+        assert!(output.contains("serving 3 session(s) across 2 shard(s)"));
+        assert!(output.contains("admission : 3 run, 0 rejected"));
+        assert!(output.contains("goodput"));
+    }
+
+    #[test]
+    fn reports_are_written_and_shard_agnostic() {
+        let dir = std::env::temp_dir().join(format!("bmp-serve-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let common = |shards: &str, report: String| {
+            run_args(vec![
+                "--sessions".into(),
+                "4".into(),
+                "--shards".into(),
+                shards.into(),
+                "--chunks".into(),
+                "24".into(),
+                "--report".into(),
+                report,
+                "--csv".into(),
+                path("fleet.csv"),
+            ])
+            .unwrap()
+        };
+        common("1", path("one.json"));
+        common("3", path("three.json"));
+        let one = std::fs::read(dir.join("one.json")).unwrap();
+        let three = std::fs::read(dir.join("three.json")).unwrap();
+        assert_eq!(one, three, "fleet report must not depend on shard count");
+        let csv = std::fs::read_to_string(dir.join("fleet.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_flags_are_usage_errors() {
+        for args in [
+            vec!["--sessions".to_string(), "0".into()],
+            vec!["--shards".to_string(), "0".into()],
+            vec!["--floor".to_string(), "1.5".into()],
+            vec!["--churn".to_string(), "4:3".into()],
+            vec!["--churn".to_string(), "4:-1:2".into()],
+            vec!["--repair-algorithm".to_string(), "frobnicate".into()],
+        ] {
+            assert!(
+                matches!(run_args(args.clone()), Err(CliError::Usage(_))),
+                "{args:?} should be a usage error"
+            );
+        }
+    }
+}

@@ -59,6 +59,7 @@ pub const FLAGS: FlagSpec = FlagSpec {
         "--trace",
         "--churn",
         "--repair",
+        "--repair-algorithm",
         "--floor",
         "--checkpoint",
         "--checkpoint-every",
@@ -358,6 +359,7 @@ fn run_resumed<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         "--trace",
         "--churn",
         "--repair",
+        "--repair-algorithm",
         "--floor",
     ] {
         if args.has(flag) {
@@ -447,7 +449,9 @@ fn report_outcome<W: Write>(outcome: &SessionOutcome, out: &mut W) -> Result<(),
 /// `--trace` (worst-receiver progress every 50 rounds; frozen-overlay runs only),
 /// `--churn SPEC` (scheduled departures/rejoins, e.g. `"5:busiest"` or `"5:3,7;12:+3"`),
 /// `--repair` (adapt by incremental re-solve + hot-swap instead of the static baseline),
-/// `--floor F` (repair when the residual drops below `F ×` nominal, default 0.9).
+/// `--repair-algorithm NAME` (pin the named registry solver to the front of the repair
+/// fallback chain; unset keeps the registry order), `--floor F` (repair when the
+/// residual drops below `F ×` nominal, default 0.9).
 ///
 /// Crash safety (closed-loop runs only): `--checkpoint FILE` writes the run state
 /// every `--checkpoint-every N` rounds (default 50) and at the end, `--halt-after N`
@@ -502,6 +506,25 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
             "--floor only applies with --repair (it is the repair controller's threshold)".into(),
         ));
     }
+    let repair_algorithm = args.get("--repair-algorithm");
+    if repair_algorithm.is_some() && !args.has("--repair") {
+        return Err(CliError::Usage(
+            "--repair-algorithm only applies with --repair (it pins the repair chain's first solver)"
+                .into(),
+        ));
+    }
+    if let Some(name) = repair_algorithm {
+        if bmp_core::solver::find(name).is_none() {
+            let names: Vec<&str> = bmp_core::solver::registry()
+                .iter()
+                .map(|solver| solver.name())
+                .collect();
+            return Err(CliError::Usage(format!(
+                "unknown repair algorithm {name:?} (expected one of {})",
+                names.join(", ")
+            )));
+        }
+    }
     let floor: f64 = args.get_parsed("--floor", 0.9)?;
     if !(0.0..=1.0).contains(&floor) || floor == 0.0 {
         return Err(CliError::Usage(format!(
@@ -524,6 +547,7 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
             let mut controller =
                 RepairController::new(scheme.instance().clone(), scheme.clone(), nominal, floor);
             controller.set_parallelism(threads);
+            controller.set_repair_algorithm(repair_algorithm.map(str::to_string));
             PolicyKind::Repair(Box::new(controller))
         } else {
             PolicyKind::Static(StaticPolicy)
@@ -751,6 +775,29 @@ mod tests {
     }
 
     #[test]
+    fn repair_algorithm_flag_pins_the_chain_head() {
+        let path = scheme_path();
+        let output = run_args(vec![
+            "--scheme".to_string(),
+            path.clone(),
+            "--chunks".into(),
+            "150".into(),
+            "--churn".into(),
+            "5:3".into(),
+            "--repair".into(),
+            "--repair-algorithm".into(),
+            "exhaustive".into(),
+        ])
+        .unwrap();
+        assert!(output.contains("hot-swapped"));
+        assert!(
+            output.contains("solver exhaustive"),
+            "the pinned solver should take the repair: {output}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn solves_and_simulates_in_one_shot() {
         let path = instance_path();
         let output = run_args(vec![
@@ -828,6 +875,24 @@ mod tests {
                 scheme.clone(),
                 "--threads".into(),
                 "4".into(),
+            ],
+            // --repair-algorithm without --repair, and an unknown solver name.
+            vec![
+                "--scheme".to_string(),
+                scheme.clone(),
+                "--churn".into(),
+                "5:3".into(),
+                "--repair-algorithm".into(),
+                "auto".into(),
+            ],
+            vec![
+                "--scheme".to_string(),
+                scheme.clone(),
+                "--churn".into(),
+                "5:3".into(),
+                "--repair".into(),
+                "--repair-algorithm".into(),
+                "frobnicate".into(),
             ],
         ] {
             assert!(

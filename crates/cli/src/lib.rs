@@ -23,6 +23,7 @@ pub mod cmd_bounds;
 pub mod cmd_decompose;
 pub mod cmd_export;
 pub mod cmd_generate;
+pub mod cmd_serve;
 pub mod cmd_simulate;
 pub mod cmd_solve;
 pub mod cmd_verify;
@@ -49,6 +50,10 @@ COMMANDS:
   simulate   run the chunk-level streaming simulator    (--scheme | --instance [--algorithm, --threads], --chunks,
              and the closed-loop session engine          --policy, --seed, --jitter, --live, --trace,
                                                          --churn SPEC, --repair, --floor)
+  serve      run a sharded multi-session broadcast fleet  (--sessions, --shards, --receivers, --chunks, --seed,
+             with admission control and fleet metrics     --floor, --threads, --max-sessions, --capacity, --queue,
+                                                          --repair-algorithm, --churn START:SPACING:WAVES,
+                                                          --fault-plan, --report FILE, --csv FILE)
   export     render a scheme as DOT or CSV              (--scheme, --format, --throughput, --out)
   help       print this message
 
@@ -79,6 +84,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "verify" => cmd_verify::run(&parsed, out),
         "decompose" => cmd_decompose::run(&parsed, out),
         "simulate" => cmd_simulate::run(&parsed, out),
+        "serve" => cmd_serve::run(&parsed, out),
         "export" => cmd_export::run(&parsed, out),
         "help" | "" => {
             parsed.reject_unknown_flags(&args::FlagSpec {

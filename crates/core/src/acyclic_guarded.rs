@@ -86,10 +86,26 @@ impl AcyclicGuardedSolver {
     /// of bisection probes spent (surfaced as telemetry by the solver registry).
     #[must_use]
     pub fn optimal_throughput_traced(&self, instance: &Instance) -> (f64, CodingWord, u64) {
+        self.optimal_throughput_traced_from(0.0, instance)
+    }
+
+    /// [`AcyclicGuardedSolver::optimal_throughput_traced`] warm-started from a
+    /// caller-known throughput hint ([`DichotomicSearch::maximize_from`]): the incremental
+    /// repair path seeds the bisection with the residual throughput its probe already
+    /// verified, so the search starts from a bracket `[residual, upper]` instead of
+    /// `[0, upper]`. The hint is probed, not trusted — a residual above the acyclic
+    /// optimum (a cyclic deployed overlay) is refuted and merely narrows the bracket
+    /// from above. A non-positive hint reproduces the cold search probe for probe.
+    #[must_use]
+    pub fn optimal_throughput_traced_from(
+        &self,
+        lower_hint: f64,
+        instance: &Instance,
+    ) -> (f64, CodingWord, u64) {
         let upper = cyclic_upper_bound(instance);
         let outcome = self
             .search()
-            .maximize(upper, |t| self.is_feasible(instance, t));
+            .maximize_from(lower_hint, upper, |t| self.is_feasible(instance, t));
         let word = greedy_test(instance, outcome.value)
             .word()
             .cloned()

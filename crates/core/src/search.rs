@@ -56,7 +56,27 @@ impl DichotomicSearch {
     /// feasible it is returned after a single probe. Otherwise the invariant `lo`
     /// feasible / `hi` infeasible is maintained until the bracket is narrower than
     /// `tolerance * hi.max(1.0)` and the feasible end is returned.
-    pub fn maximize(&self, upper: f64, mut feasible: impl FnMut(f64) -> bool) -> SearchOutcome {
+    pub fn maximize(&self, upper: f64, feasible: impl FnMut(f64) -> bool) -> SearchOutcome {
+        self.maximize_from(0.0, upper, feasible)
+    }
+
+    /// [`DichotomicSearch::maximize`] warm-started from a caller-supplied bracket hint:
+    /// a value the caller believes to be feasible (e.g. the verified residual throughput
+    /// of an already-deployed overlay, in the incremental repair path).
+    ///
+    /// The hint is advisory, never trusted: when `0 < lower_hint < upper` it is probed
+    /// once after the initial `upper` probe, and the bracket starts at `[hint, upper]`
+    /// when the probe confirms it or `[0, hint]` when it refutes it — the feasible-lo /
+    /// infeasible-hi invariant holds either way, so a hint that overshoots the true
+    /// optimum (a cyclic residual above the acyclic optimum, say) only narrows the
+    /// bracket from the other side. A hint outside `(0, upper)` is ignored and the
+    /// search is exactly [`DichotomicSearch::maximize`], probe for probe.
+    pub fn maximize_from(
+        &self,
+        lower_hint: f64,
+        upper: f64,
+        mut feasible: impl FnMut(f64) -> bool,
+    ) -> SearchOutcome {
         if upper <= 0.0 {
             return SearchOutcome {
                 value: 0.0,
@@ -72,6 +92,14 @@ impl DichotomicSearch {
         }
         let mut lo = 0.0_f64;
         let mut hi = upper;
+        if lower_hint > 0.0 && lower_hint < upper {
+            probes += 1;
+            if feasible(lower_hint) {
+                lo = lower_hint;
+            } else {
+                hi = lower_hint;
+            }
+        }
         for _ in 0..self.max_iterations {
             if hi - lo <= self.tolerance * hi.max(1.0) {
                 break;
@@ -126,6 +154,51 @@ mod tests {
         assert!(coarse_probes < fine_probes);
         // Both brackets still contain the threshold from below.
         assert!(coarse.maximize(8.0, |t| t <= 5.5).value <= 5.5);
+    }
+
+    #[test]
+    fn feasible_hint_narrows_the_bracket_without_changing_the_answer() {
+        // The repair scenario: the residual hint sits close to the upper bound, so the
+        // initial bracket [hint, upper] is much narrower than [0, upper] and the probe
+        // spent confirming the hint pays for itself several times over.
+        let search = DichotomicSearch::default();
+        let threshold = 9.0;
+        let cold = search.maximize(10.0, |t| t <= threshold);
+        let warm = search.maximize_from(8.9, 10.0, |t| t <= threshold);
+        assert!((warm.value - threshold).abs() < 1e-8);
+        assert!(
+            warm.value >= 8.9,
+            "the confirmed hint is a floor on the answer"
+        );
+        assert!(
+            warm.probes < cold.probes,
+            "warm {} vs cold {}",
+            warm.probes,
+            cold.probes
+        );
+    }
+
+    #[test]
+    fn infeasible_hint_is_refuted_and_still_brackets_the_threshold() {
+        // The hint overshoots the true optimum (the cyclic-residual case): the probe
+        // refutes it and the bracket collapses to [0, hint] — correct answer anyway.
+        let search = DichotomicSearch::default();
+        let outcome = search.maximize_from(7.0, 10.0, |t| t <= 2.5);
+        assert!((outcome.value - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_hints_degenerate_to_the_cold_search() {
+        let search = DichotomicSearch::default();
+        let cold = search.maximize(8.0, |t| t <= 5.5);
+        for hint in [0.0, -1.0, 8.0, 9.5] {
+            let warm = search.maximize_from(hint, 8.0, |t| t <= 5.5);
+            assert_eq!(warm, cold, "hint {hint} must be ignored");
+        }
+        // A feasible upper short-circuits before the hint is ever probed.
+        let outcome = search.maximize_from(2.0, 4.0, |_| true);
+        assert_eq!(outcome.probes, 1);
+        assert_eq!(outcome.value, 4.0);
     }
 
     #[test]

@@ -183,6 +183,10 @@ pub struct EvalCtx {
     /// Installed fault-injection script; `None` (production) makes every interception
     /// a single branch on a `None` discriminant.
     injected_faults: Option<InjectedFaults>,
+    /// One-shot warm-start hint for the next dichotomic solve: a throughput the caller
+    /// has already verified feasible on a closely related overlay (the repair path's
+    /// residual probe). Consumed — never reused — by the first solver that takes it.
+    warm_start_lower: Option<f64>,
     flow_solves: u64,
     bisection_iters: u64,
     arena_builds: u64,
@@ -237,6 +241,7 @@ impl EvalCtx {
             scratch_sinks: Vec::new(),
             tolerance,
             injected_faults: None,
+            warm_start_lower: None,
             flow_solves: 0,
             bisection_iters: 0,
             arena_builds: 0,
@@ -262,6 +267,21 @@ impl EvalCtx {
     /// counted from this call; see [`InjectedFaults`].
     pub fn set_injected_faults(&mut self, faults: Option<InjectedFaults>) {
         self.injected_faults = faults;
+    }
+
+    /// Arms (or with `None`, clears) a one-shot warm-start hint for the next dichotomic
+    /// solve: a throughput the caller has already verified on a closely related overlay,
+    /// used as the initial lower bracket via [`DichotomicSearch::maximize_from`]. The
+    /// hint is advisory — solvers probe it before trusting it — and is consumed by the
+    /// first [`Solver::solve`] that honours it, so re-arm before every attempt.
+    pub fn set_warm_start_lower(&mut self, hint: Option<f64>) {
+        self.warm_start_lower = hint;
+    }
+
+    /// Takes (and clears) the armed warm-start hint, if any.
+    #[must_use]
+    pub fn take_warm_start_lower(&mut self) -> Option<f64> {
+        self.warm_start_lower.take()
     }
 
     /// The installed fault-injection script, if any (its `fired`/`pending` counters
@@ -754,7 +774,8 @@ impl Solver for AcyclicGuardedAlgorithm {
     fn solve(&self, instance: &Instance, ctx: &mut EvalCtx) -> Result<Solution, CoreError> {
         let recorder = SolveRecorder::start(ctx);
         let legacy = AcyclicGuardedSolver::with_tolerance(ctx.tolerance());
-        let (throughput, word, probes) = legacy.optimal_throughput_traced(instance);
+        let hint = ctx.take_warm_start_lower().unwrap_or(0.0);
+        let (throughput, word, probes) = legacy.optimal_throughput_traced_from(hint, instance);
         ctx.add_bisection_iters(probes);
         let scheme = if throughput <= 0.0 {
             BroadcastScheme::new(instance.clone())

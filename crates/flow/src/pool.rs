@@ -18,6 +18,22 @@
 //! * dropping the pool shuts the workers down cleanly: the queue is drained, the
 //!   shutdown flag raised, and every worker joined.
 //!
+//! # Fairness contract under many submitters
+//!
+//! The pool is shared by every shard of a `bmp-serve` fleet, so the contract matters
+//! at N-submitter scale: **a submitter blocked on a slow evaluation can never starve
+//! another submitter's tickets.** Three mechanisms combine to guarantee it:
+//!
+//! 1. the submitting thread always drains its own evaluation's sink order itself, so
+//!    an evaluation completes even if no worker ever picks up one of its tickets;
+//! 2. tickets from different evaluations interleave in one FIFO queue — a worker that
+//!    finishes a slow ticket pulls whatever evaluation is at the head next, and a
+//!    single evaluation can queue at most `threads - 1` tickets, bounding how much of
+//!    the queue any one submitter occupies;
+//! 3. a submitter that finishes its own drain *reclaims* its still-queued tickets
+//!    (counted by [`FlowPool::tickets_reclaimed`]) instead of waiting for busy workers
+//!    to reach them, so a fast evaluation never inherits a slow neighbour's wall time.
+//!
 //! The arena travels to the workers as an [`Arc<FlowArena>`] — the safe way to hand a
 //! borrowed-for-the-call network to threads that outlive the call. Workers drop their
 //! clones *before* the submitter is released, so a caller that holds the only other
@@ -193,6 +209,10 @@ pub struct FlowPool {
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// Evaluations that hit a worker panic and were recomputed sequentially.
     panics_contained: AtomicU64,
+    /// Helper tickets reclaimed unpicked by their own submitter after it drained the
+    /// whole sink order itself (the anti-starvation escape hatch of the fairness
+    /// contract — see the module docs).
+    tickets_reclaimed: AtomicU64,
 }
 
 impl std::fmt::Debug for Queue {
@@ -219,6 +239,7 @@ impl FlowPool {
             max_workers,
             workers: Mutex::new(Vec::new()),
             panics_contained: AtomicU64::new(0),
+            tickets_reclaimed: AtomicU64::new(0),
         }
     }
 
@@ -269,6 +290,16 @@ impl FlowPool {
     #[must_use]
     pub fn panics_contained(&self) -> u64 {
         self.panics_contained.load(Ordering::Relaxed)
+    }
+
+    /// Number of helper tickets reclaimed by their own submitter because it finished
+    /// the evaluation's whole sink order before any worker picked them up — the
+    /// fairness contract's anti-starvation counter (see the module docs). A growing
+    /// value under concurrent load is healthy: fast submitters are declining to wait
+    /// behind slow neighbours.
+    #[must_use]
+    pub fn tickets_reclaimed(&self) -> u64 {
+        self.tickets_reclaimed.load(Ordering::Relaxed)
     }
 
     /// Lazily grows the worker set to `wanted` threads (capped at the pool maximum).
@@ -353,6 +384,8 @@ impl FlowPool {
             let reclaimed = before - state.tickets.len();
             drop(state);
             if reclaimed > 0 {
+                self.tickets_reclaimed
+                    .fetch_add(reclaimed as u64, Ordering::Relaxed);
                 let mut pending = shared
                     .pending
                     .lock()
@@ -551,6 +584,48 @@ mod tests {
             assert_eq!(pool.min_max_flow(&arena, 0, &sinks, 3), expected);
         }
         assert_eq!(pool.panics_contained(), contained);
+    }
+
+    #[test]
+    fn a_slow_submitter_cannot_starve_its_neighbours() {
+        // The fairness contract at fleet scale: one shard stuck on a big evaluation
+        // (the slow submitter, large arena) shares the pool with several shards
+        // running small evaluations. Every fast evaluation must return the exact
+        // sequential result regardless of what the slow one occupies — the submitters
+        // drain their own orders and reclaim unpicked tickets rather than queueing
+        // behind the big evaluation's tickets.
+        let pool = Arc::new(FlowPool::new(2));
+        let big = Arc::new(wide_arena(1024));
+        let big_sinks: Vec<usize> = (1..1024).collect();
+        let big_expected = FlowSolver::new().min_max_flow(&big, 0, &big_sinks);
+        let small = Arc::new(wide_arena(24));
+        let small_sinks: Vec<usize> = (1..24).collect();
+        let small_expected = FlowSolver::new().min_max_flow(&small, 0, &small_sinks);
+        // Ticket pickup races the submitters' own drains, so a single pass may see
+        // every ticket either worker-served or reclaimed; loop until at least one
+        // reclamation proves the anti-starvation path was exercised.
+        let mut attempts = 0;
+        while pool.tickets_reclaimed() == 0 {
+            attempts += 1;
+            assert!(attempts <= 500, "no ticket was ever reclaimed");
+            std::thread::scope(|scope| {
+                for submitter in 0..5 {
+                    let pool = Arc::clone(&pool);
+                    let (arena, sinks, expected) = if submitter == 0 {
+                        (Arc::clone(&big), &big_sinks, big_expected)
+                    } else {
+                        (Arc::clone(&small), &small_sinks, small_expected)
+                    };
+                    scope.spawn(move || {
+                        for _ in 0..4 {
+                            assert_eq!(pool.min_max_flow(&arena, 0, sinks, 3), expected);
+                        }
+                    });
+                }
+            });
+        }
+        assert!(pool.spawned_workers() <= 2);
+        assert_eq!(pool.live_workers(), pool.spawned_workers());
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Admission control: which sessions run, in which wave, and which are turned away.
+//!
+//! Decisions are made on the coordinator in session-id order *before* any shard
+//! thread exists, so the decision log is deterministic for a fixed config no matter
+//! how the admitted sessions are later sharded. A session's load is the aggregate
+//! bandwidth its platform would occupy (source plus every receiver); the policy caps
+//! both the number of concurrent sessions and the total admitted load.
+
+use serde::{Deserialize, Serialize};
+
+/// Capacity policy of a fleet: per-wave session and load caps, and whether an
+/// over-cap session is queued for a later wave or rejected outright.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Maximum sessions running concurrently (per wave). `None` = unlimited.
+    pub max_sessions: Option<usize>,
+    /// Maximum aggregate platform load (sum of session loads) per wave.
+    /// `None` = unlimited.
+    pub capacity: Option<f64>,
+    /// `true` queues an over-cap session into the next wave with room;
+    /// `false` rejects it.
+    pub queue: bool,
+}
+
+impl Default for AdmissionPolicy {
+    /// Admit everything into one wave.
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_sessions: None,
+            capacity: None,
+            queue: false,
+        }
+    }
+}
+
+/// Why a session was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The per-wave session count cap was reached (reject mode only).
+    SessionCap,
+    /// The session would push the wave over the load capacity (or can never fit:
+    /// its own load alone exceeds the capacity).
+    Capacity,
+}
+
+/// The verdict for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionVerdict {
+    /// Runs in the given wave (wave 0 first; later waves start after the previous
+    /// wave's sessions complete).
+    Admitted {
+        /// Index of the execution wave the session was scheduled into.
+        wave: usize,
+    },
+    /// Turned away.
+    Rejected {
+        /// Which cap turned it away.
+        reason: RejectReason,
+    },
+}
+
+/// One line of the deterministic admission log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionDecision {
+    /// Session id (its index in submission order).
+    pub session: usize,
+    /// Aggregate platform load the session requested.
+    pub load: f64,
+    /// The decision.
+    pub verdict: AdmissionVerdict,
+}
+
+/// Running occupancy of one execution wave.
+#[derive(Debug, Clone, Copy, Default)]
+struct WaveLoad {
+    sessions: usize,
+    load: f64,
+}
+
+impl AdmissionPolicy {
+    /// Whether a session of load `load` fits into a wave currently at `occupied`.
+    fn fits(&self, occupied: WaveLoad, load: f64) -> bool {
+        if let Some(cap) = self.max_sessions {
+            if occupied.sessions >= cap {
+                return false;
+            }
+        }
+        if let Some(capacity) = self.capacity {
+            if occupied.load + load > capacity + 1e-12 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Decides every session in submission order. `loads[i]` is session `i`'s
+    /// aggregate platform load; the returned log has one entry per session, in order.
+    #[must_use]
+    pub fn decide(&self, loads: &[f64]) -> Vec<AdmissionDecision> {
+        let mut waves: Vec<WaveLoad> = vec![WaveLoad::default()];
+        let mut decisions = Vec::with_capacity(loads.len());
+        for (session, &load) in loads.iter().enumerate() {
+            // A session whose load alone exceeds the capacity can never fit; queueing
+            // it would search waves forever.
+            let impossible = matches!(self.capacity, Some(capacity) if load > capacity + 1e-12);
+            let verdict = if impossible {
+                AdmissionVerdict::Rejected {
+                    reason: RejectReason::Capacity,
+                }
+            } else if self.queue {
+                let wave = match waves.iter().position(|&occupied| self.fits(occupied, load)) {
+                    Some(wave) => wave,
+                    None => {
+                        waves.push(WaveLoad::default());
+                        waves.len() - 1
+                    }
+                };
+                waves[wave].sessions += 1;
+                waves[wave].load += load;
+                AdmissionVerdict::Admitted { wave }
+            } else if self.fits(waves[0], load) {
+                waves[0].sessions += 1;
+                waves[0].load += load;
+                AdmissionVerdict::Admitted { wave: 0 }
+            } else {
+                // Name the cap that turned it away: the session cap when it is full,
+                // otherwise it must have been the load capacity.
+                let reason = match self.max_sessions {
+                    Some(cap) if waves[0].sessions >= cap => RejectReason::SessionCap,
+                    _ => RejectReason::Capacity,
+                };
+                AdmissionVerdict::Rejected { reason }
+            };
+            decisions.push(AdmissionDecision {
+                session,
+                load,
+                verdict,
+            });
+        }
+        decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_policy_admits_everything_into_wave_zero() {
+        let decisions = AdmissionPolicy::default().decide(&[10.0, 20.0, 30.0]);
+        assert_eq!(decisions.len(), 3);
+        for (i, decision) in decisions.iter().enumerate() {
+            assert_eq!(decision.session, i);
+            assert_eq!(decision.verdict, AdmissionVerdict::Admitted { wave: 0 });
+        }
+    }
+
+    #[test]
+    fn session_cap_rejects_or_queues() {
+        let reject = AdmissionPolicy {
+            max_sessions: Some(2),
+            capacity: None,
+            queue: false,
+        };
+        let verdicts: Vec<_> = reject
+            .decide(&[1.0, 1.0, 1.0, 1.0])
+            .into_iter()
+            .map(|d| d.verdict)
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                AdmissionVerdict::Admitted { wave: 0 },
+                AdmissionVerdict::Admitted { wave: 0 },
+                AdmissionVerdict::Rejected {
+                    reason: RejectReason::SessionCap
+                },
+                AdmissionVerdict::Rejected {
+                    reason: RejectReason::SessionCap
+                },
+            ]
+        );
+        let queue = AdmissionPolicy {
+            queue: true,
+            ..reject
+        };
+        let verdicts: Vec<_> = queue
+            .decide(&[1.0, 1.0, 1.0, 1.0, 1.0])
+            .into_iter()
+            .map(|d| d.verdict)
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                AdmissionVerdict::Admitted { wave: 0 },
+                AdmissionVerdict::Admitted { wave: 0 },
+                AdmissionVerdict::Admitted { wave: 1 },
+                AdmissionVerdict::Admitted { wave: 1 },
+                AdmissionVerdict::Admitted { wave: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn capacity_cap_accounts_load_and_rejects_the_impossible() {
+        let policy = AdmissionPolicy {
+            max_sessions: None,
+            capacity: Some(100.0),
+            queue: true,
+        };
+        let verdicts: Vec<_> = policy
+            .decide(&[60.0, 60.0, 150.0, 40.0])
+            .into_iter()
+            .map(|d| d.verdict)
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                AdmissionVerdict::Admitted { wave: 0 },
+                AdmissionVerdict::Admitted { wave: 1 },
+                // Load 150 alone exceeds the capacity: rejected even in queue mode.
+                AdmissionVerdict::Rejected {
+                    reason: RejectReason::Capacity
+                },
+                // Backfills the room left in wave 0.
+                AdmissionVerdict::Admitted { wave: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let policy = AdmissionPolicy {
+            max_sessions: Some(3),
+            capacity: Some(250.0),
+            queue: true,
+        };
+        let loads = [90.0, 80.0, 70.0, 60.0, 50.0, 400.0, 40.0];
+        assert_eq!(policy.decide(&loads), policy.decide(&loads));
+    }
+}

@@ -1,0 +1,305 @@
+//! The fleet runner: coordinator, shard threads, round-robin session stepping.
+//!
+//! See the crate docs for the architecture diagram and the determinism contract. The
+//! short version: everything a session computes is a pure function of
+//! `(FleetConfig, session_id)`, admission and metric assembly happen on the
+//! coordinator in session-id order, and shard threads only decide *where* a session
+//! is stepped — so [`run_fleet`] returns byte-identical reports across shard counts.
+
+use crate::admission::{AdmissionPolicy, AdmissionVerdict};
+use crate::feed::{ChurnConfig, ChurnFeed};
+use crate::metrics::{FleetMetrics, FleetReport, SessionStats};
+use crate::mix_seed;
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_platform::distribution::UniformBandwidth;
+use bmp_platform::generator::GeneratorConfig;
+use bmp_platform::{Instance, InstanceGenerator};
+use bmp_sim::{AdaptiveRun, FaultPlan, Overlay, RepairController, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Complete description of one fleet run — [`run_fleet`] is a pure function of this.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Sessions submitted to admission control.
+    pub sessions: usize,
+    /// Shard worker threads stepping the admitted sessions. Must be at least 1.
+    /// Changes scheduling only, never results.
+    pub shards: usize,
+    /// Receivers per session platform (generated with open probability 0.7 and
+    /// uniform `[10, 100]` bandwidths, like the experiment sweeps).
+    pub receivers: usize,
+    /// Chunks per session broadcast.
+    pub chunks: usize,
+    /// The fleet seed; session `i` derives its stream as `mix_seed(seed, i)`.
+    pub seed: u64,
+    /// Repair floor fraction of nominal, in `(0, 1]`.
+    pub floor: f64,
+    /// Flow-evaluation fan-out per controller (`1` sequential, `> 1` routed through
+    /// [`bmp_flow::FlowPool::global`], `0` auto).
+    pub flow_threads: usize,
+    /// Pins the named solver to the front of every controller's repair chain.
+    pub repair_algorithm: Option<String>,
+    /// Admission policy (session cap, load capacity, queue vs reject).
+    pub admission: AdmissionPolicy,
+    /// The shared churn feed parameters.
+    pub churn: ChurnConfig,
+    /// Optional fault-injection plan installed into every session's controller
+    /// (worker panics are armed once per fleet run, process-wide).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            sessions: 8,
+            shards: 1,
+            receivers: 4,
+            chunks: 60,
+            seed: 0x5EED,
+            floor: 0.9,
+            flow_threads: 1,
+            repair_algorithm: None,
+            admission: AdmissionPolicy::default(),
+            churn: ChurnConfig::default(),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Aggregate platform load a session occupies while admitted: its source bandwidth
+/// plus every receiver's.
+fn session_load(instance: &Instance) -> f64 {
+    instance.source_bandwidth()
+        + instance
+            .receivers()
+            .map(|node| instance.bandwidth(node))
+            .sum::<f64>()
+}
+
+/// Runs one admitted session start-to-finish and returns its report row. Pure in
+/// `(config, session, seed, instance)`: the same inputs produce the same row no
+/// matter which thread runs it.
+fn run_session(
+    config: &FleetConfig,
+    session: usize,
+    seed: u64,
+    instance: &Instance,
+    feed: &ChurnFeed,
+) -> SessionStats {
+    let solution = AcyclicGuardedSolver::default().solve(instance);
+    let overlay = Overlay::from_scheme(&solution.scheme);
+    let sim = SimConfig {
+        num_chunks: config.chunks,
+        seed,
+        ..SimConfig::default()
+    }
+    .scaled_to(solution.throughput, 2.0);
+    let churn = feed.schedule(session, instance.num_nodes());
+    let mut controller = RepairController::new(
+        instance.clone(),
+        solution.scheme,
+        solution.throughput,
+        config.floor,
+    );
+    controller.set_parallelism(config.flow_threads);
+    controller.set_repair_algorithm(config.repair_algorithm.clone());
+    if let Some(plan) = &config.fault_plan {
+        // Per-controller fault script only: worker panics are process-global and are
+        // armed once by the coordinator, not once per session.
+        controller
+            .ctx_mut()
+            .set_injected_faults(plan.injected_faults());
+    }
+    let mut run = AdaptiveRun::new(overlay, sim, churn, solution.throughput);
+    while !run.step(&mut controller) {}
+    let outcome = run.outcome(&controller);
+    SessionStats::from_outcome(session, seed, &outcome, controller.decisions())
+}
+
+/// An admitted session waiting to be stepped by its shard.
+struct PendingSession {
+    session: usize,
+    seed: u64,
+    wave: usize,
+    instance: Instance,
+}
+
+/// Runs the whole fleet described by `config` and returns its deterministic report.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`, `sessions == 0`, `receivers < 2`, or `floor` is outside
+/// `(0, 1]` (the controller's own precondition).
+#[must_use]
+pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+    assert!(config.shards >= 1, "a fleet needs at least one shard");
+    assert!(config.sessions >= 1, "a fleet needs at least one session");
+    assert!(
+        config.receivers >= 2,
+        "a session platform needs at least two receivers"
+    );
+    // Coordinator: derive seeds, generate platforms, decide admission — all in
+    // session-id order, before any shard thread exists.
+    let generator = InstanceGenerator::new(
+        GeneratorConfig::new(config.receivers, 0.7).expect("valid generator config"),
+        UniformBandwidth::unif100(),
+    );
+    let mut instances = Vec::with_capacity(config.sessions);
+    let mut seeds = Vec::with_capacity(config.sessions);
+    for session in 0..config.sessions {
+        let seed = mix_seed(config.seed, session as u64);
+        seeds.push(seed);
+        instances.push(generator.generate(&mut StdRng::seed_from_u64(seed)));
+    }
+    let loads: Vec<f64> = instances.iter().map(session_load).collect();
+    let admissions = config.admission.decide(&loads);
+
+    // Worker panics are process-global: arm the whole run's budget once. (The pooled
+    // evaluator recomputes poisoned evaluations sequentially, so which evaluation a
+    // panic lands on never changes any result.)
+    if let Some(plan) = &config.fault_plan {
+        if plan.worker_panics() > 0 {
+            bmp_flow::arm_worker_panics(plan.worker_panics());
+        }
+    }
+
+    // Partition the admitted sessions by shard (session id modulo shard count) while
+    // remembering their execution wave.
+    let mut shards: Vec<Vec<PendingSession>> = (0..config.shards).map(|_| Vec::new()).collect();
+    let mut waves = 0usize;
+    for (decision, instance) in admissions.iter().zip(instances) {
+        if let AdmissionVerdict::Admitted { wave } = decision.verdict {
+            waves = waves.max(wave + 1);
+            shards[decision.session % config.shards].push(PendingSession {
+                session: decision.session,
+                seed: seeds[decision.session],
+                wave,
+                instance,
+            });
+        }
+    }
+
+    let feed = ChurnFeed::new(config.seed, config.churn);
+    // Waves run to completion in order (a queued session starts only after the wave
+    // occupying its capacity finished); within a wave, every shard steps its sessions
+    // round-robin on its own thread.
+    let mut rows: Vec<SessionStats> = Vec::new();
+    for wave in 0..waves {
+        let wave_rows: Vec<Vec<SessionStats>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|pending| {
+                    let feed = &feed;
+                    scope.spawn(move || {
+                        pending
+                            .iter()
+                            .filter(|p| p.wave == wave)
+                            .map(|p| run_session(config, p.session, p.seed, &p.instance, feed))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard thread panicked"))
+                .collect()
+        });
+        rows.extend(wave_rows.into_iter().flatten());
+    }
+    if let Some(plan) = &config.fault_plan {
+        if plan.worker_panics() > 0 {
+            // Unconsumed panic tokens must not leak into whatever runs next in this
+            // process (another fleet, a test, a bench).
+            bmp_flow::disarm_worker_panics();
+        }
+    }
+    // Ordered merge: shard layout determined only who computed each row.
+    rows.sort_by_key(|stats| stats.session);
+
+    let rejected = admissions
+        .iter()
+        .filter(|decision| matches!(decision.verdict, AdmissionVerdict::Rejected { .. }))
+        .count();
+    let metrics = FleetMetrics::aggregate(&rows, rejected);
+    FleetReport {
+        sessions_submitted: config.sessions,
+        seed: config.seed,
+        receivers: config.receivers,
+        chunks: config.chunks,
+        floor: config.floor,
+        admissions,
+        sessions: rows,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_tiny_fleet_runs_and_reports_in_session_order() {
+        let config = FleetConfig {
+            sessions: 3,
+            shards: 2,
+            chunks: 24,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config);
+        assert_eq!(report.sessions_submitted, 3);
+        assert_eq!(report.sessions.len(), 3);
+        for (i, stats) in report.sessions.iter().enumerate() {
+            assert_eq!(stats.session, i);
+            assert!(stats.nominal > 0.0);
+            assert!(stats.goodput > 0.0, "session {i} delivered nothing");
+        }
+        assert_eq!(report.metrics.sessions_run, 3);
+        assert_eq!(report.metrics.sessions_rejected, 0);
+    }
+
+    #[test]
+    fn rejected_sessions_are_logged_but_not_run() {
+        let config = FleetConfig {
+            sessions: 4,
+            admission: AdmissionPolicy {
+                max_sessions: Some(2),
+                capacity: None,
+                queue: false,
+            },
+            chunks: 24,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config);
+        assert_eq!(report.admissions.len(), 4);
+        assert_eq!(report.sessions.len(), 2);
+        assert_eq!(report.metrics.sessions_rejected, 2);
+    }
+
+    #[test]
+    fn queued_sessions_run_in_later_waves() {
+        let config = FleetConfig {
+            sessions: 4,
+            admission: AdmissionPolicy {
+                max_sessions: Some(2),
+                capacity: None,
+                queue: true,
+            },
+            chunks: 24,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config);
+        // Everyone runs: two in wave 0, two queued into wave 1.
+        assert_eq!(report.sessions.len(), 4);
+        assert_eq!(report.metrics.sessions_rejected, 0);
+        let waves: Vec<usize> = report
+            .admissions
+            .iter()
+            .map(|decision| match decision.verdict {
+                AdmissionVerdict::Admitted { wave } => wave,
+                AdmissionVerdict::Rejected { .. } => unreachable!("queue mode rejects nothing"),
+            })
+            .collect();
+        assert_eq!(waves, vec![0, 0, 1, 1]);
+    }
+}

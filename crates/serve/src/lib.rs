@@ -1,0 +1,97 @@
+//! `bmp-serve`: a sharded multi-session broadcast server.
+//!
+//! The paper's model is one source streaming to one heterogeneous platform; the fleet
+//! layer runs *many* such broadcasts concurrently in a single process. Sessions are
+//! admitted (or rejected/queued) by a capacity policy, hashed across a fixed set of
+//! shard worker threads, stepped round-robin within each shard, and self-healed by a
+//! per-session [`bmp_sim::RepairController`] driven off a per-session churn schedule
+//! derived from one shared feed. All solver and repair flow work funnels through the
+//! process-wide [`bmp_flow::FlowPool::global`] — repair never spawns per-session
+//! threads, so the machine-wide flow-thread count stays bounded no matter how many
+//! sessions are live.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                       ┌────────────────────────────────────┐
+//!  FleetConfig ───────▶ │ coordinator                        │
+//!                       │  · per-session seeds (splitmix64)  │
+//!                       │  · platform generation             │
+//!                       │  · admission decisions (ordered)   │
+//!                       └──────┬─────────────────────────────┘
+//!                              │ admitted sessions, wave by wave
+//!               ┌──────────────┼──────────────┐    session i → shard i mod K
+//!               ▼              ▼              ▼
+//!         ┌──────────┐   ┌──────────┐   ┌──────────┐
+//!         │ shard 0  │   │ shard 1  │   │ shard K-1│   round-robin stepping:
+//!         │ sessions │   │ sessions │   │ sessions │   AdaptiveRun + RepairController
+//!         └────┬─────┘   └────┬─────┘   └────┬─────┘   per session, one round at a
+//!              │              │              │         time across the shard's list
+//!              └──────────────┼──────────────┘
+//!                             ▼
+//!                  FlowPool::global()  (≤ 8 workers, fair FIFO tickets,
+//!                                       submitter drains its own share)
+//!                             │
+//!                             ▼
+//!               ┌─────────────────────────────┐
+//!               │ ordered metric merge        │  session-id order, shard-agnostic:
+//!               │ SessionStats → FleetReport  │  same seed ⇒ byte-identical report
+//!               └─────────────────────────────┘
+//! ```
+//!
+//! # Determinism contract
+//!
+//! A fleet run is a pure function of its [`FleetConfig`] — the shard count changes
+//! only *where* sessions are stepped, never *what* they compute:
+//!
+//! * every session owns an RNG stream keyed by `splitmix64(fleet_seed, session_id)`,
+//!   used for its platform, its simulator, and its churn schedule;
+//! * admission is decided on the coordinator in session-id order, before any shard
+//!   thread exists;
+//! * sessions never interact: each has its own instance, overlay, controller and
+//!   evaluation context, so stepping order across sessions is irrelevant;
+//! * the shared flow pool is bit-for-bit equal to sequential evaluation (and a
+//!   contained worker panic falls back to the sequential path), so pool scheduling
+//!   races cannot perturb results;
+//! * [`FleetReport`] is assembled in session-id order and records no shard ids, so
+//!   the serialized report for seed S is byte-identical across 1, 2 or 4 shards.
+//!
+//! The determinism tests in `tests/fleet.rs` assert exactly that.
+
+pub mod admission;
+pub mod feed;
+pub mod fleet;
+pub mod metrics;
+
+pub use admission::{AdmissionDecision, AdmissionPolicy, AdmissionVerdict, RejectReason};
+pub use feed::{ChurnConfig, ChurnFeed};
+pub use fleet::{run_fleet, FleetConfig};
+pub use metrics::{FleetMetrics, FleetReport, SessionStats};
+
+/// The splitmix64 finalizer, used to derive independent per-session RNG streams from
+/// the fleet seed. Consecutive session ids land in statistically unrelated streams,
+/// and the derivation depends only on `(seed, stream)` — never on shard layout.
+#[must_use]
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mix_seed;
+
+    #[test]
+    fn mixed_seeds_are_distinct_and_deterministic() {
+        let a = mix_seed(0x5EED, 0);
+        let b = mix_seed(0x5EED, 1);
+        let c = mix_seed(0x5EED + 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, mix_seed(0x5EED, 0));
+    }
+}

@@ -1,0 +1,321 @@
+//! Fleet metrics: per-session rows, aggregate distributions, and the serialized
+//! report the CLI and tests consume.
+//!
+//! The report is assembled in session-id order from values that depend only on each
+//! session's own seed and config — it deliberately records *no* shard ids or counts,
+//! so the serialized bytes for a fixed [`crate::FleetConfig`] are identical across
+//! shard layouts (the byte-identity tests diff exactly this).
+
+use crate::admission::AdmissionDecision;
+use bmp_experiments::csvout::CsvTable;
+use bmp_sim::SessionOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Upper edges of the goodput-vs-nominal histogram bins (the last bin is open-ended:
+/// repaired overlays can beat the *degraded* baseline and land above 1).
+const GOODPUT_BIN_EDGES: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// One admitted session's outcome, in fleet-report row form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Session id (submission order).
+    pub session: usize,
+    /// The session's derived RNG stream seed.
+    pub seed: u64,
+    /// Nominal throughput of its initial overlay.
+    pub nominal: f64,
+    /// Delivered goodput over the surviving receivers.
+    pub goodput: f64,
+    /// `goodput / nominal` — the headline per-session health metric.
+    pub goodput_vs_nominal: f64,
+    /// Rounds the session simulated.
+    pub rounds: usize,
+    /// Membership changes that triggered a hot-swap.
+    pub swaps: usize,
+    /// Controller decisions that produced a repair plan.
+    pub repairs: usize,
+    /// Total solve attempts across all repair decisions (retries included).
+    pub attempts: u32,
+    /// Whether the session ended in the graceful-degradation state.
+    pub degraded: bool,
+    /// Floor-tracked residual throughput while degraded.
+    pub degraded_floor: Option<f64>,
+    /// Simulated time from the last hot-swap to recovery, when both happened.
+    pub recovery_time: Option<f64>,
+    /// Surviving receivers that completed the broadcast.
+    pub completed: usize,
+    /// Surviving receivers at the end of the run.
+    pub survivors: usize,
+}
+
+impl SessionStats {
+    /// Builds the row from a session's outcome and its controller's decision log.
+    #[must_use]
+    pub fn from_outcome(
+        session: usize,
+        seed: u64,
+        outcome: &SessionOutcome,
+        decisions: &[bmp_sim::ControllerDecision],
+    ) -> Self {
+        let completed = outcome
+            .survivors
+            .iter()
+            .filter(|&&node| outcome.report.completion_time[node].is_some())
+            .count();
+        SessionStats {
+            session,
+            seed,
+            nominal: outcome.nominal,
+            goodput: outcome.goodput(),
+            goodput_vs_nominal: outcome.goodput_vs_nominal(),
+            rounds: outcome.report.rounds_run,
+            swaps: outcome.swaps.iter().filter(|swap| swap.swapped).count(),
+            repairs: decisions
+                .iter()
+                .filter(|decision| decision.repaired.is_some())
+                .count(),
+            attempts: decisions.iter().map(|decision| decision.attempts).sum(),
+            degraded: outcome.degraded_floor.is_some(),
+            degraded_floor: outcome.degraded_floor,
+            recovery_time: outcome.recovery_time(),
+            completed,
+            survivors: outcome.survivors.len(),
+        }
+    }
+}
+
+/// Aggregates over the admitted sessions: distribution of per-session health plus
+/// fleet-wide counters. Percentiles are over *simulated* time (never wall-clock, which
+/// would be nondeterministic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Sessions that ran (admitted and stepped to completion).
+    pub sessions_run: usize,
+    /// Sessions rejected by admission control.
+    pub sessions_rejected: usize,
+    /// Histogram of `goodput_vs_nominal` over 11 bins: `[0, 0.1), [0.1, 0.2), …,
+    /// [0.9, 1.0), [1.0, ∞)`.
+    pub goodput_histogram: Vec<usize>,
+    /// Mean `goodput_vs_nominal` across run sessions (0 when none ran).
+    pub mean_goodput_vs_nominal: f64,
+    /// p50/p90/p99 of per-session repair recovery times (simulated time units), over
+    /// the sessions that swapped and recovered; `None` when none did.
+    pub recovery_p50: Option<f64>,
+    pub recovery_p90: Option<f64>,
+    pub recovery_p99: Option<f64>,
+    /// Total hot-swaps across the fleet.
+    pub total_swaps: usize,
+    /// Total successful repairs across the fleet.
+    pub total_repairs: usize,
+    /// Total repair solve attempts (retries included).
+    pub total_attempts: u64,
+    /// Sessions that ended degraded.
+    pub degraded_sessions: usize,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (deterministic: no
+/// interpolation, so the result is always an element of the input).
+fn percentile(sorted: &[f64], fraction: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((fraction * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+impl FleetMetrics {
+    /// Aggregates the per-session rows (and the rejection count) into fleet metrics.
+    #[must_use]
+    pub fn aggregate(sessions: &[SessionStats], sessions_rejected: usize) -> Self {
+        let mut histogram = vec![0usize; GOODPUT_BIN_EDGES.len() + 1];
+        for stats in sessions {
+            let bin = GOODPUT_BIN_EDGES
+                .iter()
+                .position(|&edge| stats.goodput_vs_nominal < edge)
+                .unwrap_or(GOODPUT_BIN_EDGES.len());
+            histogram[bin] += 1;
+        }
+        let mut recoveries: Vec<f64> = sessions
+            .iter()
+            .filter_map(|stats| stats.recovery_time)
+            .collect();
+        recoveries.sort_by(f64::total_cmp);
+        let mean = if sessions.is_empty() {
+            0.0
+        } else {
+            sessions
+                .iter()
+                .map(|stats| stats.goodput_vs_nominal)
+                .sum::<f64>()
+                / sessions.len() as f64
+        };
+        FleetMetrics {
+            sessions_run: sessions.len(),
+            sessions_rejected,
+            goodput_histogram: histogram,
+            mean_goodput_vs_nominal: mean,
+            recovery_p50: percentile(&recoveries, 0.50),
+            recovery_p90: percentile(&recoveries, 0.90),
+            recovery_p99: percentile(&recoveries, 0.99),
+            total_swaps: sessions.iter().map(|stats| stats.swaps).sum(),
+            total_repairs: sessions.iter().map(|stats| stats.repairs).sum(),
+            total_attempts: sessions.iter().map(|stats| u64::from(stats.attempts)).sum(),
+            degraded_sessions: sessions.iter().filter(|stats| stats.degraded).count(),
+        }
+    }
+}
+
+/// The complete fleet report: config echo, ordered admission log, per-session rows in
+/// session-id order, and the aggregates. Shard-agnostic by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Sessions submitted (admitted + rejected).
+    pub sessions_submitted: usize,
+    /// The fleet seed.
+    pub seed: u64,
+    /// Receivers per session platform.
+    pub receivers: usize,
+    /// Chunks per session broadcast.
+    pub chunks: usize,
+    /// Repair floor fraction.
+    pub floor: f64,
+    /// The deterministic admission log, in submission order.
+    pub admissions: Vec<AdmissionDecision>,
+    /// Per-session outcomes, in session-id order (admitted sessions only).
+    pub sessions: Vec<SessionStats>,
+    /// Fleet-wide aggregates.
+    pub metrics: FleetMetrics,
+}
+
+impl FleetReport {
+    /// Serializes the report as pretty JSON (bit-exact f64 round-trip through the
+    /// vendored layer; the determinism tests compare these strings byte for byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (the report contains only serializable types).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet report serializes")
+    }
+
+    /// Renders the per-session rows as CSV, one line per admitted session, the way
+    /// experiment sweeps export their tables.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut table = CsvTable::new(&[
+            "session",
+            "seed",
+            "nominal",
+            "goodput",
+            "goodput_vs_nominal",
+            "rounds",
+            "swaps",
+            "repairs",
+            "attempts",
+            "degraded",
+            "degraded_floor",
+            "recovery_time",
+            "completed",
+            "survivors",
+        ]);
+        for stats in &self.sessions {
+            table.push_row(vec![
+                stats.session.to_string(),
+                stats.seed.to_string(),
+                format!("{}", stats.nominal),
+                format!("{}", stats.goodput),
+                format!("{}", stats.goodput_vs_nominal),
+                stats.rounds.to_string(),
+                stats.swaps.to_string(),
+                stats.repairs.to_string(),
+                stats.attempts.to_string(),
+                (stats.degraded as u8).to_string(),
+                stats
+                    .degraded_floor
+                    .map_or_else(String::new, |floor| format!("{floor}")),
+                stats
+                    .recovery_time
+                    .map_or_else(String::new, |time| format!("{time}")),
+                stats.completed.to_string(),
+                stats.survivors.to_string(),
+            ]);
+        }
+        table.to_csv_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(session: usize, ratio: f64, recovery: Option<f64>) -> SessionStats {
+        SessionStats {
+            session,
+            seed: session as u64,
+            nominal: 10.0,
+            goodput: 10.0 * ratio,
+            goodput_vs_nominal: ratio,
+            rounds: 100,
+            swaps: usize::from(recovery.is_some()),
+            repairs: usize::from(recovery.is_some()),
+            attempts: u32::from(recovery.is_some()),
+            degraded: false,
+            degraded_floor: None,
+            recovery_time: recovery,
+            completed: 4,
+            survivors: 4,
+        }
+    }
+
+    #[test]
+    fn histogram_bins_and_percentiles() {
+        let sessions = vec![
+            stats(0, 0.05, Some(1.0)),
+            stats(1, 0.55, Some(2.0)),
+            stats(2, 0.95, Some(3.0)),
+            stats(3, 1.25, Some(4.0)),
+        ];
+        let metrics = FleetMetrics::aggregate(&sessions, 2);
+        assert_eq!(metrics.sessions_run, 4);
+        assert_eq!(metrics.sessions_rejected, 2);
+        assert_eq!(metrics.goodput_histogram.len(), 11);
+        assert_eq!(metrics.goodput_histogram[0], 1); // 0.05
+        assert_eq!(metrics.goodput_histogram[5], 1); // 0.55
+        assert_eq!(metrics.goodput_histogram[9], 1); // 0.95
+        assert_eq!(metrics.goodput_histogram[10], 1); // 1.25 in the open bin
+        assert_eq!(metrics.recovery_p50, Some(2.0));
+        assert_eq!(metrics.recovery_p90, Some(4.0));
+        assert_eq!(metrics.recovery_p99, Some(4.0));
+        assert_eq!(metrics.total_swaps, 4);
+    }
+
+    #[test]
+    fn empty_fleet_aggregates_cleanly() {
+        let metrics = FleetMetrics::aggregate(&[], 3);
+        assert_eq!(metrics.sessions_run, 0);
+        assert_eq!(metrics.sessions_rejected, 3);
+        assert_eq!(metrics.mean_goodput_vs_nominal, 0.0);
+        assert_eq!(metrics.recovery_p50, None);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_session() {
+        let report = FleetReport {
+            sessions_submitted: 2,
+            seed: 7,
+            receivers: 4,
+            chunks: 32,
+            floor: 0.9,
+            admissions: Vec::new(),
+            sessions: vec![stats(0, 0.9, None), stats(1, 1.0, Some(2.5))],
+            metrics: FleetMetrics::aggregate(&[stats(0, 0.9, None)], 0),
+        };
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("session,seed,nominal"));
+        let json = report.to_json();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,201 @@
+//! Fleet-level acceptance tests: shard-count independence, admission determinism,
+//! equivalence with independent single-session runs, and the 1000-session storm run.
+
+use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_platform::distribution::UniformBandwidth;
+use bmp_platform::generator::GeneratorConfig;
+use bmp_platform::InstanceGenerator;
+use bmp_serve::{
+    mix_seed, run_fleet, AdmissionPolicy, AdmissionVerdict, ChurnConfig, ChurnFeed, FleetConfig,
+    RejectReason,
+};
+use bmp_sim::{run_adaptive, FaultPlan, Overlay, RepairController, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_config() -> FleetConfig {
+    FleetConfig {
+        sessions: 24,
+        shards: 1,
+        receivers: 4,
+        chunks: 24,
+        seed: 0xF1EE7,
+        floor: 0.9,
+        flow_threads: 1,
+        repair_algorithm: None,
+        admission: AdmissionPolicy::default(),
+        churn: ChurnConfig {
+            start: 3.0,
+            spacing: 2.0,
+            waves: 2,
+        },
+        fault_plan: None,
+    }
+}
+
+#[test]
+fn fleet_report_is_byte_identical_across_shard_counts() {
+    let mut config = small_config();
+    let reference = run_fleet(&config).to_json();
+    for shards in [2usize, 4] {
+        config.shards = shards;
+        let report = run_fleet(&config).to_json();
+        assert_eq!(
+            reference, report,
+            "shard count {shards} changed the fleet report"
+        );
+    }
+}
+
+#[test]
+fn fleet_report_is_byte_identical_across_shard_counts_under_a_fault_storm() {
+    let mut config = small_config();
+    config.sessions = 8;
+    config.fault_plan = Some(FaultPlan::storm(41));
+    let reference = run_fleet(&config).to_json();
+    config.shards = 4;
+    assert_eq!(
+        reference,
+        run_fleet(&config).to_json(),
+        "fault injection made the fleet report shard-dependent"
+    );
+}
+
+#[test]
+fn admission_rejections_are_deterministic_and_logged() {
+    let mut config = small_config();
+    config.sessions = 12;
+    // unif100 receivers draw from [10, 100] and the source likewise: a 4-receiver
+    // session load lands in [50, 500], so a 900 capacity admits roughly two to three
+    // sessions and must reject the rest deterministically.
+    config.admission = AdmissionPolicy {
+        max_sessions: Some(5),
+        capacity: Some(900.0),
+        queue: false,
+    };
+    let first = run_fleet(&config);
+    let second = run_fleet(&config);
+    assert_eq!(first.admissions, second.admissions);
+    assert_eq!(first.to_json(), second.to_json());
+    let rejected: Vec<_> = first
+        .admissions
+        .iter()
+        .filter(|decision| matches!(decision.verdict, AdmissionVerdict::Rejected { .. }))
+        .collect();
+    assert!(
+        !rejected.is_empty(),
+        "the capacity cap should have turned sessions away"
+    );
+    assert_eq!(first.metrics.sessions_rejected, rejected.len());
+    assert_eq!(
+        first.metrics.sessions_run + first.metrics.sessions_rejected,
+        config.sessions
+    );
+    // Rejected sessions never produce rows.
+    for decision in &rejected {
+        assert!(first
+            .sessions
+            .iter()
+            .all(|stats| stats.session != decision.session));
+    }
+    // Queue mode admits everyone eventually, with the same deterministic log shape.
+    config.admission.queue = true;
+    let queued = run_fleet(&config);
+    let impossible = queued
+        .admissions
+        .iter()
+        .filter(
+            |decision| match (decision.verdict, config.admission.capacity) {
+                (AdmissionVerdict::Rejected { reason }, Some(_)) => {
+                    assert_eq!(reason, RejectReason::Capacity);
+                    true
+                }
+                _ => false,
+            },
+        )
+        .count();
+    assert_eq!(
+        queued.metrics.sessions_run + impossible,
+        config.sessions,
+        "queue mode must run every possible session"
+    );
+}
+
+#[test]
+fn fleet_sessions_match_independent_adaptive_runs() {
+    let config = small_config();
+    let report = run_fleet(&config);
+    let generator = InstanceGenerator::new(
+        GeneratorConfig::new(config.receivers, 0.7).unwrap(),
+        UniformBandwidth::unif100(),
+    );
+    let feed = ChurnFeed::new(config.seed, config.churn);
+    for stats in &report.sessions {
+        // Rebuild the session exactly as a standalone run_adaptive caller would,
+        // from nothing but the per-session seed.
+        let seed = mix_seed(config.seed, stats.session as u64);
+        assert_eq!(seed, stats.seed);
+        let instance = generator.generate(&mut StdRng::seed_from_u64(seed));
+        let solution = AcyclicGuardedSolver::default().solve(&instance);
+        let overlay = Overlay::from_scheme(&solution.scheme);
+        let sim = SimConfig {
+            num_chunks: config.chunks,
+            seed,
+            ..SimConfig::default()
+        }
+        .scaled_to(solution.throughput, 2.0);
+        let churn = feed.schedule(stats.session, instance.num_nodes());
+        let mut controller =
+            RepairController::new(instance, solution.scheme, solution.throughput, config.floor);
+        let outcome = run_adaptive(overlay, sim, &churn, &mut controller, solution.throughput);
+        assert_eq!(
+            outcome.goodput().to_bits(),
+            stats.goodput.to_bits(),
+            "session {} diverged from its standalone run",
+            stats.session
+        );
+        assert_eq!(outcome.nominal.to_bits(), stats.nominal.to_bits());
+        assert_eq!(outcome.report.rounds_run, stats.rounds);
+    }
+}
+
+#[test]
+fn a_thousand_session_storm_fleet_is_deterministic_on_four_shards() {
+    // The ISSUE acceptance run, sized for debug-mode CI: 1000 sessions on 4 shards
+    // under a seeded churn storm, minimal per-session platforms so the fleet stays
+    // within seconds. Determinism is asserted by re-running with a different shard
+    // count and comparing the serialized reports byte for byte.
+    let config = FleetConfig {
+        sessions: 1000,
+        shards: 4,
+        receivers: 3,
+        chunks: 12,
+        seed: 0xBEEF,
+        floor: 0.9,
+        flow_threads: 1,
+        repair_algorithm: None,
+        admission: AdmissionPolicy::default(),
+        churn: ChurnConfig {
+            start: 2.0,
+            spacing: 2.0,
+            waves: 1,
+        },
+        fault_plan: Some(FaultPlan::storm(7)),
+    };
+    let report = run_fleet(&config);
+    assert_eq!(report.sessions.len(), 1000);
+    assert!(report.metrics.total_swaps > 0, "the storm never bit");
+    assert!(
+        report.sessions.iter().all(|stats| stats.goodput > 0.0),
+        "every session must deliver"
+    );
+    let rerun = FleetConfig {
+        shards: 2,
+        ..config
+    };
+    assert_eq!(
+        report.to_json(),
+        run_fleet(&rerun).to_json(),
+        "the 1000-session report depends on shard count"
+    );
+}

@@ -237,6 +237,10 @@ pub struct RepairController {
     /// Floor-tracked residual throughput of the last good overlay while degraded (the
     /// minimum residual observed across degraded decisions). Cleared on recovery.
     degraded_floor: Option<f64>,
+    /// Registry name of the solver to try *first* in the repair fallback chain
+    /// (`simulate --repair-algorithm`). `None` keeps the registry order as-is; the
+    /// remaining solvers still serve as fallbacks either way.
+    preferred_solver: Option<String>,
 }
 
 impl RepairController {
@@ -270,7 +274,22 @@ impl RepairController {
             nominal_deployed: true,
             degraded: false,
             degraded_floor: None,
+            preferred_solver: None,
         }
+    }
+
+    /// Moves the named solver to the front of the repair fallback chain (`None`
+    /// restores the plain [`registry`] order). The name is not validated here — an
+    /// unknown name simply matches nothing and leaves the chain unchanged; the CLI
+    /// validates against [`bmp_core::solver::find`] before calling this.
+    pub fn set_repair_algorithm(&mut self, name: Option<String>) {
+        self.preferred_solver = name;
+    }
+
+    /// The currently preferred repair solver, if one was pinned.
+    #[must_use]
+    pub fn repair_algorithm(&self) -> Option<&str> {
+        self.preferred_solver.as_deref()
     }
 
     /// Residual throughput of the *currently deployed* overlay restricted to the
@@ -301,12 +320,27 @@ impl RepairController {
         }
     }
 
-    /// One budgeted walk of the fallback chain: every [`registry`] solver in order, up
-    /// to [`RETRIES_PER_SOLVER`] transient-failure retries each, at most
-    /// [`REPAIR_ATTEMPT_BUDGET`] solve attempts in total.
-    fn attempt_repair(&mut self, departed: &[NodeId]) -> RepairAttempt {
+    /// One budgeted walk of the fallback chain: every [`registry`] solver in order
+    /// (with the pinned [`RepairController::set_repair_algorithm`] solver, if any,
+    /// moved to the front), up to [`RETRIES_PER_SOLVER`] transient-failure retries
+    /// each, at most [`REPAIR_ATTEMPT_BUDGET`] solve attempts in total.
+    ///
+    /// `residual` is the verified residual throughput of the still-deployed overlay on
+    /// the survivors: each solve is warm-started from it as the lower bisection bracket
+    /// ([`EvalCtx::set_warm_start_lower`] — advisory and probed, never trusted, so a
+    /// cyclic residual above the acyclic optimum only narrows the bracket from above).
+    /// The hint is one-shot, so it is re-armed before every attempt, retries included.
+    fn attempt_repair(&mut self, departed: &[NodeId], residual: f64) -> RepairAttempt {
+        let warm_start = (residual > 0.0).then_some(residual);
+        let mut solvers = registry();
+        if let Some(name) = self.preferred_solver.as_deref() {
+            if let Some(position) = solvers.iter().position(|solver| solver.name() == name) {
+                let preferred = solvers.remove(position);
+                solvers.insert(0, preferred);
+            }
+        }
         let mut attempts = 0u32;
-        for solver in registry() {
+        for solver in solvers {
             let mut tries = 0u32;
             loop {
                 if attempts >= REPAIR_ATTEMPT_BUDGET {
@@ -319,6 +353,7 @@ impl RepairController {
                 }
                 attempts += 1;
                 tries += 1;
+                self.ctx.set_warm_start_lower(warm_start);
                 match repair_with(&self.instance, departed, solver.as_ref(), &mut self.ctx) {
                     Ok(plan) => {
                         return RepairAttempt {
@@ -403,6 +438,7 @@ impl RepairController {
             nominal_deployed: self.nominal_deployed,
             degraded: self.degraded,
             degraded_floor: self.degraded_floor,
+            preferred_solver: self.preferred_solver.clone(),
             decisions: self.decisions.clone(),
         }
     }
@@ -461,6 +497,7 @@ impl RepairController {
             nominal_deployed: snapshot.nominal_deployed,
             degraded: snapshot.degraded,
             degraded_floor: snapshot.degraded_floor,
+            preferred_solver: snapshot.preferred_solver.clone(),
         }
     }
 }
@@ -505,8 +542,12 @@ impl AdaptationPolicy for RepairController {
             self.degraded_floor = None;
             (None, 0, None, false)
         } else {
-            // 3. Re-solve the surviving platform through the budgeted fallback chain.
-            let attempt = self.attempt_repair(departed);
+            // 3. Re-solve the surviving platform through the budgeted fallback chain,
+            //    warm-starting each bisection from the verified residual.
+            let attempt = self.attempt_repair(departed, residual);
+            // A hint armed for a solver that ignores warm-starts must not leak into a
+            // later, unrelated solve on this context.
+            self.ctx.set_warm_start_lower(None);
             match attempt.plan {
                 Some(plan) => {
                     let overlay = Overlay::new(self.instance.num_nodes(), plan.edges.clone());
@@ -581,6 +622,7 @@ pub struct ControllerSnapshot {
     nominal_deployed: bool,
     degraded: bool,
     degraded_floor: Option<f64>,
+    preferred_solver: Option<String>,
     decisions: Vec<ControllerDecision>,
 }
 

@@ -11,12 +11,15 @@
 //! * [`trees`] — decomposition of the overlays into weighted broadcast trees.
 //! * [`sim`] — Massoulié-style randomized chunk streaming simulator over the overlays.
 //! * [`experiments`] — statistics and runners that regenerate every table and figure.
+//! * [`serve`] — sharded multi-session broadcast server with admission control and
+//!   fleet metrics.
 
 pub use bmp_core as core;
 pub use bmp_experiments as experiments;
 pub use bmp_flow as flow;
 pub use bmp_lp as lp;
 pub use bmp_platform as platform;
+pub use bmp_serve as serve;
 pub use bmp_sim as sim;
 pub use bmp_trees as trees;
 
