@@ -10,7 +10,9 @@
 //! * `serve/admission/1k` — 1000 admission decisions under a combined session-cap +
 //!   capacity + queue policy, no sessions run: the pure control-plane cost.
 
-use bmp_serve::{run_fleet, AdmissionPolicy, ChurnConfig, FleetConfig};
+use bmp_serve::{
+    run_fleet, AdmissionPolicy, ChurnConfig, FleetConfig, SessionFaults, SupervisionConfig,
+};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 
 fn fleet_config(sessions: usize, shards: usize) -> FleetConfig {
@@ -30,6 +32,8 @@ fn fleet_config(sessions: usize, shards: usize) -> FleetConfig {
             waves: 1,
         },
         fault_plan: None,
+        supervision: SupervisionConfig::default(),
+        session_faults: SessionFaults::default(),
     }
 }
 

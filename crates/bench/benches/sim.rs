@@ -1,17 +1,23 @@
 //! Chunk-level streaming simulator benchmarks (the Massoulié-style data plane).
 //!
-//! Three groups:
+//! Four groups:
 //!
 //! * `streaming_simulation` — whole runs over solved overlays (end-to-end cost);
 //! * `sim_round` — the per-round hot path of the session engine: stepping a
 //!   mid-broadcast session (word-packed possession bitsets, O(chunks/64) useful-chunk
 //!   scans) and the rarest-first pick on wide chunk sets;
 //! * `fault_storm` — the hardened repair pipeline under injected solver failures: one
-//!   full faulted repair cycle (probe, residual, retries, hot-swap plan). Drained into
-//!   `BENCH_sim.json` at the repo root; the `sim_round` and `fault_storm` ids are
-//!   pinned by the CI perf gate (`validate_bench`).
+//!   full faulted repair cycle (probe, residual, retries, hot-swap plan);
+//! * `repair` — the warm-started repair solve against its cold twin: the same
+//!   post-departure re-solve with and without the residual-throughput lower bracket
+//!   ([`EvalCtx::set_warm_start_lower`]) the controller arms before every attempt.
+//!
+//! Drained into `BENCH_sim.json` at the repo root; the `sim_round`, `fault_storm` and
+//! `repair` ids are pinned by the CI perf gate (`validate_bench`).
 
 use bmp_core::acyclic_guarded::AcyclicGuardedSolver;
+use bmp_core::churn::repair_with;
+use bmp_core::{registry, EvalCtx};
 use bmp_platform::distribution::UniformBandwidth;
 use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
 use bmp_platform::Instance;
@@ -176,11 +182,76 @@ fn bench_fault_storm(c: &mut Criterion) {
     group.finish();
 }
 
+/// The repair-latency halves of one hot-swap: the post-departure re-solve warm-started
+/// from the verified residual throughput of the still-deployed overlay (the bracket the
+/// controller arms via [`EvalCtx::set_warm_start_lower`] before every attempt) against
+/// the identical solve from a cold lower bracket of zero. The victim is a leaf of the
+/// deployed overlay — it relays to no one, so every survivor stays fed and the residual
+/// bracket is non-trivial (a relay victim starves its subtree, residual 0, and the warm
+/// solve degenerates into the cold one). Both variants run the same 50-receiver
+/// departure on a fresh context, so the delta isolates what the warm bracket saves in
+/// bisection probes — the cost the `sim_churn` telemetry CSV now reports per repair
+/// (`repair_ms_mean` / `repair_ms_max`).
+fn bench_repair_warm_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(10);
+    let receivers = 50usize;
+    let instance = generated_instance(receivers, 17);
+    let solution = AcyclicGuardedSolver::default().solve(&instance);
+    let deployed = Overlay::from_scheme(&solution.scheme);
+    let num_nodes = instance.num_nodes();
+    let victim = (1..num_nodes)
+        .find(|&node| deployed.edges().iter().all(|edge| edge.from != node))
+        .expect("an acyclic overlay always has a leaf receiver");
+    let survivors: Vec<usize> = (1..num_nodes).filter(|&node| node != victim).collect();
+    // The residual throughput of the deployed overlay on the survivors, computed
+    // exactly as the controller's residual probe does: this is the verified feasible
+    // lower bracket a real repair warm-starts from.
+    let residual = EvalCtx::new().min_max_flow_with(num_nodes, 0, &survivors, |edges| {
+        edges.extend(
+            deployed
+                .edges()
+                .iter()
+                .filter(|edge| edge.from != victim && edge.to != victim)
+                .map(|edge| (edge.from, edge.to, edge.rate)),
+        );
+    });
+    assert!(
+        residual.is_finite() && residual > 0.0,
+        "the deployed overlay must retain residual throughput after one departure"
+    );
+    let solvers = registry();
+    let solver = solvers
+        .iter()
+        .find(|solver| solver.name() == "acyclic-guarded")
+        .expect("the registry always carries the acyclic-guarded solver");
+    for (variant, hint) in [("warm", Some(residual)), ("cold", None)] {
+        group.bench_with_input(
+            BenchmarkId::new("warm-vs-cold", variant),
+            &hint,
+            |b, hint| {
+                b.iter(|| {
+                    let mut ctx = EvalCtx::new();
+                    // The hint is one-shot, so a real controller re-arms it before
+                    // every attempt; a fresh context per iteration does the same.
+                    ctx.set_warm_start_lower(*hint);
+                    let plan = repair_with(&instance, &[victim], solver.as_ref(), &mut ctx)
+                        .expect("the fault-free repair solve cannot fail")
+                        .expect("a survivor remains after one departure");
+                    plan.throughput
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_simulation,
     bench_session_round,
-    bench_fault_storm
+    bench_fault_storm,
+    bench_repair_warm_vs_cold
 );
 
 fn main() {

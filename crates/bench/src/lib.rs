@@ -288,12 +288,15 @@ pub const THROUGHPUT_REQUIRED_IDS: [&str; 7] = [
 ];
 
 /// The benchmark ids the `sim` report must contain (the session engine's per-round hot
-/// path over the word-packed possession bitsets, the widest policy scan, and the
-/// hardened repair pipeline's faulted repair cycle).
-pub const SIM_REQUIRED_IDS: [&str; 3] = [
+/// path over the word-packed possession bitsets, the widest policy scan, the hardened
+/// repair pipeline's faulted repair cycle, and the warm-vs-cold repair solve pair that
+/// keeps the residual warm-start from regressing silently).
+pub const SIM_REQUIRED_IDS: [&str; 5] = [
     "sim_round/session/50x1000",
     "sim_round/pick/rarest-first/4096",
     "fault_storm/repair-cycle/50",
+    "repair/warm-vs-cold/warm",
+    "repair/warm-vs-cold/cold",
 ];
 
 /// The benchmark ids the `serve` report must contain (the sharded fleet runner end to

@@ -10,11 +10,25 @@
 //! The run is deterministic for a fixed seed regardless of `--shards` (per-session
 //! RNG streams, ordered metric merge) — the report written for `--shards 1` and
 //! `--shards 4` is byte-identical.
+//!
+//! Supervised fleets can be halted and resumed without changing any result:
+//!
+//! ```text
+//! bmp serve --sessions 64 --checkpoint fleet.ckpt --halt-after 200
+//! bmp serve --resume fleet.ckpt --shards 8 --report fleet.json
+//! ```
+//!
+//! The resumed report is byte-identical to the uninterrupted run's. `--panic-session`
+//! and `--wedge-session` inject deterministic session failures to exercise the
+//! quarantine, watchdog and retry machinery end to end.
 
 use crate::args::{ArgList, FlagSpec};
 use crate::error::CliError;
+use crate::files;
 use bmp_serve::{
-    run_fleet, AdmissionPolicy, AdmissionVerdict, ChurnConfig, FleetConfig, FleetReport,
+    run_fleet_with, AdmissionPolicy, AdmissionVerdict, ChurnConfig, Disposition, FleetCheckpoint,
+    FleetConfig, FleetOptions, FleetReport, FleetRun, QuarantineReason, SessionFaults,
+    SessionPanic, SessionWedge, SupervisionConfig,
 };
 use bmp_sim::FaultPlan;
 use std::io::Write;
@@ -38,8 +52,39 @@ pub const FLAGS: FlagSpec = FlagSpec {
         "--fault-plan",
         "--report",
         "--csv",
+        "--checkpoint",
+        "--checkpoint-every",
+        "--halt-after",
+        "--resume",
+        "--max-rounds",
+        "--no-progress",
+        "--retries",
+        "--panic-session",
+        "--wedge-session",
     ],
 };
+
+/// The flags that describe the fleet itself (as opposed to scheduling and output):
+/// these conflict with `--resume`, which carries the fleet description in the
+/// checkpoint.
+const RESUME_CONFLICTS: &[&str] = &[
+    "--sessions",
+    "--receivers",
+    "--chunks",
+    "--seed",
+    "--floor",
+    "--threads",
+    "--max-sessions",
+    "--capacity",
+    "--repair-algorithm",
+    "--churn",
+    "--fault-plan",
+    "--max-rounds",
+    "--no-progress",
+    "--retries",
+    "--panic-session",
+    "--wedge-session",
+];
 
 /// Parses a `START:SPACING:WAVES` churn feed specification.
 fn parse_churn(raw: &str) -> Result<ChurnConfig, CliError> {
@@ -73,21 +118,51 @@ fn parse_churn(raw: &str) -> Result<ChurnConfig, CliError> {
     })
 }
 
-/// Runs the `serve` subcommand.
-///
-/// Flags: `--sessions N` (default 8), `--shards K` (default 1), `--receivers R`
-/// (default 4), `--chunks C` (default 60), `--seed S`, `--floor F` (default 0.9),
-/// `--threads T` (flow fan-out per controller), `--max-sessions N` / `--capacity L` /
-/// `--queue` (admission policy), `--repair-algorithm NAME`, `--churn
-/// START:SPACING:WAVES` (default `4:3:2`), `--fault-plan SPEC` (`storm`,
-/// `storm:SEED`, `off`; unset reads `BMP_FAULT_PLAN`), `--report FILE` (fleet report
-/// JSON), `--csv FILE` (per-session rows).
-///
-/// # Errors
-///
-/// Returns a [`CliError`] on malformed flags or unwritable output paths.
-pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
-    args.reject_unknown_flags(&FLAGS)?;
+/// Parses a `SESSION:ROUND` (optionally `SESSION:ROUND:once` when `allow_once`)
+/// injected-fault specification.
+fn parse_session_fault(
+    raw: &str,
+    flag: &str,
+    allow_once: bool,
+) -> Result<(usize, usize, bool), CliError> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    let once = match parts.as_slice() {
+        [_, _] => false,
+        [_, _, tag] if allow_once && tag.trim() == "once" => true,
+        _ => {
+            let shape = if allow_once {
+                "SESSION:ROUND or SESSION:ROUND:once"
+            } else {
+                "SESSION:ROUND"
+            };
+            return Err(CliError::Usage(format!(
+                "{flag} spec {raw:?} must be {shape}"
+            )));
+        }
+    };
+    let session: usize = parts[0]
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: invalid session id {:?}", parts[0])))?;
+    let round: usize = parts[1]
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: invalid round {:?}", parts[1])))?;
+    Ok((session, round, once))
+}
+
+/// Parses an optional non-negative integer flag.
+fn get_optional<T: std::str::FromStr>(args: &ArgList, flag: &str) -> Result<Option<T>, CliError> {
+    args.get(flag)
+        .map(|raw| {
+            raw.parse::<T>()
+                .map_err(|_| CliError::Usage(format!("invalid value {raw:?} for {flag}")))
+        })
+        .transpose()
+}
+
+/// Builds the fleet configuration from scratch (the non-`--resume` path).
+fn config_from_flags(args: &ArgList) -> Result<FleetConfig, CliError> {
     let sessions: usize = args.get_parsed("--sessions", 8)?;
     let shards: usize = args.get_parsed("--shards", 1)?;
     if sessions == 0 || shards == 0 {
@@ -136,7 +211,26 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         Some(spec) => FaultPlan::parse(spec),
         None => FaultPlan::from_env(),
     };
-    let config = FleetConfig {
+    let supervision = SupervisionConfig {
+        max_rounds: get_optional(args, "--max-rounds")?,
+        no_progress_rounds: get_optional(args, "--no-progress")?,
+        max_retries: args.get_parsed("--retries", SupervisionConfig::default().max_retries)?,
+        ..SupervisionConfig::default()
+    };
+    let mut session_faults = SessionFaults::default();
+    if let Some(raw) = args.get("--panic-session") {
+        let (session, round, once) = parse_session_fault(raw, "--panic-session", true)?;
+        session_faults.panics.push(SessionPanic {
+            session,
+            round,
+            transient: once,
+        });
+    }
+    if let Some(raw) = args.get("--wedge-session") {
+        let (session, round, _) = parse_session_fault(raw, "--wedge-session", false)?;
+        session_faults.wedges.push(SessionWedge { session, round });
+    }
+    Ok(FleetConfig {
         sessions,
         shards,
         receivers: args.get_parsed("--receivers", 4)?,
@@ -152,6 +246,83 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         },
         churn,
         fault_plan,
+        supervision,
+        session_faults,
+    })
+}
+
+/// Runs the `serve` subcommand.
+///
+/// Flags: `--sessions N` (default 8), `--shards K` (default 1), `--receivers R`
+/// (default 4), `--chunks C` (default 60), `--seed S`, `--floor F` (default 0.9),
+/// `--threads T` (flow fan-out per controller), `--max-sessions N` / `--capacity L` /
+/// `--queue` (admission policy), `--repair-algorithm NAME`, `--churn
+/// START:SPACING:WAVES` (default `4:3:2`), `--fault-plan SPEC` (`storm`,
+/// `storm:SEED`, `off`; unset reads `BMP_FAULT_PLAN`), `--report FILE` (fleet report
+/// JSON), `--csv FILE` (per-session rows).
+///
+/// Supervision: `--max-rounds N` / `--no-progress N` override the derived watchdog
+/// budgets, `--retries R` bounds panic re-admissions, `--panic-session S:R[:once]` /
+/// `--wedge-session S:R` inject deterministic session failures.
+///
+/// Checkpointing: `--checkpoint FILE` streams a fleet checkpoint to FILE every
+/// `--checkpoint-every K` waves (default 1), `--halt-after N` parks every session at
+/// round N and halts (requires `--checkpoint`), and `--resume FILE` continues a
+/// halted fleet — only `--shards` and the output flags may accompany it; the fleet
+/// description comes from the checkpoint.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed flags, conflicting resume flags, or
+/// unwritable output paths.
+pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
+    args.reject_unknown_flags(&FLAGS)?;
+    let checkpoint_path = args.get("--checkpoint");
+    let halt_after: Option<usize> = get_optional(args, "--halt-after")?;
+    let checkpoint_every: usize = args.get_parsed("--checkpoint-every", 1)?;
+    if checkpoint_path.is_none() {
+        if halt_after.is_some() {
+            return Err(CliError::Usage(
+                "--halt-after requires --checkpoint (the parked fleet must be persisted)".into(),
+            ));
+        }
+        if args.get("--checkpoint-every").is_some() {
+            return Err(CliError::Usage(
+                "--checkpoint-every requires --checkpoint".into(),
+            ));
+        }
+    }
+    let resume = match args.get("--resume") {
+        Some(path) => {
+            for flag in RESUME_CONFLICTS {
+                if args.get(flag).is_some() {
+                    return Err(CliError::Usage(format!(
+                        "{flag} conflicts with --resume: the fleet description comes \
+                         from the checkpoint (only --shards and output flags apply)"
+                    )));
+                }
+            }
+            if args.has("--queue") {
+                return Err(CliError::Usage(
+                    "--queue conflicts with --resume: the admission policy comes from \
+                     the checkpoint"
+                        .into(),
+                ));
+            }
+            Some(files::read_fleet_checkpoint(path)?)
+        }
+        None => None,
+    };
+    let config = match &resume {
+        Some(checkpoint) => {
+            let mut config = checkpoint.config.clone();
+            config.shards = args.get_parsed("--shards", config.shards)?;
+            if config.shards == 0 {
+                return Err(CliError::Usage("--shards must be at least 1".into()));
+            }
+            config
+        }
+        None => config_from_flags(args)?,
     };
 
     writeln!(
@@ -159,17 +330,61 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         "serving {} session(s) across {} shard(s) (receivers {}, chunks {}, seed {:#x}, floor {})",
         config.sessions, config.shards, config.receivers, config.chunks, config.seed, config.floor
     )?;
-    let report = run_fleet(&config);
-    render_summary(&report, out)?;
-    if let Some(path) = args.get("--report") {
-        std::fs::write(path, report.to_json())
-            .map_err(|e| CliError::Io(format!("cannot write fleet report {path:?}: {e}")))?;
-        writeln!(out, "fleet report written to {path}")?;
+    let mut write_error: Option<CliError> = None;
+    let outcome = {
+        let mut sink = |checkpoint: &FleetCheckpoint| {
+            if write_error.is_some() {
+                return;
+            }
+            if let Some(path) = checkpoint_path {
+                if let Err(e) = files::write_fleet_checkpoint(path, checkpoint) {
+                    write_error = Some(e);
+                }
+            }
+        };
+        let options = FleetOptions {
+            resume,
+            halt_after,
+            checkpoint_every: if checkpoint_path.is_some() {
+                checkpoint_every
+            } else {
+                0
+            },
+            on_checkpoint: checkpoint_path
+                .is_some()
+                .then_some(&mut sink as &mut dyn FnMut(&FleetCheckpoint)),
+        };
+        run_fleet_with(&config, options)
+    };
+    if let Some(e) = write_error {
+        return Err(e);
     }
-    if let Some(path) = args.get("--csv") {
-        std::fs::write(path, report.to_csv())
-            .map_err(|e| CliError::Io(format!("cannot write fleet CSV {path:?}: {e}")))?;
-        writeln!(out, "per-session CSV written to {path}")?;
+    match outcome {
+        FleetRun::Halted(checkpoint) => {
+            let path = checkpoint_path.expect("--halt-after requires --checkpoint");
+            files::write_fleet_checkpoint(path, &checkpoint)?;
+            writeln!(
+                out,
+                "fleet halted before wave {} with {} session(s) pending; checkpoint \
+                 written to {path} (continue with --resume {path})",
+                checkpoint.next_wave,
+                checkpoint.pending.len()
+            )?;
+        }
+        FleetRun::Completed(report) => {
+            render_summary(&report, out)?;
+            if let Some(path) = args.get("--report") {
+                std::fs::write(path, report.to_json()).map_err(|e| {
+                    CliError::Io(format!("cannot write fleet report {path:?}: {e}"))
+                })?;
+                writeln!(out, "fleet report written to {path}")?;
+            }
+            if let Some(path) = args.get("--csv") {
+                std::fs::write(path, report.to_csv())
+                    .map_err(|e| CliError::Io(format!("cannot write fleet CSV {path:?}: {e}")))?;
+                writeln!(out, "per-session CSV written to {path}")?;
+            }
+        }
     }
     Ok(())
 }
@@ -179,8 +394,8 @@ fn render_summary<W: Write>(report: &FleetReport, out: &mut W) -> Result<(), Cli
     let metrics = &report.metrics;
     writeln!(
         out,
-        "admission : {} run, {} rejected",
-        metrics.sessions_run, metrics.sessions_rejected
+        "admission : {} run, {} rejected, {} quarantined",
+        metrics.sessions_run, metrics.sessions_rejected, metrics.sessions_quarantined
     )?;
     for decision in &report.admissions {
         if let AdmissionVerdict::Rejected { reason } = decision.verdict {
@@ -188,6 +403,33 @@ fn render_summary<W: Write>(report: &FleetReport, out: &mut W) -> Result<(), Cli
                 out,
                 "  session {:>4} rejected ({reason:?}, load {:.2})",
                 decision.session, decision.load
+            )?;
+        }
+    }
+    if !report.quarantined.is_empty() {
+        writeln!(
+            out,
+            "quarantine: {} permanent, {} retried re-admission(s)",
+            metrics.sessions_quarantined, metrics.session_retries
+        )?;
+        for record in &report.quarantined {
+            let reason = match &record.reason {
+                QuarantineReason::Panic { tag } => format!("panicked: {tag}"),
+                QuarantineReason::Stuck {
+                    rounds_without_progress,
+                } => format!("stuck ({rounds_without_progress} rounds without progress)"),
+                QuarantineReason::Budget { rounds } => {
+                    format!("over round budget ({rounds} rounds)")
+                }
+            };
+            let disposition = match record.disposition {
+                Disposition::Retried { wave } => format!("retried in wave {wave}"),
+                Disposition::Permanent => "permanently quarantined".to_string(),
+            };
+            writeln!(
+                out,
+                "  session {:>4} attempt {} (wave {}, round {}): {reason} — {disposition}",
+                record.session, record.attempt, record.wave, record.round
             )?;
         }
     }
@@ -222,6 +464,7 @@ fn render_summary<W: Write>(report: &FleetReport, out: &mut W) -> Result<(), Cli
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::files::testutil::temp_path;
 
     fn run_args(args: Vec<String>) -> Result<String, CliError> {
         let list = ArgList::parse(&args)?;
@@ -242,7 +485,7 @@ mod tests {
         ])
         .unwrap();
         assert!(output.contains("serving 3 session(s) across 2 shard(s)"));
-        assert!(output.contains("admission : 3 run, 0 rejected"));
+        assert!(output.contains("admission : 3 run, 0 rejected, 0 quarantined"));
         assert!(output.contains("goodput"));
     }
 
@@ -277,6 +520,69 @@ mod tests {
     }
 
     #[test]
+    fn halted_fleets_resume_to_the_uninterrupted_report() {
+        let dir = temp_path("serve-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let base = |extra: Vec<String>| {
+            let mut args = vec![
+                "--sessions".to_string(),
+                "4".into(),
+                "--chunks".into(),
+                "24".into(),
+            ];
+            args.extend(extra);
+            run_args(args).unwrap()
+        };
+        base(vec!["--report".into(), path("full.json")]);
+        let halted = base(vec![
+            "--checkpoint".into(),
+            path("fleet.ckpt"),
+            "--halt-after".into(),
+            "10".into(),
+        ]);
+        assert!(halted.contains("fleet halted"), "{halted}");
+        let resumed = run_args(vec![
+            "--resume".into(),
+            path("fleet.ckpt"),
+            "--shards".into(),
+            "3".into(),
+            "--report".into(),
+            path("resumed.json"),
+        ])
+        .unwrap();
+        assert!(resumed.contains("fleet report written"), "{resumed}");
+        let full = std::fs::read(dir.join("full.json")).unwrap();
+        let back = std::fs::read(dir.join("resumed.json")).unwrap();
+        assert_eq!(
+            full, back,
+            "a halted-and-resumed fleet must reproduce the uninterrupted report"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_panics_are_quarantined_and_summarized() {
+        let output = run_args(vec![
+            "--sessions".into(),
+            "3".into(),
+            "--chunks".into(),
+            "24".into(),
+            "--panic-session".into(),
+            "1:3".into(),
+            "--retries".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        assert!(
+            output.contains("admission : 2 run, 0 rejected, 1 quarantined"),
+            "{output}"
+        );
+        assert!(output.contains("permanently quarantined"), "{output}");
+        assert!(output.contains("injected session panic"), "{output}");
+    }
+
+    #[test]
     fn bad_flags_are_usage_errors() {
         for args in [
             vec!["--sessions".to_string(), "0".into()],
@@ -285,6 +591,16 @@ mod tests {
             vec!["--churn".to_string(), "4:3".into()],
             vec!["--churn".to_string(), "4:-1:2".into()],
             vec!["--repair-algorithm".to_string(), "frobnicate".into()],
+            vec!["--panic-session".to_string(), "1".into()],
+            vec!["--panic-session".to_string(), "1:2:often".into()],
+            vec!["--wedge-session".to_string(), "1:2:once".into()],
+            vec!["--halt-after".to_string(), "5".into()],
+            vec![
+                "--resume".to_string(),
+                "nope.ckpt".into(),
+                "--sessions".into(),
+                "4".into(),
+            ],
         ] {
             assert!(
                 matches!(run_args(args.clone()), Err(CliError::Usage(_))),

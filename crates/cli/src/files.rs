@@ -4,6 +4,7 @@
 use crate::error::CliError;
 use bmp_core::scheme::BroadcastScheme;
 use bmp_platform::Instance;
+use bmp_serve::FleetCheckpoint;
 use bmp_sim::RunCheckpoint;
 use std::fs;
 use std::path::Path;
@@ -73,6 +74,30 @@ pub fn read_checkpoint(path: &str) -> Result<RunCheckpoint, CliError> {
 /// Returns [`CliError::Io`] when the file cannot be written.
 pub fn write_checkpoint(path: &str, checkpoint: &RunCheckpoint) -> Result<(), CliError> {
     write_text(path, &serde_json::to_string(checkpoint)?)
+}
+
+/// Reads a fleet checkpoint written by [`write_fleet_checkpoint`] (or streamed out by
+/// `serve --checkpoint`).
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the file cannot be read and [`CliError::Json`] when it
+/// does not contain a valid fleet checkpoint (config/admission consistency is enforced
+/// when the fleet is resumed).
+pub fn read_fleet_checkpoint(path: &str) -> Result<FleetCheckpoint, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read fleet checkpoint file {path}: {e}")))?;
+    FleetCheckpoint::from_json(&text).map_err(CliError::Json)
+}
+
+/// Writes a fleet checkpoint as pretty-printed JSON (deterministic encoding, like all
+/// fleet artefacts).
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when the file cannot be written.
+pub fn write_fleet_checkpoint(path: &str, checkpoint: &FleetCheckpoint) -> Result<(), CliError> {
+    write_text(path, &checkpoint.to_json())
 }
 
 /// Writes raw text to `path`, creating parent directories when needed.

@@ -98,6 +98,36 @@ impl InjectedFaults {
         scheduled - self.fired
     }
 
+    /// The script's cursor: how many times each site has been reached (in
+    /// [`FaultSite`] declaration order — solve, verify, probe) and how many scheduled
+    /// faults have fired. Together with the schedule this is the script's complete
+    /// mutable state, so a supervisor can capture it at a checkpoint and
+    /// [`InjectedFaults::restore_progress`] it into a freshly built script when a
+    /// session is restarted — replayed occurrences then fire exactly as they did the
+    /// first time.
+    #[must_use]
+    pub fn progress(&self) -> ([u64; 3], u64) {
+        (self.reached, self.fired)
+    }
+
+    /// Restores a cursor captured by [`InjectedFaults::progress`] onto this script.
+    /// The schedule itself is not touched — the caller rebuilds it from the same plan
+    /// — so a restored script replays the remaining occurrences identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fired` exceeds the total number of scheduled occurrences (the cursor
+    /// cannot have fired faults the schedule does not contain).
+    pub fn restore_progress(&mut self, reached: [u64; 3], fired: u64) {
+        let scheduled: u64 = self.scheduled.iter().map(|s| s.len() as u64).sum();
+        assert!(
+            fired <= scheduled,
+            "fault-script cursor fired {fired} faults but only {scheduled} are scheduled"
+        );
+        self.reached = reached;
+        self.fired = fired;
+    }
+
     /// Records that `site` was reached; returns `Some(occurrence)` when this occurrence
     /// is scheduled to fail.
     pub fn intercept(&mut self, site: FaultSite) -> Option<u64> {

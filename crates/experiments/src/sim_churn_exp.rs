@@ -20,9 +20,48 @@ use crate::stats::Summary;
 use bmp_core::solver::{AcyclicGuardedAlgorithm, EvalCtx, SolveRecorder, Solver, Telemetry};
 use bmp_platform::distribution::NamedDistribution;
 use bmp_platform::generator::{GeneratorConfig, InstanceGenerator};
-use bmp_sim::{run_adaptive, ChurnSchedule, Overlay, RepairController, SimConfig, StaticPolicy};
+use bmp_platform::NodeId;
+use bmp_sim::{
+    run_adaptive, AdaptDecision, AdaptationPolicy, ChurnSchedule, Overlay, RepairController,
+    SimConfig, StaticPolicy,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Wraps a policy and measures the wall-clock latency of every `adapt` call — the
+/// end-to-end cost of one repair decision (degradation probe, incremental re-solve,
+/// overlay extraction). The timings feed the `repair_ms_*` CSV columns only; they
+/// never enter a deterministic report or any simulated-time metric.
+struct TimedPolicy<'a, P: AdaptationPolicy> {
+    inner: &'a mut P,
+    latencies_ms: Vec<f64>,
+}
+
+impl<'a, P: AdaptationPolicy> TimedPolicy<'a, P> {
+    fn new(inner: &'a mut P) -> Self {
+        TimedPolicy {
+            inner,
+            latencies_ms: Vec::new(),
+        }
+    }
+}
+
+impl<P: AdaptationPolicy> AdaptationPolicy for TimedPolicy<'_, P> {
+    fn label(&self) -> &'static str {
+        self.inner.label()
+    }
+
+    fn adapt(&mut self, departed: &[NodeId], time: f64) -> Option<AdaptDecision> {
+        let start = std::time::Instant::now();
+        let decision = self.inner.adapt(departed, time);
+        self.latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        decision
+    }
+
+    fn degraded_floor(&self) -> Option<f64> {
+        self.inner.degraded_floor()
+    }
+}
 
 /// Result of one (instance, churn trace) trial: the same trace simulated twice.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +80,9 @@ pub struct SimChurnTrial {
     pub repaired_ratio: f64,
     /// Time from the hot-swap to the first starvation-free round.
     pub recovery_time: Option<f64>,
+    /// Wall-clock latency of each repair decision in the adaptive run, in
+    /// milliseconds (one entry per `adapt` call).
+    pub repair_ms: Vec<f64>,
     /// Evaluation cost: the solve plus the controller's probes.
     pub telemetry: Telemetry,
 }
@@ -60,6 +102,9 @@ pub struct SimChurnCell {
     pub gain: Summary,
     /// Summary of the recovery times (trials that recovered).
     pub recovery: Option<Summary>,
+    /// Summary of per-decision repair latencies (wall-clock milliseconds) across
+    /// the cell's adaptive runs.
+    pub repair_ms: Option<Summary>,
     /// Total evaluation cost of the cell.
     pub telemetry: Telemetry,
 }
@@ -86,6 +131,8 @@ impl SimChurnReport {
             "gain_min",
             "recovery_mean",
             "recovery_max",
+            "repair_ms_mean",
+            "repair_ms_max",
         ]
         .into_iter()
         .chain(TELEMETRY_COLUMNS)
@@ -96,6 +143,13 @@ impl SimChurnReport {
                 Some(summary) => (
                     format!("{:.4}", summary.mean),
                     format!("{:.4}", summary.max),
+                ),
+                None => ("n/a".to_string(), "n/a".to_string()),
+            };
+            let (repair_mean, repair_max) = match &cell.repair_ms {
+                Some(summary) => (
+                    format!("{:.3}", summary.mean),
+                    format!("{:.3}", summary.max),
                 ),
                 None => ("n/a".to_string(), "n/a".to_string()),
             };
@@ -110,6 +164,8 @@ impl SimChurnReport {
                 format!("{:.6}", cell.gain.min),
                 recovery_mean,
                 recovery_max,
+                repair_mean,
+                repair_max,
             ];
             row.extend(telemetry_cells(&cell.telemetry));
             table.push_row(row);
@@ -166,7 +222,9 @@ fn run_trial(
         nominal,
         FLOOR_FRACTION,
     );
-    let repaired_run = run_adaptive(overlay, sim_config, &churn, &mut controller, nominal);
+    let mut timed = TimedPolicy::new(&mut controller);
+    let repaired_run = run_adaptive(overlay, sim_config, &churn, &mut timed, nominal);
+    let repair_ms = timed.latencies_ms;
 
     let decision = controller.decisions().first()?;
     let residual_prediction = decision.residual;
@@ -185,6 +243,7 @@ fn run_trial(
         static_ratio: static_run.goodput_vs_nominal(),
         repaired_ratio: repaired_run.goodput_vs_nominal(),
         recovery_time: repaired_run.recovery_time(),
+        repair_ms,
         telemetry,
     })
 }
@@ -214,6 +273,10 @@ pub fn run(quick: bool, threads: usize) -> SimChurnReport {
             .map(|t| t.repaired_ratio - t.static_ratio)
             .collect();
         let recovery: Vec<f64> = results.iter().filter_map(|t| t.recovery_time).collect();
+        let repair_ms: Vec<f64> = results
+            .iter()
+            .flat_map(|t| t.repair_ms.iter().copied())
+            .collect();
         if let (Some(static_ratio), Some(repaired_ratio), Some(gain)) = (
             Summary::of(&static_ratio),
             Summary::of(&repaired_ratio),
@@ -226,6 +289,7 @@ pub fn run(quick: bool, threads: usize) -> SimChurnReport {
                 repaired_ratio,
                 gain,
                 recovery: Summary::of(&recovery),
+                repair_ms: Summary::of(&repair_ms),
                 telemetry: telemetry_sum(results.iter().map(|t| &t.telemetry)),
             });
         }
@@ -257,6 +321,10 @@ mod tests {
             assert!(cell.repaired_ratio.max <= 1.5, "{cell:?}");
             assert!(cell.telemetry.flow_solves > 0);
             assert!(cell.telemetry.bisection_iters > 0);
+            // Every cell repaired at least once, so repair latencies were measured
+            // (wall-clock, strictly positive).
+            let repair_ms = cell.repair_ms.as_ref().expect("repairs were timed");
+            assert!(repair_ms.mean > 0.0, "{cell:?}");
         }
         // The controller's re-probes rode the dirty-edge journal (unless the CI matrix
         // disabled it process-wide via BMP_DISABLE_JOURNAL).
@@ -281,5 +349,7 @@ mod tests {
             assert!(header.contains(column), "missing column {column}: {header}");
         }
         assert!(header.contains("recovery_mean"));
+        assert!(header.contains("repair_ms_mean"));
+        assert!(header.contains("repair_ms_max"));
     }
 }

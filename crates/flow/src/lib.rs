@@ -88,7 +88,7 @@ pub use dinic::dinic_max_flow;
 pub use edmonds_karp::edmonds_karp_max_flow;
 pub use graph::{EdgeId, FlowNetwork, FlowResult};
 pub use mincut::{min_cut, MinCut};
-pub use pool::{arm_worker_panics, disarm_worker_panics, FlowPool};
+pub use pool::{arm_worker_panics, disarm_worker_panics, FlowPool, WorkerPanicGuard};
 pub use push_relabel::push_relabel_max_flow;
 
 /// Maximum-flow value from `source` to `sink` computed with the default solver (Dinic).

@@ -144,6 +144,32 @@ pub fn disarm_worker_panics() -> u64 {
     INJECTED_WORKER_PANICS.swap(0, Ordering::SeqCst)
 }
 
+/// RAII wrapper around the worker-panic tokens: arms `count` tokens on construction
+/// and disarms whatever is left on drop. Fleet-level fault injection holds one of
+/// these for the duration of a run so that *any* exit path — normal completion, an
+/// early return, or an unwinding panic — clears leftover tokens instead of leaking
+/// them into the next run's evaluations.
+#[derive(Debug)]
+pub struct WorkerPanicGuard {
+    _private: (),
+}
+
+impl WorkerPanicGuard {
+    /// Arms `count` injected worker panics (see [`arm_worker_panics`]) and returns a
+    /// guard that disarms any unconsumed tokens when dropped.
+    #[must_use]
+    pub fn arm(count: u64) -> Self {
+        arm_worker_panics(count);
+        WorkerPanicGuard { _private: () }
+    }
+}
+
+impl Drop for WorkerPanicGuard {
+    fn drop(&mut self) {
+        disarm_worker_panics();
+    }
+}
+
 /// Consumes one armed panic token, if any are outstanding.
 fn take_injected_panic() -> bool {
     if INJECTED_WORKER_PANICS.load(Ordering::Relaxed) == 0 {
@@ -584,6 +610,23 @@ mod tests {
             assert_eq!(pool.min_max_flow(&arena, 0, &sinks, 3), expected);
         }
         assert_eq!(pool.panics_contained(), contained);
+    }
+
+    #[test]
+    fn worker_panic_guard_disarms_on_unwind() {
+        // Regression: `run_fleet` used to disarm tokens only on its success path, so a
+        // panic between arming and disarming leaked them into the next run. The guard
+        // must clear its tokens even when dropped during an unwind.
+        let armed = 1_000_000;
+        let result = catch_unwind(|| {
+            let _guard = WorkerPanicGuard::arm(armed);
+            panic!("unwinding while holding the guard");
+        });
+        assert!(result.is_err());
+        // Tokens are process-global and a concurrently running test may arm a few of
+        // its own, so assert our block was cleared rather than demanding exactly zero.
+        let leftover = disarm_worker_panics();
+        assert!(leftover < armed, "guard leaked {leftover} tokens");
     }
 
     #[test]

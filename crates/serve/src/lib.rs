@@ -57,16 +57,78 @@
 //!   the serialized report for seed S is byte-identical across 1, 2 or 4 shards.
 //!
 //! The determinism tests in `tests/fleet.rs` assert exactly that.
+//!
+//! # Supervision
+//!
+//! Fleets are long-lived and sessions can fail: a solver defect (or an injected
+//! fault reaching an unhardened path) panics, or a session wedges and stops making
+//! progress. Supervision contains both without giving up determinism. Every admitted
+//! session moves through this state machine:
+//!
+//! ```text
+//!                        ┌───────────────────────────────────────────────┐
+//!                        │                 re-admitted (attempt + 1,     │
+//!                        │                 seeded later wave)            │
+//!                        ▼                                               │
+//!  submitted ──▶ admitted(wave) ──▶ running ──▶ completed                │
+//!      │                              │                                  │
+//!      │ rejected                     │ panic ──▶ quarantined(Panic) ────┤ attempt < R
+//!      ▼                              │                    │             │
+//!   rejected                          │                    │ attempt = R │
+//!   (logged,                          │                    ▼             │
+//!    never run)                       │               permanent ◀────────┘
+//!                                     │                    ▲
+//!                                     │ no progress for    │ still no progress
+//!                                     │ a full deadline ──▶│ after one forced
+//!                                     │                    │ repair attempt
+//!                                     │                    │   (Stuck)
+//!                                     └─ round budget ────▶┘   (Budget)
+//! ```
+//!
+//! * **Crash isolation.** Each shard builds and steps every session inside
+//!   `catch_unwind`. A panicking session is quarantined with a deterministic
+//!   panic-site tag (the panic message); the shard's co-resident sessions restart
+//!   from their last per-session checkpoints — bit-exact, so co-residency never
+//!   leaks into results — instead of the shard thread dying.
+//! * **Watchdog.** [`SupervisionConfig`] derives a per-session round budget from the
+//!   chunk count (overridable) and a no-progress deadline from
+//!   `RoundStats::all_active_progressed`. At the first deadline the supervisor
+//!   forces a repair attempt; if a second full deadline passes without progress the
+//!   session is quarantined as `Stuck`. Exceeding the round budget quarantines it as
+//!   `Budget`.
+//! * **Bounded retry.** Panic quarantines are treated as transient for up to
+//!   `max_retries` re-admissions: the session resumes from its last checkpoint in a
+//!   seeded later wave (deterministic backoff of 1–3 waves). Stuck/Budget
+//!   quarantines are deterministic verdicts and always permanent.
+//!
+//! # Fleet checkpoint / resume
+//!
+//! [`run_fleet_with`] can park every running session at a round boundary
+//! (`halt_after`) and serialize a [`FleetCheckpoint`]: the config, the admission
+//! log, completed rows, the quarantine log, and one [`bmp_sim::RunCheckpoint`] per
+//! in-flight session (plus its fault-script cursor and watchdog counters). Resuming
+//! revalidates the config (only the shard count may change) and the recomputed
+//! admission log, then continues the wave loop. Because per-session resume is
+//! bit-exact, the final [`FleetReport`] of a halted-and-resumed fleet is
+//! byte-identical to the uninterrupted run, at any shard count — checkpoint
+//! *documents* themselves may differ across layouts; only the final report is
+//! canonical. Cadence checkpoints (`checkpoint_every` waves) stream to a caller
+//! sink for crash-safe persistence.
 
 pub mod admission;
 pub mod feed;
 pub mod fleet;
 pub mod metrics;
+pub mod supervise;
 
 pub use admission::{AdmissionDecision, AdmissionPolicy, AdmissionVerdict, RejectReason};
 pub use feed::{ChurnConfig, ChurnFeed};
-pub use fleet::{run_fleet, FleetConfig};
+pub use fleet::{run_fleet, run_fleet_with, FleetConfig, FleetOptions, FleetRun};
 pub use metrics::{FleetMetrics, FleetReport, SessionStats};
+pub use supervise::{
+    Disposition, FleetCheckpoint, QuarantineReason, QuarantineRecord, SessionFaults, SessionPanic,
+    SessionWedge, SupervisionConfig,
+};
 
 /// The splitmix64 finalizer, used to derive independent per-session RNG streams from
 /// the fleet seed. Consecutive session ids land in statistically unrelated streams,

@@ -7,6 +7,7 @@
 //! shard layouts (the byte-identity tests diff exactly this).
 
 use crate::admission::AdmissionDecision;
+use crate::supervise::{Disposition, QuarantineRecord};
 use bmp_experiments::csvout::CsvTable;
 use bmp_sim::SessionOutcome;
 use serde::{Deserialize, Serialize};
@@ -93,6 +94,15 @@ pub struct FleetMetrics {
     pub sessions_run: usize,
     /// Sessions rejected by admission control.
     pub sessions_rejected: usize,
+    /// Sessions permanently quarantined by supervision (panicked past the retry
+    /// budget, stuck, or over the round budget). Disjoint from `sessions_run`:
+    /// `sessions_run + sessions_rejected + sessions_quarantined` equals the
+    /// submitted count.
+    pub sessions_quarantined: usize,
+    /// Quarantine-and-retry re-admissions across the fleet (a session retried twice
+    /// counts twice; retried sessions that then complete also count in
+    /// `sessions_run`).
+    pub session_retries: usize,
     /// Histogram of `goodput_vs_nominal` over 11 bins: `[0, 0.1), [0.1, 0.2), …,
     /// [0.9, 1.0), [1.0, ∞)`.
     pub goodput_histogram: Vec<usize>,
@@ -124,9 +134,16 @@ fn percentile(sorted: &[f64], fraction: f64) -> Option<f64> {
 }
 
 impl FleetMetrics {
-    /// Aggregates the per-session rows (and the rejection count) into fleet metrics.
+    /// Aggregates the per-session rows, the rejection count and the quarantine log
+    /// into fleet metrics. Quarantined sessions are excluded from every
+    /// goodput/recovery aggregate identically regardless of shard count — they have
+    /// no row in `sessions` at all; only the two counters see them.
     #[must_use]
-    pub fn aggregate(sessions: &[SessionStats], sessions_rejected: usize) -> Self {
+    pub fn aggregate(
+        sessions: &[SessionStats],
+        sessions_rejected: usize,
+        quarantine: &[QuarantineRecord],
+    ) -> Self {
         let mut histogram = vec![0usize; GOODPUT_BIN_EDGES.len() + 1];
         for stats in sessions {
             let bin = GOODPUT_BIN_EDGES
@@ -152,6 +169,14 @@ impl FleetMetrics {
         FleetMetrics {
             sessions_run: sessions.len(),
             sessions_rejected,
+            sessions_quarantined: quarantine
+                .iter()
+                .filter(|record| record.disposition == Disposition::Permanent)
+                .count(),
+            session_retries: quarantine
+                .iter()
+                .filter(|record| matches!(record.disposition, Disposition::Retried { .. }))
+                .count(),
             goodput_histogram: histogram,
             mean_goodput_vs_nominal: mean,
             recovery_p50: percentile(&recoveries, 0.50),
@@ -181,8 +206,12 @@ pub struct FleetReport {
     pub floor: f64,
     /// The deterministic admission log, in submission order.
     pub admissions: Vec<AdmissionDecision>,
-    /// Per-session outcomes, in session-id order (admitted sessions only).
+    /// Per-session outcomes, in session-id order (admitted sessions only; a
+    /// permanently quarantined session has no row here).
     pub sessions: Vec<SessionStats>,
+    /// The quarantine log, ordered by `(session, attempt)`: every panic, stuck and
+    /// budget quarantine with its deterministic site tag and disposition.
+    pub quarantined: Vec<QuarantineRecord>,
     /// Fleet-wide aggregates.
     pub metrics: FleetMetrics,
 }
@@ -276,9 +305,11 @@ mod tests {
             stats(2, 0.95, Some(3.0)),
             stats(3, 1.25, Some(4.0)),
         ];
-        let metrics = FleetMetrics::aggregate(&sessions, 2);
+        let metrics = FleetMetrics::aggregate(&sessions, 2, &[]);
         assert_eq!(metrics.sessions_run, 4);
         assert_eq!(metrics.sessions_rejected, 2);
+        assert_eq!(metrics.sessions_quarantined, 0);
+        assert_eq!(metrics.session_retries, 0);
         assert_eq!(metrics.goodput_histogram.len(), 11);
         assert_eq!(metrics.goodput_histogram[0], 1); // 0.05
         assert_eq!(metrics.goodput_histogram[5], 1); // 0.55
@@ -292,11 +323,43 @@ mod tests {
 
     #[test]
     fn empty_fleet_aggregates_cleanly() {
-        let metrics = FleetMetrics::aggregate(&[], 3);
+        let metrics = FleetMetrics::aggregate(&[], 3, &[]);
         assert_eq!(metrics.sessions_run, 0);
         assert_eq!(metrics.sessions_rejected, 3);
         assert_eq!(metrics.mean_goodput_vs_nominal, 0.0);
         assert_eq!(metrics.recovery_p50, None);
+    }
+
+    #[test]
+    fn quarantine_counters_split_by_disposition() {
+        use crate::supervise::QuarantineReason;
+        let panic = |attempt: u32, disposition: Disposition| QuarantineRecord {
+            session: 3,
+            wave: 0,
+            attempt,
+            round: 5,
+            reason: QuarantineReason::Panic {
+                tag: "injected".to_string(),
+            },
+            disposition,
+        };
+        let records = vec![
+            panic(0, Disposition::Retried { wave: 2 }),
+            panic(1, Disposition::Permanent),
+            QuarantineRecord {
+                session: 5,
+                wave: 1,
+                attempt: 0,
+                round: 90,
+                reason: QuarantineReason::Stuck {
+                    rounds_without_progress: 64,
+                },
+                disposition: Disposition::Permanent,
+            },
+        ];
+        let metrics = FleetMetrics::aggregate(&[], 0, &records);
+        assert_eq!(metrics.sessions_quarantined, 2);
+        assert_eq!(metrics.session_retries, 1);
     }
 
     #[test]
@@ -309,7 +372,8 @@ mod tests {
             floor: 0.9,
             admissions: Vec::new(),
             sessions: vec![stats(0, 0.9, None), stats(1, 1.0, Some(2.5))],
-            metrics: FleetMetrics::aggregate(&[stats(0, 0.9, None)], 0),
+            quarantined: Vec::new(),
+            metrics: FleetMetrics::aggregate(&[stats(0, 0.9, None)], 0, &[]),
         };
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 3);

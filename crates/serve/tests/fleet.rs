@@ -7,7 +7,7 @@ use bmp_platform::generator::GeneratorConfig;
 use bmp_platform::InstanceGenerator;
 use bmp_serve::{
     mix_seed, run_fleet, AdmissionPolicy, AdmissionVerdict, ChurnConfig, ChurnFeed, FleetConfig,
-    RejectReason,
+    RejectReason, SessionFaults, SupervisionConfig,
 };
 use bmp_sim::{run_adaptive, FaultPlan, Overlay, RepairController, SimConfig};
 use rand::rngs::StdRng;
@@ -30,6 +30,8 @@ fn small_config() -> FleetConfig {
             waves: 2,
         },
         fault_plan: None,
+        supervision: SupervisionConfig::default(),
+        session_faults: SessionFaults::default(),
     }
 }
 
@@ -181,6 +183,8 @@ fn a_thousand_session_storm_fleet_is_deterministic_on_four_shards() {
             waves: 1,
         },
         fault_plan: Some(FaultPlan::storm(7)),
+        supervision: SupervisionConfig::default(),
+        session_faults: SessionFaults::default(),
     };
     let report = run_fleet(&config);
     assert_eq!(report.sessions.len(), 1000);

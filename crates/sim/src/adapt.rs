@@ -709,6 +709,11 @@ pub struct AdaptiveRun {
     swaps: Vec<SwapEvent>,
     awaiting_recovery: Vec<usize>,
     nominal: f64,
+    /// Whether the most recent [`AdaptiveRun::step`] reported
+    /// [`RoundStats::all_active_progressed`](crate::session::RoundStats). Transient
+    /// watchdog input — deliberately *not* part of [`RunCheckpoint`] (it is never read
+    /// before the next step, so a resumed run re-derives it identically).
+    last_round_progressed: bool,
 }
 
 impl AdaptiveRun {
@@ -736,6 +741,7 @@ impl AdaptiveRun {
             swaps: Vec::new(),
             awaiting_recovery: Vec::new(),
             nominal,
+            last_round_progressed: false,
         }
     }
 
@@ -799,6 +805,7 @@ impl AdaptiveRun {
             self.awaiting_recovery.push(self.swaps.len() - 1);
         }
         let stats = self.session.step();
+        self.last_round_progressed = stats.all_active_progressed;
         if stats.all_active_progressed && !self.awaiting_recovery.is_empty() {
             for &index in &self.awaiting_recovery {
                 self.swaps[index].recovered_at = Some(self.session.time());
@@ -806,6 +813,68 @@ impl AdaptiveRun {
             self.awaiting_recovery.clear();
         }
         self.is_finished()
+    }
+
+    /// Whether the most recent [`AdaptiveRun::step`] delivered at least one chunk to
+    /// every alive, incomplete receiver
+    /// ([`RoundStats::all_active_progressed`](crate::session::RoundStats)). `false`
+    /// before the first step after construction or resume. This is the no-progress
+    /// signal a stuck-session watchdog accumulates.
+    #[must_use]
+    pub fn last_round_progressed(&self) -> bool {
+        self.last_round_progressed
+    }
+
+    /// Forces one adaptation decision *outside* the churn path: computes the current
+    /// departed set, consults `policy` at the current simulated time, and hot-swaps a
+    /// returned replacement exactly as a churn-triggered decision would — the swap is
+    /// recorded in the timeline and awaits recovery like any other. Returns whether a
+    /// replacement overlay was actually swapped in.
+    ///
+    /// This is the watchdog's escalation hook: when a session stops progressing
+    /// without a membership change (a wedged overlay, for instance), the supervisor
+    /// grants one forced repair attempt before quarantining. A no-op on a finished
+    /// run.
+    pub fn force_repair(&mut self, policy: &mut dyn AdaptationPolicy) -> bool {
+        if self.is_finished() {
+            return false;
+        }
+        let n = self.session.overlay().num_nodes();
+        let time = self.session.time();
+        let departed: Vec<NodeId> = (1..n).filter(|&v| !self.session.is_alive(v)).collect();
+        let decision = policy.adapt(&departed, time);
+        let mut record = SwapEvent {
+            time,
+            swapped: false,
+            repaired_nominal: None,
+            recovered_at: None,
+        };
+        if let Some(decision) = decision {
+            record.swapped = true;
+            record.repaired_nominal = Some(decision.repaired_nominal);
+            self.session.hot_swap(decision.overlay);
+        }
+        self.swaps.push(record);
+        self.awaiting_recovery.push(self.swaps.len() - 1);
+        record.swapped
+    }
+
+    /// Replaces the running overlay directly, bypassing every policy and recording
+    /// nothing in the swap timeline. This is a *chaos hook* for supervision tests — it
+    /// lets a harness wedge a session (e.g. with an edgeless overlay) without the
+    /// control plane noticing, exactly the failure mode the stuck-session watchdog
+    /// exists to catch. Production paths never call it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlay` spans a different node id space than the running session.
+    pub fn replace_overlay(&mut self, overlay: Overlay) {
+        assert_eq!(
+            overlay.num_nodes(),
+            self.session.overlay().num_nodes(),
+            "replacement overlay must span the session's node id space"
+        );
+        self.session.hot_swap(overlay);
     }
 
     /// Assembles the [`SessionOutcome`] of the run so far (normally called once
@@ -886,6 +955,7 @@ impl AdaptiveRun {
                 swaps,
                 awaiting_recovery,
                 nominal,
+                last_round_progressed: false,
             },
             controller,
         )
@@ -1330,6 +1400,83 @@ mod tests {
         assert!(none_ctl.is_none());
         while !resumed.step(&mut policy) {}
         assert_eq!(resumed.outcome(&policy), reference_outcome);
+    }
+
+    #[test]
+    fn a_wedged_overlay_stops_progress_and_force_repair_recovers_it() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        let mut run = AdaptiveRun::new(overlay, config(), ChurnSchedule::empty(), nominal);
+        assert!(
+            !run.last_round_progressed(),
+            "no step has run yet — the progress flag must start false"
+        );
+        // Early rounds can starve distant receivers while the first chunks propagate
+        // down the overlay; within a few rounds every active receiver gains chunks
+        // and the progress flag turns true.
+        let mut progressed = false;
+        for _ in 0..20 {
+            run.step(&mut controller);
+            if run.last_round_progressed() {
+                progressed = true;
+                break;
+            }
+        }
+        assert!(
+            progressed,
+            "a healthy session must progress within a few rounds"
+        );
+        // Wedge the session: an edgeless overlay delivers nothing, and because no
+        // membership changed the controller is never consulted.
+        let n = run.session().overlay().num_nodes();
+        run.replace_overlay(Overlay::new(n, Vec::new()));
+        for _ in 0..5 {
+            run.step(&mut controller);
+            assert!(
+                !run.last_round_progressed(),
+                "an edgeless overlay cannot deliver"
+            );
+        }
+        assert_eq!(run.swaps().len(), 0, "replace_overlay records no swap");
+        // The watchdog escalation: a forced decision sees zero departed nodes, judges
+        // the *deployed* (healthy) scheme, finds its residual at the floor and keeps
+        // it — but the controller was never told about the wedge, so the forced
+        // attempt cannot rescue the session. That terminal shape (forced repair does
+        // not swap, progress stays absent) is exactly what Stuck quarantine catches.
+        let swapped = run.force_repair(&mut controller);
+        assert!(!swapped);
+        assert_eq!(
+            run.swaps().len(),
+            1,
+            "the forced decision is on the timeline"
+        );
+        run.step(&mut controller);
+        assert!(!run.last_round_progressed());
+    }
+
+    #[test]
+    fn force_repair_records_its_decision_and_noops_once_finished() {
+        let (instance, scheme, nominal, overlay) = solved_figure1();
+        let mut controller = RepairController::new(instance, scheme, nominal, 0.9);
+        let churn = ChurnSchedule::departures_at(2.0, &[3]);
+        let mut run = AdaptiveRun::new(overlay, config(), churn, nominal);
+        for _ in 0..30 {
+            run.step(&mut controller);
+        }
+        let swaps_before = run.swaps().len();
+        let decisions_before = controller.decisions().len();
+        assert!(swaps_before >= 1, "the departure triggered a decision");
+        // A forced decision goes through the same pipeline as a churn-triggered one:
+        // it lands on the swap timeline and in the controller's decision log, even
+        // when the controller keeps the deployed overlay.
+        run.force_repair(&mut controller);
+        assert_eq!(run.swaps().len(), swaps_before + 1);
+        assert_eq!(controller.decisions().len(), decisions_before + 1);
+        // Run to completion; forcing a finished run must change nothing.
+        while !run.step(&mut controller) {}
+        let swaps_done = run.swaps().len();
+        assert!(!run.force_repair(&mut controller));
+        assert_eq!(run.swaps().len(), swaps_done);
     }
 
     #[test]

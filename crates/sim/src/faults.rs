@@ -21,6 +21,7 @@ use bmp_core::solver::EvalCtx;
 use bmp_core::InjectedFaults;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Environment variable consulted by [`FaultPlan::from_env`] (`off`/`0`/empty disable,
 /// `storm` enables the default seeded storm, `storm:<seed>` or a bare integer pick the
@@ -35,7 +36,10 @@ pub const DEFAULT_STORM_SEED: u64 = 0xFA17;
 /// Occurrence indices count *reaches of the site after installation* (see
 /// [`InjectedFaults`]), not wall-clock or simulated time, so the plan replays
 /// identically regardless of machine speed or pool parallelism.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable so a fleet checkpoint can embed the plan it was running under — a
+/// resumed fleet rebuilds the exact same fault scripts from it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultPlan {
     solve_failures: Vec<u64>,
     verify_failures: Vec<u64>,
