@@ -10,17 +10,29 @@
 //! and any pinned id slower than [`bmp_bench::REGRESSION_TOLERANCE`]× its baseline
 //! median fails the run with a message naming the id, both medians and the ratio. The
 //! comparison only applies to *measured* documents — a `--test` smoke run carries no
-//! timings, so the gate abstains (and says so) rather than comparing zeros.
+//! timings, so the gate abstains (and says so) rather than comparing zeros. The
+//! committed baselines themselves are validated against the pinned ids too: a baseline
+//! file missing a required id used to make the gate silently skip that id forever.
+//!
+//! With `--require-improvement ID:RATIO` (repeatable) it asserts a *relative win*
+//! rather than the absence of a regression: `ID`'s median must be at least `RATIO`×
+//! faster than its serial reference (`ID` with the last path segment replaced by
+//! `serial` — e.g. `dichotomic/speculative/spec1:1.3` requires spec1 to beat
+//! `dichotomic/speculative/serial` by 1.3×). The assertion abstains, and says so, on
+//! smoke documents and on single-core hosts — speculation spends extra lanes to
+//! shorten the critical path, so with one core there is nothing to win.
 
 use bmp_bench::{
-    perf_gate, repo_root, validate_bench_json, DICHOTOMIC_REQUIRED_IDS, REGRESSION_TOLERANCE,
-    SERVE_REQUIRED_IDS, SIM_REQUIRED_IDS, THROUGHPUT_REQUIRED_IDS,
+    perf_gate, read_bench_document, repo_root, require_improvement, validate_bench_json,
+    DICHOTOMIC_REQUIRED_IDS, REGRESSION_TOLERANCE, SERVE_REQUIRED_IDS, SIM_REQUIRED_IDS,
+    THROUGHPUT_REQUIRED_IDS,
 };
 use std::path::PathBuf;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut baseline: Option<PathBuf> = None;
+    let mut improvements: Vec<(String, f64)> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => {
@@ -30,8 +42,29 @@ fn main() {
                 });
                 baseline = Some(PathBuf::from(dir));
             }
+            "--require-improvement" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("--require-improvement requires an ID:RATIO argument");
+                    std::process::exit(2);
+                });
+                let Some((id, ratio)) = spec.rsplit_once(':') else {
+                    eprintln!("--require-improvement {spec:?} must be ID:RATIO");
+                    std::process::exit(2);
+                };
+                let ratio: f64 = match ratio.parse() {
+                    Ok(ratio) if ratio > 0.0 => ratio,
+                    _ => {
+                        eprintln!("--require-improvement {spec:?}: invalid ratio {ratio:?}");
+                        std::process::exit(2);
+                    }
+                };
+                improvements.push((id.to_string(), ratio));
+            }
             other => {
-                eprintln!("unknown argument {other:?}; usage: validate_bench [--baseline DIR]");
+                eprintln!(
+                    "unknown argument {other:?}; usage: validate_bench [--baseline DIR] \
+                     [--require-improvement ID:RATIO]..."
+                );
                 std::process::exit(2);
             }
         }
@@ -58,6 +91,17 @@ fn main() {
             continue;
         };
         let committed = dir.join(format!("BENCH_{benchmark}.json"));
+        // A baseline missing a pinned id would make the gate skip that id on every
+        // run — the "new benchmark, no history" escape hatch must not become
+        // permanent. Fail loudly so the regenerated baseline gets committed.
+        if let Err(error) = validate_bench_json(&committed, benchmark, expected) {
+            eprintln!("stale baseline: {error}");
+            eprintln!(
+                "the committed BENCH_{benchmark}.json does not pin every required id; \
+                 re-run the {benchmark} benches and commit the regenerated document"
+            );
+            failed = true;
+        }
         match perf_gate(&path, &committed, benchmark, expected, REGRESSION_TOLERANCE) {
             Ok(report) if !report.compared => println!(
                 "gate: {benchmark}: skipped (smoke-mode document has no timings to compare)"
@@ -83,7 +127,54 @@ fn main() {
             }
         }
     }
+
+    if !improvements.is_empty() {
+        let lanes = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        if lanes < 2 {
+            println!(
+                "improvement: skipped {} assertion(s) (single-core host: speculation \
+                 has no free lanes to win with)",
+                improvements.len()
+            );
+        } else {
+            for (id, ratio) in &improvements {
+                match check_improvement(id, *ratio) {
+                    Ok(Some((benchmark, achieved))) => println!(
+                        "improvement: {id}: {achieved:.2}x faster than its serial \
+                         reference in BENCH_{benchmark}.json (required {ratio}x)"
+                    ),
+                    Ok(None) => {
+                        println!("improvement: {id}: skipped (smoke-mode document has no timings)")
+                    }
+                    Err(error) => {
+                        eprintln!("improvement assertion failed: {error}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Finds the document containing `id` among the four reports and asserts the
+/// improvement there. `Ok(None)` = found but smoke mode (abstain).
+fn check_improvement(id: &str, ratio: f64) -> Result<Option<(String, f64)>, String> {
+    let root = repo_root();
+    for benchmark in ["dichotomic", "throughput", "sim", "serve"] {
+        let path = root.join(format!("BENCH_{benchmark}.json"));
+        let Ok(doc) = read_bench_document(&path, benchmark) else {
+            continue; // unreadable documents are reported by the id validation above
+        };
+        if doc.median_ns(id).is_none() {
+            continue;
+        }
+        return require_improvement(&doc, id, ratio)
+            .map(|achieved| achieved.map(|achieved| (benchmark.to_string(), achieved)));
+    }
+    Err(format!(
+        "required id {id:?} not found in any BENCH_*.json document"
+    ))
 }

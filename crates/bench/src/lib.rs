@@ -157,6 +157,60 @@ pub fn perf_gate(
     })
 }
 
+/// The reference id a `--require-improvement` assertion compares against: the same
+/// benchmark path with its last segment replaced by `serial` (the convention of the
+/// speculative benches — `dichotomic/speculative/spec1` is measured against
+/// `dichotomic/speculative/serial`).
+#[must_use]
+pub fn serial_reference_id(id: &str) -> String {
+    match id.rsplit_once('/') {
+        Some((prefix, _)) => format!("{prefix}/serial"),
+        None => "serial".to_string(),
+    }
+}
+
+/// Asserts that `id` in `doc` is at least `ratio`× faster (smaller median) than its
+/// [`serial_reference_id`]. Returns `Ok(None)` when `doc` is a smoke run — there are
+/// no timings to compare, so the assertion abstains (the caller also abstains on
+/// single-core hosts, where speculation cannot win by construction); `Ok(Some(actual))`
+/// with the achieved speedup when the assertion holds.
+///
+/// # Errors
+///
+/// Returns a description when either id is missing, the measured median is not
+/// positive, or the achieved speedup falls short of `ratio`.
+pub fn require_improvement(
+    doc: &BenchDocument,
+    id: &str,
+    ratio: f64,
+) -> Result<Option<f64>, String> {
+    if !doc.is_measured() {
+        return Ok(None);
+    }
+    let reference_id = serial_reference_id(id);
+    let measured = doc
+        .median_ns(id)
+        .ok_or_else(|| format!("required id {id:?} is missing from the document"))?;
+    let reference = doc.median_ns(&reference_id).ok_or_else(|| {
+        format!("reference id {reference_id:?} (for {id:?}) is missing from the document")
+    })?;
+    if measured <= 0.0 || reference <= 0.0 {
+        return Err(format!(
+            "{id}: non-positive medians ({measured} ns vs {reference} ns) cannot be compared"
+        ));
+    }
+    let actual = reference / measured;
+    if actual < ratio {
+        return Err(format!(
+            "{id}: only {actual:.2}x faster than {reference_id} \
+             ({:.3} ms vs {:.3} ms), required {ratio}x",
+            measured / 1e6,
+            reference / 1e6
+        ));
+    }
+    Ok(Some(actual))
+}
+
 /// Validates an emitted `BENCH_*.json`: it parses, names `benchmark`, carries a known
 /// `mode`, and every id in `expected_ids` appears verbatim among the results (exact
 /// match — a substring match would let `.../500` be satisfied by `.../5000`, silently
@@ -264,14 +318,22 @@ pub fn read_bench_document(path: &Path, benchmark: &str) -> Result<BenchDocument
 }
 
 /// The benchmark ids the `dichotomic` report must contain (the acceptance surface of
-/// the incremental-evaluation work: journal vs scan at n = 500 / 2000 / 5000).
-pub const DICHOTOMIC_REQUIRED_IDS: [&str; 6] = [
+/// the incremental-evaluation work — journal vs scan at n = 500 / 2000 / 5000 — plus
+/// the speculation surface: the serial/spec1/spec2 solve triple and the
+/// batched-vs-per-cell sweep pair, so a regenerated report can never silently drop
+/// the speculative comparisons the perf gate asserts on).
+pub const DICHOTOMIC_REQUIRED_IDS: [&str; 11] = [
     "journaled_reevaluation/scan-single-sink/500",
     "journaled_reevaluation/journaled-single-sink/500",
     "journaled_reevaluation/scan-single-sink/2000",
     "journaled_reevaluation/journaled-single-sink/2000",
     "journaled_reevaluation/scan-single-sink/5000",
     "journaled_reevaluation/journaled-single-sink/5000",
+    "dichotomic/speculative/serial",
+    "dichotomic/speculative/spec1",
+    "dichotomic/speculative/spec2",
+    "sweep/batched-probes/batched",
+    "sweep/batched-probes/per-cell",
 ];
 
 /// The benchmark ids the `throughput` report must contain (sequential batched pass vs
@@ -401,6 +463,65 @@ mod tests {
         let path = dir.join(format!("BENCH_{name}.json"));
         std::fs::write(&path, bench_report_json("sample", &reports)).unwrap();
         path
+    }
+
+    #[test]
+    fn serial_reference_replaces_the_last_path_segment() {
+        assert_eq!(
+            serial_reference_id("dichotomic/speculative/spec1"),
+            "dichotomic/speculative/serial"
+        );
+        assert_eq!(serial_reference_id("a/b"), "a/serial");
+        assert_eq!(serial_reference_id("bare"), "serial");
+    }
+
+    #[test]
+    fn require_improvement_compares_against_the_serial_reference() {
+        let reports = vec![
+            BenchReport {
+                id: "dichotomic/speculative/serial".to_string(),
+                median_ns: 1000.0,
+                best_ns: 900.0,
+                smoke: false,
+            },
+            BenchReport {
+                id: "dichotomic/speculative/spec1".to_string(),
+                median_ns: 500.0,
+                best_ns: 450.0,
+                smoke: false,
+            },
+        ];
+        let dir = std::env::temp_dir().join(format!("bmp_bench_improve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sample.json");
+        std::fs::write(&path, bench_report_json("sample", &reports)).unwrap();
+        let doc = read_bench_document(&path, "sample").unwrap();
+        // 2x measured: a 1.3x requirement passes with the achieved ratio reported…
+        let achieved = require_improvement(&doc, "dichotomic/speculative/spec1", 1.3)
+            .unwrap()
+            .unwrap();
+        assert!((achieved - 2.0).abs() < 1e-9, "{achieved}");
+        // …a 2.5x requirement fails, naming both ids and the shortfall…
+        let err = require_improvement(&doc, "dichotomic/speculative/spec1", 2.5).unwrap_err();
+        assert!(err.contains("spec1"), "{err}");
+        assert!(err.contains("serial"), "{err}");
+        assert!(err.contains("2.00x"), "{err}");
+        // …and a missing id (either side) is a structural error, not a pass.
+        assert!(require_improvement(&doc, "dichotomic/speculative/spec2", 1.0).is_err());
+        assert!(require_improvement(&doc, "other/group/fast", 1.0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn require_improvement_abstains_on_smoke_documents() {
+        let doc = BenchDocument {
+            mode: "smoke".to_string(),
+            medians: vec![("dichotomic/speculative/spec1".to_string(), 0.0)],
+        };
+        assert_eq!(
+            require_improvement(&doc, "dichotomic/speculative/spec1", 1.3),
+            Ok(None)
+        );
     }
 
     #[test]

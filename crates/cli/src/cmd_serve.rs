@@ -44,6 +44,7 @@ pub const FLAGS: FlagSpec = FlagSpec {
         "--seed",
         "--floor",
         "--threads",
+        "--speculate",
         "--max-sessions",
         "--capacity",
         "--queue",
@@ -255,7 +256,10 @@ fn config_from_flags(args: &ArgList) -> Result<FleetConfig, CliError> {
 ///
 /// Flags: `--sessions N` (default 8), `--shards K` (default 1), `--receivers R`
 /// (default 4), `--chunks C` (default 60), `--seed S`, `--floor F` (default 0.9),
-/// `--threads T` (flow fan-out per controller), `--max-sessions N` / `--capacity L` /
+/// `--threads T` (flow fan-out per controller), `--speculate N` (dichotomic
+/// speculation depth for every controller's re-solves; a scheduling knob — reports
+/// are bit-identical at any depth, so it also composes with `--resume`),
+/// `--max-sessions N` / `--capacity L` /
 /// `--queue` (admission policy), `--repair-algorithm NAME`, `--churn
 /// START:SPACING:WAVES` (default `4:3:2`), `--fault-plan SPEC` (`storm`,
 /// `storm:SEED`, `off`; unset reads `BMP_FAULT_PLAN`), `--report FILE` (fleet report
@@ -330,6 +334,14 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         "serving {} session(s) across {} shard(s) (receivers {}, chunks {}, seed {:#x}, floor {})",
         config.sessions, config.shards, config.receivers, config.chunks, config.seed, config.floor
     )?;
+    // Speculation is a scheduling knob, not fleet description: it never changes a
+    // session's results, so it composes with --resume and stays out of the
+    // checkpoint. Controllers are built deep inside the shard threads, so the depth
+    // travels via the process default (restored afterwards to keep in-process
+    // callers hermetic).
+    let speculate: usize =
+        args.get_parsed("--speculate", bmp_core::solver::default_speculation())?;
+    let previous_speculation = bmp_core::solver::set_default_speculation(speculate);
     let mut write_error: Option<CliError> = None;
     let outcome = {
         let mut sink = |checkpoint: &FleetCheckpoint| {
@@ -356,6 +368,7 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         };
         run_fleet_with(&config, options)
     };
+    bmp_core::solver::set_default_speculation(previous_speculation);
     if let Some(e) = write_error {
         return Err(e);
     }

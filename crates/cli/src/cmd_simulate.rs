@@ -51,6 +51,7 @@ pub const FLAGS: FlagSpec = FlagSpec {
         "--instance",
         "--algorithm",
         "--threads",
+        "--speculate",
         "--chunks",
         "--policy",
         "--seed",
@@ -128,6 +129,7 @@ fn parse_churn(raw: &str, scheme: &BroadcastScheme) -> Result<ChurnSchedule, Cli
 fn load_scheme<W: Write>(
     args: &ArgList,
     threads: usize,
+    speculate: usize,
     out: &mut W,
 ) -> Result<BroadcastScheme, CliError> {
     match (args.get("--scheme"), args.get("--instance")) {
@@ -147,6 +149,7 @@ fn load_scheme<W: Write>(
             let solver = resolve_algorithm(args.get("--algorithm").unwrap_or("acyclic-guarded"))?;
             let mut ctx = EvalCtx::new();
             ctx.set_parallelism(threads);
+            ctx.set_speculation(speculate);
             let solution = solver.solve(&instance, &mut ctx)?;
             writeln!(
                 out,
@@ -351,6 +354,7 @@ fn run_resumed<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
         "--instance",
         "--algorithm",
         "--threads",
+        "--speculate",
         "--chunks",
         "--policy",
         "--seed",
@@ -444,7 +448,8 @@ fn report_outcome<W: Write>(outcome: &SessionOutcome, out: &mut W) -> Result<(),
 /// Runs the `simulate` subcommand.
 ///
 /// Flags: `--scheme FILE` *or* `--instance FILE` (solve first; `--algorithm NAME`
-/// selects the registry solver, `--threads N` its flow fan-out), `--chunks N` (default
+/// selects the registry solver, `--threads N` its flow fan-out, `--speculate N` its
+/// dichotomic speculation depth — bit-identical results either way), `--chunks N` (default
 /// 300), `--policy NAME` (default random), `--seed S`, `--jitter J`, `--live RATE`,
 /// `--trace` (worst-receiver progress every 50 rounds; frozen-overlay runs only),
 /// `--churn SPEC` (scheduled departures/rejoins, e.g. `"5:busiest"` or `"5:3,7;12:+3"`),
@@ -473,7 +478,14 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
             "--threads only applies when solving (--instance) or repairing (--repair)".into(),
         ));
     }
-    let scheme = load_scheme(args, threads, out)?;
+    let speculate: usize =
+        args.get_parsed("--speculate", bmp_core::solver::default_speculation())?;
+    if args.has("--speculate") && !(args.has("--repair") || args.get("--instance").is_some()) {
+        return Err(CliError::Usage(
+            "--speculate only applies when solving (--instance) or repairing (--repair)".into(),
+        ));
+    }
+    let scheme = load_scheme(args, threads, speculate, out)?;
     let nominal = scheme.throughput();
     let overlay = Overlay::from_scheme(&scheme);
 
@@ -547,6 +559,7 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
             let mut controller =
                 RepairController::new(scheme.instance().clone(), scheme.clone(), nominal, floor);
             controller.set_parallelism(threads);
+            controller.set_speculation(speculate);
             controller.set_repair_algorithm(repair_algorithm.map(str::to_string));
             PolicyKind::Repair(Box::new(controller))
         } else {

@@ -38,6 +38,8 @@ pub fn telemetry_sum<'a>(telemetries: impl IntoIterator<Item = &'a Telemetry>) -
         total.bisection_iters += t.bisection_iters;
         total.rescans_skipped += t.rescans_skipped;
         total.edges_patched += t.edges_patched;
+        total.probes_speculated += t.probes_speculated;
+        total.probes_wasted += t.probes_wasted;
         total.wall_time += t.wall_time;
     }
     total
@@ -170,6 +172,8 @@ mod tests {
             bisection_iters: 7,
             rescans_skipped: 5,
             edges_patched: 9,
+            probes_speculated: 3,
+            probes_wasted: 1,
             wall_time: std::time::Duration::from_millis(4),
         };
         let cells = telemetry_cells(&telemetry);

@@ -695,14 +695,19 @@ impl FlowSolver {
 /// Worker-count heuristic for [`min_max_flow_parallel`]: how many threads are worth
 /// spawning for a multi-sink evaluation of `num_sinks` sinks on a `num_nodes`-node arena.
 ///
-/// Small evaluations are dominated by the per-thread solver warm-up and the scoped-thread
-/// fan-out, so the heuristic stays sequential below a thousand nodes or 128 sinks
-/// (measured in `crates/bench/benches/throughput.rs`: the sequential batched evaluator
-/// wins comfortably at n = 500). Above that it uses the machine's available parallelism,
-/// capped at 8 so evaluation fan-out stays polite inside already-parallel sweeps.
+/// Small evaluations are dominated by per-lane warm-up, so the heuristic stays
+/// sequential below 512 nodes or 96 sinks. The original thresholds (1000 nodes / 128
+/// sinks) were tuned against the scoped-thread fan-out, whose per-call cost was a
+/// thread spawn and join per lane; the persistent [`crate::pool::FlowPool`] replaced
+/// that with a queue push to already-warm workers, so the entry bar dropped — the
+/// `worker_pool` group of `crates/bench/benches/throughput.rs` shows the pool matching
+/// the sequential evaluator at sizes where the scoped fan-out still lost. Above the
+/// thresholds it uses the machine's available parallelism, capped at 8 so evaluation
+/// fan-out stays polite inside already-parallel sweeps (on a single-core host it
+/// therefore always returns 1, and fan-out costs nothing where it cannot win).
 #[must_use]
 pub fn suggested_flow_threads(num_nodes: usize, num_sinks: usize) -> usize {
-    if num_nodes < 1000 || num_sinks < 128 {
+    if num_nodes < 512 || num_sinks < 96 {
         return 1;
     }
     std::thread::available_parallelism()
@@ -997,10 +1002,17 @@ mod tests {
 
     #[test]
     fn suggested_threads_stays_sequential_for_small_evaluations() {
-        assert_eq!(suggested_flow_threads(500, 499), 1);
+        assert_eq!(suggested_flow_threads(511, 499), 1);
         assert_eq!(suggested_flow_threads(5000, 64), 1);
-        let large = suggested_flow_threads(2000, 1999);
-        assert!((1..=8).contains(&large));
+        assert_eq!(suggested_flow_threads(500, 95), 1);
+        // At or above the pool-tuned thresholds the heuristic defers to available
+        // parallelism (so it still returns 1 on a single-core host).
+        for eligible in [
+            suggested_flow_threads(512, 96),
+            suggested_flow_threads(2000, 1999),
+        ] {
+            assert!((1..=8).contains(&eligible));
+        }
     }
 
     #[test]

@@ -50,9 +50,28 @@
 //!   `crates/bench/benches/throughput.rs`) and for callers that must not share the
 //!   global pool.
 //!
-//! [`suggested_flow_threads`] decides when fan-out pays at all: sequential below 1000
-//! nodes / 128 sinks, available parallelism capped at 8 above. Every fan-out is
-//! bit-for-bit equal to the sequential batched evaluation.
+//! [`suggested_flow_threads`] decides when fan-out pays at all: sequential below 512
+//! nodes / 96 sinks (re-tuned against the pool, whose per-call cost is a queue push
+//! instead of a thread spawn), available parallelism capped at 8 above. Every fan-out
+//! is bit-for-bit equal to the sequential batched evaluation.
+//!
+//! # When speculation wins
+//!
+//! The pool also runs *probe batches* ([`pool::FlowPool::probe_batch`]) — the candidate
+//! midpoints of a speculative dichotomic search (`bmp-core`'s `DichotomicSearch`). A
+//! speculative round of depth `d` evaluates `2^(d+1) - 1` candidates to make `d + 1`
+//! bisection steps of progress, so the break-even is lanes versus depth: with `L` free
+//! pool lanes, depth `d` turns `d + 1` serial probe latencies into
+//! `ceil((2^(d+1) - 1) / L)` batched ones. Depth 1 (3 candidates) needs ≥ 2 free lanes
+//! to win ~2× on probe latency; depth 2 (7 candidates) needs ≥ 4 lanes for ~2.3×, and
+//! on fewer lanes deeper speculation only burns wasted probes — exactly half the
+//! evaluated speculative candidates are discarded per round at any depth. On a
+//! single-core host (or a saturated pool) every depth loses to serial by the wasted
+//! work, which is why speculation is opt-in (`BMP_SPECULATE`, `--speculate N`) and the
+//! perf gate abstains on single-core runners. Speculative tickets are tagged
+//! ([`pool::TicketClass`]) so cancelled wagers never pollute the fair-share
+//! starvation accounting, and they reserve one pool lane for co-resident fair-share
+//! work (see the module docs of [`pool`]).
 //!
 //! # Entry points
 //!
@@ -88,7 +107,9 @@ pub use dinic::dinic_max_flow;
 pub use edmonds_karp::edmonds_karp_max_flow;
 pub use graph::{EdgeId, FlowNetwork, FlowResult};
 pub use mincut::{min_cut, MinCut};
-pub use pool::{arm_worker_panics, disarm_worker_panics, FlowPool, WorkerPanicGuard};
+pub use pool::{
+    arm_worker_panics, disarm_worker_panics, FlowPool, ProbeFn, TicketClass, WorkerPanicGuard,
+};
 pub use push_relabel::push_relabel_max_flow;
 
 /// Maximum-flow value from `source` to `sink` computed with the default solver (Dinic).

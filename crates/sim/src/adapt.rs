@@ -385,6 +385,13 @@ impl RepairController {
         self.ctx.set_parallelism(threads);
     }
 
+    /// Forwards to [`EvalCtx::set_speculation`]: repair re-solves speculate `depth`
+    /// extra dichotomic levels against the flow pool (`0` = serial probing). The
+    /// repaired overlays are bit-identical at any depth.
+    pub fn set_speculation(&mut self, depth: usize) {
+        self.ctx.set_speculation(depth);
+    }
+
     /// The controller's evaluation context (telemetry: flow solves, bisection probes,
     /// journal fast-path counters).
     #[must_use]
@@ -1507,32 +1514,43 @@ mod tests {
         // Every scheduled solver/probe fault actually fired.
         assert_eq!(controller.ctx().injected_faults().unwrap().fired(), 4);
         // The armed worker panic may not have landed during the run: ticket pickup
-        // races the submitting thread, which drains shares too and never panics. Keep
-        // driving pooled residual evaluations until a worker claims the token, then
-        // prove containment — the poisoned evaluation is recomputed sequentially, so
+        // races the submitting thread, which drains shares too and never panics, and
+        // on the tiny residual graph the submitter usually wins. Drive pooled
+        // evaluations over a deliberately wide star — draining its sink order takes
+        // far longer than a worker wake-up — until a worker claims the token, then
+        // prove containment: the poisoned evaluation is recomputed sequentially, so
         // the value stays exact.
+        let wide_sinks: Vec<usize> = (1..1024).collect();
+        let star = |edges: &mut Vec<(usize, usize, f64)>| {
+            edges.extend((1..1024).map(|to| (0, to, 1.0)));
+        };
+        let wide_expected = EvalCtx::new().min_max_flow_with(1024, 0, &wide_sinks, star);
         let mut attempts = 0;
         while bmp_flow::FlowPool::global().panics_contained() == contained_before {
             attempts += 1;
-            assert!(attempts <= 200, "the armed worker panic never landed");
-            let pooled = controller.deployed_residual(&[3]);
-            let mut sequential = EvalCtx::new();
-            let expected = sequential.min_max_flow_with(
-                controller.instance.num_nodes(),
-                0,
-                &[1, 2, 4, 5],
-                |edges| {
-                    edges.extend(
-                        controller
-                            .deployed
-                            .edges()
-                            .into_iter()
-                            .filter(|&(from, to, _)| from != 3 && to != 3),
-                    );
-                },
-            );
-            assert_eq!(pooled, expected, "containment must stay bit-identical");
+            assert!(attempts <= 500, "the armed worker panic never landed");
+            let pooled = controller
+                .ctx_mut()
+                .min_max_flow_with(1024, 0, &wide_sinks, star);
+            assert_eq!(pooled, wide_expected, "containment must stay bit-identical");
         }
+        // The residual the repair pipeline actually evaluates stays exact too.
+        let pooled = controller.deployed_residual(&[3]);
+        let expected = EvalCtx::new().min_max_flow_with(
+            controller.instance.num_nodes(),
+            0,
+            &[1, 2, 4, 5],
+            |edges| {
+                edges.extend(
+                    controller
+                        .deployed
+                        .edges()
+                        .into_iter()
+                        .filter(|&(from, to, _)| from != 3 && to != 3),
+                );
+            },
+        );
+        assert_eq!(pooled, expected, "residual must stay bit-identical");
         assert_eq!(
             bmp_flow::disarm_worker_panics(),
             0,
