@@ -16,16 +16,21 @@
 //!
 //! With `--require-improvement ID:RATIO` (repeatable) it asserts a *relative win*
 //! rather than the absence of a regression: `ID`'s median must be at least `RATIO`×
-//! faster than its serial reference (`ID` with the last path segment replaced by
-//! `serial` — e.g. `dichotomic/speculative/spec1:1.3` requires spec1 to beat
-//! `dichotomic/speculative/serial` by 1.3×). The assertion abstains, and says so, on
-//! smoke documents and on single-core hosts — speculation spends extra lanes to
-//! shorten the critical path, so with one core there is nothing to win.
+//! faster than its reference sibling (`ID` with the last path segment replaced by
+//! `serial`, or by `cold` when no serial sibling exists — e.g.
+//! `dichotomic/speculative/spec1:1.3` requires spec1 to beat
+//! `dichotomic/speculative/serial` by 1.3×, and `dichotomic/incremental/warm:1.5`
+//! requires the warm re-probe loop to beat `dichotomic/incremental/cold` by 1.5×).
+//! The assertion abstains, and says so, on smoke documents; serial-referenced ids
+//! additionally abstain on single-core hosts — speculation spends extra lanes to
+//! shorten the critical path, so with one core there is nothing to win — while
+//! cold-referenced (warm-vs-cold) ids stay asserted everywhere, their win being
+//! sequential by construction.
 
 use bmp_bench::{
-    perf_gate, read_bench_document, repo_root, require_improvement, validate_bench_json,
-    DICHOTOMIC_REQUIRED_IDS, REGRESSION_TOLERANCE, SERVE_REQUIRED_IDS, SIM_REQUIRED_IDS,
-    THROUGHPUT_REQUIRED_IDS,
+    perf_gate, read_bench_document, repo_root, require_improvement, resolve_reference_id,
+    validate_bench_json, DICHOTOMIC_REQUIRED_IDS, REGRESSION_TOLERANCE, SERVE_REQUIRED_IDS,
+    SIM_REQUIRED_IDS, THROUGHPUT_REQUIRED_IDS,
 };
 use std::path::PathBuf;
 
@@ -128,29 +133,27 @@ fn main() {
         }
     }
 
-    if !improvements.is_empty() {
-        let lanes = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-        if lanes < 2 {
-            println!(
-                "improvement: skipped {} assertion(s) (single-core host: speculation \
-                 has no free lanes to win with)",
-                improvements.len()
-            );
-        } else {
-            for (id, ratio) in &improvements {
-                match check_improvement(id, *ratio) {
-                    Ok(Some((benchmark, achieved))) => println!(
-                        "improvement: {id}: {achieved:.2}x faster than its serial \
-                         reference in BENCH_{benchmark}.json (required {ratio}x)"
-                    ),
-                    Ok(None) => {
-                        println!("improvement: {id}: skipped (smoke-mode document has no timings)")
-                    }
-                    Err(error) => {
-                        eprintln!("improvement assertion failed: {error}");
-                        failed = true;
-                    }
-                }
+    let lanes = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    for (id, ratio) in &improvements {
+        match check_improvement(id, *ratio, lanes) {
+            Ok(Improvement::Achieved {
+                benchmark,
+                reference,
+                achieved,
+            }) => println!(
+                "improvement: {id}: {achieved:.2}x faster than {reference} \
+                 in BENCH_{benchmark}.json (required {ratio}x)"
+            ),
+            Ok(Improvement::Smoke) => {
+                println!("improvement: {id}: skipped (smoke-mode document has no timings)")
+            }
+            Ok(Improvement::SingleCore) => println!(
+                "improvement: {id}: skipped (single-core host: speculation has no \
+                 free lanes to win with)"
+            ),
+            Err(error) => {
+                eprintln!("improvement assertion failed: {error}");
+                failed = true;
             }
         }
     }
@@ -159,9 +162,25 @@ fn main() {
     }
 }
 
+/// Outcome of one `--require-improvement` assertion.
+enum Improvement {
+    /// The assertion held, by `achieved`× against `reference`.
+    Achieved {
+        benchmark: String,
+        reference: String,
+        achieved: f64,
+    },
+    /// Abstained: the document is a smoke run with no timings.
+    Smoke,
+    /// Abstained: the id measures speculation (its reference is a `serial` sibling)
+    /// and the host has a single core, so there are no free lanes to win with.
+    /// Warm-vs-cold ids (a `cold` reference) stay asserted — that win is sequential.
+    SingleCore,
+}
+
 /// Finds the document containing `id` among the four reports and asserts the
-/// improvement there. `Ok(None)` = found but smoke mode (abstain).
-fn check_improvement(id: &str, ratio: f64) -> Result<Option<(String, f64)>, String> {
+/// improvement there.
+fn check_improvement(id: &str, ratio: f64, lanes: usize) -> Result<Improvement, String> {
     let root = repo_root();
     for benchmark in ["dichotomic", "throughput", "sim", "serve"] {
         let path = root.join(format!("BENCH_{benchmark}.json"));
@@ -171,8 +190,18 @@ fn check_improvement(id: &str, ratio: f64) -> Result<Option<(String, f64)>, Stri
         if doc.median_ns(id).is_none() {
             continue;
         }
-        return require_improvement(&doc, id, ratio)
-            .map(|achieved| achieved.map(|achieved| (benchmark.to_string(), achieved)));
+        if doc.is_measured() {
+            let reference = resolve_reference_id(&doc, id)?;
+            if lanes < 2 && reference.rsplit('/').next() == Some("serial") {
+                return Ok(Improvement::SingleCore);
+            }
+            return require_improvement(&doc, id, ratio).map(|achieved| Improvement::Achieved {
+                benchmark: benchmark.to_string(),
+                reference,
+                achieved: achieved.expect("measured documents always compare"),
+            });
+        }
+        return Ok(Improvement::Smoke);
     }
     Err(format!(
         "required id {id:?} not found in any BENCH_*.json document"

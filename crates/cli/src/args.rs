@@ -16,7 +16,13 @@ pub struct ArgList {
 }
 
 /// Flags that take no value (presence/absence switches).
-const BOOLEAN_FLAGS: &[&str] = &["--cyclic", "--trace", "--repair", "--queue"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "--cyclic",
+    "--trace",
+    "--repair",
+    "--queue",
+    "--incremental",
+];
 
 /// The accepted flags of one subcommand.
 ///

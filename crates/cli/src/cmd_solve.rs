@@ -17,6 +17,7 @@ pub const FLAGS: FlagSpec = FlagSpec {
         "--tolerance",
         "--threads",
         "--speculate",
+        "--incremental",
         "--out",
         "--dot",
     ],
@@ -111,8 +112,11 @@ fn report<W: Write>(solution: &Solution, out: &mut W) -> Result<(), CliError> {
 /// `BMP_SPECULATE` is set — probes one midpoint at a time, `N > 0` additionally
 /// submits the next N levels of candidate midpoints to the flow pool and discards
 /// the branch the serial search would not have taken; the report is bit-identical
-/// at any depth), `--out FILE` (write the scheme as JSON), `--dot FILE` (write a
-/// Graphviz rendering).
+/// at any depth), `--incremental` (warm residual reuse: consecutive dichotomic
+/// probes start each max-flow from the previous probe's retained residual instead
+/// of a cold solve — on by default when `BMP_INCREMENTAL` is set, bit-identical
+/// report either way), `--out FILE` (write the scheme as JSON), `--dot FILE`
+/// (write a Graphviz rendering).
 ///
 /// # Errors
 ///
@@ -130,6 +134,7 @@ pub fn run<W: Write>(args: &ArgList, out: &mut W) -> Result<(), CliError> {
     let mut ctx = EvalCtx::with_tolerance(tolerance);
     ctx.set_parallelism(threads);
     ctx.set_speculation(speculate);
+    ctx.set_incremental(args.has("--incremental") || bmp_core::solver::default_incremental());
     let solution = solver.solve(&instance, &mut ctx)?;
     report(&solution, out)?;
 
@@ -297,6 +302,24 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("--speculate"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn incremental_flag_changes_nothing_but_wall_time() {
+        let path = write_figure1();
+        let cold = run_args(&["--instance".into(), path.clone()]).unwrap();
+        let warm = run_args(&["--instance".into(), path.clone(), "--incremental".into()]).unwrap();
+        // The bit-identity contract: warm residual reuse may only change the telemetry
+        // timing line, never the word, throughput, or scheme.
+        let stable = |report: &str| {
+            report
+                .lines()
+                .filter(|line| !line.starts_with("telemetry"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(stable(&cold), stable(&warm), "--incremental");
         std::fs::remove_file(path).ok();
     }
 

@@ -16,7 +16,11 @@
 //!   delivered throughput drops below a floor. Its probes re-score the same scheme with
 //!   only that node's outgoing rates moving — exactly the access pattern the dirty-edge
 //!   journal of [`BroadcastScheme`] accelerates (the evaluation context patches the few
-//!   journaled capacities instead of rescanning the O(n²) rate matrix per probe).
+//!   journaled capacities instead of rescanning the O(n²) rate matrix per probe), and
+//!   that warm residual reuse ([`EvalCtx::set_incremental`]) accelerates further: the
+//!   retained arena keeps its epoch across probes, so each probe's max-flows start from
+//!   the previous probe's residual instead of a cold Dinic (bit-identical tolerances,
+//!   see `bmp_flow::incremental`).
 
 use crate::acyclic_guarded::{AcyclicGuardedSolver, AcyclicSolution};
 use crate::error::CoreError;

@@ -44,6 +44,13 @@
 //! Batching and speculation are orthogonal and composable in principle, but the
 //! drivers here keep them separate: a batched round already fills the pool with one
 //! probe per cell, so speculating inside it would only displace fair-share work.
+//!
+//! Both drivers compose with warm residual reuse (`EvalCtx::set_incremental` /
+//! `bmp_flow::incremental`): the search itself only sees verdicts, but the flow-backed
+//! predicates it drives evaluate near-identical capacity vectors probe after probe, so
+//! each probe's max-flows can start from the previous probe's retained residual. The
+//! warm path is constructed so every verdict, bracket and final value stays
+//! bit-identical to cold evaluation — the same contract speculation holds.
 
 /// Dichotomic search over a monotone feasibility predicate.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -100,6 +100,15 @@ pub struct Telemetry {
     pub rescans_skipped: u64,
     /// Total edge capacities patched into the cached arena by journaled evaluations.
     pub edges_patched: u64,
+    /// Per-sink solves that warm-started from a retained residual state instead of
+    /// `load_caps` + Dinic from scratch (zero unless incremental mode is enabled).
+    pub flows_warm_started: u64,
+    /// Warm-started solves answered by the retained flow value alone — no augmentation
+    /// at all (at most [`Telemetry::flows_warm_started`]).
+    pub augment_saved: u64,
+    /// Drain operations performed while applying capacity deltas to warm states
+    /// (committed flow pushed back along reverse residual paths).
+    pub excess_drained: u64,
     /// Wall-clock time of the solve, including verification.
     pub wall_time: Duration,
 }
@@ -177,6 +186,43 @@ pub fn set_default_speculation(depth: usize) -> usize {
     default_speculation_cell().swap(depth, std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Whether the `BMP_INCREMENTAL` environment variable requests warm residual reuse
+/// (same pattern as `BMP_SPECULATE`, read once): unset, empty, `0` or `off` mean cold
+/// evaluation; any other value enables incremental mode.
+fn incremental_from_env() -> bool {
+    match std::env::var("BMP_INCREMENTAL") {
+        Err(_) => false,
+        Ok(value) => {
+            let value = value.trim().to_ascii_lowercase();
+            !(value.is_empty() || value == "0" || value == "off")
+        }
+    }
+}
+
+/// The cell holding the process-wide default incremental-mode flag, initialised from
+/// `BMP_INCREMENTAL` on first use.
+fn default_incremental_cell() -> &'static std::sync::atomic::AtomicBool {
+    static CELL: std::sync::OnceLock<std::sync::atomic::AtomicBool> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| std::sync::atomic::AtomicBool::new(incremental_from_env()))
+}
+
+/// The process-wide default incremental-evaluation flag new contexts start from: the
+/// `BMP_INCREMENTAL` environment override unless [`set_default_incremental`] replaced it.
+#[must_use]
+pub fn default_incremental() -> bool {
+    default_incremental_cell().load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Replaces the process-wide default incremental-evaluation flag (returning the
+/// previous one) — the programmatic counterpart of `BMP_INCREMENTAL` behind the CLI's
+/// `--incremental` flag, reaching every internally-constructed context (repair
+/// controllers, sweep workers, fleet shards) the same way
+/// [`set_default_speculation`] does. Already-built contexts keep their setting
+/// ([`EvalCtx::set_incremental`] adjusts those).
+pub fn set_default_incremental(enabled: bool) -> bool {
+    default_incremental_cell().swap(enabled, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Association between the cached arena and the scheme object it was last pointed at:
 /// the scheme's identity, its edge epoch, and how far into its dirty-edge journal the
 /// arena's capacities are current.
@@ -230,6 +276,13 @@ pub struct EvalCtx {
     /// [`set_default_speculation`] raised the process default or
     /// [`EvalCtx::set_speculation`] set it here.
     speculation: usize,
+    /// Warm residual reuse across evaluations: `false` (cold) unless
+    /// `BMP_INCREMENTAL` / [`set_default_incremental`] raised the process default or
+    /// [`EvalCtx::set_incremental`] set it here. Values are bit-identical either way
+    /// (see `bmp_flow::incremental`); only wall time and the warm counters move.
+    incremental: bool,
+    /// Warm residual states for incremental evaluation, keyed by arena epoch.
+    warm_cache: bmp_flow::WarmFlowCache,
     scratch_edges: Vec<(NodeId, NodeId, f64)>,
     scratch_filtered: Vec<(NodeId, NodeId, f64)>,
     scratch_caps: Vec<f64>,
@@ -251,6 +304,9 @@ pub struct EvalCtx {
     arena_updates: u64,
     rescans_skipped: u64,
     edges_patched: u64,
+    flows_warm_started: u64,
+    augment_saved: u64,
+    excess_drained: u64,
 }
 
 impl Default for EvalCtx {
@@ -298,6 +354,8 @@ impl EvalCtx {
             journal_enabled: !journal_disabled_by_env(),
             parallelism: 0,
             speculation: default_speculation(),
+            incremental: default_incremental(),
+            warm_cache: bmp_flow::WarmFlowCache::new(),
             scratch_edges: Vec::new(),
             scratch_filtered: Vec::new(),
             scratch_caps: Vec::new(),
@@ -314,6 +372,9 @@ impl EvalCtx {
             arena_updates: 0,
             rescans_skipped: 0,
             edges_patched: 0,
+            flows_warm_started: 0,
+            augment_saved: 0,
+            excess_drained: 0,
         }
     }
 
@@ -397,6 +458,56 @@ impl EvalCtx {
     #[must_use]
     pub fn speculation(&self) -> usize {
         self.speculation
+    }
+
+    /// Enables or disables warm residual reuse (incremental max-flow) for this
+    /// context's evaluations. When enabled, per-sink solves retain their residual
+    /// capacities per `(arena epoch, source, sink)` and the next probe applies the
+    /// capacity delta in place instead of `load_caps` + Dinic from scratch (see
+    /// `bmp_flow::incremental`). Verdicts, brackets, probe counts and solutions are
+    /// bit-identical either way; only wall time and the
+    /// [`EvalCtx::flows_warm_started`] / [`EvalCtx::augment_saved`] /
+    /// [`EvalCtx::excess_drained`] counters move. Certification always re-evaluates
+    /// cold regardless of this setting.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.incremental = enabled;
+        if !enabled {
+            self.warm_cache.clear();
+        }
+    }
+
+    /// Whether warm residual reuse is enabled. On a fresh context this reflects the
+    /// process default (`BMP_INCREMENTAL` unless [`set_default_incremental`] replaced
+    /// it).
+    #[must_use]
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Per-sink solves that warm-started from a retained residual state.
+    #[must_use]
+    pub fn flows_warm_started(&self) -> u64 {
+        self.flows_warm_started
+    }
+
+    /// Warm-started solves answered by the retained value alone (no augmentation).
+    #[must_use]
+    pub fn augment_saved(&self) -> u64 {
+        self.augment_saved
+    }
+
+    /// Drain operations performed while applying capacity deltas to warm states.
+    #[must_use]
+    pub fn excess_drained(&self) -> u64 {
+        self.excess_drained
+    }
+
+    /// Folds the warm cache's per-evaluation counters into the context totals.
+    fn drain_warm_stats(&mut self) {
+        let stats = self.warm_cache.stats.take();
+        self.flows_warm_started += stats.flows_warm_started;
+        self.augment_saved += stats.augment_saved;
+        self.excess_drained += stats.excess_drained;
     }
 
     /// Total speculative candidates evaluated so far (beyond each round's root).
@@ -512,6 +623,19 @@ impl EvalCtx {
         self.throughput_with_threads(scheme, threads)
     }
 
+    /// [`EvalCtx::throughput`] with warm residual reuse forced off for this one
+    /// evaluation — the certification path: a verified `Solution`'s throughput must
+    /// come from a from-scratch solve regardless of the context's incremental setting
+    /// (warm reuse is bit-identical anyway; this keeps the certificate independent of
+    /// the warm machinery by construction).
+    pub fn throughput_cold(&mut self, scheme: &BroadcastScheme) -> f64 {
+        let was_incremental = self.incremental;
+        self.incremental = false;
+        let value = self.throughput_with_threads(scheme, self.parallelism);
+        self.incremental = was_incremental;
+        value
+    }
+
     fn throughput_with_threads(&mut self, scheme: &BroadcastScheme, threads: usize) -> f64 {
         self.ensure_scheme_arena(scheme);
         let mut sinks = std::mem::take(&mut self.scratch_sinks);
@@ -528,10 +652,27 @@ impl EvalCtx {
             // on this context's own solver; every worker clone is dropped before the
             // call returns, so the retained arena stays uniquely owned (in-place
             // journal patches keep working without a copy).
-            FlowPool::global().min_max_flow_with(&mut self.solver, arena, 0, &sinks, threads)
+            if self.incremental {
+                FlowPool::global().min_max_flow_warm_with(
+                    &mut self.solver,
+                    arena,
+                    0,
+                    &sinks,
+                    threads,
+                    &mut self.warm_cache,
+                )
+            } else {
+                FlowPool::global().min_max_flow_with(&mut self.solver, arena, 0, &sinks, threads)
+            }
+        } else if self.incremental {
+            self.solver
+                .min_max_flow_warm(arena, 0, &sinks, &mut self.warm_cache)
         } else {
             self.solver.min_max_flow(arena, 0, &sinks)
         };
+        if self.incremental {
+            self.drain_warm_stats();
+        }
         self.scratch_sinks = sinks;
         value
     }
@@ -570,11 +711,35 @@ impl EvalCtx {
             0 => suggested_flow_threads(num_nodes, sinks.len()),
             explicit => explicit,
         };
-        if threads > 1 {
-            FlowPool::global().min_max_flow_with(&mut self.solver, arena, source, sinks, threads)
+        let value = if threads > 1 {
+            if self.incremental {
+                FlowPool::global().min_max_flow_warm_with(
+                    &mut self.solver,
+                    arena,
+                    source,
+                    sinks,
+                    threads,
+                    &mut self.warm_cache,
+                )
+            } else {
+                FlowPool::global().min_max_flow_with(
+                    &mut self.solver,
+                    arena,
+                    source,
+                    sinks,
+                    threads,
+                )
+            }
+        } else if self.incremental {
+            self.solver
+                .min_max_flow_warm(arena, source, sinks, &mut self.warm_cache)
         } else {
             self.solver.min_max_flow(arena, source, sinks)
+        };
+        if self.incremental {
+            self.drain_warm_stats();
         }
+        value
     }
 
     /// Like [`EvalCtx::min_max_flow`], but the edge list is produced by `fill` into a
@@ -816,7 +981,7 @@ pub fn batched_guarded_throughputs(
 /// Panics when the scheme under-delivers beyond a `1e-6` relative tolerance: an
 /// under-delivering scheme is a solver bug, not a data point.
 pub fn certify_throughput(ctx: &mut EvalCtx, scheme: &BroadcastScheme, claimed: f64) -> f64 {
-    let achieved = ctx.throughput(scheme);
+    let achieved = ctx.throughput_cold(scheme);
     assert!(
         achieved + 1e-6 * claimed.max(1.0) >= claimed,
         "certification failed: scheme delivers {achieved} < claimed {claimed}"
@@ -860,6 +1025,9 @@ pub struct SolveRecorder {
     probes_wasted: u64,
     rescans_skipped: u64,
     edges_patched: u64,
+    flows_warm_started: u64,
+    augment_saved: u64,
+    excess_drained: u64,
 }
 
 impl SolveRecorder {
@@ -874,6 +1042,9 @@ impl SolveRecorder {
             probes_wasted: ctx.probes_wasted,
             rescans_skipped: ctx.rescans_skipped,
             edges_patched: ctx.edges_patched,
+            flows_warm_started: ctx.flows_warm_started,
+            augment_saved: ctx.augment_saved,
+            excess_drained: ctx.excess_drained,
         }
     }
 
@@ -890,6 +1061,9 @@ impl SolveRecorder {
             probes_wasted: ctx.probes_wasted - self.probes_wasted,
             rescans_skipped: ctx.rescans_skipped - self.rescans_skipped,
             edges_patched: ctx.edges_patched - self.edges_patched,
+            flows_warm_started: ctx.flows_warm_started - self.flows_warm_started,
+            augment_saved: ctx.augment_saved - self.augment_saved,
+            excess_drained: ctx.excess_drained - self.excess_drained,
             wall_time: self.started.elapsed(),
         }
     }
@@ -916,7 +1090,9 @@ impl SolveRecorder {
                 occurrence,
             });
         }
-        let achieved = ctx.throughput(&scheme);
+        // Certification stays a from-scratch solve: the verified throughput never
+        // depends on warm residual state, whatever the context's incremental setting.
+        let achieved = ctx.throughput_cold(&scheme);
         let verify_fault = ctx.intercept_fault(FaultSite::Verify).is_some();
         if verify_fault || achieved + VERIFY_TOL * throughput.max(1.0) < throughput {
             return Err(CoreError::VerificationFailed {

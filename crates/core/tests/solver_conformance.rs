@@ -336,6 +336,91 @@ fn every_solver_matches_under_speculation() {
     assert!(speculated_somewhere > 0, "no probe was ever speculated");
 }
 
+/// Every registry solver must produce the *same* solution with warm residual reuse
+/// enabled as with it disabled, with the journal on and off and speculation at depths
+/// {0, 2}: same algorithm label, bit-identical claimed and verified throughput, same
+/// word, same scheme, and bit-identical telemetry counters. The solved scheme is then
+/// re-probed by the dichotomic degradation search through the same contexts — the
+/// probe sequence whose repeated same-arena evaluations the warm path accelerates —
+/// and the tolerances must agree bit-for-bit while the warm context demonstrably
+/// reuses residual states. This is the in-repo half of the CI incremental matrix,
+/// which re-runs the whole suite under `BMP_INCREMENTAL` ∈ {0, 1}.
+#[test]
+fn every_solver_matches_under_incremental_reuse() {
+    let mut warmed_somewhere = 0u64;
+    for journal in [true, false] {
+        for depth in [0usize, 2] {
+            for solver in registry() {
+                for instance in corpus() {
+                    let mut cold = EvalCtx::new();
+                    cold.set_journal_enabled(journal);
+                    cold.set_speculation(depth);
+                    cold.set_incremental(false);
+                    let mut warm = EvalCtx::new();
+                    warm.set_journal_enabled(journal);
+                    warm.set_speculation(depth);
+                    warm.set_incremental(true);
+                    let plain = solver.solve(&instance, &mut cold);
+                    let reused = solver.solve(&instance, &mut warm);
+                    match (plain, reused) {
+                        (Ok(plain), Ok(reused)) => {
+                            let name = solver.name();
+                            assert_eq!(plain.algorithm, reused.algorithm, "{name}");
+                            assert_eq!(
+                                plain.throughput.to_bits(),
+                                reused.throughput.to_bits(),
+                                "{name}: claimed throughput diverged (journal={journal}, depth={depth})"
+                            );
+                            assert_eq!(
+                                plain.verified_throughput.to_bits(),
+                                reused.verified_throughput.to_bits(),
+                                "{name}: verified throughput diverged (journal={journal}, depth={depth})"
+                            );
+                            assert_eq!(plain.word, reused.word, "{name}");
+                            assert_eq!(plain.scheme, reused.scheme, "{name}");
+                            let (c, w) = (&plain.telemetry, &reused.telemetry);
+                            assert_eq!(c.flow_solves, w.flow_solves, "{name}");
+                            assert_eq!(c.bisection_iters, w.bisection_iters, "{name}");
+                            assert_eq!(c.rescans_skipped, w.rescans_skipped, "{name}");
+                            assert_eq!(c.edges_patched, w.edges_patched, "{name}");
+                            assert_eq!(
+                                c.flows_warm_started, 0,
+                                "{name}: cold context warm-started"
+                            );
+                            warmed_somewhere += w.flows_warm_started;
+                            if plain.throughput > 0.0 {
+                                // Re-probe the solution with the degradation search:
+                                // repeated same-arena evaluations, the warm path's
+                                // bread and butter. Verdict sequences diverging would
+                                // surface as a different tolerance.
+                                let floor = 0.9 * plain.throughput;
+                                let t_cold =
+                                    degradation_tolerance(&plain.scheme, 0, floor, &mut cold);
+                                let t_warm =
+                                    degradation_tolerance(&reused.scheme, 0, floor, &mut warm);
+                                assert_eq!(
+                                    t_cold, t_warm,
+                                    "{name}: degradation re-probe diverged (journal={journal}, depth={depth})"
+                                );
+                                warmed_somewhere += warm.flows_warm_started();
+                            }
+                        }
+                        (Err(_), Err(_)) => {} // class restrictions hit identically
+                        (plain, reused) => panic!(
+                            "{}: cold {:?} vs incremental {:?} disagree on solvability",
+                            solver.name(),
+                            plain.map(|s| s.throughput),
+                            reused.map(|s| s.throughput)
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    // The comparison proves nothing if no evaluation ever actually warm-started.
+    assert!(warmed_somewhere > 0, "no flow solve was ever warm-started");
+}
+
 /// Random open-only instance and rate matrix; entries below 0.5 are zeroed so that the
 /// edge *set* survives the ±50% rate perturbations used by the incremental test.
 fn random_scheme() -> impl Strategy<Value = (bmp_core::BroadcastScheme, Vec<f64>)> {
@@ -512,6 +597,52 @@ proptest! {
         prop_assert_eq!(s.rescans_skipped, p.rescans_skipped);
         prop_assert_eq!(s.edges_patched, p.edges_patched);
         prop_assert!(p.probes_wasted <= p.probes_speculated);
+    }
+
+    /// Theorem 4.1's solver must return a bit-identical [`Solution`] — throughput,
+    /// verified throughput, word, scheme, and every telemetry counter — with warm
+    /// residual reuse on or off, across the journal × speculation matrix; and the
+    /// solution's dichotomic degradation re-probe (the warm path's target workload)
+    /// must produce the same tolerance through both contexts.
+    #[test]
+    fn incremental_solve_is_bit_identical_to_cold(
+        instance in random_instance(),
+        journal_bit in 0usize..=1,
+        depth_bit in 0usize..=1,
+    ) {
+        let journal = journal_bit == 1;
+        let depth = depth_bit * 2;
+        use bmp_core::solver::{AcyclicGuardedAlgorithm, Solver as _};
+        let solver = AcyclicGuardedAlgorithm;
+        let mut cold = EvalCtx::new();
+        cold.set_journal_enabled(journal);
+        cold.set_speculation(depth);
+        cold.set_incremental(false);
+        let mut warm = EvalCtx::new();
+        warm.set_journal_enabled(journal);
+        warm.set_speculation(depth);
+        warm.set_incremental(true);
+        let plain = solver.solve(&instance, &mut cold).expect("guarded solver");
+        let reused = solver.solve(&instance, &mut warm).expect("guarded solver");
+        prop_assert_eq!(plain.throughput.to_bits(), reused.throughput.to_bits());
+        prop_assert_eq!(
+            plain.verified_throughput.to_bits(),
+            reused.verified_throughput.to_bits()
+        );
+        prop_assert_eq!(&plain.word, &reused.word);
+        prop_assert_eq!(&plain.scheme, &reused.scheme);
+        let (c, w) = (&plain.telemetry, &reused.telemetry);
+        prop_assert_eq!(c.flow_solves, w.flow_solves);
+        prop_assert_eq!(c.bisection_iters, w.bisection_iters);
+        prop_assert_eq!(c.rescans_skipped, w.rescans_skipped);
+        prop_assert_eq!(c.edges_patched, w.edges_patched);
+        prop_assert_eq!(c.flows_warm_started, 0);
+        if plain.throughput > 0.0 {
+            let floor = 0.9 * plain.throughput;
+            let t_cold = degradation_tolerance(&plain.scheme, 0, floor, &mut cold);
+            let t_warm = degradation_tolerance(&reused.scheme, 0, floor, &mut warm);
+            prop_assert_eq!(t_cold, t_warm, "degradation re-probe diverged");
+        }
     }
 
     /// The determinism contract at probe granularity: replaying the candidate trees a

@@ -235,6 +235,9 @@ fn run_trial(
     telemetry.bisection_iters += controller_ctx.bisection_iters();
     telemetry.rescans_skipped += controller_ctx.rescans_skipped();
     telemetry.edges_patched += controller_ctx.edges_patched();
+    telemetry.flows_warm_started += controller_ctx.flows_warm_started();
+    telemetry.augment_saved += controller_ctx.augment_saved();
+    telemetry.excess_drained += controller_ctx.excess_drained();
     Some(SimChurnTrial {
         receivers,
         nominal,

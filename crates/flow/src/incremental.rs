@@ -1,0 +1,659 @@
+//! Incremental max-flow: warm residual reuse across dichotomic probes.
+//!
+//! Consecutive probes of a dichotomic search evaluate max-flows over the *same* arc
+//! structure with rescaled capacities, so the previous probe's feasible flow is one
+//! capacity-delta away from a valid starting flow for the next probe. This module keeps
+//! that state — per `(arena epoch, source, sink)` — in a [`WarmFlowCache`] and teaches
+//! [`FlowSolver`] to solve from it instead of `load_caps` + Dinic from scratch.
+//!
+//! # State machine
+//!
+//! A [`WarmState`] holds the residual capacities (`2m` arcs), a snapshot of the input
+//! edge capacities it was built against (`m` entries), and the value of the retained
+//! feasible flow. A warm solve proceeds as:
+//!
+//! 1. **Delta apply** — diff the snapshot against the arena's current capacities.
+//!    Increases widen the forward residual in place (the committed flow is untouched).
+//!    A decrease below the committed flow caps the flow at the new capacity and records
+//!    the severed units as *excess* at the edge's tail and *deficit* at its head.
+//! 2. **Drain** — excess is pushed back to the source along residual paths that avoid
+//!    the sink, deficit is cancelled by pushing from the sink backwards (each unit
+//!    lowers the retained value). After draining, the state is again a feasible
+//!    source→sink flow under the new capacities.
+//! 3. **Certificate / re-augment** — if the retained value already clears the caller's
+//!    `limit` by a safety margin (`CERTIFICATE_MARGIN`, so fp near-ties can never
+//!    classify differently from cold), it is returned with zero augmentation (the
+//!    batched evaluators only use `>= limit` one-sidedly). Otherwise Dinic augments
+//!    *from the retained flow* until the margin-padded limit is met.
+//! 4. **Cold fallback** — if augmentation converges below that, the exact maximum
+//!    is recomputed from scratch and the warm state is reseeded from the cold residual.
+//!    This keeps every number that can steer downstream control flow (brackets, probe
+//!    verdicts, running minimums, the final `Solution`) bit-for-bit identical to cold
+//!    mode: warm mode only ever short-circuits solves whose value is provably at or
+//!    above the running minimum, which cold mode would discard anyway.
+//!
+//! Any drain that cannot complete (unreachable endpoint, iteration guard) invalidates
+//! the state and falls back to the cold path, which is always correct.
+//!
+//! # Invalidation
+//!
+//! States are keyed by [`FlowArena::epoch`]: rebuilding an arena (edge-set change)
+//! mints a new epoch, so stale states are simply never matched again (and are evicted
+//! wholesale when the cache fills). In-place capacity updates — `set_edge_capacities`,
+//! journal patches via `patch_edge_capacities` — keep the epoch, and the snapshot diff
+//! in step 1 absorbs them; no explicit invalidation hook is needed.
+
+use crate::csr::{FlowArena, FlowSolver, NO_ARC};
+use crate::eps;
+use std::collections::HashMap;
+
+/// Hard cap on retained states; the cache is cleared wholesale when a new key would
+/// exceed it (probe loops touch a handful of sinks, so eviction is effectively never
+/// hit outside adversarial churn).
+const MAX_STATES: usize = 64;
+
+/// Iteration guard multiplier for drain path searches (defensive bound against
+/// floating-point pathologies; a clean drain needs far fewer pushes).
+const DRAIN_GUARD_SLACK: usize = 16;
+
+/// Relative safety margin for warm certificates. Warm and cold augmentation
+/// accumulate their totals through different push sequences, so near a tie
+/// (`true max ≈ limit`) the two can land on opposite sides of the limit by a few
+/// ulps. A certificate therefore only fires when the warm value clears the limit by
+/// this margin — far above accumulated fp noise (~1e-14 relative), far below any
+/// decision tolerance in the workspace (1e-6) — and everything inside the margin
+/// falls through to the bit-identical cold recompute.
+const CERTIFICATE_MARGIN: f64 = 1e-9;
+
+/// Observability counters for warm reuse (telemetry: `flows_warm_started`,
+/// `augment_saved`, `excess_drained`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Solves that entered the warm path with a matching state (delta applied).
+    pub flows_warm_started: u64,
+    /// Warm solves answered by the retained value alone (no augmentation at all).
+    pub augment_saved: u64,
+    /// Drain operations performed (excess pushed back to the source or deficit
+    /// cancelled from the sink) while applying capacity deltas.
+    pub excess_drained: u64,
+}
+
+impl WarmStats {
+    /// Returns the counters accumulated since the last call and resets them to zero.
+    pub fn take(&mut self) -> WarmStats {
+        std::mem::take(self)
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &WarmStats) {
+        self.flows_warm_started += other.flows_warm_started;
+        self.augment_saved += other.augment_saved;
+        self.excess_drained += other.excess_drained;
+    }
+}
+
+/// Retained residual state of one `(arena epoch, source, sink)` solve.
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    /// Residual capacities, indexed like the arena's arc arrays (length `2m`).
+    cap: Vec<f64>,
+    /// Input-edge capacities the residual was built against (length `m`).
+    snapshot: Vec<f64>,
+    /// Value of the retained feasible source→sink flow.
+    value: f64,
+}
+
+impl WarmState {
+    fn sized_for(&self, arena: &FlowArena) -> bool {
+        self.cap.len() == 2 * arena.num_edges && self.snapshot.len() == arena.num_edges
+    }
+}
+
+/// Cache of warm residual states plus reuse telemetry.
+///
+/// One cache per evaluation context / pool worker; it is *not* shared across threads.
+/// Cheap to construct, safe to drop at any time — losing a cache only costs the next
+/// solve a cold start.
+#[derive(Debug, Clone, Default)]
+pub struct WarmFlowCache {
+    states: HashMap<(u64, u32, u32), WarmState>,
+    /// Reuse counters; drained by callers via [`WarmStats::take`].
+    pub stats: WarmStats,
+    /// Scratch: severed flow recorded at edge tails during delta apply.
+    excess: Vec<(u32, f64)>,
+    /// Scratch: severed flow recorded at edge heads during delta apply.
+    deficit: Vec<(u32, f64)>,
+}
+
+impl WarmFlowCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        WarmFlowCache::default()
+    }
+
+    /// Number of retained states (diagnostic).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the cache holds no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Drops every retained state (telemetry counters are kept).
+    pub fn clear(&mut self) {
+        self.states.clear();
+    }
+
+    /// (Re)seeds the state for `key` from a cold solve's residual capacities.
+    fn seed(&mut self, key: (u64, u32, u32), arena: &FlowArena, residual: &[f64], value: f64) {
+        if self.states.len() >= MAX_STATES && !self.states.contains_key(&key) {
+            self.states.clear();
+        }
+        let state = self.states.entry(key).or_insert_with(|| WarmState {
+            cap: Vec::new(),
+            snapshot: Vec::new(),
+            value: 0.0,
+        });
+        state.cap.clear();
+        state.cap.extend_from_slice(residual);
+        state.snapshot.clear();
+        state.snapshot.extend(
+            arena
+                .edge_pos
+                .iter()
+                .map(|&pos| arena.base_cap[pos as usize]),
+        );
+        state.value = value;
+    }
+
+    /// Checks every state keyed to `arena`'s epoch against the flow invariants the
+    /// delta/drain machinery must preserve (test / diagnostic hook):
+    ///
+    /// * per arc pair: residual + committed flow = snapshot capacity, both halves
+    ///   non-negative;
+    /// * per interior node: flow conservation;
+    /// * the retained `value` equals the net inflow at the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self, arena: &FlowArena) -> Result<(), String> {
+        for (&(epoch, source, sink), state) in &self.states {
+            if epoch != arena.epoch() {
+                continue;
+            }
+            if !state.sized_for(arena) {
+                return Err(format!(
+                    "state ({source}->{sink}) sized for a different arena"
+                ));
+            }
+            let scale: f64 = state.snapshot.iter().fold(1.0f64, |acc, &c| acc.max(c));
+            let tol = 1e-9 * scale;
+            let mut net = vec![0.0f64; arena.num_nodes];
+            for (k, &snap) in state.snapshot.iter().enumerate() {
+                let fwd = arena.edge_pos[k] as usize;
+                let bwd = arena.partner[fwd] as usize;
+                if state.cap[fwd] < -tol || state.cap[bwd] < -tol {
+                    return Err(format!("edge {k}: negative residual"));
+                }
+                if (state.cap[fwd] + state.cap[bwd] - snap).abs() > tol {
+                    return Err(format!(
+                        "edge {k}: residual {} + flow {} != snapshot capacity {snap}",
+                        state.cap[fwd], state.cap[bwd]
+                    ));
+                }
+                let flow = (snap - state.cap[fwd]).clamp(0.0, snap);
+                let head = arena.to[fwd] as usize;
+                let tail = arena.to[bwd] as usize;
+                net[head] += flow;
+                net[tail] -= flow;
+            }
+            for (node, &imbalance) in net.iter().enumerate() {
+                if node == source as usize || node == sink as usize {
+                    continue;
+                }
+                if imbalance.abs() > tol {
+                    return Err(format!(
+                        "node {node}: conservation violated by {imbalance} in state ({source}->{sink})"
+                    ));
+                }
+            }
+            if (net[sink as usize] - state.value).abs() > tol {
+                return Err(format!(
+                    "state ({source}->{sink}): value {} != net sink inflow {}",
+                    state.value, net[sink as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FlowSolver {
+    /// Like [`FlowSolver::max_flow_limited`], but reuses the residual state retained in
+    /// `cache` for `(arena.epoch(), source, sink)` when one exists.
+    ///
+    /// The return value obeys the same contract as the cold evaluator — exact below
+    /// `limit`, a one-sided `>= limit` certificate otherwise — **and is bit-for-bit the
+    /// value cold mode would produce**: warm short-circuits only resolve at-or-above
+    /// the limit (which the batched evaluators discard), and any solve whose exact
+    /// value matters falls through to the identical cold arithmetic, reseeding the
+    /// warm state from its residual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` or `sink` is out of range.
+    pub fn max_flow_limited_warm(
+        &mut self,
+        arena: &FlowArena,
+        source: usize,
+        sink: usize,
+        limit: f64,
+        cache: &mut WarmFlowCache,
+    ) -> f64 {
+        assert!(source < arena.num_nodes, "source out of range");
+        assert!(sink < arena.num_nodes, "sink out of range");
+        if source == sink || limit <= 0.0 {
+            return 0.0;
+        }
+        let key = (arena.epoch(), source as u32, sink as u32);
+        // An infinite limit demands the exact maximum, which the cold path computes
+        // directly (and more cheaply than warm-augmenting to convergence *and then*
+        // recomputing cold for bit-identity).
+        if limit.is_finite() {
+            // Certificates must clear the limit by a margin that dominates the fp
+            // divergence between warm and cold accumulation, or a near-tie could
+            // classify differently from cold (see [`CERTIFICATE_MARGIN`]).
+            let certified = limit + CERTIFICATE_MARGIN * limit.abs().max(1.0);
+            let WarmFlowCache {
+                states,
+                stats,
+                excess,
+                deficit,
+            } = cache;
+            if let Some(state) = states.get_mut(&key) {
+                if state.sized_for(arena)
+                    && self.apply_capacity_delta(arena, state, source, sink, excess, deficit, stats)
+                {
+                    stats.flows_warm_started += 1;
+                    if state.value >= certified {
+                        stats.augment_saved += 1;
+                        return state.value;
+                    }
+                    let value = self.augment_residual(
+                        arena,
+                        &mut state.cap,
+                        source,
+                        sink,
+                        certified,
+                        state.value,
+                    );
+                    state.value = value;
+                    if value >= certified {
+                        return value;
+                    }
+                    // Converged inside the margin or below the limit: the exact value
+                    // (or its side of the limit) steers the caller's running minimum,
+                    // so recompute it cold (fall through) and reseed.
+                } else {
+                    states.remove(&key);
+                }
+            }
+        }
+        let total = self.max_flow_limited(arena, source, sink, limit);
+        cache.seed(key, arena, &self.cap, total);
+        total
+    }
+
+    /// Warm-reuse variant of [`FlowSolver::min_max_flow`]: identical sink ordering,
+    /// running-minimum caps, and zero short-circuit, with each per-sink solve routed
+    /// through [`FlowSolver::max_flow_limited_warm`]. Returns bit-for-bit the cold
+    /// result.
+    pub fn min_max_flow_warm(
+        &mut self,
+        arena: &FlowArena,
+        source: usize,
+        sinks: &[usize],
+        cache: &mut WarmFlowCache,
+    ) -> f64 {
+        let mut order = std::mem::take(&mut self.sinks);
+        arena.order_sinks_into(sinks, &mut order);
+        let mut minimum = f64::INFINITY;
+        for &sink in &order {
+            if minimum <= 0.0 {
+                break;
+            }
+            let flow = self.max_flow_limited_warm(arena, source, sink as usize, minimum, cache);
+            if flow < minimum {
+                minimum = flow;
+            }
+        }
+        self.sinks = order;
+        minimum
+    }
+
+    /// Applies the capacity delta between `state.snapshot` and the arena's current
+    /// capacities to the retained residual, draining severed flow so the state is again
+    /// a feasible `source`→`sink` flow. Returns `false` (state must be discarded) if a
+    /// drain cannot complete.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_capacity_delta(
+        &mut self,
+        arena: &FlowArena,
+        state: &mut WarmState,
+        source: usize,
+        sink: usize,
+        excess: &mut Vec<(u32, f64)>,
+        deficit: &mut Vec<(u32, f64)>,
+        stats: &mut WarmStats,
+    ) -> bool {
+        excess.clear();
+        deficit.clear();
+        for k in 0..arena.num_edges {
+            let fwd = arena.edge_pos[k] as usize;
+            let new = arena.base_cap[fwd];
+            let old = state.snapshot[k];
+            if new == old {
+                continue;
+            }
+            let flow = (old - state.cap[fwd]).clamp(0.0, old);
+            if new >= flow {
+                // The committed flow still fits: only the forward headroom moves.
+                state.cap[fwd] = new - flow;
+            } else {
+                // Capacity cut below the committed flow: cap the flow at `new` and
+                // record the severed units for draining.
+                let cut = flow - new;
+                let bwd = arena.partner[fwd] as usize;
+                state.cap[fwd] = 0.0;
+                state.cap[bwd] = new;
+                let head = arena.to[fwd] as usize;
+                let tail = arena.to[bwd] as usize;
+                if head == sink {
+                    state.value -= cut;
+                } else if head != source {
+                    deficit.push((head as u32, cut));
+                }
+                if tail == sink {
+                    state.value += cut;
+                } else if tail != source {
+                    excess.push((tail as u32, cut));
+                }
+            }
+            state.snapshot[k] = new;
+        }
+        for &(node, amount) in excess.iter() {
+            if !self.drain_push(arena, &mut state.cap, node as usize, source, sink, amount) {
+                return false;
+            }
+            stats.excess_drained += 1;
+        }
+        for &(node, amount) in deficit.iter() {
+            if !self.drain_push(arena, &mut state.cap, sink, node as usize, source, amount) {
+                return false;
+            }
+            state.value -= amount;
+            stats.excess_drained += 1;
+        }
+        true
+    }
+
+    /// Pushes `amount` units from `from` to `to` along residual paths that never pass
+    /// through `avoid` (BFS, shortest residual path per push). Returns `false` if the
+    /// amount cannot be routed.
+    #[allow(clippy::needless_range_loop)] // `arc` indexes three parallel CSR arrays
+    fn drain_push(
+        &mut self,
+        arena: &FlowArena,
+        cap: &mut [f64],
+        from: usize,
+        to: usize,
+        avoid: usize,
+        mut remaining: f64,
+    ) -> bool {
+        if from == to {
+            return true;
+        }
+        let n = arena.num_nodes;
+        self.parent_arc.resize(n, NO_ARC);
+        self.level.resize(n, -1);
+        self.queue.resize(n + 1, 0);
+        let mut guard = DRAIN_GUARD_SLACK + 4 * arena.num_edges;
+        while eps::is_positive(remaining) {
+            if guard == 0 {
+                return false;
+            }
+            guard -= 1;
+            // `level` doubles as the visited marker here; the Dinic loop rebuilds it.
+            self.level.fill(-1);
+            self.level[from] = 0;
+            self.queue[0] = from as u32;
+            let (mut head, mut tail) = (0usize, 1usize);
+            let mut reached = false;
+            'bfs: while head < tail {
+                let node = self.queue[head] as usize;
+                head += 1;
+                for arc in arena.start[node] as usize..arena.start[node + 1] as usize {
+                    let next = arena.to[arc] as usize;
+                    if next == avoid || self.level[next] >= 0 || !eps::is_positive(cap[arc]) {
+                        continue;
+                    }
+                    self.level[next] = 0;
+                    self.parent_arc[next] = arc as u32;
+                    if next == to {
+                        reached = true;
+                        break 'bfs;
+                    }
+                    self.queue[tail] = next as u32;
+                    tail += 1;
+                }
+            }
+            if !reached {
+                return false;
+            }
+            let mut bottleneck = remaining;
+            let mut node = to;
+            while node != from {
+                let arc = self.parent_arc[node] as usize;
+                bottleneck = bottleneck.min(cap[arc]);
+                node = arena.to[arena.partner[arc] as usize] as usize;
+            }
+            if !eps::is_positive(bottleneck) {
+                return false;
+            }
+            let mut node = to;
+            while node != from {
+                let arc = self.parent_arc[node] as usize;
+                cap[arc] -= bottleneck;
+                cap[arena.partner[arc] as usize] += bottleneck;
+                node = arena.to[arena.partner[arc] as usize] as usize;
+            }
+            remaining -= bottleneck;
+        }
+        true
+    }
+
+    /// Dinic augmentation over a caller-owned residual (no `load_caps`), starting from
+    /// an existing flow of value `start`; stops as soon as `limit` is reached.
+    fn augment_residual(
+        &mut self,
+        arena: &FlowArena,
+        cap: &mut [f64],
+        source: usize,
+        sink: usize,
+        limit: f64,
+        start: f64,
+    ) -> f64 {
+        self.level.resize(arena.num_nodes, -1);
+        self.iter.resize(arena.num_nodes, 0);
+        self.queue.resize(arena.num_nodes + 1, 0);
+        let mut total = start;
+        while total < limit
+            && Self::bfs_levels(arena, cap, &mut self.level, &mut self.queue, source, sink)
+        {
+            for v in 0..arena.num_nodes {
+                self.iter[v] = arena.start[v];
+            }
+            loop {
+                let pushed = Self::dfs_augment(
+                    arena,
+                    cap,
+                    &self.level,
+                    &mut self.iter,
+                    source as u32,
+                    sink as u32,
+                    f64::INFINITY,
+                );
+                if !eps::is_positive(pushed) {
+                    break;
+                }
+                total += pushed;
+                if total >= limit {
+                    return total;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_edges(scale: f64) -> Vec<(usize, usize, f64)> {
+        vec![
+            (0, 1, 3.0 * scale),
+            (0, 2, 2.0 * scale),
+            (1, 3, 2.0 * scale),
+            (2, 3, 3.0 * scale),
+            (1, 2, 1.0 * scale),
+        ]
+    }
+
+    #[test]
+    fn warm_matches_cold_across_rescales() {
+        let mut arena = FlowArena::from_edges(4, &diamond_edges(1.0));
+        let mut cold = FlowSolver::new();
+        let mut warm = FlowSolver::new();
+        let mut cache = WarmFlowCache::new();
+        for &scale in &[1.0, 0.5, 0.75, 0.1, 1.0, 2.0, 0.9] {
+            let caps: Vec<f64> = diamond_edges(scale).iter().map(|e| e.2).collect();
+            arena.set_edge_capacities(&caps);
+            for limit in [f64::INFINITY, 4.0 * scale, 1.0 * scale, 0.5 * scale] {
+                let expected = cold.max_flow_limited(&arena, 0, 3, limit);
+                let got = warm.max_flow_limited_warm(&arena, 0, 3, limit, &mut cache);
+                // The bit-identity contract is one-sided at/above the limit; below it
+                // the value must be exactly the cold one.
+                if expected < limit {
+                    assert_eq!(expected, got, "scale {scale} limit {limit}");
+                } else {
+                    assert!(got >= limit, "scale {scale} limit {limit}");
+                }
+                cache.validate(&arena).expect("warm state invariants");
+            }
+        }
+        assert!(cache.stats.flows_warm_started > 0);
+        assert!(cache.stats.augment_saved > 0);
+    }
+
+    #[test]
+    fn min_max_flow_warm_is_bit_identical() {
+        let edges = vec![
+            (0usize, 1usize, 4.0),
+            (0, 2, 3.0),
+            (1, 3, 2.0),
+            (2, 3, 2.0),
+            (1, 4, 1.5),
+            (2, 4, 2.5),
+            (3, 4, 0.5),
+        ];
+        let mut arena = FlowArena::from_edges(5, &edges);
+        let mut cold = FlowSolver::new();
+        let mut warm = FlowSolver::new();
+        let mut cache = WarmFlowCache::new();
+        let sinks = [3usize, 4usize];
+        for &scale in &[1.0, 0.25, 0.8, 1.6, 0.05, 1.0] {
+            let caps: Vec<f64> = edges.iter().map(|e| e.2 * scale).collect();
+            arena.set_edge_capacities(&caps);
+            let expected = cold.min_max_flow(&arena, 0, &sinks);
+            let got = warm.min_max_flow_warm(&arena, 0, &sinks, &mut cache);
+            assert_eq!(expected, got, "scale {scale}");
+            cache.validate(&arena).expect("warm state invariants");
+        }
+        assert!(cache.stats.flows_warm_started > 0);
+    }
+
+    #[test]
+    fn rebuild_mints_a_new_epoch_and_misses_the_cache() {
+        let edges = diamond_edges(1.0);
+        let arena = FlowArena::from_edges(4, &edges);
+        let rebuilt = FlowArena::from_edges(4, &edges);
+        assert_eq!(arena, rebuilt, "equality ignores the epoch");
+        assert_ne!(arena.epoch(), rebuilt.epoch());
+        let mut solver = FlowSolver::new();
+        let mut cache = WarmFlowCache::new();
+        solver.max_flow_limited_warm(&arena, 0, 3, 4.0, &mut cache);
+        solver.max_flow_limited_warm(&rebuilt, 0, 3, 4.0, &mut cache);
+        assert_eq!(cache.len(), 2, "one state per epoch");
+        assert_eq!(
+            cache.stats.flows_warm_started, 0,
+            "a fresh epoch never warm-starts"
+        );
+    }
+
+    #[test]
+    fn clone_preserves_the_epoch() {
+        let arena = FlowArena::from_edges(4, &diamond_edges(1.0));
+        let mut clone = arena.clone();
+        assert_eq!(arena.epoch(), clone.epoch());
+        clone.set_edge_capacities(&[1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(
+            arena.epoch(),
+            clone.epoch(),
+            "in-place updates keep the epoch"
+        );
+    }
+
+    #[test]
+    fn capacity_cut_drains_through_reverse_paths() {
+        // Saturate the diamond, then cut an edge that carries committed flow so the
+        // delta apply must drain through reverse residual arcs.
+        let mut arena = FlowArena::from_edges(4, &diamond_edges(1.0));
+        let mut solver = FlowSolver::new();
+        let mut cache = WarmFlowCache::new();
+        let full = solver.max_flow_limited_warm(&arena, 0, 3, 100.0, &mut cache);
+        assert!(full > 0.0);
+        // Cut (0,1) hard: flow through node 1 must drain.
+        arena.set_edge_capacities(&[0.25, 2.0, 2.0, 3.0, 1.0]);
+        let mut cold = FlowSolver::new();
+        let expected = cold.max_flow_limited(&arena, 0, 3, 100.0);
+        let got = solver.max_flow_limited_warm(&arena, 0, 3, 100.0, &mut cache);
+        assert_eq!(expected, got);
+        cache
+            .validate(&arena)
+            .expect("drained state stays conservative");
+        assert!(cache.stats.excess_drained > 0, "the cut forced a drain");
+    }
+
+    #[test]
+    fn stats_take_resets() {
+        let mut stats = WarmStats {
+            flows_warm_started: 3,
+            augment_saved: 2,
+            excess_drained: 1,
+        };
+        let taken = stats.take();
+        assert_eq!(taken.flows_warm_started, 3);
+        assert_eq!(stats, WarmStats::default());
+        let mut acc = WarmStats::default();
+        acc.merge(&taken);
+        acc.merge(&taken);
+        assert_eq!(acc.augment_saved, 4);
+    }
+}

@@ -73,6 +73,37 @@
 //! starvation accounting, and they reserve one pool lane for co-resident fair-share
 //! work (see the module docs of [`pool`]).
 //!
+//! # Incremental reuse: warm residual states
+//!
+//! Consecutive dichotomic probes evaluate the *same* arc structure under rescaled
+//! capacities, so the previous probe's feasible flow is one capacity-delta away from a
+//! valid warm start. Module [`incremental`] retains that state per
+//! `(arena epoch, source, sink)` in a [`incremental::WarmFlowCache`]:
+//!
+//! * **State machine** — a warm solve diffs the state's capacity snapshot against the
+//!   arena (`O(m)`), widens forward residuals for increases, and for decreases that
+//!   undercut committed flow drains the severed units back along reverse residual
+//!   paths (excess to the source avoiding the sink, deficit from the sink avoiding the
+//!   source) before re-augmenting from the retained flow. If the retained value already
+//!   meets the caller's limit it is returned as a one-sided certificate with zero
+//!   augmentation; if augmentation converges *below* the limit, the exact value is
+//!   recomputed cold and the state reseeded — so every number that can steer brackets,
+//!   probe verdicts or the final solution is produced by the cold arithmetic, and warm
+//!   mode is bit-for-bit equivalent to cold mode end to end.
+//! * **Invalidation rules** — states key on [`csr::FlowArena::epoch`], a process-unique
+//!   id minted by `from_edges`. Rebuilding an arena (edge-*set* change, e.g. churn
+//!   survivors) mints a new epoch and orphans old states; in-place capacity updates
+//!   (`set_edge_capacities`, journal patches via `patch_edge_capacities`, including
+//!   through `Arc::make_mut`) keep the epoch and are absorbed by the snapshot diff. A
+//!   failed drain invalidates just that state and falls back to the always-correct cold
+//!   path.
+//! * **Plumbing** — `bmp-core`'s `EvalCtx` owns a cache for sequential evaluation and
+//!   each [`pool::FlowPool`] worker owns one for fanned-out evaluation (reset alongside
+//!   the solver on panic containment); the `BMP_INCREMENTAL` / `--incremental` /
+//!   `EvalCtx::set_incremental` knob gates the whole path, and the
+//!   `flows_warm_started` / `augment_saved` / `excess_drained` telemetry makes reuse
+//!   observable.
+//!
 //! # Entry points
 //!
 //! * [`graph::FlowNetwork`] — edge-list builder API with `O(1)` in-capacity queries,
@@ -96,6 +127,7 @@ pub mod dinic;
 pub mod edmonds_karp;
 pub mod eps;
 pub mod graph;
+pub mod incremental;
 pub mod mincut;
 pub mod pool;
 pub mod push_relabel;
@@ -106,6 +138,7 @@ pub use csr::{
 pub use dinic::dinic_max_flow;
 pub use edmonds_karp::edmonds_karp_max_flow;
 pub use graph::{EdgeId, FlowNetwork, FlowResult};
+pub use incremental::{WarmFlowCache, WarmStats};
 pub use mincut::{min_cut, MinCut};
 pub use pool::{
     arm_worker_panics, disarm_worker_panics, FlowPool, ProbeFn, TicketClass, WorkerPanicGuard,
